@@ -1,0 +1,269 @@
+//! Distributed conjugate-gradient proxy.
+//!
+//! The CG iteration's communication signature is two *tiny* AllReduces
+//! (the dot products ρ and α-denominator) between large local SpMV/AXPY
+//! phases. At 8-byte messages the collective is pure latency — exactly the
+//! regime where the paper's §VI library comparison bites hardest.
+//!
+//! The scalar reductions run through the real collective machinery (and
+//! the test verifies the sums); the SpMV and AXPY phases are modeled as
+//! their memory traffic.
+
+use ifsim_coll::schedule::RankBuffers;
+use ifsim_coll::{Collective, MpiComm, RcclComm};
+use ifsim_des::Dur;
+use ifsim_hip::{BufferId, HipError, HipResult, HipSim, KernelSpec};
+
+/// Which library performs the dot-product reductions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReductionLib {
+    /// RCCL AllReduce.
+    Rccl,
+    /// MPI AllReduce.
+    Mpi,
+}
+
+/// Problem configuration.
+#[derive(Clone, Debug)]
+pub struct CgConfig {
+    /// Device ordinal per rank.
+    pub devices: Vec<usize>,
+    /// Local unknowns per rank.
+    pub local_rows: usize,
+    /// CG iterations.
+    pub iters: usize,
+    /// Reduction library.
+    pub lib: ReductionLib,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig {
+            devices: (0..8).collect(),
+            local_rows: 1 << 20,
+            iters: 5,
+            lib: ReductionLib::Rccl,
+        }
+    }
+}
+
+/// Timing breakdown of a run.
+#[derive(Clone, Debug)]
+pub struct CgReport {
+    /// Total wall time.
+    pub total: Dur,
+    /// Time in local kernels (SpMV + AXPYs).
+    pub local: Dur,
+    /// Time in the scalar AllReduces.
+    pub reductions: Dur,
+    /// The final reduced scalar (for verification).
+    pub last_dot: f32,
+}
+
+impl CgReport {
+    /// Fraction of the run spent in (latency-bound) reductions.
+    pub fn reduction_fraction(&self) -> f64 {
+        self.reductions.as_secs() / self.total.as_secs().max(1e-12)
+    }
+}
+
+enum Comm {
+    Rccl(RcclComm),
+    Mpi(MpiComm),
+}
+
+impl Comm {
+    fn allreduce(
+        &self,
+        hip: &mut HipSim,
+        bufs: &RankBuffers,
+        elems: usize,
+    ) -> HipResult<Dur> {
+        match self {
+            Comm::Rccl(c) => c.collective(hip, Collective::AllReduce, bufs, elems, 0),
+            Comm::Mpi(c) => c.collective(hip, Collective::AllReduce, bufs, elems, 0),
+        }
+    }
+}
+
+/// Run the proxy. The per-rank partial dot value is `rank + 1`, so the
+/// reduced scalar is `n(n+1)/2` every iteration (checked by the tests).
+pub fn run(hip: &mut HipSim, cfg: &CgConfig) -> HipResult<CgReport> {
+    let n = cfg.devices.len();
+    if n < 2 {
+        return Err(HipError::InvalidValue("need at least two ranks".into()));
+    }
+    let comm = match cfg.lib {
+        ReductionLib::Rccl => Comm::Rccl(RcclComm::new(hip, cfg.devices.clone())?),
+        ReductionLib::Mpi => Comm::Mpi(MpiComm::new(hip, cfg.devices.clone())?),
+    };
+
+    // Per-rank vectors (x, p, q) and the scalar-reduction buffers.
+    let mut vecs: Vec<[BufferId; 3]> = Vec::new();
+    let mut dot_send = Vec::new();
+    let mut dot_recv = Vec::new();
+    for &dev in &cfg.devices {
+        hip.set_device(dev)?;
+        vecs.push([
+            hip.malloc(cfg.local_rows as u64 * 4)?,
+            hip.malloc(cfg.local_rows as u64 * 4)?,
+            hip.malloc(cfg.local_rows as u64 * 4)?,
+        ]);
+        dot_send.push(hip.malloc(4)?);
+        dot_recv.push(hip.malloc(4)?);
+    }
+    let dot_bufs = RankBuffers {
+        send: dot_send.clone(),
+        recv: dot_recv.clone(),
+    };
+
+    let t0 = hip.now();
+    let mut local = Dur::ZERO;
+    let mut reductions = Dur::ZERO;
+    let mut last_dot = 0.0f32;
+    for _ in 0..cfg.iters {
+        // SpMV q = A p: stencil-matrix traffic ≈ read p + row data, write q.
+        let tl = hip.now();
+        for (r, &dev) in cfg.devices.iter().enumerate() {
+            hip.set_device(dev)?;
+            hip.launch_kernel(KernelSpec::StreamTriad {
+                a: vecs[r][1],
+                b: vecs[r][2],
+                dst: vecs[r][2],
+                scalar: 0.5,
+                elems: cfg.local_rows,
+            })?;
+        }
+        hip.synchronize_all()?;
+        local += hip.now() - tl;
+
+        // Local partial dot (modeled as a read pass), then the scalar
+        // AllReduce — twice per iteration, as in CG.
+        for _ in 0..2 {
+            let tl = hip.now();
+            for (r, &dev) in cfg.devices.iter().enumerate() {
+                hip.set_device(dev)?;
+                hip.launch_kernel(KernelSpec::Touch {
+                    buf: vecs[r][1],
+                    bytes: cfg.local_rows as u64 * 4,
+                })?;
+                // Each rank contributes (rank + 1) as its partial result.
+                hip.mem_mut().write_f32s(dot_send[r], 0, &[(r + 1) as f32])?;
+            }
+            hip.synchronize_all()?;
+            local += hip.now() - tl;
+
+            let tr = hip.now();
+            comm.allreduce(hip, &dot_bufs, 1)?;
+            reductions += hip.now() - tr;
+        }
+        if let Some(v) = hip.mem().read_f32s(dot_recv[0], 0, 1)? {
+            last_dot = v[0];
+        }
+
+        // AXPY updates x and p.
+        let tl = hip.now();
+        for (r, &dev) in cfg.devices.iter().enumerate() {
+            hip.set_device(dev)?;
+            hip.launch_kernel(KernelSpec::StreamTriad {
+                a: vecs[r][0],
+                b: vecs[r][2],
+                dst: vecs[r][0],
+                scalar: 0.1,
+                elems: cfg.local_rows,
+            })?;
+        }
+        hip.synchronize_all()?;
+        local += hip.now() - tl;
+    }
+
+    Ok(CgReport {
+        total: hip.now() - t0,
+        local,
+        reductions,
+        last_dot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_hip::EnvConfig;
+
+    fn runtime() -> HipSim {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(1 << 20);
+        hip
+    }
+
+    #[test]
+    fn scalar_allreduce_value_is_correct() {
+        let mut hip = runtime();
+        let cfg = CgConfig {
+            devices: (0..8).collect(),
+            local_rows: 1 << 14,
+            iters: 2,
+            lib: ReductionLib::Rccl,
+        };
+        let r = run(&mut hip, &cfg).unwrap();
+        assert_eq!(r.last_dot, 36.0, "sum of 1..=8");
+    }
+
+    #[test]
+    fn rccl_reductions_beat_mpi_reductions() {
+        // At 4-byte messages the paper's latency comparison dominates.
+        let base = CgConfig {
+            devices: (0..8).collect(),
+            local_rows: 1 << 16,
+            iters: 3,
+            lib: ReductionLib::Rccl,
+        };
+        let mut hip = runtime();
+        let rccl = run(&mut hip, &base).unwrap();
+        let mut hip = runtime();
+        let mpi = run(
+            &mut hip,
+            &CgConfig {
+                lib: ReductionLib::Mpi,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(rccl.last_dot, mpi.last_dot, "same numerics");
+        assert!(
+            rccl.reductions < mpi.reductions,
+            "RCCL {} vs MPI {}",
+            rccl.reductions,
+            mpi.reductions
+        );
+        // Local compute time is library-independent.
+        let ratio = rccl.local.as_secs() / mpi.local.as_secs();
+        assert!((0.9..1.1).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn reduction_fraction_shrinks_with_problem_size() {
+        // Strong-scaling intuition: bigger local work amortizes the
+        // latency-bound reductions.
+        let small = CgConfig {
+            local_rows: 1 << 14,
+            iters: 2,
+            ..Default::default()
+        };
+        let big = CgConfig {
+            local_rows: 1 << 22,
+            iters: 2,
+            ..Default::default()
+        };
+        let mut hip = runtime();
+        let rs = run(&mut hip, &small).unwrap();
+        let mut hip = runtime();
+        let rb = run(&mut hip, &big).unwrap();
+        assert!(
+            rs.reduction_fraction() > rb.reduction_fraction(),
+            "{} vs {}",
+            rs.reduction_fraction(),
+            rb.reduction_fraction()
+        );
+    }
+}

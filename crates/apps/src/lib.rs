@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # ifsim-apps — proxy applications on the simulated node
+//!
+//! The paper's introduction motivates its study with multi-GPU scientific
+//! and ML workloads (CFD, molecular dynamics, model training). This crate
+//! packages three miniature proxies of those workloads over the simulator,
+//! in the spirit of HipBone/Tartan-style suites, so that the paper's
+//! findings can be evaluated *in application context* rather than only in
+//! microbenchmarks:
+//!
+//! - [`stencil`]: 1-D-decomposed 2-D stencil iteration with halo exchange —
+//!   tests the GPU-direct vs. host-staged choice (§V) at application scale;
+//! - [`cg`]: a distributed conjugate-gradient-shaped iteration — tiny
+//!   latency-bound AllReduces interleaved with local kernels (§VI's
+//!   MPI-vs-RCCL question at the size that actually hurts);
+//! - [`train`]: a data-parallel training step — input ingestion over the
+//!   CPU links, gradient AllReduce, and the copy/compute-overlap question
+//!   (§V-A2's SDMA trade-off).
+//!
+//! Every proxy returns a structured report with a phase breakdown, and the
+//! tests assert both the numerics (where data is real) and the performance
+//! relationships the paper predicts.
+
+pub mod cg;
+pub mod stencil;
+pub mod train;
+
+pub use cg::{CgConfig, CgReport, ReductionLib};
+pub use stencil::{ExchangeStrategy, StencilConfig, StencilReport};
+pub use train::{TrainConfig, TrainReport};

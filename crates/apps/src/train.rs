@@ -1,0 +1,253 @@
+//! Data-parallel training-step proxy.
+//!
+//! Per step and per GPU: ingest an input batch from host memory, run
+//! forward+backward (modeled as kernel memory traffic over the weights and
+//! activations), AllReduce the gradients with RCCL, and apply the
+//! optimizer. The configurable twist is **ingestion overlap**: copying the
+//! *next* batch on a side stream while compute runs — profitable precisely
+//! because `hipMemcpy` rides SDMA engines that do not steal kernel
+//! resources (paper §V-A2).
+
+use ifsim_coll::schedule::RankBuffers;
+use ifsim_coll::{Collective, RcclComm};
+use ifsim_des::Dur;
+use ifsim_hip::{
+    BufferId, HipError, HipResult, HipSim, HostAllocFlags, KernelSpec, MemcpyKind, StreamId,
+};
+
+/// Problem configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Device ordinal per data-parallel rank.
+    pub devices: Vec<usize>,
+    /// Model parameters per rank (f32) — also the gradient message size.
+    pub params: usize,
+    /// Input batch bytes per rank per step.
+    pub batch_bytes: u64,
+    /// Steps to run.
+    pub steps: usize,
+    /// Forward+backward passes per step (scales compute intensity
+    /// independently of the parameter count).
+    pub compute_passes: usize,
+    /// Prefetch the next batch on a side stream during compute.
+    pub overlap_ingestion: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            devices: (0..8).collect(),
+            params: (64 << 20) / 4, // 64 MiB of gradients
+            batch_bytes: 32 << 20,
+            steps: 3,
+            compute_passes: 2,
+            overlap_ingestion: false,
+        }
+    }
+}
+
+/// Timing breakdown of a run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Total wall time.
+    pub total: Dur,
+    /// Mean time per step.
+    pub per_step: Dur,
+    /// Time spent in gradient AllReduce.
+    pub allreduce: Dur,
+    /// The reduced gradient value at element 0 (for verification).
+    pub grad0: f32,
+}
+
+struct Rank {
+    dev: usize,
+    weights: BufferId,
+    grads: BufferId,
+    grads_out: BufferId,
+    batch_dev: BufferId,
+    batch_host: BufferId,
+    copy_stream: StreamId,
+}
+
+/// Run the proxy.
+pub fn run(hip: &mut HipSim, cfg: &TrainConfig) -> HipResult<TrainReport> {
+    let n = cfg.devices.len();
+    if n < 2 {
+        return Err(HipError::InvalidValue("need at least two ranks".into()));
+    }
+    let comm = RcclComm::new(hip, cfg.devices.clone())?;
+
+    let mut ranks = Vec::with_capacity(n);
+    for (r, &dev) in cfg.devices.iter().enumerate() {
+        hip.set_device(dev)?;
+        let grads = hip.malloc(cfg.params as u64 * 4)?;
+        // Deterministic per-rank gradient so the reduction is checkable.
+        hip.mem_mut().write_f32s(grads, 0, &[(r + 1) as f32])?;
+        ranks.push(Rank {
+            dev,
+            weights: hip.malloc(cfg.params as u64 * 4)?,
+            grads,
+            grads_out: hip.malloc(cfg.params as u64 * 4)?,
+            batch_dev: hip.malloc(cfg.batch_bytes)?,
+            batch_host: hip.host_malloc(cfg.batch_bytes, HostAllocFlags::non_coherent())?,
+            copy_stream: hip.stream_create()?,
+        });
+    }
+    let grad_bufs = RankBuffers {
+        send: ranks.iter().map(|r| r.grads).collect(),
+        recv: ranks.iter().map(|r| r.grads_out).collect(),
+    };
+
+    let t0 = hip.now();
+    let mut allreduce = Dur::ZERO;
+    for step in 0..cfg.steps {
+        // Ingestion: blocking up front, or prefetched alongside compute.
+        if !cfg.overlap_ingestion || step == 0 {
+            for r in &ranks {
+                let s = hip.default_stream(r.dev)?;
+                hip.memcpy_async(
+                    r.batch_dev,
+                    0,
+                    r.batch_host,
+                    0,
+                    cfg.batch_bytes,
+                    MemcpyKind::HostToDevice,
+                    s,
+                )?;
+            }
+            hip.synchronize_all()?;
+        }
+        // Forward + backward: `compute_passes` rounds of weight-sized
+        // traffic per step.
+        for r in &ranks {
+            hip.set_device(r.dev)?;
+            for _ in 0..cfg.compute_passes {
+                hip.launch_kernel(KernelSpec::StreamCopy {
+                    src: r.weights,
+                    dst: r.grads,
+                    elems: cfg.params,
+                })?;
+                hip.launch_kernel(KernelSpec::StreamTriad {
+                    a: r.weights,
+                    b: r.grads,
+                    dst: r.grads,
+                    scalar: 1.0,
+                    elems: cfg.params,
+                })?;
+            }
+            // Prefetch next step's batch on the side stream, overlapping
+            // the compute above (SDMA engines leave the kernels alone).
+            if cfg.overlap_ingestion && step + 1 < cfg.steps {
+                hip.memcpy_async(
+                    r.batch_dev,
+                    0,
+                    r.batch_host,
+                    0,
+                    cfg.batch_bytes,
+                    MemcpyKind::HostToDevice,
+                    r.copy_stream,
+                )?;
+            }
+        }
+        hip.synchronize_all()?;
+        // Restore the checkable gradient (the model kernels overwrote it).
+        for (r, rank) in ranks.iter().enumerate() {
+            hip.mem_mut().write_f32s(rank.grads, 0, &[(r + 1) as f32])?;
+        }
+
+        // Gradient AllReduce.
+        let ta = hip.now();
+        comm.collective(hip, Collective::AllReduce, &grad_bufs, cfg.params, 0)?;
+        allreduce += hip.now() - ta;
+
+        // Optimizer: one more weight-sized pass.
+        for r in &ranks {
+            hip.set_device(r.dev)?;
+            hip.launch_kernel(KernelSpec::StreamTriad {
+                a: r.weights,
+                b: r.grads_out,
+                dst: r.weights,
+                scalar: -1e-3,
+                elems: cfg.params,
+            })?;
+        }
+        hip.synchronize_all()?;
+    }
+
+    let total = hip.now() - t0;
+    let grad0 = hip
+        .mem()
+        .read_f32s(ranks[0].grads_out, 0, 1)?
+        .map(|v| v[0])
+        .unwrap_or(f32::NAN);
+    Ok(TrainReport {
+        total,
+        per_step: total / cfg.steps as f64,
+        allreduce,
+        grad0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_hip::EnvConfig;
+
+    fn runtime() -> HipSim {
+        let mut hip = HipSim::new(EnvConfig::default());
+        // Keep gradient buffers real enough for element-0 verification
+        // while batches stay phantom.
+        hip.mem_mut().set_phantom_threshold(1 << 20);
+        hip
+    }
+
+    fn small(overlap: bool) -> TrainConfig {
+        TrainConfig {
+            devices: (0..4).collect(),
+            params: (4 << 20) / 4,
+            batch_bytes: 8 << 20,
+            steps: 4,
+            // Enough compute per step to fully hide one batch copy.
+            compute_passes: 20,
+            overlap_ingestion: overlap,
+        }
+    }
+
+    #[test]
+    fn gradients_reduce_correctly() {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(u64::MAX);
+        let mut cfg = small(false);
+        cfg.params = 256;
+        cfg.batch_bytes = 4096;
+        cfg.compute_passes = 2;
+        let r = run(&mut hip, &cfg).unwrap();
+        // Element 0: sum over ranks of (rank+1) = 10 for 4 ranks.
+        assert_eq!(r.grad0, 10.0);
+    }
+
+    #[test]
+    fn overlapped_ingestion_shortens_the_step() {
+        // Batch copies (64 MiB over 28 GB/s ≈ 2.3 ms) dominate; hiding them
+        // behind compute must shorten total time.
+        let mut hip = runtime();
+        let sync = run(&mut hip, &small(false)).unwrap();
+        let mut hip = runtime();
+        let overlapped = run(&mut hip, &small(true)).unwrap();
+        assert!(
+            overlapped.total.as_secs() < 0.8 * sync.total.as_secs(),
+            "overlap {} vs sync {}",
+            overlapped.total,
+            sync.total
+        );
+    }
+
+    #[test]
+    fn allreduce_time_is_a_minor_fraction_at_this_scale() {
+        let mut hip = runtime();
+        let r = run(&mut hip, &small(false)).unwrap();
+        let frac = r.allreduce.as_secs() / r.total.as_secs();
+        assert!(frac < 0.5, "allreduce fraction {frac}");
+        assert!(r.per_step.as_us() > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Component-level Criterion benches: the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifsim_core::des::Time;
+use ifsim_core::fabric::{FlowNet, FlowSpec, SegmentMap};
+use ifsim_core::hip::{EnvConfig, HipSim, HostAllocFlags, KernelSpec, MemcpyKind};
+use ifsim_core::topology::{GcdId, NodeTopology, RoutePolicy, Router};
+use std::hint::black_box;
+
+fn bench_router(c: &mut Criterion) {
+    let topo = NodeTopology::frontier();
+    c.bench_function("router/all_pairs_construction", |b| {
+        b.iter(|| black_box(Router::new(black_box(&topo))))
+    });
+    let router = Router::new(&topo);
+    c.bench_function("router/route_lookup", |b| {
+        b.iter(|| {
+            black_box(router.gcd_route(
+                black_box(GcdId(1)),
+                black_box(GcdId(7)),
+                RoutePolicy::MaxBandwidth,
+            ))
+        })
+    });
+}
+
+fn bench_flownet(c: &mut Criterion) {
+    let topo = NodeTopology::frontier();
+    let router = Router::new(&topo);
+    c.bench_function("flownet/8_concurrent_flows_cycle", |b| {
+        b.iter(|| {
+            let mut net = FlowNet::new(SegmentMap::new(&topo));
+            for i in 0..8u8 {
+                let a = GcdId(i);
+                let z = GcdId((i + 3) % 8);
+                let p = router.gcd_route(a, z, RoutePolicy::MaxBandwidth);
+                let segs = net.segmap().path_segments(&topo, p, true);
+                net.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 0.87));
+            }
+            while net.complete_next().is_some() {}
+            black_box(net.recomputes())
+        })
+    });
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    c.bench_function("runtime/construction", |b| {
+        b.iter(|| black_box(HipSim::new(EnvConfig::default())))
+    });
+    c.bench_function("runtime/blocking_memcpy_1mib", |b| {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(0);
+        let host = hip.host_malloc(1 << 20, HostAllocFlags::coherent()).unwrap();
+        let dev = hip.malloc(1 << 20).unwrap();
+        b.iter(|| {
+            hip.memcpy(dev, 0, host, 0, 1 << 20, MemcpyKind::HostToDevice)
+                .unwrap();
+            black_box(hip.now())
+        })
+    });
+    c.bench_function("runtime/kernel_launch_sync", |b| {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(0);
+        let a = hip.malloc(1 << 20).unwrap();
+        let d = hip.malloc(1 << 20).unwrap();
+        b.iter(|| {
+            hip.launch_kernel(KernelSpec::StreamCopy {
+                src: a,
+                dst: d,
+                elems: 1 << 18,
+            })
+            .unwrap();
+            hip.device_synchronize().unwrap();
+            black_box(hip.now())
+        })
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    use ifsim_core::coll::schedule::RankBuffers;
+    use ifsim_core::coll::{Collective, RcclComm};
+    c.bench_function("collectives/rccl_allreduce_8x1mib", |b| {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(0);
+        let comm = RcclComm::new(&mut hip, (0..8).collect()).unwrap();
+        let elems = (1usize << 20) / 4;
+        let mut send = Vec::new();
+        let mut recv = Vec::new();
+        for r in 0..8 {
+            hip.set_device(r).unwrap();
+            send.push(hip.malloc(1 << 20).unwrap());
+            recv.push(hip.malloc(1 << 20).unwrap());
+        }
+        let bufs = RankBuffers { send, recv };
+        b.iter(|| {
+            black_box(
+                comm.collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_router,
+    bench_flownet,
+    bench_runtime,
+    bench_collectives
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end Criterion benches: one per paper table/figure.
+//!
+//! Each bench runs the complete experiment pipeline (runtime construction,
+//! benchmark drivers, checks) at smoke settings. Wall-clock here measures
+//! the *simulator*, not the simulated machine — the simulated metrics are
+//! the `repro` binary's output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifsim_core::{registry, BenchConfig};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut cfg = BenchConfig::quick();
+    cfg.reps = 1;
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for exp in registry::all() {
+        // The big sweeps dominate; keep every figure represented but let
+        // Criterion know these are seconds-scale where needed.
+        group.bench_function(exp.id, |b| {
+            b.iter(|| {
+                let r = exp.run(black_box(&cfg));
+                assert!(r.all_passed(), "{}", r.report());
+                black_box(r.checks.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [OPTIONS] [IDS...]
+//!
+//!   IDS              experiment ids (fig1, table1, table2, fig2..fig12);
+//!                    'all' or no ids runs everything
+//!   --quick          2 repetitions, no warmup (smoke run)
+//!   --seed <u64>     jitter seed (default 0xC0FFEE)
+//!   --reps <n>       measured repetitions per point
+//!   --csv <dir>      write CSV artifacts into <dir>
+//!   --list           list experiments and exit
+//! ```
+
+use ifsim_bench::{run_experiments, BenchConfig};
+use ifsim_core::registry;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    cfg: BenchConfig,
+    csv_dir: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        cfg: BenchConfig::default(),
+        csv_dir: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.cfg = BenchConfig::quick(),
+            "--list" => args.list = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.cfg.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                args.cfg.reps = v.parse().map_err(|e| format!("bad reps: {e}"))?;
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a directory")?;
+                args.csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] [--list] [IDS...]");
+                println!("experiments: {}", registry::ids().join(", "));
+                std::process::exit(0);
+            }
+            "all" => args.ids.clear(),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => args.ids.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for e in registry::all() {
+            println!("{:<8} {} — {}", e.id, e.title, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "ifsim repro — seed {:#x}, {} reps + {} warmup\n",
+        args.cfg.seed, args.cfg.reps, args.cfg.warmup
+    );
+    let results = run_experiments(&args.ids, &args.cfg);
+
+    let mut failed = 0usize;
+    let mut total_checks = 0usize;
+    for r in &results {
+        println!("{}", r.report());
+        total_checks += r.checks.len();
+        failed += r.checks.iter().filter(|c| !c.passed).count();
+        if let Some(dir) = &args.csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for (name, contents) in &r.csv {
+                let path = dir.join(name);
+                if let Err(e) = std::fs::write(&path, contents) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    println!(
+        "summary: {} experiments, {}/{} checks passed",
+        results.len(),
+        total_checks - failed,
+        total_checks
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # ifsim-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! - the **`repro`** binary regenerates every table and figure of the paper
+//!   (`cargo run -p ifsim-bench --bin repro -- all`), printing the rows the
+//!   paper reports and writing CSV artifacts plus a check summary;
+//! - the **Criterion benches** (`cargo bench`) measure the simulator itself:
+//!   per-figure end-to-end runs (`figures`), hot components (`components`),
+//!   and the design-choice ablations called out in DESIGN.md (`ablations`).
+
+pub use ifsim_core::{registry, BenchConfig, Experiment, ExperimentResult};
+
+/// Run a list of experiment ids (or all when empty), returning results in
+/// registry order. Unknown ids panic with the available set listed.
+pub fn run_experiments(ids: &[String], cfg: &BenchConfig) -> Vec<ExperimentResult> {
+    let all = registry::all();
+    let selected: Vec<&Experiment> = if ids.is_empty() {
+        all.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                all.iter().find(|e| e.id == id).unwrap_or_else(|| {
+                    panic!(
+                        "unknown experiment '{id}'; available: {}",
+                        registry::ids().join(", ")
+                    )
+                })
+            })
+            .collect()
+    };
+    selected.iter().map(|e| e.run(cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_selected_experiments_in_order() {
+        let cfg = BenchConfig::quick();
+        let results = run_experiments(&["table1".into(), "fig6a".into()], &cfg);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "table1");
+        assert_eq!(results[1].id, "fig6a");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics_with_listing() {
+        let cfg = BenchConfig::quick();
+        let _ = run_experiments(&["fig99".into()], &cfg);
+    }
+}

@@ -1,0 +1,93 @@
+//! Smoke tests for the `repro` and `mgpu-bench` binaries: argument
+//! handling, output shape, and exit codes.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn mgpu() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mgpu-bench"))
+}
+
+#[test]
+fn repro_list_names_every_artifact() {
+    let out = repro().arg("--list").output().expect("run repro");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in ["fig1", "table1", "fig6b", "fig12", "ext-mi300a"] {
+        assert!(text.contains(id), "missing {id} in --list");
+    }
+}
+
+#[test]
+fn repro_runs_a_single_experiment_and_reports_checks() {
+    let out = repro()
+        .args(["--quick", "--reps", "1", "fig6a"])
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fig6a"));
+    assert!(text.contains("[PASS]"));
+    assert!(text.contains("checks passed"));
+}
+
+#[test]
+fn repro_rejects_unknown_ids_and_options() {
+    let out = repro().arg("--bogus").output().expect("run repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn repro_writes_csv_artifacts() {
+    let dir = std::env::temp_dir().join(format!("ifsim-cli-test-{}", std::process::id()));
+    let out = repro()
+        .args(["--quick", "--reps", "1", "--csv"])
+        .arg(&dir)
+        .arg("fig6a")
+        .output()
+        .expect("run repro");
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(dir.join("fig6a.csv")).expect("artifact written");
+    assert!(csv.starts_with("src\\dst"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mgpu_bench_osu_bw_prints_a_bandwidth_row() {
+    let out = mgpu()
+        .args(["osu-bw", "--dst", "2", "--reps", "1"])
+        .output()
+        .expect("run mgpu-bench");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GCD0 -> GCD2"));
+    assert!(text.contains("Bandwidth"));
+    // Single link with SDMA: ~37.5 GB/s appears in the row.
+    assert!(text.contains("37.5"), "{text}");
+}
+
+#[test]
+fn mgpu_bench_doctor_exit_code_reflects_health() {
+    let ok = mgpu()
+        .args(["doctor", "--reps", "1", "--size", "16777216"])
+        .output()
+        .expect("run doctor");
+    assert!(ok.status.success(), "healthy node exits 0");
+    let sick = mgpu()
+        .args(["doctor", "--reps", "1", "--size", "16777216", "--derate", "0,1,0.4"])
+        .output()
+        .expect("run doctor");
+    assert!(!sick.status.success(), "degraded node exits non-zero");
+    assert!(String::from_utf8_lossy(&sick.stdout).contains("DEGRADED"));
+}
+
+#[test]
+fn mgpu_bench_usage_on_no_command() {
+    let out = mgpu().output().expect("run mgpu-bench");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,762 @@
+//! Collective algorithms as round-structured transfer schedules.
+//!
+//! A schedule is a sequence of [`Round`]s; transfers within a round run
+//! concurrently (they contend on the fabric), rounds are separated by a
+//! dependency barrier. This LogGP-style structure captures what the paper
+//! measures — per-collective latency as a function of rank count and
+//! interconnect — without simulating per-packet protocol state.
+//!
+//! All chunk arithmetic is in f32 elements; buffers hold `elems` elements
+//! at rank granularity described per collective below.
+
+use crate::ring::Ring;
+use ifsim_memory::BufferId;
+
+/// The five collectives the paper measures (§VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Collective {
+    /// All-to-one reduction.
+    Reduce,
+    /// One-to-all distribution.
+    Broadcast,
+    /// Reduce + redistribute (two logical passes).
+    AllReduce,
+    /// Reduce + scatter of chunks.
+    ReduceScatter,
+    /// Gather + redistribute.
+    AllGather,
+}
+
+impl Collective {
+    /// All five, in the paper's order.
+    pub const ALL: [Collective; 5] = [
+        Collective::Reduce,
+        Collective::Broadcast,
+        Collective::AllReduce,
+        Collective::ReduceScatter,
+        Collective::AllGather,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Collective::Reduce => "Reduce",
+            Collective::Broadcast => "Broadcast",
+            Collective::AllReduce => "AllReduce",
+            Collective::ReduceScatter => "ReduceScatter",
+            Collective::AllGather => "AllGather",
+        }
+    }
+
+    /// Whether the collective needs one communication pass (rooted) or two
+    /// (all-to-all) — the paper's latency lower-bound classification.
+    pub fn passes(self) -> usize {
+        match self {
+            Collective::Reduce | Collective::Broadcast => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// One transfer: ring position `from` sends `elems` f32s to position `to`,
+/// optionally reducing into the destination.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transfer {
+    /// Sender's ring position.
+    pub from: usize,
+    /// Receiver's ring position.
+    pub to: usize,
+    /// Sender-side buffer.
+    pub src: BufferId,
+    /// Sender-side element offset.
+    pub src_elem_off: usize,
+    /// Receiver-side buffer.
+    pub dst: BufferId,
+    /// Receiver-side element offset.
+    pub dst_elem_off: usize,
+    /// Elements transferred.
+    pub elems: usize,
+    /// `true`: `dst += src` (reduction); `false`: `dst = src`.
+    pub reduce: bool,
+}
+
+/// Transfers that run concurrently.
+pub type Round = Vec<Transfer>;
+
+/// Per-rank buffers for a collective call. Depending on the collective,
+/// `send` and `recv` have different required sizes (see each builder).
+#[derive(Clone, Debug)]
+pub struct RankBuffers {
+    /// Input buffer per ring position.
+    pub send: Vec<BufferId>,
+    /// Output buffer per ring position.
+    pub recv: Vec<BufferId>,
+}
+
+/// Split `elems` into `n` contiguous chunks; chunk `c` is
+/// `[offset(c), offset(c) + len(c))`. Early chunks take the remainder.
+pub fn chunk_bounds(elems: usize, n: usize, c: usize) -> (usize, usize) {
+    assert!(c < n);
+    let base = elems / n;
+    let rem = elems % n;
+    let len = base + usize::from(c < rem);
+    let off = c * base + c.min(rem);
+    (off, len)
+}
+
+/// Ring reduce-scatter rounds, operating in place on `recv` buffers (which
+/// the executor pre-fills with each rank's input). After `n-1` rounds,
+/// position `p` holds the fully reduced chunk `(p + 1) % n`.
+pub fn ring_reduce_scatter_rounds(ring: &Ring, bufs: &RankBuffers, elems: usize) -> Vec<Round> {
+    let n = ring.len();
+    let mut rounds = Vec::with_capacity(n - 1);
+    for k in 0..n - 1 {
+        let mut round = Vec::with_capacity(n);
+        for p in 0..n {
+            // Position p sends chunk (p - k) mod n to p+1, which reduces it.
+            let c = (p + n - k) % n;
+            let (off, len) = chunk_bounds(elems, n, c);
+            if len == 0 {
+                continue;
+            }
+            round.push(Transfer {
+                from: p,
+                to: (p + 1) % n,
+                src: bufs.recv[p],
+                src_elem_off: off,
+                dst: bufs.recv[(p + 1) % n],
+                dst_elem_off: off,
+                elems: len,
+                reduce: true,
+            });
+        }
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Ring all-gather rounds following a reduce-scatter: position `p` starts
+/// holding reduced chunk `(p + 1) % n` and circulates copies.
+pub fn ring_allgather_after_rs_rounds(
+    ring: &Ring,
+    bufs: &RankBuffers,
+    elems: usize,
+) -> Vec<Round> {
+    let n = ring.len();
+    let mut rounds = Vec::with_capacity(n - 1);
+    for k in 0..n - 1 {
+        let mut round = Vec::with_capacity(n);
+        for p in 0..n {
+            // Position p forwards chunk (p + 1 - k) mod n.
+            let c = (p + 1 + n - k) % n;
+            let (off, len) = chunk_bounds(elems, n, c);
+            if len == 0 {
+                continue;
+            }
+            round.push(Transfer {
+                from: p,
+                to: (p + 1) % n,
+                src: bufs.recv[p],
+                src_elem_off: off,
+                dst: bufs.recv[(p + 1) % n],
+                dst_elem_off: off,
+                elems: len,
+                reduce: false,
+            });
+        }
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Standalone ring all-gather. Position `p` starts owning chunk
+/// `(p - root) % n` (so with `root = 0`, position `p` owns chunk `p`; a
+/// binomial scatter from `root` produces exactly the `root`-relative
+/// ownership) and after `n-1` rounds every position holds all chunks.
+/// `elems` is the *total* output element count.
+pub fn ring_allgather_rounds(
+    ring: &Ring,
+    bufs: &RankBuffers,
+    elems: usize,
+    root: usize,
+) -> Vec<Round> {
+    let n = ring.len();
+    let mut rounds = Vec::with_capacity(n);
+    // Round 0: everyone copies its own chunk into place locally (free) —
+    // modeled by the executor pre-fill; communication rounds circulate.
+    for k in 0..n - 1 {
+        let mut round = Vec::with_capacity(n);
+        for p in 0..n {
+            let c = (p + 2 * n - root - k) % n;
+            let (off, len) = chunk_bounds(elems, n, c);
+            if len == 0 {
+                continue;
+            }
+            round.push(Transfer {
+                from: p,
+                to: (p + 1) % n,
+                src: bufs.recv[p],
+                src_elem_off: off,
+                dst: bufs.recv[(p + 1) % n],
+                dst_elem_off: off,
+                elems: len,
+                reduce: false,
+            });
+        }
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Gather the reduced chunks to the root position (one concurrent round):
+/// after a reduce-scatter, position `p` holds chunk `(p+1) % n` and sends it
+/// to `root` unless it already owns it.
+pub fn gather_to_root_round(
+    ring: &Ring,
+    bufs: &RankBuffers,
+    elems: usize,
+    root: usize,
+) -> Round {
+    let n = ring.len();
+    let mut round = Vec::new();
+    for p in 0..n {
+        let c = (p + 1) % n;
+        if p == root {
+            continue;
+        }
+        let (off, len) = chunk_bounds(elems, n, c);
+        if len == 0 {
+            continue;
+        }
+        round.push(Transfer {
+            from: p,
+            to: root,
+            src: bufs.recv[p],
+            src_elem_off: off,
+            dst: bufs.recv[root],
+            dst_elem_off: off,
+            elems: len,
+            reduce: false,
+        });
+    }
+    round
+}
+
+/// Pipelined ring broadcast from `root`: the message is cut into pipeline
+/// chunks of at most `pipe_elems`; chunk `c` leaves the root in round `c`
+/// and advances one ring position per round. Total rounds:
+/// `(n - 2) + n_chunks`.
+pub fn ring_broadcast_rounds(
+    ring: &Ring,
+    bufs: &RankBuffers,
+    elems: usize,
+    root: usize,
+    pipe_elems: usize,
+) -> Vec<Round> {
+    assert!(pipe_elems > 0);
+    let n = ring.len();
+    let n_chunks = elems.div_ceil(pipe_elems);
+    let total_rounds = (n - 2) + n_chunks;
+    let mut rounds: Vec<Round> = vec![Vec::new(); total_rounds];
+    for c in 0..n_chunks {
+        let off = c * pipe_elems;
+        let len = pipe_elems.min(elems - off);
+        // Chunk c moves from ring distance s to s+1 (from root) in round c+s.
+        for s in 0..n - 1 {
+            let from = (root + s) % n;
+            let to = (root + s + 1) % n;
+            rounds[c + s].push(Transfer {
+                from,
+                to,
+                src: bufs.recv[from],
+                src_elem_off: off,
+                dst: bufs.recv[to],
+                dst_elem_off: off,
+                elems: len,
+                reduce: false,
+            });
+        }
+    }
+    rounds
+}
+
+/// Binomial-tree reduce toward `root`: in `ceil(log2 n)` rounds every
+/// non-root position sends its (partially accumulated) full vector exactly
+/// once; `recv[root]` ends with the total. Positions are root-relative.
+/// Used by RCCL's tree algorithm for latency-bound message sizes.
+pub fn binomial_reduce_rounds(
+    ring: &Ring,
+    bufs: &RankBuffers,
+    elems: usize,
+    root: usize,
+) -> Vec<Round> {
+    let n = ring.len();
+    let mut rounds = Vec::new();
+    let mut span = 2usize;
+    while span / 2 < n {
+        let half = span / 2;
+        let mut round = Vec::new();
+        for r in (0..n).step_by(span) {
+            let peer = r + half;
+            if peer >= n {
+                continue;
+            }
+            let from = (root + peer) % n;
+            let to = (root + r) % n;
+            round.push(Transfer {
+                from,
+                to,
+                src: bufs.recv[from],
+                src_elem_off: 0,
+                dst: bufs.recv[to],
+                dst_elem_off: 0,
+                elems,
+                reduce: true,
+            });
+        }
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+        span *= 2;
+    }
+    rounds
+}
+
+/// Binomial-tree broadcast of the full vector from `root` (no chunking):
+/// `ceil(log2 n)` rounds, each position receives exactly once.
+pub fn binomial_broadcast_rounds(
+    ring: &Ring,
+    bufs: &RankBuffers,
+    elems: usize,
+    root: usize,
+) -> Vec<Round> {
+    let n = ring.len();
+    let mut rounds = Vec::new();
+    let mut span = n.next_power_of_two();
+    while span > 1 {
+        let half = span / 2;
+        let mut round = Vec::new();
+        for r in (0..n).step_by(span) {
+            let peer = r + half;
+            if peer >= n {
+                continue;
+            }
+            let from = (root + r) % n;
+            let to = (root + peer) % n;
+            round.push(Transfer {
+                from,
+                to,
+                src: bufs.recv[from],
+                src_elem_off: 0,
+                dst: bufs.recv[to],
+                dst_elem_off: 0,
+                elems,
+                reduce: false,
+            });
+        }
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+        span = half;
+    }
+    rounds
+}
+
+/// Pairwise-exchange all-to-all (an extension beyond the paper's five
+/// collectives; RCCL and MPI both offer it). Chunk `d` of position `p`'s
+/// `send` buffer is destined for position `d`; after `n-1` rounds, position
+/// `p`'s `recv` buffer holds chunk `s` from each sender `s` at slot `s`.
+/// Round `k` pairs `p` with `(p + k) % n`, so every round is a perfect
+/// matching at communication distance `k` — the standard large-message
+/// algorithm. Requires `elems % n == 0` (uniform blocks, as `MPI_Alltoall`).
+pub fn pairwise_alltoall_rounds(ring: &Ring, bufs: &RankBuffers, elems: usize) -> Vec<Round> {
+    let n = ring.len();
+    assert_eq!(elems % n, 0, "all-to-all requires uniform blocks");
+    let block = elems / n;
+    let mut rounds = Vec::with_capacity(n - 1);
+    for k in 1..n {
+        let mut round = Vec::with_capacity(n);
+        for p in 0..n {
+            let to = (p + k) % n;
+            if block == 0 {
+                continue;
+            }
+            round.push(Transfer {
+                from: p,
+                to,
+                src: bufs.send[p],
+                src_elem_off: to * block,
+                dst: bufs.recv[to],
+                dst_elem_off: p * block,
+                elems: block,
+                reduce: false,
+            });
+        }
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+    }
+    rounds
+}
+
+/// Binomial-tree scatter from `root` (MPI-style broadcast phase 1): after
+/// `ceil(log2 n)` rounds, position `p` holds chunk `(p - root) % n` of the
+/// message — pair with [`ring_allgather_rounds`] at the same `root`.
+/// Positions are *relative to root* to keep the textbook recursion.
+pub fn binomial_scatter_rounds(ring: &Ring, bufs: &RankBuffers, elems: usize, root: usize) -> Vec<Round> {
+    let n = ring.len();
+    let mut rounds = Vec::new();
+    // Each relative position r currently responsible for range of chunks
+    // [r, r + span). Initially root (r=0) owns all n chunks.
+    let mut span = n.next_power_of_two();
+    while span > 1 {
+        let half = span / 2;
+        let mut round = Vec::new();
+        for r in (0..n).step_by(span) {
+            let peer = r + half;
+            if peer >= n {
+                continue;
+            }
+            // r sends chunks [peer, min(r + span, n)) to peer.
+            let lo = chunk_bounds(elems, n, peer).0;
+            let end_chunk = (r + span).min(n) - 1;
+            let (eoff, elen) = chunk_bounds(elems, n, end_chunk);
+            let hi = eoff + elen;
+            if hi <= lo {
+                continue;
+            }
+            let from = (root + r) % n;
+            let to = (root + peer) % n;
+            round.push(Transfer {
+                from,
+                to,
+                src: bufs.recv[from],
+                src_elem_off: lo,
+                dst: bufs.recv[to],
+                dst_elem_off: lo,
+                elems: hi - lo,
+                reduce: false,
+            });
+        }
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+        span = half;
+    }
+    rounds
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // position/chunk indices mirror the algorithm notation
+mod tests {
+    use super::*;
+    use ifsim_topology::GcdId;
+
+    fn ring_of(n: usize) -> Ring {
+        Ring {
+            order: (0..n as u8).map(GcdId).collect(),
+        }
+    }
+
+    fn bufs_of(n: usize) -> RankBuffers {
+        RankBuffers {
+            send: (0..n as u64).map(BufferId).collect(),
+            recv: (100..100 + n as u64).map(BufferId).collect(),
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for elems in [0usize, 1, 7, 8, 100] {
+            for n in 1..=8 {
+                let mut total = 0;
+                let mut expected_off = 0;
+                for c in 0..n {
+                    let (off, len) = chunk_bounds(elems, n, c);
+                    assert_eq!(off, expected_off);
+                    expected_off += len;
+                    total += len;
+                }
+                assert_eq!(total, elems, "elems={elems} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_has_n_minus_1_full_rounds() {
+        let n = 8;
+        let rounds = ring_reduce_scatter_rounds(&ring_of(n), &bufs_of(n), 1024);
+        assert_eq!(rounds.len(), n - 1);
+        for r in &rounds {
+            assert_eq!(r.len(), n, "every position sends each round");
+            for t in r {
+                assert!(t.reduce);
+                assert_eq!(t.to, (t.from + 1) % n);
+                assert_eq!(t.src_elem_off, t.dst_elem_off);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_chunk_rotation_is_correct() {
+        // After the rounds, position p must have accumulated chunk (p+1)%n
+        // from every rank. Verify by tracking chunk arrivals symbolically.
+        let n = 4;
+        let elems = 16;
+        let rounds = ring_reduce_scatter_rounds(&ring_of(n), &bufs_of(n), elems);
+        // additions[p][c] = number of times chunk c arrived at p. The
+        // partially-reduced copy travels with the chunk, so each position
+        // receives every chunk except its own exactly once, and its *owned*
+        // chunk (p+1) arrives in the final round fully accumulated.
+        let mut additions = vec![vec![0usize; n]; n];
+        let mut last_arrival = vec![vec![0usize; n]; n];
+        for (k, r) in rounds.iter().enumerate() {
+            for t in r {
+                let c = (0..n)
+                    .find(|&c| chunk_bounds(elems, n, c).0 == t.src_elem_off)
+                    .unwrap();
+                additions[t.to][c] += 1;
+                last_arrival[t.to][c] = k;
+            }
+        }
+        for p in 0..n {
+            let owned = (p + 1) % n;
+            assert_eq!(additions[p][p], 0, "position {p} never receives chunk {p}");
+            for c in 0..n {
+                if c != p {
+                    assert_eq!(additions[p][c], 1, "position {p} chunk {c}");
+                }
+            }
+            assert_eq!(
+                last_arrival[p][owned],
+                n - 2,
+                "owned chunk arrives at {p} in the final round"
+            );
+        }
+    }
+
+    #[test]
+    fn allgather_rounds_distribute_every_chunk_everywhere() {
+        let n = 5;
+        let elems = 25;
+        let rounds = ring_allgather_rounds(&ring_of(n), &bufs_of(n), elems, 0);
+        assert_eq!(rounds.len(), n - 1);
+        // arrivals[p][c]: does position p receive chunk c at some round?
+        let mut has = vec![vec![false; n]; n];
+        for (p, row) in has.iter_mut().enumerate() {
+            row[p] = true; // own chunk pre-filled
+        }
+        for r in &rounds {
+            for t in r {
+                let c = (0..n)
+                    .find(|&c| chunk_bounds(elems, n, c).0 == t.src_elem_off)
+                    .unwrap();
+                has[t.to][c] = true;
+            }
+        }
+        for p in 0..n {
+            for c in 0..n {
+                assert!(has[p][c], "position {p} never receives chunk {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_pipeline_has_expected_round_count() {
+        let n = 8;
+        let rounds = ring_broadcast_rounds(&ring_of(n), &bufs_of(n), 1024, 0, 256);
+        // 4 chunks + (n-2) pipeline fill = 10 rounds.
+        assert_eq!(rounds.len(), 10);
+        // First round: only the root sends (pipeline filling).
+        assert_eq!(rounds[0].len(), 1);
+        assert_eq!(rounds[0][0].from, 0);
+        // Steady state: n-1 concurrent transfers is never exceeded.
+        for r in &rounds {
+            assert!(r.len() < n);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_all_chunks_to_all_positions() {
+        let n = 4;
+        let elems = 1000;
+        let pipe = 300;
+        let rounds = ring_broadcast_rounds(&ring_of(n), &bufs_of(n), elems, 1, pipe);
+        let mut received = vec![0usize; n]; // elements received per position
+        for r in &rounds {
+            for t in r {
+                received[t.to] += t.elems;
+            }
+        }
+        for p in 0..n {
+            if p == 1 {
+                assert_eq!(received[p], 0, "root receives nothing");
+            } else {
+                assert_eq!(received[p], elems, "position {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_round_sends_all_foreign_chunks_to_root() {
+        let n = 8;
+        let elems = 64;
+        let round = gather_to_root_round(&ring_of(n), &bufs_of(n), elems, 2);
+        assert_eq!(round.len(), n - 1);
+        let total: usize = round.iter().map(|t| t.elems).sum();
+        let (_, root_own) = chunk_bounds(elems, n, 3); // root=2 owns chunk 3
+        assert_eq!(total, elems - root_own);
+        for t in &round {
+            assert_eq!(t.to, 2);
+            assert!(!t.reduce);
+        }
+    }
+
+    #[test]
+    fn binomial_scatter_covers_all_positions_in_log_rounds() {
+        for n in [2usize, 3, 5, 8] {
+            let elems = 64;
+            let rounds = binomial_scatter_rounds(&ring_of(n), &bufs_of(n), elems, 0);
+            assert!(
+                rounds.len() <= n.next_power_of_two().trailing_zeros() as usize,
+                "n={n}: {} rounds",
+                rounds.len()
+            );
+            // Every non-root position receives its chunk range at least once.
+            let mut got = vec![0usize; n];
+            for r in &rounds {
+                for t in r {
+                    got[t.to] += t.elems;
+                }
+            }
+            for (p, &g) in got.iter().enumerate().skip(1) {
+                let (_, own) = chunk_bounds(elems, n, p);
+                assert!(g >= own, "n={n} position {p} got {g} < {own}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_reduce_every_position_sends_exactly_once() {
+        for n in [2usize, 3, 5, 8] {
+            for root in [0usize, 2 % n] {
+                let rounds = binomial_reduce_rounds(&ring_of(n), &bufs_of(n), 64, root);
+                assert!(
+                    rounds.len() <= n.next_power_of_two().trailing_zeros() as usize,
+                    "n={n}: {} rounds",
+                    rounds.len()
+                );
+                let mut sent = vec![0usize; n];
+                for t in rounds.iter().flatten() {
+                    assert!(t.reduce);
+                    assert_eq!(t.elems, 64, "full vector each hop");
+                    sent[t.from] += 1;
+                }
+                for p in 0..n {
+                    if p == root {
+                        assert_eq!(sent[p], 0, "n={n} root never sends");
+                    } else {
+                        assert_eq!(sent[p], 1, "n={n} position {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_broadcast_every_position_receives_exactly_once() {
+        for n in [2usize, 3, 5, 8] {
+            for root in [0usize, 1 % n] {
+                let rounds = binomial_broadcast_rounds(&ring_of(n), &bufs_of(n), 64, root);
+                let mut got = vec![0usize; n];
+                for t in rounds.iter().flatten() {
+                    assert!(!t.reduce);
+                    got[t.to] += 1;
+                }
+                for p in 0..n {
+                    if p == root {
+                        assert_eq!(got[p], 0, "n={n} root receives nothing");
+                    } else {
+                        assert_eq!(got[p], 1, "n={n} position {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_broadcast_senders_already_hold_the_data() {
+        // A sender in round k must be the root or have received in an
+        // earlier round — broadcast trees must respect data availability.
+        for n in [3usize, 5, 8] {
+            let root = 1;
+            let rounds = binomial_broadcast_rounds(&ring_of(n), &bufs_of(n), 8, root);
+            let mut has = vec![false; n];
+            has[root] = true;
+            for r in &rounds {
+                for t in r {
+                    assert!(has[t.from], "n={n}: position {} sent before receiving", t.from);
+                }
+                for t in r {
+                    has[t.to] = true;
+                }
+            }
+            assert!(has.iter().all(|&x| x));
+        }
+    }
+
+    #[test]
+    fn alltoall_rounds_are_perfect_matchings() {
+        let n = 8;
+        let elems = 64;
+        let rounds = pairwise_alltoall_rounds(&ring_of(n), &bufs_of(n), elems);
+        assert_eq!(rounds.len(), n - 1);
+        for (k, r) in rounds.iter().enumerate() {
+            assert_eq!(r.len(), n, "round {k} has one transfer per position");
+            // Each position appears exactly once as sender and receiver.
+            let mut senders: Vec<usize> = r.iter().map(|t| t.from).collect();
+            let mut receivers: Vec<usize> = r.iter().map(|t| t.to).collect();
+            senders.sort();
+            receivers.sort();
+            assert_eq!(senders, (0..n).collect::<Vec<_>>());
+            assert_eq!(receivers, (0..n).collect::<Vec<_>>());
+        }
+        // Every (src, dst) pair is served exactly once.
+        let mut pairs: Vec<(usize, usize)> = rounds
+            .iter()
+            .flatten()
+            .map(|t| (t.from, t.to))
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn alltoall_block_addressing_is_consistent() {
+        let n = 4;
+        let elems = 16; // block = 4
+        let rounds = pairwise_alltoall_rounds(&ring_of(n), &bufs_of(n), elems);
+        for t in rounds.iter().flatten() {
+            assert_eq!(t.src_elem_off, t.to * 4, "send slot addressed by dest");
+            assert_eq!(t.dst_elem_off, t.from * 4, "recv slot addressed by sender");
+            assert_eq!(t.elems, 4);
+            assert!(!t.reduce);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform blocks")]
+    fn alltoall_rejects_ragged_blocks() {
+        let _ = pairwise_alltoall_rounds(&ring_of(4), &bufs_of(4), 10);
+    }
+
+    #[test]
+    fn collective_metadata() {
+        assert_eq!(Collective::ALL.len(), 5);
+        assert_eq!(Collective::Reduce.passes(), 1);
+        assert_eq!(Collective::Broadcast.passes(), 1);
+        assert_eq!(Collective::AllReduce.passes(), 2);
+        assert_eq!(Collective::AllGather.name(), "AllGather");
+    }
+}

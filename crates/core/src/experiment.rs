@@ -1,0 +1,125 @@
+//! Experiment plumbing: results, checks, rendering.
+
+use ifsim_microbench::BenchConfig;
+use std::fmt::Write as _;
+
+/// One shape/value check against the paper.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// What is being checked (one sentence).
+    pub name: String,
+    /// Whether the reproduction satisfies it.
+    pub passed: bool,
+    /// Measured-vs-paper detail for the report.
+    pub detail: String,
+}
+
+impl Check {
+    /// Build a check from a predicate plus detail text.
+    pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Check {
+        Check {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The output of running one experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Registry id, e.g. `fig6b`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered tables/series, ready to print.
+    pub rendered: String,
+    /// `(file name, contents)` CSV artifacts.
+    pub csv: Vec<(String, String)>,
+    /// Paper-shape checks.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentResult {
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Render the result including the check list.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {} ===", self.id, self.title);
+        out.push_str(&self.rendered);
+        if !self.checks.is_empty() {
+            let _ = writeln!(out, "\nchecks vs. paper:");
+            for c in &self.checks {
+                let mark = if c.passed { "PASS" } else { "FAIL" };
+                let _ = writeln!(out, "  [{mark}] {} — {}", c.name, c.detail);
+            }
+        }
+        out
+    }
+}
+
+/// A registered experiment.
+pub struct Experiment {
+    /// Registry id (`table1`, `fig2`, ... `fig12`).
+    pub id: &'static str,
+    /// Human title (the paper's caption, abbreviated).
+    pub title: &'static str,
+    /// What the paper artifact shows.
+    pub description: &'static str,
+    runner: fn(&BenchConfig) -> ExperimentResult,
+}
+
+impl Experiment {
+    /// Define an experiment.
+    pub fn new(
+        id: &'static str,
+        title: &'static str,
+        description: &'static str,
+        runner: fn(&BenchConfig) -> ExperimentResult,
+    ) -> Experiment {
+        Experiment {
+            id,
+            title,
+            description,
+            runner,
+        }
+    }
+
+    /// Run it.
+    pub fn run(&self, cfg: &BenchConfig) -> ExperimentResult {
+        (self.runner)(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(_: &BenchConfig) -> ExperimentResult {
+        ExperimentResult {
+            id: "x",
+            title: "t",
+            rendered: "body\n".into(),
+            csv: vec![],
+            checks: vec![
+                Check::new("a", true, "ok"),
+                Check::new("b", false, "off"),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_shows_pass_and_fail() {
+        let e = Experiment::new("x", "t", "d", dummy);
+        let r = e.run(&BenchConfig::quick());
+        assert!(!r.all_passed());
+        let text = r.report();
+        assert!(text.contains("[PASS] a"));
+        assert!(text.contains("[FAIL] b"));
+        assert!(text.contains("body"));
+    }
+}

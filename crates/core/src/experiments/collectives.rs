@@ -1,0 +1,151 @@
+//! Figs. 11–12: GPU collective communication, MPI vs. RCCL.
+
+use crate::experiment::{Check, ExperimentResult};
+use crate::paper;
+use ifsim_coll::Collective;
+use ifsim_microbench::osu::mpi_latency_vs_ranks;
+use ifsim_microbench::rccl_tests::{fig12_series, rccl_latency_vs_ranks};
+use ifsim_microbench::report::{render_series_csv, Series};
+use ifsim_microbench::BenchConfig;
+use std::fmt::Write as _;
+
+fn render_rank_table(title: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:>10}", "partners");
+    for s in series {
+        let _ = write!(out, "{:>24}", format!("{} (us)", s.label));
+    }
+    out.push('\n');
+    for n in 2..=8u64 {
+        let _ = write!(out, "{n:>10}");
+        for s in series {
+            match s.at(n) {
+                Some(v) => {
+                    let _ = write!(out, "{v:>24.1}");
+                }
+                None => {
+                    let _ = write!(out, "{:>24}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 11: MPI vs. RCCL latency for the five collectives, 2–8 partners,
+/// 1 MiB messages.
+pub fn fig11(cfg: &BenchConfig) -> ExperimentResult {
+    let msg = paper::COLLECTIVE_MSG_BYTES;
+    let mut series = Vec::new();
+    for coll in Collective::ALL {
+        series.push(mpi_latency_vs_ranks(cfg, coll, msg));
+        series.push(rccl_latency_vs_ranks(cfg, coll, msg));
+    }
+    let rendered = render_rank_table("collective latency, MPI vs RCCL (1 MiB)", &series);
+
+    let mut checks = Vec::new();
+    for (i, coll) in Collective::ALL.iter().enumerate() {
+        let mpi = &series[2 * i];
+        let rccl = &series[2 * i + 1];
+        // The paper's headline: RCCL wins everywhere except Broadcast.
+        let rccl_wins = (2..=8u64).filter(|&n| rccl.at(n).unwrap() < mpi.at(n).unwrap()).count();
+        if *coll == Collective::Broadcast {
+            // RCCL broadcast serializes the whole message around the ring,
+            // so its deficit grows with partner count; at few partners the
+            // one or two short hops still beat CPU-staged MPI.
+            let mpi_wins_large = (5..=8u64)
+                .filter(|&n| mpi.at(n).unwrap() < rccl.at(n).unwrap())
+                .count();
+            checks.push(Check::new(
+                "MPI beats RCCL for Broadcast at scale (5-8 partners)",
+                mpi_wins_large == 4,
+                format!("MPI faster at {mpi_wins_large}/4 large rank counts"),
+            ));
+        } else {
+            checks.push(Check::new(
+                format!("RCCL beats MPI for {}", coll.name()),
+                rccl_wins >= 6,
+                format!("RCCL faster at {rccl_wins}/7 rank counts"),
+            ));
+        }
+    }
+    ExperimentResult {
+        id: "fig11",
+        title: "Collective latency: MPI vs RCCL, 2-8 partners (Fig. 11)",
+        rendered,
+        csv: vec![("fig11.csv".into(), render_series_csv("partners", &series))],
+        checks,
+    }
+}
+
+/// Fig. 12: RCCL latency per collective, 2–8 threads.
+pub fn fig12(cfg: &BenchConfig) -> ExperimentResult {
+    let msg = paper::COLLECTIVE_MSG_BYTES;
+    let series = fig12_series(cfg, msg);
+    let rendered = render_rank_table("RCCL collective latency (1 MiB)", &series);
+
+    let mut checks = Vec::new();
+    // Lower bound behaviour at two threads.
+    for s in &series {
+        if s.label.contains("AllReduce") || s.label.contains("AllGather") || s.label.contains("ReduceScatter") {
+            let v = s.at(2).unwrap();
+            checks.push(Check::new(
+                format!("{} at 2 threads is near the 17.4 us bound", s.label),
+                (paper::COLLECTIVE_DUAL_ROUND_BOUND_US * 0.7..=paper::COLLECTIVE_DUAL_ROUND_BOUND_US * 1.8).contains(&v),
+                format!("{v:.1} us"),
+            ));
+        }
+    }
+    // Latency increases above two threads.
+    for s in &series {
+        checks.push(Check::new(
+            format!("{} latency grows from 2 to 7 threads", s.label),
+            s.at(7).unwrap() > s.at(2).unwrap(),
+            format!("{:.1} -> {:.1} us", s.at(2).unwrap(), s.at(7).unwrap()),
+        ));
+    }
+    // The 7 -> 8 dip for Reduce, Broadcast, AllReduce.
+    for name in ["Reduce", "Broadcast", "AllReduce"] {
+        let s = series
+            .iter()
+            .find(|s| s.label == format!("RCCL {name}"))
+            .expect("series present");
+        checks.push(Check::new(
+            format!("{name} latency drops from 7 to 8 threads"),
+            s.at(8).unwrap() < s.at(7).unwrap(),
+            format!("{:.1} -> {:.1} us", s.at(7).unwrap(), s.at(8).unwrap()),
+        ));
+    }
+    ExperimentResult {
+        id: "fig12",
+        title: "RCCL collective latency, 2-8 threads (Fig. 12)",
+        rendered,
+        csv: vec![("fig12.csv".into(), render_series_csv("threads", &series))],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BenchConfig {
+        let mut c = BenchConfig::quick();
+        c.reps = 1;
+        c
+    }
+
+    #[test]
+    fn fig12_passes() {
+        let r = fig12(&cfg());
+        assert!(r.all_passed(), "{}", r.report());
+    }
+
+    #[test]
+    fn fig11_passes() {
+        let r = fig11(&cfg());
+        assert!(r.all_passed(), "{}", r.report());
+    }
+}

@@ -1,0 +1,235 @@
+//! Figs. 2–5: CPU-GPU data movement.
+
+use crate::experiment::{Check, ExperimentResult};
+use crate::paper;
+use ifsim_des::units::{GIB, KIB, MIB};
+use ifsim_microbench::comm_scope::{h2d_all_interfaces, h2d_peaks, H2dInterface};
+use ifsim_microbench::report::{render_series_csv, render_series_table, Series};
+use ifsim_microbench::stream::multi_gpu_host_stream;
+use ifsim_microbench::BenchConfig;
+use std::fmt::Write as _;
+
+/// The paper's Fig. 3 sweep: 4 KB to 1 GB.
+pub fn fig3_sizes() -> Vec<u64> {
+    ifsim_des::units::pow2_sweep(4 * KIB, GIB)
+}
+
+/// Fig. 2: peak achieved host-to-device bandwidth per interface.
+pub fn fig2(cfg: &BenchConfig) -> ExperimentResult {
+    let peaks = h2d_peaks(cfg, &fig3_sizes());
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<26} {:>12}", "interface", "peak (GB/s)");
+    for (label, peak) in &peaks {
+        let _ = writeln!(out, "{label:<26} {peak:>12.1}");
+    }
+    let get = |iface: H2dInterface| {
+        peaks
+            .iter()
+            .find(|(l, _)| l == iface.label())
+            .map(|&(_, p)| p)
+            .expect("interface measured")
+    };
+    let pinned = get(H2dInterface::MemcpyPinned);
+    let zc = get(H2dInterface::ManagedZeroCopy);
+    let mig = get(H2dInterface::ManagedMigration);
+    let checks = vec![
+        Check::new(
+            "pinned peak = 28.3 GB/s",
+            paper::within(pinned, paper::PINNED_PEAK_GBPS, paper::TOLERANCE),
+            format!("measured {pinned:.1}"),
+        ),
+        Check::new(
+            "managed zero-copy peak = 25.5 GB/s",
+            paper::within(zc, paper::MANAGED_ZC_PEAK_GBPS, paper::TOLERANCE),
+            format!("measured {zc:.1}"),
+        ),
+        Check::new(
+            "page migration = 2.8 GB/s",
+            paper::within(mig, paper::MIGRATION_GBPS, 2.0 * paper::TOLERANCE),
+            format!("measured {mig:.1}"),
+        ),
+        Check::new(
+            "pinned explicit copies win overall",
+            peaks.iter().all(|&(_, p)| p <= pinned),
+            format!("pinned {pinned:.1} is the maximum"),
+        ),
+    ];
+    let mut series = Vec::new();
+    for (label, peak) in &peaks {
+        let mut s = Series::new(label.clone(), "GB/s");
+        s.push(0, *peak);
+        series.push(s);
+    }
+    ExperimentResult {
+        id: "fig2",
+        title: "Peak host-to-device bandwidth per interface (Fig. 2)",
+        rendered: out,
+        csv: vec![("fig2.csv".into(), render_series_csv("peak", &series))],
+        checks,
+    }
+}
+
+/// Fig. 3: H2D bandwidth vs. transfer size, four interfaces.
+pub fn fig3(cfg: &BenchConfig) -> ExperimentResult {
+    let series = h2d_all_interfaces(cfg, &fig3_sizes());
+    let rendered = render_series_table(
+        "host-to-device bandwidth vs. transfer size",
+        "size",
+        &series,
+    );
+    let pinned = &series[0];
+    let zc = &series[2];
+    let below = 16 * MIB;
+    let above = 256 * MIB;
+    let track_below = zc.at(below).unwrap() / pinned.at(below).unwrap();
+    let gap_above = zc.at(above).unwrap() / pinned.at(above).unwrap();
+    let checks = vec![
+        Check::new(
+            "zero-copy tracks pinned below 32 MiB",
+            track_below > 0.93,
+            format!("ratio at 16 MiB: {track_below:.3}"),
+        ),
+        Check::new(
+            "pinned pulls ahead above 32 MiB",
+            gap_above < track_below && gap_above < 0.93,
+            format!("ratio at 256 MiB: {gap_above:.3}"),
+        ),
+        Check::new(
+            "migration stays flat near 2.8 GB/s at large sizes",
+            paper::within(
+                series[3].at(above).unwrap(),
+                paper::MIGRATION_GBPS,
+                2.0 * paper::TOLERANCE,
+            ),
+            format!("at 256 MiB: {:.2}", series[3].at(above).unwrap()),
+        ),
+        Check::new(
+            "pageable fluctuates below pinned",
+            series[1].peak() < pinned.peak(),
+            format!(
+                "pageable peak {:.1} vs pinned {:.1}",
+                series[1].peak(),
+                pinned.peak()
+            ),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig3",
+        title: "Host-to-device bandwidth at increasing transfer sizes (Fig. 3)",
+        rendered,
+        csv: vec![("fig3.csv".into(), render_series_csv("bytes", &series))],
+        checks,
+    }
+}
+
+const STREAM_BYTES: u64 = 64 * MIB;
+
+/// Fig. 4: dual-GCD placement strategies.
+pub fn fig4(cfg: &BenchConfig) -> ExperimentResult {
+    let one = multi_gpu_host_stream(cfg, &[0], STREAM_BYTES);
+    let same = multi_gpu_host_stream(cfg, &[0, 1], STREAM_BYTES);
+    let spread = multi_gpu_host_stream(cfg, &[0, 2], STREAM_BYTES);
+    let theory1 = 72.0;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<18} {:>12} {:>16}", "placement", "GB/s", "% of theoretical");
+    for (label, bw, theory) in [
+        ("1 GCD", one, theory1),
+        ("2 GCDs, same GPU", same, 2.0 * theory1),
+        ("2 GCDs, spread", spread, 2.0 * theory1),
+    ] {
+        let _ = writeln!(out, "{label:<18} {bw:>12.1} {:>15.1}%", 100.0 * bw / theory);
+    }
+    let checks = vec![
+        Check::new(
+            "spread placement doubles bandwidth",
+            paper::within(spread / one, 2.0, 0.10),
+            format!("{one:.1} -> {spread:.1} GB/s"),
+        ),
+        Check::new(
+            "same-GPU placement does not scale",
+            same / one < 1.10,
+            format!("{one:.1} -> {same:.1} GB/s"),
+        ),
+    ];
+    let mut series = vec![];
+    for (label, v) in [("1 GCD", one), ("same GPU", same), ("spread", spread)] {
+        let mut s = Series::new(label, "GB/s");
+        s.push(0, v);
+        series.push(s);
+    }
+    ExperimentResult {
+        id: "fig4",
+        title: "Dual-GCD CPU-GPU STREAM: same-GPU vs spread placement (Fig. 4)",
+        rendered: out,
+        csv: vec![("fig4.csv".into(), render_series_csv("placement", &series))],
+        checks,
+    }
+}
+
+/// Fig. 5: 1–8 GCD scaling with spread placement.
+pub fn fig5(cfg: &BenchConfig) -> ExperimentResult {
+    let sets: [(usize, Vec<usize>); 4] = [
+        (1, vec![0]),
+        (2, vec![0, 2]),
+        (4, vec![0, 2, 4, 6]),
+        (8, (0..8).collect()),
+    ];
+    let mut s = Series::new("total bidirectional bandwidth", "GB/s");
+    let mut theory = Series::new("theoretical", "GB/s");
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>6} {:>12} {:>14} {:>10}", "GCDs", "GB/s", "theoretical", "achieved");
+    let mut results = Vec::new();
+    for (n, devs) in &sets {
+        let bw = multi_gpu_host_stream(cfg, devs, STREAM_BYTES);
+        let th = *n as f64 * 72.0;
+        let _ = writeln!(out, "{n:>6} {bw:>12.1} {th:>14.1} {:>9.1}%", 100.0 * bw / th);
+        s.push(*n as u64, bw);
+        theory.push(*n as u64, th);
+        results.push((*n, bw));
+    }
+    let b = |n: usize| results.iter().find(|&&(m, _)| m == n).unwrap().1;
+    let checks = vec![
+        Check::new(
+            "bandwidth scales proportionally from 1 to 4 GCDs",
+            paper::within(b(4) / b(1), 4.0, 0.10) && paper::within(b(2) / b(1), 2.0, 0.10),
+            format!("1:{:.1} 2:{:.1} 4:{:.1}", b(1), b(2), b(4)),
+        ),
+        Check::new(
+            "8 GCDs do not improve on 4",
+            b(8) / b(4) < 1.05,
+            format!("4:{:.1} -> 8:{:.1}", b(4), b(8)),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig5",
+        title: "Multi-GCD CPU-GPU STREAM scaling, 1-8 GCDs (Fig. 5)",
+        rendered: out,
+        csv: vec![("fig5.csv".into(), render_series_csv("gcds", &[s, theory]))],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BenchConfig {
+        let mut c = BenchConfig::quick();
+        c.reps = 1;
+        c
+    }
+
+    #[test]
+    fn fig2_passes() {
+        let r = fig2(&cfg());
+        assert!(r.all_passed(), "{}", r.report());
+    }
+
+    #[test]
+    fn fig4_and_fig5_pass() {
+        let r4 = fig4(&cfg());
+        assert!(r4.all_passed(), "{}", r4.report());
+        let r5 = fig5(&cfg());
+        assert!(r5.all_passed(), "{}", r5.report());
+    }
+}

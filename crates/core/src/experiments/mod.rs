@@ -1,0 +1,15 @@
+//! One module per group of paper artifacts.
+//!
+//! | module | artifacts |
+//! |---|---|
+//! | [`tables`] | Fig. 1 (topology), Table I (allocation matrix), Table II (benchmark inventory) |
+//! | [`cpu_gpu`] | Figs. 2–5 (CPU-GPU bandwidth, interfaces, multi-GCD scaling) |
+//! | [`p2p`] | Figs. 6–10 (peer matrices, sweeps, direct access, MPI p2p) |
+//! | [`collectives`] | Figs. 11–12 (MPI vs. RCCL collectives) |
+//! | [`extensions`] | beyond-the-paper measurements (`ext-*` ids) |
+
+pub mod collectives;
+pub mod cpu_gpu;
+pub mod extensions;
+pub mod p2p;
+pub mod tables;

@@ -1,0 +1,343 @@
+//! Figs. 6–10: GPU peer-to-peer communication.
+
+use crate::experiment::{Check, ExperimentResult};
+use crate::paper;
+use ifsim_des::units::{GIB, MIB};
+use ifsim_microbench::comm_scope::p2p_sweep;
+use ifsim_microbench::p2p_matrix::{bandwidth_matrix, hop_matrix, latency_matrix};
+use ifsim_microbench::report::{
+    render_matrix_csv, render_series_csv, render_series_table,
+};
+use ifsim_microbench::stream::{peer_stream_peaks, peer_stream_sweep};
+use ifsim_microbench::{osu, BenchConfig};
+use std::fmt::Write as _;
+
+/// Fig. 6a: shortest-path hop matrix.
+pub fn fig6a(_cfg: &BenchConfig) -> ExperimentResult {
+    let m = hop_matrix();
+    let ones = (0..8)
+        .flat_map(|i| (0..8).map(move |j| (i, j)))
+        .filter(|&(i, j)| i < j && m.get(i, j) == Some(1.0))
+        .count();
+    let checks = vec![
+        Check::new(
+            "no pair further than two hops",
+            m.max_off_diagonal() <= 2.0,
+            format!("max {}", m.max_off_diagonal()),
+        ),
+        Check::new(
+            "twelve directly-connected pairs",
+            ones == 12,
+            format!("found {ones}"),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig6a",
+        title: "Shortest-path length between GCD pairs (Fig. 6a)",
+        rendered: m.render(),
+        csv: vec![("fig6a.csv".into(), render_matrix_csv(&m))],
+        checks,
+    }
+}
+
+/// Fig. 6b: peer-to-peer latency matrix.
+pub fn fig6b(cfg: &BenchConfig) -> ExperimentResult {
+    let m = latency_matrix(cfg);
+    let min = m.min_off_diagonal();
+    let max = m.max_off_diagonal();
+    let single_ok = [(0, 2), (1, 3), (1, 5), (3, 7), (4, 6), (5, 7)]
+        .iter()
+        .all(|&(a, b)| m.get(a, b).unwrap() < 10.0 && m.get(b, a).unwrap() < 10.0);
+    let same_gpu = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        .iter()
+        .map(|&(a, b)| m.get(a, b).unwrap())
+        .collect::<Vec<_>>();
+    let same_ok = same_gpu
+        .iter()
+        .all(|&v| v >= paper::P2P_LATENCY_SAME_GPU_US.0 - 0.4 && v <= paper::P2P_LATENCY_SAME_GPU_US.1 + 0.4);
+    let outliers_ok = [(1, 7), (3, 5), (7, 1), (5, 3)]
+        .iter()
+        .all(|&(a, b)| {
+            let v = m.get(a, b).unwrap();
+            v >= paper::P2P_LATENCY_OUTLIER_US.0 - 0.5 && v <= paper::P2P_LATENCY_OUTLIER_US.1 + 0.5
+        });
+    // And no non-outlier pair reaches the outlier band.
+    let only_those = (0..8)
+        .flat_map(|i| (0..8).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .filter(|&(i, j)| {
+            ![(1, 7), (7, 1), (3, 5), (5, 3)].contains(&(i, j))
+        })
+        .all(|(i, j)| m.get(i, j).unwrap() < paper::P2P_LATENCY_OUTLIER_US.0 - 0.5);
+    let checks = vec![
+        Check::new(
+            "latency range 8.7-18.2 us",
+            paper::within(min, paper::P2P_LATENCY_MIN_US, paper::TOLERANCE)
+                && paper::within(max, paper::P2P_LATENCY_MAX_US, paper::TOLERANCE),
+            format!("measured {min:.1}-{max:.1}"),
+        ),
+        Check::new(
+            "single-link pairs below 10 us",
+            single_ok,
+            "pairs 0-2, 1-3, 1-5, 3-7, 4-6, 5-7".to_string(),
+        ),
+        Check::new(
+            "same-package pairs in the 10.5-10.8 us band",
+            same_ok,
+            format!("{same_gpu:.2?}"),
+        ),
+        Check::new(
+            "outliers are exactly the pairs whose bw-max route is 3 hops",
+            outliers_ok && only_those,
+            "pairs 1-7 and 3-5".to_string(),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig6b",
+        title: "Peer-to-peer GPU latency matrix (Fig. 6b)",
+        rendered: m.render(),
+        csv: vec![("fig6b.csv".into(), render_matrix_csv(&m))],
+        checks,
+    }
+}
+
+/// Fig. 6c: peer-to-peer unidirectional bandwidth matrix.
+pub fn fig6c(cfg: &BenchConfig) -> ExperimentResult {
+    let m = bandwidth_matrix(cfg, 256 * MIB);
+    let mut two_level = true;
+    for i in 0..8 {
+        for j in 0..8 {
+            if i == j {
+                continue;
+            }
+            let v = m.get(i, j).unwrap();
+            if !((36.5..38.5).contains(&v) || (49.0..51.0).contains(&v)) {
+                two_level = false;
+            }
+        }
+    }
+    let same_gpu_capped = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        .iter()
+        .all(|&(a, b)| paper::within(m.get(a, b).unwrap(), paper::SDMA_CEILING_GBPS, 0.03));
+    let checks = vec![
+        Check::new(
+            "only two bandwidth levels appear (~37.5 and ~50 GB/s)",
+            two_level,
+            format!(
+                "range {:.1}-{:.1}",
+                m.min_off_diagonal(),
+                m.max_off_diagonal()
+            ),
+        ),
+        Check::new(
+            "same-package pairs are SDMA-capped at ~50, not 200 GB/s",
+            same_gpu_capped,
+            format!("e.g. 0-1: {:.1}", m.get(0, 1).unwrap()),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig6c",
+        title: "Peer-to-peer unidirectional bandwidth matrix (Fig. 6c)",
+        rendered: m.render(),
+        csv: vec![("fig6c.csv".into(), render_matrix_csv(&m))],
+        checks,
+    }
+}
+
+/// Fig. 7: `hipMemcpyPeer` bandwidth sweep from GCD0 to GCD{1,2,6}.
+pub fn fig7(cfg: &BenchConfig) -> ExperimentResult {
+    let sizes = ifsim_des::units::pow2_sweep(256, 8 * GIB);
+    let series = p2p_sweep(cfg, &[1, 2, 6], &sizes);
+    let rendered = render_series_table(
+        "hipMemcpyPeer bandwidth from GCD0",
+        "size",
+        &series,
+    );
+    // series[0] -> GCD1 (quad), series[1] -> GCD2 (single), series[2] -> GCD6 (dual).
+    let quad_util = series[0].peak() / 200.0;
+    let single_util = series[1].peak() / 50.0;
+    let dual_util = series[2].peak() / 100.0;
+    let checks = vec![
+        Check::new(
+            "single-link utilization 75 %",
+            paper::within(single_util, paper::PEER_COPY_UTIL_SINGLE, paper::TOLERANCE),
+            format!("{:.0} % ({:.1} GB/s)", 100.0 * single_util, series[1].peak()),
+        ),
+        Check::new(
+            "dual-link utilization 50 %",
+            paper::within(dual_util, paper::PEER_COPY_UTIL_DUAL, paper::TOLERANCE),
+            format!("{:.0} % ({:.1} GB/s)", 100.0 * dual_util, series[2].peak()),
+        ),
+        Check::new(
+            "quad-link utilization 25 %",
+            paper::within(quad_util, paper::PEER_COPY_UTIL_QUAD, paper::TOLERANCE),
+            format!("{:.0} % ({:.1} GB/s)", 100.0 * quad_util, series[0].peak()),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig7",
+        title: "hipMemcpyPeer bandwidth, GCD0 to adjacent GCDs (Fig. 7)",
+        rendered,
+        csv: vec![("fig7.csv".into(), render_series_csv("bytes", &series))],
+        checks,
+    }
+}
+
+/// Fig. 8: direct peer access (STREAM copy on GCD0, data on GCD{1,2,6}).
+pub fn fig8(cfg: &BenchConfig) -> ExperimentResult {
+    let sizes = ifsim_des::units::pow2_sweep(MIB, 8 * GIB);
+    let series = peer_stream_sweep(cfg, &[1, 2, 6], &sizes);
+    let rendered = render_series_table(
+        "STREAM copy on GCD0 with remote data (bidirectional)",
+        "size",
+        &series,
+    );
+    let (quad, single, dual) = (series[0].peak(), series[1].peak(), series[2].peak());
+    let checks = vec![
+        Check::new(
+            "three distinct bandwidth tiers appear",
+            quad > 1.5 * dual && dual > 1.5 * single,
+            format!("quad {quad:.0}, dual {dual:.0}, single {single:.0} GB/s"),
+        ),
+        Check::new(
+            "bandwidth grows with array size to a plateau",
+            series[0].points.first().unwrap().1 < 0.7 * quad,
+            format!(
+                "1 MiB: {:.1} vs plateau {quad:.1}",
+                series[0].points.first().unwrap().1
+            ),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig8",
+        title: "Direct peer access bandwidth vs array size (Fig. 8)",
+        rendered,
+        csv: vec![("fig8.csv".into(), render_series_csv("bytes", &series))],
+        checks,
+    }
+}
+
+/// Fig. 9: peak direct-access bandwidth and fraction of theoretical.
+pub fn fig9(cfg: &BenchConfig) -> ExperimentResult {
+    let peaks = peer_stream_peaks(cfg, &[1, 2, 6], 512 * MIB);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<28} {:>10} {:>12}", "placement", "GB/s", "of peak");
+    for (label, bw, frac) in &peaks {
+        let _ = writeln!(out, "{label:<28} {bw:>10.1} {:>11.1}%", frac * 100.0);
+    }
+    let all_in_band = peaks.iter().all(|&(_, _, f)| {
+        f >= paper::DIRECT_PEER_BIDIR_FRACTION.0 - 0.01
+            && f <= paper::DIRECT_PEER_BIDIR_FRACTION.1 + 0.01
+    });
+    let checks = vec![Check::new(
+        "all tiers achieve 43-44 % of theoretical bidirectional bandwidth",
+        all_in_band,
+        format!(
+            "{:?}",
+            peaks
+                .iter()
+                .map(|&(_, _, f)| (f * 1000.0).round() / 10.0)
+                .collect::<Vec<_>>()
+        ),
+    )];
+    ExperimentResult {
+        id: "fig9",
+        title: "Peak direct peer access vs theoretical (Fig. 9)",
+        rendered: out,
+        csv: vec![],
+        checks,
+    }
+}
+
+/// Fig. 10: MPI point-to-point bandwidth, SDMA on/off, vs direct P2P.
+pub fn fig10(cfg: &BenchConfig) -> ExperimentResult {
+    let series = osu::fig10_series(cfg);
+    let rendered = ifsim_microbench::report::render_series_table_counts(
+        "MPI unidirectional bandwidth from GCD0 (1 GiB messages)",
+        "dst GCD",
+        &series,
+    );
+    let sdma_on = &series[0];
+    let sdma_off = &series[1];
+    let direct = &series[2];
+    let sdma_capped = sdma_on.points.iter().all(|&(_, y)| y < 50.5);
+    let mut deficits = Vec::new();
+    for dst in 1..8u64 {
+        let d = 1.0 - sdma_off.at(dst).unwrap() / direct.at(dst).unwrap();
+        deficits.push(d);
+    }
+    let deficit_ok = deficits.iter().all(|&d| {
+        d >= paper::MPI_DEFICIT_VS_DIRECT.0 - 0.03 && d <= paper::MPI_DEFICIT_VS_DIRECT.1 + 0.03
+    });
+    let wide_links_gain = sdma_off.at(1).unwrap() > 2.0 * sdma_on.at(1).unwrap()
+        && sdma_off.at(6).unwrap() > 1.5 * sdma_on.at(6).unwrap();
+    let checks = vec![
+        Check::new(
+            "SDMA-enabled MPI never exceeds ~50 GB/s",
+            sdma_capped,
+            format!("max {:.1}", sdma_on.peak()),
+        ),
+        Check::new(
+            "disabling SDMA unlocks dual/quad links",
+            wide_links_gain,
+            format!(
+                "GCD1: {:.0} -> {:.0}; GCD6: {:.0} -> {:.0}",
+                sdma_on.at(1).unwrap(),
+                sdma_off.at(1).unwrap(),
+                sdma_on.at(6).unwrap(),
+                sdma_off.at(6).unwrap()
+            ),
+        ),
+        Check::new(
+            "SDMA-disabled MPI is 10-15 % below the direct copy kernel",
+            deficit_ok,
+            format!("deficits {deficits:.3?}"),
+        ),
+        Check::new(
+            "non-neighbor GCDs match neighbor bandwidth",
+            {
+                let neighbor = sdma_on.at(2).unwrap();
+                [3u64, 4, 5]
+                    .iter()
+                    .all(|&d| (sdma_on.at(d).unwrap() - neighbor).abs() / neighbor < 0.05)
+            },
+            "GCD3,4,5 vs GCD2".to_string(),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig10",
+        title: "MPI point-to-point bandwidth (Fig. 10)",
+        rendered,
+        csv: vec![("fig10.csv".into(), render_series_csv("dst_gcd", &series))],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BenchConfig {
+        let mut c = BenchConfig::quick();
+        c.reps = 1;
+        c
+    }
+
+    #[test]
+    fn fig6a_passes() {
+        let r = fig6a(&cfg());
+        assert!(r.all_passed(), "{}", r.report());
+    }
+
+    #[test]
+    fn fig9_passes() {
+        let r = fig9(&cfg());
+        assert!(r.all_passed(), "{}", r.report());
+    }
+
+    #[test]
+    fn fig10_passes() {
+        let r = fig10(&cfg());
+        assert!(r.all_passed(), "{}", r.report());
+    }
+}

@@ -1,0 +1,195 @@
+//! The experiment registry: every table and figure, runnable by id, plus
+//! the `ext-*` extension experiments.
+
+use crate::experiment::Experiment;
+use crate::experiments::{collectives, cpu_gpu, extensions, p2p, tables};
+
+/// The paper's artifacts plus the extensions, in registry order.
+pub fn all() -> Vec<Experiment> {
+    let mut v = paper_artifacts();
+    v.extend(extension_experiments());
+    v
+}
+
+/// The paper's 16 tables and figures, in paper order.
+pub fn paper_artifacts() -> Vec<Experiment> {
+    vec![
+        Experiment::new(
+            "fig1",
+            "Node topology overview",
+            "The eight-GCD / four-NUMA Infinity Fabric mesh (paper Fig. 1)",
+            tables::fig1,
+        ),
+        Experiment::new(
+            "table1",
+            "HIP memory allocation methods",
+            "Allocation API x data movement x coherence (paper Table I)",
+            tables::table1,
+        ),
+        Experiment::new(
+            "table2",
+            "Benchmark inventory",
+            "Memory types, benchmarks and interfaces (paper Table II)",
+            tables::table2,
+        ),
+        Experiment::new(
+            "fig2",
+            "Peak host-to-device bandwidth",
+            "Per-interface peaks: pinned 28.3, managed zero-copy 25.5, migration 2.8 GB/s",
+            cpu_gpu::fig2,
+        ),
+        Experiment::new(
+            "fig3",
+            "Host-to-device bandwidth sweep",
+            "4 KB - 1 GB sweep for the four interfaces, with the 32 MiB crossover",
+            cpu_gpu::fig3,
+        ),
+        Experiment::new(
+            "fig4",
+            "Dual-GCD placement strategies",
+            "Same-GPU placement does not scale; spread placement doubles bandwidth",
+            cpu_gpu::fig4,
+        ),
+        Experiment::new(
+            "fig5",
+            "Multi-GCD scaling",
+            "Proportional scaling to 4 GCDs, saturation at 8",
+            cpu_gpu::fig5,
+        ),
+        Experiment::new(
+            "fig6a",
+            "Hop matrix",
+            "Shortest-path length between all GCD pairs",
+            p2p::fig6a,
+        ),
+        Experiment::new(
+            "fig6b",
+            "Peer latency matrix",
+            "16-byte hipMemcpyPeerAsync latency, 8.7-18.2 us with (1,7)/(3,5) outliers",
+            p2p::fig6b,
+        ),
+        Experiment::new(
+            "fig6c",
+            "Peer bandwidth matrix",
+            "Two-level structure: ~37.5 GB/s single links, ~50 GB/s SDMA ceiling",
+            p2p::fig6c,
+        ),
+        Experiment::new(
+            "fig7",
+            "hipMemcpyPeer sweep",
+            "75/50/25 % utilization of single/dual/quad links",
+            p2p::fig7,
+        ),
+        Experiment::new(
+            "fig8",
+            "Direct peer access sweep",
+            "Three bandwidth tiers for kernel access to GCD{1,2,6}",
+            p2p::fig8,
+        ),
+        Experiment::new(
+            "fig9",
+            "Direct peer access peaks",
+            "43-44 % of theoretical bidirectional bandwidth on every tier",
+            p2p::fig9,
+        ),
+        Experiment::new(
+            "fig10",
+            "MPI point-to-point bandwidth",
+            "SDMA cap, the HSA_ENABLE_SDMA effect, and the 10-15 % MPI overhead",
+            p2p::fig10,
+        ),
+        Experiment::new(
+            "fig11",
+            "MPI vs RCCL collectives",
+            "RCCL wins all collectives except Broadcast at 1 MiB",
+            collectives::fig11,
+        ),
+        Experiment::new(
+            "fig12",
+            "RCCL collective scaling",
+            "Latency growth with thread count and the 7-to-8 dip",
+            collectives::fig12,
+        ),
+    ]
+}
+
+/// Measurements beyond the paper (`ext-*` ids).
+pub fn extension_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment::new(
+            "ext-d2h",
+            "Device-to-host sweep",
+            "The reverse direction of Fig. 3; CPU link symmetry",
+            extensions::ext_d2h,
+        ),
+        Experiment::new(
+            "ext-bidir",
+            "Bidirectional peer matrix",
+            "The second half of p2pBandwidthLatencyTest",
+            extensions::ext_bidir,
+        ),
+        Experiment::new(
+            "ext-coll-sweep",
+            "Collective size sweep",
+            "AllReduce latency across message sizes at 8 ranks",
+            extensions::ext_coll_sweep,
+        ),
+        Experiment::new(
+            "ext-mi300a",
+            "MI300A coherence what-if",
+            "Interface ranking when coherent memory can be cached (paper §II-C)",
+            extensions::ext_mi300a,
+        ),
+        Experiment::new(
+            "ext-a2a",
+            "AllToAll scaling",
+            "The sixth collective, 2-8 ranks",
+            extensions::ext_alltoall,
+        ),
+    ]
+}
+
+/// Look up one experiment by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+/// All registered ids, in paper order.
+pub fn ids() -> Vec<&'static str> {
+    all().into_iter().map(|e| e.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let ids = ids();
+        for expected in [
+            "fig1", "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
+            "fig6c", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(ids.len(), 21);
+        assert_eq!(paper_artifacts().len(), 16);
+        assert!(ids.iter().filter(|i| i.starts_with("ext-")).count() == 5);
+    }
+
+    #[test]
+    fn lookup_by_id_works() {
+        assert!(by_id("fig6b").is_some());
+        assert!(by_id("fig99").is_none());
+        assert_eq!(by_id("fig2").unwrap().id, "fig2");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids = ids();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

@@ -1,0 +1,302 @@
+//! The calibration model: every tunable constant of the simulator, each
+//! annotated with the paper measurement it reproduces.
+//!
+//! The paper's testbed is a real Frontier-class node; we cannot match its
+//! absolute silicon behaviour, so each mechanism's *protocol efficiency*
+//! (payload bytes per wire byte) and fixed overheads are fitted to the
+//! numbers the paper reports. Everything the experiments then *derive* —
+//! crossovers, contention collapses, ranking of interfaces — is emergent
+//! from the topology + fluid model, not hard-coded.
+
+use ifsim_des::units::{gbps, MIB};
+use ifsim_des::Dur;
+
+/// All model constants. `Calibration::default()` is the paper-fitted set;
+/// tests and ablations construct variants.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    // ---- CPU-GPU explicit copies (paper §IV-A, Figs. 2-3) ----
+    /// `hipMemcpy` from/to host-pinned memory over the 36 GB/s CPU link.
+    /// Fitted: 28.3 GB/s peak → 0.786.
+    pub eff_memcpy_pinned: f64,
+    /// `hipMemcpy` from pageable memory: mean efficiency of the staged
+    /// (page-pin + DMA) pipeline. The paper shows fluctuating results;
+    /// [`Calibration::pageable_jitter_rel`] adds the non-predictable paging
+    /// noise around this mean. Fitted to the ~55-65 % band of Fig. 3.
+    pub eff_memcpy_pageable: f64,
+    /// Relative jitter (stddev/mean) of pageable-memory copies.
+    pub pageable_jitter_rel: f64,
+    /// DMA descriptor/staging setup latency of host-path `hipMemcpy`.
+    /// Makes the bandwidth-vs-size curves of Fig. 3 ramp realistically:
+    /// pinned copies only approach their 28.3 GB/s plateau near 1 GiB, so
+    /// managed zero-copy (which has only a kernel launch to amortize) can
+    /// "approximate the behavior of pinned memory up to 32 MB" (§IV-A).
+    pub host_dma_setup: Dur,
+
+    // ---- Kernel-issued (zero-copy) access (paper §IV-A, §IV-C, §V-B) ----
+    /// GPU kernel reading/writing local HBM. Fitted: STREAM copy reaches
+    /// 1400 GB/s of the 1638.4 GB/s peak → 0.855 (paper says 87 % of
+    /// "1.6 TB/s"; against the precise peak the ratio is 0.855).
+    pub eff_kernel_hbm: f64,
+    /// GPU kernel accessing peer-GCD memory over xGMI. Fitted: Fig. 9's
+    /// 43-44 % of bidirectional theoretical = 87 % of one direction through
+    /// the duplex pool; Fig. 10's direct-P2P unidirectional ≈ 87 % of link.
+    pub eff_kernel_xgmi: f64,
+    /// GPU kernel accessing host-pinned (coherent) memory over the CPU link.
+    /// Coherent memory disables GPU-side caching (§II-C), so every access
+    /// pays the interconnect — efficiency is still high for streaming.
+    /// Fitted to keep multi-GCD STREAM (Figs. 4-5) DDR-bound: 0.80.
+    pub eff_kernel_host_pinned: f64,
+    /// GPU kernel accessing managed (zero-copy) host memory, large working
+    /// sets. Fitted: 25.5 GB/s of 36 → 0.708 (Fig. 3).
+    pub eff_kernel_host_managed: f64,
+    /// Same, for working sets at or below [`Calibration::managed_cache_crossover_bytes`]:
+    /// the paper observes managed zero-copy tracking pinned up to 32 MiB
+    /// (attributed to caching effects), then flattening lower.
+    pub eff_kernel_host_managed_cached: f64,
+    /// Working-set size where managed zero-copy efficiency drops.
+    pub managed_cache_crossover_bytes: u64,
+
+    // ---- SDMA engines (paper §V-A2) ----
+    /// Payload ceiling of one SDMA engine copy. AMD documents the engines
+    /// as tuned for PCIe-4.0 x16; the paper measures `hipMemcpyPeer`
+    /// saturating at ~50 GB/s even on 200 GB/s quad links.
+    pub sdma_payload_cap: f64,
+    /// Wire efficiency of SDMA transfers on xGMI. Fitted: 37-38 GB/s on a
+    /// single 50 GB/s link (Figs. 6c, 7) → 0.75.
+    pub eff_sdma_xgmi: f64,
+    /// Number of SDMA engines per GCD available for peer copies.
+    pub sdma_engines_per_gcd: u32,
+
+    // ---- XNACK page migration (paper §IV-A) ----
+    /// Page granularity of on-fault migration.
+    pub migration_page_bytes: u64,
+    /// Fixed cost per page fault (retry + driver + TLB shootdown).
+    /// Fitted: steady-state migration throughput 2.8 GB/s with 4 KiB pages
+    /// over a 36 GB/s link → ~1.32 µs/page of overhead.
+    pub migration_fault_overhead: Dur,
+
+    // ---- Latency model for engine-driven copies (paper Fig. 6b) ----
+    /// Base software latency of a `hipMemcpyPeer` (API + doorbell + engine).
+    pub peer_base_latency: Dur,
+    /// Added latency per hop traversed.
+    pub peer_hop_latency: Dur,
+    /// Added latency per *dual* hop (multi-lane engine setup).
+    pub peer_dual_extra: Dur,
+    /// Added latency per *quad* hop.
+    pub peer_quad_extra: Dur,
+    /// Relative jitter of latency measurements.
+    pub latency_jitter_rel: f64,
+
+    // ---- Kernel launch / host API overheads ----
+    /// Host-side cost of launching a kernel.
+    pub kernel_launch_overhead: Dur,
+    /// Host-side cost of a blocking `hipMemcpy` call (driver entry etc.).
+    pub memcpy_call_overhead: Dur,
+    /// First-touch latency of a kernel's remote access (round trip).
+    pub remote_access_latency: Dur,
+    /// Host-side cost of an asynchronous API submission (`hipMemcpyAsync`,
+    /// kernel launch call returning before completion).
+    pub host_api_overhead: Dur,
+
+    // ---- Host memory reference points (paper §IV) ----
+    /// CPU DDR4 memory latency (96 ns, §IV).
+    pub ddr_latency: Dur,
+    /// CPU aggregate DDR bandwidth (204.8 GB/s, §IV).
+    pub ddr_total_bw: f64,
+
+    // ---- MPI / RCCL software costs (paper §V-C, §VI) ----
+    /// Per-message software overhead of an MPI point-to-point beyond the
+    /// raw transfer. Fitted: SDMA-disabled MPI lands 10-15 % below the
+    /// direct copy kernel at 1 GiB (Fig. 10).
+    pub mpi_overhead_frac: f64,
+    /// Fixed per-message MPI latency (matching, protocol).
+    pub mpi_message_latency: Dur,
+    /// One-time cost to exchange and map a HIP IPC handle into another
+    /// process, paid per peer per collective call in the OSU-style loop
+    /// (the paper attributes MPI collectives' overhead to this mapping).
+    pub mpi_ipc_map_latency: Dur,
+    /// Per-step latency of MPI's CPU-side shared-memory collective path
+    /// (transfers stage device→host→device; §VI blames exactly this
+    /// "CPU-side inter-process communication" for MPI's deficit).
+    pub mpi_staged_latency: Dur,
+    /// Throughput retained per extra hop of an RCCL ring edge between GCDs
+    /// that are not directly linked (hardware-routed xGMI traffic). Drives
+    /// the Fig. 12 seven-to-eight-rank dip: generic sub-node rings contain
+    /// such edges, the full-node hardware ring does not.
+    pub rccl_store_forward_eff: f64,
+    /// RCCL per-collective launch overhead (one kernel per rank).
+    pub rccl_launch_overhead: Dur,
+    /// RCCL per-step latency within a ring round.
+    pub rccl_step_latency: Dur,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            eff_memcpy_pinned: 0.786,
+            eff_memcpy_pageable: 0.60,
+            pageable_jitter_rel: 0.12,
+            host_dma_setup: Dur::from_us(64.0),
+
+            eff_kernel_hbm: 0.855,
+            eff_kernel_xgmi: 0.87,
+            eff_kernel_host_pinned: 0.80,
+            eff_kernel_host_managed: 0.708,
+            eff_kernel_host_managed_cached: 0.715,
+            managed_cache_crossover_bytes: 32 * MIB,
+
+            sdma_payload_cap: gbps(50.0),
+            eff_sdma_xgmi: 0.75,
+            sdma_engines_per_gcd: 4,
+
+            migration_page_bytes: 4096,
+            migration_fault_overhead: Dur::from_ns(1320.0),
+
+            peer_base_latency: Dur::from_us(5.1),
+            peer_hop_latency: Dur::from_us(2.1),
+            peer_dual_extra: Dur::from_us(1.3),
+            peer_quad_extra: Dur::from_us(1.9),
+            latency_jitter_rel: 0.02,
+
+            kernel_launch_overhead: Dur::from_us(4.0),
+            memcpy_call_overhead: Dur::from_us(5.0),
+            remote_access_latency: Dur::from_us(1.5),
+            host_api_overhead: Dur::from_us(1.5),
+
+            ddr_latency: Dur::from_ns(96.0),
+            ddr_total_bw: gbps(204.8),
+
+            mpi_overhead_frac: 0.12,
+            mpi_message_latency: Dur::from_us(1.8),
+            mpi_ipc_map_latency: Dur::from_us(1.2),
+            mpi_staged_latency: Dur::from_us(2.0),
+            rccl_store_forward_eff: 0.85,
+            rccl_launch_overhead: Dur::from_us(5.0),
+            rccl_step_latency: Dur::from_us(1.45),
+        }
+    }
+}
+
+impl Calibration {
+    /// An MI300A-flavoured what-if: the paper notes (§II-C) that on APU-class
+    /// parts with cache-coherent interconnects the "no GPU caching for
+    /// coherent memory" restriction is lifted. This variant models that by
+    /// letting coherent host traffic run at device-like cache efficiency —
+    /// usable with `HipSim::with_config` and the ablation harness to ask how
+    /// much of the zero-copy penalty is the coherence protocol.
+    pub fn mi300a_like() -> Self {
+        Calibration {
+            // Coherent host access can be cached: kernel host traffic
+            // approaches the explicit-copy ceiling instead of paying the
+            // uncached penalty.
+            eff_kernel_host_pinned: 0.92,
+            eff_kernel_host_managed: 0.90,
+            eff_kernel_host_managed_cached: 0.92,
+            // Faults resolve in cache-line granularity hardware, far
+            // cheaper than the MI250X driver path.
+            migration_fault_overhead: Dur::from_ns(150.0),
+            ..Calibration::default()
+        }
+    }
+
+    /// Managed zero-copy efficiency for a given working-set size (models the
+    /// 32 MiB crossover of Fig. 3).
+    pub fn eff_managed_for_size(&self, bytes: u64) -> f64 {
+        if bytes <= self.managed_cache_crossover_bytes {
+            self.eff_kernel_host_managed_cached
+        } else {
+            self.eff_kernel_host_managed
+        }
+    }
+
+    /// Steady-state XNACK migration throughput over a link of
+    /// `link_bw` bytes/s — the paper's 2.8 GB/s emerges from the per-page
+    /// overhead, not from a hard cap.
+    pub fn migration_throughput(&self, link_bw: f64) -> f64 {
+        let page = self.migration_page_bytes as f64;
+        let per_page = page / link_bw + self.migration_fault_overhead.as_secs();
+        page / per_page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_des::units::gbps;
+
+    #[test]
+    fn pinned_memcpy_peaks_at_28_gbps() {
+        let c = Calibration::default();
+        let peak = c.eff_memcpy_pinned * gbps(36.0);
+        assert!((peak - gbps(28.3)).abs() < gbps(0.05), "{peak}");
+    }
+
+    #[test]
+    fn managed_zero_copy_peaks_at_25_5_gbps() {
+        let c = Calibration::default();
+        let peak = c.eff_kernel_host_managed * gbps(36.0);
+        assert!((peak - gbps(25.5)).abs() < gbps(0.05), "{peak}");
+    }
+
+    #[test]
+    fn managed_efficiency_crosses_over_at_32_mib() {
+        let c = Calibration::default();
+        assert_eq!(
+            c.eff_managed_for_size(32 * MIB),
+            c.eff_kernel_host_managed_cached
+        );
+        assert_eq!(
+            c.eff_managed_for_size(32 * MIB + 1),
+            c.eff_kernel_host_managed
+        );
+        assert!(c.eff_kernel_host_managed_cached > c.eff_kernel_host_managed);
+    }
+
+    #[test]
+    fn sdma_on_single_link_gives_37_5_gbps() {
+        let c = Calibration::default();
+        let single = c.eff_sdma_xgmi * gbps(50.0);
+        assert!((single - gbps(37.5)).abs() < gbps(0.01));
+        // On wider links the engine cap binds first.
+        assert!(c.sdma_payload_cap < c.eff_sdma_xgmi * gbps(100.0));
+    }
+
+    #[test]
+    fn local_stream_reaches_1400_gbps() {
+        let c = Calibration::default();
+        let bw = c.eff_kernel_hbm * crate::seg::HBM_PEAK;
+        assert!((bw - gbps(1400.0)).abs() < gbps(3.0), "{bw}");
+    }
+
+    #[test]
+    fn migration_throughput_matches_paper() {
+        let c = Calibration::default();
+        let thr = c.migration_throughput(gbps(36.0));
+        assert!((thr - gbps(2.8)).abs() < gbps(0.1), "{thr}");
+    }
+
+    #[test]
+    fn mi300a_variant_lifts_the_coherence_penalty() {
+        let base = Calibration::default();
+        let apu = Calibration::mi300a_like();
+        assert!(apu.eff_kernel_host_managed > base.eff_kernel_host_managed);
+        assert!(apu.eff_kernel_host_pinned > base.eff_kernel_host_pinned);
+        // Migration becomes hardware-cheap: throughput an order of
+        // magnitude above the MI250X's 2.8 GB/s.
+        assert!(apu.migration_throughput(gbps(36.0)) > 4.0 * base.migration_throughput(gbps(36.0)));
+        // Interconnect mechanics (SDMA, xGMI) are unchanged.
+        assert_eq!(apu.sdma_payload_cap, base.sdma_payload_cap);
+        assert_eq!(apu.eff_kernel_xgmi, base.eff_kernel_xgmi);
+    }
+
+    #[test]
+    fn duplex_kernel_access_gives_43_percent_of_bidir() {
+        // eff_kernel_xgmi through the duplex pool: total payload equals
+        // 0.87 × one direction = 43.5 % of the bidirectional theoretical.
+        let c = Calibration::default();
+        let total = c.eff_kernel_xgmi * gbps(50.0);
+        let ratio = total / gbps(100.0);
+        assert!((0.43..=0.44).contains(&ratio), "{ratio}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Flow specifications and identities.
+
+use crate::seg::SegId;
+use std::fmt;
+
+/// Identity of an active flow in a [`crate::FlowNet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// A data movement submitted to the fluid model.
+///
+/// The flow occupies *wire* capacity on every segment in `segs`
+/// simultaneously (a fluid pipeline: ingress rate = egress rate), and
+/// delivers payload at `efficiency × wire_rate`. An optional `payload_cap`
+/// models engine limits such as the SDMA engines' ~50 GB/s ceiling.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Segments traversed. Must be non-empty: a flow that touches no
+    /// resource has no defined rate (same-die copies model HBM segments).
+    pub segs: Vec<SegId>,
+    /// Payload bytes to deliver.
+    pub payload_bytes: f64,
+    /// Payload bytes delivered per wire byte moved, in `(0, 1]`. Models
+    /// protocol/packet overheads; calibrated per mechanism in
+    /// [`crate::Calibration`].
+    pub efficiency: f64,
+    /// Optional cap on the *payload* rate (bytes/s), e.g. an SDMA engine.
+    pub payload_cap: Option<f64>,
+}
+
+impl FlowSpec {
+    /// Construct and validate a spec.
+    pub fn new(segs: Vec<SegId>, payload_bytes: f64, efficiency: f64) -> Self {
+        let spec = FlowSpec {
+            segs,
+            payload_bytes,
+            efficiency,
+            payload_cap: None,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Add a payload-rate cap (builder style).
+    pub fn with_cap(mut self, payload_cap: f64) -> Self {
+        assert!(payload_cap > 0.0, "non-positive cap {payload_cap}");
+        self.payload_cap = Some(payload_cap);
+        self
+    }
+
+    /// The flow's wire-rate demand ceiling implied by its payload cap.
+    pub fn wire_cap(&self) -> f64 {
+        match self.payload_cap {
+            Some(c) => c / self.efficiency,
+            None => f64::INFINITY,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.segs.is_empty(),
+            "flow must traverse at least one segment"
+        );
+        assert!(
+            self.payload_bytes > 0.0 && self.payload_bytes.is_finite(),
+            "invalid payload {}",
+            self.payload_bytes
+        );
+        assert!(
+            self.efficiency > 0.0 && self.efficiency <= 1.0,
+            "efficiency {} outside (0, 1]",
+            self.efficiency
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_cap_inflates_by_efficiency() {
+        let f = FlowSpec::new(vec![SegId(0)], 100.0, 0.5).with_cap(10.0);
+        assert_eq!(f.wire_cap(), 20.0);
+    }
+
+    #[test]
+    fn uncapped_flow_has_infinite_wire_cap() {
+        let f = FlowSpec::new(vec![SegId(0)], 100.0, 1.0);
+        assert!(f.wire_cap().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_segment_list_rejected() {
+        let _ = FlowSpec::new(vec![], 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_efficiency_rejected() {
+        let _ = FlowSpec::new(vec![SegId(0)], 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid payload")]
+    fn zero_payload_rejected() {
+        let _ = FlowSpec::new(vec![SegId(0)], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed-latency model for engine-driven copies.
+//!
+//! The paper's Fig. 6b measures 16-byte `hipMemcpyPeerAsync` latencies in
+//! the 8.7–18.2 µs range. At that size transfer time is negligible; the
+//! measurement is pure software + per-hop engine latency. The model is
+//!
+//! ```text
+//! latency(path) = base + Σ_hops (hop + width_extra(hop))
+//! ```
+//!
+//! and the *event-measured* value the paper reports adds one host
+//! submission bubble ([`measured_peer_latency`]). Anchor points:
+//!
+//! | observation (Fig. 6b) | model (measured) value |
+//! |---|---|
+//! | single-link pairs: 8.7–10 µs | base + hop + bubble = 8.7 µs |
+//! | same-package (quad) pairs: 10.5–10.8 µs | + quad extra 1.9 µs → 10.6 |
+//! | dual pairs: not in the <10 µs set | + dual extra 1.3 µs → 10.0 |
+//! | 3-hop outliers (1,7)/(3,5): 17.8–18.2 µs | quad+dual+quad → 18.0 |
+
+use crate::calib::Calibration;
+use ifsim_des::Dur;
+use ifsim_topology::{LinkKind, NodeTopology, Path, XgmiWidth};
+
+/// Deterministic (jitter-free) engine-side `hipMemcpyPeer` latency for a
+/// routed path. The *event-measured* latency the paper reports additionally
+/// includes the host submission pipeline bubble — see
+/// [`measured_peer_latency`].
+pub fn peer_copy_latency(topo: &NodeTopology, path: &Path, calib: &Calibration) -> Dur {
+    let mut lat = calib.peer_base_latency;
+    for &lid in &path.links {
+        lat += calib.peer_hop_latency;
+        if let LinkKind::Xgmi(w) = topo.link(lid).kind {
+            lat += match w {
+                XgmiWidth::Single => Dur::ZERO,
+                XgmiWidth::Dual => calib.peer_dual_extra,
+                XgmiWidth::Quad => calib.peer_quad_extra,
+            };
+        }
+    }
+    lat
+}
+
+/// What the paper's event-timed measurement observes: the engine latency
+/// plus the host-side submission bubble between the start-event record and
+/// the copy reaching the engine (one async-API overhead).
+pub fn measured_peer_latency(topo: &NodeTopology, path: &Path, calib: &Calibration) -> Dur {
+    peer_copy_latency(topo, path, calib) + calib.host_api_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_topology::{GcdId, NodeTopology, RoutePolicy, Router};
+
+    fn lat(a: u8, b: u8) -> f64 {
+        let t = NodeTopology::frontier();
+        let r = Router::new(&t);
+        let c = Calibration::default();
+        let p = r.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+        measured_peer_latency(&t, p, &c).as_us()
+    }
+
+    #[test]
+    fn single_link_pairs_are_below_10_us() {
+        // Paper: pairs 0-2, 1-3, 1-5, 3-7, 4-6, 5-7 are below 10 µs.
+        for (a, b) in [(0, 2), (1, 3), (1, 5), (3, 7), (4, 6), (5, 7)] {
+            let l = lat(a, b);
+            assert!((8.6..10.0).contains(&l), "{a}-{b}: {l} µs");
+        }
+    }
+
+    #[test]
+    fn same_package_pairs_sit_at_10_5_to_10_8() {
+        for (a, b) in [(0, 1), (2, 3), (4, 5), (6, 7)] {
+            let l = lat(a, b);
+            assert!((10.3..10.9).contains(&l), "{a}-{b}: {l} µs");
+        }
+    }
+
+    #[test]
+    fn outlier_pairs_land_in_17_8_to_18_2() {
+        for (a, b) in [(1, 7), (3, 5)] {
+            let l = lat(a, b);
+            assert!((17.6..18.4).contains(&l), "{a}-{b}: {l} µs");
+        }
+    }
+
+    #[test]
+    fn all_pairs_within_the_papers_measured_range() {
+        // Paper: "The measured latency varies within 8.7-18.2 µs."
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                if a == b {
+                    continue;
+                }
+                let l = lat(a, b);
+                assert!((8.5..18.5).contains(&l), "{a}-{b}: {l} µs");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_matrix_is_symmetric() {
+        for a in 0..8u8 {
+            for b in (a + 1)..8 {
+                assert!((lat(a, b) - lat(b, a)).abs() < 1e-9, "{a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_latency_is_8_7_us() {
+        // The collective lower-bound analysis in §VI uses 8.7 µs as the
+        // lowest GCD-GCD latency.
+        let mut min = f64::INFINITY;
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                if a != b {
+                    min = min.min(lat(a, b));
+                }
+            }
+        }
+        assert!((min - 8.7).abs() < 0.05, "{min}");
+    }
+}

@@ -1,0 +1,420 @@
+//! The timed fluid network.
+//!
+//! [`FlowNet`] tracks active flows, their max-min fair payload rates, and
+//! delivered progress over virtual time. It is driven externally by the
+//! runtime's event loop:
+//!
+//! ```text
+//! loop {
+//!     t_queue = engine.peek_time();
+//!     t_flow  = net.peek_completion();
+//!     advance to min(t_queue, t_flow) and dispatch that side
+//! }
+//! ```
+//!
+//! Rates are recomputed on every arrival and departure, so each flow's
+//! completion estimate is only valid until the next membership change —
+//! which is exactly why completions are *peeked*, never pre-scheduled.
+
+use crate::fairshare::{max_min_rates, FlowInput};
+use crate::flow::{FlowId, FlowSpec};
+use crate::seg::SegmentMap;
+use ifsim_des::{Dur, Time};
+use std::collections::BTreeMap;
+
+struct Active {
+    spec: FlowSpec,
+    delivered: f64,
+    /// Current payload rate (bytes/s) from the latest recompute.
+    rate: f64,
+}
+
+/// Fluid network state. See module docs for the driving protocol.
+pub struct FlowNet {
+    segmap: SegmentMap,
+    flows: BTreeMap<FlowId, Active>,
+    now: Time,
+    next_id: u64,
+    recomputes: u64,
+    /// Cumulative wire bytes carried per segment (utilization accounting).
+    seg_bytes: Vec<f64>,
+}
+
+impl FlowNet {
+    /// A network over the given segments, starting at `Time::ZERO`.
+    pub fn new(segmap: SegmentMap) -> Self {
+        let n = segmap.len();
+        FlowNet {
+            segmap,
+            flows: BTreeMap::new(),
+            now: Time::ZERO,
+            next_id: 0,
+            recomputes: 0,
+            seg_bytes: vec![0.0; n],
+        }
+    }
+
+    /// The segment map this network runs over.
+    pub fn segmap(&self) -> &SegmentMap {
+        &self.segmap
+    }
+
+    /// Derate a link's capacity (fault injection). Requires an idle network
+    /// so no in-flight completion estimate is invalidated.
+    pub fn derate_link(&mut self, link: ifsim_topology::LinkId, factor: f64) {
+        assert_eq!(
+            self.active(),
+            0,
+            "derate the fabric only while no flows are active"
+        );
+        self.segmap.derate_link(link, factor);
+    }
+
+    /// Current network-local time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total rate recomputations performed (a performance counter exercised
+    /// by the Criterion component benches).
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// Start a flow at time `now` (must not precede network time).
+    pub fn add_flow(&mut self, now: Time, spec: FlowSpec) -> FlowId {
+        self.advance_to(now);
+        for &s in &spec.segs {
+            assert!(
+                s.idx() < self.segmap.len(),
+                "flow references unknown segment {s:?}"
+            );
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Active {
+                spec,
+                delivered: 0.0,
+                rate: 0.0,
+            },
+        );
+        self.recompute();
+        id
+    }
+
+    /// The earliest completion among active flows, with its flow id.
+    pub fn peek_completion(&self) -> Option<(Time, FlowId)> {
+        let mut best: Option<(Time, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            let remaining = (f.spec.payload_bytes - f.delivered).max(0.0);
+            let t = self.now + Dur::for_bytes(remaining, f.rate);
+            match best {
+                Some((bt, _)) if bt <= t => {}
+                _ => best = Some((t, id)),
+            }
+        }
+        best
+    }
+
+    /// Move network time forward, accruing delivered payload.
+    ///
+    /// Panics if `t` lies beyond the earliest pending completion by more
+    /// than a numeric epsilon — the driver must complete flows in order.
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(
+            t >= self.now,
+            "fabric time moved backwards: to {t}, now {}",
+            self.now
+        );
+        if let Some((tc, id)) = self.peek_completion() {
+            assert!(
+                t.as_ns() <= tc.as_ns() + tolerance_ns(tc),
+                "advance_to({t}) skips completion of {id:?} at {tc}"
+            );
+        }
+        let dt = (t - self.now).as_secs();
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                f.delivered = (f.delivered + f.rate * dt).min(f.spec.payload_bytes);
+                // Wire bytes = payload / efficiency, charged to every
+                // traversed segment.
+                let wire = f.rate * dt / f.spec.efficiency;
+                for s in &f.spec.segs {
+                    self.seg_bytes[s.idx()] += wire;
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Cumulative wire bytes carried by a segment since construction.
+    pub fn seg_wire_bytes(&self, seg: crate::seg::SegId) -> f64 {
+        self.seg_bytes[seg.idx()]
+    }
+
+    /// Mean utilization of a segment over `[0, now]`: carried wire bytes
+    /// divided by capacity × elapsed time. Zero before any time passes.
+    pub fn seg_utilization(&self, seg: crate::seg::SegId) -> f64 {
+        let elapsed = self.now.as_secs();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.seg_bytes[seg.idx()] / (self.segmap.capacity(seg) * elapsed)
+    }
+
+    /// Advance to the earliest completion and remove that flow.
+    /// Returns `(completion_time, flow_id)`, or `None` if the net is idle.
+    pub fn complete_next(&mut self) -> Option<(Time, FlowId)> {
+        let (t, id) = self.peek_completion()?;
+        self.advance_to(t);
+        let f = self.flows.remove(&id).expect("peeked flow exists");
+        debug_assert!(
+            (f.delivered - f.spec.payload_bytes).abs()
+                <= 1e-6 * f.spec.payload_bytes.max(1.0),
+            "flow completed with {} of {} bytes delivered",
+            f.delivered,
+            f.spec.payload_bytes
+        );
+        self.recompute();
+        Some((t, id))
+    }
+
+    /// Cancel a flow (used for failure-injection tests); returns delivered bytes.
+    pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
+        let f = self.flows.remove(&id)?;
+        self.recompute();
+        Some(f.delivered)
+    }
+
+    /// Current payload rate of a flow, bytes/s.
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Run a single flow to completion from `now`, returning its duration.
+    /// Convenience for tests and simple one-shot transfers.
+    pub fn run_exclusive(&mut self, now: Time, spec: FlowSpec) -> Dur {
+        assert_eq!(self.active(), 0, "run_exclusive requires an idle network");
+        let start = now.max(self.now);
+        self.add_flow(start, spec);
+        let (end, _) = self.complete_next().expect("flow just added");
+        end - start
+    }
+
+    fn recompute(&mut self) {
+        self.recomputes += 1;
+        if self.flows.is_empty() {
+            return;
+        }
+        let caps: Vec<f64> = (0..self.segmap.len())
+            .map(|i| self.segmap.capacity(crate::seg::SegId(i as u32)))
+            .collect();
+        let seg_lists: Vec<Vec<u32>> = self
+            .flows
+            .values()
+            .map(|f| f.spec.segs.iter().map(|s| s.0).collect())
+            .collect();
+        let inputs: Vec<FlowInput<'_>> = self
+            .flows
+            .values()
+            .zip(seg_lists.iter())
+            .map(|(f, segs)| FlowInput {
+                segs,
+                wire_cap: f.spec.wire_cap(),
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &inputs);
+        for (f, wire_rate) in self.flows.values_mut().zip(rates) {
+            f.rate = wire_rate * f.spec.efficiency;
+        }
+    }
+}
+
+/// Numeric tolerance for completion-ordering asserts: relative to the
+/// magnitude of the timestamp, since f64 resolution degrades with scale.
+fn tolerance_ns(t: Time) -> f64 {
+    1e-3 + t.as_ns() * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::SegId;
+    use ifsim_des::units::gbps;
+    use ifsim_topology::{GcdId, NodeTopology, RoutePolicy, Router};
+
+    fn net() -> (NodeTopology, Router, FlowNet) {
+        let t = NodeTopology::frontier();
+        let r = Router::new(&t);
+        let n = FlowNet::new(SegmentMap::new(&t));
+        (t, r, n)
+    }
+
+    fn peer_segs(
+        t: &NodeTopology,
+        r: &Router,
+        n: &FlowNet,
+        a: u8,
+        b: u8,
+        duplex: bool,
+    ) -> Vec<SegId> {
+        let p = r.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+        n.segmap().path_segments(t, p, duplex)
+    }
+
+    #[test]
+    fn single_flow_runs_at_bottleneck_times_efficiency() {
+        let (t, r, mut n) = net();
+        // GCD0 -> GCD2 over the single link (50 GB/s), efficiency 0.75:
+        // 1 GB should take 1e9 / 37.5e9 s.
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let d = n.run_exclusive(Time::ZERO, FlowSpec::new(segs, 1e9, 0.75));
+        let expect = 1e9 / (0.75 * gbps(50.0));
+        assert!((d.as_secs() - expect).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn payload_cap_binds_on_wide_links() {
+        let (t, r, mut n) = net();
+        // Quad link (200 GB/s) with an SDMA-like 50 GB/s payload cap.
+        let segs = peer_segs(&t, &r, &n, 0, 1, false);
+        let d = n.run_exclusive(
+            Time::ZERO,
+            FlowSpec::new(segs, 1e9, 0.75).with_cap(gbps(50.0)),
+        );
+        let expect = 1e9 / gbps(50.0);
+        assert!((d.as_secs() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let f1 = n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 1e9, 1.0));
+        let f2 = n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        assert!((n.rate_of(f1).unwrap() - gbps(25.0)).abs() < 1.0);
+        assert!((n.rate_of(f2).unwrap() - gbps(25.0)).abs() < 1.0);
+        // Equal flows finish together; completing both works.
+        let (t1, _) = n.complete_next().unwrap();
+        let (t2, _) = n.complete_next().unwrap();
+        assert!(t2 >= t1);
+        assert_eq!(n.active(), 0);
+    }
+
+    #[test]
+    fn departing_flow_frees_capacity() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        // Short flow and long flow: after the short one leaves, the long
+        // one speeds up; total time reflects the speedup.
+        let _short = n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 0.5e9, 1.0));
+        let long = n.add_flow(Time::ZERO, FlowSpec::new(segs, 1.5e9, 1.0));
+        let (t1, _) = n.complete_next().unwrap();
+        // Short: 0.5 GB at 25 GB/s = 20 ms.
+        assert!((t1.as_secs() - 0.02).abs() < 1e-9);
+        // Long delivered 0.5 GB so far; remaining 1.0 GB at 50 GB/s = 20 ms.
+        assert!((n.rate_of(long).unwrap() - gbps(50.0)).abs() < 1.0);
+        let (t2, id2) = n.complete_next().unwrap();
+        assert_eq!(id2, long);
+        assert!((t2.as_secs() - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend_without_duplex() {
+        let (t, r, mut n) = net();
+        let ab = peer_segs(&t, &r, &n, 0, 2, false);
+        let ba = peer_segs(&t, &r, &n, 2, 0, false);
+        let f1 = n.add_flow(Time::ZERO, FlowSpec::new(ab, 1e9, 1.0));
+        let f2 = n.add_flow(Time::ZERO, FlowSpec::new(ba, 1e9, 1.0));
+        assert!((n.rate_of(f1).unwrap() - gbps(50.0)).abs() < 1.0);
+        assert!((n.rate_of(f2).unwrap() - gbps(50.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn duplex_pool_halves_bidirectional_kernel_traffic() {
+        // The Fig. 9 mechanism: read+write kernel flows over one xGMI link
+        // share the duplex pool, each getting half a direction's wire.
+        let (t, r, mut n) = net();
+        let ab = peer_segs(&t, &r, &n, 0, 2, true);
+        let ba = peer_segs(&t, &r, &n, 2, 0, true);
+        let f1 = n.add_flow(Time::ZERO, FlowSpec::new(ab, 1e9, 0.87));
+        let f2 = n.add_flow(Time::ZERO, FlowSpec::new(ba, 1e9, 0.87));
+        let each = 0.87 * gbps(25.0);
+        assert!((n.rate_of(f1).unwrap() - each).abs() < 1.0);
+        assert!((n.rate_of(f2).unwrap() - each).abs() < 1.0);
+    }
+
+    #[test]
+    fn cancel_removes_flow_and_reports_progress() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let id = n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        n.advance_to(Time::from_ns(1e6)); // 1 ms at 50 GB/s = 50 MB
+        let delivered = n.cancel(id).unwrap();
+        assert!((delivered - 50e6).abs() < 1.0);
+        assert_eq!(n.active(), 0);
+        assert!(n.cancel(id).is_none());
+    }
+
+    #[test]
+    fn peek_matches_complete() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 6, false);
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 2e9, 1.0));
+        let (tp, idp) = n.peek_completion().unwrap();
+        let (tc, idc) = n.complete_next().unwrap();
+        assert_eq!(tp, tc);
+        assert_eq!(idp, idc);
+    }
+
+    #[test]
+    #[should_panic(expected = "skips completion")]
+    fn advancing_past_a_completion_panics() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 1.0));
+        n.advance_to(Time::from_ns(1e9));
+    }
+
+    #[test]
+    fn idle_network_has_no_completion() {
+        let (_, _, n) = net();
+        assert!(n.peek_completion().is_none());
+    }
+
+    #[test]
+    fn segment_accounting_tracks_wire_bytes() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let seg = segs[0];
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 0.5));
+        n.complete_next().unwrap();
+        // 1 GB payload at 0.5 efficiency = 2 GB of wire.
+        assert!((n.seg_wire_bytes(seg) - 2e9).abs() < 1.0);
+        // The flow ran at full link rate the whole time: utilization 1.0.
+        assert!((n.seg_utilization(seg) - 1.0).abs() < 1e-9);
+        // Untouched segments carried nothing.
+        let other = n.segmap().hbm_seg(GcdId(7));
+        assert_eq!(n.seg_wire_bytes(other), 0.0);
+        assert_eq!(n.seg_utilization(other), 0.0);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_time() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let seg = segs[0];
+        // 20 ms transfer, then 20 ms of idle: 50 % mean utilization.
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        n.complete_next().unwrap();
+        n.advance_to(Time::from_ns(40e6));
+        assert!((n.seg_utilization(seg) - 0.5).abs() < 1e-9);
+    }
+}

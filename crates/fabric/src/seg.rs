@@ -1,0 +1,315 @@
+//! Resource segments: the capacity-bearing entities of the fluid model.
+//!
+//! A [`SegmentMap`] is built once from a `NodeTopology` and assigns a dense
+//! [`SegId`] to every resource:
+//!
+//! | segment | count (Frontier node) | wire capacity |
+//! |---|---|---|
+//! | link direction | 2 × 26 links | link peak per direction |
+//! | xGMI duplex pool | 12 | link peak per direction |
+//! | GCD HBM | 8 | 1638.4 GB/s |
+//! | NUMA DDR | 4 | 51.2 GB/s |
+//!
+//! The duplex pool is traversed only by kernel-issued remote-access flows
+//! (see crate docs); SDMA engine copies bypass it.
+
+use ifsim_topology::{GcdId, LinkId, LinkKind, NodeTopology, NumaId, Path, PortId};
+use std::collections::BTreeMap;
+
+/// Traversal direction of an undirected topology link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// From the link's canonical endpoint `a` to `b`.
+    Forward,
+    /// From `b` to `a`.
+    Backward,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Forward => Dir::Backward,
+            Dir::Backward => Dir::Forward,
+        }
+    }
+}
+
+/// Dense index of a resource segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegId(pub u32);
+
+impl SegId {
+    /// Index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Immutable map from topology entities to segments and their capacities.
+#[derive(Clone, Debug)]
+pub struct SegmentMap {
+    /// Wire capacity (bytes/s) of each segment, indexed by `SegId`.
+    caps: Vec<f64>,
+    /// Human-readable label per segment (diagnostics).
+    labels: Vec<String>,
+    dir_segs: BTreeMap<(LinkId, Dir), SegId>,
+    duplex_segs: BTreeMap<LinkId, SegId>,
+    hbm_segs: BTreeMap<GcdId, SegId>,
+    ddr_segs: BTreeMap<NumaId, SegId>,
+}
+
+/// Peak HBM2e bandwidth per GCD (paper §II: 1.6 TB/s, precisely 1638.4 GB/s).
+pub const HBM_PEAK: f64 = 1638.4e9;
+
+/// DDR4 bandwidth available per NUMA domain. The CPU's aggregate is
+/// 204.8 GB/s (paper §IV) across four domains.
+pub const DDR_PER_NUMA: f64 = 51.2e9;
+
+impl SegmentMap {
+    /// Build segments for a topology. Panics if the topology fails
+    /// structural validation.
+    pub fn new(topo: &NodeTopology) -> Self {
+        ifsim_topology::validate::check(topo).expect("fabric requires a valid topology");
+        let mut caps = Vec::new();
+        let mut labels = Vec::new();
+        let mut add = |cap: f64, label: String| -> SegId {
+            let id = SegId(caps.len() as u32);
+            caps.push(cap);
+            labels.push(label);
+            id
+        };
+
+        let mut dir_segs = BTreeMap::new();
+        let mut duplex_segs = BTreeMap::new();
+        for (i, link) in topo.links().iter().enumerate() {
+            let lid = LinkId(i as u32);
+            let per_dir = link.kind.peak_per_dir();
+            dir_segs.insert(
+                (lid, Dir::Forward),
+                add(per_dir, format!("{:?}->{:?}", link.a, link.b)),
+            );
+            dir_segs.insert(
+                (lid, Dir::Backward),
+                add(per_dir, format!("{:?}->{:?}", link.b, link.a)),
+            );
+            if matches!(link.kind, LinkKind::Xgmi(_)) {
+                duplex_segs.insert(
+                    lid,
+                    add(per_dir, format!("duplex {:?}<->{:?}", link.a, link.b)),
+                );
+            }
+        }
+        let mut hbm_segs = BTreeMap::new();
+        for gcd in topo.gcds() {
+            hbm_segs.insert(gcd, add(HBM_PEAK, format!("HBM {gcd}")));
+        }
+        let mut ddr_segs = BTreeMap::new();
+        for numa in topo.numa_domains() {
+            ddr_segs.insert(numa, add(DDR_PER_NUMA, format!("DDR {numa}")));
+        }
+        SegmentMap {
+            caps,
+            labels,
+            dir_segs,
+            duplex_segs,
+            hbm_segs,
+            ddr_segs,
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Whether the map is empty (never true for a valid topology).
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// Wire capacity of a segment, bytes/s.
+    pub fn capacity(&self, seg: SegId) -> f64 {
+        self.caps[seg.idx()]
+    }
+
+    /// Scale one segment's capacity (fault injection / degraded links).
+    pub fn scale_capacity(&mut self, seg: SegId, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite(), "bad derate factor {factor}");
+        self.caps[seg.idx()] *= factor;
+    }
+
+    /// Derate every segment of a link (both directions and, for xGMI, the
+    /// duplex pool) — models a link that retrained at reduced speed.
+    pub fn derate_link(&mut self, link: LinkId, factor: f64) {
+        self.scale_capacity(self.dir_seg(link, Dir::Forward), factor);
+        self.scale_capacity(self.dir_seg(link, Dir::Backward), factor);
+        if let Some(d) = self.duplex_seg(link) {
+            self.scale_capacity(d, factor);
+        }
+    }
+
+    /// Diagnostic label of a segment.
+    pub fn label(&self, seg: SegId) -> &str {
+        &self.labels[seg.idx()]
+    }
+
+    /// The directed segment for traversing `link` in direction `dir`.
+    pub fn dir_seg(&self, link: LinkId, dir: Dir) -> SegId {
+        self.dir_segs[&(link, dir)]
+    }
+
+    /// The duplex pool of an xGMI link (`None` for CPU/NUMA links).
+    pub fn duplex_seg(&self, link: LinkId) -> Option<SegId> {
+        self.duplex_segs.get(&link).copied()
+    }
+
+    /// The HBM segment of a GCD.
+    pub fn hbm_seg(&self, gcd: GcdId) -> SegId {
+        self.hbm_segs[&gcd]
+    }
+
+    /// The DDR segment of a NUMA domain.
+    pub fn ddr_seg(&self, numa: NumaId) -> SegId {
+        self.ddr_segs[&numa]
+    }
+
+    /// Directed segments traversed by a routed path, in order.
+    ///
+    /// `include_duplex` adds the per-xGMI-link duplex pool; set it for
+    /// kernel-issued remote access, leave it off for SDMA engine copies.
+    pub fn path_segments(&self, topo: &NodeTopology, path: &Path, include_duplex: bool) -> Vec<SegId> {
+        let mut segs = Vec::with_capacity(path.links.len() * 2);
+        for (i, &lid) in path.links.iter().enumerate() {
+            let spec = topo.link(lid);
+            let dir = if spec.a == path.ports[i] {
+                Dir::Forward
+            } else {
+                debug_assert_eq!(spec.b, path.ports[i]);
+                Dir::Backward
+            };
+            segs.push(self.dir_seg(lid, dir));
+            if include_duplex {
+                if let Some(d) = self.duplex_seg(lid) {
+                    segs.push(d);
+                }
+            }
+        }
+        segs
+    }
+
+    /// The memory segment backing a port: HBM for GCDs, DDR for NUMA domains.
+    pub fn memory_seg(&self, port: PortId) -> SegId {
+        match port {
+            PortId::Gcd(g) => self.hbm_seg(g),
+            PortId::Numa(n) => self.ddr_seg(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_topology::{GcdId, RoutePolicy, Router};
+
+    fn setup() -> (NodeTopology, SegmentMap) {
+        let t = NodeTopology::frontier();
+        let m = SegmentMap::new(&t);
+        (t, m)
+    }
+
+    #[test]
+    fn segment_counts_for_frontier() {
+        let (t, m) = setup();
+        // 26 links × 2 directions + 12 xGMI duplex + 8 HBM + 4 DDR.
+        assert_eq!(t.links().len(), 26);
+        assert_eq!(m.len(), 26 * 2 + 12 + 8 + 4);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn capacities_match_link_kinds() {
+        let (t, m) = setup();
+        for (i, l) in t.links().iter().enumerate() {
+            let lid = LinkId(i as u32);
+            for dir in [Dir::Forward, Dir::Backward] {
+                assert_eq!(m.capacity(m.dir_seg(lid, dir)), l.kind.peak_per_dir());
+            }
+        }
+        assert_eq!(m.capacity(m.hbm_seg(GcdId(0))), HBM_PEAK);
+        assert_eq!(m.capacity(m.ddr_seg(NumaId(2))), DDR_PER_NUMA);
+    }
+
+    #[test]
+    fn duplex_pools_only_on_xgmi() {
+        let (t, m) = setup();
+        for (i, l) in t.links().iter().enumerate() {
+            let lid = LinkId(i as u32);
+            assert_eq!(
+                m.duplex_seg(lid).is_some(),
+                matches!(l.kind, LinkKind::Xgmi(_)),
+                "{l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn opposite_directions_get_distinct_segments() {
+        let (t, m) = setup();
+        for i in 0..t.links().len() {
+            let lid = LinkId(i as u32);
+            assert_ne!(m.dir_seg(lid, Dir::Forward), m.dir_seg(lid, Dir::Backward));
+        }
+    }
+
+    #[test]
+    fn path_segments_follow_traversal_direction() {
+        let (t, m) = setup();
+        let r = Router::new(&t);
+        let ab = r.gcd_route(GcdId(0), GcdId(1), RoutePolicy::MaxBandwidth);
+        let ba = r.gcd_route(GcdId(1), GcdId(0), RoutePolicy::MaxBandwidth);
+        let s_ab = m.path_segments(&t, ab, false);
+        let s_ba = m.path_segments(&t, ba, false);
+        assert_eq!(s_ab.len(), 1);
+        assert_eq!(s_ba.len(), 1);
+        // Same link, opposite directions: different segments.
+        assert_ne!(s_ab[0], s_ba[0]);
+    }
+
+    #[test]
+    fn duplex_inclusion_adds_one_segment_per_xgmi_hop() {
+        let (t, m) = setup();
+        let r = Router::new(&t);
+        let p = r.gcd_route(GcdId(1), GcdId(7), RoutePolicy::MaxBandwidth);
+        assert_eq!(p.hops(), 3);
+        assert_eq!(m.path_segments(&t, p, false).len(), 3);
+        assert_eq!(m.path_segments(&t, p, true).len(), 6);
+    }
+
+    #[test]
+    fn both_directions_share_one_duplex_pool() {
+        let (t, m) = setup();
+        let r = Router::new(&t);
+        let ab = r.gcd_route(GcdId(0), GcdId(1), RoutePolicy::MaxBandwidth);
+        let ba = r.gcd_route(GcdId(1), GcdId(0), RoutePolicy::MaxBandwidth);
+        let s_ab = m.path_segments(&t, ab, true);
+        let s_ba = m.path_segments(&t, ba, true);
+        // Each: [direction, duplex]; duplex shared.
+        assert_eq!(s_ab[1], s_ba[1]);
+    }
+
+    #[test]
+    fn memory_seg_dispatches_on_port_kind() {
+        let (_, m) = setup();
+        assert_eq!(m.memory_seg(PortId::Gcd(GcdId(3))), m.hbm_seg(GcdId(3)));
+        assert_eq!(m.memory_seg(PortId::Numa(NumaId(1))), m.ddr_seg(NumaId(1)));
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let (_, m) = setup();
+        assert!(m.label(m.hbm_seg(GcdId(5))).contains("GCD5"));
+        assert!(m.label(m.ddr_seg(NumaId(0))).contains("NUMA0"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the fluid network: feasibility, work conservation,
+//! and robustness under random arrival/cancel/completion interleavings.
+
+use ifsim_des::Time;
+use ifsim_fabric::fairshare::{max_min_rates, FlowInput};
+use ifsim_fabric::{FlowNet, FlowSpec, SegmentMap};
+use ifsim_topology::{GcdId, NodeTopology, RoutePolicy, Router};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Max-min fairness on arbitrary segment graphs: feasible, cap-bounded,
+    /// and Pareto (every flow is pinned by a tight cap or a saturated
+    /// segment).
+    #[test]
+    fn max_min_is_feasible_and_pareto(
+        caps in proptest::collection::vec(1f64..1e3, 1..8),
+        flow_defs in proptest::collection::vec(
+            (proptest::collection::vec(0u32..8, 1..4), 0.5f64..1e4),
+            1..12
+        ),
+    ) {
+        let nsegs = caps.len() as u32;
+        let mut seg_lists: Vec<Vec<u32>> = Vec::new();
+        let mut wire_caps = Vec::new();
+        for (segs, cap) in &flow_defs {
+            let mut s: Vec<u32> = segs.iter().map(|x| x % nsegs).collect();
+            s.sort();
+            s.dedup();
+            seg_lists.push(s);
+            // A third of flows are uncapped.
+            wire_caps.push(if *cap > 6e3 { f64::INFINITY } else { *cap });
+        }
+        let flows: Vec<FlowInput<'_>> = seg_lists
+            .iter()
+            .zip(&wire_caps)
+            .map(|(s, &c)| FlowInput { segs: s, wire_cap: c })
+            .collect();
+        let rates = max_min_rates(&caps, &flows);
+
+        // Feasibility + cap respect.
+        const EPS: f64 = 1e-6;
+        for (s, &cap) in caps.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.segs.contains(&(s as u32)))
+                .map(|(_, &r)| r)
+                .sum();
+            prop_assert!(load <= cap * (1.0 + EPS), "segment {s}: {load} > {cap}");
+        }
+        for (f, &r) in flows.iter().zip(&rates) {
+            prop_assert!(r > 0.0);
+            prop_assert!(r <= f.wire_cap * (1.0 + EPS));
+        }
+        // Pareto: each flow is capped or crosses a saturated segment.
+        for (i, (f, &r)) in flows.iter().zip(&rates).enumerate() {
+            let capped = f.wire_cap.is_finite() && r >= f.wire_cap * (1.0 - 1e-4);
+            let saturated = f.segs.iter().any(|&s| {
+                let load: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(g, _)| g.segs.contains(&s))
+                    .map(|(_, &x)| x)
+                    .sum();
+                load >= caps[s as usize] * (1.0 - 1e-4)
+            });
+            prop_assert!(capped || saturated, "flow {i} could still grow");
+        }
+    }
+
+    /// The network conserves bytes under random interleavings of arrivals,
+    /// cancellations, and completions: delivered + cancelled-progress
+    /// accounts for every payload byte exactly once.
+    #[test]
+    fn flownet_conserves_bytes_under_churn(
+        ops in proptest::collection::vec((0u8..3, 0u8..8, 0u8..8, 1u32..50), 1..30),
+    ) {
+        let topo = NodeTopology::frontier();
+        let router = Router::new(&topo);
+        let mut net = FlowNet::new(SegmentMap::new(&topo));
+        let mut live: Vec<(ifsim_fabric::FlowId, f64)> = Vec::new();
+        let mut completed_bytes = 0.0;
+        let mut cancelled_bytes = 0.0;
+        let mut submitted_bytes = 0.0;
+
+        for (op, a, b, kb) in ops {
+            match op {
+                // Arrival.
+                0 => {
+                    let (a, b) = (a % 8, b % 8);
+                    if a == b {
+                        continue;
+                    }
+                    let p = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+                    let segs = net.segmap().path_segments(&topo, p, false);
+                    let bytes = kb as f64 * 1024.0;
+                    let id = net.add_flow(net.now(), FlowSpec::new(segs, bytes, 0.9));
+                    live.push((id, bytes));
+                    submitted_bytes += bytes;
+                }
+                // Complete the earliest.
+                1 => {
+                    if let Some((t, id)) = net.complete_next() {
+                        prop_assert!(t >= Time::ZERO);
+                        let pos = live.iter().position(|&(l, _)| l == id).unwrap();
+                        completed_bytes += live.remove(pos).1;
+                    }
+                }
+                // Cancel a pseudo-random live flow.
+                _ => {
+                    if !live.is_empty() {
+                        let pos = (a as usize + b as usize) % live.len();
+                        let (id, bytes) = live.remove(pos);
+                        let delivered = net.cancel(id).unwrap();
+                        prop_assert!(delivered <= bytes * (1.0 + 1e-9));
+                        cancelled_bytes += bytes;
+                    }
+                }
+            }
+        }
+        // Drain.
+        while let Some((_, id)) = net.complete_next() {
+            let pos = live.iter().position(|&(l, _)| l == id).unwrap();
+            completed_bytes += live.remove(pos).1;
+        }
+        prop_assert!(live.is_empty());
+        prop_assert_eq!(net.active(), 0);
+        prop_assert!(
+            (completed_bytes + cancelled_bytes - submitted_bytes).abs() < 1e-6,
+            "bytes accounted once"
+        );
+    }
+
+    /// Completion times never decrease as the driver pulls them, whatever
+    /// the flow mix.
+    #[test]
+    fn completions_are_monotone(sizes in proptest::collection::vec(1u32..10_000, 1..20)) {
+        let topo = NodeTopology::frontier();
+        let router = Router::new(&topo);
+        let mut net = FlowNet::new(SegmentMap::new(&topo));
+        for (i, &kb) in sizes.iter().enumerate() {
+            let a = (i % 8) as u8;
+            let b = ((i + 1 + i / 8) % 8) as u8;
+            if a == b {
+                continue;
+            }
+            let p = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+            let segs = net.segmap().path_segments(&topo, p, true);
+            net.add_flow(net.now(), FlowSpec::new(segs, kb as f64 * 1024.0, 0.87));
+        }
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = net.complete_next() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+}

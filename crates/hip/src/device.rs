@@ -1,0 +1,182 @@
+//! Logical devices and their properties.
+//!
+//! Each GCD is presented as an independent GPU (paper §II). A logical
+//! [`DeviceId`] indexes the *visible* device list, which
+//! `HIP_VISIBLE_DEVICES` may filter and reorder relative to physical GCDs.
+
+use crate::env::EnvConfig;
+use crate::error::{HipError, HipResult};
+use ifsim_des::units::GIB;
+use ifsim_topology::{GcdId, NodeTopology};
+
+/// Logical device ordinal (index into the visible-device list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+impl DeviceId {
+    /// Index as usize.
+    pub fn idx(self) -> usize {
+        self.0
+    }
+}
+
+/// What `hipGetDeviceProperties` reports for one GCD of an MI250X
+/// (paper §II plus AMD's published microarchitecture numbers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProps {
+    /// Marketing name.
+    pub name: String,
+    /// HBM2e capacity in bytes (64 GiB per GCD).
+    pub total_mem: u64,
+    /// Peak memory bandwidth, bytes/s (1.6 TB/s class).
+    pub mem_bandwidth: f64,
+    /// Compute units per GCD.
+    pub compute_units: u32,
+    /// L2 cache size (8 MiB, shared by all CUs of the GCD).
+    pub l2_cache: u64,
+    /// The physical GCD behind this logical device.
+    pub gcd: GcdId,
+    /// NUMA domain of the directly attached CPU memory.
+    pub numa_node: u8,
+}
+
+/// The visible-device table.
+#[derive(Clone, Debug)]
+pub struct DeviceTable {
+    gcds: Vec<GcdId>,
+}
+
+impl DeviceTable {
+    /// Build from the environment's visibility setting.
+    pub fn new(topo: &NodeTopology, env: &EnvConfig) -> HipResult<Self> {
+        let all: Vec<GcdId> = topo.gcds().collect();
+        let gcds = match &env.visible_devices {
+            None => all,
+            Some(sel) => {
+                let mut out = Vec::with_capacity(sel.len());
+                for &g in sel {
+                    if (g as usize) >= all.len() {
+                        return Err(HipError::InvalidDevice(g as usize));
+                    }
+                    if out.contains(&GcdId(g)) {
+                        return Err(HipError::InvalidValue(format!(
+                            "HIP_VISIBLE_DEVICES repeats GCD {g}"
+                        )));
+                    }
+                    out.push(GcdId(g));
+                }
+                if out.is_empty() {
+                    return Err(HipError::InvalidValue(
+                        "HIP_VISIBLE_DEVICES hides every device".into(),
+                    ));
+                }
+                out
+            }
+        };
+        Ok(DeviceTable { gcds })
+    }
+
+    /// Number of visible devices.
+    pub fn count(&self) -> usize {
+        self.gcds.len()
+    }
+
+    /// Resolve a logical device to its physical GCD.
+    pub fn gcd(&self, dev: DeviceId) -> HipResult<GcdId> {
+        self.gcds
+            .get(dev.idx())
+            .copied()
+            .ok_or(HipError::InvalidDevice(dev.idx()))
+    }
+
+    /// The logical ordinal of a physical GCD, if visible.
+    pub fn device_of(&self, gcd: GcdId) -> Option<DeviceId> {
+        self.gcds.iter().position(|&g| g == gcd).map(DeviceId)
+    }
+
+    /// Properties of a visible device.
+    pub fn props(&self, topo: &NodeTopology, dev: DeviceId) -> HipResult<DeviceProps> {
+        let gcd = self.gcd(dev)?;
+        Ok(DeviceProps {
+            name: "AMD Instinct MI250X (simulated GCD)".into(),
+            total_mem: 64 * GIB,
+            mem_bandwidth: ifsim_fabric::seg::HBM_PEAK,
+            compute_units: 110,
+            l2_cache: 8 * 1024 * 1024,
+            gcd,
+            numa_node: topo.numa_of(gcd).0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> NodeTopology {
+        NodeTopology::frontier()
+    }
+
+    #[test]
+    fn all_gcds_visible_by_default() {
+        let t = topo();
+        let d = DeviceTable::new(&t, &EnvConfig::default()).unwrap();
+        assert_eq!(d.count(), 8);
+        for i in 0..8 {
+            assert_eq!(d.gcd(DeviceId(i)).unwrap(), GcdId(i as u8));
+        }
+    }
+
+    #[test]
+    fn visibility_filters_and_reorders() {
+        let t = topo();
+        let env = EnvConfig::default().with_visible_devices(vec![6, 0, 3]);
+        let d = DeviceTable::new(&t, &env).unwrap();
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.gcd(DeviceId(0)).unwrap(), GcdId(6));
+        assert_eq!(d.gcd(DeviceId(1)).unwrap(), GcdId(0));
+        assert_eq!(d.gcd(DeviceId(2)).unwrap(), GcdId(3));
+        assert_eq!(d.device_of(GcdId(3)), Some(DeviceId(2)));
+        assert_eq!(d.device_of(GcdId(5)), None);
+    }
+
+    #[test]
+    fn out_of_range_ordinal_rejected() {
+        let t = topo();
+        let d = DeviceTable::new(&t, &EnvConfig::default()).unwrap();
+        assert_eq!(
+            d.gcd(DeviceId(8)).unwrap_err(),
+            HipError::InvalidDevice(8)
+        );
+    }
+
+    #[test]
+    fn bad_visibility_lists_rejected() {
+        let t = topo();
+        assert!(matches!(
+            DeviceTable::new(&t, &EnvConfig::default().with_visible_devices(vec![9])),
+            Err(HipError::InvalidDevice(9))
+        ));
+        assert!(matches!(
+            DeviceTable::new(&t, &EnvConfig::default().with_visible_devices(vec![1, 1])),
+            Err(HipError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            DeviceTable::new(&t, &EnvConfig::default().with_visible_devices(vec![])),
+            Err(HipError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn props_report_the_mi250x_gcd() {
+        let t = topo();
+        let d = DeviceTable::new(&t, &EnvConfig::default()).unwrap();
+        let p = d.props(&t, DeviceId(5)).unwrap();
+        assert_eq!(p.gcd, GcdId(5));
+        assert_eq!(p.total_mem, 64 * GIB);
+        assert_eq!(p.compute_units, 110);
+        assert_eq!(p.l2_cache, 8 << 20);
+        assert_eq!(p.numa_node, 2);
+        assert!(p.name.contains("MI250X"));
+    }
+}

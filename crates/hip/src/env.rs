@@ -1,0 +1,97 @@
+//! Environment configuration: the knobs the paper tunes via environment
+//! variables (§III, §V).
+
+/// Simulated environment variables fixed at runtime creation, as on the
+/// real system (kernels must even be *compiled* for the XNACK setting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvConfig {
+    /// `HSA_XNACK`: enable GPU page-fault retry. With it, kernels touching
+    /// non-resident managed (or pageable) memory fault-and-migrate instead
+    /// of crashing (paper §II-C).
+    pub xnack: bool,
+    /// `HSA_ENABLE_SDMA`: use SDMA engines for `hipMemcpy`-family transfers
+    /// (including inside MPI). Disabling switches to blit copy kernels
+    /// (paper §V-C).
+    pub enable_sdma: bool,
+    /// `HSA_ENABLE_PEER_SDMA`: use SDMA engines specifically for
+    /// `hipMemcpyPeer` (paper §V-A2). Effective only when `enable_sdma`
+    /// is also set, as on the real stack.
+    pub enable_peer_sdma: bool,
+    /// `HIP_VISIBLE_DEVICES`: restrict and reorder the GCDs this process
+    /// sees (paper §IV-C uses this to pin the placement strategy).
+    /// `None` exposes all GCDs in natural order.
+    pub visible_devices: Option<Vec<u8>>,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            xnack: false,
+            enable_sdma: true,
+            enable_peer_sdma: true,
+            visible_devices: None,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// Default environment with XNACK enabled (`HSA_XNACK=1`).
+    pub fn with_xnack() -> Self {
+        EnvConfig {
+            xnack: true,
+            ..Default::default()
+        }
+    }
+
+    /// Default environment with SDMA fully disabled (`HSA_ENABLE_SDMA=0`).
+    pub fn without_sdma() -> Self {
+        EnvConfig {
+            enable_sdma: false,
+            enable_peer_sdma: false,
+            ..Default::default()
+        }
+    }
+
+    /// Restrict visibility (builder style).
+    pub fn with_visible_devices(mut self, devices: Vec<u8>) -> Self {
+        self.visible_devices = Some(devices);
+        self
+    }
+
+    /// Whether `hipMemcpyPeer` uses SDMA engines under this environment.
+    pub fn peer_sdma_active(&self) -> bool {
+        self.enable_sdma && self.enable_peer_sdma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_rocm() {
+        let e = EnvConfig::default();
+        assert!(!e.xnack);
+        assert!(e.enable_sdma);
+        assert!(e.peer_sdma_active());
+        assert!(e.visible_devices.is_none());
+    }
+
+    #[test]
+    fn peer_sdma_requires_global_sdma() {
+        let e = EnvConfig {
+            enable_sdma: false,
+            enable_peer_sdma: true,
+            ..Default::default()
+        };
+        assert!(!e.peer_sdma_active());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = EnvConfig::with_xnack().with_visible_devices(vec![0, 2, 4, 6]);
+        assert!(e.xnack);
+        assert_eq!(e.visible_devices, Some(vec![0, 2, 4, 6]));
+        assert!(!EnvConfig::without_sdma().peer_sdma_active());
+    }
+}

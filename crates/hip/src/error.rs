@@ -1,0 +1,84 @@
+//! Runtime error codes, mirroring the `hipError_t` values the original
+//! benchmarks check.
+
+use ifsim_memory::AllocError;
+use std::fmt;
+
+/// Result alias for runtime calls.
+pub type HipResult<T> = Result<T, HipError>;
+
+/// Simulated `hipError_t`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HipError {
+    /// Device ordinal out of range (after visibility filtering).
+    InvalidDevice(usize),
+    /// Allocation failure.
+    OutOfMemory(String),
+    /// Stale or foreign buffer/stream/event handle.
+    InvalidHandle(String),
+    /// Kernel touched memory it cannot reach: peer memory without
+    /// `hipDeviceEnablePeerAccess`, or pageable host memory without XNACK.
+    /// The real runtime surfaces this as a fatal page fault.
+    IllegalAddress(String),
+    /// Arguments out of range (offsets, sizes, mismatched copy kind).
+    InvalidValue(String),
+    /// Operation requires an event that has not been recorded yet.
+    NotReady,
+}
+
+impl fmt::Display for HipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HipError::InvalidDevice(d) => write!(f, "hipErrorInvalidDevice: ordinal {d}"),
+            HipError::OutOfMemory(m) => write!(f, "hipErrorOutOfMemory: {m}"),
+            HipError::InvalidHandle(m) => write!(f, "hipErrorInvalidHandle: {m}"),
+            HipError::IllegalAddress(m) => write!(f, "hipErrorIllegalAddress: {m}"),
+            HipError::InvalidValue(m) => write!(f, "hipErrorInvalidValue: {m}"),
+            HipError::NotReady => write!(f, "hipErrorNotReady"),
+        }
+    }
+}
+
+impl std::error::Error for HipError {}
+
+impl From<AllocError> for HipError {
+    fn from(e: AllocError) -> Self {
+        match e {
+            AllocError::OutOfMemory { .. } => HipError::OutOfMemory(e.to_string()),
+            AllocError::InvalidBuffer(_) => HipError::InvalidHandle(e.to_string()),
+            AllocError::ZeroSize => HipError::InvalidValue(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_memory::BufferId;
+    use ifsim_memory::MemSpace;
+    use ifsim_topology::GcdId;
+
+    #[test]
+    fn alloc_errors_map_to_hip_codes() {
+        let oom = AllocError::OutOfMemory {
+            space: MemSpace::Hbm(GcdId(0)),
+            requested: 10,
+            available: 5,
+        };
+        assert!(matches!(HipError::from(oom), HipError::OutOfMemory(_)));
+        assert!(matches!(
+            HipError::from(AllocError::InvalidBuffer(BufferId(3))),
+            HipError::InvalidHandle(_)
+        ));
+        assert!(matches!(
+            HipError::from(AllocError::ZeroSize),
+            HipError::InvalidValue(_)
+        ));
+    }
+
+    #[test]
+    fn display_includes_hip_error_names() {
+        assert!(HipError::InvalidDevice(9).to_string().contains("InvalidDevice"));
+        assert!(HipError::NotReady.to_string().contains("NotReady"));
+    }
+}

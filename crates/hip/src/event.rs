@@ -1,0 +1,97 @@
+//! GPU events — the timing mechanism the paper's latency matrix uses
+//! (`hipEventRecord` / `hipEventElapsedTime` around `hipMemcpyPeerAsync`).
+
+use crate::error::{HipError, HipResult};
+use ifsim_des::Time;
+use std::fmt;
+
+/// Handle to a created event.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev#{}", self.0)
+    }
+}
+
+/// Event registry.
+#[derive(Default)]
+pub struct EventTable {
+    stamps: Vec<Option<Time>>,
+}
+
+impl EventTable {
+    /// Create a new unrecorded event.
+    pub fn create(&mut self) -> EventId {
+        self.stamps.push(None);
+        EventId(self.stamps.len() as u64 - 1)
+    }
+
+    /// Set an event's timestamp (the stream reached its record marker).
+    pub fn record(&mut self, id: EventId, t: Time) -> HipResult<()> {
+        let slot = self
+            .stamps
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| HipError::InvalidHandle(format!("{id:?}")))?;
+        *slot = Some(t);
+        Ok(())
+    }
+
+    /// An event's timestamp, if already recorded.
+    pub fn timestamp(&self, id: EventId) -> HipResult<Option<Time>> {
+        self.stamps
+            .get(id.0 as usize)
+            .copied()
+            .ok_or_else(|| HipError::InvalidHandle(format!("{id:?}")))
+    }
+
+    /// `hipEventElapsedTime`: milliseconds between two recorded events.
+    pub fn elapsed_ms(&self, start: EventId, stop: EventId) -> HipResult<f64> {
+        let t0 = self.timestamp(start)?.ok_or(HipError::NotReady)?;
+        let t1 = self.timestamp(stop)?.ok_or(HipError::NotReady)?;
+        Ok((t1.as_ns() - t0.as_ns()) / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_record_elapsed_roundtrip() {
+        let mut t = EventTable::default();
+        let a = t.create();
+        let b = t.create();
+        t.record(a, Time::from_ns(1000.0)).unwrap();
+        t.record(b, Time::from_ns(2_001_000.0)).unwrap();
+        assert!((t.elapsed_ms(a, b).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrecorded_event_is_not_ready() {
+        let mut t = EventTable::default();
+        let a = t.create();
+        let b = t.create();
+        t.record(a, Time::ZERO).unwrap();
+        assert_eq!(t.elapsed_ms(a, b).unwrap_err(), HipError::NotReady);
+    }
+
+    #[test]
+    fn unknown_event_is_invalid_handle() {
+        let t = EventTable::default();
+        assert!(matches!(
+            t.timestamp(EventId(7)),
+            Err(HipError::InvalidHandle(_))
+        ));
+    }
+
+    #[test]
+    fn re_recording_overwrites() {
+        let mut t = EventTable::default();
+        let a = t.create();
+        t.record(a, Time::from_ns(5.0)).unwrap();
+        t.record(a, Time::from_ns(9.0)).unwrap();
+        assert_eq!(t.timestamp(a).unwrap(), Some(Time::from_ns(9.0)));
+    }
+}

@@ -1,0 +1,314 @@
+//! Built-in GPU kernels.
+//!
+//! The paper's kernel-side measurements all use STREAM-class kernels; we
+//! model kernels as *memory traffic generators* (read/write byte volumes per
+//! operand) plus a functional effect on real backings. There is no ISA or
+//! occupancy model — STREAM is memory-bound by construction, and the paper's
+//! analysis depends only on where the bytes travel.
+
+use crate::error::{HipError, HipResult};
+use ifsim_memory::{BufferId, MemorySystem};
+
+/// A kernel launch request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelSpec {
+    /// `dst[i] = src[i]` over `elems` f32 elements (STREAM Copy).
+    StreamCopy {
+        /// Source array.
+        src: BufferId,
+        /// Destination array.
+        dst: BufferId,
+        /// Element count.
+        elems: usize,
+    },
+    /// `dst[i] = scalar * src[i]` (STREAM Scale).
+    StreamScale {
+        /// Source array.
+        src: BufferId,
+        /// Destination array.
+        dst: BufferId,
+        /// Scale factor.
+        scalar: f32,
+        /// Element count.
+        elems: usize,
+    },
+    /// `dst[i] = a[i] + b[i]` (STREAM Add).
+    StreamAdd {
+        /// First addend array.
+        a: BufferId,
+        /// Second addend array.
+        b: BufferId,
+        /// Destination array.
+        dst: BufferId,
+        /// Element count.
+        elems: usize,
+    },
+    /// `dst[i] = a[i] + scalar * b[i]` (STREAM Triad).
+    StreamTriad {
+        /// First source array.
+        a: BufferId,
+        /// Scaled source array.
+        b: BufferId,
+        /// Destination array.
+        dst: BufferId,
+        /// Scale factor.
+        scalar: f32,
+        /// Element count.
+        elems: usize,
+    },
+    /// `dst[i] = value` (device-side initialization).
+    Init {
+        /// Destination array.
+        dst: BufferId,
+        /// Fill value.
+        value: f32,
+        /// Element count.
+        elems: usize,
+    },
+    /// Read `bytes` from `buf` and discard (first-touch / migration driver).
+    Touch {
+        /// Buffer to read.
+        buf: BufferId,
+        /// Bytes to read from offset 0.
+        bytes: u64,
+    },
+}
+
+impl KernelSpec {
+    /// Kernel name, as a profiler would label it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelSpec::StreamCopy { .. } => "stream_copy",
+            KernelSpec::StreamScale { .. } => "stream_scale",
+            KernelSpec::StreamAdd { .. } => "stream_add",
+            KernelSpec::StreamTriad { .. } => "stream_triad",
+            KernelSpec::Init { .. } => "init",
+            KernelSpec::Touch { .. } => "touch",
+        }
+    }
+
+    /// `(buffer, bytes)` read by the kernel.
+    pub fn reads(&self) -> Vec<(BufferId, u64)> {
+        match *self {
+            KernelSpec::StreamCopy { src, elems, .. }
+            | KernelSpec::StreamScale { src, elems, .. } => vec![(src, elems as u64 * 4)],
+            KernelSpec::StreamAdd { a, b, elems, .. }
+            | KernelSpec::StreamTriad { a, b, elems, .. } => {
+                vec![(a, elems as u64 * 4), (b, elems as u64 * 4)]
+            }
+            KernelSpec::Init { .. } => vec![],
+            KernelSpec::Touch { buf, bytes } => vec![(buf, bytes)],
+        }
+    }
+
+    /// `(buffer, bytes)` written by the kernel.
+    pub fn writes(&self) -> Vec<(BufferId, u64)> {
+        match *self {
+            KernelSpec::StreamCopy { dst, elems, .. }
+            | KernelSpec::StreamScale { dst, elems, .. }
+            | KernelSpec::StreamAdd { dst, elems, .. }
+            | KernelSpec::StreamTriad { dst, elems, .. }
+            | KernelSpec::Init { dst, elems, .. } => vec![(dst, elems as u64 * 4)],
+            KernelSpec::Touch { .. } => vec![],
+        }
+    }
+
+    /// Total bytes moved (reads + writes) — the STREAM bandwidth numerator.
+    pub fn traffic_bytes(&self) -> u64 {
+        self.reads().iter().chain(self.writes().iter()).map(|(_, b)| b).sum()
+    }
+
+    /// Execute the kernel on real backings. Returns `Ok(false)` (a
+    /// timing-only no-op) if any operand is phantom. Bounds are validated
+    /// either way.
+    pub fn apply(&self, mem: &mut MemorySystem) -> HipResult<bool> {
+        // Validate every operand range first.
+        for (buf, bytes) in self.reads().iter().chain(self.writes().iter()) {
+            let a = mem.get(*buf)?;
+            if *bytes > a.bytes {
+                return Err(HipError::InvalidValue(format!(
+                    "kernel {} touches {bytes} B of a {} B buffer",
+                    self.name(),
+                    a.bytes
+                )));
+            }
+        }
+        let all_real = self
+            .reads()
+            .iter()
+            .chain(self.writes().iter())
+            .all(|(buf, _)| mem.get(*buf).map(|a| a.backing.is_real()).unwrap_or(false));
+        if !all_real {
+            return Ok(false);
+        }
+        match *self {
+            KernelSpec::StreamCopy { src, dst, elems } => {
+                let v = mem.read_f32s(src, 0, elems)?.expect("real");
+                mem.write_f32s(dst, 0, &v)?;
+            }
+            KernelSpec::StreamScale {
+                src,
+                dst,
+                scalar,
+                elems,
+            } => {
+                let mut v = mem.read_f32s(src, 0, elems)?.expect("real");
+                for x in &mut v {
+                    *x *= scalar;
+                }
+                mem.write_f32s(dst, 0, &v)?;
+            }
+            KernelSpec::StreamAdd { a, b, dst, elems } => {
+                let va = mem.read_f32s(a, 0, elems)?.expect("real");
+                let vb = mem.read_f32s(b, 0, elems)?.expect("real");
+                let out: Vec<f32> = va.iter().zip(&vb).map(|(x, y)| x + y).collect();
+                mem.write_f32s(dst, 0, &out)?;
+            }
+            KernelSpec::StreamTriad {
+                a,
+                b,
+                dst,
+                scalar,
+                elems,
+            } => {
+                let va = mem.read_f32s(a, 0, elems)?.expect("real");
+                let vb = mem.read_f32s(b, 0, elems)?.expect("real");
+                let out: Vec<f32> = va.iter().zip(&vb).map(|(x, y)| x + scalar * y).collect();
+                mem.write_f32s(dst, 0, &out)?;
+            }
+            KernelSpec::Init { dst, value, elems } => {
+                mem.write_f32s(dst, 0, &vec![value; elems])?;
+            }
+            KernelSpec::Touch { .. } => {}
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_memory::{MemKind, MemSpace};
+    use ifsim_topology::GcdId;
+
+    fn mem_with(n: usize) -> (MemorySystem, Vec<BufferId>) {
+        let mut m = MemorySystem::new();
+        let bufs = (0..n)
+            .map(|_| {
+                m.allocate(MemKind::Device, MemSpace::Hbm(GcdId(0)), 64)
+                    .unwrap()
+            })
+            .collect();
+        (m, bufs)
+    }
+
+    #[test]
+    fn copy_kernel_copies() {
+        let (mut m, b) = mem_with(2);
+        m.write_f32s(b[0], 0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let k = KernelSpec::StreamCopy {
+            src: b[0],
+            dst: b[1],
+            elems: 4,
+        };
+        assert!(k.apply(&mut m).unwrap());
+        assert_eq!(
+            m.read_f32s(b[1], 0, 4).unwrap().unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn triad_computes_a_plus_s_b() {
+        let (mut m, b) = mem_with(3);
+        m.write_f32s(b[0], 0, &[1.0, 2.0]).unwrap();
+        m.write_f32s(b[1], 0, &[10.0, 20.0]).unwrap();
+        let k = KernelSpec::StreamTriad {
+            a: b[0],
+            b: b[1],
+            dst: b[2],
+            scalar: 0.5,
+            elems: 2,
+        };
+        k.apply(&mut m).unwrap();
+        assert_eq!(m.read_f32s(b[2], 0, 2).unwrap().unwrap(), vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn add_and_scale_and_init() {
+        let (mut m, b) = mem_with(3);
+        KernelSpec::Init {
+            dst: b[0],
+            value: 3.0,
+            elems: 4,
+        }
+        .apply(&mut m)
+        .unwrap();
+        KernelSpec::StreamScale {
+            src: b[0],
+            dst: b[1],
+            scalar: 2.0,
+            elems: 4,
+        }
+        .apply(&mut m)
+        .unwrap();
+        KernelSpec::StreamAdd {
+            a: b[0],
+            b: b[1],
+            dst: b[2],
+            elems: 4,
+        }
+        .apply(&mut m)
+        .unwrap();
+        assert_eq!(m.read_f32s(b[2], 0, 4).unwrap().unwrap(), vec![9.0; 4]);
+    }
+
+    #[test]
+    fn traffic_accounting_matches_stream_convention() {
+        let b0 = BufferId(0);
+        let b1 = BufferId(1);
+        let b2 = BufferId(2);
+        let copy = KernelSpec::StreamCopy {
+            src: b0,
+            dst: b1,
+            elems: 100,
+        };
+        assert_eq!(copy.traffic_bytes(), 800); // 2 × 400 B
+        let triad = KernelSpec::StreamTriad {
+            a: b0,
+            b: b1,
+            dst: b2,
+            scalar: 1.0,
+            elems: 100,
+        };
+        assert_eq!(triad.traffic_bytes(), 1200); // 3 × 400 B
+    }
+
+    #[test]
+    fn oversized_kernel_rejected() {
+        let (mut m, b) = mem_with(1);
+        let k = KernelSpec::Touch {
+            buf: b[0],
+            bytes: 65,
+        };
+        assert!(matches!(k.apply(&mut m), Err(HipError::InvalidValue(_))));
+    }
+
+    #[test]
+    fn phantom_operand_makes_apply_a_noop() {
+        let mut m = MemorySystem::new();
+        m.set_phantom_threshold(8);
+        let a = m
+            .allocate(MemKind::Device, MemSpace::Hbm(GcdId(0)), 64)
+            .unwrap();
+        let b = m
+            .allocate(MemKind::Device, MemSpace::Hbm(GcdId(0)), 64)
+            .unwrap();
+        let k = KernelSpec::StreamCopy {
+            src: a,
+            dst: b,
+            elems: 16,
+        };
+        assert!(!k.apply(&mut m).unwrap());
+    }
+}

@@ -1,0 +1,166 @@
+//! Streams: in-order op queues per device.
+
+use crate::device::DeviceId;
+use crate::event::EventId;
+use crate::kernel::KernelSpec;
+use crate::op::MemcpyKind;
+use crate::plan::{Effect, OpPlan};
+use ifsim_memory::{BufferId, MemSpace};
+use ifsim_topology::GcdId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Handle to a stream. Stream 0 of each device is its default (null) stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u64);
+
+impl fmt::Debug for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// What a queued op will do when it reaches the head of the stream.
+///
+/// API-level ops are stored as *requests* and planned when they start, so
+/// plans see the memory state left behind by earlier ops on the stream
+/// (an async prefetch must change the plan of the kernel queued after it).
+/// Submission still plans once for synchronous argument validation.
+/// Library-internal submissions (`submit_plan`) carry a ready-made plan.
+pub enum Work {
+    /// Re-plan at execution time.
+    Request(OpRequest),
+    /// Use a pre-built plan as-is.
+    Planned(OpPlan),
+}
+
+/// A replannable API-level operation.
+#[derive(Clone, Debug)]
+pub enum OpRequest {
+    /// `hipMemcpy` family.
+    Memcpy {
+        /// Destination buffer.
+        dst: BufferId,
+        /// Destination offset.
+        dst_off: u64,
+        /// Source buffer.
+        src: BufferId,
+        /// Source offset.
+        src_off: u64,
+        /// Bytes.
+        bytes: u64,
+        /// Declared direction.
+        kind: MemcpyKind,
+    },
+    /// Kernel launch.
+    Kernel(KernelSpec),
+    /// Managed-memory prefetch.
+    Prefetch {
+        /// Managed buffer.
+        buf: BufferId,
+        /// Target space.
+        target: MemSpace,
+    },
+    /// `hipMemsetAsync`: fill a device buffer range with a byte value.
+    Memset {
+        /// Destination buffer.
+        dst: BufferId,
+        /// Byte offset.
+        offset: u64,
+        /// Fill value.
+        value: u8,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Event record marker (no traffic).
+    EventRecord,
+    /// `hipStreamWaitEvent`: park the stream until the event records.
+    WaitEvent(crate::event::EventId),
+}
+
+/// An op waiting in a stream queue.
+pub struct QueuedOp {
+    /// The work to perform.
+    pub work: Work,
+    /// Event to stamp at completion (for `EventRecord` markers).
+    pub event: Option<EventId>,
+    /// Trace label.
+    pub label: String,
+}
+
+/// The op currently executing on a stream.
+pub struct RunningOp {
+    /// Flows not yet completed.
+    pub pending_flows: usize,
+    /// Functional effects applied at completion.
+    pub effects: Vec<Effect>,
+    /// Event to stamp at completion.
+    pub event: Option<EventId>,
+    /// When the op left the queue (for the trace timeline).
+    pub started: ifsim_des::Time,
+    /// Trace label.
+    pub label: String,
+}
+
+/// One stream's state.
+pub struct StreamState {
+    /// Owning logical device.
+    pub dev: DeviceId,
+    /// Physical GCD the stream executes on.
+    pub gcd: GcdId,
+    /// Ops waiting to start.
+    pub queue: VecDeque<QueuedOp>,
+    /// The op in flight, if any.
+    pub running: Option<RunningOp>,
+    /// Whether an op-start event is scheduled (op popped, latency pending).
+    pub starting: bool,
+    /// Event this stream is parked on (`hipStreamWaitEvent`), if any.
+    pub parked_on: Option<EventId>,
+}
+
+impl StreamState {
+    /// A fresh, idle stream.
+    pub fn new(dev: DeviceId, gcd: GcdId) -> Self {
+        StreamState {
+            dev,
+            gcd,
+            queue: VecDeque::new(),
+            running: None,
+            starting: false,
+            parked_on: None,
+        }
+    }
+
+    /// Whether the stream has no queued or in-flight work. A parked stream
+    /// is *not* idle: it still has the wait (and whatever follows) pending.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && self.running.is_none() && !self.starting && self.parked_on.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_stream_is_idle() {
+        let s = StreamState::new(DeviceId(0), GcdId(0));
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn queued_or_running_work_makes_stream_busy() {
+        let mut s = StreamState::new(DeviceId(0), GcdId(0));
+        s.starting = true;
+        assert!(!s.idle());
+        s.starting = false;
+        s.running = Some(RunningOp {
+            pending_flows: 1,
+            effects: vec![],
+            event: None,
+            started: ifsim_des::Time::ZERO,
+            label: "test".into(),
+        });
+        assert!(!s.idle());
+    }
+}

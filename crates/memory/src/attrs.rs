@@ -1,0 +1,154 @@
+//! Allocation kinds and attribute flags, mirroring the paper's Table I.
+
+use std::fmt;
+
+/// Flags accepted by the simulated `hipHostMalloc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct HostAllocFlags {
+    /// `hipHostMallocCoherent` / default: GPU accesses bypass GPU caches and
+    /// are immediately visible to the CPU. `hipHostMallocNonCoherent`
+    /// disables this, permitting GPU-side caching but requiring explicit
+    /// synchronization. In HIP, host-pinned memory is coherent by default
+    /// (paper §II-C); the flag mirrors that.
+    pub non_coherent: bool,
+    /// `hipHostMallocNumaUser`: honour the caller's NUMA placement instead
+    /// of allocating on the domain closest to the active GPU (paper §IV-B).
+    pub numa_user: bool,
+}
+
+impl HostAllocFlags {
+    /// The default (coherent, GPU-affine placement) flag set.
+    pub fn coherent() -> Self {
+        HostAllocFlags::default()
+    }
+
+    /// `hipHostMallocNonCoherent`.
+    pub fn non_coherent() -> Self {
+        HostAllocFlags {
+            non_coherent: true,
+            ..Default::default()
+        }
+    }
+
+    /// Add `hipHostMallocNumaUser`.
+    pub fn with_numa_user(mut self) -> Self {
+        self.numa_user = true;
+        self
+    }
+}
+
+/// What an allocation *is*, which determines who can touch it and how data
+/// moves (paper Table I).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// `hipMalloc`: device HBM. GPU-local; peers need
+    /// `hipDeviceEnablePeerAccess`; host moves data with `hipMemcpy`.
+    Device,
+    /// `hipHostMalloc`: page-locked host memory, GPU-mapped. Zero-copy
+    /// GPU access allowed; coherence per the flags.
+    HostPinned(HostAllocFlags),
+    /// `malloc`: pageable host memory. GPUs cannot map it; `hipMemcpy`
+    /// stages through a pinned bounce buffer. Accessing it from a kernel
+    /// without XNACK is a fault.
+    HostPageable,
+    /// `hipMallocManaged`: unified memory. One virtual address valid
+    /// everywhere; per-page residency. With XNACK enabled, GPU accesses to
+    /// non-resident pages fault-and-migrate; with XNACK disabled, GPU
+    /// accesses go zero-copy over the fabric.
+    Managed,
+}
+
+impl MemKind {
+    /// Whether GPU-side caching is disabled for this memory (coherent
+    /// host-visible memory on MI250X; paper §II-C).
+    pub fn gpu_uncached(self) -> bool {
+        match self {
+            MemKind::Device => false,
+            MemKind::HostPinned(f) => !f.non_coherent,
+            MemKind::HostPageable => false,
+            MemKind::Managed => true,
+        }
+    }
+
+    /// Whether the allocation is host-resident at creation.
+    pub fn host_resident(self) -> bool {
+        matches!(
+            self,
+            MemKind::HostPinned(_) | MemKind::HostPageable | MemKind::Managed
+        )
+    }
+
+    /// Whether the allocation is mapped into GPU address spaces without
+    /// explicit action (zero-copy capable).
+    pub fn gpu_mapped(self) -> bool {
+        matches!(self, MemKind::Device | MemKind::HostPinned(_) | MemKind::Managed)
+    }
+}
+
+impl fmt::Debug for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemKind::Device => write!(f, "device"),
+            MemKind::HostPinned(fl) if fl.non_coherent => write!(f, "pinned(non-coherent)"),
+            MemKind::HostPinned(_) => write!(f, "pinned(coherent)"),
+            MemKind::HostPageable => write!(f, "pageable"),
+            MemKind::Managed => write!(f, "managed"),
+        }
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_is_coherent_by_default() {
+        // Paper §II-C: "In HIP, by default, host-pinned memory is marked as
+        // coherent" — and coherent memory disables GPU caching.
+        assert!(MemKind::HostPinned(HostAllocFlags::coherent()).gpu_uncached());
+        assert!(!MemKind::HostPinned(HostAllocFlags::non_coherent()).gpu_uncached());
+    }
+
+    #[test]
+    fn managed_memory_is_coherent() {
+        assert!(MemKind::Managed.gpu_uncached());
+    }
+
+    #[test]
+    fn device_memory_is_cached() {
+        assert!(!MemKind::Device.gpu_uncached());
+    }
+
+    #[test]
+    fn residency_and_mapping_follow_table1() {
+        assert!(!MemKind::Device.host_resident());
+        assert!(MemKind::Device.gpu_mapped());
+        assert!(MemKind::HostPageable.host_resident());
+        assert!(!MemKind::HostPageable.gpu_mapped());
+        assert!(MemKind::Managed.host_resident());
+        assert!(MemKind::Managed.gpu_mapped());
+        assert!(MemKind::HostPinned(HostAllocFlags::coherent()).gpu_mapped());
+    }
+
+    #[test]
+    fn numa_user_flag_composes() {
+        let f = HostAllocFlags::non_coherent().with_numa_user();
+        assert!(f.non_coherent && f.numa_user);
+    }
+
+    #[test]
+    fn debug_formatting_distinguishes_kinds() {
+        assert_eq!(format!("{}", MemKind::Device), "device");
+        assert_eq!(
+            format!("{}", MemKind::HostPinned(HostAllocFlags::non_coherent())),
+            "pinned(non-coherent)"
+        );
+        assert_eq!(format!("{}", MemKind::Managed), "managed");
+    }
+}

@@ -1,0 +1,144 @@
+//! Byte backing for allocations.
+//!
+//! `Real` backing holds actual bytes so the simulator is functional — copies
+//! copy, kernels compute, collectives reduce, and tests can verify results.
+//! `Phantom` backing tracks only the size, letting timing sweeps allocate
+//! the paper's 8 GiB arrays without consuming host RAM.
+
+/// The bytes (or absence thereof) behind an allocation.
+pub enum Backing {
+    /// Actual data.
+    Real(Box<[u8]>),
+    /// Size-only: reads/writes are rejected, timing still works.
+    Phantom(u64),
+}
+
+impl Backing {
+    /// Allocate a zero-filled real backing.
+    pub fn real(bytes: u64) -> Backing {
+        Backing::Real(vec![0u8; bytes as usize].into_boxed_slice())
+    }
+
+    /// A phantom backing of the given size.
+    pub fn phantom(bytes: u64) -> Backing {
+        Backing::Phantom(bytes)
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Backing::Real(b) => b.len() as u64,
+            Backing::Phantom(n) => *n,
+        }
+    }
+
+    /// Whether the backing is zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether real bytes are present.
+    pub fn is_real(&self) -> bool {
+        matches!(self, Backing::Real(_))
+    }
+
+    /// Immutable view of the bytes, if real.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match self {
+            Backing::Real(b) => Some(b),
+            Backing::Phantom(_) => None,
+        }
+    }
+
+    /// Mutable view of the bytes, if real.
+    pub fn bytes_mut(&mut self) -> Option<&mut [u8]> {
+        match self {
+            Backing::Real(b) => Some(b),
+            Backing::Phantom(_) => None,
+        }
+    }
+
+    /// Copy `len` bytes between two backings. Phantom endpoints make the
+    /// copy a timing-only no-op (returns `false`); bounds are checked either
+    /// way so harness bugs surface even in phantom sweeps.
+    pub fn copy(src: &Backing, src_off: u64, dst: &mut Backing, dst_off: u64, len: u64) -> bool {
+        assert!(
+            src_off + len <= src.len(),
+            "source range {src_off}+{len} exceeds {}",
+            src.len()
+        );
+        assert!(
+            dst_off + len <= dst.len(),
+            "destination range {dst_off}+{len} exceeds {}",
+            dst.len()
+        );
+        match (src.bytes(), dst.bytes_mut()) {
+            (Some(s), Some(d)) => {
+                d[dst_off as usize..(dst_off + len) as usize]
+                    .copy_from_slice(&s[src_off as usize..(src_off + len) as usize]);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Real(b) => write!(f, "Real({} B)", b.len()),
+            Backing::Phantom(n) => write!(f, "Phantom({n} B)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_backing_starts_zeroed() {
+        let b = Backing::real(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.is_real());
+        assert!(b.bytes().unwrap().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn phantom_backing_has_size_but_no_bytes() {
+        let b = Backing::phantom(1 << 33); // 8 GiB, no RAM consumed
+        assert_eq!(b.len(), 1 << 33);
+        assert!(!b.is_real());
+        assert!(b.bytes().is_none());
+    }
+
+    #[test]
+    fn copy_moves_bytes_between_real_backings() {
+        let mut src = Backing::real(8);
+        src.bytes_mut().unwrap().copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut dst = Backing::real(8);
+        assert!(Backing::copy(&src, 2, &mut dst, 4, 3));
+        assert_eq!(dst.bytes().unwrap(), &[0, 0, 0, 0, 3, 4, 5, 0]);
+    }
+
+    #[test]
+    fn copy_with_phantom_endpoint_is_a_checked_noop() {
+        let src = Backing::real(8);
+        let mut dst = Backing::phantom(8);
+        assert!(!Backing::copy(&src, 0, &mut dst, 0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination range")]
+    fn copy_bounds_checked_even_for_phantom() {
+        let src = Backing::phantom(8);
+        let mut dst = Backing::phantom(8);
+        Backing::copy(&src, 0, &mut dst, 4, 8);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Backing::phantom(0).is_empty());
+        assert!(!Backing::real(1).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-page residency tracking for managed (unified) memory.
+//!
+//! `hipMallocManaged` memory has one virtual address range whose pages can
+//! live in any physical space. With XNACK enabled, a GPU touching a
+//! non-resident page faults and the driver migrates the whole page —
+//! "independent of the size of the data being accessed" (paper §II-C).
+
+use crate::space::MemSpace;
+
+/// Residency of each page of a managed allocation.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    page_size: u64,
+    bytes: u64,
+    residency: Vec<MemSpace>,
+}
+
+impl PageTable {
+    /// A table for `bytes` of memory in pages of `page_size`, initially all
+    /// resident in `home`.
+    pub fn new(bytes: u64, page_size: u64, home: MemSpace) -> Self {
+        assert!(page_size > 0, "zero page size");
+        assert!(bytes > 0, "zero-length page table");
+        let n_pages = bytes.div_ceil(page_size) as usize;
+        PageTable {
+            page_size,
+            bytes,
+            residency: vec![home; n_pages],
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> usize {
+        self.residency.len()
+    }
+
+    /// The page index covering byte `offset`.
+    pub fn page_of(&self, offset: u64) -> usize {
+        assert!(offset < self.bytes, "offset {offset} beyond {}", self.bytes);
+        (offset / self.page_size) as usize
+    }
+
+    /// Page indices covering `[offset, offset + len)`.
+    pub fn pages_in(&self, offset: u64, len: u64) -> std::ops::Range<usize> {
+        assert!(len > 0, "empty range");
+        assert!(
+            offset + len <= self.bytes,
+            "range {offset}+{len} beyond {}",
+            self.bytes
+        );
+        let first = (offset / self.page_size) as usize;
+        let last = ((offset + len - 1) / self.page_size) as usize;
+        first..last + 1
+    }
+
+    /// Where a page currently lives.
+    pub fn residency(&self, page: usize) -> MemSpace {
+        self.residency[page]
+    }
+
+    /// Pages in the range *not* resident in `space` (the ones XNACK would
+    /// fault on and migrate).
+    pub fn non_resident_pages(&self, offset: u64, len: u64, space: MemSpace) -> usize {
+        self.pages_in(offset, len)
+            .filter(|&p| self.residency[p] != space)
+            .count()
+    }
+
+    /// Migrate every page of the range to `space`; returns how many pages
+    /// actually moved.
+    pub fn migrate_range(&mut self, offset: u64, len: u64, space: MemSpace) -> usize {
+        let mut moved = 0;
+        for p in self.pages_in(offset, len) {
+            if self.residency[p] != space {
+                self.residency[p] = space;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Bytes resident in `space` across the whole allocation.
+    pub fn resident_bytes(&self, space: MemSpace) -> u64 {
+        let mut total = 0;
+        for (p, r) in self.residency.iter().enumerate() {
+            if *r == space {
+                let start = p as u64 * self.page_size;
+                let end = (start + self.page_size).min(self.bytes);
+                total += end - start;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_topology::{GcdId, NumaId};
+
+    fn ddr() -> MemSpace {
+        MemSpace::Ddr(NumaId(0))
+    }
+    fn hbm() -> MemSpace {
+        MemSpace::Hbm(GcdId(0))
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let t = PageTable::new(10_000, 4096, ddr());
+        assert_eq!(t.n_pages(), 3);
+        assert_eq!(t.page_size(), 4096);
+    }
+
+    #[test]
+    fn all_pages_start_at_home() {
+        let t = PageTable::new(16 * 4096, 4096, ddr());
+        for p in 0..t.n_pages() {
+            assert_eq!(t.residency(p), ddr());
+        }
+        assert_eq!(t.resident_bytes(ddr()), 16 * 4096);
+        assert_eq!(t.resident_bytes(hbm()), 0);
+    }
+
+    #[test]
+    fn range_queries_cover_partial_pages() {
+        let t = PageTable::new(4 * 4096, 4096, ddr());
+        assert_eq!(t.pages_in(0, 1), 0..1);
+        assert_eq!(t.pages_in(4095, 2), 0..2);
+        assert_eq!(t.pages_in(4096, 4096), 1..2);
+        assert_eq!(t.pages_in(0, 4 * 4096), 0..4);
+        assert_eq!(t.page_of(8192), 2);
+    }
+
+    #[test]
+    fn migration_moves_whole_pages_once() {
+        let mut t = PageTable::new(4 * 4096, 4096, ddr());
+        // Touch 100 bytes straddling pages 0-1: both pages migrate.
+        assert_eq!(t.non_resident_pages(4090, 100, hbm()), 2);
+        assert_eq!(t.migrate_range(4090, 100, hbm()), 2);
+        assert_eq!(t.residency(0), hbm());
+        assert_eq!(t.residency(1), hbm());
+        assert_eq!(t.residency(2), ddr());
+        // Second touch is free.
+        assert_eq!(t.migrate_range(4090, 100, hbm()), 0);
+        assert_eq!(t.non_resident_pages(4090, 100, hbm()), 0);
+    }
+
+    #[test]
+    fn resident_bytes_accounts_for_tail_page() {
+        let mut t = PageTable::new(4096 + 100, 4096, ddr());
+        assert_eq!(t.migrate_range(4096, 50, hbm()), 1);
+        assert_eq!(t.resident_bytes(hbm()), 100); // the 100-byte tail page
+        assert_eq!(t.resident_bytes(ddr()), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn out_of_range_rejected() {
+        let t = PageTable::new(4096, 4096, ddr());
+        let _ = t.pages_in(4000, 200);
+    }
+}

@@ -1,0 +1,116 @@
+//! Physical memory spaces and their capacities.
+
+use ifsim_des::units::GIB;
+use ifsim_topology::{GcdId, NumaId, PortId};
+use std::fmt;
+
+/// A physical memory pool of the node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemSpace {
+    /// One GCD's HBM2e stack (64 GiB, 1.6 TB/s class).
+    Hbm(GcdId),
+    /// One CPU NUMA domain's DDR4 (128 GiB of the node's 512 GiB).
+    Ddr(NumaId),
+}
+
+/// HBM capacity per GCD (paper §II: 64 GB per GCD).
+pub const HBM_CAPACITY: u64 = 64 * GIB;
+
+/// DDR capacity per NUMA domain (512 GB across four domains).
+pub const DDR_CAPACITY_PER_NUMA: u64 = 128 * GIB;
+
+impl MemSpace {
+    /// Pool capacity in bytes.
+    pub fn capacity(self) -> u64 {
+        match self {
+            MemSpace::Hbm(_) => HBM_CAPACITY,
+            MemSpace::Ddr(_) => DDR_CAPACITY_PER_NUMA,
+        }
+    }
+
+    /// The fabric port this memory hangs off.
+    pub fn port(self) -> PortId {
+        match self {
+            MemSpace::Hbm(g) => PortId::Gcd(g),
+            MemSpace::Ddr(n) => PortId::Numa(n),
+        }
+    }
+
+    /// Whether this is GPU-local memory.
+    pub fn is_hbm(self) -> bool {
+        matches!(self, MemSpace::Hbm(_))
+    }
+
+    /// Whether this is CPU memory.
+    pub fn is_ddr(self) -> bool {
+        matches!(self, MemSpace::Ddr(_))
+    }
+
+    /// The owning GCD, for HBM.
+    pub fn gcd(self) -> Option<GcdId> {
+        match self {
+            MemSpace::Hbm(g) => Some(g),
+            MemSpace::Ddr(_) => None,
+        }
+    }
+
+    /// The owning NUMA domain, for DDR.
+    pub fn numa(self) -> Option<NumaId> {
+        match self {
+            MemSpace::Ddr(n) => Some(n),
+            MemSpace::Hbm(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Hbm(g) => write!(f, "HBM[{g}]"),
+            MemSpace::Ddr(n) => write!(f, "DDR[{n}]"),
+        }
+    }
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_the_node_spec() {
+        assert_eq!(MemSpace::Hbm(GcdId(0)).capacity(), 64 * GIB);
+        assert_eq!(MemSpace::Ddr(NumaId(0)).capacity(), 128 * GIB);
+        // Node totals: 8 × 64 GiB HBM, 4 × 128 GiB = 512 GiB DDR.
+        assert_eq!(4 * DDR_CAPACITY_PER_NUMA, 512 * GIB);
+    }
+
+    #[test]
+    fn ports_match_spaces() {
+        assert_eq!(MemSpace::Hbm(GcdId(3)).port(), PortId::Gcd(GcdId(3)));
+        assert_eq!(MemSpace::Ddr(NumaId(1)).port(), PortId::Numa(NumaId(1)));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let h = MemSpace::Hbm(GcdId(2));
+        let d = MemSpace::Ddr(NumaId(2));
+        assert!(h.is_hbm() && !h.is_ddr());
+        assert!(d.is_ddr() && !d.is_hbm());
+        assert_eq!(h.gcd(), Some(GcdId(2)));
+        assert_eq!(h.numa(), None);
+        assert_eq!(d.numa(), Some(NumaId(2)));
+        assert_eq!(d.gcd(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(format!("{}", MemSpace::Hbm(GcdId(4))), "HBM[GCD4]");
+        assert_eq!(format!("{}", MemSpace::Ddr(NumaId(0))), "DDR[NUMA0]");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the memory subsystem: accounting, data integrity,
+//! and page-table invariants under randomized operation sequences.
+
+use ifsim_memory::{BufferId, MemKind, MemSpace, MemorySystem};
+use ifsim_topology::{GcdId, NumaId};
+use proptest::prelude::*;
+
+fn arb_space() -> impl Strategy<Value = MemSpace> {
+    prop_oneof![
+        (0u8..8).prop_map(|g| MemSpace::Hbm(GcdId(g))),
+        (0u8..4).prop_map(|n| MemSpace::Ddr(NumaId(n))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Usage accounting balances to zero after any alloc/free sequence, and
+    /// never exceeds capacity.
+    #[test]
+    fn accounting_balances(ops in proptest::collection::vec((any::<bool>(), arb_space(), 1u64..1_000_000), 1..60)) {
+        let mut m = MemorySystem::new();
+        m.set_phantom_threshold(4096);
+        let mut live: Vec<(BufferId, MemSpace, u64)> = Vec::new();
+        let mut expected: std::collections::BTreeMap<MemSpace, u64> = Default::default();
+        for (is_alloc, space, bytes) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(id) = m.allocate(MemKind::Device, space, bytes) {
+                    live.push((id, space, bytes));
+                    *expected.entry(space).or_default() += bytes;
+                }
+            } else {
+                let (id, space, bytes) = live.swap_remove(live.len() / 2);
+                m.free(id).unwrap();
+                *expected.get_mut(&space).unwrap() -= bytes;
+            }
+            for (&s, &e) in &expected {
+                prop_assert_eq!(m.used(s), e);
+                prop_assert!(e <= s.capacity());
+            }
+        }
+        for (id, space, bytes) in live.drain(..) {
+            let before = m.used(space);
+            m.free(id).unwrap();
+            prop_assert_eq!(m.used(space), before - bytes);
+        }
+        prop_assert_eq!(m.live_allocations(), 0);
+    }
+
+    /// Copies between random buffers at random offsets preserve bytes
+    /// exactly and never disturb bytes outside the destination range.
+    #[test]
+    fn copies_are_exact_and_contained(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        dst_size_extra in 0u64..64,
+        dst_off in 0u64..32,
+    ) {
+        let mut m = MemorySystem::new();
+        let len = payload.len() as u64;
+        let dst_size = dst_off + len + dst_size_extra;
+        let src = m.allocate(MemKind::Device, MemSpace::Hbm(GcdId(0)), len).unwrap();
+        let dst = m.allocate(MemKind::Device, MemSpace::Hbm(GcdId(1)), dst_size).unwrap();
+        m.write_bytes(src, 0, &payload).unwrap();
+        m.write_bytes(dst, 0, &vec![0xAB; dst_size as usize]).unwrap();
+        m.copy(src, 0, dst, dst_off, len).unwrap();
+        let out = m.read_bytes(dst, 0, dst_size).unwrap().unwrap();
+        prop_assert!(out[..dst_off as usize].iter().all(|&b| b == 0xAB), "prefix intact");
+        prop_assert_eq!(&out[dst_off as usize..(dst_off + len) as usize], payload.as_slice());
+        prop_assert!(out[(dst_off + len) as usize..].iter().all(|&b| b == 0xAB), "suffix intact");
+    }
+
+    /// Page-table migrations keep per-space resident byte totals equal to
+    /// the allocation size, whatever the sequence of range migrations.
+    #[test]
+    fn residency_totals_are_conserved(
+        bytes in 1u64..100_000,
+        moves in proptest::collection::vec((0u8..8, 0u64..100_000, 1u64..50_000), 0..20),
+    ) {
+        let mut m = MemorySystem::new();
+        let home = MemSpace::Ddr(NumaId(0));
+        let id = m.allocate(MemKind::Managed, home, bytes).unwrap();
+        let spaces: Vec<MemSpace> = (0..8).map(|g| MemSpace::Hbm(GcdId(g))).chain([home]).collect();
+        for (g, off, len) in moves {
+            let a = m.get_mut(id).unwrap();
+            let pt = a.pages.as_mut().unwrap();
+            let off = off % bytes;
+            let len = len.min(bytes - off).max(1);
+            pt.migrate_range(off, len, MemSpace::Hbm(GcdId(g)));
+            let total: u64 = spaces
+                .iter()
+                .map(|&s| a.pages.as_ref().unwrap().resident_bytes(s))
+                .sum();
+            prop_assert_eq!(total, bytes, "residency partition");
+        }
+    }
+
+    /// f32 round-trips are lossless through any buffer.
+    #[test]
+    fn f32_roundtrip_is_exact(values in proptest::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 1..64)) {
+        let mut m = MemorySystem::new();
+        let id = m
+            .allocate(MemKind::HostPinned(Default::default()), MemSpace::Ddr(NumaId(1)), values.len() as u64 * 4)
+            .unwrap();
+        m.write_f32s(id, 0, &values).unwrap();
+        let out = m.read_f32s(id, 0, values.len()).unwrap().unwrap();
+        prop_assert_eq!(out, values);
+    }
+}

@@ -1,0 +1,316 @@
+//! CommScope-style host-to-device cases (paper §IV, Figs. 2–3 and 7) and
+//! the NUMA-placement benchmark (§IV-B).
+
+use crate::config::BenchConfig;
+use crate::report::{Matrix, Series};
+use ifsim_des::units::{bw_bytes_per_sec, to_gbps};
+use ifsim_des::Summary;
+use ifsim_hip::{
+    EnvConfig, GcdId, HostAllocFlags, KernelSpec, MemcpyKind, NumaId,
+};
+
+/// The four host-to-device interfaces of Fig. 3 / Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum H2dInterface {
+    /// `hipMemcpy` from `hipHostMalloc` (non-coherent pinned) memory.
+    MemcpyPinned,
+    /// `hipMemcpy` from `malloc` (pageable) memory.
+    MemcpyPageable,
+    /// GPU kernel reading `hipMallocManaged` memory zero-copy (XNACK=0).
+    ManagedZeroCopy,
+    /// GPU kernel faulting `hipMallocManaged` pages over (XNACK=1).
+    ManagedMigration,
+}
+
+impl H2dInterface {
+    /// All four, in the paper's legend order.
+    pub const ALL: [H2dInterface; 4] = [
+        H2dInterface::MemcpyPinned,
+        H2dInterface::MemcpyPageable,
+        H2dInterface::ManagedZeroCopy,
+        H2dInterface::ManagedMigration,
+    ];
+
+    /// Legend label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            H2dInterface::MemcpyPinned => "pinned (hipMemcpy)",
+            H2dInterface::MemcpyPageable => "pageable (hipMemcpy)",
+            H2dInterface::ManagedZeroCopy => "managed (zero-copy)",
+            H2dInterface::ManagedMigration => "managed (migration)",
+        }
+    }
+
+    /// The environment the interface requires (XNACK for migration).
+    pub fn env(self) -> EnvConfig {
+        match self {
+            H2dInterface::ManagedMigration => EnvConfig::with_xnack(),
+            _ => EnvConfig::default(),
+        }
+    }
+}
+
+/// One host-to-device bandwidth measurement at `bytes`, averaged over the
+/// configured repetitions. Device 0 is used, as in the original.
+pub fn h2d_bandwidth(cfg: &BenchConfig, iface: H2dInterface, bytes: u64) -> f64 {
+    let mut hip = cfg.runtime(iface.env());
+    hip.set_device(0).expect("device 0 exists");
+    let dev = hip.malloc(bytes).expect("device buffer");
+    let mut samples = Vec::with_capacity(cfg.reps);
+    for rep in 0..cfg.warmup + cfg.reps {
+        let bw = match iface {
+            H2dInterface::MemcpyPinned => {
+                let host = hip
+                    .host_malloc(bytes, HostAllocFlags::non_coherent())
+                    .expect("pinned buffer");
+                let t0 = hip.now();
+                hip.memcpy(dev, 0, host, 0, bytes, MemcpyKind::HostToDevice)
+                    .expect("copy");
+                let bw = bw_bytes_per_sec(bytes as f64, hip.now() - t0);
+                hip.free(host).expect("free");
+                bw
+            }
+            H2dInterface::MemcpyPageable => {
+                let host = hip.malloc_pageable(bytes).expect("pageable buffer");
+                let t0 = hip.now();
+                hip.memcpy(dev, 0, host, 0, bytes, MemcpyKind::HostToDevice)
+                    .expect("copy");
+                let bw = bw_bytes_per_sec(bytes as f64, hip.now() - t0);
+                hip.free(host).expect("free");
+                bw
+            }
+            H2dInterface::ManagedZeroCopy | H2dInterface::ManagedMigration => {
+                // Fresh managed allocation per repetition so migration is
+                // re-measured from CPU residency, as CommScope does.
+                let managed = hip.malloc_managed(bytes).expect("managed buffer");
+                let t0 = hip.now();
+                hip.launch_kernel(KernelSpec::StreamCopy {
+                    src: managed,
+                    dst: dev,
+                    elems: (bytes / 4) as usize,
+                })
+                .expect("kernel");
+                hip.device_synchronize().expect("sync");
+                let bw = bw_bytes_per_sec(bytes as f64, hip.now() - t0);
+                hip.free(managed).expect("free");
+                bw
+            }
+        };
+        if rep >= cfg.warmup {
+            samples.push(to_gbps(bw));
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// Fig. 3: bandwidth over a size sweep for one interface.
+pub fn h2d_sweep(cfg: &BenchConfig, iface: H2dInterface, sizes: &[u64]) -> Series {
+    let mut s = Series::new(iface.label(), "GB/s");
+    for &bytes in sizes {
+        s.push(bytes, h2d_bandwidth(cfg, iface, bytes));
+    }
+    s
+}
+
+/// Fig. 3, all four interfaces.
+pub fn h2d_all_interfaces(cfg: &BenchConfig, sizes: &[u64]) -> Vec<Series> {
+    H2dInterface::ALL
+        .iter()
+        .map(|&i| h2d_sweep(cfg, i, sizes))
+        .collect()
+}
+
+/// Fig. 2: per-interface peak over the standard sweep.
+pub fn h2d_peaks(cfg: &BenchConfig, sizes: &[u64]) -> Vec<(String, f64)> {
+    h2d_all_interfaces(cfg, sizes)
+        .into_iter()
+        .map(|s| (s.label.clone(), s.peak()))
+        .collect()
+}
+
+/// Device-to-host bandwidth at `bytes` for one interface (the reverse
+/// direction of Fig. 3; CommScope measures both). Managed interfaces read
+/// back with a host-side consumer after device residency, so only the
+/// explicit-copy interfaces apply here.
+pub fn d2h_bandwidth(cfg: &BenchConfig, pinned: bool, bytes: u64) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    hip.set_device(0).expect("device 0");
+    let dev = hip.malloc(bytes).expect("device buffer");
+    let mut samples = Vec::with_capacity(cfg.reps);
+    for rep in 0..cfg.warmup + cfg.reps {
+        let host = if pinned {
+            hip.host_malloc(bytes, HostAllocFlags::non_coherent())
+                .expect("pinned")
+        } else {
+            hip.malloc_pageable(bytes).expect("pageable")
+        };
+        let t0 = hip.now();
+        hip.memcpy(host, 0, dev, 0, bytes, MemcpyKind::DeviceToHost)
+            .expect("copy");
+        if rep >= cfg.warmup {
+            samples.push(to_gbps(bw_bytes_per_sec(bytes as f64, hip.now() - t0)));
+        }
+        hip.free(host).expect("free");
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// D2H sweep (pinned and pageable series) over the standard sizes.
+pub fn d2h_sweep(cfg: &BenchConfig, sizes: &[u64]) -> Vec<Series> {
+    let mut pinned = Series::new("pinned (hipMemcpy D2H)", "GB/s");
+    let mut pageable = Series::new("pageable (hipMemcpy D2H)", "GB/s");
+    for &bytes in sizes {
+        pinned.push(bytes, d2h_bandwidth(cfg, true, bytes));
+        pageable.push(bytes, d2h_bandwidth(cfg, false, bytes));
+    }
+    vec![pinned, pageable]
+}
+
+/// §IV-B: the NUMA-to-GPU bandwidth matrix — pinned copies from every NUMA
+/// domain to every GCD. The paper found no measurable degradation for
+/// non-optimal placement; the matrix lets callers verify the same here.
+pub fn numa_to_gpu_matrix(cfg: &BenchConfig, bytes: u64) -> Matrix {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    let n_gcds = hip.device_count();
+    let mut m = Matrix::new("pinned H2D bandwidth by NUMA placement", "GB/s", n_gcds);
+    for numa in 0..4u8 {
+        for dev in 0..n_gcds {
+            hip.set_device(dev).expect("device exists");
+            let host = hip
+                .host_malloc_on_numa(bytes, HostAllocFlags::non_coherent(), NumaId(numa))
+                .expect("pinned on NUMA");
+            let devbuf = hip.malloc(bytes).expect("device buffer");
+            let t0 = hip.now();
+            hip.memcpy(devbuf, 0, host, 0, bytes, MemcpyKind::HostToDevice)
+                .expect("copy");
+            let bw = to_gbps(bw_bytes_per_sec(bytes as f64, hip.now() - t0));
+            // Reuse rows as NUMA index: matrix is 8×8 but only 4 NUMA rows.
+            m.set(numa as usize, dev, bw);
+            hip.free(host).expect("free");
+            hip.free(devbuf).expect("free");
+        }
+    }
+    m
+}
+
+/// Fig. 7: `hipMemcpyPeer` bandwidth from GCD0 to each directly-connected
+/// GCD over a size sweep.
+pub fn p2p_sweep(cfg: &BenchConfig, dsts: &[u8], sizes: &[u64]) -> Vec<Series> {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    hip.enable_all_peer_access().expect("peer access");
+    let mut out = Vec::new();
+    for &dst in dsts {
+        let width = hip
+            .topo()
+            .xgmi_width(GcdId(0), GcdId(dst))
+            .map(|w| w.lanes())
+            .unwrap_or(0);
+        let mut s = Series::new(
+            format!("GCD0->GCD{dst} ({width}x link)"),
+            "GB/s",
+        );
+        for &bytes in sizes {
+            hip.set_device(0).expect("device 0");
+            let src = hip.malloc(bytes).expect("src");
+            hip.set_device(dst as usize).expect("dst device");
+            let dbuf = hip.malloc(bytes).expect("dst");
+            hip.set_device(0).expect("device 0");
+            let mut samples = Vec::new();
+            for rep in 0..cfg.warmup + cfg.reps {
+                let t0 = hip.now();
+                hip.memcpy_peer(dbuf, dst as usize, src, 0, bytes)
+                    .expect("peer copy");
+                if rep >= cfg.warmup {
+                    samples.push(to_gbps(bw_bytes_per_sec(bytes as f64, hip.now() - t0)));
+                }
+            }
+            s.push(bytes, Summary::from_samples(&samples).mean);
+            hip.free(src).expect("free");
+            hip.free(dbuf).expect("free");
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_des::units::{GIB, KIB, MIB};
+
+    fn cfg() -> BenchConfig {
+        BenchConfig::quick()
+    }
+
+    #[test]
+    fn pinned_peaks_at_28_gbps_at_1_gib() {
+        let bw = h2d_bandwidth(&cfg(), H2dInterface::MemcpyPinned, GIB);
+        assert!((bw - 28.3).abs() < 0.3, "{bw}");
+    }
+
+    #[test]
+    fn interface_ranking_matches_fig2() {
+        // pinned > managed zero-copy > pageable > migration at large sizes.
+        let c = cfg();
+        let at = |i| h2d_bandwidth(&c, i, 256 * MIB);
+        let pinned = at(H2dInterface::MemcpyPinned);
+        let zc = at(H2dInterface::ManagedZeroCopy);
+        let pageable = at(H2dInterface::MemcpyPageable);
+        let mig = at(H2dInterface::ManagedMigration);
+        assert!(pinned > zc, "pinned {pinned} vs zero-copy {zc}");
+        assert!(zc > pageable, "zero-copy {zc} vs pageable {pageable}");
+        assert!(pageable > mig, "pageable {pageable} vs migration {mig}");
+        assert!((mig - 2.8).abs() < 0.3, "migration {mig}");
+    }
+
+    #[test]
+    fn zero_copy_tracks_pinned_until_32_mib() {
+        let c = cfg();
+        let zc_32 = h2d_bandwidth(&c, H2dInterface::ManagedZeroCopy, 32 * MIB);
+        let zc_64 = h2d_bandwidth(&c, H2dInterface::ManagedZeroCopy, 64 * MIB);
+        assert!(zc_32 > zc_64, "crossover: {zc_32} -> {zc_64}");
+        assert!((zc_64 - 25.5).abs() < 0.4, "large zero-copy {zc_64}");
+    }
+
+    #[test]
+    fn sweep_bandwidth_rises_with_size() {
+        let s = h2d_sweep(&cfg(), H2dInterface::MemcpyPinned, &[4 * KIB, MIB, GIB]);
+        assert_eq!(s.points.len(), 3);
+        assert!(s.points[0].1 < s.points[1].1);
+        assert!(s.points[1].1 < s.points[2].1);
+    }
+
+    #[test]
+    fn d2h_mirrors_h2d_for_pinned_memory() {
+        // The CPU link is symmetric (36 GB/s per direction): D2H pinned
+        // peaks where H2D does.
+        let c = cfg();
+        let d2h = d2h_bandwidth(&c, true, GIB);
+        let h2d = h2d_bandwidth(&c, H2dInterface::MemcpyPinned, GIB);
+        assert!((d2h - h2d).abs() / h2d < 0.02, "D2H {d2h} vs H2D {h2d}");
+        // Pageable D2H is slower and both series sweep cleanly.
+        let series = d2h_sweep(&c, &[MIB, GIB]);
+        assert!(series[1].at(GIB).unwrap() < series[0].at(GIB).unwrap());
+    }
+
+    #[test]
+    fn numa_placement_shows_no_degradation() {
+        // Paper §IV-B: no bandwidth penalty for non-optimal NUMA placement.
+        let m = numa_to_gpu_matrix(&cfg(), 256 * MIB);
+        let (min, max) = (m.min_off_diagonal(), m.max_off_diagonal());
+        // All combinations within a few percent of each other.
+        assert!(max / min < 1.05, "NUMA spread {min}..{max}");
+    }
+
+    #[test]
+    fn p2p_sweep_reproduces_fig7_utilization() {
+        // Single link: 75 % of 50; dual: 50 % of 100; quad: 25 % of 200.
+        let series = p2p_sweep(&cfg(), &[1, 2, 6], &[GIB]);
+        let quad = series[0].peak();
+        let single = series[1].peak();
+        let dual = series[2].peak();
+        assert!((single / 50.0 - 0.75).abs() < 0.02, "single {single}");
+        assert!((dual / 100.0 - 0.50).abs() < 0.02, "dual {dual}");
+        assert!((quad / 200.0 - 0.25).abs() < 0.02, "quad {quad}");
+    }
+}

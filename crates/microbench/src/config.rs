@@ -1,0 +1,78 @@
+//! Shared benchmark configuration.
+
+use ifsim_hip::{Calibration, EnvConfig, HipSim};
+
+/// How benchmark runtimes are constructed.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Jitter seed; a fixed seed makes every report byte-reproducible.
+    pub seed: u64,
+    /// Model constants (ablations swap these).
+    pub calib: Calibration,
+    /// Measured repetitions per data point.
+    pub reps: usize,
+    /// Warmup repetitions (discarded).
+    pub warmup: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            seed: 0xC0FFEE,
+            calib: Calibration::default(),
+            reps: 5,
+            warmup: 1,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Build a runtime under `env`, with timing-only (phantom) buffers —
+    /// the sweeps allocate the paper's multi-GiB arrays.
+    pub fn runtime(&self, env: EnvConfig) -> HipSim {
+        let mut hip = HipSim::with_config(
+            ifsim_hip::NodeTopology::frontier(),
+            self.calib.clone(),
+            env,
+            self.seed,
+        );
+        hip.mem_mut().set_phantom_threshold(0);
+        hip
+    }
+
+    /// Fewer repetitions (quick smoke runs of the full figure set).
+    pub fn quick() -> Self {
+        BenchConfig {
+            reps: 2,
+            warmup: 0,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_uses_phantom_buffers() {
+        let cfg = BenchConfig::default();
+        let mut hip = cfg.runtime(EnvConfig::default());
+        let b = hip.malloc(1024).unwrap();
+        assert!(!hip.mem().get(b).unwrap().backing.is_real());
+    }
+
+    #[test]
+    fn same_seed_same_runtime_behaviour() {
+        let cfg = BenchConfig::default();
+        let mut a = cfg.runtime(EnvConfig::default());
+        let mut b = cfg.runtime(EnvConfig::default());
+        let (ha, da) = (a.malloc_pageable(1 << 20).unwrap(), a.malloc(1 << 20).unwrap());
+        let (hb, db) = (b.malloc_pageable(1 << 20).unwrap(), b.malloc(1 << 20).unwrap());
+        a.memcpy(da, 0, ha, 0, 1 << 20, ifsim_hip::MemcpyKind::HostToDevice)
+            .unwrap();
+        b.memcpy(db, 0, hb, 0, 1 << 20, ifsim_hip::MemcpyKind::HostToDevice)
+            .unwrap();
+        assert_eq!(a.now().as_ns(), b.now().as_ns());
+    }
+}

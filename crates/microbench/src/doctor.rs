@@ -1,0 +1,153 @@
+//! Fabric doctor: sweep every direct xGMI link with kernel probes and flag
+//! the ones running below their expected bandwidth.
+//!
+//! This is the operational tool the paper's methodology naturally becomes:
+//! once the expected bandwidth of every link tier is known (Figs. 8–9),
+//! a quick probe pass distinguishes a healthy fabric from one with a link
+//! retrained at reduced speed.
+
+use crate::config::BenchConfig;
+use ifsim_des::units::{bw_bytes_per_sec, to_gbps, MIB};
+use ifsim_hip::{EnvConfig, GcdId, HipSim, KernelSpec, LinkKind};
+use std::fmt::Write as _;
+
+/// Health verdict for one direct link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkHealth {
+    /// One endpoint.
+    pub a: GcdId,
+    /// The other endpoint.
+    pub b: GcdId,
+    /// Aggregated xGMI lanes.
+    pub lanes: u32,
+    /// Measured unidirectional kernel bandwidth, GB/s.
+    pub measured: f64,
+    /// Expected bandwidth for a healthy link, GB/s.
+    pub expected: f64,
+    /// `measured / expected`.
+    pub ratio: f64,
+}
+
+impl LinkHealth {
+    /// Healthy means within `tolerance` of expected (e.g. 0.1 for ±10 %).
+    pub fn healthy(&self, tolerance: f64) -> bool {
+        self.ratio >= 1.0 - tolerance
+    }
+}
+
+/// Probe every direct xGMI link on the given runtime (which may have been
+/// fault-injected) with a unidirectional kernel copy.
+pub fn probe_links(hip: &mut HipSim, probe_bytes: u64) -> Vec<LinkHealth> {
+    hip.enable_all_peer_access().expect("peer access");
+    let elems = (probe_bytes / 4) as usize;
+    let calib_eff = hip.calib().eff_kernel_xgmi;
+    let pairs: Vec<(GcdId, GcdId, u32)> = hip
+        .topo()
+        .links()
+        .iter()
+        .filter_map(|l| match l.kind {
+            LinkKind::Xgmi(w) => Some((
+                l.a.as_gcd().expect("xGMI endpoints are GCDs"),
+                l.b.as_gcd().expect("xGMI endpoints are GCDs"),
+                w.lanes(),
+            )),
+            _ => None,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(pairs.len());
+    for (a, b, lanes) in pairs {
+        hip.set_device(a.idx()).expect("device");
+        let src = hip.malloc(probe_bytes).expect("src");
+        hip.set_device(b.idx()).expect("device");
+        let dst = hip.malloc(probe_bytes).expect("dst");
+        let t0 = hip.now();
+        hip.launch_kernel(KernelSpec::StreamCopy { src, dst, elems })
+            .expect("probe kernel");
+        hip.device_synchronize().expect("sync");
+        let measured = to_gbps(bw_bytes_per_sec(
+            probe_bytes as f64,
+            hip.now() - t0,
+        ));
+        let expected = to_gbps(calib_eff * lanes as f64 * 50e9);
+        out.push(LinkHealth {
+            a,
+            b,
+            lanes,
+            measured,
+            expected,
+            ratio: measured / expected,
+        });
+        hip.free(src).expect("free");
+        hip.free(dst).expect("free");
+    }
+    out
+}
+
+/// Probe a fresh, healthy runtime (baseline sanity pass).
+pub fn probe_healthy_node(cfg: &BenchConfig) -> Vec<LinkHealth> {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    probe_links(&mut hip, 64 * MIB)
+}
+
+/// Render a health report.
+pub fn render_report(health: &[LinkHealth], tolerance: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>6} {:>12} {:>12} {:>8}  verdict",
+        "link", "lanes", "measured", "expected", "ratio"
+    );
+    for h in health {
+        let verdict = if h.healthy(tolerance) { "OK" } else { "DEGRADED" };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>10.1} {:>12.1} {:>8.2}  {verdict}",
+            format!("{}-{}", h.a, h.b),
+            h.lanes,
+            h.measured,
+            h.expected,
+            h.ratio
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_node_passes_all_probes() {
+        let cfg = BenchConfig::quick();
+        let health = probe_healthy_node(&cfg);
+        assert_eq!(health.len(), 12, "4 quad + 2 dual + 6 single links");
+        for h in &health {
+            assert!(h.healthy(0.05), "{h:?}");
+            assert!((0.95..1.05).contains(&h.ratio), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn derated_link_is_flagged_and_localized() {
+        let cfg = BenchConfig::quick();
+        let mut hip = cfg.runtime(EnvConfig::default());
+        hip.derate_xgmi_link(GcdId(2), GcdId(4), 0.5).unwrap();
+        let health = probe_links(&mut hip, 64 * MIB);
+        let flagged: Vec<&LinkHealth> =
+            health.iter().filter(|h| !h.healthy(0.1)).collect();
+        assert_eq!(flagged.len(), 1, "exactly the injected fault: {flagged:?}");
+        assert_eq!((flagged[0].a, flagged[0].b), (GcdId(2), GcdId(4)));
+        assert!((0.45..0.55).contains(&flagged[0].ratio));
+    }
+
+    #[test]
+    fn report_renders_verdicts() {
+        let cfg = BenchConfig::quick();
+        let mut hip = cfg.runtime(EnvConfig::default());
+        hip.derate_xgmi_link(GcdId(0), GcdId(2), 0.3).unwrap();
+        let text = render_report(&probe_links(&mut hip, 16 * MIB), 0.1);
+        assert!(text.contains("DEGRADED"));
+        assert!(text.contains("OK"));
+        assert!(text.contains("GCD0-GCD2"));
+    }
+}

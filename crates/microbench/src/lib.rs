@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # ifsim-microbench — the paper's benchmark suites, ported to the simulator
+//!
+//! Rust re-implementations of every measurement tool in the paper's
+//! Table II, driving `ifsim-hip` / `ifsim-coll` instead of ROCm:
+//!
+//! | original | here | measures |
+//! |---|---|---|
+//! | CommScope host-to-device cases | [`comm_scope`] | CPU→GPU bandwidth per interface and transfer size (Figs. 2–3), NUMA placement (§IV-B), `hipMemcpyPeer` sweeps (Fig. 7) |
+//! | STREAM (copy) | [`stream`] | local HBM bandwidth, direct peer access (Figs. 8–9), multi-GCD CPU-GPU scaling (Figs. 4–5) |
+//! | p2pBandwidthLatencyTest | [`p2p_matrix`] | all-pairs peer latency and bandwidth matrices (Fig. 6) |
+//! | OSU micro-benchmarks | [`osu`] | MPI point-to-point bandwidth (Fig. 10) and MPI collective latency (Fig. 11) |
+//! | RCCL-tests | [`rccl_tests`] | RCCL collective latency (Figs. 11–12) |
+//!
+//! Each benchmark builds its own runtime(s) with the right environment
+//! (XNACK, SDMA switches, visible devices) from a [`BenchConfig`], runs
+//! warmup + measured repetitions against the virtual clock, and returns
+//! plain data ([`report::Series`] / [`report::Matrix`]) that the experiment
+//! layer (`ifsim-core`) formats and checks.
+
+pub mod comm_scope;
+pub mod config;
+pub mod doctor;
+pub mod osu;
+pub mod p2p_matrix;
+pub mod rccl_tests;
+pub mod report;
+pub mod stream;
+
+pub use config::BenchConfig;
+pub use report::{Matrix, Series};

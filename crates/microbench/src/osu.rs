@@ -1,0 +1,210 @@
+//! OSU micro-benchmark ports: MPI point-to-point bandwidth (Fig. 10) and
+//! MPI collective latency (Fig. 11's MPI series).
+
+use crate::config::BenchConfig;
+use crate::report::Series;
+use crate::stream::direct_p2p_unidirectional;
+use ifsim_coll::schedule::RankBuffers;
+use ifsim_coll::{Collective, MpiComm};
+use ifsim_des::units::{bw_bytes_per_sec, to_gbps, GIB};
+use ifsim_des::Summary;
+use ifsim_hip::EnvConfig;
+
+/// `osu_bw`: unidirectional MPI bandwidth between two devices at one
+/// message size (the paper uses 1 GiB), under the given SDMA setting.
+pub fn osu_p2p_bw(cfg: &BenchConfig, dst_dev: usize, bytes: u64, sdma: bool) -> f64 {
+    let env = if sdma {
+        EnvConfig::default()
+    } else {
+        EnvConfig::without_sdma()
+    };
+    let mut hip = cfg.runtime(env);
+    let comm = MpiComm::new(&mut hip, vec![0, dst_dev]).expect("two ranks");
+    hip.set_device(0).expect("rank 0 device");
+    let src = hip.malloc(bytes).expect("src");
+    hip.set_device(dst_dev).expect("rank 1 device");
+    let dst = hip.malloc(bytes).expect("dst");
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        let d = comm
+            .send_recv(&mut hip, 0, 1, src, dst, bytes)
+            .expect("send");
+        if rep >= cfg.warmup {
+            samples.push(to_gbps(bw_bytes_per_sec(bytes as f64, d)));
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// Fig. 10: for each destination GCD, MPI bandwidth with SDMA enabled and
+/// disabled, next to the direct-P2P STREAM reference. X is the destination
+/// GCD index.
+pub fn fig10_series(cfg: &BenchConfig) -> Vec<Series> {
+    let mut sdma_on = Series::new("MPI (SDMA enabled)", "GB/s");
+    let mut sdma_off = Series::new("MPI (SDMA disabled)", "GB/s");
+    let mut direct = Series::new("direct P2P (copy kernel)", "GB/s");
+    for dst in 1..8usize {
+        sdma_on.push(dst as u64, osu_p2p_bw(cfg, dst, GIB, true));
+        sdma_off.push(dst as u64, osu_p2p_bw(cfg, dst, GIB, false));
+        direct.push(dst as u64, direct_p2p_unidirectional(cfg, dst, GIB));
+    }
+    vec![sdma_on, sdma_off, direct]
+}
+
+/// `osu_latency`: ping-pong half-round-trip latency (µs) between two
+/// devices at a message size, under the default (SDMA) environment.
+pub fn osu_p2p_latency(cfg: &BenchConfig, dst_dev: usize, bytes: u64) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    let comm = MpiComm::new(&mut hip, vec![0, dst_dev]).expect("two ranks");
+    hip.set_device(0).expect("rank 0 device");
+    let a = hip.malloc(bytes.max(4)).expect("ping");
+    hip.set_device(dst_dev).expect("rank 1 device");
+    let b = hip.malloc(bytes.max(4)).expect("pong");
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        // One ping + one pong; OSU reports half the round trip.
+        let ping = comm.send_recv(&mut hip, 0, 1, a, b, bytes.max(4)).expect("ping");
+        let pong = comm.send_recv(&mut hip, 1, 0, b, a, bytes.max(4)).expect("pong");
+        if rep >= cfg.warmup {
+            samples.push((ping + pong).as_us() / 2.0);
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// Allocate OSU-style per-rank buffers for a collective run.
+pub fn collective_buffers(
+    hip: &mut ifsim_hip::HipSim,
+    n: usize,
+    elems: usize,
+) -> RankBuffers {
+    let mut send = Vec::new();
+    let mut recv = Vec::new();
+    for r in 0..n {
+        hip.set_device(r).expect("rank device");
+        send.push(hip.malloc(elems as u64 * 4).expect("send"));
+        recv.push(hip.malloc(elems as u64 * 4).expect("recv"));
+    }
+    RankBuffers { send, recv }
+}
+
+/// `osu_<collective>`: mean MPI collective latency (µs) over the configured
+/// repetitions at `msg_bytes`, ranks on devices `0..n`.
+pub fn mpi_collective_latency(
+    cfg: &BenchConfig,
+    coll: Collective,
+    n: usize,
+    msg_bytes: u64,
+) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    let comm = MpiComm::new(&mut hip, (0..n).collect()).expect("ranks");
+    let elems = (msg_bytes / 4) as usize;
+    let bufs = collective_buffers(&mut hip, n, elems);
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        let d = comm
+            .collective(&mut hip, coll, &bufs, elems, 0)
+            .expect("collective");
+        if rep >= cfg.warmup {
+            samples.push(d.as_us());
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// Fig. 11 (MPI side): latency vs. rank count for one collective.
+pub fn mpi_latency_vs_ranks(cfg: &BenchConfig, coll: Collective, msg_bytes: u64) -> Series {
+    let mut s = Series::new(format!("MPI {}", coll.name()), "us");
+    for n in 2..=8 {
+        s.push(n as u64, mpi_collective_latency(cfg, coll, n, msg_bytes));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_des::units::MIB;
+
+    fn cfg() -> BenchConfig {
+        let mut c = BenchConfig::quick();
+        c.reps = 1;
+        c
+    }
+
+    #[test]
+    fn sdma_mpi_never_exceeds_50_gbps() {
+        // Fig. 10: SDMA bandwidth is sub-50 everywhere, even to GCD1 (quad).
+        let c = cfg();
+        for dst in [1usize, 2, 6] {
+            let bw = osu_p2p_bw(&c, dst, GIB, true);
+            assert!(bw <= 50.5, "GCD0->GCD{dst}: {bw}");
+            assert!(bw > 35.0, "GCD0->GCD{dst}: {bw}");
+        }
+    }
+
+    #[test]
+    fn disabling_sdma_helps_wide_links_only() {
+        let c = cfg();
+        // Quad link: large gain.
+        let on = osu_p2p_bw(&c, 1, GIB, true);
+        let off = osu_p2p_bw(&c, 1, GIB, false);
+        assert!(off > 2.0 * on, "quad: {on} -> {off}");
+        // Single link: no gain (SDMA already near link capability).
+        let on2 = osu_p2p_bw(&c, 2, GIB, true);
+        let off2 = osu_p2p_bw(&c, 2, GIB, false);
+        assert!((off2 - on2).abs() / on2 < 0.12, "single: {on2} -> {off2}");
+    }
+
+    #[test]
+    fn sdma_disabled_mpi_sits_10_to_15_percent_below_direct_p2p() {
+        // Paper §V-C.
+        let c = cfg();
+        for dst in [1usize, 2] {
+            let mpi = osu_p2p_bw(&c, dst, GIB, false);
+            let direct = direct_p2p_unidirectional(&c, dst, GIB);
+            let deficit = 1.0 - mpi / direct;
+            assert!(
+                (0.08..0.18).contains(&deficit),
+                "GCD0->GCD{dst}: mpi {mpi}, direct {direct}, deficit {deficit}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_neighbor_destinations_match_neighbors() {
+        // Paper §V-C: no significant difference transferring to
+        // non-neighbor GCDs (3,4,5,7) vs. neighbors at the same tier.
+        let c = cfg();
+        let neighbor = osu_p2p_bw(&c, 2, GIB, true); // single link
+        for dst in [3usize, 4, 5] {
+            let bw = osu_p2p_bw(&c, dst, GIB, true);
+            assert!((bw - neighbor).abs() / neighbor < 0.05, "GCD{dst}: {bw}");
+        }
+    }
+
+    #[test]
+    fn osu_latency_tracks_the_interconnect_tiers() {
+        // Small-message MPI latency is protocol-dominated but still orders
+        // by path cost: same-package < single link < two-hop destinations.
+        let c = cfg();
+        let quad = osu_p2p_latency(&c, 1, 8);
+        let two_hop = osu_p2p_latency(&c, 4, 8);
+        assert!(quad < two_hop, "quad {quad} vs two-hop {two_hop}");
+        // And all values are MPI-speed: a few µs, not ns, not ms.
+        for v in [quad, two_hop] {
+            assert!((1.0..60.0).contains(&v), "{v} µs");
+        }
+    }
+
+    #[test]
+    fn mpi_collectives_complete_across_rank_counts() {
+        let c = cfg();
+        for coll in [Collective::AllReduce, Collective::Broadcast] {
+            for n in [2usize, 5, 8] {
+                let us = mpi_collective_latency(&c, coll, n, MIB);
+                assert!(us > 10.0 && us < 2000.0, "{coll:?} n={n}: {us} µs");
+            }
+        }
+    }
+}

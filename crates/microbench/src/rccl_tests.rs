@@ -1,0 +1,183 @@
+//! RCCL-tests port: collective latency with one CPU thread per GPU
+//! (Figs. 11–12).
+
+use crate::config::BenchConfig;
+use crate::osu::collective_buffers;
+use crate::report::Series;
+use ifsim_coll::{Collective, RcclComm};
+use ifsim_des::Summary;
+use ifsim_hip::EnvConfig;
+
+/// Mean RCCL collective latency (µs) at `msg_bytes` with ranks on devices
+/// `0..n`.
+pub fn rccl_collective_latency(
+    cfg: &BenchConfig,
+    coll: Collective,
+    n: usize,
+    msg_bytes: u64,
+) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    let comm = RcclComm::new(&mut hip, (0..n).collect()).expect("ranks");
+    let elems = (msg_bytes / 4) as usize;
+    let bufs = collective_buffers(&mut hip, n, elems);
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        let d = comm
+            .collective(&mut hip, coll, &bufs, elems, 0)
+            .expect("collective");
+        if rep >= cfg.warmup {
+            samples.push(d.as_us());
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// Fig. 12: latency vs. thread (rank) count for one collective.
+pub fn rccl_latency_vs_ranks(cfg: &BenchConfig, coll: Collective, msg_bytes: u64) -> Series {
+    let mut s = Series::new(format!("RCCL {}", coll.name()), "us");
+    for n in 2..=8 {
+        s.push(n as u64, rccl_collective_latency(cfg, coll, n, msg_bytes));
+    }
+    s
+}
+
+/// All five collectives for Fig. 12.
+pub fn fig12_series(cfg: &BenchConfig, msg_bytes: u64) -> Vec<Series> {
+    Collective::ALL
+        .iter()
+        .map(|&c| rccl_latency_vs_ranks(cfg, c, msg_bytes))
+        .collect()
+}
+
+/// Latency vs. message size at a fixed rank count — the sweep the paper
+/// fixes at 1 MiB, freed up as an axis.
+pub fn rccl_latency_vs_size(
+    cfg: &BenchConfig,
+    coll: Collective,
+    n: usize,
+    sizes: &[u64],
+) -> Series {
+    let mut s = Series::new(format!("RCCL {} ({n} ranks)", coll.name()), "us");
+    for &bytes in sizes {
+        s.push(bytes, rccl_collective_latency(cfg, coll, n, bytes));
+    }
+    s
+}
+
+/// RCCL all-to-all latency (µs), extension benchmark.
+pub fn rccl_alltoall_latency(cfg: &BenchConfig, n: usize, msg_bytes: u64) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    let comm = RcclComm::new(&mut hip, (0..n).collect()).expect("ranks");
+    let elems_raw = (msg_bytes / 4) as usize;
+    let elems = elems_raw - elems_raw % n; // uniform blocks
+    let bufs = collective_buffers(&mut hip, n, elems.max(n));
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        let d = comm
+            .all_to_all(&mut hip, &bufs, elems.max(n))
+            .expect("alltoall");
+        if rep >= cfg.warmup {
+            samples.push(d.as_us());
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_des::units::MIB;
+
+    fn cfg() -> BenchConfig {
+        let mut c = BenchConfig::quick();
+        c.reps = 1;
+        c
+    }
+
+    #[test]
+    fn two_rank_all_to_all_latency_is_near_the_lower_bound() {
+        // Paper §VI: dual-round collectives bounded below by 17.4 µs; the
+        // two-thread RCCL results sit close to it.
+        let c = cfg();
+        for coll in [
+            Collective::AllReduce,
+            Collective::ReduceScatter,
+            Collective::AllGather,
+        ] {
+            let us = rccl_collective_latency(&c, coll, 2, MIB);
+            assert!(
+                (12.0..30.0).contains(&us),
+                "{}: {us} µs vs 17.4 bound",
+                coll.name()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_rises_with_thread_count_then_dips_at_eight() {
+        // Fig. 12's shape for AllReduce: growth from 2 to 7, dip at 8.
+        let s = rccl_latency_vs_ranks(&cfg(), Collective::AllReduce, MIB);
+        let at = |n: u64| s.at(n).unwrap();
+        assert!(at(4) > at(2), "2->4: {} -> {}", at(2), at(4));
+        assert!(at(7) > at(4), "4->7: {} -> {}", at(4), at(7));
+        assert!(at(8) < at(7), "7->8 dip: {} -> {}", at(7), at(8));
+    }
+
+    #[test]
+    fn rooted_collectives_also_dip_at_eight() {
+        let c = cfg();
+        for coll in [Collective::Reduce, Collective::Broadcast] {
+            let s = rccl_latency_vs_ranks(&c, coll, MIB);
+            assert!(
+                s.at(8).unwrap() < s.at(7).unwrap(),
+                "{}: {} -> {}",
+                coll.name(),
+                s.at(7).unwrap(),
+                s.at(8).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_message_size() {
+        let c = cfg();
+        let s = rccl_latency_vs_size(
+            &c,
+            Collective::AllReduce,
+            8,
+            &[64 * 1024, MIB, 16 * MIB],
+        );
+        let v: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
+        assert!(v[0] < v[1] && v[1] < v[2], "{v:?}");
+        // Large messages amortize fixed costs: 16 MiB is not 16× the 1 MiB
+        // latency... but it is at least 8×, since 1 MiB is already mostly
+        // bandwidth-bound at 8 ranks.
+        assert!(v[2] / v[1] > 8.0 && v[2] / v[1] < 16.5, "{v:?}");
+    }
+
+    #[test]
+    fn alltoall_latency_is_comparable_to_allreduce() {
+        // Pairwise all-to-all moves (n-1)/n of the vector per rank, same
+        // order as ring AllReduce's 2(n-1)/n — latency lands in the same
+        // decade.
+        let c = cfg();
+        let a2a = rccl_alltoall_latency(&c, 8, MIB);
+        let ar = rccl_collective_latency(&c, Collective::AllReduce, 8, MIB);
+        assert!(a2a > 0.2 * ar && a2a < 5.0 * ar, "a2a {a2a} vs ar {ar}");
+    }
+
+    #[test]
+    fn rccl_beats_mpi_except_broadcast_at_eight_ranks() {
+        // The Fig. 11 headline, collective by collective.
+        let c = cfg();
+        for coll in Collective::ALL {
+            let rccl = rccl_collective_latency(&c, coll, 8, MIB);
+            let mpi = crate::osu::mpi_collective_latency(&c, coll, 8, MIB);
+            if coll == Collective::Broadcast {
+                assert!(mpi < rccl, "Broadcast: MPI {mpi} vs RCCL {rccl}");
+            } else {
+                assert!(rccl < mpi, "{}: RCCL {rccl} vs MPI {mpi}", coll.name());
+            }
+        }
+    }
+}

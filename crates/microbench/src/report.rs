@@ -1,0 +1,293 @@
+//! Result containers and text rendering shared by all benchmarks.
+
+use ifsim_des::units::fmt_bytes;
+use std::fmt::Write as _;
+
+/// One measured curve: y values (in `unit`) over an x sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label (matching the paper's figure legends).
+    pub label: String,
+    /// Unit of the y values (e.g. "GB/s", "us").
+    pub unit: String,
+    /// `(x, y)` points; x is a size in bytes or a count, per benchmark.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>, unit: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            unit: unit.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: u64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Largest y value. Panics on an empty series.
+    pub fn peak(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// y at a given x, if present.
+    pub fn at(&self, x: u64) -> Option<f64> {
+        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+    }
+}
+
+/// A square per-pair matrix (p2p latency/bandwidth, hop counts).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    /// Quantity name.
+    pub label: String,
+    /// Unit of the values.
+    pub unit: String,
+    /// Row-major `n × n` values; the diagonal is `None`.
+    pub values: Vec<Vec<Option<f64>>>,
+}
+
+impl Matrix {
+    /// New `n × n` matrix of `None`.
+    pub fn new(label: impl Into<String>, unit: impl Into<String>, n: usize) -> Self {
+        Matrix {
+            label: label.into(),
+            unit: unit.into(),
+            values: vec![vec![None; n]; n],
+        }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Set one cell.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.values[i][j] = Some(v);
+    }
+
+    /// Get one cell.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        self.values[i][j]
+    }
+
+    /// Smallest off-diagonal value.
+    pub fn min_off_diagonal(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .flatten()
+            .fold(f64::INFINITY, |a, &b| a.min(b))
+    }
+
+    /// Largest off-diagonal value.
+    pub fn max_off_diagonal(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .flatten()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    }
+
+    /// Render as an aligned text table with `D{i}` headers, as the original
+    /// `p2pBandwidthLatencyTest` prints.
+    pub fn render(&self) -> String {
+        let n = self.n();
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ({})", self.label, self.unit);
+        let _ = write!(out, "{:>6}", "D\\D");
+        for j in 0..n {
+            let _ = write!(out, "{:>9}", format!("D{j}"));
+        }
+        out.push('\n');
+        for i in 0..n {
+            let _ = write!(out, "{:>6}", format!("D{i}"));
+            for j in 0..n {
+                match self.values[i][j] {
+                    Some(v) => {
+                        let _ = write!(out, "{v:>9.2}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>9}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a set of series sharing an x sweep as an aligned table
+/// (x column + one column per series), with x formatted as a byte size.
+pub fn render_series_table(title: &str, x_label: &str, series: &[Series]) -> String {
+    render_series_table_with(title, x_label, series, fmt_bytes)
+}
+
+/// As [`render_series_table`], but x rendered as a plain count (rank
+/// numbers, GCD indices).
+pub fn render_series_table_counts(title: &str, x_label: &str, series: &[Series]) -> String {
+    render_series_table_with(title, x_label, series, |x| x.to_string())
+}
+
+fn render_series_table_with(
+    title: &str,
+    x_label: &str,
+    series: &[Series],
+    fmt_x: impl Fn(u64) -> String,
+) -> String {
+    let width = series
+        .iter()
+        .map(|s| s.label.len() + s.unit.len() + 4)
+        .max()
+        .unwrap_or(12)
+        .max(12);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{x_label:>12}");
+    for s in series {
+        let _ = write!(out, " {:>width$}", format!("{} ({})", s.label, s.unit));
+    }
+    out.push('\n');
+    let xs: Vec<u64> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+        .unwrap_or_default();
+    for x in xs {
+        let _ = write!(out, "{:>12}", fmt_x(x));
+        for s in series {
+            match s.at(x) {
+                Some(y) => {
+                    let _ = write!(out, " {y:>width$.2}");
+                }
+                None => {
+                    let _ = write!(out, " {:>width$}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render series as CSV (`x,label1,label2,...`), x in raw units.
+pub fn render_series_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
+    for s in series {
+        let _ = write!(out, ",{}", s.label);
+    }
+    out.push('\n');
+    let xs: Vec<u64> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+        .unwrap_or_default();
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.at(x) {
+                Some(y) => {
+                    let _ = write!(out, ",{y:.6}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a matrix as CSV.
+pub fn render_matrix_csv(m: &Matrix) -> String {
+    let mut out = String::new();
+    let n = m.n();
+    let _ = write!(out, "src\\dst");
+    for j in 0..n {
+        let _ = write!(out, ",{j}");
+    }
+    out.push('\n');
+    for i in 0..n {
+        let _ = write!(out, "{i}");
+        for j in 0..n {
+            match m.get(i, j) {
+                Some(v) => {
+                    let _ = write!(out, ",{v:.6}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_peak_and_lookup() {
+        let mut s = Series::new("pinned", "GB/s");
+        s.push(4096, 1.0);
+        s.push(8192, 28.3);
+        assert_eq!(s.peak(), 28.3);
+        assert_eq!(s.at(4096), Some(1.0));
+        assert_eq!(s.at(1), None);
+    }
+
+    #[test]
+    fn matrix_roundtrip_and_extremes() {
+        let mut m = Matrix::new("latency", "us", 3);
+        m.set(0, 1, 8.7);
+        m.set(1, 0, 9.0);
+        m.set(2, 1, 18.2);
+        assert_eq!(m.get(0, 1), Some(8.7));
+        assert_eq!(m.get(0, 2), None);
+        assert_eq!(m.min_off_diagonal(), 8.7);
+        assert_eq!(m.max_off_diagonal(), 18.2);
+    }
+
+    #[test]
+    fn matrix_render_has_headers_and_dashes() {
+        let mut m = Matrix::new("bw", "GB/s", 2);
+        m.set(0, 1, 50.0);
+        let text = m.render();
+        assert!(text.contains("D0"));
+        assert!(text.contains("50.00"));
+        assert!(text.contains('-'), "diagonal renders as dash");
+    }
+
+    #[test]
+    fn series_table_aligns_multiple_series() {
+        let mut a = Series::new("pinned", "GB/s");
+        let mut b = Series::new("pageable", "GB/s");
+        a.push(1024, 10.0);
+        b.push(1024, 5.0);
+        let t = render_series_table("fig", "size", &[a, b]);
+        assert!(t.contains("pinned"));
+        assert!(t.contains("pageable"));
+        assert!(t.contains("1 KiB"));
+    }
+
+    #[test]
+    fn csv_outputs_are_parseable() {
+        let mut a = Series::new("x", "GB/s");
+        a.push(2, 1.5);
+        let csv = render_series_csv("bytes", &[a]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("bytes,x"));
+        assert_eq!(lines.next(), Some("2,1.500000"));
+        let mut m = Matrix::new("m", "us", 2);
+        m.set(0, 1, 2.0);
+        let mcsv = render_matrix_csv(&m);
+        assert!(mcsv.contains("0,,2.000000"));
+    }
+}

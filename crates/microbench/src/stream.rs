@@ -1,0 +1,223 @@
+//! STREAM-copy benchmarks: local HBM, direct peer access (Figs. 8–9), and
+//! multi-GCD CPU–GPU scaling (Figs. 4–5).
+
+use crate::config::BenchConfig;
+use crate::report::Series;
+use ifsim_des::units::{bw_bytes_per_sec, to_gbps};
+use ifsim_des::Summary;
+use ifsim_hip::{EnvConfig, GcdId, HostAllocFlags, KernelSpec};
+
+/// Local-memory STREAM copy bandwidth on device 0 (2N bytes / elapsed) —
+/// the 1400 GB/s reference the paper quotes in §V-B.
+pub fn local_stream(cfg: &BenchConfig, bytes: u64) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    hip.set_device(0).expect("device 0");
+    let a = hip.malloc(bytes).expect("a");
+    let b = hip.malloc(bytes).expect("b");
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        let t0 = hip.now();
+        hip.launch_kernel(KernelSpec::StreamCopy {
+            src: a,
+            dst: b,
+            elems: (bytes / 4) as usize,
+        })
+        .expect("kernel");
+        hip.device_synchronize().expect("sync");
+        if rep >= cfg.warmup {
+            samples.push(to_gbps(bw_bytes_per_sec(2.0 * bytes as f64, hip.now() - t0)));
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// Fig. 8: STREAM copy on GCD0 with both arrays on a peer GCD, bidirectional
+/// bandwidth (2N/t) over a size sweep, one series per destination.
+pub fn peer_stream_sweep(cfg: &BenchConfig, dsts: &[u8], sizes: &[u64]) -> Vec<Series> {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    hip.enable_all_peer_access().expect("peer access");
+    let mut out = Vec::new();
+    for &dst in dsts {
+        let lanes = hip
+            .topo()
+            .xgmi_width(GcdId(0), GcdId(dst))
+            .map(|w| w.lanes())
+            .unwrap_or(0);
+        let mut s = Series::new(format!("data on GCD{dst} ({lanes}x link)"), "GB/s");
+        for &bytes in sizes {
+            hip.set_device(dst as usize).expect("dst device");
+            let a = hip.malloc(bytes).expect("a");
+            let b = hip.malloc(bytes).expect("b");
+            hip.set_device(0).expect("device 0");
+            let mut samples = Vec::new();
+            for rep in 0..cfg.warmup + cfg.reps {
+                let t0 = hip.now();
+                hip.launch_kernel(KernelSpec::StreamCopy {
+                    src: a,
+                    dst: b,
+                    elems: (bytes / 4) as usize,
+                })
+                .expect("kernel");
+                hip.device_synchronize().expect("sync");
+                if rep >= cfg.warmup {
+                    samples
+                        .push(to_gbps(bw_bytes_per_sec(2.0 * bytes as f64, hip.now() - t0)));
+                }
+            }
+            s.push(bytes, Summary::from_samples(&samples).mean);
+            hip.free(a).expect("free");
+            hip.free(b).expect("free");
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Fig. 9: peak bidirectional peer bandwidth per destination plus the
+/// achieved fraction of the link's theoretical bidirectional bandwidth.
+pub fn peer_stream_peaks(cfg: &BenchConfig, dsts: &[u8], bytes: u64) -> Vec<(String, f64, f64)> {
+    let topo = ifsim_hip::NodeTopology::frontier();
+    peer_stream_sweep(cfg, dsts, &[bytes])
+        .into_iter()
+        .zip(dsts)
+        .map(|(s, &dst)| {
+            let peak = s.peak();
+            let theory = topo
+                .xgmi_width(GcdId(0), GcdId(dst))
+                .map(|w| to_gbps(w.peak_bidir()))
+                .unwrap_or(f64::NAN);
+            (s.label.clone(), peak, peak / theory)
+        })
+        .collect()
+}
+
+/// Figs. 4–5: total bidirectional CPU–GPU bandwidth of parallel STREAM copy
+/// kernels over host-pinned buffers, one kernel per listed device —
+/// the multi-GPU program of the paper's Listing 1.
+pub fn multi_gpu_host_stream(cfg: &BenchConfig, devices: &[usize], bytes: u64) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    let elems = (bytes / 4) as usize;
+    let mut bufs = Vec::new();
+    for &d in devices {
+        hip.set_device(d).expect("device exists");
+        let a = hip
+            .host_malloc(bytes, HostAllocFlags::coherent())
+            .expect("a");
+        let b = hip
+            .host_malloc(bytes, HostAllocFlags::coherent())
+            .expect("b");
+        bufs.push((a, b));
+    }
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        let t0 = hip.now();
+        for (i, &d) in devices.iter().enumerate() {
+            hip.set_device(d).expect("device exists");
+            let (a, b) = bufs[i];
+            hip.launch_kernel(KernelSpec::StreamCopy {
+                src: a,
+                dst: b,
+                elems,
+            })
+            .expect("kernel");
+        }
+        for &d in devices {
+            hip.set_device(d).expect("device exists");
+            hip.device_synchronize().expect("sync");
+        }
+        if rep >= cfg.warmup {
+            let total = devices.len() as f64 * 2.0 * bytes as f64;
+            samples.push(to_gbps(bw_bytes_per_sec(total, hip.now() - t0)));
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+/// Fig. 10's "direct P2P" reference: unidirectional STREAM copy reading
+/// from a peer into local memory. Returns GB/s for data moving GCD0→`dst`.
+pub fn direct_p2p_unidirectional(cfg: &BenchConfig, dst: usize, bytes: u64) -> f64 {
+    let mut hip = cfg.runtime(EnvConfig::default());
+    hip.enable_all_peer_access().expect("peer access");
+    hip.set_device(0).expect("device 0");
+    let src = hip.malloc(bytes).expect("src on GCD0");
+    hip.set_device(dst).expect("dst device");
+    let local = hip.malloc(bytes).expect("local");
+    let mut samples = Vec::new();
+    for rep in 0..cfg.warmup + cfg.reps {
+        let t0 = hip.now();
+        hip.launch_kernel(KernelSpec::StreamCopy {
+            src,
+            dst: local,
+            elems: (bytes / 4) as usize,
+        })
+        .expect("kernel");
+        hip.device_synchronize().expect("sync");
+        if rep >= cfg.warmup {
+            samples.push(to_gbps(bw_bytes_per_sec(bytes as f64, hip.now() - t0)));
+        }
+    }
+    Summary::from_samples(&samples).mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_des::units::MIB;
+
+    fn cfg() -> BenchConfig {
+        BenchConfig::quick()
+    }
+
+    #[test]
+    fn local_stream_hits_87_percent_of_hbm() {
+        let bw = local_stream(&cfg(), 256 * MIB);
+        assert!((1330.0..1430.0).contains(&bw), "{bw} GB/s");
+    }
+
+    #[test]
+    fn peer_stream_shows_three_tiers() {
+        // Fig. 8: quad > dual > single, each at 43-44 % of theoretical.
+        let peaks = peer_stream_peaks(&cfg(), &[1, 6, 2], 512 * MIB);
+        let (quad, dual, single) = (peaks[0].1, peaks[1].1, peaks[2].1);
+        assert!(quad > dual && dual > single, "{quad} {dual} {single}");
+        for (label, _, ratio) in &peaks {
+            assert!(
+                (0.42..0.45).contains(ratio),
+                "{label}: achieved ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_gcd_spread_scales_but_same_package_does_not() {
+        // Fig. 4.
+        let c = cfg();
+        let one = multi_gpu_host_stream(&c, &[0], 64 * MIB);
+        let same = multi_gpu_host_stream(&c, &[0, 1], 64 * MIB);
+        let spread = multi_gpu_host_stream(&c, &[0, 2], 64 * MIB);
+        assert!(same / one < 1.1, "same-package {one} -> {same}");
+        assert!((spread / one - 2.0).abs() < 0.15, "spread {one} -> {spread}");
+    }
+
+    #[test]
+    fn scaling_saturates_at_four_gcds() {
+        // Fig. 5: 1-4 spread GCDs scale linearly; 8 adds nothing.
+        let c = cfg();
+        let b1 = multi_gpu_host_stream(&c, &[0], 64 * MIB);
+        let b4 = multi_gpu_host_stream(&c, &[0, 2, 4, 6], 64 * MIB);
+        let b8 = multi_gpu_host_stream(&c, &(0..8).collect::<Vec<_>>(), 64 * MIB);
+        assert!((b4 / b1 - 4.0).abs() < 0.3, "4-GCD scaling {b1} -> {b4}");
+        assert!(b8 / b4 < 1.05, "8 GCDs add nothing: {b4} -> {b8}");
+    }
+
+    #[test]
+    fn direct_p2p_exceeds_sdma_on_wide_links() {
+        let c = cfg();
+        let bw_quad = direct_p2p_unidirectional(&c, 1, 256 * MIB);
+        let bw_single = direct_p2p_unidirectional(&c, 2, 256 * MIB);
+        // Quad link unidirectional kernel read ≈ 0.87 × 200.
+        assert!(bw_quad > 150.0, "quad {bw_quad}");
+        // Single ≈ 0.87 × 50.
+        assert!((40.0..45.0).contains(&bw_single), "single {bw_single}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic random numbers for measurement jitter.
+//!
+//! A hand-rolled SplitMix64: tiny, fast, stable across platforms and crate
+//! versions — which matters more here than statistical strength, because the
+//! whole point is *reproducible* synthetic measurements. The `rand` crate is
+//! still used by higher layers for data initialization where convenient.
+
+/// SplitMix64 PRNG.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded generator. The same seed always yields the same stream.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small n used in simulation choices.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Approximately normal (Irwin–Hall of 12 uniforms), mean 0, stddev 1.
+    pub fn gaussian(&mut self) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..12 {
+            s += self.next_f64();
+        }
+        s - 6.0
+    }
+
+    /// Multiplicative jitter factor: `1 + gaussian()*rel`, clamped to
+    /// `[1-3rel, 1+3rel]` and floored at 0.05 so rates stay positive.
+    ///
+    /// Used to perturb simulated measurements the way a real machine's
+    /// run-to-run noise perturbs a microbenchmark.
+    pub fn jitter(&mut self, rel: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&rel));
+        let f = 1.0 + self.gaussian() * rel;
+        f.clamp((1.0 - 3.0 * rel).max(0.05), 1.0 + 3.0 * rel)
+    }
+
+    /// Fork an independent generator (e.g. per-subsystem streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64() ^ 0xA076_1D64_78BD_642F)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = Rng::new(9);
+        for _ in 0..1_000 {
+            let x = r.uniform(3.0, 5.0);
+            assert!((3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let x = r.below(8);
+            assert!(x < 8);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn gaussian_has_sane_moments() {
+        let mut r = Rng::new(13);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.gaussian();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn jitter_is_clamped_and_positive() {
+        let mut r = Rng::new(17);
+        for _ in 0..10_000 {
+            let f = r.jitter(0.05);
+            assert!(f > 0.0);
+            assert!((0.85..=1.15).contains(&f), "factor {f}");
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut a = Rng::new(23);
+        let mut b = a.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

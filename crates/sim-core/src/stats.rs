@@ -1,0 +1,159 @@
+//! Summary statistics for repeated measurements.
+//!
+//! Mirrors what the original microbenchmarks report: OSU prints averages,
+//! `p2pBandwidthLatencyTest` effectively reports per-pair means over 100
+//! repetitions, and CommScope reports the best/typical bandwidth per size.
+
+use crate::time::Dur;
+
+/// Summary of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarize `samples`. Panics on an empty slice — a benchmark that took
+    /// zero measurements is a harness bug worth failing loudly on.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "no samples to summarize");
+        let n = samples.len();
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Summary {
+            n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Summarize durations, in nanoseconds.
+    pub fn from_durs(durs: &[Dur]) -> Summary {
+        let ns: Vec<f64> = durs.iter().map(|d| d.as_ns()).collect();
+        Summary::from_samples(&ns)
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Percentile `p` (0–100) of pre-sorted data, linear interpolation.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile of unsorted data.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_sorted(&sorted, p)
+}
+
+/// Geometric mean of strictly positive samples.
+pub fn geomean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = samples
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive samples, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = Summary::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let b = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn median_interpolates_even_counts() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn percentiles_hit_extremes() {
+        let data = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&data, 0.0), 10.0);
+        assert_eq!(percentile(&data, 100.0), 30.0);
+        assert_eq!(percentile(&data, 50.0), 20.0);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_samples(&[7.5]);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn durations_summarize_in_ns() {
+        let s = Summary::from_durs(&[Dur::from_us(1.0), Dur::from_us(3.0)]);
+        assert_eq!(s.mean, 2000.0);
+    }
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_summary_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

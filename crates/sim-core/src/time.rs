@@ -1,0 +1,309 @@
+//! Virtual simulation time.
+//!
+//! Time is a non-negative `f64` count of nanoseconds since simulation start.
+//! `f64` keeps the fluid-flow arithmetic in `ifsim-fabric` exact enough
+//! (53-bit mantissa ≈ 104 days at nanosecond resolution) while allowing the
+//! fractional completion instants that max-min fair sharing produces.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(f64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dur(f64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        debug_assert!(ns.is_finite() && ns >= 0.0, "invalid time {ns}");
+        Time(ns)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Span from `earlier` to `self`. Panics in debug builds if negative.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur::from_ns(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Total ordering (no NaNs by construction).
+    #[inline]
+    pub fn total_cmp(&self, other: &Time) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0.0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        debug_assert!(ns.is_finite() && ns >= -1e-6, "invalid duration {ns}");
+        Dur(ns.max(0.0))
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        Dur::from_ns(us * 1e3)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Dur::from_ns(ms * 1e6)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Dur::from_ns(s * 1e9)
+    }
+
+    /// Nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0
+    }
+
+    /// Microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Duration needed to move `bytes` at `rate_bytes_per_sec`.
+    ///
+    /// Infinite rates produce a zero duration; zero rates are a bug in the
+    /// caller (a flow was scheduled on a zero-capacity path).
+    #[inline]
+    pub fn for_bytes(bytes: f64, rate_bytes_per_sec: f64) -> Dur {
+        if bytes <= 0.0 {
+            return Dur::ZERO;
+        }
+        assert!(
+            rate_bytes_per_sec > 0.0,
+            "transfer of {bytes} B scheduled at non-positive rate {rate_bytes_per_sec}"
+        );
+        Dur::from_secs(bytes / rate_bytes_per_sec)
+    }
+
+    /// The longer of two spans.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Total ordering (no NaNs by construction).
+    #[inline]
+    pub fn total_cmp(&self, other: &Dur) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        Dur::from_ns(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur::from_ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: f64) -> Dur {
+        Dur::from_ns(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: f64) -> Dur {
+        Dur::from_ns(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", crate::units::fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::units::fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::units::fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::units::fmt_ns(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = Time::from_ns(1500.0) + Dur::from_us(2.0);
+        assert_eq!(t.as_ns(), 3500.0);
+        assert_eq!((t - Time::from_ns(500.0)).as_us(), 3.0);
+    }
+
+    #[test]
+    fn duration_for_bytes_matches_rate() {
+        // 1 GB at 50 GB/s = 20 ms.
+        let d = Dur::for_bytes(1e9, 50e9);
+        assert!((d.as_ms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_takes_zero_time_even_at_zero_rate() {
+        assert_eq!(Dur::for_bytes(0.0, 0.0).as_ns(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive rate")]
+    fn positive_bytes_at_zero_rate_panics() {
+        let _ = Dur::for_bytes(8.0, 0.0);
+    }
+
+    #[test]
+    fn min_max_pick_correct_instant() {
+        let a = Time::from_ns(10.0);
+        let b = Time::from_ns(20.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn since_measures_span() {
+        let a = Time::from_ns(100.0);
+        let b = a + Dur::from_ns(42.0);
+        assert_eq!(b.since(a).as_ns(), 42.0);
+    }
+
+    #[test]
+    fn display_uses_adaptive_units() {
+        assert_eq!(format!("{}", Dur::from_us(12.5)), "12.500 us");
+        assert_eq!(format!("{}", Dur::from_secs(1.5)), "1.500 s");
+    }
+}

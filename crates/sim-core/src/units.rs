@@ -1,0 +1,137 @@
+//! Byte, bandwidth, and time units plus the pretty-printers shared by every
+//! report in the workspace.
+//!
+//! Following the paper's convention (§II footnote 3): **1 GB/s = 10⁹ bytes/s**
+//! for bandwidth, while transfer *sizes* in sweeps use binary units
+//! (KiB/MiB/GiB) as the original benchmarks do.
+
+/// 1 KiB in bytes.
+pub const KIB: u64 = 1 << 10;
+/// 1 MiB in bytes.
+pub const MIB: u64 = 1 << 20;
+/// 1 GiB in bytes.
+pub const GIB: u64 = 1 << 30;
+/// 1 KB (decimal) in bytes.
+pub const KB: u64 = 1_000;
+/// 1 MB (decimal) in bytes.
+pub const MB: u64 = 1_000_000;
+/// 1 GB (decimal) in bytes.
+pub const GB: u64 = 1_000_000_000;
+
+/// Bandwidth: gigabytes (10⁹ B) per second, expressed in bytes/s.
+#[inline]
+pub fn gbps(gb_per_s: f64) -> f64 {
+    gb_per_s * 1e9
+}
+
+/// Convert bytes/s to GB/s (decimal, paper convention).
+#[inline]
+pub fn to_gbps(bytes_per_s: f64) -> f64 {
+    bytes_per_s / 1e9
+}
+
+/// Bandwidth achieved moving `bytes` in `dur`.
+#[inline]
+pub fn bw_bytes_per_sec(bytes: f64, dur: crate::Dur) -> f64 {
+    if dur.as_secs() <= 0.0 {
+        return 0.0;
+    }
+    bytes / dur.as_secs()
+}
+
+/// Format a nanosecond quantity with an adaptive unit (`ns`, `us`, `ms`, `s`).
+pub fn fmt_ns(ns: f64) -> String {
+    let a = ns.abs();
+    if a < 1e3 {
+        format!("{ns:.1} ns")
+    } else if a < 1e6 {
+        format!("{:.3} us", ns / 1e3)
+    } else if a < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Format a byte count with an adaptive binary unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes < KIB {
+        format!("{bytes} B")
+    } else if bytes < MIB {
+        format!("{} KiB", bytes / KIB)
+    } else if bytes < GIB {
+        format!("{} MiB", bytes / MIB)
+    } else {
+        format!("{} GiB", bytes / GIB)
+    }
+}
+
+/// Format a bandwidth in bytes/s as `X.Y GB/s` (decimal GB, paper convention).
+pub fn fmt_bw(bytes_per_s: f64) -> String {
+    format!("{:.1} GB/s", to_gbps(bytes_per_s))
+}
+
+/// Powers-of-two size sweep from `lo` to `hi` inclusive (both rounded to the
+/// nearest power of two at or above the given bound).
+pub fn pow2_sweep(lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo > 0 && lo <= hi, "invalid sweep bounds [{lo}, {hi}]");
+    let mut out = Vec::new();
+    let mut s = lo.next_power_of_two();
+    while s <= hi {
+        out.push(s);
+        s = match s.checked_mul(2) {
+            Some(n) => n,
+            None => break,
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(KIB * KIB, MIB);
+        assert_eq!(MIB * KIB, GIB);
+        assert_eq!(KB * KB * KB, GB);
+    }
+
+    #[test]
+    fn gbps_roundtrip() {
+        assert_eq!(to_gbps(gbps(36.0)), 36.0);
+    }
+
+    #[test]
+    fn bandwidth_from_duration() {
+        // 1 GB in 20 ms = 50 GB/s.
+        let bw = bw_bytes_per_sec(1e9, crate::Dur::from_ms(20.0));
+        assert!((to_gbps(bw) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_reports_zero_bandwidth() {
+        assert_eq!(bw_bytes_per_sec(100.0, crate::Dur::ZERO), 0.0);
+    }
+
+    #[test]
+    fn byte_formatting_picks_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(4 * KIB), "4 KiB");
+        assert_eq!(fmt_bytes(32 * MIB), "32 MiB");
+        assert_eq!(fmt_bytes(8 * GIB), "8 GiB");
+    }
+
+    #[test]
+    fn pow2_sweep_covers_range() {
+        assert_eq!(pow2_sweep(4, 32), vec![4, 8, 16, 32]);
+        assert_eq!(pow2_sweep(3, 20), vec![4, 8, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep bounds")]
+    fn pow2_sweep_rejects_inverted_bounds() {
+        let _ = pow2_sweep(64, 4);
+    }
+}

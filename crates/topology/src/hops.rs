@@ -1,0 +1,52 @@
+//! The shortest-path hop matrix (the paper's Fig. 6a).
+
+use crate::node::NodeTopology;
+use crate::routing::Router;
+
+/// `matrix[a][b]` = number of hops on the shortest xGMI path from GCD `a`
+/// to GCD `b` (0 on the diagonal).
+pub fn hop_matrix(topo: &NodeTopology, router: &Router) -> Vec<Vec<usize>> {
+    let n = topo.n_gcds();
+    let mut m = vec![vec![0usize; n]; n];
+    for a in topo.gcds() {
+        for b in topo.gcds() {
+            m[a.idx()][b.idx()] = router.shortest_hops(a, b);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index pairs mirror the matrix notation
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_hop_matrix_matches_fig6a() {
+        let t = NodeTopology::frontier();
+        let r = Router::new(&t);
+        let m = hop_matrix(&t, &r);
+        // Direct neighbors of GCD0: 1 (quad), 2 (single), 6 (dual).
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[0][2], 1);
+        assert_eq!(m[0][6], 1);
+        // Everything else from GCD0 is two hops.
+        for b in [3, 4, 5, 7] {
+            assert_eq!(m[0][b], 2, "0->{b}");
+        }
+        // Symmetric with a zero diagonal and max of 2 anywhere.
+        for a in 0..8 {
+            assert_eq!(m[a][a], 0);
+            for b in 0..8 {
+                assert_eq!(m[a][b], m[b][a]);
+                assert!(m[a][b] <= 2);
+            }
+        }
+        // Exactly 12 undirected GCD-GCD adjacencies (4 quad + 2 dual + 6 single).
+        let direct: usize = (0..8)
+            .flat_map(|a| (0..8).map(move |b| (a, b)))
+            .filter(|&(a, b)| a < b && m[a][b] == 1)
+            .count();
+        assert_eq!(direct, 12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Typed identifiers for the entities of a node.
+//!
+//! Newtypes over small integers prevent the classic simulator bug of passing
+//! a GPU index where a NUMA index was expected. All are `Copy` and ordered so
+//! they can key `BTreeMap`s deterministically.
+
+use std::fmt;
+
+/// One Graphics Compute Die. The paper's node has eight (0–7); each is
+/// presented to users as an independent GPU.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GcdId(pub u8);
+
+/// One physical MI250X package (two GCDs). The paper's node has four (0–3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(pub u8);
+
+/// One CPU NUMA domain. The paper's node has four (0–3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NumaId(pub u8);
+
+/// An undirected link in the topology graph (index into the link table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// An endpoint of the interconnect graph: a GCD or a NUMA domain of the CPU.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PortId {
+    /// A Graphics Compute Die endpoint.
+    Gcd(GcdId),
+    /// A CPU NUMA-domain endpoint.
+    Numa(NumaId),
+}
+
+impl GcdId {
+    /// The physical GPU package this GCD belongs to (two GCDs per package).
+    #[inline]
+    pub fn gpu(self) -> GpuId {
+        GpuId(self.0 / 2)
+    }
+
+    /// The other GCD on the same MI250X package.
+    #[inline]
+    pub fn package_peer(self) -> GcdId {
+        GcdId(self.0 ^ 1)
+    }
+
+    /// Index as usize, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GpuId {
+    /// The two GCDs of this package.
+    #[inline]
+    pub fn gcds(self) -> [GcdId; 2] {
+        [GcdId(self.0 * 2), GcdId(self.0 * 2 + 1)]
+    }
+
+    /// Index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NumaId {
+    /// Index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// The GCD if this port is one.
+    pub fn as_gcd(self) -> Option<GcdId> {
+        match self {
+            PortId::Gcd(g) => Some(g),
+            PortId::Numa(_) => None,
+        }
+    }
+
+    /// The NUMA domain if this port is one.
+    pub fn as_numa(self) -> Option<NumaId> {
+        match self {
+            PortId::Numa(n) => Some(n),
+            PortId::Gcd(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for GcdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GCD{}", self.0)
+    }
+}
+impl fmt::Display for GcdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GCD{}", self.0)
+    }
+}
+impl fmt::Debug for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+impl fmt::Debug for NumaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NUMA{}", self.0)
+    }
+}
+impl fmt::Display for NumaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NUMA{}", self.0)
+    }
+}
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortId::Gcd(g) => write!(f, "{g:?}"),
+            PortId::Numa(n) => write!(f, "{n:?}"),
+        }
+    }
+}
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcds_map_to_packages() {
+        assert_eq!(GcdId(0).gpu(), GpuId(0));
+        assert_eq!(GcdId(1).gpu(), GpuId(0));
+        assert_eq!(GcdId(6).gpu(), GpuId(3));
+        assert_eq!(GcdId(7).gpu(), GpuId(3));
+    }
+
+    #[test]
+    fn package_peer_is_involution() {
+        for i in 0..8 {
+            let g = GcdId(i);
+            assert_eq!(g.package_peer().package_peer(), g);
+            assert_eq!(g.package_peer().gpu(), g.gpu());
+            assert_ne!(g.package_peer(), g);
+        }
+    }
+
+    #[test]
+    fn gpu_gcds_roundtrip() {
+        for p in 0..4 {
+            let gpu = GpuId(p);
+            for g in gpu.gcds() {
+                assert_eq!(g.gpu(), gpu);
+            }
+        }
+    }
+
+    #[test]
+    fn port_projections() {
+        assert_eq!(PortId::Gcd(GcdId(3)).as_gcd(), Some(GcdId(3)));
+        assert_eq!(PortId::Gcd(GcdId(3)).as_numa(), None);
+        assert_eq!(PortId::Numa(NumaId(1)).as_numa(), Some(NumaId(1)));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(format!("{}", GcdId(5)), "GCD5");
+        assert_eq!(format!("{}", PortId::Numa(NumaId(2))), "NUMA2");
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # ifsim-topology — the simulated machine
+//!
+//! Models the compute-node topology studied by the paper (its Fig. 1): one
+//! 64-core AMD EPYC (Zen 3) CPU with four NUMA domains and four MI250X GPUs,
+//! each made of two Graphics Compute Dies (GCDs), all interconnected with
+//! Infinity Fabric:
+//!
+//! - GCDs on the same MI250X package: a **quad** xGMI connection
+//!   (4 × 50 GB/s per direction = 200 GB/s/dir, 400 GB/s bidirectional);
+//! - two **dual** connections between packages (100 GB/s/dir);
+//! - six **single** connections between packages (50 GB/s/dir);
+//! - one CPU link per GCD (36 GB/s/dir, 72 GB/s bidirectional);
+//! - NUMA domain *n* is directly attached to GCDs {2n, 2n+1}.
+//!
+//! On top of the graph, [`routing`] implements the two path policies the
+//! paper distinguishes: shortest-hop and bandwidth-maximizing (the policy
+//! `hipMemcpyPeer` empirically uses — the (1,7)/(3,5) latency outliers in the
+//! paper's Fig. 6b are exactly the pairs where the two differ).
+
+pub mod hops;
+pub mod ids;
+pub mod link;
+pub mod node;
+pub mod numa;
+pub mod routing;
+pub mod validate;
+
+pub use hops::hop_matrix;
+pub use ids::{GcdId, GpuId, LinkId, NumaId, PortId};
+pub use link::{LinkKind, LinkSpec, XgmiWidth};
+pub use node::{NodeConfig, NodeTopology};
+pub use routing::{Path, RoutePolicy, Router};

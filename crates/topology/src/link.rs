@@ -1,0 +1,159 @@
+//! Link kinds, widths, and bandwidth specifications.
+//!
+//! Numbers from the paper §II-A and the AMD MI250 microarchitecture docs:
+//! each xGMI link runs 16-bit transactions at 25 GT/s → 50 GB/s peak per
+//! direction; GCD–GCD connections aggregate 1, 2 or 4 such links; each GCD's
+//! CPU connection is a single Infinity Fabric link at 36 GB/s per direction.
+
+use crate::ids::PortId;
+use ifsim_des::units::gbps;
+
+/// Number of aggregated xGMI links in a GCD–GCD connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum XgmiWidth {
+    /// 1 × 50 GB/s per direction.
+    Single,
+    /// 2 × 50 GB/s per direction.
+    Dual,
+    /// 4 × 50 GB/s per direction (same-package GCDs).
+    Quad,
+}
+
+impl XgmiWidth {
+    /// Number of physical xGMI links aggregated.
+    pub fn lanes(self) -> u32 {
+        match self {
+            XgmiWidth::Single => 1,
+            XgmiWidth::Dual => 2,
+            XgmiWidth::Quad => 4,
+        }
+    }
+
+    /// Peak bandwidth per direction, bytes/s.
+    pub fn peak_per_dir(self) -> f64 {
+        self.lanes() as f64 * XGMI_LINK_PER_DIR
+    }
+
+    /// Peak bidirectional bandwidth, bytes/s (the paper quotes these as
+    /// "multiples of 50+50 GB/s").
+    pub fn peak_bidir(self) -> f64 {
+        2.0 * self.peak_per_dir()
+    }
+}
+
+/// Peak bandwidth of one xGMI link, per direction (50 GB/s).
+pub const XGMI_LINK_PER_DIR: f64 = 50.0e9;
+
+/// Peak bandwidth of a CPU–GCD Infinity Fabric link, per direction (36 GB/s).
+pub const CPU_LINK_PER_DIR: f64 = 36.0e9;
+
+/// What a link physically is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// GCD–GCD Infinity Fabric (xGMI) connection of the given width.
+    Xgmi(XgmiWidth),
+    /// CPU(NUMA)–GCD Infinity Fabric link.
+    CpuGpu,
+    /// On-die CPU fabric between two NUMA domains. The paper observed no
+    /// measurable degradation from non-optimal NUMA placement because this
+    /// is much faster than the CPU–GPU links; we give it EPYC-class capacity.
+    NumaFabric,
+}
+
+impl LinkKind {
+    /// Peak bandwidth per direction, bytes/s.
+    pub fn peak_per_dir(self) -> f64 {
+        match self {
+            LinkKind::Xgmi(w) => w.peak_per_dir(),
+            LinkKind::CpuGpu => CPU_LINK_PER_DIR,
+            LinkKind::NumaFabric => gbps(140.0),
+        }
+    }
+}
+
+/// One undirected link of the node graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// First endpoint (the lower one in canonical order).
+    pub a: PortId,
+    /// Second endpoint.
+    pub b: PortId,
+    /// Physical kind, which determines capacity.
+    pub kind: LinkKind,
+}
+
+impl LinkSpec {
+    /// Construct with canonical endpoint ordering (`a <= b`), so the same
+    /// physical link always compares equal however it was specified.
+    pub fn new(a: PortId, b: PortId, kind: LinkKind) -> Self {
+        assert_ne!(a, b, "self-links are not part of the model");
+        if a <= b {
+            LinkSpec { a, b, kind }
+        } else {
+            LinkSpec { a: b, b: a, kind }
+        }
+    }
+
+    /// Whether `p` is one of the endpoints.
+    pub fn touches(&self, p: PortId) -> bool {
+        self.a == p || self.b == p
+    }
+
+    /// The endpoint opposite to `p`, if `p` is an endpoint.
+    pub fn opposite(&self, p: PortId) -> Option<PortId> {
+        if self.a == p {
+            Some(self.b)
+        } else if self.b == p {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GcdId, NumaId};
+
+    #[test]
+    fn xgmi_widths_scale_bandwidth() {
+        assert_eq!(XgmiWidth::Single.peak_per_dir(), 50.0e9);
+        assert_eq!(XgmiWidth::Dual.peak_per_dir(), 100.0e9);
+        assert_eq!(XgmiWidth::Quad.peak_per_dir(), 200.0e9);
+        assert_eq!(XgmiWidth::Quad.peak_bidir(), 400.0e9);
+    }
+
+    #[test]
+    fn cpu_link_is_36_gbps_per_dir() {
+        assert_eq!(LinkKind::CpuGpu.peak_per_dir(), 36.0e9);
+    }
+
+    #[test]
+    fn link_spec_canonicalizes_endpoints() {
+        let p = PortId::Gcd(GcdId(3));
+        let q = PortId::Gcd(GcdId(1));
+        let l1 = LinkSpec::new(p, q, LinkKind::Xgmi(XgmiWidth::Single));
+        let l2 = LinkSpec::new(q, p, LinkKind::Xgmi(XgmiWidth::Single));
+        assert_eq!(l1, l2);
+        assert_eq!(l1.a, q);
+    }
+
+    #[test]
+    fn opposite_endpoint_lookup() {
+        let g = PortId::Gcd(GcdId(0));
+        let n = PortId::Numa(NumaId(0));
+        let l = LinkSpec::new(g, n, LinkKind::CpuGpu);
+        assert_eq!(l.opposite(g), Some(n));
+        assert_eq!(l.opposite(n), Some(g));
+        assert_eq!(l.opposite(PortId::Gcd(GcdId(5))), None);
+        assert!(l.touches(g) && l.touches(n));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let g = PortId::Gcd(GcdId(0));
+        let _ = LinkSpec::new(g, g, LinkKind::CpuGpu);
+    }
+}

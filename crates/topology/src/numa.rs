@@ -1,0 +1,64 @@
+//! NUMA-domain helpers.
+//!
+//! On the studied node the CPU's 512 GB of DDR4 is split across four NUMA
+//! domains, each attached to the two GCDs of one MI250X package (§II). The
+//! mapping is what `rocm-smi --showtoponuma` reports on the real machine;
+//! the paper notes it is identical on Frontier and LUMI.
+
+use crate::ids::{GcdId, NumaId};
+use crate::node::NodeTopology;
+
+/// NUMA distance in fabric hops from a GCD's perspective: 0 when the
+/// allocation is in the GCD's directly attached domain, 1 otherwise
+/// (one extra on-die hop).
+pub fn numa_distance(topo: &NodeTopology, gcd: GcdId, numa: NumaId) -> usize {
+    usize::from(topo.numa_of(gcd) != numa)
+}
+
+/// The GCDs attached to a NUMA domain, in ascending order.
+pub fn gcds_of_numa(topo: &NodeTopology, numa: NumaId) -> Vec<GcdId> {
+    topo.gcds().filter(|g| topo.numa_of(*g) == numa).collect()
+}
+
+/// The `(GCD, NUMA)` affinity table, as the paper's Fig. 1 depicts it.
+pub fn affinity_table(topo: &NodeTopology) -> Vec<(GcdId, NumaId)> {
+    topo.gcds().map(|g| (g, topo.numa_of(g))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_numa_domain_hosts_one_package() {
+        let t = NodeTopology::frontier();
+        for n in t.numa_domains() {
+            let gcds = gcds_of_numa(&t, n);
+            assert_eq!(gcds.len(), 2, "{n}");
+            assert_eq!(gcds[0].gpu(), gcds[1].gpu(), "{n} spans packages");
+        }
+    }
+
+    #[test]
+    fn distances_are_zero_or_one() {
+        let t = NodeTopology::frontier();
+        for g in t.gcds() {
+            for n in t.numa_domains() {
+                let d = numa_distance(&t, g, n);
+                assert_eq!(d == 0, t.numa_of(g) == n);
+                assert!(d <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_table_is_complete_and_ordered() {
+        let t = NodeTopology::frontier();
+        let table = affinity_table(&t);
+        assert_eq!(table.len(), 8);
+        for (i, (g, n)) in table.iter().enumerate() {
+            assert_eq!(g.idx(), i);
+            assert_eq!(n.0, g.0 / 2);
+        }
+    }
+}

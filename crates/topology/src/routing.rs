@@ -1,0 +1,431 @@
+//! Path selection over the node graph.
+//!
+//! Two policies, matching the paper's analysis (§V-A):
+//!
+//! - [`RoutePolicy::ShortestHop`]: fewest links. In the Frontier topology no
+//!   GCD pair is further than two hops apart (the paper's Fig. 6a).
+//! - [`RoutePolicy::MaxBandwidth`]: maximize the bottleneck link bandwidth,
+//!   breaking ties by fewer hops. This is the policy the runtime's
+//!   `hipMemcpyPeer` empirically uses: for pairs (1,7) and (3,5) it picks a
+//!   *three*-hop quad–dual–quad route (100 GB/s bottleneck) over the
+//!   two-hop single–single routes (50 GB/s) — producing the paper's latency
+//!   outliers of 17.8–18.2 µs.
+//!
+//! GCD→GCD routes use only xGMI links (peer traffic is never bounced through
+//! the CPU); GCD→NUMA routes use the GCD's host link plus, when the target
+//! domain differs, one on-die NUMA-fabric hop.
+
+use crate::ids::{GcdId, LinkId, NumaId, PortId};
+use crate::link::LinkKind;
+use crate::node::NodeTopology;
+use std::collections::BTreeMap;
+
+/// Route selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RoutePolicy {
+    /// Fewest hops; ties broken by higher bottleneck bandwidth, then by
+    /// lexicographically smallest port sequence.
+    ShortestHop,
+    /// Highest bottleneck bandwidth; ties broken by fewer hops, then by
+    /// lexicographically smallest port sequence.
+    MaxBandwidth,
+}
+
+/// A concrete route: `ports.len() == links.len() + 1`, `links[i]` connects
+/// `ports[i]` to `ports[i+1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Path {
+    /// Visited ports, source first.
+    pub ports: Vec<PortId>,
+    /// Traversed links in order.
+    pub links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Number of hops (links traversed).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Source port.
+    pub fn src(&self) -> PortId {
+        self.ports[0]
+    }
+
+    /// Destination port.
+    pub fn dst(&self) -> PortId {
+        *self.ports.last().expect("path has at least one port")
+    }
+
+    /// The smallest per-direction link bandwidth along the path, bytes/s.
+    pub fn bottleneck_per_dir(&self, topo: &NodeTopology) -> f64 {
+        self.links
+            .iter()
+            .map(|l| topo.link(*l).kind.peak_per_dir())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether the path traverses `link`.
+    pub fn uses_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// The same route traversed in the opposite direction (traffic flowing
+    /// dst → src uses the reverse direction of every link).
+    pub fn reversed(&self) -> Path {
+        let mut ports = self.ports.clone();
+        let mut links = self.links.clone();
+        ports.reverse();
+        links.reverse();
+        Path { ports, links }
+    }
+
+    /// Sanity-check internal structure against a topology.
+    pub fn validate(&self, topo: &NodeTopology) {
+        assert_eq!(self.ports.len(), self.links.len() + 1, "malformed path");
+        for (i, l) in self.links.iter().enumerate() {
+            let spec = topo.link(*l);
+            assert_eq!(
+                spec.opposite(self.ports[i]),
+                Some(self.ports[i + 1]),
+                "link {l:?} does not connect {:?} to {:?}",
+                self.ports[i],
+                self.ports[i + 1]
+            );
+        }
+    }
+}
+
+/// Precomputed all-pairs routes for a topology.
+#[derive(Clone, Debug)]
+pub struct Router {
+    gcd_routes: BTreeMap<(GcdId, GcdId, RoutePolicy), Path>,
+    host_routes: BTreeMap<(GcdId, NumaId), Path>,
+}
+
+/// The maximum simple-path length explored for a topology: enough to cross
+/// a chain of all its GCDs, capped to keep enumeration tractable. On the
+/// Frontier graph the bandwidth-maximizing routes never exceed three hops
+/// (longer paths cannot raise any pair's bottleneck: every inter-component
+/// route crosses a single link), so the larger cap does not change any
+/// selected route there — it exists for sparse custom topologies.
+fn max_hops(topo: &NodeTopology) -> usize {
+    topo.n_gcds().saturating_sub(1).clamp(4, 7)
+}
+
+impl Router {
+    /// Precompute routes for all GCD pairs (both policies) and all
+    /// GCD→NUMA pairs.
+    pub fn new(topo: &NodeTopology) -> Self {
+        let mut gcd_routes = BTreeMap::new();
+        for a in topo.gcds() {
+            for b in topo.gcds() {
+                if a == b {
+                    continue;
+                }
+                let paths = enumerate_xgmi_paths(topo, a, b);
+                assert!(
+                    !paths.is_empty(),
+                    "no xGMI route between {a} and {b}; topology disconnected"
+                );
+                for policy in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+                    let best = select(topo, &paths, policy).clone();
+                    gcd_routes.insert((a, b, policy), best);
+                }
+            }
+        }
+        let mut host_routes = BTreeMap::new();
+        for g in topo.gcds() {
+            for n in topo.numa_domains() {
+                host_routes.insert((g, n), host_path(topo, g, n));
+            }
+        }
+        Router {
+            gcd_routes,
+            host_routes,
+        }
+    }
+
+    /// Route between two distinct GCDs under `policy`.
+    pub fn gcd_route(&self, a: GcdId, b: GcdId, policy: RoutePolicy) -> &Path {
+        self.gcd_routes
+            .get(&(a, b, policy))
+            .unwrap_or_else(|| panic!("no route {a} -> {b}"))
+    }
+
+    /// Route from a GCD to a CPU NUMA domain (host link + optional on-die hop).
+    pub fn host_route(&self, g: GcdId, n: NumaId) -> &Path {
+        self.host_routes
+            .get(&(g, n))
+            .unwrap_or_else(|| panic!("no host route {g} -> {n}"))
+    }
+
+    /// Hop count of the shortest GCD route (used for the Fig. 6a matrix).
+    pub fn shortest_hops(&self, a: GcdId, b: GcdId) -> usize {
+        if a == b {
+            0
+        } else {
+            self.gcd_route(a, b, RoutePolicy::ShortestHop).hops()
+        }
+    }
+}
+
+/// All simple xGMI-only paths between two GCDs up to [`max_hops`].
+fn enumerate_xgmi_paths(topo: &NodeTopology, from: GcdId, to: GcdId) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut ports = vec![PortId::Gcd(from)];
+    let mut links = Vec::new();
+    dfs(topo, PortId::Gcd(to), max_hops(topo), &mut ports, &mut links, &mut out);
+    out
+}
+
+fn dfs(
+    topo: &NodeTopology,
+    target: PortId,
+    hop_limit: usize,
+    ports: &mut Vec<PortId>,
+    links: &mut Vec<LinkId>,
+    out: &mut Vec<Path>,
+) {
+    let here = *ports.last().unwrap();
+    if here == target {
+        out.push(Path {
+            ports: ports.clone(),
+            links: links.clone(),
+        });
+        return;
+    }
+    if links.len() == hop_limit {
+        return;
+    }
+    for &(lid, next) in topo.neighbors(here) {
+        if !matches!(topo.link(lid).kind, LinkKind::Xgmi(_)) {
+            continue;
+        }
+        if ports.contains(&next) {
+            continue;
+        }
+        ports.push(next);
+        links.push(lid);
+        dfs(topo, target, hop_limit, ports, links, out);
+        ports.pop();
+        links.pop();
+    }
+}
+
+/// Pick the best path under a policy. Deterministic: full tie-break chain
+/// ends at the lexicographically smallest port sequence.
+fn select<'p>(topo: &NodeTopology, paths: &'p [Path], policy: RoutePolicy) -> &'p Path {
+    paths
+        .iter()
+        .min_by(|x, y| {
+            let (hx, hy) = (x.hops(), y.hops());
+            let (bx, by) = (
+                ordered(x.bottleneck_per_dir(topo)),
+                ordered(y.bottleneck_per_dir(topo)),
+            );
+            let primary = match policy {
+                RoutePolicy::ShortestHop => hx.cmp(&hy).then(by.cmp(&bx)),
+                RoutePolicy::MaxBandwidth => by.cmp(&bx).then(hx.cmp(&hy)),
+            };
+            primary.then_with(|| x.ports.cmp(&y.ports))
+        })
+        .expect("select called with at least one path")
+}
+
+/// Totally ordered f64 wrapper for tie-break keys (no NaNs by construction).
+fn ordered(x: f64) -> u64 {
+    debug_assert!(x >= 0.0 && x.is_finite());
+    x.to_bits()
+}
+
+/// The host route: GCD → local NUMA via the CPU link, plus one NUMA-fabric
+/// hop when the allocation lives in a different domain.
+fn host_path(topo: &NodeTopology, g: GcdId, n: NumaId) -> Path {
+    let cpu_link = topo.cpu_link(g);
+    let local = topo.numa_of(g);
+    let mut ports = vec![PortId::Gcd(g), PortId::Numa(local)];
+    let mut links = vec![cpu_link];
+    if local != n {
+        let hop = topo
+            .link_between(PortId::Numa(local), PortId::Numa(n))
+            .unwrap_or_else(|| panic!("NUMA fabric missing link {local} -> {n}"));
+        ports.push(PortId::Numa(n));
+        links.push(hop);
+    }
+    Path { ports, links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_des::units::gbps;
+
+    fn router() -> (NodeTopology, Router) {
+        let t = NodeTopology::frontier();
+        let r = Router::new(&t);
+        (t, r)
+    }
+
+    #[test]
+    fn all_routes_validate_structurally() {
+        let (t, r) = router();
+        for a in t.gcds() {
+            for b in t.gcds() {
+                if a == b {
+                    continue;
+                }
+                for p in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+                    let path = r.gcd_route(a, b, p);
+                    path.validate(&t);
+                    assert_eq!(path.src(), PortId::Gcd(a));
+                    assert_eq!(path.dst(), PortId::Gcd(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_paths_never_exceed_two_hops() {
+        // Paper Fig. 6a: "the length of the shortest path never exceeds two hops".
+        let (t, r) = router();
+        for a in t.gcds() {
+            for b in t.gcds() {
+                assert!(r.shortest_hops(a, b) <= 2, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_pairs_get_three_hop_max_bandwidth_routes() {
+        // Paper §V-A1: 1-7 routes via 1-0-6-7 and 3-5 via 3-2-4-5 under the
+        // bandwidth-maximizing policy, despite two-hop alternatives.
+        let (t, r) = router();
+        for (a, b) in [(1u8, 7u8), (3, 5), (7, 1), (5, 3)] {
+            let bw = r.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+            assert_eq!(bw.hops(), 3, "{a}-{b} bandwidth-max route");
+            assert_eq!(bw.bottleneck_per_dir(&t), gbps(100.0));
+            let sh = r.gcd_route(GcdId(a), GcdId(b), RoutePolicy::ShortestHop);
+            assert_eq!(sh.hops(), 2, "{a}-{b} shortest route");
+            assert_eq!(sh.bottleneck_per_dir(&t), gbps(50.0));
+        }
+    }
+
+    #[test]
+    fn outliers_are_the_only_policy_disagreements() {
+        let (t, r) = router();
+        let mut disagree = Vec::new();
+        for a in t.gcds() {
+            for b in t.gcds() {
+                if a == b {
+                    continue;
+                }
+                let sh = r.gcd_route(a, b, RoutePolicy::ShortestHop);
+                let bw = r.gcd_route(a, b, RoutePolicy::MaxBandwidth);
+                if bw.hops() > sh.hops() {
+                    disagree.push((a.0.min(b.0), a.0.max(b.0)));
+                }
+            }
+        }
+        disagree.sort();
+        disagree.dedup();
+        assert_eq!(disagree, vec![(1, 7), (3, 5)]);
+    }
+
+    #[test]
+    fn direct_pairs_route_over_their_link() {
+        let (t, r) = router();
+        for (a, b) in [(0u8, 1u8), (0, 2), (0, 6), (2, 4), (5, 7)] {
+            for p in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+                let path = r.gcd_route(GcdId(a), GcdId(b), p);
+                assert_eq!(path.hops(), 1, "{a}-{b} {p:?}");
+                assert_eq!(
+                    Some(path.links[0]),
+                    t.link_between(PortId::Gcd(GcdId(a)), PortId::Gcd(GcdId(b)))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_bandwidth_bottlenecks_match_paper_tiers() {
+        // From GCD0: quad to 1 (200 GB/s/dir), dual to 6 (100), single to 2 (50).
+        let (t, r) = router();
+        let bw = |b: u8| {
+            r.gcd_route(GcdId(0), GcdId(b), RoutePolicy::MaxBandwidth)
+                .bottleneck_per_dir(&t)
+        };
+        assert_eq!(bw(1), gbps(200.0));
+        assert_eq!(bw(6), gbps(100.0));
+        assert_eq!(bw(2), gbps(50.0));
+        // 0->7 can go 0-6-7 (dual then quad): bottleneck 100.
+        assert_eq!(bw(7), gbps(100.0));
+        // 0->3,4,5 bottleneck on a single link: 50.
+        for b in [3, 4, 5] {
+            assert_eq!(bw(b), gbps(50.0), "0->{b}");
+        }
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_cost() {
+        let (t, r) = router();
+        for a in t.gcds() {
+            for b in t.gcds() {
+                if a == b {
+                    continue;
+                }
+                for p in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+                    let ab = r.gcd_route(a, b, p);
+                    let ba = r.gcd_route(b, a, p);
+                    assert_eq!(ab.hops(), ba.hops(), "{a}<->{b} {p:?}");
+                    assert_eq!(
+                        ab.bottleneck_per_dir(&t),
+                        ba.bottleneck_per_dir(&t),
+                        "{a}<->{b} {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_paths_validate_and_swap_endpoints() {
+        let (t, r) = router();
+        let p = r.gcd_route(GcdId(1), GcdId(7), RoutePolicy::MaxBandwidth);
+        let rev = p.reversed();
+        rev.validate(&t);
+        assert_eq!(rev.src(), p.dst());
+        assert_eq!(rev.dst(), p.src());
+        assert_eq!(rev.hops(), p.hops());
+        assert_eq!(rev.reversed(), *p);
+    }
+
+    #[test]
+    fn host_routes_local_and_remote() {
+        let (t, r) = router();
+        let local = r.host_route(GcdId(0), NumaId(0));
+        assert_eq!(local.hops(), 1);
+        assert_eq!(local.links[0], t.cpu_link(GcdId(0)));
+        let remote = r.host_route(GcdId(0), NumaId(3));
+        assert_eq!(remote.hops(), 2);
+        assert!(matches!(t.link(remote.links[1]).kind, LinkKind::NumaFabric));
+        remote.validate(&t);
+    }
+
+    #[test]
+    fn gcd_routes_never_touch_the_cpu() {
+        let (t, r) = router();
+        for a in t.gcds() {
+            for b in t.gcds() {
+                if a == b {
+                    continue;
+                }
+                for p in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+                    for port in &r.gcd_route(a, b, p).ports {
+                        assert!(port.as_gcd().is_some(), "{a}->{b} routes through {port}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for routing over randomized valid topologies.
+
+use ifsim_topology::{
+    GcdId, LinkKind, LinkSpec, NodeConfig, NodeTopology, NumaId, PortId, RoutePolicy, Router,
+    XgmiWidth,
+};
+use proptest::prelude::*;
+
+/// Build a random valid topology: 2-4 packages, same-package quads always
+/// present, plus a random subset of inter-package links that keeps the GCD
+/// graph connected (a chain fallback guarantees it).
+fn arb_topology() -> impl Strategy<Value = NodeTopology> {
+    (2u8..=4, proptest::collection::vec(any::<u8>(), 0..10)).prop_map(|(n_gpus, extra)| {
+        let n_gcds = n_gpus * 2;
+        let mut links = Vec::new();
+        for gpu in 0..n_gpus {
+            links.push(LinkSpec::new(
+                PortId::Gcd(GcdId(gpu * 2)),
+                PortId::Gcd(GcdId(gpu * 2 + 1)),
+                LinkKind::Xgmi(XgmiWidth::Quad),
+            ));
+        }
+        // Chain the packages so the xGMI graph is connected.
+        for gpu in 0..n_gpus - 1 {
+            links.push(LinkSpec::new(
+                PortId::Gcd(GcdId(gpu * 2 + 1)),
+                PortId::Gcd(GcdId(gpu * 2 + 2)),
+                LinkKind::Xgmi(XgmiWidth::Single),
+            ));
+        }
+        // Random extra inter-package links (deduplicated).
+        for (i, &b) in extra.iter().enumerate() {
+            let a = (i as u8 * 3 + 1) % n_gcds;
+            let b = b % n_gcds;
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo == hi {
+                continue;
+            }
+            let spec = LinkSpec::new(
+                PortId::Gcd(GcdId(lo)),
+                PortId::Gcd(GcdId(hi)),
+                LinkKind::Xgmi(if b % 2 == 0 {
+                    XgmiWidth::Single
+                } else {
+                    XgmiWidth::Dual
+                }),
+            );
+            if !links.iter().any(|l| l.a == spec.a && l.b == spec.b) {
+                links.push(spec);
+            }
+        }
+        // CPU links and a NUMA mesh.
+        for g in 0..n_gcds {
+            links.push(LinkSpec::new(
+                PortId::Gcd(GcdId(g)),
+                PortId::Numa(NumaId(g / 2)),
+                LinkKind::CpuGpu,
+            ));
+        }
+        for a in 0..n_gpus {
+            for b in (a + 1)..n_gpus {
+                links.push(LinkSpec::new(
+                    PortId::Numa(NumaId(a)),
+                    PortId::Numa(NumaId(b)),
+                    LinkKind::NumaFabric,
+                ));
+            }
+        }
+        NodeTopology::custom(
+            NodeConfig {
+                n_gpus,
+                n_numa: n_gpus,
+            },
+            links,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On any valid topology, both policies produce structurally valid
+    /// paths with their cost contracts, for every GCD pair.
+    #[test]
+    fn routing_contracts_hold_on_random_topologies(topo in arb_topology()) {
+        ifsim_topology::validate::check(&topo).expect("constructed valid");
+        let router = Router::new(&topo);
+        for a in topo.gcds() {
+            for b in topo.gcds() {
+                if a == b {
+                    continue;
+                }
+                let sh = router.gcd_route(a, b, RoutePolicy::ShortestHop);
+                let bw = router.gcd_route(a, b, RoutePolicy::MaxBandwidth);
+                sh.validate(&topo);
+                bw.validate(&topo);
+                prop_assert_eq!(sh.src(), PortId::Gcd(a));
+                prop_assert_eq!(bw.dst(), PortId::Gcd(b));
+                prop_assert!(sh.hops() <= bw.hops());
+                prop_assert!(
+                    bw.bottleneck_per_dir(&topo) >= sh.bottleneck_per_dir(&topo) - 1e-6
+                );
+                // Routes never leave the GPU side.
+                prop_assert!(bw.ports.iter().all(|p| p.as_gcd().is_some()));
+            }
+        }
+    }
+
+    /// Route costs are symmetric on any topology (undirected links).
+    #[test]
+    fn route_costs_are_symmetric(topo in arb_topology()) {
+        let router = Router::new(&topo);
+        for a in topo.gcds() {
+            for b in topo.gcds() {
+                if a >= b {
+                    continue;
+                }
+                for policy in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+                    let ab = router.gcd_route(a, b, policy);
+                    let ba = router.gcd_route(b, a, policy);
+                    prop_assert_eq!(ab.hops(), ba.hops());
+                    prop_assert_eq!(
+                        ab.bottleneck_per_dir(&topo),
+                        ba.bottleneck_per_dir(&topo)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Host routes reach every NUMA domain in at most two hops, starting on
+    /// the GCD's own CPU link.
+    #[test]
+    fn host_routes_are_short_and_correct(topo in arb_topology()) {
+        let router = Router::new(&topo);
+        for g in topo.gcds() {
+            for n in topo.numa_domains() {
+                let p = router.host_route(g, n);
+                p.validate(&topo);
+                prop_assert!(p.hops() <= 2);
+                prop_assert_eq!(p.links[0], topo.cpu_link(g));
+                prop_assert_eq!(p.dst(), PortId::Numa(n));
+            }
+        }
+    }
+}

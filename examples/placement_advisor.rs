@@ -1,0 +1,58 @@
+//! Placement advisor: for a host↔device streaming workload, compare the
+//! memory interfaces and GCD placements of the paper's §IV and report what
+//! to use — the study's practical advice, executable.
+//!
+//! ```text
+//! cargo run --example placement_advisor            # 64 MiB default
+//! cargo run --example placement_advisor -- 512     # working set in MiB
+//! ```
+
+use ifsim::des::units::MIB;
+use ifsim::microbench::comm_scope::{h2d_bandwidth, H2dInterface};
+use ifsim::microbench::stream::multi_gpu_host_stream;
+use ifsim::microbench::BenchConfig;
+
+fn main() {
+    let mut cfg = BenchConfig::quick();
+    cfg.reps = 1;
+    let mib: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("working set in MiB"))
+        .unwrap_or(64);
+    let bytes = mib * MIB;
+
+    println!("=== host-to-device interface choice ({mib} MiB working set) ===\n");
+    let mut results: Vec<(&str, f64)> = H2dInterface::ALL
+        .iter()
+        .map(|&i| (i.label(), h2d_bandwidth(&cfg, i, bytes)))
+        .collect();
+    results.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (rank, (label, bw)) in results.iter().enumerate() {
+        println!("  {}. {label:<26} {bw:>7.1} GB/s", rank + 1);
+    }
+    let best = results[0].0;
+    println!("\nuse: {best}");
+    if mib <= 32 {
+        println!(
+            "note: at or below 32 MiB, managed zero-copy tracks pinned performance\n\
+             while being far simpler to program (single pointer, no explicit copies)."
+        );
+    }
+
+    println!("\n=== multi-GCD placement for CPU-GPU streaming ===\n");
+    let one = multi_gpu_host_stream(&cfg, &[0], bytes);
+    let same = multi_gpu_host_stream(&cfg, &[0, 1], bytes);
+    let spread = multi_gpu_host_stream(&cfg, &[0, 2], bytes);
+    let four = multi_gpu_host_stream(&cfg, &[0, 2, 4, 6], bytes);
+    let eight = multi_gpu_host_stream(&cfg, &(0..8).collect::<Vec<_>>(), bytes);
+    println!("  1 GCD:                     {one:>7.1} GB/s");
+    println!("  2 GCDs, same package:      {same:>7.1} GB/s   <- does not scale");
+    println!("  2 GCDs, spread packages:   {spread:>7.1} GB/s");
+    println!("  4 GCDs, one per package:   {four:>7.1} GB/s");
+    println!("  8 GCDs (all):              {eight:>7.1} GB/s   <- no gain over 4");
+    println!(
+        "\nadvice: bind one GCD per MI250X package (e.g. HIP_VISIBLE_DEVICES=0,2,4,6)\n\
+         for host-bandwidth-bound phases; each NUMA domain feeds only one GCD's\n\
+         worth of CPU-GPU traffic."
+    );
+}

@@ -1,0 +1,91 @@
+//! Proxy-application suite: run the three application proxies and print a
+//! per-phase report — the paper's guidance evaluated in application
+//! context rather than microbenchmarks.
+//!
+//! ```text
+//! cargo run --release --example proxy_suite
+//! ```
+
+use ifsim::apps::{cg, stencil, train};
+use ifsim::hip::{EnvConfig, HipSim};
+
+fn runtime() -> HipSim {
+    let mut hip = HipSim::new(EnvConfig::default());
+    hip.mem_mut().set_phantom_threshold(1 << 20);
+    hip
+}
+
+fn main() {
+    println!("=== ifsim proxy-application suite (8 GCDs) ===\n");
+
+    // 1. Stencil: direct vs host-staged halos.
+    println!("--- stencil2d: 4096 x 8192 cells, 4 iterations ---");
+    for (label, exchange) in [
+        ("direct peer halos", stencil::ExchangeStrategy::DirectPeer),
+        ("host-staged halos", stencil::ExchangeStrategy::HostStaged),
+    ] {
+        let mut hip = runtime();
+        let r = stencil::run(
+            &mut hip,
+            &stencil::StencilConfig {
+                exchange,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        println!(
+            "  {label:<20} total {:>10}  compute {:>10}  exchange {:>10} ({:.0}%)",
+            r.total,
+            r.compute,
+            r.exchange,
+            r.exchange_fraction() * 100.0
+        );
+    }
+
+    // 2. CG: RCCL vs MPI scalar reductions.
+    println!("\n--- cg-solve: 1M rows/rank, 5 iterations, 2 dots/iter ---");
+    for (label, lib) in [
+        ("RCCL reductions", cg::ReductionLib::Rccl),
+        ("MPI reductions ", cg::ReductionLib::Mpi),
+    ] {
+        let mut hip = runtime();
+        let r = cg::run(
+            &mut hip,
+            &cg::CgConfig {
+                lib,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        println!(
+            "  {label:<20} total {:>10}  local {:>10}  reductions {:>10} ({:.0}%)",
+            r.total,
+            r.local,
+            r.reductions,
+            r.reduction_fraction() * 100.0
+        );
+    }
+
+    // 3. Training step: synchronous vs overlapped ingestion.
+    println!("\n--- train-step: 64 MiB gradients, 32 MiB batches, 3 steps ---");
+    for (label, overlap) in [("synchronous input", false), ("overlapped input ", true)] {
+        let mut hip = runtime();
+        let r = train::run(
+            &mut hip,
+            &train::TrainConfig {
+                overlap_ingestion: overlap,
+                compute_passes: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        println!(
+            "  {label:<20} per-step {:>10}  allreduce share {:.0}%",
+            r.per_step,
+            100.0 * r.allreduce.as_secs() / r.total.as_secs()
+        );
+    }
+    println!("\nTakeaways (matching the paper): GPU-direct halos, RCCL for small");
+    println!("reductions, and SDMA-engine copy/compute overlap all pay off at");
+    println!("application scale.");
+}

@@ -1,0 +1,207 @@
+//! Integration scenarios spanning the whole stack: runtime + memory +
+//! fabric + collectives driven together, the way an application would.
+
+use ifsim::coll::schedule::RankBuffers;
+use ifsim::coll::{Collective, MpiComm, RcclComm};
+use ifsim::des::units::MIB;
+use ifsim::hip::{EnvConfig, HipSim, HostAllocFlags, KernelSpec, MemcpyKind};
+
+/// A miniature "application": host produces data, spreads it across four
+/// GCDs, each GPU computes, results are all-reduced with RCCL, and the
+/// host reads the answer back. Every byte is verified.
+#[test]
+fn produce_compute_allreduce_consume_pipeline() {
+    let mut hip = HipSim::new(EnvConfig::default());
+    let n = 4;
+    let elems = 1024usize;
+    let bytes = elems as u64 * 4;
+
+    // Host produces per-GPU inputs.
+    hip.set_device(0).unwrap();
+    let host_in = hip.host_malloc(bytes, HostAllocFlags::coherent()).unwrap();
+    hip.mem_mut()
+        .write_f32s(host_in, 0, &vec![0.5f32; elems])
+        .unwrap();
+
+    // Scatter to the GPUs (explicit copies) and square on-device via scale.
+    let mut dev_in = Vec::new();
+    let mut dev_out = Vec::new();
+    for d in 0..n {
+        hip.set_device(d).unwrap();
+        let b_in = hip.malloc(bytes).unwrap();
+        let b_out = hip.malloc(bytes).unwrap();
+        hip.memcpy(b_in, 0, host_in, 0, bytes, MemcpyKind::HostToDevice)
+            .unwrap();
+        hip.launch_kernel(KernelSpec::StreamScale {
+            src: b_in,
+            dst: b_out,
+            scalar: (d + 1) as f32,
+            elems,
+        })
+        .unwrap();
+        hip.device_synchronize().unwrap();
+        dev_in.push(b_in);
+        dev_out.push(b_out);
+    }
+
+    // AllReduce the per-GPU results.
+    let comm = RcclComm::new(&mut hip, (0..n).collect()).unwrap();
+    let mut recv = Vec::new();
+    for d in 0..n {
+        hip.set_device(d).unwrap();
+        recv.push(hip.malloc(bytes).unwrap());
+    }
+    let bufs = RankBuffers {
+        send: dev_out.clone(),
+        recv: recv.clone(),
+    };
+    let t0 = hip.now();
+    comm.collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
+        .unwrap();
+    assert!(hip.now() > t0, "the collective consumed simulated time");
+
+    // Host consumes: sum over d of 0.5*(d+1) = 0.5 * 10 = 5.0.
+    hip.set_device(2).unwrap();
+    let host_out = hip.host_malloc(bytes, HostAllocFlags::coherent()).unwrap();
+    hip.memcpy(host_out, 0, recv[2], 0, bytes, MemcpyKind::DeviceToHost)
+        .unwrap();
+    let v = hip.mem().read_f32s(host_out, 0, elems).unwrap().unwrap();
+    assert_eq!(v, vec![5.0f32; elems]);
+}
+
+/// MPI and RCCL running in the same process agree on the numerics even
+/// though their timing differs.
+#[test]
+fn mpi_and_rccl_agree_on_allreduce_results() {
+    let elems = 512usize;
+    let bytes = elems as u64 * 4;
+
+    let run = |use_mpi: bool| -> (Vec<f32>, f64) {
+        let mut hip = HipSim::new(EnvConfig::default());
+        let n = 8;
+        let mut send = Vec::new();
+        let mut recv = Vec::new();
+        for r in 0..n {
+            hip.set_device(r).unwrap();
+            let s = hip.malloc(bytes).unwrap();
+            let d = hip.malloc(bytes).unwrap();
+            hip.mem_mut()
+                .write_f32s(s, 0, &(0..elems).map(|i| (i + r) as f32).collect::<Vec<_>>())
+                .unwrap();
+            send.push(s);
+            recv.push(d);
+        }
+        let bufs = RankBuffers { send, recv };
+        let dur = if use_mpi {
+            let comm = MpiComm::new(&mut hip, (0..n).collect()).unwrap();
+            comm.collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
+                .unwrap()
+        } else {
+            let comm = RcclComm::new(&mut hip, (0..n).collect()).unwrap();
+            comm.collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
+                .unwrap()
+        };
+        (
+            hip.mem().read_f32s(bufs.recv[0], 0, elems).unwrap().unwrap(),
+            dur.as_us(),
+        )
+    };
+
+    let (mpi_result, mpi_us) = run(true);
+    let (rccl_result, rccl_us) = run(false);
+    assert_eq!(mpi_result, rccl_result, "same reduction result");
+    // Expected: sum over r of (i + r) = 8i + 28.
+    for (i, v) in mpi_result.iter().enumerate() {
+        assert_eq!(*v, 8.0 * i as f32 + 28.0, "element {i}");
+    }
+    assert!(
+        rccl_us < mpi_us,
+        "RCCL AllReduce should be faster ({rccl_us} vs {mpi_us})"
+    );
+}
+
+/// Environment toggles flow through every layer: the same program under
+/// three environments yields the paper's qualitative outcomes.
+#[test]
+fn environment_matrix_changes_behaviour_end_to_end() {
+    let bytes = 32 * MIB;
+    let elems = (bytes / 4) as usize;
+
+    let peer_copy_time = |env: EnvConfig| {
+        let mut hip = HipSim::new(env);
+        hip.mem_mut().set_phantom_threshold(0);
+        hip.enable_all_peer_access().unwrap();
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(bytes).unwrap();
+        hip.set_device(1).unwrap();
+        let dst = hip.malloc(bytes).unwrap();
+        let t0 = hip.now();
+        hip.memcpy_peer(dst, 1, src, 0, bytes).unwrap();
+        (hip.now() - t0).as_us()
+    };
+    let sdma_on = peer_copy_time(EnvConfig::default());
+    let sdma_off = peer_copy_time(EnvConfig::without_sdma());
+    assert!(
+        sdma_off < sdma_on / 2.0,
+        "blit beats SDMA on the quad link: {sdma_off} vs {sdma_on}"
+    );
+
+    // XNACK gates pageable-access kernels.
+    let mut hip = HipSim::new(EnvConfig::default());
+    let pageable = hip.malloc_pageable(bytes).unwrap();
+    let dev = hip.malloc(bytes).unwrap();
+    assert!(hip
+        .launch_kernel(KernelSpec::StreamCopy {
+            src: pageable,
+            dst: dev,
+            elems,
+        })
+        .is_err());
+    let mut hip = HipSim::new(EnvConfig::with_xnack());
+    let pageable = hip.malloc_pageable(bytes).unwrap();
+    let dev = hip.malloc(bytes).unwrap();
+    hip.launch_kernel(KernelSpec::StreamCopy {
+        src: pageable,
+        dst: dev,
+        elems,
+    })
+    .unwrap();
+    hip.device_synchronize().unwrap();
+
+    // Visibility restriction is honoured by the whole stack.
+    let env = EnvConfig::default().with_visible_devices(vec![0, 2, 4, 6]);
+    let mut hip = HipSim::new(env);
+    assert_eq!(hip.device_count(), 4);
+    let comm = RcclComm::new(&mut hip, (0..4).collect()).unwrap();
+    assert_eq!(comm.n_ranks(), 4);
+}
+
+/// Managed memory migrates under XNACK and the whole pipeline sees the
+/// relocation: second-touch bandwidth jumps by orders of magnitude.
+#[test]
+fn xnack_migration_is_visible_across_the_stack() {
+    let mut hip = HipSim::new(EnvConfig::with_xnack());
+    hip.mem_mut().set_phantom_threshold(0);
+    let bytes = 16 * MIB;
+    let elems = (bytes / 4) as usize;
+    let managed = hip.malloc_managed(bytes).unwrap();
+    let dev = hip.malloc(bytes).unwrap();
+
+    let touch = |hip: &mut HipSim| {
+        let t0 = hip.now();
+        hip.launch_kernel(KernelSpec::StreamCopy {
+            src: managed,
+            dst: dev,
+            elems,
+        })
+        .unwrap();
+        hip.device_synchronize().unwrap();
+        (hip.now() - t0).as_us()
+    };
+    let first = touch(&mut hip);
+    let second = touch(&mut hip);
+    assert!(
+        first > 20.0 * second,
+        "migration dominates the first touch: {first} vs {second}"
+    );
+}

@@ -1,0 +1,70 @@
+//! The master reproduction test: every registered experiment runs at smoke
+//! settings and every paper-shape check passes. This is the executable
+//! equivalent of EXPERIMENTS.md.
+
+use ifsim::registry;
+use ifsim::BenchConfig;
+
+fn smoke_cfg() -> BenchConfig {
+    let mut cfg = BenchConfig::quick();
+    cfg.reps = 1;
+    cfg
+}
+
+#[test]
+fn every_experiment_reproduces_the_paper_shape() {
+    let cfg = smoke_cfg();
+    let mut failures = Vec::new();
+    for exp in registry::all() {
+        let result = exp.run(&cfg);
+        for check in &result.checks {
+            if !check.passed {
+                failures.push(format!("{}: {} — {}", exp.id, check.name, check.detail));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "paper-shape checks failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn experiments_emit_csv_artifacts_where_expected() {
+    let cfg = smoke_cfg();
+    for id in ["fig3", "fig6b", "fig6c", "fig10", "fig11", "fig12"] {
+        let r = registry::by_id(id).unwrap().run(&cfg);
+        assert!(!r.csv.is_empty(), "{id} should emit CSV");
+        for (name, body) in &r.csv {
+            assert!(name.ends_with(".csv"), "{id}: artifact {name}");
+            assert!(body.lines().count() > 1, "{id}: {name} has data rows");
+        }
+    }
+}
+
+#[test]
+fn experiment_reports_are_self_describing() {
+    let cfg = smoke_cfg();
+    let r = registry::by_id("fig7").unwrap().run(&cfg);
+    let report = r.report();
+    assert!(report.contains("fig7"));
+    assert!(report.contains("checks vs. paper"));
+    assert!(report.contains("PASS"));
+}
+
+#[test]
+fn runs_are_deterministic_for_a_fixed_seed() {
+    // Byte-identical reports for the same seed; different seed changes the
+    // jittered measurements (but not the conclusions).
+    let cfg = smoke_cfg();
+    let a = registry::by_id("fig6b").unwrap().run(&cfg);
+    let b = registry::by_id("fig6b").unwrap().run(&cfg);
+    assert_eq!(a.rendered, b.rendered);
+
+    let mut cfg2 = smoke_cfg();
+    cfg2.seed = 0xDEADBEEF;
+    let c = registry::by_id("fig6b").unwrap().run(&cfg2);
+    assert_ne!(a.rendered, c.rendered, "seed must matter");
+    assert!(c.all_passed(), "conclusions hold under another seed");
+}

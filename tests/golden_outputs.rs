@@ -1,0 +1,58 @@
+//! Golden-output regression tests.
+//!
+//! The simulator is deterministic for a fixed seed, so the CSV artifacts of
+//! key figures are pinned byte-for-byte under `golden/`. A model change
+//! that shifts any number fails here *by name*, forcing an explicit
+//! regeneration:
+//!
+//! ```text
+//! cargo run --release -p ifsim-bench --bin repro -- \
+//!     --quick --reps 1 --csv golden fig6a fig6b fig6c fig7
+//! ```
+//!
+//! (The pinned configuration is `BenchConfig::quick()` with `reps = 1` and
+//! the default seed — exactly what the command above produces.)
+
+use ifsim::registry;
+use ifsim::BenchConfig;
+
+fn pinned_cfg() -> BenchConfig {
+    let mut cfg = BenchConfig::quick();
+    cfg.reps = 1;
+    cfg
+}
+
+fn check_golden(id: &str) {
+    let exp = registry::by_id(id).expect("registered experiment");
+    let result = exp.run(&pinned_cfg());
+    for (name, contents) in &result.csv {
+        let path = format!("{}/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {path}: {e}"));
+        assert_eq!(
+            contents, &golden,
+            "{id}: {name} drifted from the pinned output; if the change is \
+             intentional, regenerate golden/ (see this file's header)"
+        );
+    }
+}
+
+#[test]
+fn fig6a_hop_matrix_is_pinned() {
+    check_golden("fig6a");
+}
+
+#[test]
+fn fig6b_latency_matrix_is_pinned() {
+    check_golden("fig6b");
+}
+
+#[test]
+fn fig6c_bandwidth_matrix_is_pinned() {
+    check_golden("fig6c");
+}
+
+#[test]
+fn fig7_peer_sweep_is_pinned() {
+    check_golden("fig7");
+}

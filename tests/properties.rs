@@ -1,0 +1,219 @@
+//! Property-based tests over the whole stack (proptest).
+//!
+//! These complement the per-crate unit suites with randomized invariants:
+//! fair-share feasibility on the real topology, routing validity, memcpy
+//! data integrity for arbitrary ranges, collective correctness for random
+//! data and rank sets, and virtual-clock monotonicity under random op
+//! sequences.
+
+use ifsim::coll::schedule::{chunk_bounds, RankBuffers};
+use ifsim::coll::{Collective, RcclComm};
+use ifsim::des::Time;
+use ifsim::fabric::{FlowNet, FlowSpec, SegmentMap};
+use ifsim::hip::{EnvConfig, HipSim, HostAllocFlags, KernelSpec, MemcpyKind};
+use ifsim::topology::{GcdId, NodeTopology, RoutePolicy, Router};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-min fair shares never violate any segment capacity and give
+    /// every flow a positive rate, for arbitrary concurrent peer flows on
+    /// the Frontier fabric.
+    #[test]
+    fn fairshare_is_feasible_for_random_flow_sets(
+        pairs in proptest::collection::vec((0u8..8, 0u8..8), 1..12),
+        duplex in any::<bool>(),
+    ) {
+        let topo = NodeTopology::frontier();
+        let router = Router::new(&topo);
+        let mut net = FlowNet::new(SegmentMap::new(&topo));
+        let mut ids = Vec::new();
+        for (a, b) in pairs {
+            if a == b {
+                continue;
+            }
+            let p = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+            let segs = net.segmap().path_segments(&topo, p, duplex);
+            ids.push(net.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 0.87)));
+        }
+        // Every active flow makes progress.
+        for id in &ids {
+            let rate = net.rate_of(*id).unwrap();
+            prop_assert!(rate > 0.0, "{id:?} starved");
+            prop_assert!(rate <= 0.87 * 200e9 + 1.0, "{id:?} over quad capacity");
+        }
+        // And the network drains completely, in nondecreasing time order.
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = net.complete_next() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(net.active(), 0);
+    }
+
+    /// Both routing policies always produce structurally valid paths whose
+    /// cost relations hold: shortest-hop never has more hops, and
+    /// max-bandwidth never has a smaller bottleneck.
+    #[test]
+    fn routing_policies_satisfy_their_contracts(a in 0u8..8, b in 0u8..8) {
+        prop_assume!(a != b);
+        let topo = NodeTopology::frontier();
+        let router = Router::new(&topo);
+        let sh = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::ShortestHop);
+        let bw = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+        sh.validate(&topo);
+        bw.validate(&topo);
+        prop_assert!(sh.hops() <= bw.hops());
+        prop_assert!(bw.bottleneck_per_dir(&topo) >= sh.bottleneck_per_dir(&topo));
+    }
+
+    /// memcpy preserves arbitrary byte ranges exactly, through any
+    /// host/device location combination.
+    #[test]
+    fn memcpy_is_exact_for_random_ranges(
+        seed_bytes in proptest::collection::vec(any::<u8>(), 16..256),
+        dst_dev in 0usize..8,
+        offset in 0u64..64,
+    ) {
+        let mut hip = HipSim::new(EnvConfig::default());
+        let len = seed_bytes.len() as u64;
+        let total = len + offset + 64;
+        hip.set_device(dst_dev).unwrap();
+        let host = hip.host_malloc(total, HostAllocFlags::coherent()).unwrap();
+        let dev = hip.malloc(total).unwrap();
+        let back = hip.host_malloc(total, HostAllocFlags::coherent()).unwrap();
+        hip.mem_mut().write_bytes(host, 0, &seed_bytes).unwrap();
+        hip.memcpy(dev, offset, host, 0, len, MemcpyKind::HostToDevice).unwrap();
+        hip.memcpy(back, 0, dev, offset, len, MemcpyKind::DeviceToHost).unwrap();
+        let out = hip.mem().read_bytes(back, 0, len).unwrap().unwrap();
+        prop_assert_eq!(out, seed_bytes);
+    }
+
+    /// RCCL AllReduce computes the exact element-wise sum for arbitrary
+    /// data, rank counts, and (4-byte aligned) vector lengths.
+    #[test]
+    fn allreduce_sums_exactly(
+        n in 2usize..=8,
+        elems in 1usize..200,
+        base in -100i32..100,
+    ) {
+        let mut hip = HipSim::new(EnvConfig::default());
+        let comm = RcclComm::new(&mut hip, (0..n).collect()).unwrap();
+        let bytes = elems as u64 * 4;
+        let mut send = Vec::new();
+        let mut recv = Vec::new();
+        for r in 0..n {
+            hip.set_device(r).unwrap();
+            let s = hip.malloc(bytes).unwrap();
+            let d = hip.malloc(bytes).unwrap();
+            let data: Vec<f32> = (0..elems).map(|i| (base + r as i32 + i as i32) as f32).collect();
+            hip.mem_mut().write_f32s(s, 0, &data).unwrap();
+            send.push(s);
+            recv.push(d);
+        }
+        let bufs = RankBuffers { send, recv };
+        comm.collective(&mut hip, Collective::AllReduce, &bufs, elems, 0).unwrap();
+        for r in 0..n {
+            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            for (i, x) in v.iter().enumerate() {
+                let expect: f32 = (0..n)
+                    .map(|rr| (base + rr as i32 + i as i32) as f32)
+                    .sum();
+                prop_assert_eq!(*x, expect, "rank {} element {}", r, i);
+            }
+        }
+    }
+
+    /// Broadcast delivers the root's exact data to every rank for any root.
+    #[test]
+    fn broadcast_replicates_root_exactly(
+        n in 2usize..=8,
+        root in 0usize..8,
+        elems in 1usize..300,
+    ) {
+        let root = root % n;
+        let mut hip = HipSim::new(EnvConfig::default());
+        let comm = RcclComm::new(&mut hip, (0..n).collect()).unwrap();
+        let bytes = elems as u64 * 4;
+        let mut send = Vec::new();
+        let mut recv = Vec::new();
+        for r in 0..n {
+            hip.set_device(r).unwrap();
+            let s = hip.malloc(bytes).unwrap();
+            let d = hip.malloc(bytes).unwrap();
+            hip.mem_mut()
+                .write_f32s(s, 0, &vec![(r * 7 + 3) as f32; elems])
+                .unwrap();
+            send.push(s);
+            recv.push(d);
+        }
+        let bufs = RankBuffers { send, recv };
+        comm.collective(&mut hip, Collective::Broadcast, &bufs, elems, root).unwrap();
+        let expect = vec![(root * 7 + 3) as f32; elems];
+        for r in 0..n {
+            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            prop_assert_eq!(&v, &expect, "rank {}", r);
+        }
+    }
+
+    /// Chunk bounds partition any vector for any rank count.
+    #[test]
+    fn chunk_bounds_always_partition(elems in 0usize..10_000, n in 1usize..16) {
+        let mut cursor = 0;
+        for c in 0..n {
+            let (off, len) = chunk_bounds(elems, n, c);
+            prop_assert_eq!(off, cursor);
+            cursor += len;
+        }
+        prop_assert_eq!(cursor, elems);
+    }
+
+    /// The virtual clock is monotone under random op sequences mixing
+    /// copies, kernels, and synchronization across devices.
+    #[test]
+    fn clock_is_monotone_under_random_op_sequences(
+        ops in proptest::collection::vec((0u8..4, 0usize..8), 1..24),
+    ) {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        let bytes = 4096u64;
+        let mut dev_bufs = Vec::new();
+        for d in 0..8 {
+            hip.set_device(d).unwrap();
+            dev_bufs.push(hip.malloc(bytes).unwrap());
+        }
+        hip.set_device(0).unwrap();
+        let host = hip.host_malloc(bytes, HostAllocFlags::coherent()).unwrap();
+        let mut last = hip.now();
+        for (op, dev) in ops {
+            hip.set_device(dev).unwrap();
+            match op {
+                0 => {
+                    hip.memcpy(dev_bufs[dev], 0, host, 0, bytes, MemcpyKind::HostToDevice)
+                        .unwrap();
+                }
+                1 => {
+                    let peer = (dev + 1) % 8;
+                    hip.memcpy_peer(dev_bufs[peer], peer, dev_bufs[dev], dev, bytes)
+                        .unwrap();
+                }
+                2 => {
+                    hip.launch_kernel(KernelSpec::Init {
+                        dst: dev_bufs[dev],
+                        value: 1.0,
+                        elems: 1024,
+                    })
+                    .unwrap();
+                }
+                _ => {
+                    hip.device_synchronize().unwrap();
+                }
+            }
+            prop_assert!(hip.now() >= last, "clock went backwards");
+            last = hip.now();
+        }
+        hip.synchronize_all().unwrap();
+        prop_assert!(hip.all_idle());
+    }
+}
