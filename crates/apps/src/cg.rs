@@ -73,12 +73,7 @@ enum Comm {
 }
 
 impl Comm {
-    fn allreduce(
-        &self,
-        hip: &mut HipSim,
-        bufs: &RankBuffers,
-        elems: usize,
-    ) -> HipResult<Dur> {
+    fn allreduce(&self, hip: &mut HipSim, bufs: &RankBuffers, elems: usize) -> HipResult<Dur> {
         match self {
             Comm::Rccl(c) => c.collective(hip, Collective::AllReduce, bufs, elems, 0),
             Comm::Mpi(c) => c.collective(hip, Collective::AllReduce, bufs, elems, 0),
@@ -148,7 +143,8 @@ pub fn run(hip: &mut HipSim, cfg: &CgConfig) -> HipResult<CgReport> {
                     bytes: cfg.local_rows as u64 * 4,
                 })?;
                 // Each rank contributes (rank + 1) as its partial result.
-                hip.mem_mut().write_f32s(dot_send[r], 0, &[(r + 1) as f32])?;
+                hip.mem_mut()
+                    .write_f32s(dot_send[r], 0, &[(r + 1) as f32])?;
             }
             hip.synchronize_all()?;
             local += hip.now() - tl;

@@ -7,9 +7,7 @@
 //! through pinned host memory — the choice §V quantifies.
 
 use ifsim_des::Dur;
-use ifsim_hip::{
-    BufferId, HipError, HipResult, HipSim, HostAllocFlags, KernelSpec, MemcpyKind,
-};
+use ifsim_hip::{BufferId, HipError, HipResult, HipSim, HostAllocFlags, KernelSpec, MemcpyKind};
 
 /// How halos travel between neighbouring ranks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,8 +154,24 @@ pub fn run(hip: &mut HipSim, cfg: &StencilConfig) -> HipResult<StencilReport> {
             ExchangeStrategy::HostStaged => {
                 for r in &ranks {
                     let s = hip.default_stream(r.dev)?;
-                    hip.memcpy_async(r.bounce_hi, 0, r.halo_hi, 0, halo_bytes, MemcpyKind::DeviceToHost, s)?;
-                    hip.memcpy_async(r.bounce_lo, 0, r.halo_lo, 0, halo_bytes, MemcpyKind::DeviceToHost, s)?;
+                    hip.memcpy_async(
+                        r.bounce_hi,
+                        0,
+                        r.halo_hi,
+                        0,
+                        halo_bytes,
+                        MemcpyKind::DeviceToHost,
+                        s,
+                    )?;
+                    hip.memcpy_async(
+                        r.bounce_lo,
+                        0,
+                        r.halo_lo,
+                        0,
+                        halo_bytes,
+                        MemcpyKind::DeviceToHost,
+                        s,
+                    )?;
                 }
                 hip.synchronize_all()?;
                 for r in 0..n {

@@ -50,7 +50,9 @@ fn bench_runtime(c: &mut Criterion) {
     c.bench_function("runtime/blocking_memcpy_1mib", |b| {
         let mut hip = HipSim::new(EnvConfig::default());
         hip.mem_mut().set_phantom_threshold(0);
-        let host = hip.host_malloc(1 << 20, HostAllocFlags::coherent()).unwrap();
+        let host = hip
+            .host_malloc(1 << 20, HostAllocFlags::coherent())
+            .unwrap();
         let dev = hip.malloc(1 << 20).unwrap();
         b.iter(|| {
             hip.memcpy(dev, 0, host, 0, 1 << 20, MemcpyKind::HostToDevice)

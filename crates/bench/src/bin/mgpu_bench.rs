@@ -133,7 +133,11 @@ fn main() -> ExitCode {
             let series = comm_scope::h2d_all_interfaces(&cli.cfg, &sizes);
             print!(
                 "{}",
-                report::render_series_table("# CommScope-style host-to-device bandwidth", "size", &series)
+                report::render_series_table(
+                    "# CommScope-style host-to-device bandwidth",
+                    "size",
+                    &series
+                )
             );
         }
         "stream" => {

@@ -49,7 +49,9 @@ fn parse_args() -> Result<Args, String> {
                 args.csv_dir = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] [--list] [IDS...]");
+                println!(
+                    "usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] [--list] [IDS...]"
+                );
                 println!("experiments: {}", registry::ids().join(", "));
                 std::process::exit(0);
             }

@@ -78,7 +78,9 @@ fn mgpu_bench_doctor_exit_code_reflects_health() {
         .expect("run doctor");
     assert!(ok.status.success(), "healthy node exits 0");
     let sick = mgpu()
-        .args(["doctor", "--reps", "1", "--size", "16777216", "--derate", "0,1,0.4"])
+        .args([
+            "doctor", "--reps", "1", "--size", "16777216", "--derate", "0,1,0.4",
+        ])
         .output()
         .expect("run doctor");
     assert!(!sick.status.success(), "degraded node exits non-zero");

@@ -27,7 +27,7 @@ pub fn run_rounds(
     Ok(hip.now() - t0)
 }
 
-fn submit_round(
+pub(crate) fn submit_round(
     hip: &mut HipSim,
     ring: &Ring,
     transport: Transport,
@@ -37,7 +37,7 @@ fn submit_round(
         if t.elems == 0 {
             continue;
         }
-        let plan = plan_transfer_op(hip, ring, transport, t);
+        let plan = plan_transfer_op(hip, ring, transport, t)?;
         let from_gcd = ring.order[t.from];
         let dev = hip
             .device_of_gcd(from_gcd)
@@ -52,12 +52,17 @@ fn submit_round(
     Ok(())
 }
 
-fn plan_transfer_op(hip: &HipSim, ring: &Ring, transport: Transport, t: &Transfer) -> OpPlan {
+fn plan_transfer_op(
+    hip: &HipSim,
+    ring: &Ring,
+    transport: Transport,
+    t: &Transfer,
+) -> HipResult<OpPlan> {
     let from_gcd = ring.order[t.from];
     let to_gcd = ring.order[t.to];
     let bytes = t.elems as u64 * 4;
     let ctx = hip.plan_ctx();
-    let (latency, flows) = transport.plan_transfer(&ctx, from_gcd, to_gcd, bytes);
+    let (latency, flows) = transport.plan_transfer(&ctx, from_gcd, to_gcd, bytes)?;
     let effect = if t.reduce {
         Effect::ReduceAdd {
             src: t.src,
@@ -75,11 +80,11 @@ fn plan_transfer_op(hip: &HipSim, ring: &Ring, transport: Transport, t: &Transfe
             len: bytes,
         }
     };
-    OpPlan {
+    Ok(OpPlan {
         latency,
         flows,
         effects: vec![effect],
-    }
+    })
 }
 
 /// Broadcast algorithm selector (the one collective where the two libraries
@@ -173,7 +178,12 @@ pub fn run_collective(
         Collective::AllGather => sched::ring_allgather_rounds(ring, bufs, elems, 0),
         Collective::Reduce => {
             let mut r = sched::ring_reduce_scatter_rounds(ring, bufs, elems);
-            r.push(sched::gather_to_root_round(ring, bufs, elems, call.root_pos));
+            r.push(sched::gather_to_root_round(
+                ring,
+                bufs,
+                elems,
+                call.root_pos,
+            ));
             r
         }
         Collective::Broadcast => match call.bcast {
@@ -181,9 +191,13 @@ pub fn run_collective(
                 sched::ring_broadcast_rounds(ring, bufs, elems, call.root_pos, pipe_elems)
             }
             BcastAlgo::ScatterAllgather => {
-                let mut r =
-                    sched::binomial_scatter_rounds(ring, bufs, elems, call.root_pos);
-                r.extend(sched::ring_allgather_rounds(ring, bufs, elems, call.root_pos));
+                let mut r = sched::binomial_scatter_rounds(ring, bufs, elems, call.root_pos);
+                r.extend(sched::ring_allgather_rounds(
+                    ring,
+                    bufs,
+                    elems,
+                    call.root_pos,
+                ));
                 r
             }
         },
@@ -234,7 +248,14 @@ mod tests {
             elems: 16,
             reduce: false,
         }];
-        let d = run_rounds(&mut hip, &ring, Transport::Rccl, Dur::from_us(5.0), &[round]).unwrap();
+        let d = run_rounds(
+            &mut hip,
+            &ring,
+            Transport::Rccl,
+            Dur::from_us(5.0),
+            &[round],
+        )
+        .unwrap();
         assert!(d.as_us() >= 5.0, "setup charged: {d}");
         assert_eq!(
             hip.mem().read_f32s(b, 0, 16).unwrap().unwrap(),

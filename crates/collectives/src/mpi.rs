@@ -15,7 +15,7 @@ use crate::ring::Ring;
 use crate::schedule::{Collective, RankBuffers, Round, Transfer};
 use crate::transport::Transport;
 use ifsim_des::Dur;
-use ifsim_hip::{BufferId, HipError, HipResult, HipSim};
+use ifsim_hip::{BufferId, HipError, HipResult, HipSim, RetryPolicy};
 use ifsim_topology::GcdId;
 
 /// An MPI communicator: rank *r* runs on `devices[r]`.
@@ -78,6 +78,81 @@ impl MpiComm {
         run_rounds(hip, &self.ring, Transport::Mpi, Dur::ZERO, &[round])
     }
 
+    /// Rendezvous send/recv with a per-attempt timeout and bounded
+    /// application-level retry (the recovery loop an MPI job runs on top of
+    /// a flaky fabric). Each attempt submits the message and waits at most
+    /// `attempt_timeout`; fault-class failures — link down, uncorrectable
+    /// ECC, rendezvous timeout — back off exponentially on the host and
+    /// try again, up to `max_retries` further attempts. Later attempts
+    /// re-plan over the then-current routes, so a reroute or a link
+    /// restoration between attempts lets the message through. Returns the
+    /// total wall-clock including backoffs, or [`HipError::Timeout`] once
+    /// the budget is exhausted. Non-fault errors surface immediately.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_recv_with_retry(
+        &self,
+        hip: &mut HipSim,
+        from_rank: usize,
+        to_rank: usize,
+        src: BufferId,
+        dst: BufferId,
+        bytes: u64,
+        attempt_timeout: Dur,
+        max_retries: u32,
+    ) -> HipResult<Dur> {
+        let t0 = hip.now();
+        let backoff = RetryPolicy::default();
+        let mut last_err = None;
+        for attempt in 0..=max_retries {
+            match self.try_send_recv(hip, from_rank, to_rank, src, dst, bytes, attempt_timeout) {
+                Ok(_) => return Ok(hip.now() - t0),
+                Err(e)
+                    if matches!(
+                        e,
+                        HipError::LinkDown(_)
+                            | HipError::EccUncorrectable(_)
+                            | HipError::Timeout(_)
+                    ) =>
+                {
+                    last_err = Some(e);
+                    if attempt < max_retries {
+                        hip.host_sleep(backoff.backoff(attempt + 1));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(HipError::Timeout(format!(
+            "send_recv {from_rank}->{to_rank} gave up after {} attempts: {}",
+            max_retries + 1,
+            last_err.expect("at least one attempt failed"),
+        )))
+    }
+
+    /// One rendezvous attempt: submit the message, wait up to `timeout`.
+    #[allow(clippy::too_many_arguments)]
+    fn try_send_recv(
+        &self,
+        hip: &mut HipSim,
+        from_rank: usize,
+        to_rank: usize,
+        src: BufferId,
+        dst: BufferId,
+        bytes: u64,
+        timeout: Dur,
+    ) -> HipResult<Dur> {
+        let t0 = hip.now();
+        let round = self.p2p_round(from_rank, to_rank, src, dst, bytes)?;
+        crate::exec::submit_round(hip, &self.ring, Transport::Mpi, &round)?;
+        let from_gcd = self.ring.order[from_rank];
+        let dev = hip
+            .device_of_gcd(from_gcd)
+            .ok_or_else(|| HipError::InvalidHandle(format!("{from_gcd} not visible")))?;
+        let stream = hip.default_stream(dev)?;
+        hip.stream_synchronize_timeout(stream, timeout)?;
+        Ok(hip.now() - t0)
+    }
+
     /// OSU-style windowed bandwidth inner loop: `window` same-size messages
     /// posted back-to-back (`MPI_Isend`), then a wait. Returns total time.
     #[allow(clippy::too_many_arguments)]
@@ -128,12 +203,7 @@ impl MpiComm {
 
     /// `MPI_Alltoall` (extension benchmark): pairwise exchange over the
     /// CPU-staged path, uniform blocks (`elems % n == 0`).
-    pub fn all_to_all(
-        &self,
-        hip: &mut HipSim,
-        bufs: &RankBuffers,
-        elems: usize,
-    ) -> HipResult<Dur> {
+    pub fn all_to_all(&self, hip: &mut HipSim, bufs: &RankBuffers, elems: usize) -> HipResult<Dur> {
         let n = self.n_ranks();
         let block = elems / n;
         for p in 0..n {
@@ -181,11 +251,7 @@ mod tests {
     use ifsim_des::units::to_gbps;
     use ifsim_hip::EnvConfig;
 
-    fn setup_buffers(
-        hip: &mut HipSim,
-        n: usize,
-        elems: usize,
-    ) -> RankBuffers {
+    fn setup_buffers(hip: &mut HipSim, n: usize, elems: usize) -> RankBuffers {
         let mut send = Vec::new();
         let mut recv = Vec::new();
         for r in 0..n {
@@ -245,7 +311,11 @@ mod tests {
         comm.collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
             .unwrap();
         for r in 0..n {
-            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            let v = hip
+                .mem()
+                .read_f32s(bufs.recv[r], 0, elems)
+                .unwrap()
+                .unwrap();
             assert_eq!(v, vec![36.0; elems], "rank {r}");
         }
     }
@@ -260,7 +330,11 @@ mod tests {
         comm.collective(&mut hip, Collective::Broadcast, &bufs, elems, 1)
             .unwrap();
         for r in 0..n {
-            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            let v = hip
+                .mem()
+                .read_f32s(bufs.recv[r], 0, elems)
+                .unwrap()
+                .unwrap();
             assert_eq!(v, vec![2.0; elems], "rank {r}");
         }
     }
@@ -317,7 +391,11 @@ mod tests {
         // Block p of rank r's recv = rank p's constant (p+1). Spot-check
         // the block boundaries rather than all 128 K elements.
         for r in 0..n {
-            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            let v = hip
+                .mem()
+                .read_f32s(bufs.recv[r], 0, elems)
+                .unwrap()
+                .unwrap();
             for p in 0..n {
                 let expect = (p + 1) as f32;
                 assert_eq!(v[p * block], expect, "rank {r} block {p} head");
@@ -343,5 +421,79 @@ mod tests {
         let b = hip.malloc(64).unwrap();
         assert!(comm.send_recv(&mut hip, 0, 0, b, b, 64).is_err());
         assert!(comm.send_recv(&mut hip, 0, 5, b, b, 64).is_err());
+    }
+
+    #[test]
+    fn send_recv_retry_recovers_over_the_reroute_after_a_link_drops() {
+        use ifsim_des::Time;
+        use ifsim_hip::{FaultKind, FaultPlan, GcdId};
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(0);
+        // Runtime-level retries off: the fault must surface to MPI.
+        hip.set_retry_policy(RetryPolicy::no_retries());
+        let comm = MpiComm::new(&mut hip, vec![0, 2]).unwrap();
+        let bytes = 256u64 << 20;
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(bytes).unwrap();
+        hip.set_device(2).unwrap();
+        let dst = hip.malloc(bytes).unwrap();
+        // The 0->2 message rides the single link; kill it mid-flight.
+        hip.set_fault_plan(FaultPlan::new().at(
+            Time::from_ns(2_000_000.0),
+            FaultKind::LinkDown {
+                a: GcdId(0),
+                b: GcdId(2),
+            },
+        ))
+        .unwrap();
+        let d = comm
+            .send_recv_with_retry(&mut hip, 0, 1, src, dst, bytes, Dur::from_ms(200.0), 3)
+            .unwrap();
+        // First attempt died to the fault; a later attempt re-planned over
+        // the detour and completed (data integrity through the retry path
+        // is exercised by the runtime-level fault tests).
+        assert!(hip.fault_stats().failed_ops >= 1);
+        assert!(d > Dur::from_ms(2.0), "{d}");
+        assert!(hip.all_idle());
+        let _ = dst;
+    }
+
+    #[test]
+    fn send_recv_retry_gives_up_with_timeout_when_partitioned() {
+        use ifsim_des::Time;
+        use ifsim_hip::{FaultKind, FaultPlan, GcdId};
+        let mut hip = HipSim::new(EnvConfig::default());
+        let comm = MpiComm::new(&mut hip, vec![0, 1]).unwrap();
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(64).unwrap();
+        hip.set_device(1).unwrap();
+        let dst = hip.malloc(64).unwrap();
+        // Sever GCD0's whole neighborhood before the first attempt.
+        let mut plan = FaultPlan::new();
+        for b in [1u8, 2, 6] {
+            plan = plan.at(
+                Time::from_ns(1.0),
+                FaultKind::LinkDown {
+                    a: GcdId(0),
+                    b: GcdId(b),
+                },
+            );
+        }
+        hip.set_fault_plan(plan).unwrap();
+        hip.host_sleep(Dur::from_us(1.0));
+        let t0 = hip.now();
+        let err = comm
+            .send_recv_with_retry(&mut hip, 0, 1, src, dst, 64, Dur::from_ms(1.0), 2)
+            .unwrap_err();
+        assert!(
+            matches!(err, HipError::Timeout(_)),
+            "expected Timeout, got {err}"
+        );
+        assert!(
+            format!("{err}").contains("gave up after 3 attempts"),
+            "{err}"
+        );
+        // The backoffs between the three attempts were actually slept.
+        assert!(hip.now() - t0 >= Dur::from_us(150.0));
     }
 }

@@ -10,7 +10,7 @@ use crate::schedule::{Collective, RankBuffers};
 use crate::transport::Transport;
 use ifsim_des::Dur;
 use ifsim_hip::{HipError, HipResult, HipSim};
-use ifsim_topology::GcdId;
+use ifsim_topology::{GcdId, RoutePolicy};
 
 /// RCCL's broadcast pipeline granularity (1 MiB of f32s). At the paper's
 /// 1 MiB message size this admits no pipelining — the whole message
@@ -69,6 +69,46 @@ impl RcclComm {
             ring,
             position_of,
         })
+    }
+
+    /// Re-run the ring topology search over the current (health-aware)
+    /// routes — the recovery step after fabric faults. The rebuilt ring
+    /// stops using downed links wherever any detour exists; a full-node
+    /// communicator picks a fresh all-direct Hamiltonian cycle when one
+    /// survives. If link failures have partitioned the members, returns
+    /// [`HipError::LinkDown`] and leaves the communicator unchanged.
+    pub fn rebuild(&mut self, hip: &HipSim) -> HipResult<()> {
+        let gcds: Vec<GcdId> = self
+            .devices
+            .iter()
+            .map(|&d| hip.gcd_of(d))
+            .collect::<HipResult<_>>()?;
+        for &a in &gcds {
+            for &b in &gcds {
+                if a != b
+                    && hip
+                        .router()
+                        .try_gcd_route(a, b, RoutePolicy::MaxBandwidth)
+                        .is_none()
+                {
+                    return Err(HipError::LinkDown(format!(
+                        "cannot rebuild ring: {a} and {b} are partitioned"
+                    )));
+                }
+            }
+        }
+        let ring = build_ring(hip.topo(), hip.router(), &gcds);
+        let position_of = self
+            .devices
+            .iter()
+            .map(|&d| {
+                let g = hip.gcd_of(d).expect("validated above");
+                ring.order.iter().position(|&x| x == g).expect("member")
+            })
+            .collect();
+        self.ring = ring;
+        self.position_of = position_of;
+        Ok(())
     }
 
     /// Number of ranks.
@@ -147,13 +187,20 @@ impl RcclComm {
             }
             _ => {
                 for p in 0..n {
-                    hip.mem_mut()
-                        .copy(pos_bufs.send[p], 0, pos_bufs.recv[p], 0, elems as u64 * 4)?;
+                    hip.mem_mut().copy(
+                        pos_bufs.send[p],
+                        0,
+                        pos_bufs.recv[p],
+                        0,
+                        elems as u64 * 4,
+                    )?;
                 }
             }
         }
         let rounds = match coll {
-            Collective::Reduce => sched::binomial_reduce_rounds(&self.ring, pos_bufs, elems, root_pos),
+            Collective::Reduce => {
+                sched::binomial_reduce_rounds(&self.ring, pos_bufs, elems, root_pos)
+            }
             Collective::Broadcast => {
                 sched::binomial_broadcast_rounds(&self.ring, pos_bufs, elems, root_pos)
             }
@@ -255,7 +302,11 @@ mod tests {
                 .unwrap();
             let expect = (n * (n + 1) / 2) as f32;
             for r in 0..n {
-                let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+                let v = hip
+                    .mem()
+                    .read_f32s(bufs.recv[r], 0, elems)
+                    .unwrap()
+                    .unwrap();
                 assert_eq!(v, vec![expect; elems], "rank {r} of {n}");
             }
         }
@@ -268,7 +319,11 @@ mod tests {
         let (mut hip, comm, bufs) = setup(n, elems);
         comm.collective(&mut hip, Collective::Reduce, &bufs, elems, 2)
             .unwrap();
-        let v = hip.mem().read_f32s(bufs.recv[2], 0, elems).unwrap().unwrap();
+        let v = hip
+            .mem()
+            .read_f32s(bufs.recv[2], 0, elems)
+            .unwrap()
+            .unwrap();
         assert_eq!(v, vec![10.0; elems]);
     }
 
@@ -280,7 +335,11 @@ mod tests {
         comm.collective(&mut hip, Collective::Broadcast, &bufs, elems, 3)
             .unwrap();
         for r in 0..n {
-            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            let v = hip
+                .mem()
+                .read_f32s(bufs.recv[r], 0, elems)
+                .unwrap()
+                .unwrap();
             assert_eq!(v, vec![4.0; elems], "rank {r}");
         }
     }
@@ -316,7 +375,11 @@ mod tests {
         // Chunk p of the output holds the contribution of the rank at ring
         // position p.
         for r in 0..n {
-            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            let v = hip
+                .mem()
+                .read_f32s(bufs.recv[r], 0, elems)
+                .unwrap()
+                .unwrap();
             for p in 0..n {
                 let contributor = (0..n).find(|&x| comm.position_of_rank(x) == p).unwrap();
                 let (off, len) = crate::schedule::chunk_bounds(elems, n, p);
@@ -390,7 +453,11 @@ mod tests {
                     .unwrap();
                 let expect = (n * (n + 1) / 2) as f32;
                 for r in 0..n {
-                    let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+                    let v = hip
+                        .mem()
+                        .read_f32s(bufs.recv[r], 0, elems)
+                        .unwrap()
+                        .unwrap();
                     assert_eq!(v, vec![expect; elems], "n={n} root={root} rank {r}");
                 }
                 // Rooted ops too.
@@ -407,7 +474,11 @@ mod tests {
                 comm.collective(&mut hip, Collective::Broadcast, &bufs, elems, root)
                     .unwrap();
                 for r in 0..n {
-                    let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+                    let v = hip
+                        .mem()
+                        .read_f32s(bufs.recv[r], 0, elems)
+                        .unwrap()
+                        .unwrap();
                     assert_eq!(
                         v,
                         vec![(root + 1) as f32; elems],
@@ -444,7 +515,11 @@ mod tests {
         // whose value is 10*rank(p) + q's position index.
         for r in 0..n {
             let q = comm.position_of_rank(r);
-            let v = hip.mem().read_f32s(bufs.recv[r], 0, elems).unwrap().unwrap();
+            let v = hip
+                .mem()
+                .read_f32s(bufs.recv[r], 0, elems)
+                .unwrap()
+                .unwrap();
             for p in 0..n {
                 let sender_rank = (0..n).find(|&x| comm.position_of_rank(x) == p).unwrap();
                 let expect = (10 * sender_rank + q) as f32;
@@ -461,5 +536,75 @@ mod tests {
     fn communicator_requires_two_ranks() {
         let mut hip = HipSim::new(EnvConfig::default());
         assert!(RcclComm::new(&mut hip, vec![0]).is_err());
+    }
+
+    #[test]
+    fn ring_rebuild_routes_around_a_downed_link() {
+        use ifsim_des::Time;
+        use ifsim_hip::{FaultKind, FaultPlan};
+        let elems = 64;
+        let (mut hip, mut comm, bufs) = setup(8, elems);
+        // The healthy full-node ring is all-direct, so some rotation of it
+        // crosses each quad link; kill GCD0<->GCD1 and rebuild.
+        let plan = FaultPlan::new().at(
+            Time::from_ns(1.0),
+            FaultKind::LinkDown {
+                a: GcdId(0),
+                b: GcdId(1),
+            },
+        );
+        hip.set_fault_plan(plan).unwrap();
+        hip.host_sleep(ifsim_des::Dur::from_us(1.0)); // let the fault land
+        comm.rebuild(&hip).unwrap();
+        let ring = comm.ring().clone();
+        for i in 0..ring.len() {
+            let a = ring.order[i];
+            let b = ring.next(i);
+            assert!(
+                hip.topo().xgmi_width(a, b).is_some(),
+                "rebuilt edge {a}->{b} is not direct: {:?}",
+                ring.order
+            );
+            assert!(
+                !(a.0.min(b.0) == 0 && a.0.max(b.0) == 1),
+                "rebuilt ring still crosses the dead link: {:?}",
+                ring.order
+            );
+        }
+        // The rebuilt communicator still computes correct collectives.
+        comm.collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
+            .unwrap();
+        for r in 0..8 {
+            let v = hip
+                .mem()
+                .read_f32s(bufs.recv[r], 0, elems)
+                .unwrap()
+                .unwrap();
+            assert_eq!(v, vec![36.0; elems], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn ring_rebuild_reports_partition_cleanly() {
+        use ifsim_des::Time;
+        use ifsim_hip::{FaultKind, FaultPlan, HipError};
+        let (mut hip, mut comm, _bufs) = setup(8, 16);
+        // GCD0's complete neighborhood: quad to 1, single to 2, dual to 6.
+        let mut plan = FaultPlan::new();
+        for b in [1u8, 2, 6] {
+            plan = plan.at(
+                Time::from_ns(1.0),
+                FaultKind::LinkDown {
+                    a: GcdId(0),
+                    b: GcdId(b),
+                },
+            );
+        }
+        let before = comm.ring().clone();
+        hip.set_fault_plan(plan).unwrap();
+        hip.host_sleep(ifsim_des::Dur::from_us(1.0));
+        let err = comm.rebuild(&hip).unwrap_err();
+        assert!(matches!(err, HipError::LinkDown(_)), "{err}");
+        assert_eq!(comm.ring(), &before, "failed rebuild must not mutate");
     }
 }

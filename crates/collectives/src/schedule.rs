@@ -137,11 +137,7 @@ pub fn ring_reduce_scatter_rounds(ring: &Ring, bufs: &RankBuffers, elems: usize)
 
 /// Ring all-gather rounds following a reduce-scatter: position `p` starts
 /// holding reduced chunk `(p + 1) % n` and circulates copies.
-pub fn ring_allgather_after_rs_rounds(
-    ring: &Ring,
-    bufs: &RankBuffers,
-    elems: usize,
-) -> Vec<Round> {
+pub fn ring_allgather_after_rs_rounds(ring: &Ring, bufs: &RankBuffers, elems: usize) -> Vec<Round> {
     let n = ring.len();
     let mut rounds = Vec::with_capacity(n - 1);
     for k in 0..n - 1 {
@@ -211,12 +207,7 @@ pub fn ring_allgather_rounds(
 /// Gather the reduced chunks to the root position (one concurrent round):
 /// after a reduce-scatter, position `p` holds chunk `(p+1) % n` and sends it
 /// to `root` unless it already owns it.
-pub fn gather_to_root_round(
-    ring: &Ring,
-    bufs: &RankBuffers,
-    elems: usize,
-    root: usize,
-) -> Round {
+pub fn gather_to_root_round(ring: &Ring, bufs: &RankBuffers, elems: usize, root: usize) -> Round {
     let n = ring.len();
     let mut round = Vec::new();
     for p in 0..n {
@@ -403,7 +394,12 @@ pub fn pairwise_alltoall_rounds(ring: &Ring, bufs: &RankBuffers, elems: usize) -
 /// `ceil(log2 n)` rounds, position `p` holds chunk `(p - root) % n` of the
 /// message — pair with [`ring_allgather_rounds`] at the same `root`.
 /// Positions are *relative to root* to keep the textbook recursion.
-pub fn binomial_scatter_rounds(ring: &Ring, bufs: &RankBuffers, elems: usize, root: usize) -> Vec<Round> {
+pub fn binomial_scatter_rounds(
+    ring: &Ring,
+    bufs: &RankBuffers,
+    elems: usize,
+    root: usize,
+) -> Vec<Round> {
     let n = ring.len();
     let mut rounds = Vec::new();
     // Each relative position r currently responsible for range of chunks
@@ -695,7 +691,11 @@ mod tests {
             has[root] = true;
             for r in &rounds {
                 for t in r {
-                    assert!(has[t.from], "n={n}: position {} sent before receiving", t.from);
+                    assert!(
+                        has[t.from],
+                        "n={n}: position {} sent before receiving",
+                        t.from
+                    );
                 }
                 for t in r {
                     has[t.to] = true;
@@ -722,11 +722,8 @@ mod tests {
             assert_eq!(receivers, (0..n).collect::<Vec<_>>());
         }
         // Every (src, dst) pair is served exactly once.
-        let mut pairs: Vec<(usize, usize)> = rounds
-            .iter()
-            .flatten()
-            .map(|t| (t.from, t.to))
-            .collect();
+        let mut pairs: Vec<(usize, usize)> =
+            rounds.iter().flatten().map(|t| (t.from, t.to)).collect();
         pairs.sort();
         pairs.dedup();
         assert_eq!(pairs.len(), n * (n - 1));

@@ -3,7 +3,8 @@
 use ifsim_des::Dur;
 use ifsim_fabric::FlowSpec;
 use ifsim_hip::plan::PlanCtx;
-use ifsim_topology::{GcdId, RoutePolicy};
+use ifsim_hip::HipResult;
+use ifsim_topology::GcdId;
 
 /// Which library's protocol moves the bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,17 +29,23 @@ pub enum Transport {
 
 impl Transport {
     /// Latency and fabric traffic for one GCD→GCD transfer of `bytes`.
+    ///
+    /// Fault-aware: routes come from the health-aware router (never crossing
+    /// a downed link; [`ifsim_hip::HipError::LinkDown`] when link failures
+    /// partitioned the pair), bit-error-taxed links add their per-hop
+    /// retransmission latency, and MPI point-to-point falls back from SDMA
+    /// to blit kernels when the sender's copy engines are failed. The
+    /// CPU-staged path needs no xGMI route and survives a fabric partition.
     pub fn plan_transfer(
         self,
         ctx: &PlanCtx<'_>,
         from: GcdId,
         to: GcdId,
         bytes: u64,
-    ) -> (Dur, Vec<FlowSpec>) {
+    ) -> HipResult<(Dur, Vec<FlowSpec>)> {
         assert_ne!(from, to, "self-transfer in a collective schedule");
         assert!(bytes > 0, "zero-byte transfer in a collective schedule");
         let calib = ctx.calib;
-        let path = ctx.router.gcd_route(from, to, RoutePolicy::MaxBandwidth);
         match self {
             Transport::Rccl | Transport::RcclSerial => {
                 // Ring edges between directly-linked GCDs are kernel peer
@@ -49,10 +56,11 @@ impl Transport {
                 // efficiency and an extra step latency. Generic sub-node
                 // rings contain such edges while the full-node hardware ring
                 // does not — the paper's Fig. 12 seven-to-eight-rank dip.
+                let path = ctx.peer_route(from, to)?;
                 let hops = path.hops().max(1);
                 let direct = hops == 1;
-                let eff = calib.eff_kernel_xgmi
-                    * calib.rccl_store_forward_eff.powi(hops as i32 - 1);
+                let eff =
+                    calib.eff_kernel_xgmi * calib.rccl_store_forward_eff.powi(hops as i32 - 1);
                 let mut segs = ctx.segmap.path_segments(ctx.topo, path, direct);
                 segs.push(ctx.segmap.hbm_seg(from));
                 segs.push(ctx.segmap.hbm_seg(to));
@@ -60,30 +68,30 @@ impl Transport {
                     Transport::RcclSerial => calib.rccl_launch_overhead,
                     _ => calib.rccl_step_latency,
                 };
-                (
-                    step * hops as f64,
+                Ok((
+                    step * hops as f64 + ctx.fabric_health.path_extra_latency(path),
                     vec![FlowSpec::new(segs, bytes as f64, eff)],
-                )
+                ))
             }
             Transport::Mpi => {
-                if ctx.env.enable_sdma {
+                let path = ctx.peer_route(from, to)?;
+                let latency =
+                    calib.mpi_message_latency + ctx.fabric_health.path_extra_latency(path);
+                if ctx.env.enable_sdma && !ctx.fabric_health.sdma_failed(from) {
                     let mut segs = ctx.segmap.path_segments(ctx.topo, path, false);
                     segs.push(ctx.segmap.hbm_seg(from));
                     segs.push(ctx.segmap.hbm_seg(to));
-                    (
-                        calib.mpi_message_latency,
+                    Ok((
+                        latency,
                         vec![FlowSpec::new(segs, bytes as f64, calib.eff_sdma_xgmi)
                             .with_cap(calib.sdma_payload_cap)],
-                    )
+                    ))
                 } else {
                     let mut segs = ctx.segmap.path_segments(ctx.topo, path, true);
                     segs.push(ctx.segmap.hbm_seg(from));
                     segs.push(ctx.segmap.hbm_seg(to));
                     let eff = calib.eff_kernel_xgmi * (1.0 - calib.mpi_overhead_frac);
-                    (
-                        calib.mpi_message_latency,
-                        vec![FlowSpec::new(segs, bytes as f64, eff)],
-                    )
+                    Ok((latency, vec![FlowSpec::new(segs, bytes as f64, eff)]))
                 }
             }
             Transport::MpiStaged => {
@@ -98,10 +106,10 @@ impl Transport {
                     cpu_dir_seg(ctx, down, to, true),
                     ctx.segmap.hbm_seg(to),
                 ];
-                (
+                Ok((
                     calib.mpi_staged_latency,
                     vec![FlowSpec::new(segs, bytes as f64, calib.eff_memcpy_pinned)],
-                )
+                ))
             }
         }
     }
@@ -134,7 +142,9 @@ mod tests {
     fn rccl_transfers_use_kernel_efficiency() {
         let hip = HipSim::new(EnvConfig::default());
         let ctx = hip.plan_ctx();
-        let (lat, flows) = Transport::Rccl.plan_transfer(&ctx, GcdId(0), GcdId(1), 1 << 20);
+        let (lat, flows) = Transport::Rccl
+            .plan_transfer(&ctx, GcdId(0), GcdId(1), 1 << 20)
+            .unwrap();
         assert_eq!(lat, hip.calib().rccl_step_latency);
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].efficiency, hip.calib().eff_kernel_xgmi);
@@ -145,7 +155,9 @@ mod tests {
     fn mpi_with_sdma_is_engine_capped() {
         let hip = HipSim::new(EnvConfig::default());
         let ctx = hip.plan_ctx();
-        let (_, flows) = Transport::Mpi.plan_transfer(&ctx, GcdId(0), GcdId(1), 1 << 20);
+        let (_, flows) = Transport::Mpi
+            .plan_transfer(&ctx, GcdId(0), GcdId(1), 1 << 20)
+            .unwrap();
         assert_eq!(flows[0].payload_cap, Some(gbps(50.0)));
         assert_eq!(flows[0].efficiency, hip.calib().eff_sdma_xgmi);
     }
@@ -154,8 +166,12 @@ mod tests {
     fn mpi_without_sdma_pays_software_overhead_vs_rccl() {
         let hip = HipSim::new(EnvConfig::without_sdma());
         let ctx = hip.plan_ctx();
-        let (_, mpi) = Transport::Mpi.plan_transfer(&ctx, GcdId(0), GcdId(2), 1 << 20);
-        let (_, rccl) = Transport::Rccl.plan_transfer(&ctx, GcdId(0), GcdId(2), 1 << 20);
+        let (_, mpi) = Transport::Mpi
+            .plan_transfer(&ctx, GcdId(0), GcdId(2), 1 << 20)
+            .unwrap();
+        let (_, rccl) = Transport::Rccl
+            .plan_transfer(&ctx, GcdId(0), GcdId(2), 1 << 20)
+            .unwrap();
         let ratio = mpi[0].efficiency / rccl[0].efficiency;
         // Paper: 10-15 % below the direct copy kernel.
         assert!((0.85..0.90).contains(&ratio), "{ratio}");

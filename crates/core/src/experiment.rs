@@ -105,10 +105,7 @@ mod tests {
             title: "t",
             rendered: "body\n".into(),
             csv: vec![],
-            checks: vec![
-                Check::new("a", true, "ok"),
-                Check::new("b", false, "off"),
-            ],
+            checks: vec![Check::new("a", true, "ok"), Check::new("b", false, "off")],
         }
     }
 

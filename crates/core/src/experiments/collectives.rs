@@ -50,7 +50,9 @@ pub fn fig11(cfg: &BenchConfig) -> ExperimentResult {
         let mpi = &series[2 * i];
         let rccl = &series[2 * i + 1];
         // The paper's headline: RCCL wins everywhere except Broadcast.
-        let rccl_wins = (2..=8u64).filter(|&n| rccl.at(n).unwrap() < mpi.at(n).unwrap()).count();
+        let rccl_wins = (2..=8u64)
+            .filter(|&n| rccl.at(n).unwrap() < mpi.at(n).unwrap())
+            .count();
         if *coll == Collective::Broadcast {
             // RCCL broadcast serializes the whole message around the ring,
             // so its deficit grows with partner count; at few partners the
@@ -89,11 +91,16 @@ pub fn fig12(cfg: &BenchConfig) -> ExperimentResult {
     let mut checks = Vec::new();
     // Lower bound behaviour at two threads.
     for s in &series {
-        if s.label.contains("AllReduce") || s.label.contains("AllGather") || s.label.contains("ReduceScatter") {
+        if s.label.contains("AllReduce")
+            || s.label.contains("AllGather")
+            || s.label.contains("ReduceScatter")
+        {
             let v = s.at(2).unwrap();
             checks.push(Check::new(
                 format!("{} at 2 threads is near the 17.4 us bound", s.label),
-                (paper::COLLECTIVE_DUAL_ROUND_BOUND_US * 0.7..=paper::COLLECTIVE_DUAL_ROUND_BOUND_US * 1.8).contains(&v),
+                (paper::COLLECTIVE_DUAL_ROUND_BOUND_US * 0.7
+                    ..=paper::COLLECTIVE_DUAL_ROUND_BOUND_US * 1.8)
+                    .contains(&v),
                 format!("{v:.1} us"),
             ));
         }

@@ -131,7 +131,11 @@ pub fn fig4(cfg: &BenchConfig) -> ExperimentResult {
     let spread = multi_gpu_host_stream(cfg, &[0, 2], STREAM_BYTES);
     let theory1 = 72.0;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18} {:>12} {:>16}", "placement", "GB/s", "% of theoretical");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>16}",
+        "placement", "GB/s", "% of theoretical"
+    );
     for (label, bw, theory) in [
         ("1 GCD", one, theory1),
         ("2 GCDs, same GPU", same, 2.0 * theory1),
@@ -177,12 +181,20 @@ pub fn fig5(cfg: &BenchConfig) -> ExperimentResult {
     let mut s = Series::new("total bidirectional bandwidth", "GB/s");
     let mut theory = Series::new("theoretical", "GB/s");
     let mut out = String::new();
-    let _ = writeln!(out, "{:>6} {:>12} {:>14} {:>10}", "GCDs", "GB/s", "theoretical", "achieved");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>14} {:>10}",
+        "GCDs", "GB/s", "theoretical", "achieved"
+    );
     let mut results = Vec::new();
     for (n, devs) in &sets {
         let bw = multi_gpu_host_stream(cfg, devs, STREAM_BYTES);
         let th = *n as f64 * 72.0;
-        let _ = writeln!(out, "{n:>6} {bw:>12.1} {th:>14.1} {:>9.1}%", 100.0 * bw / th);
+        let _ = writeln!(
+            out,
+            "{n:>6} {bw:>12.1} {th:>14.1} {:>9.1}%",
+            100.0 * bw / th
+        );
         s.push(*n as u64, bw);
         theory.push(*n as u64, th);
         results.push((*n, bw));

@@ -8,8 +8,7 @@ use ifsim_hip::{Calibration, EnvConfig, HipSim, KernelSpec, NodeTopology};
 use ifsim_microbench::comm_scope::d2h_sweep;
 use ifsim_microbench::p2p_matrix::bandwidth_matrix_bidir;
 use ifsim_microbench::report::{
-    render_matrix_csv, render_series_csv, render_series_table, render_series_table_counts,
-    Series,
+    render_matrix_csv, render_series_csv, render_series_table, render_series_table_counts, Series,
 };
 use ifsim_microbench::{rccl_tests, BenchConfig};
 use std::fmt::Write as _;
@@ -73,32 +72,40 @@ pub fn ext_bidir(cfg: &BenchConfig) -> ExperimentResult {
 /// ranks — the axis the paper fixes at 1 MiB.
 pub fn ext_coll_sweep(cfg: &BenchConfig) -> ExperimentResult {
     let sizes: Vec<u64> = [64 * 1024, 256 * 1024, MIB, 4 * MIB, 16 * MIB, 64 * MIB].into();
-    let s = rccl_tests::rccl_latency_vs_size(
-        cfg,
-        ifsim_coll::Collective::AllReduce,
-        8,
-        &sizes,
+    let s = rccl_tests::rccl_latency_vs_size(cfg, ifsim_coll::Collective::AllReduce, 8, &sizes);
+    let rendered = render_series_table(
+        "RCCL AllReduce latency vs message size",
+        "size",
+        std::slice::from_ref(&s),
     );
-    let rendered = render_series_table("RCCL AllReduce latency vs message size", "size", std::slice::from_ref(&s));
     let small = s.at(64 * 1024).unwrap();
     let big = s.at(64 * MIB).unwrap();
     let checks = vec![
         Check::new(
             "small messages are latency-bound (sub-linear in size)",
             s.at(256 * 1024).unwrap() < 4.0 * small,
-            format!("64 KiB: {small:.1} us, 256 KiB: {:.1} us", s.at(256 * 1024).unwrap()),
+            format!(
+                "64 KiB: {small:.1} us, 256 KiB: {:.1} us",
+                s.at(256 * 1024).unwrap()
+            ),
         ),
         Check::new(
             "large messages are bandwidth-bound (linear in size)",
             (2.0..6.0).contains(&(big / s.at(16 * MIB).unwrap())),
-            format!("16 MiB -> 64 MiB: {:.1} -> {big:.1} us", s.at(16 * MIB).unwrap()),
+            format!(
+                "16 MiB -> 64 MiB: {:.1} -> {big:.1} us",
+                s.at(16 * MIB).unwrap()
+            ),
         ),
     ];
     ExperimentResult {
         id: "ext-coll-sweep",
         title: "Collective latency vs message size (extension)",
         rendered,
-        csv: vec![("ext-coll-sweep.csv".into(), render_series_csv("bytes", &[s]))],
+        csv: vec![(
+            "ext-coll-sweep.csv".into(),
+            render_series_csv("bytes", &[s]),
+        )],
         checks,
     }
 }
@@ -128,9 +135,21 @@ pub fn ext_mi300a(cfg: &BenchConfig) -> ExperimentResult {
     let apu_mig = measure(Calibration::mi300a_like(), EnvConfig::with_xnack());
 
     let mut out = String::new();
-    let _ = writeln!(out, "{:<32} {:>12} {:>12}", "model", "zero-copy", "migration");
-    let _ = writeln!(out, "{:<32} {mi250_zc:>10.1} {mi250_mig:>12.1}  (GB/s)", "MI250X (coherent = uncached)");
-    let _ = writeln!(out, "{:<32} {apu_zc:>10.1} {apu_mig:>12.1}  (GB/s)", "MI300A-like (coherent cached)");
+    let _ = writeln!(
+        out,
+        "{:<32} {:>12} {:>12}",
+        "model", "zero-copy", "migration"
+    );
+    let _ = writeln!(
+        out,
+        "{:<32} {mi250_zc:>10.1} {mi250_mig:>12.1}  (GB/s)",
+        "MI250X (coherent = uncached)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<32} {apu_zc:>10.1} {apu_mig:>12.1}  (GB/s)",
+        "MI300A-like (coherent cached)"
+    );
     let checks = vec![
         Check::new(
             "cache-coherent interconnect lifts zero-copy bandwidth",
@@ -158,7 +177,11 @@ pub fn ext_alltoall(cfg: &BenchConfig) -> ExperimentResult {
     for n in 2..=8usize {
         s.push(n as u64, rccl_tests::rccl_alltoall_latency(cfg, n, MIB));
     }
-    let rendered = render_series_table_counts("RCCL AllToAll latency (1 MiB)", "ranks", std::slice::from_ref(&s));
+    let rendered = render_series_table_counts(
+        "RCCL AllToAll latency (1 MiB)",
+        "ranks",
+        std::slice::from_ref(&s),
+    );
     let checks = vec![
         Check::new(
             "latency grows with rank count up to 7",

@@ -11,5 +11,6 @@
 pub mod collectives;
 pub mod cpu_gpu;
 pub mod extensions;
+pub mod fault;
 pub mod p2p;
 pub mod tables;

@@ -5,9 +5,7 @@ use crate::paper;
 use ifsim_des::units::{GIB, MIB};
 use ifsim_microbench::comm_scope::p2p_sweep;
 use ifsim_microbench::p2p_matrix::{bandwidth_matrix, hop_matrix, latency_matrix};
-use ifsim_microbench::report::{
-    render_matrix_csv, render_series_csv, render_series_table,
-};
+use ifsim_microbench::report::{render_matrix_csv, render_series_csv, render_series_table};
 use ifsim_microbench::stream::{peer_stream_peaks, peer_stream_sweep};
 use ifsim_microbench::{osu, BenchConfig};
 use std::fmt::Write as _;
@@ -52,22 +50,18 @@ pub fn fig6b(cfg: &BenchConfig) -> ExperimentResult {
         .iter()
         .map(|&(a, b)| m.get(a, b).unwrap())
         .collect::<Vec<_>>();
-    let same_ok = same_gpu
-        .iter()
-        .all(|&v| v >= paper::P2P_LATENCY_SAME_GPU_US.0 - 0.4 && v <= paper::P2P_LATENCY_SAME_GPU_US.1 + 0.4);
-    let outliers_ok = [(1, 7), (3, 5), (7, 1), (5, 3)]
-        .iter()
-        .all(|&(a, b)| {
-            let v = m.get(a, b).unwrap();
-            v >= paper::P2P_LATENCY_OUTLIER_US.0 - 0.5 && v <= paper::P2P_LATENCY_OUTLIER_US.1 + 0.5
-        });
+    let same_ok = same_gpu.iter().all(|&v| {
+        v >= paper::P2P_LATENCY_SAME_GPU_US.0 - 0.4 && v <= paper::P2P_LATENCY_SAME_GPU_US.1 + 0.4
+    });
+    let outliers_ok = [(1, 7), (3, 5), (7, 1), (5, 3)].iter().all(|&(a, b)| {
+        let v = m.get(a, b).unwrap();
+        v >= paper::P2P_LATENCY_OUTLIER_US.0 - 0.5 && v <= paper::P2P_LATENCY_OUTLIER_US.1 + 0.5
+    });
     // And no non-outlier pair reaches the outlier band.
     let only_those = (0..8)
         .flat_map(|i| (0..8).map(move |j| (i, j)))
         .filter(|&(i, j)| i != j)
-        .filter(|&(i, j)| {
-            ![(1, 7), (7, 1), (3, 5), (5, 3)].contains(&(i, j))
-        })
+        .filter(|&(i, j)| ![(1, 7), (7, 1), (3, 5), (5, 3)].contains(&(i, j)))
         .all(|(i, j)| m.get(i, j).unwrap() < paper::P2P_LATENCY_OUTLIER_US.0 - 0.5);
     let checks = vec![
         Check::new(
@@ -148,11 +142,7 @@ pub fn fig6c(cfg: &BenchConfig) -> ExperimentResult {
 pub fn fig7(cfg: &BenchConfig) -> ExperimentResult {
     let sizes = ifsim_des::units::pow2_sweep(256, 8 * GIB);
     let series = p2p_sweep(cfg, &[1, 2, 6], &sizes);
-    let rendered = render_series_table(
-        "hipMemcpyPeer bandwidth from GCD0",
-        "size",
-        &series,
-    );
+    let rendered = render_series_table("hipMemcpyPeer bandwidth from GCD0", "size", &series);
     // series[0] -> GCD1 (quad), series[1] -> GCD2 (single), series[2] -> GCD6 (dual).
     let quad_util = series[0].peak() / 200.0;
     let single_util = series[1].peak() / 50.0;
@@ -161,7 +151,11 @@ pub fn fig7(cfg: &BenchConfig) -> ExperimentResult {
         Check::new(
             "single-link utilization 75 %",
             paper::within(single_util, paper::PEER_COPY_UTIL_SINGLE, paper::TOLERANCE),
-            format!("{:.0} % ({:.1} GB/s)", 100.0 * single_util, series[1].peak()),
+            format!(
+                "{:.0} % ({:.1} GB/s)",
+                100.0 * single_util,
+                series[1].peak()
+            ),
         ),
         Check::new(
             "dual-link utilization 50 %",

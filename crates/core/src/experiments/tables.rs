@@ -90,7 +90,12 @@ pub fn table1(_cfg: &BenchConfig) -> ExperimentResult {
             MemKind::HostPinned(HostAllocFlags::non_coherent()),
             "hipHostMalloc(NonCoherent) + hipMemcpy(Async)",
         ),
-        ("Pageable", "explicit", MemKind::HostPageable, "malloc + hipMemcpy"),
+        (
+            "Pageable",
+            "explicit",
+            MemKind::HostPageable,
+            "malloc + hipMemcpy",
+        ),
         (
             "Pinned",
             "zero-copy",
@@ -154,15 +159,69 @@ pub fn table1(_cfg: &BenchConfig) -> ExperimentResult {
 /// Table II: benchmark inventory, mapped to this workspace's modules.
 pub fn table2(_cfg: &BenchConfig) -> ExperimentResult {
     let rows = [
-        ("local GPU memory", "STREAM (copy)", "hipMalloc", "local kernel access", "microbench::stream::local_stream"),
-        ("CPU-GPU", "CommScope", "pageable / pinned / managed", "hipMemcpy, zero-copy, XNACK", "microbench::comm_scope::h2d_*"),
-        ("CPU-GPU", "STREAM (copy)", "pinned (hipHostMalloc)", "zero-copy kernel", "microbench::stream::multi_gpu_host_stream"),
-        ("GPU peer-to-peer", "CommScope", "hipMalloc", "hipMemcpyPeer", "microbench::comm_scope::p2p_sweep"),
-        ("GPU peer-to-peer", "p2pBandwidthLatencyTest", "hipMalloc", "hipMemcpyPeer", "microbench::p2p_matrix"),
-        ("GPU peer-to-peer", "STREAM (copy)", "hipMalloc", "zero-copy kernel", "microbench::stream::peer_stream_sweep"),
-        ("MPI point-to-point", "OSU micro-benchmarks", "hipMalloc", "MPI_Isend/MPI_Recv", "microbench::osu::osu_p2p_bw"),
-        ("MPI collectives", "OSU micro-benchmarks", "hipMalloc", "MPI collectives", "microbench::osu::mpi_collective_latency"),
-        ("RCCL collectives", "RCCL-tests", "hipMalloc", "RCCL collectives", "microbench::rccl_tests"),
+        (
+            "local GPU memory",
+            "STREAM (copy)",
+            "hipMalloc",
+            "local kernel access",
+            "microbench::stream::local_stream",
+        ),
+        (
+            "CPU-GPU",
+            "CommScope",
+            "pageable / pinned / managed",
+            "hipMemcpy, zero-copy, XNACK",
+            "microbench::comm_scope::h2d_*",
+        ),
+        (
+            "CPU-GPU",
+            "STREAM (copy)",
+            "pinned (hipHostMalloc)",
+            "zero-copy kernel",
+            "microbench::stream::multi_gpu_host_stream",
+        ),
+        (
+            "GPU peer-to-peer",
+            "CommScope",
+            "hipMalloc",
+            "hipMemcpyPeer",
+            "microbench::comm_scope::p2p_sweep",
+        ),
+        (
+            "GPU peer-to-peer",
+            "p2pBandwidthLatencyTest",
+            "hipMalloc",
+            "hipMemcpyPeer",
+            "microbench::p2p_matrix",
+        ),
+        (
+            "GPU peer-to-peer",
+            "STREAM (copy)",
+            "hipMalloc",
+            "zero-copy kernel",
+            "microbench::stream::peer_stream_sweep",
+        ),
+        (
+            "MPI point-to-point",
+            "OSU micro-benchmarks",
+            "hipMalloc",
+            "MPI_Isend/MPI_Recv",
+            "microbench::osu::osu_p2p_bw",
+        ),
+        (
+            "MPI collectives",
+            "OSU micro-benchmarks",
+            "hipMalloc",
+            "MPI collectives",
+            "microbench::osu::mpi_collective_latency",
+        ),
+        (
+            "RCCL collectives",
+            "RCCL-tests",
+            "hipMalloc",
+            "RCCL collectives",
+            "microbench::rccl_tests",
+        ),
     ];
     let mut out = String::new();
     let _ = writeln!(
@@ -171,7 +230,10 @@ pub fn table2(_cfg: &BenchConfig) -> ExperimentResult {
         "Link/Category", "Benchmark", "Allocation", "Data movement"
     );
     for (cat, bench, alloc, movement, module) in rows {
-        let _ = writeln!(out, "{cat:<20} {bench:<26} {alloc:<30} {movement:<26} {module}");
+        let _ = writeln!(
+            out,
+            "{cat:<20} {bench:<26} {alloc:<30} {movement:<26} {module}"
+        );
     }
     ExperimentResult {
         id: "table2",

@@ -85,8 +85,7 @@ mod tests {
         assert!(P2P_LATENCY_SAME_GPU_US.1 < P2P_LATENCY_OUTLIER_US.0);
         assert!(P2P_LATENCY_OUTLIER_US.1 <= P2P_LATENCY_MAX_US);
         assert!(
-            (COLLECTIVE_DUAL_ROUND_BOUND_US - 2.0 * COLLECTIVE_SINGLE_ROUND_BOUND_US).abs()
-                < 1e-9
+            (COLLECTIVE_DUAL_ROUND_BOUND_US - 2.0 * COLLECTIVE_SINGLE_ROUND_BOUND_US).abs() < 1e-9
         );
         #[allow(clippy::assertions_on_constants)] // documents the expected ordering
         {

@@ -2,7 +2,7 @@
 //! the `ext-*` extension experiments.
 
 use crate::experiment::Experiment;
-use crate::experiments::{collectives, cpu_gpu, extensions, p2p, tables};
+use crate::experiments::{collectives, cpu_gpu, extensions, fault, p2p, tables};
 
 /// The paper's artifacts plus the extensions, in registry order.
 pub fn all() -> Vec<Experiment> {
@@ -146,6 +146,24 @@ pub fn extension_experiments() -> Vec<Experiment> {
             "The sixth collective, 2-8 ranks",
             extensions::ext_alltoall,
         ),
+        Experiment::new(
+            "ext-fault-p2p-lanes",
+            "Peer bandwidth under lane degradation",
+            "xGMI lane loss on the quad link vs the SDMA engine ceiling",
+            fault::ext_fault_p2p_lanes,
+        ),
+        Experiment::new(
+            "ext-fault-link-down",
+            "Mid-flight link failure",
+            "Reroute + retry of an in-flight copy; Fig. 6b outlier shift",
+            fault::ext_fault_link_down,
+        ),
+        Experiment::new(
+            "ext-fault-allreduce-flaky",
+            "AllReduce on a degraded fabric",
+            "Ring collectives over a flaky or rebuilt-around-dead-link ring",
+            fault::ext_fault_allreduce_flaky,
+        ),
     ]
 }
 
@@ -167,14 +185,14 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids = ids();
         for expected in [
-            "fig1", "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
-            "fig6c", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig1", "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 24);
         assert_eq!(paper_artifacts().len(), 16);
-        assert!(ids.iter().filter(|i| i.starts_with("ext-")).count() == 5);
+        assert!(ids.iter().filter(|i| i.starts_with("ext-")).count() == 8);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! In-tree, offline stand-in for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build sandbox has no package-registry access, so the real `criterion`
+//! cannot be fetched. This shim keeps `cargo bench` (and the bench targets
+//! compiled by `cargo test`) working: each `bench_function` runs its closure
+//! a small, time-capped number of iterations and prints the mean wall time.
+//! There is no statistical analysis, plotting, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget guard: a single `bench_function` stops sampling
+/// once it has consumed this much wall time (after at least one iteration).
+const TIME_CAP: Duration = Duration::from_secs(2);
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timed looping.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+    done: usize,
+}
+
+impl Bencher {
+    /// Time `f`, running it up to the configured iteration count (capped by
+    /// a wall-clock budget so pathological benches cannot stall the suite).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            let out = f();
+            self.total += t0.elapsed();
+            self.done += 1;
+            std::hint::black_box(&out);
+            if self.total >= TIME_CAP {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        iters: sample_size.max(1),
+        total: Duration::ZERO,
+        done: 0,
+    };
+    f(&mut b);
+    if b.done == 0 {
+        println!("  {id}: no iterations run");
+    } else {
+        let mean = b.total / b.done as u32;
+        println!("  {id}: {mean:?} mean over {} iters", b.done);
+    }
+}
+
+/// Group several bench functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn group_sample_size_bounds_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0;
+        group.bench_function("counted", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!((1..=3).contains(&count));
+    }
+}

@@ -134,7 +134,12 @@ mod tests {
 
     #[test]
     fn equal_flows_split_evenly() {
-        let defs = [(vec![0], INF), (vec![0], INF), (vec![0], INF), (vec![0], INF)];
+        let defs = [
+            (vec![0], INF),
+            (vec![0], INF),
+            (vec![0], INF),
+            (vec![0], INF),
+        ];
         let r = max_min_rates(&[100.0], &flows(&defs));
         for x in r {
             assert!((x - 25.0).abs() < 1e-6);

@@ -1,0 +1,322 @@
+//! Scheduled fault injection: seeded, deterministic fabric-degradation plans.
+//!
+//! A [`FaultPlan`] is an ordered schedule of [`FaultEvent`]s the runtime
+//! replays against the live fabric: lane losses and whole-link outages that
+//! trigger mid-flight rerouting, SDMA-engine failures that force copies onto
+//! the blit path, elevated bit-error rates that tax bandwidth (retransmitted
+//! wire bytes) and add per-hop latency, and uncorrectable error bursts that
+//! abort in-flight transfers. Plans are plain data — applying them is the
+//! HIP runtime's job — so the same plan replayed against the same seed
+//! yields byte-identical simulations.
+
+use ifsim_des::{Dur, Rng, Time};
+use ifsim_topology::GcdId;
+use std::fmt;
+
+/// One kind of fabric fault, addressed by GCD endpoints (resolved to a
+/// concrete link by whoever applies the plan).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The xGMI connection between `a` and `b` loses `lanes` of its trained
+    /// lanes. Losses accumulate; dropping the last lane takes the link down.
+    LaneLoss {
+        /// One endpoint of the link.
+        a: GcdId,
+        /// The other endpoint.
+        b: GcdId,
+        /// Number of lanes lost by this event.
+        lanes: u32,
+    },
+    /// The link between `a` and `b` goes down entirely: in-flight transfers
+    /// abort and routes must avoid it until restored.
+    LinkDown {
+        /// One endpoint of the link.
+        a: GcdId,
+        /// The other endpoint.
+        b: GcdId,
+    },
+    /// The link between `a` and `b` retrains back to full health (also
+    /// clears any bit-error tax on it).
+    LinkRestore {
+        /// One endpoint of the link.
+        a: GcdId,
+        /// The other endpoint.
+        b: GcdId,
+    },
+    /// All SDMA engines of `gcd` fail: peer copies from that GCD fall back
+    /// to the (slower to launch, faster on wide links) blit-kernel path.
+    SdmaFail {
+        /// The GCD whose copy engines fail.
+        gcd: GcdId,
+    },
+    /// The SDMA engines of `gcd` come back.
+    SdmaRestore {
+        /// The GCD whose copy engines recover.
+        gcd: GcdId,
+    },
+    /// The link between `a` and `b` runs at an elevated bit-error rate:
+    /// a fraction `tax` of wire bandwidth is consumed by retransmissions
+    /// and every hop over the link costs `added_latency` extra.
+    BitErrorRate {
+        /// One endpoint of the link.
+        a: GcdId,
+        /// The other endpoint.
+        b: GcdId,
+        /// Fraction of wire capacity lost to retransmission, in `[0, 1)`.
+        tax: f64,
+        /// Extra latency per traversal of the link.
+        added_latency: Dur,
+    },
+    /// An uncorrectable error burst on the link between `a` and `b`:
+    /// in-flight transfers crossing it abort once (surfacing
+    /// `EccUncorrectable` if retries are exhausted), but the link stays up.
+    EccBurst {
+        /// One endpoint of the link.
+        a: GcdId,
+        /// The other endpoint.
+        b: GcdId,
+    },
+}
+
+impl FaultKind {
+    /// The GCD endpoints of the affected link, if the fault targets a link.
+    pub fn endpoints(&self) -> Option<(GcdId, GcdId)> {
+        match *self {
+            FaultKind::LaneLoss { a, b, .. }
+            | FaultKind::LinkDown { a, b }
+            | FaultKind::LinkRestore { a, b }
+            | FaultKind::BitErrorRate { a, b, .. }
+            | FaultKind::EccBurst { a, b } => Some((a, b)),
+            FaultKind::SdmaFail { .. } | FaultKind::SdmaRestore { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultKind::LaneLoss { a, b, lanes } => {
+                write!(f, "lane loss {a}<->{b} (-{lanes})")
+            }
+            FaultKind::LinkDown { a, b } => write!(f, "link down {a}<->{b}"),
+            FaultKind::LinkRestore { a, b } => write!(f, "link restore {a}<->{b}"),
+            FaultKind::SdmaFail { gcd } => write!(f, "SDMA fail {gcd}"),
+            FaultKind::SdmaRestore { gcd } => write!(f, "SDMA restore {gcd}"),
+            FaultKind::BitErrorRate { a, b, tax, .. } => {
+                write!(f, "bit errors {a}<->{b} (tax {:.0}%)", tax * 100.0)
+            }
+            FaultKind::EccBurst { a, b } => write!(f, "ECC burst {a}<->{b}"),
+        }
+    }
+}
+
+/// A fault scheduled at a virtual-time instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: Time,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// An ordered schedule of fault events. Events at equal times apply in
+/// insertion order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; the simulation is byte-identical to
+    /// a run without any fault machinery).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule `kind` at time `at` (builder style).
+    pub fn at(mut self, at: Time, kind: FaultKind) -> Self {
+        self.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Insert an event, keeping the schedule sorted by time (stable for
+    /// equal times).
+    pub fn push(&mut self, ev: FaultEvent) {
+        if let FaultKind::BitErrorRate { tax, .. } = ev.kind {
+            assert!((0.0..1.0).contains(&tax), "BER tax {tax} outside [0, 1)");
+        }
+        if let FaultKind::LaneLoss { lanes, .. } = ev.kind {
+            assert!(lanes > 0, "a lane-loss event must lose at least one lane");
+        }
+        let pos = self.events.partition_point(|e| e.at <= ev.at);
+        self.events.insert(pos, ev);
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.events.first().map(|e| e.at)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop_next(&mut self) -> Option<FaultEvent> {
+        if self.events.is_empty() {
+            None
+        } else {
+            Some(self.events.remove(0))
+        }
+    }
+
+    /// A seeded storm: `n` random fault events over `links` (pairs of
+    /// directly connected GCDs), spread across `[0, horizon)`. Draws come
+    /// from a dedicated SplitMix64 stream, so the same arguments always
+    /// produce the same storm. Link outages are paired with a restore
+    /// halfway to the horizon's end so the fabric never partitions forever.
+    pub fn storm(links: &[(GcdId, GcdId)], seed: u64, n: usize, horizon: Dur) -> Self {
+        assert!(!links.is_empty(), "a storm needs at least one target link");
+        let mut rng = Rng::new(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let (a, b) = links[(rng.next_u64() as usize) % links.len()];
+            let at = Time::ZERO + Dur::from_ns(rng.next_f64() * horizon.as_ns());
+            let kind = match rng.next_u64() % 5 {
+                0 => FaultKind::LaneLoss { a, b, lanes: 1 },
+                1 => {
+                    // Outage with a scheduled repair.
+                    let down_for = Dur::from_ns(0.25 * horizon.as_ns());
+                    plan.push(FaultEvent {
+                        at: at + down_for,
+                        kind: FaultKind::LinkRestore { a, b },
+                    });
+                    FaultKind::LinkDown { a, b }
+                }
+                2 => FaultKind::BitErrorRate {
+                    a,
+                    b,
+                    tax: 0.1 + 0.4 * rng.next_f64(),
+                    added_latency: Dur::from_us(0.5 + rng.next_f64()),
+                },
+                3 => FaultKind::EccBurst { a, b },
+                _ => FaultKind::SdmaFail { gcd: a },
+            };
+            plan.push(FaultEvent { at, kind });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(x: u8) -> GcdId {
+        GcdId(x)
+    }
+
+    #[test]
+    fn events_stay_sorted_by_time() {
+        let plan = FaultPlan::new()
+            .at(
+                Time::from_ns(30.0),
+                FaultKind::LinkDown { a: g(0), b: g(1) },
+            )
+            .at(Time::from_ns(10.0), FaultKind::SdmaFail { gcd: g(2) })
+            .at(
+                Time::from_ns(20.0),
+                FaultKind::LaneLoss {
+                    a: g(0),
+                    b: g(1),
+                    lanes: 2,
+                },
+            );
+        let times: Vec<f64> = plan.events().iter().map(|e| e.at.as_ns()).collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn pop_drains_in_order() {
+        let mut plan = FaultPlan::new()
+            .at(Time::from_ns(5.0), FaultKind::EccBurst { a: g(4), b: g(5) })
+            .at(Time::from_ns(1.0), FaultKind::SdmaRestore { gcd: g(0) });
+        assert_eq!(plan.peek_time(), Some(Time::from_ns(1.0)));
+        assert_eq!(plan.len(), 2);
+        let first = plan.pop_next().unwrap();
+        assert_eq!(first.at, Time::from_ns(1.0));
+        let second = plan.pop_next().unwrap();
+        assert_eq!(second.at, Time::from_ns(5.0));
+        assert!(plan.pop_next().is_none());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn endpoints_identify_link_faults() {
+        assert_eq!(
+            FaultKind::LinkDown { a: g(1), b: g(3) }.endpoints(),
+            Some((g(1), g(3)))
+        );
+        assert_eq!(FaultKind::SdmaFail { gcd: g(1) }.endpoints(), None);
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_bounded() {
+        let links = [(g(0), g(1)), (g(2), g(3)), (g(0), g(6))];
+        let s1 = FaultPlan::storm(&links, 42, 8, Dur::from_us(100.0));
+        let s2 = FaultPlan::storm(&links, 42, 8, Dur::from_us(100.0));
+        assert_eq!(s1, s2);
+        // 8 primary events plus a restore per LinkDown.
+        assert!(s1.len() >= 8);
+        for ev in s1.events() {
+            assert!(ev.at.as_ns() < 1.25 * Dur::from_us(100.0).as_ns() + 1.0);
+            if let Some((a, b)) = ev.kind.endpoints() {
+                assert!(links.contains(&(a, b)) || links.contains(&(b, a)));
+            }
+        }
+        let s3 = FaultPlan::storm(&links, 43, 8, Dur::from_us(100.0));
+        assert_ne!(s1, s3, "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn full_tax_rejected() {
+        FaultPlan::new().at(
+            Time::ZERO,
+            FaultKind::BitErrorRate {
+                a: g(0),
+                b: g(1),
+                tax: 1.0,
+                added_latency: Dur::from_us(1.0),
+            },
+        );
+    }
+
+    #[test]
+    fn display_strings_are_compact() {
+        assert_eq!(
+            FaultKind::LinkDown { a: g(0), b: g(6) }.to_string(),
+            "link down GCD0<->GCD6"
+        );
+        assert_eq!(
+            FaultKind::LaneLoss {
+                a: g(0),
+                b: g(1),
+                lanes: 2
+            }
+            .to_string(),
+            "lane loss GCD0<->GCD1 (-2)"
+        );
+    }
+}

@@ -33,12 +33,14 @@
 
 pub mod calib;
 pub mod fairshare;
+pub mod fault;
 pub mod flow;
 pub mod latency;
 pub mod net;
 pub mod seg;
 
 pub use calib::Calibration;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use flow::{FlowId, FlowSpec};
 pub use net::FlowNet;
 pub use seg::{Dir, SegId, SegmentMap};

@@ -70,6 +70,69 @@ impl FlowNet {
         self.segmap.derate_link(link, factor);
     }
 
+    /// Apply an absolute health factor (fraction of *healthy* capacity) to a
+    /// link **mid-flight**: active flows keep running and their max-min fair
+    /// shares are recomputed against the new capacities immediately. The
+    /// factor must be positive — a dead link must first have its flows
+    /// removed; use [`FlowNet::fail_link`] for that.
+    pub fn set_link_factor(&mut self, link: ifsim_topology::LinkId, factor: f64) {
+        assert!(
+            factor > 0.0,
+            "zero-capacity link would stall its flows forever; use fail_link"
+        );
+        self.segmap.set_link_factor(link, factor);
+        self.recompute();
+    }
+
+    /// Take a link down mid-flight: every flow crossing any of its segments
+    /// is aborted (returned with its delivered byte count), the link's
+    /// capacities drop to zero, and surviving flows are re-shared.
+    pub fn fail_link(&mut self, link: ifsim_topology::LinkId) -> Vec<(FlowId, f64)> {
+        let aborted = self.abort_flows_using(&self.segmap.link_segments(link));
+        self.segmap.set_link_factor(link, 0.0);
+        self.recompute();
+        aborted
+    }
+
+    /// Restore a failed or degraded link to full healthy capacity.
+    pub fn restore_link(&mut self, link: ifsim_topology::LinkId) {
+        self.segmap.set_link_factor(link, 1.0);
+        self.recompute();
+    }
+
+    /// Abort every active flow traversing any of `segs` (e.g. an
+    /// uncorrectable error burst on a link). Returns `(flow, delivered
+    /// bytes)` per abort; surviving flows are re-shared.
+    pub fn abort_flows_using(&mut self, segs: &[crate::seg::SegId]) -> Vec<(FlowId, f64)> {
+        let victims: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.spec.segs.iter().any(|s| segs.contains(s)))
+            .map(|(&id, _)| id)
+            .collect();
+        let aborted: Vec<(FlowId, f64)> = victims
+            .into_iter()
+            .map(|id| {
+                let f = self.flows.remove(&id).expect("victim is active");
+                (id, f.delivered)
+            })
+            .collect();
+        if !aborted.is_empty() {
+            self.recompute();
+        }
+        aborted
+    }
+
+    /// Ids of all active flows, ascending.
+    pub fn active_ids(&self) -> Vec<FlowId> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// The spec a flow was submitted with, while it is active.
+    pub fn spec_of(&self, id: FlowId) -> Option<&FlowSpec> {
+        self.flows.get(&id).map(|f| &f.spec)
+    }
+
     /// Current network-local time.
     pub fn now(&self) -> Time {
         self.now
@@ -93,6 +156,12 @@ impl FlowNet {
             assert!(
                 s.idx() < self.segmap.len(),
                 "flow references unknown segment {s:?}"
+            );
+            assert!(
+                self.segmap.capacity(s) > 0.0,
+                "flow routed over dead segment {} — the planner must reroute \
+                 around failed links",
+                self.segmap.label(s)
             );
         }
         let id = FlowId(self.next_id);
@@ -163,10 +232,11 @@ impl FlowNet {
     /// divided by capacity × elapsed time. Zero before any time passes.
     pub fn seg_utilization(&self, seg: crate::seg::SegId) -> f64 {
         let elapsed = self.now.as_secs();
-        if elapsed <= 0.0 {
+        let cap = self.segmap.capacity(seg);
+        if elapsed <= 0.0 || cap <= 0.0 {
             return 0.0;
         }
-        self.seg_bytes[seg.idx()] / (self.segmap.capacity(seg) * elapsed)
+        self.seg_bytes[seg.idx()] / (cap * elapsed)
     }
 
     /// Advance to the earliest completion and remove that flow.
@@ -176,8 +246,7 @@ impl FlowNet {
         self.advance_to(t);
         let f = self.flows.remove(&id).expect("peeked flow exists");
         debug_assert!(
-            (f.delivered - f.spec.payload_bytes).abs()
-                <= 1e-6 * f.spec.payload_bytes.max(1.0),
+            (f.delivered - f.spec.payload_bytes).abs() <= 1e-6 * f.spec.payload_bytes.max(1.0),
             "flow completed with {} of {} bytes delivered",
             f.delivered,
             f.spec.payload_bytes
@@ -381,6 +450,92 @@ mod tests {
         let segs = peer_segs(&t, &r, &n, 0, 2, false);
         n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 1.0));
         n.advance_to(Time::from_ns(1e9));
+    }
+
+    #[test]
+    fn mid_flight_degradation_slows_active_flows() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let lid = r
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .links[0];
+        let id = n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        assert!((n.rate_of(id).unwrap() - gbps(50.0)).abs() < 1.0);
+        // 10 ms in (500 MB delivered), the link loses half its capacity.
+        n.advance_to(Time::from_ns(10e6));
+        n.set_link_factor(lid, 0.5);
+        assert!((n.rate_of(id).unwrap() - gbps(25.0)).abs() < 1.0);
+        // Remaining 500 MB at 25 GB/s: completion at 10 ms + 20 ms.
+        let (tc, idc) = n.complete_next().unwrap();
+        assert_eq!(idc, id);
+        assert!((tc.as_secs() - 0.030).abs() < 1e-9, "{tc}");
+    }
+
+    #[test]
+    fn fail_link_aborts_crossing_flows_and_spares_others() {
+        let (t, r, mut n) = net();
+        let doomed_segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let doomed_link = r
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .links[0];
+        let safe_segs = peer_segs(&t, &r, &n, 4, 5, false);
+        let doomed = n.add_flow(Time::ZERO, FlowSpec::new(doomed_segs, 1e9, 1.0));
+        let safe = n.add_flow(Time::ZERO, FlowSpec::new(safe_segs, 1e9, 1.0));
+        n.advance_to(Time::from_ns(1e6)); // 1 ms at 50 GB/s = 50 MB each
+        let aborted = n.fail_link(doomed_link);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].0, doomed);
+        assert!(
+            (aborted[0].1 - 50e6).abs() < 1.0,
+            "delivered {}",
+            aborted[0].1
+        );
+        assert_eq!(n.active_ids(), vec![safe]);
+        assert!(n.spec_of(doomed).is_none());
+        assert!(n.spec_of(safe).is_some());
+        // The survivor still completes normally.
+        let (_, idc) = n.complete_next().unwrap();
+        assert_eq!(idc, safe);
+    }
+
+    #[test]
+    fn restore_link_brings_capacity_back() {
+        let (t, r, mut n) = net();
+        let lid = r
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .links[0];
+        n.fail_link(lid);
+        n.restore_link(lid);
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let id = n.add_flow(n.now(), FlowSpec::new(segs, 1e9, 1.0));
+        assert!((n.rate_of(id).unwrap() - gbps(50.0)).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead segment")]
+    fn adding_a_flow_over_a_failed_link_panics() {
+        let (t, r, mut n) = net();
+        let lid = r
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .links[0];
+        n.fail_link(lid);
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+    }
+
+    #[test]
+    fn abort_flows_using_leaves_capacity_untouched() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let seg = segs[0];
+        let id = n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 1e9, 1.0));
+        let aborted = n.abort_flows_using(&[seg]);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].0, id);
+        // An ECC burst kills in-flight traffic but the link stays up.
+        assert!(n.segmap().capacity(seg) > 0.0);
+        let retry = n.add_flow(n.now(), FlowSpec::new(segs, 1e9, 1.0));
+        assert!((n.rate_of(retry).unwrap() - gbps(50.0)).abs() < 1.0);
     }
 
     #[test]

@@ -52,6 +52,9 @@ impl SegId {
 pub struct SegmentMap {
     /// Wire capacity (bytes/s) of each segment, indexed by `SegId`.
     caps: Vec<f64>,
+    /// Healthy-state wire capacity of each segment: the reference for
+    /// absolute health factors applied by fault injection.
+    base_caps: Vec<f64>,
     /// Human-readable label per segment (diagnostics).
     labels: Vec<String>,
     dir_segs: BTreeMap<(LinkId, Dir), SegId>,
@@ -110,6 +113,7 @@ impl SegmentMap {
             ddr_segs.insert(numa, add(DDR_PER_NUMA, format!("DDR {numa}")));
         }
         SegmentMap {
+            base_caps: caps.clone(),
             caps,
             labels,
             dir_segs,
@@ -134,10 +138,52 @@ impl SegmentMap {
         self.caps[seg.idx()]
     }
 
+    /// Healthy-state wire capacity of a segment, bytes/s — the reference
+    /// point for absolute health factors.
+    pub fn base_capacity(&self, seg: SegId) -> f64 {
+        self.base_caps[seg.idx()]
+    }
+
     /// Scale one segment's capacity (fault injection / degraded links).
     pub fn scale_capacity(&mut self, seg: SegId, factor: f64) {
-        assert!(factor > 0.0 && factor.is_finite(), "bad derate factor {factor}");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "bad derate factor {factor}"
+        );
         self.caps[seg.idx()] *= factor;
+    }
+
+    /// Set one segment's capacity to `factor` × its *healthy* capacity.
+    /// Unlike [`SegmentMap::scale_capacity`] this is absolute, so repeated
+    /// health transitions (degrade, degrade further, restore) do not
+    /// compound. `factor` 0 marks a dead segment no flow may traverse.
+    pub fn set_capacity_factor(&mut self, seg: SegId, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "health factor {factor} outside [0, 1]"
+        );
+        self.caps[seg.idx()] = self.base_caps[seg.idx()] * factor;
+    }
+
+    /// Apply an absolute health factor to every segment of a link (both
+    /// directions and, for xGMI, the duplex pool).
+    pub fn set_link_factor(&mut self, link: LinkId, factor: f64) {
+        self.set_capacity_factor(self.dir_seg(link, Dir::Forward), factor);
+        self.set_capacity_factor(self.dir_seg(link, Dir::Backward), factor);
+        if let Some(d) = self.duplex_seg(link) {
+            self.set_capacity_factor(d, factor);
+        }
+    }
+
+    /// All segments belonging to a link: forward, backward and (xGMI only)
+    /// the duplex pool.
+    pub fn link_segments(&self, link: LinkId) -> Vec<SegId> {
+        let mut segs = vec![
+            self.dir_seg(link, Dir::Forward),
+            self.dir_seg(link, Dir::Backward),
+        ];
+        segs.extend(self.duplex_seg(link));
+        segs
     }
 
     /// Derate every segment of a link (both directions and, for xGMI, the
@@ -179,7 +225,12 @@ impl SegmentMap {
     ///
     /// `include_duplex` adds the per-xGMI-link duplex pool; set it for
     /// kernel-issued remote access, leave it off for SDMA engine copies.
-    pub fn path_segments(&self, topo: &NodeTopology, path: &Path, include_duplex: bool) -> Vec<SegId> {
+    pub fn path_segments(
+        &self,
+        topo: &NodeTopology,
+        path: &Path,
+        include_duplex: bool,
+    ) -> Vec<SegId> {
         let mut segs = Vec::with_capacity(path.links.len() * 2);
         for (i, &lid) in path.links.iter().enumerate() {
             let spec = topo.link(lid);
@@ -304,6 +355,52 @@ mod tests {
         let (_, m) = setup();
         assert_eq!(m.memory_seg(PortId::Gcd(GcdId(3))), m.hbm_seg(GcdId(3)));
         assert_eq!(m.memory_seg(PortId::Numa(NumaId(1))), m.ddr_seg(NumaId(1)));
+    }
+
+    #[test]
+    fn health_factors_are_absolute_not_compounding() {
+        let (t, mut m) = setup();
+        let lid = LinkId(0);
+        let fwd = m.dir_seg(lid, Dir::Forward);
+        let healthy = m.capacity(fwd);
+        m.set_link_factor(lid, 0.5);
+        assert_eq!(m.capacity(fwd), healthy * 0.5);
+        m.set_link_factor(lid, 0.25);
+        // Absolute w.r.t. base, not 0.5 × 0.25.
+        assert_eq!(m.capacity(fwd), healthy * 0.25);
+        m.set_link_factor(lid, 1.0);
+        assert_eq!(m.capacity(fwd), healthy);
+        assert_eq!(m.base_capacity(fwd), healthy);
+        let _ = t;
+    }
+
+    #[test]
+    fn zero_factor_kills_all_link_segments() {
+        let (t, mut m) = setup();
+        // Link 0 is xGMI on Frontier (quad 0-1 listed first).
+        let lid = LinkId(0);
+        assert!(matches!(t.link(lid).kind, LinkKind::Xgmi(_)));
+        m.set_link_factor(lid, 0.0);
+        let segs = m.link_segments(lid);
+        assert_eq!(segs.len(), 3, "fwd + bwd + duplex");
+        for s in segs {
+            assert_eq!(m.capacity(s), 0.0);
+            assert!(m.base_capacity(s) > 0.0);
+        }
+    }
+
+    #[test]
+    fn link_segments_omits_duplex_for_cpu_links() {
+        let (t, m) = setup();
+        let cpu = t.cpu_link(GcdId(0));
+        assert_eq!(m.link_segments(cpu).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn over_unity_health_factor_rejected() {
+        let (_, mut m) = setup();
+        m.set_capacity_factor(SegId(0), 1.5);
     }
 
     #[test]

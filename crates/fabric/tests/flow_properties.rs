@@ -133,6 +133,60 @@ proptest! {
         );
     }
 
+    /// Mid-flight degradation keeps the max-min solution feasible: after
+    /// random lane-loss-style factors land on random links, no segment
+    /// carries more aggregate wire rate than its *new* capacity, and every
+    /// surviving flow still makes positive progress.
+    #[test]
+    fn degraded_rates_never_exceed_new_capacities(
+        flow_defs in proptest::collection::vec((0u8..8, 0u8..8, 1u32..2_000), 1..12),
+        factors in proptest::collection::vec((0u8..32, 1u32..4), 1..6),
+    ) {
+        let topo = NodeTopology::frontier();
+        let router = Router::new(&topo);
+        let mut net = FlowNet::new(SegmentMap::new(&topo));
+        for (a, b, kb) in flow_defs {
+            let (a, b) = (a % 8, b % 8);
+            if a == b {
+                continue;
+            }
+            let p = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+            let segs = net.segmap().path_segments(&topo, p, false);
+            net.add_flow(net.now(), FlowSpec::new(segs, kb as f64 * 1024.0, 0.9));
+        }
+        // Degrade links to 1/4 .. 3/4 of healthy capacity (lane-loss shape)
+        // while the flows are in flight.
+        let n_links = topo.links().len() as u8;
+        for (l, quarters) in factors {
+            let link = ifsim_topology::LinkId((l % n_links) as u32);
+            net.set_link_factor(link, quarters as f64 / 4.0);
+        }
+        const EPS: f64 = 1e-6;
+        let ids = net.active_ids();
+        for s in 0..net.segmap().len() {
+            let seg = ifsim_fabric::SegId(s as u32);
+            let cap = net.segmap().capacity(seg);
+            let load: f64 = ids
+                .iter()
+                .filter(|&&id| net.spec_of(id).unwrap().segs.contains(&seg))
+                .map(|&id| {
+                    net.rate_of(id).unwrap() / net.spec_of(id).unwrap().efficiency
+                })
+                .sum();
+            prop_assert!(
+                load <= cap * (1.0 + EPS),
+                "segment {}: wire load {load} exceeds degraded cap {cap}",
+                net.segmap().label(seg)
+            );
+        }
+        for &id in &ids {
+            prop_assert!(net.rate_of(id).unwrap() > 0.0, "{id:?} stalled");
+        }
+        // And the whole mix still drains to completion.
+        while net.complete_next().is_some() {}
+        prop_assert_eq!(net.active(), 0);
+    }
+
     /// Completion times never decrease as the driver pulls them, whatever
     /// the flow mix.
     #[test]

@@ -144,10 +144,7 @@ mod tests {
     fn out_of_range_ordinal_rejected() {
         let t = topo();
         let d = DeviceTable::new(&t, &EnvConfig::default()).unwrap();
-        assert_eq!(
-            d.gcd(DeviceId(8)).unwrap_err(),
-            HipError::InvalidDevice(8)
-        );
+        assert_eq!(d.gcd(DeviceId(8)).unwrap_err(), HipError::InvalidDevice(8));
     }
 
     #[test]

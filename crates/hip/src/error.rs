@@ -8,7 +8,12 @@ use std::fmt;
 pub type HipResult<T> = Result<T, HipError>;
 
 /// Simulated `hipError_t`.
+///
+/// Marked `#[non_exhaustive]`: the degraded-fabric work grows this surface
+/// (timeouts, link failures, uncorrectable ECC), and downstream matches must
+/// stay forward-compatible with further fault codes.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HipError {
     /// Device ordinal out of range (after visibility filtering).
     InvalidDevice(usize),
@@ -24,6 +29,16 @@ pub enum HipError {
     InvalidValue(String),
     /// Operation requires an event that has not been recorded yet.
     NotReady,
+    /// A bounded wait (`*_synchronize_timeout`) or rendezvous expired before
+    /// the awaited work completed.
+    Timeout(String),
+    /// An xGMI link the operation depends on is down: the transfer aborted
+    /// mid-flight with retries exhausted, or link failures partitioned the
+    /// fabric so no route exists.
+    LinkDown(String),
+    /// An uncorrectable ECC error killed the operation's data in flight and
+    /// retries were exhausted.
+    EccUncorrectable(String),
 }
 
 impl fmt::Display for HipError {
@@ -35,6 +50,11 @@ impl fmt::Display for HipError {
             HipError::IllegalAddress(m) => write!(f, "hipErrorIllegalAddress: {m}"),
             HipError::InvalidValue(m) => write!(f, "hipErrorInvalidValue: {m}"),
             HipError::NotReady => write!(f, "hipErrorNotReady"),
+            HipError::Timeout(m) => write!(f, "hipErrorTimeout: {m}"),
+            HipError::LinkDown(m) => write!(f, "hipErrorLinkDown: {m}"),
+            HipError::EccUncorrectable(m) => {
+                write!(f, "hipErrorECCNotCorrectable: {m}")
+            }
         }
     }
 }
@@ -78,7 +98,33 @@ mod tests {
 
     #[test]
     fn display_includes_hip_error_names() {
-        assert!(HipError::InvalidDevice(9).to_string().contains("InvalidDevice"));
+        assert!(HipError::InvalidDevice(9)
+            .to_string()
+            .contains("InvalidDevice"));
         assert!(HipError::NotReady.to_string().contains("NotReady"));
+    }
+
+    #[test]
+    fn fault_errors_display_hip_codes_and_context() {
+        let t = HipError::Timeout("stream#3 after 5 ms".into());
+        assert_eq!(t.to_string(), "hipErrorTimeout: stream#3 after 5 ms");
+        let l = HipError::LinkDown("GCD0<->GCD2 severed".into());
+        assert_eq!(l.to_string(), "hipErrorLinkDown: GCD0<->GCD2 severed");
+        let e = HipError::EccUncorrectable("burst on GCD4<->GCD5".into());
+        assert_eq!(
+            e.to_string(),
+            "hipErrorECCNotCorrectable: burst on GCD4<->GCD5"
+        );
+    }
+
+    #[test]
+    fn fault_errors_are_distinct_values() {
+        let t = HipError::Timeout("x".into());
+        let l = HipError::LinkDown("x".into());
+        let e = HipError::EccUncorrectable("x".into());
+        assert_ne!(t, l);
+        assert_ne!(l, e);
+        assert_ne!(t, e);
+        assert_eq!(t.clone(), t);
     }
 }

@@ -115,7 +115,11 @@ impl KernelSpec {
 
     /// Total bytes moved (reads + writes) — the STREAM bandwidth numerator.
     pub fn traffic_bytes(&self) -> u64 {
-        self.reads().iter().chain(self.writes().iter()).map(|(_, b)| b).sum()
+        self.reads()
+            .iter()
+            .chain(self.writes().iter())
+            .map(|(_, b)| b)
+            .sum()
     }
 
     /// Execute the kernel on real backings. Returns `Ok(false)` (a

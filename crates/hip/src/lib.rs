@@ -40,6 +40,7 @@ pub mod device;
 pub mod env;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod kernel;
 pub mod op;
 pub mod plan;
@@ -51,6 +52,7 @@ pub use device::{DeviceId, DeviceProps};
 pub use env::EnvConfig;
 pub use error::{HipError, HipResult};
 pub use event::EventId;
+pub use fault::{FabricHealth, FaultStats, RetryPolicy};
 pub use kernel::KernelSpec;
 pub use op::MemcpyKind;
 pub use runtime::{HipSim, MemAdvise};
@@ -58,6 +60,6 @@ pub use stream::StreamId;
 pub use trace::{Trace, TraceEvent};
 
 // Re-exports the benchmarks lean on.
-pub use ifsim_fabric::Calibration;
+pub use ifsim_fabric::{Calibration, FaultEvent, FaultKind, FaultPlan};
 pub use ifsim_memory::{BufferId, HostAllocFlags, MemKind, MemSpace};
-pub use ifsim_topology::{GcdId, LinkKind, NodeTopology, NumaId};
+pub use ifsim_topology::{GcdId, LinkHealth, LinkKind, NodeTopology, NumaId};

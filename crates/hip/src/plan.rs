@@ -17,13 +17,14 @@
 
 use crate::env::EnvConfig;
 use crate::error::{HipError, HipResult};
+use crate::fault::FabricHealth;
 use crate::kernel::KernelSpec;
 use crate::op::MemcpyKind;
 use ifsim_des::{Dur, Rng};
 use ifsim_fabric::latency::peer_copy_latency;
 use ifsim_fabric::{Calibration, FlowSpec, SegmentMap};
 use ifsim_memory::{Allocation, BufferId, MemKind, MemSpace, MemorySystem};
-use ifsim_topology::{GcdId, NodeTopology, NumaId, RoutePolicy, Router};
+use ifsim_topology::{GcdId, NodeTopology, NumaId, Path, RoutePolicy, Router};
 use std::collections::BTreeSet;
 
 /// A functional side effect applied when the op completes.
@@ -116,6 +117,9 @@ pub struct PlanCtx<'a> {
     pub mem: &'a MemorySystem,
     /// Directed peer-access grants `(accessor, owner)`.
     pub peer_enabled: &'a BTreeSet<(GcdId, GcdId)>,
+    /// Current fabric condition (degraded links, failed SDMA engines,
+    /// bit-error taxes) from applied fault events.
+    pub fabric_health: &'a FabricHealth,
 }
 
 impl<'a> PlanCtx<'a> {
@@ -149,24 +153,53 @@ impl<'a> PlanCtx<'a> {
 
     /// Segments for zero-copy/host traffic between `gcd` and NUMA `n`.
     /// `to_gcd` selects traffic direction (read vs. write).
-    pub fn host_traffic_segs(&self, gcd: GcdId, n: NumaId, to_gcd: bool) -> Vec<ifsim_fabric::SegId> {
+    pub fn host_traffic_segs(
+        &self,
+        gcd: GcdId,
+        n: NumaId,
+        to_gcd: bool,
+    ) -> Vec<ifsim_fabric::SegId> {
         let route = self.router.host_route(gcd, n);
-        let path = if to_gcd { route.reversed() } else { route.clone() };
+        let path = if to_gcd {
+            route.reversed()
+        } else {
+            route.clone()
+        };
         let mut segs = self.segmap.path_segments(self.topo, &path, false);
         segs.push(self.segmap.ddr_seg(n));
         segs
     }
 
-    /// Segments for kernel traffic between `gcd` and peer `p`.
-    pub fn peer_kernel_segs(&self, gcd: GcdId, p: GcdId, to_gcd: bool) -> Vec<ifsim_fabric::SegId> {
+    /// The live bandwidth-maximizing peer route `a → b`, or
+    /// [`HipError::LinkDown`] when link failures have severed every route
+    /// between the pair.
+    pub fn peer_route(&self, a: GcdId, b: GcdId) -> HipResult<&'a Path> {
+        self.router
+            .try_gcd_route(a, b, RoutePolicy::MaxBandwidth)
+            .filter(|p| self.fabric_health.path_is_live(p))
+            .ok_or_else(|| {
+                HipError::LinkDown(format!(
+                    "no xGMI route {a} -> {b}: link failures partitioned the fabric"
+                ))
+            })
+    }
+
+    /// Segments for kernel traffic between `gcd` and peer `p`, or
+    /// [`HipError::LinkDown`] if the pair is partitioned.
+    pub fn peer_kernel_segs(
+        &self,
+        gcd: GcdId,
+        p: GcdId,
+        to_gcd: bool,
+    ) -> HipResult<Vec<ifsim_fabric::SegId>> {
         let path = if to_gcd {
-            self.router.gcd_route(p, gcd, RoutePolicy::MaxBandwidth)
+            self.peer_route(p, gcd)?
         } else {
-            self.router.gcd_route(gcd, p, RoutePolicy::MaxBandwidth)
+            self.peer_route(gcd, p)?
         };
         let mut segs = self.segmap.path_segments(self.topo, path, true);
         segs.push(self.segmap.hbm_seg(p));
-        segs
+        Ok(segs)
     }
 }
 
@@ -237,15 +270,23 @@ pub fn plan_kernel(
                         value: false,
                     });
                     flows.push(FlowSpec::new(
-                        ctx.peer_kernel_segs(gcd, owner, !is_write),
+                        ctx.peer_kernel_segs(gcd, owner, !is_write)?,
                         bytes as f64,
                         calib.eff_kernel_xgmi,
                     ));
                 } else if alloc.kind == MemKind::Managed && ctx.env.xnack {
-                    plan_migration(ctx, gcd, alloc, bytes, &mut latency, &mut flows, &mut effects);
+                    plan_migration(
+                        ctx,
+                        gcd,
+                        alloc,
+                        bytes,
+                        &mut latency,
+                        &mut flows,
+                        &mut effects,
+                    )?;
                 } else {
                     flows.push(FlowSpec::new(
-                        ctx.peer_kernel_segs(gcd, owner, !is_write),
+                        ctx.peer_kernel_segs(gcd, owner, !is_write)?,
                         bytes as f64,
                         calib.eff_kernel_xgmi,
                     ));
@@ -277,7 +318,7 @@ pub fn plan_kernel(
                                 &mut latency,
                                 &mut flows,
                                 &mut effects,
-                            );
+                            )?;
                         } else {
                             flows.push(FlowSpec::new(
                                 ctx.host_traffic_segs(gcd, numa, !is_write),
@@ -329,7 +370,7 @@ fn plan_migration(
     latency: &mut Dur,
     flows: &mut Vec<FlowSpec>,
     effects: &mut Vec<Effect>,
-) {
+) -> HipResult<()> {
     let calib = ctx.calib;
     let pt = alloc.pages.as_ref().expect("managed allocation has pages");
     let target = MemSpace::Hbm(gcd);
@@ -340,7 +381,7 @@ fn plan_migration(
         let mig_bytes = (pages as u64 * pt.page_size()) as f64;
         let mut segs = match from {
             MemSpace::Ddr(n) => ctx.host_traffic_segs(gcd, n, true),
-            MemSpace::Hbm(p) if p != gcd => ctx.peer_kernel_segs(gcd, p, true),
+            MemSpace::Hbm(p) if p != gcd => ctx.peer_kernel_segs(gcd, p, true)?,
             MemSpace::Hbm(_) => vec![ctx.segmap.hbm_seg(gcd)],
         };
         segs.push(ctx.segmap.hbm_seg(gcd));
@@ -361,6 +402,7 @@ fn plan_migration(
         bytes as f64,
         calib.eff_kernel_hbm,
     ));
+    Ok(())
 }
 
 /// Plan an explicit copy (`hipMemcpy` / `hipMemcpyPeer`).
@@ -434,7 +476,7 @@ pub fn plan_memcpy(
             )],
         ),
         // Device -> peer device.
-        (MemSpace::Hbm(a), MemSpace::Hbm(b)) => plan_peer_copy(ctx, a, b, bytes),
+        (MemSpace::Hbm(a), MemSpace::Hbm(b)) => plan_peer_copy(ctx, a, b, bytes)?,
         // Host -> host.
         (MemSpace::Ddr(a), MemSpace::Ddr(b)) => {
             let mut segs = vec![ctx.segmap.ddr_seg(a)];
@@ -509,11 +551,7 @@ pub fn plan_memset(
 /// target space over the fabric at bulk-copy efficiency — no per-page fault
 /// overhead, which is the entire point of prefetching over XNACK
 /// first-touch (§II-C's "implicit" movement done right).
-pub fn plan_prefetch(
-    ctx: &PlanCtx<'_>,
-    buf: BufferId,
-    target: MemSpace,
-) -> HipResult<OpPlan> {
+pub fn plan_prefetch(ctx: &PlanCtx<'_>, buf: BufferId, target: MemSpace) -> HipResult<OpPlan> {
     let calib = ctx.calib;
     let alloc = ctx.mem.get(buf)?;
     if alloc.kind != MemKind::Managed {
@@ -542,7 +580,7 @@ pub fn plan_prefetch(
     let mut segs = match (from, target) {
         (MemSpace::Ddr(n), MemSpace::Hbm(g)) => ctx.host_traffic_segs(g, n, true),
         (MemSpace::Hbm(g), MemSpace::Ddr(n)) => ctx.host_traffic_segs(g, n, false),
-        (MemSpace::Hbm(a), MemSpace::Hbm(b)) if a != b => ctx.peer_kernel_segs(b, a, true),
+        (MemSpace::Hbm(a), MemSpace::Hbm(b)) if a != b => ctx.peer_kernel_segs(b, a, true)?,
         (MemSpace::Ddr(a), MemSpace::Ddr(b)) if a != b => {
             vec![ctx.segmap.ddr_seg(a), ctx.segmap.ddr_seg(b)]
         }
@@ -561,15 +599,19 @@ pub fn plan_prefetch(
 
 /// Peer-to-peer copy mechanics: SDMA engine (default) or blit kernel, or a
 /// host-staged bounce when peer access was never enabled.
+///
+/// Degraded-fabric behavior: a partitioned pair errors with
+/// [`HipError::LinkDown`]; a source GCD whose SDMA engines have failed
+/// falls back to the blit-kernel path; links running at elevated bit-error
+/// rates add their retransmission latency to the op.
 fn plan_peer_copy(
     ctx: &PlanCtx<'_>,
     a: GcdId,
     b: GcdId,
     bytes: u64,
-) -> (Dur, Vec<FlowSpec>) {
+) -> HipResult<(Dur, Vec<FlowSpec>)> {
     let calib = ctx.calib;
-    let enabled =
-        ctx.peer_enabled.contains(&(a, b)) || ctx.peer_enabled.contains(&(b, a));
+    let enabled = ctx.peer_enabled.contains(&(a, b)) || ctx.peer_enabled.contains(&(b, a));
     if !enabled {
         // Staged through host DDR: up one CPU link, down the other.
         let na = ctx.topo.numa_of(a);
@@ -577,18 +619,20 @@ fn plan_peer_copy(
         segs.extend(ctx.host_traffic_segs(b, na, true));
         segs.push(ctx.segmap.hbm_seg(a));
         segs.push(ctx.segmap.hbm_seg(b));
-        return (
+        return Ok((
             calib.memcpy_call_overhead * 2.0,
             vec![FlowSpec::new(segs, bytes as f64, calib.eff_memcpy_pinned)],
-        );
+        ));
     }
-    let path = ctx.router.gcd_route(a, b, RoutePolicy::MaxBandwidth);
-    if ctx.env.peer_sdma_active() {
+    let path = ctx.peer_route(a, b)?;
+    let ber_latency = ctx.fabric_health.path_extra_latency(path);
+    let use_sdma = ctx.env.peer_sdma_active() && !ctx.fabric_health.sdma_failed(a);
+    Ok(if use_sdma {
         let mut segs = ctx.segmap.path_segments(ctx.topo, path, false);
         segs.push(ctx.segmap.hbm_seg(a));
         segs.push(ctx.segmap.hbm_seg(b));
         (
-            peer_copy_latency(ctx.topo, path, calib),
+            peer_copy_latency(ctx.topo, path, calib) + ber_latency,
             vec![FlowSpec::new(segs, bytes as f64, calib.eff_sdma_xgmi)
                 .with_cap(calib.sdma_payload_cap)],
         )
@@ -597,10 +641,12 @@ fn plan_peer_copy(
         segs.push(ctx.segmap.hbm_seg(a));
         segs.push(ctx.segmap.hbm_seg(b));
         (
-            calib.kernel_launch_overhead + calib.peer_hop_latency * path.hops() as f64,
+            calib.kernel_launch_overhead
+                + calib.peer_hop_latency * path.hops() as f64
+                + ber_latency,
             vec![FlowSpec::new(segs, bytes as f64, calib.eff_kernel_xgmi)],
         )
-    }
+    })
 }
 
 fn host_copy_efficiency(calib: &Calibration, host_kind: MemKind, rng: &mut Rng) -> f64 {

@@ -5,14 +5,15 @@ use crate::device::{DeviceId, DeviceProps, DeviceTable};
 use crate::env::EnvConfig;
 use crate::error::{HipError, HipResult};
 use crate::event::{EventId, EventTable};
+use crate::fault::{FabricHealth, FaultStats, RetryPolicy};
 use crate::kernel::KernelSpec;
 use crate::op::MemcpyKind;
 use crate::plan::{plan_kernel, plan_memcpy, plan_prefetch, Effect, OpPlan, PlanCtx};
 use crate::stream::{OpRequest, QueuedOp, RunningOp, StreamId, StreamState, Work};
 use ifsim_des::{Dur, Engine, Rng, Time};
-use ifsim_fabric::{Calibration, FlowId, FlowNet, SegmentMap};
+use ifsim_fabric::{Calibration, FaultEvent, FaultKind, FaultPlan, FlowId, FlowNet, SegmentMap};
 use ifsim_memory::{BufferId, HostAllocFlags, MemKind, MemSpace, MemorySystem};
-use ifsim_topology::{GcdId, NodeTopology, NumaId, Router};
+use ifsim_topology::{GcdId, LinkHealth, LinkId, LinkKind, NodeTopology, NumaId, PortId, Router};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Internal state the event engine operates on.
@@ -33,6 +34,31 @@ pub struct Inner {
     rng: Rng,
     current: DeviceId,
     trace: crate::trace::Trace,
+    fabric_health: FabricHealth,
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
+    fault_stats: FaultStats,
+}
+
+/// Why a fault tore down an op's in-flight flows (selects the error code
+/// surfaced once retries are exhausted).
+#[derive(Clone, Copy)]
+enum AbortCause {
+    LinkDown,
+    Ecc,
+}
+
+impl AbortCause {
+    fn error(self, kind: &FaultKind) -> HipError {
+        match self {
+            AbortCause::LinkDown => {
+                HipError::LinkDown(format!("transfer aborted mid-flight: {kind}"))
+            }
+            AbortCause::Ecc => {
+                HipError::EccUncorrectable(format!("transfer aborted mid-flight: {kind}"))
+            }
+        }
+    }
 }
 
 /// `hipMemAdvise` advice values the simulator models.
@@ -65,12 +91,7 @@ impl HipSim {
     }
 
     /// Fully custom runtime (topology ablations, calibration variants).
-    pub fn with_config(
-        topo: NodeTopology,
-        calib: Calibration,
-        env: EnvConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn with_config(topo: NodeTopology, calib: Calibration, env: EnvConfig, seed: u64) -> Self {
         let router = Router::new(&topo);
         let devices = DeviceTable::new(&topo, &env).expect("valid device visibility");
         let segmap = SegmentMap::new(&topo);
@@ -84,6 +105,7 @@ impl HipSim {
             default_streams.push(sid);
         }
         let next_stream = devices.count() as u64;
+        let fabric_health = FabricHealth::healthy(&topo);
         HipSim {
             engine: Engine::new(),
             inner: Inner {
@@ -103,6 +125,10 @@ impl HipSim {
                 rng: Rng::new(seed),
                 current: DeviceId(0),
                 trace: crate::trace::Trace::default(),
+                fabric_health,
+                fault_plan: FaultPlan::new(),
+                retry: RetryPolicy::default(),
+                fault_stats: FaultStats::default(),
             },
         }
     }
@@ -168,7 +194,9 @@ impl HipSim {
 
     /// `hipGetDeviceProperties`.
     pub fn device_props(&self, ordinal: usize) -> HipResult<DeviceProps> {
-        self.inner.devices.props(&self.inner.topo, DeviceId(ordinal))
+        self.inner
+            .devices
+            .props(&self.inner.topo, DeviceId(ordinal))
     }
 
     /// Physical GCD behind a logical device.
@@ -235,7 +263,9 @@ impl HipSim {
         numa: NumaId,
     ) -> HipResult<BufferId> {
         if numa.idx() >= self.inner.topo.numa_domains().count() {
-            return Err(HipError::InvalidValue(format!("no such NUMA domain {numa}")));
+            return Err(HipError::InvalidValue(format!(
+                "no such NUMA domain {numa}"
+            )));
         }
         Ok(self
             .inner
@@ -313,14 +343,60 @@ impl HipSim {
     pub fn event_record(&mut self, ev: EventId, stream: StreamId) -> HipResult<()> {
         self.check_stream(stream)?;
         self.inner.events.timestamp(ev)?; // valid handle?
-        self.submit_request(stream, OpRequest::EventRecord, Some(ev), "event_record".into())
+        self.submit_request(
+            stream,
+            OpRequest::EventRecord,
+            Some(ev),
+            "event_record".into(),
+        )
     }
 
     /// `hipEventSynchronize`.
     pub fn event_synchronize(&mut self, ev: EventId) -> HipResult<()> {
         // Valid handle?
         self.inner.events.timestamp(ev)?;
-        self.pump_until(|inner| matches!(inner.events.timestamp(ev), Ok(Some(_))))
+        self.pump_until(|inner| {
+            matches!(inner.events.timestamp(ev), Ok(Some(_)))
+                // A fault-failed stream drops its queued record markers; once
+                // everything is idle the event can no longer record, so stop
+                // and surface the failure instead of spinning forever.
+                || (inner.streams.values().any(|s| s.failed.is_some())
+                    && inner.streams.values().all(|s| s.idle()))
+        })?;
+        if matches!(self.inner.events.timestamp(ev), Ok(Some(_))) {
+            return Ok(());
+        }
+        // Report the stream failure without clearing it: the stream-level
+        // synchronize owns the clear, as in HIP.
+        let e = self.inner.streams.values().find_map(|s| s.failed.clone());
+        Err(e.expect("escape condition implies a failed stream"))
+    }
+
+    /// [`HipSim::event_synchronize`] with a bound on *virtual* wait time.
+    /// If the event has not recorded within `timeout`, the host clock stops
+    /// at the deadline, pending work keeps running, and
+    /// [`HipError::Timeout`] is returned (call again to keep waiting).
+    pub fn event_synchronize_timeout(&mut self, ev: EventId, timeout: Dur) -> HipResult<()> {
+        self.inner.events.timestamp(ev)?;
+        let deadline = self.engine.now() + timeout;
+        loop {
+            if matches!(self.inner.events.timestamp(ev), Ok(Some(_))) {
+                return Ok(());
+            }
+            match self.next_pending_time() {
+                Some(t) if t <= deadline => {
+                    self.pump_one();
+                }
+                _ => {
+                    self.engine.advance_to(deadline);
+                    self.inner.net.advance_to(deadline);
+                    return Err(HipError::Timeout(format!(
+                        "event not recorded after {:.3} ms",
+                        timeout.as_ms()
+                    )));
+                }
+            }
+        }
     }
 
     /// `hipEventElapsedTime`, in milliseconds.
@@ -328,13 +404,44 @@ impl HipSim {
         self.inner.events.elapsed_ms(start, stop)
     }
 
-    /// `hipStreamSynchronize`.
+    /// `hipStreamSynchronize`. A stream that failed under a fabric fault
+    /// (retries exhausted) reports — and clears — its sticky error here,
+    /// mirroring how HIP surfaces asynchronous failures.
     pub fn stream_synchronize(&mut self, stream: StreamId) -> HipResult<()> {
         self.check_stream(stream)?;
-        self.pump_until(|inner| inner.streams[&stream].idle())
+        self.pump_until(|inner| inner.streams[&stream].idle())?;
+        self.take_stream_error(stream)
     }
 
-    /// `hipDeviceSynchronize` (current device).
+    /// [`HipSim::stream_synchronize`] with a bound on *virtual* wait time.
+    /// On expiry the host clock stops at the deadline, the stream's work
+    /// keeps running, and [`HipError::Timeout`] is returned — the bounded
+    /// wait a fault-tolerant caller needs over a flaky fabric.
+    pub fn stream_synchronize_timeout(&mut self, stream: StreamId, timeout: Dur) -> HipResult<()> {
+        self.check_stream(stream)?;
+        let deadline = self.engine.now() + timeout;
+        loop {
+            if self.inner.streams[&stream].idle() {
+                return self.take_stream_error(stream);
+            }
+            match self.next_pending_time() {
+                Some(t) if t <= deadline => {
+                    self.pump_one();
+                }
+                _ => {
+                    self.engine.advance_to(deadline);
+                    self.inner.net.advance_to(deadline);
+                    return Err(HipError::Timeout(format!(
+                        "{stream:?} still busy after {:.3} ms",
+                        timeout.as_ms()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// `hipDeviceSynchronize` (current device). Surfaces the first sticky
+    /// fault error among the device's streams, clearing all of them.
     pub fn device_synchronize(&mut self) -> HipResult<()> {
         let dev = self.inner.current;
         self.pump_until(|inner| {
@@ -343,12 +450,47 @@ impl HipSim {
                 .values()
                 .filter(|s| s.dev == dev)
                 .all(|s| s.idle())
-        })
+        })?;
+        let mut first = None;
+        for s in self.inner.streams.values_mut().filter(|s| s.dev == dev) {
+            if let Some(e) = s.failed.take() {
+                first.get_or_insert(e);
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Synchronize every stream of every device.
+    /// Synchronize every stream of every device. Surfaces the first sticky
+    /// fault error across the node, clearing all of them.
     pub fn synchronize_all(&mut self) -> HipResult<()> {
-        self.pump_until(|inner| inner.streams.values().all(|s| s.idle()))
+        self.pump_until(|inner| inner.streams.values().all(|s| s.idle()))?;
+        let mut first = None;
+        for s in self.inner.streams.values_mut() {
+            if let Some(e) = s.failed.take() {
+                first.get_or_insert(e);
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn take_stream_error(&mut self, stream: StreamId) -> HipResult<()> {
+        match self
+            .inner
+            .streams
+            .get_mut(&stream)
+            .expect("checked stream")
+            .failed
+            .take()
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     // ---------------- data movement ----------------
@@ -485,7 +627,12 @@ impl HipSim {
     pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) -> HipResult<()> {
         self.check_stream(stream)?;
         self.inner.events.timestamp(event)?; // valid handle?
-        self.submit_request(stream, OpRequest::WaitEvent(event), None, "wait_event".into())
+        self.submit_request(
+            stream,
+            OpRequest::WaitEvent(event),
+            None,
+            "wait_event".into(),
+        )
     }
 
     /// `hipDeviceCanAccessPeer`: whether `dev` can map `peer`'s memory. On
@@ -631,6 +778,68 @@ impl HipSim {
         Ok(())
     }
 
+    // ---------------- fault injection ----------------
+
+    /// Install a schedule of fabric faults, replacing any pending plan.
+    /// Events fire at their virtual times as the event loop pumps; an empty
+    /// plan leaves the simulation byte-identical to one without fault
+    /// machinery. Rejects events whose endpoints are not directly linked
+    /// (or whose GCDs do not exist) with [`HipError::InvalidValue`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> HipResult<()> {
+        let n_gcds = self.inner.topo.gcds().count();
+        for ev in plan.events() {
+            if let Some((a, b)) = ev.kind.endpoints() {
+                if self
+                    .inner
+                    .topo
+                    .link_between(PortId::Gcd(a), PortId::Gcd(b))
+                    .is_none()
+                {
+                    return Err(HipError::InvalidValue(format!(
+                        "fault plan targets {a}<->{b}, which are not directly linked"
+                    )));
+                }
+            }
+            if let FaultKind::SdmaFail { gcd } | FaultKind::SdmaRestore { gcd } = ev.kind {
+                if gcd.idx() >= n_gcds {
+                    return Err(HipError::InvalidValue(format!(
+                        "fault plan targets nonexistent {gcd}"
+                    )));
+                }
+            }
+        }
+        self.inner.fault_plan = plan;
+        Ok(())
+    }
+
+    /// Retry policy applied when a fabric fault aborts an in-flight op.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.inner.retry = policy;
+    }
+
+    /// Cumulative fault/recovery counters for this simulation.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.inner.fault_stats
+    }
+
+    /// Current fabric condition as derived from the faults applied so far.
+    pub fn fabric_health(&self) -> &FabricHealth {
+        &self.inner.fabric_health
+    }
+
+    /// Scheduled fault events not yet applied.
+    pub fn pending_faults(&self) -> usize {
+        self.inner.fault_plan.len()
+    }
+
+    /// Peek a stream's sticky fault error without clearing it.
+    pub fn stream_error(&self, stream: StreamId) -> Option<&HipError> {
+        self.inner
+            .streams
+            .get(&stream)
+            .and_then(|s| s.failed.as_ref())
+    }
+
     // ---------------- library layering ----------------
 
     /// A planning context over the runtime's current state. Communication
@@ -645,6 +854,7 @@ impl HipSim {
             segmap: self.inner.net.segmap(),
             mem: &self.inner.mem,
             peer_enabled: &self.inner.peer_enabled,
+            fabric_health: &self.inner.fabric_health,
         }
     }
 
@@ -663,6 +873,7 @@ impl HipSim {
             work: Work::Planned(plan),
             event: None,
             label,
+            attempts: 0,
         });
         Inner::start_next(&mut self.inner, &mut self.engine, stream);
         Ok(())
@@ -706,15 +917,54 @@ impl HipSim {
             work: Work::Request(req),
             event,
             label,
+            attempts: 0,
         });
         Inner::start_next(&mut self.inner, &mut self.engine, sid);
         Ok(())
     }
 
+    /// Earliest pending happening across the engine, the fabric network,
+    /// and the fault schedule.
+    fn next_pending_time(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        for t in [
+            self.engine.peek_time(),
+            self.inner.net.peek_completion().map(|(t, _)| t),
+            self.inner.fault_plan.peek_time(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            next = Some(match next {
+                Some(n) => n.min(t),
+                None => t,
+            });
+        }
+        next
+    }
+
     /// Process the single earliest pending happening. `false` when fully idle.
     fn pump_one(&mut self) -> bool {
         let tq = self.engine.peek_time();
-        let tf = self.inner.net.peek_completion();
+        let tf = self.inner.net.peek_completion().map(|(t, _)| t);
+        let tv = self.inner.fault_plan.peek_time();
+        let min_other = match (tq, tf) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        };
+        // Faults apply first at ties so simultaneous completions and op
+        // starts already see the degraded fabric.
+        let fault_first = match (tv, min_other) {
+            (Some(t), Some(o)) => t <= o,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if fault_first {
+            self.apply_next_fault();
+            return true;
+        }
         match (tq, tf) {
             (None, None) => false,
             (Some(_), None) => {
@@ -725,7 +975,7 @@ impl HipSim {
                 self.complete_flow();
                 true
             }
-            (Some(a), Some((b, _))) => {
+            (Some(a), Some(b)) => {
                 if a <= b {
                     self.engine.step(&mut self.inner);
                 } else {
@@ -734,6 +984,19 @@ impl HipSim {
                 true
             }
         }
+    }
+
+    /// Advance the clocks to the next scheduled fault and apply it.
+    fn apply_next_fault(&mut self) {
+        let ev = self
+            .inner
+            .fault_plan
+            .pop_next()
+            .expect("peeked fault exists");
+        let t = ev.at.max(self.engine.now());
+        self.engine.advance_to(t);
+        self.inner.net.advance_to(t);
+        Inner::apply_fault(&mut self.inner, &mut self.engine, ev);
     }
 
     fn complete_flow(&mut self) {
@@ -762,15 +1025,7 @@ impl HipSim {
 
     fn advance_host(&mut self, d: Dur) {
         let target = self.engine.now() + d;
-        loop {
-            let tq = self.engine.peek_time();
-            let tf = self.inner.net.peek_completion().map(|(t, _)| t);
-            let next = match (tq, tf) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (Some(a), Some(b)) => a.min(b),
-            };
+        while let Some(next) = self.next_pending_time() {
             if next > target {
                 break;
             }
@@ -792,6 +1047,7 @@ impl Inner {
             segmap: self.net.segmap(),
             mem: &self.mem,
             peer_enabled: &self.peer_enabled,
+            fabric_health: &self.fabric_health,
         };
         match req {
             OpRequest::Memcpy {
@@ -860,14 +1116,41 @@ impl Inner {
                 Err(e) => panic!("wait on invalid event: {e}"),
             }
         }
-        let plan = match op.work {
-            Work::Planned(p) => p,
-            // Async-op failures at execution time abort, as on the real
-            // runtime; arguments were already validated at submission, so
-            // this only fires on state that changed underneath the queue.
-            Work::Request(req) => Inner::build_plan(inner, gcd, &req).unwrap_or_else(|e| {
-                panic!("queued op '{}' failed at execution: {e}", op.label)
-            }),
+        let attempts = op.attempts;
+        let (plan, request) = match op.work {
+            Work::Planned(p) => (p, None),
+            // Arguments were validated at submission, so an execution-time
+            // planning failure means state changed underneath the queue —
+            // above all a fault that degraded the fabric. Fault-class
+            // failures retry with backoff (a scheduled repair or reroute may
+            // make the op plannable again); everything else, and exhausted
+            // retries, fail the stream with a sticky error.
+            Work::Request(req) => match Inner::build_plan(inner, gcd, &req) {
+                Ok(p) => (p, Some(req)),
+                Err(e) => {
+                    let retryable = matches!(
+                        e,
+                        HipError::LinkDown(_)
+                            | HipError::EccUncorrectable(_)
+                            | HipError::Timeout(_)
+                    );
+                    if retryable && attempts < inner.retry.max_retries {
+                        Inner::schedule_retry(
+                            inner,
+                            engine,
+                            sid,
+                            req,
+                            op.event,
+                            op.label,
+                            engine.now(),
+                            attempts,
+                        );
+                    } else {
+                        Inner::fail_stream(inner, engine, sid, e, engine.now(), &op.label);
+                    }
+                    return;
+                }
+            },
         };
         let st = inner.streams.get_mut(&sid).expect("stream exists");
         st.starting = true;
@@ -880,14 +1163,39 @@ impl Inner {
         let label = op.label;
         let started = engine.now();
         engine.schedule_in(latency, move |inner: &mut Inner, engine| {
+            // A fault may have struck while the launch latency elapsed:
+            // flows planned over a now-dead segment divert to the retry
+            // path instead of driving traffic into a downed link.
+            let dead = flows.iter().any(|f| {
+                f.segs
+                    .iter()
+                    .any(|&s| inner.net.segmap().capacity(s) <= 0.0)
+            });
             let st = inner.streams.get_mut(&sid).expect("stream exists");
             st.starting = false;
+            if dead {
+                let err = HipError::LinkDown(format!(
+                    "op '{label}' planned over a link that failed before it started"
+                ));
+                match request {
+                    Some(req) if attempts < inner.retry.max_retries => {
+                        Inner::schedule_retry(
+                            inner, engine, sid, req, event, label, started, attempts,
+                        );
+                    }
+                    _ => Inner::fail_stream(inner, engine, sid, err, started, &label),
+                }
+                return;
+            }
+            let st = inner.streams.get_mut(&sid).expect("stream exists");
             st.running = Some(RunningOp {
                 pending_flows: flows.len(),
                 effects,
                 event,
                 started,
                 label,
+                request,
+                attempts,
             });
             if flows.is_empty() {
                 Inner::finish_op(inner, engine, sid);
@@ -951,6 +1259,256 @@ impl Inner {
                 Inner::start_next(inner, engine, w);
             }
         }
+    }
+
+    // ---------------- fault application & recovery ----------------
+
+    /// Recompute all routes against the current per-link health: the
+    /// mid-flight reroute. Downed links disappear from the graph; degraded
+    /// links lose bandwidth-ordering priority.
+    fn rebuild_router(&mut self) {
+        self.router = Router::new_with_health(&self.topo, self.fabric_health.health());
+    }
+
+    /// Apply one scheduled fault: update health state, re-derive link
+    /// capacities, rebuild routes, and abort/retry the ops it hit.
+    fn apply_fault(inner: &mut Inner, engine: &mut Engine<Inner>, ev: FaultEvent) {
+        inner.fault_stats.faults_applied += 1;
+        let kind = ev.kind;
+        let link = kind.endpoints().map(|(a, b)| {
+            inner
+                .topo
+                .link_between(PortId::Gcd(a), PortId::Gcd(b))
+                .expect("fault plan validated against the topology")
+        });
+        // Mark the fault on the timeline as a zero-length event (lane of
+        // device 0's null stream; the '!' glyph makes it stand out in the
+        // Gantt rendering).
+        inner.trace.record(crate::trace::TraceEvent {
+            dev: DeviceId(0),
+            stream: inner.default_streams[0],
+            start: engine.now(),
+            end: engine.now(),
+            label: format!("!fault: {kind}"),
+        });
+        match kind {
+            FaultKind::LaneLoss { lanes, .. } => {
+                let link = link.expect("lane loss targets a link");
+                let total = match inner.topo.link(link).kind {
+                    LinkKind::Xgmi(w) => w.lanes(),
+                    _ => 1,
+                };
+                let current = match inner.fabric_health.health().get(link) {
+                    LinkHealth::Healthy => total,
+                    LinkHealth::Degraded { lanes } => lanes,
+                    LinkHealth::Down => 0,
+                };
+                let left = current.saturating_sub(lanes);
+                if left == 0 {
+                    Inner::take_link_down(inner, engine, link, &kind);
+                } else {
+                    inner
+                        .fabric_health
+                        .health
+                        .set(link, LinkHealth::Degraded { lanes: left });
+                    let f = inner.fabric_health.link_factor(&inner.topo, link);
+                    inner.net.set_link_factor(link, f);
+                    inner.rebuild_router();
+                }
+            }
+            FaultKind::LinkDown { .. } => {
+                let link = link.expect("link-down targets a link");
+                Inner::take_link_down(inner, engine, link, &kind);
+            }
+            FaultKind::LinkRestore { .. } => {
+                let link = link.expect("restore targets a link");
+                inner.fabric_health.health.set(link, LinkHealth::Healthy);
+                inner.fabric_health.ber_tax.remove(&link);
+                inner.fabric_health.ber_latency.remove(&link);
+                inner.net.restore_link(link);
+                inner.rebuild_router();
+            }
+            FaultKind::SdmaFail { gcd } => {
+                // Planning-time state only: copies from `gcd` fall back to
+                // the blit-kernel path from the next op on. In-flight SDMA
+                // transfers are left to drain (their descriptors were
+                // already issued).
+                inner.fabric_health.sdma_failed.insert(gcd);
+            }
+            FaultKind::SdmaRestore { gcd } => {
+                inner.fabric_health.sdma_failed.remove(&gcd);
+            }
+            FaultKind::BitErrorRate {
+                tax, added_latency, ..
+            } => {
+                let link = link.expect("bit-error fault targets a link");
+                inner.fabric_health.ber_tax.insert(link, tax);
+                inner.fabric_health.ber_latency.insert(link, added_latency);
+                // The retransmission tax shrinks wire capacity; routes are
+                // unchanged (the router orders by lane-level bandwidth).
+                if !inner.fabric_health.health().is_down(link) {
+                    let f = inner.fabric_health.link_factor(&inner.topo, link);
+                    inner.net.set_link_factor(link, f);
+                }
+            }
+            FaultKind::EccBurst { .. } => {
+                let link = link.expect("ECC burst targets a link");
+                let segs = inner.net.segmap().link_segments(link);
+                let aborted = inner.net.abort_flows_using(&segs);
+                Inner::recover_aborted(inner, engine, link, &kind, aborted, AbortCause::Ecc);
+            }
+        }
+    }
+
+    /// Transition a link to [`LinkHealth::Down`]: zero its capacity, abort
+    /// the flows crossing it, reroute, and recover the hit ops.
+    fn take_link_down(
+        inner: &mut Inner,
+        engine: &mut Engine<Inner>,
+        link: LinkId,
+        kind: &FaultKind,
+    ) {
+        inner.fabric_health.health.set(link, LinkHealth::Down);
+        let aborted = inner.net.fail_link(link);
+        inner.rebuild_router();
+        Inner::recover_aborted(inner, engine, link, kind, aborted, AbortCause::LinkDown);
+    }
+
+    /// Route fault-aborted flows back to their owning ops: tear down each
+    /// op's surviving sibling flows, then re-queue the op for a backoff
+    /// retry (re-planned over the rerouted fabric) or fail its stream.
+    fn recover_aborted(
+        inner: &mut Inner,
+        engine: &mut Engine<Inner>,
+        link: LinkId,
+        kind: &FaultKind,
+        aborted: Vec<(FlowId, f64)>,
+        cause: AbortCause,
+    ) {
+        if aborted.is_empty() {
+            return;
+        }
+        let mut hit: BTreeSet<StreamId> = BTreeSet::new();
+        for (fid, _delivered) in &aborted {
+            if let Some(sid) = inner.flow_owner.remove(fid) {
+                hit.insert(sid);
+            }
+            *inner.fault_stats.link_errors.entry(link).or_insert(0) += 1;
+        }
+        inner.fault_stats.aborted_flows += aborted.len() as u64;
+        for sid in hit {
+            // An op completes or restarts as a unit: cancel its flows that
+            // survived the fault (they would deliver a torn transfer).
+            let siblings: Vec<FlowId> = inner
+                .flow_owner
+                .iter()
+                .filter(|(_, s)| **s == sid)
+                .map(|(f, _)| *f)
+                .collect();
+            for f in siblings {
+                inner.flow_owner.remove(&f);
+                inner.net.cancel(f);
+                inner.fault_stats.aborted_flows += 1;
+            }
+            let run = inner
+                .streams
+                .get_mut(&sid)
+                .expect("stream exists")
+                .running
+                .take()
+                .expect("aborted flow belongs to a running op");
+            match run.request {
+                Some(req) if run.attempts < inner.retry.max_retries => {
+                    Inner::schedule_retry(
+                        inner,
+                        engine,
+                        sid,
+                        req,
+                        run.event,
+                        run.label,
+                        run.started,
+                        run.attempts,
+                    );
+                }
+                _ => {
+                    Inner::fail_stream(
+                        inner,
+                        engine,
+                        sid,
+                        cause.error(kind),
+                        run.started,
+                        &run.label,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-queue a fault-aborted op at the head of its stream and hold the
+    /// stream through an exponential backoff; when the backoff expires the
+    /// op re-plans over the (possibly rerouted) fabric and starts again.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_retry(
+        inner: &mut Inner,
+        engine: &mut Engine<Inner>,
+        sid: StreamId,
+        req: OpRequest,
+        event: Option<EventId>,
+        label: String,
+        started: Time,
+        attempts: u32,
+    ) {
+        let next_attempt = attempts + 1;
+        inner.fault_stats.retries += 1;
+        let backoff = inner.retry.backoff(next_attempt);
+        let dev = inner.streams[&sid].dev;
+        inner.trace.record(crate::trace::TraceEvent {
+            dev,
+            stream: sid,
+            start: started,
+            end: engine.now(),
+            label: format!("{label} [aborted; retry {next_attempt}]"),
+        });
+        let st = inner.streams.get_mut(&sid).expect("stream exists");
+        st.queue.push_front(QueuedOp {
+            work: Work::Request(req),
+            event,
+            label,
+            attempts: next_attempt,
+        });
+        st.starting = true; // hold the stream through the backoff
+        engine.schedule_in(backoff, move |inner: &mut Inner, engine| {
+            inner.streams.get_mut(&sid).expect("stream exists").starting = false;
+            Inner::start_next(inner, engine, sid);
+        });
+    }
+
+    /// Fail a stream with a sticky error: drop its queue (the in-order
+    /// guarantee is void once an op is lost), record the failure on the
+    /// timeline, and leave the error for the next synchronization.
+    fn fail_stream(
+        inner: &mut Inner,
+        engine: &mut Engine<Inner>,
+        sid: StreamId,
+        err: HipError,
+        started: Time,
+        label: &str,
+    ) {
+        inner.fault_stats.failed_ops += 1;
+        let st = inner.streams.get_mut(&sid).expect("stream exists");
+        let dev = st.dev;
+        st.queue.clear();
+        st.running = None;
+        st.starting = false;
+        st.parked_on = None;
+        st.failed = Some(err.clone());
+        inner.trace.record(crate::trace::TraceEvent {
+            dev,
+            stream: sid,
+            start: started,
+            end: engine.now(),
+            label: format!("{label} [failed: {err}]"),
+        });
     }
 
     fn apply_effect(&mut self, e: Effect) {
@@ -1046,7 +1604,9 @@ mod tests {
     fn pinned_h2d_approaches_28_gbps_at_1_gib() {
         let mut hip = HipSim::new(EnvConfig::default());
         hip.mem_mut().set_phantom_threshold(0);
-        let host = hip.host_malloc(1 << 30, HostAllocFlags::coherent()).unwrap();
+        let host = hip
+            .host_malloc(1 << 30, HostAllocFlags::coherent())
+            .unwrap();
         let dev = hip.malloc(1 << 30).unwrap();
         let bw = h2d_bw(&mut hip, host, dev, 1 << 30);
         assert!(
@@ -1071,7 +1631,9 @@ mod tests {
         let mut hip = HipSim::new(EnvConfig::default());
         hip.mem_mut().set_phantom_threshold(0);
         let pageable = hip.malloc_pageable(64 * MIB).unwrap();
-        let pinned = hip.host_malloc(64 * MIB, HostAllocFlags::coherent()).unwrap();
+        let pinned = hip
+            .host_malloc(64 * MIB, HostAllocFlags::coherent())
+            .unwrap();
         let dev = hip.malloc(64 * MIB).unwrap();
         let bw_pageable = h2d_bw(&mut hip, pageable, dev, 64 * MIB);
         let bw_pinned = h2d_bw(&mut hip, pinned, dev, 64 * MIB);
@@ -1082,7 +1644,11 @@ mod tests {
             samples.push(h2d_bw(&mut hip, pageable, dev, 64 * MIB));
         }
         let s = ifsim_des::Summary::from_samples(&samples);
-        assert!(s.cv() > 0.02, "pageable copies should be noisy, cv={}", s.cv());
+        assert!(
+            s.cv() > 0.02,
+            "pageable copies should be noisy, cv={}",
+            s.cv()
+        );
     }
 
     #[test]
@@ -1133,7 +1699,10 @@ mod tests {
         let t0 = hip.now();
         hip.memcpy_peer(dst, 2, src, 0, bytes).unwrap();
         let bw = to_gbps(bytes as f64 / (hip.now() - t0).as_secs());
-        assert!((37.0..38.5).contains(&bw), "single-link SDMA copy: {bw} GB/s");
+        assert!(
+            (37.0..38.5).contains(&bw),
+            "single-link SDMA copy: {bw} GB/s"
+        );
     }
 
     #[test]
@@ -1305,7 +1874,10 @@ mod tests {
         .unwrap();
         hip.device_synchronize().unwrap();
         let bw_first = to_gbps(bytes as f64 / (hip.now() - t0).as_secs());
-        assert!((2.4..3.2).contains(&bw_first), "first touch {bw_first} GB/s");
+        assert!(
+            (2.4..3.2).contains(&bw_first),
+            "first touch {bw_first} GB/s"
+        );
         // Pages now live on GCD0; the second pass runs at HBM speed.
         let t1 = hip.now();
         hip.launch_kernel(KernelSpec::StreamCopy {
@@ -1319,11 +1891,11 @@ mod tests {
         assert!(bw_second > 300.0, "after migration {bw_second} GB/s");
         // Residency actually moved.
         let gcd0 = hip.gcd_of(0).unwrap();
-        assert!(hip
-            .mem()
-            .get(managed)
-            .unwrap()
-            .is_fully_resident_in(MemSpace::Hbm(gcd0), 0, bytes));
+        assert!(hip.mem().get(managed).unwrap().is_fully_resident_in(
+            MemSpace::Hbm(gcd0),
+            0,
+            bytes
+        ));
     }
 
     #[test]
@@ -1386,14 +1958,8 @@ mod tests {
         let one = total_bw(&[0]);
         let same = total_bw(&[0, 1]);
         let spread = total_bw(&[0, 2]);
-        assert!(
-            (same / one) < 1.15,
-            "same-package scaling {one} -> {same}"
-        );
-        assert!(
-            (spread / one) > 1.8,
-            "spread scaling {one} -> {spread}"
-        );
+        assert!((same / one) < 1.15, "same-package scaling {one} -> {same}");
+        assert!((spread / one) > 1.8, "spread scaling {one} -> {spread}");
     }
 
     #[test]
@@ -1520,18 +2086,18 @@ mod tests {
         hip.mem_prefetch_async(managed, Some(3), stream).unwrap();
         hip.stream_synchronize(stream).unwrap();
         let gcd3 = hip.gcd_of(3).unwrap();
-        assert!(hip
-            .mem()
-            .get(managed)
-            .unwrap()
-            .is_fully_resident_in(MemSpace::Hbm(gcd3), 0, bytes));
+        assert!(hip.mem().get(managed).unwrap().is_fully_resident_in(
+            MemSpace::Hbm(gcd3),
+            0,
+            bytes
+        ));
         hip.mem_prefetch_async(managed, None, stream).unwrap();
         hip.stream_synchronize(stream).unwrap();
-        assert!(hip
-            .mem()
-            .get(managed)
-            .unwrap()
-            .is_fully_resident_in(MemSpace::Ddr(NumaId(0)), 0, bytes));
+        assert!(hip.mem().get(managed).unwrap().is_fully_resident_in(
+            MemSpace::Ddr(NumaId(0)),
+            0,
+            bytes
+        ));
     }
 
     #[test]
@@ -1568,7 +2134,10 @@ mod tests {
         let slow = read_time(&mut hip);
         hip.mem_advise(managed, MemAdvise::SetReadMostly).unwrap();
         let fast = read_time(&mut hip);
-        assert!(slow > 10.0 * fast, "duplicated reads at HBM speed: {slow} vs {fast}");
+        assert!(
+            slow > 10.0 * fast,
+            "duplicated reads at HBM speed: {slow} vs {fast}"
+        );
         // A write collapses the duplicates...
         hip.launch_kernel(KernelSpec::Init {
             dst: managed,
@@ -1603,7 +2172,9 @@ mod tests {
     fn trace_records_the_op_timeline() {
         let mut hip = HipSim::new(EnvConfig::default());
         hip.trace_enable();
-        let host = hip.host_malloc(1 << 20, HostAllocFlags::coherent()).unwrap();
+        let host = hip
+            .host_malloc(1 << 20, HostAllocFlags::coherent())
+            .unwrap();
         let dev = hip.malloc(1 << 20).unwrap();
         hip.memcpy(dev, 0, host, 0, 1 << 20, MemcpyKind::HostToDevice)
             .unwrap();
@@ -1656,8 +2227,12 @@ mod tests {
             let start = hip.event_create();
             let stop = hip.event_create();
             hip.event_record(start, kernel_stream).unwrap();
-            hip.launch_kernel(KernelSpec::StreamCopy { src: a, dst: b, elems })
-                .unwrap();
+            hip.launch_kernel(KernelSpec::StreamCopy {
+                src: a,
+                dst: b,
+                elems,
+            })
+            .unwrap();
             hip.event_record(stop, kernel_stream).unwrap();
             hip.synchronize_all().unwrap();
             hip.event_elapsed_ms(start, stop).unwrap() * 1e3
@@ -1811,5 +2386,351 @@ mod tests {
         let hip = HipSim::new(EnvConfig::default());
         assert_eq!(hip.calib().sdma_payload_cap, gbps(50.0));
         assert_eq!(hip.calib().eff_sdma_xgmi, 0.75);
+    }
+
+    // ---------------- fault injection ----------------
+
+    use ifsim_fabric::{FaultKind, FaultPlan};
+    use ifsim_topology::RoutePolicy;
+
+    fn peer_copy_elapsed(hip: &mut HipSim, src_dev: usize, dst_dev: usize, bytes: u64) -> Dur {
+        hip.set_device(src_dev).unwrap();
+        let src = hip.malloc(bytes).unwrap();
+        hip.set_device(dst_dev).unwrap();
+        let dst = hip.malloc(bytes).unwrap();
+        let t0 = hip.now();
+        hip.memcpy_peer(dst, dst_dev, src, src_dev, bytes).unwrap();
+        hip.now() - t0
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        // Installing an empty plan must leave every clock reading exactly
+        // where a fault-free run puts it (the machinery adds no events, no
+        // rng draws, no overhead).
+        let run = |with_plan: bool| {
+            let mut hip = HipSim::new(EnvConfig::default());
+            hip.enable_all_peer_access().unwrap();
+            if with_plan {
+                hip.set_fault_plan(FaultPlan::new()).unwrap();
+            }
+            let d1 = peer_copy_elapsed(&mut hip, 0, 1, 64 * MIB);
+            let d2 = peer_copy_elapsed(&mut hip, 1, 7, 16 * MIB);
+            (d1.as_ns(), d2.as_ns(), hip.now().as_ns())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn link_down_mid_flight_reroutes_with_retry() {
+        // A 1 GiB copy over the 0-2 single link; the link dies mid-transfer.
+        // The runtime aborts the flow, backs off, re-plans over the rebuilt
+        // router (a 3-hop detour), and the copy completes without error.
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        hip.trace_enable();
+        let link = hip
+            .topo()
+            .link_between(PortId::Gcd(GcdId(0)), PortId::Gcd(GcdId(2)))
+            .unwrap();
+        hip.set_fault_plan(FaultPlan::new().at(
+            Time::ZERO + Dur::from_ms(5.0),
+            FaultKind::LinkDown {
+                a: GcdId(0),
+                b: GcdId(2),
+            },
+        ))
+        .unwrap();
+        let bytes = 1u64 << 30; // ~29 ms healthy: the fault lands mid-flight
+        let healthy_route = hip
+            .router()
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .clone();
+        assert_eq!(healthy_route.hops(), 1);
+        let elapsed = peer_copy_elapsed(&mut hip, 0, 2, bytes);
+        // Recovery happened and was accounted.
+        let stats = hip.fault_stats();
+        assert_eq!(stats.faults_applied, 1);
+        assert!(stats.aborted_flows >= 1, "{stats:?}");
+        assert!(stats.retries >= 1, "{stats:?}");
+        assert_eq!(stats.failed_ops, 0, "{stats:?}");
+        assert_eq!(stats.link_errors.get(&link), Some(&1));
+        // The fabric now reports the link down and routes avoid it.
+        assert!(hip.fabric_health().health().is_down(link));
+        let rerouted = hip
+            .router()
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth);
+        assert!(rerouted.hops() >= 2);
+        assert!(!rerouted.links.contains(&link));
+        // Restart + detour costs time over a healthy run.
+        assert!(
+            elapsed > Dur::from_ms(29.0),
+            "elapsed {} ms",
+            elapsed.as_ms()
+        );
+        // The abort, the retry, and the fault itself are all on the timeline.
+        let labels: Vec<&str> = hip
+            .trace()
+            .events()
+            .iter()
+            .map(|e| e.label.as_str())
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.starts_with("!fault: link down")),
+            "{labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("[aborted; retry 1]")),
+            "{labels:?}"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_link_down_and_clear() {
+        // With retries disabled, a mid-flight link death fails the stream;
+        // the error is sticky until one synchronize reports it, after which
+        // the stream is usable again.
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        hip.set_retry_policy(RetryPolicy::no_retries());
+        hip.set_fault_plan(FaultPlan::new().at(
+            Time::ZERO + Dur::from_ms(5.0),
+            FaultKind::LinkDown {
+                a: GcdId(0),
+                b: GcdId(2),
+            },
+        ))
+        .unwrap();
+        let bytes = 1u64 << 30;
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(bytes).unwrap();
+        hip.set_device(2).unwrap();
+        let dst = hip.malloc(bytes).unwrap();
+        let err = hip.memcpy_peer(dst, 2, src, 0, bytes).unwrap_err();
+        assert!(matches!(err, HipError::LinkDown(_)), "{err}");
+        assert_eq!(hip.fault_stats().failed_ops, 1);
+        // The sync consumed the sticky error; the stream works again.
+        let stream = hip.default_stream(0).unwrap();
+        assert!(hip.stream_error(stream).is_none());
+        let d = peer_copy_elapsed(&mut hip, 0, 1, MIB);
+        assert!(d > Dur::ZERO);
+    }
+
+    #[test]
+    fn partitioned_gcd_rejects_new_work_cleanly() {
+        // All three of GCD0's links go down: no route can reach it, and a
+        // peer copy is rejected at submission with LinkDown (not a panic).
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        let mut plan = FaultPlan::new();
+        for peer in [1u8, 2, 6] {
+            plan = plan.at(
+                Time::ZERO,
+                FaultKind::LinkDown {
+                    a: GcdId(0),
+                    b: GcdId(peer),
+                },
+            );
+        }
+        hip.set_fault_plan(plan).unwrap();
+        hip.host_sleep(Dur::from_us(1.0)); // apply the scheduled faults
+        assert_eq!(hip.fault_stats().faults_applied, 3);
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(MIB).unwrap();
+        hip.set_device(2).unwrap();
+        let dst = hip.malloc(MIB).unwrap();
+        let stream = hip.default_stream(0).unwrap();
+        let err = hip
+            .memcpy_peer_async(dst, 2, src, 0, MIB, stream)
+            .unwrap_err();
+        assert!(matches!(err, HipError::LinkDown(_)), "{err}");
+        // Survivors still talk to each other.
+        let d = peer_copy_elapsed(&mut hip, 2, 3, MIB);
+        assert!(d > Dur::ZERO);
+    }
+
+    #[test]
+    fn stream_synchronize_timeout_expires_then_completes() {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        let bytes = 1u64 << 30; // ~21 ms on the quad link
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(bytes).unwrap();
+        hip.set_device(1).unwrap();
+        let dst = hip.malloc(bytes).unwrap();
+        let stream = hip.default_stream(0).unwrap();
+        hip.set_device(0).unwrap();
+        hip.memcpy_peer_async(dst, 1, src, 0, bytes, stream)
+            .unwrap();
+        let t0 = hip.now();
+        let err = hip
+            .stream_synchronize_timeout(stream, Dur::from_ms(1.0))
+            .unwrap_err();
+        assert!(matches!(err, HipError::Timeout(_)), "{err}");
+        // The clock stands at the deadline and the copy is still running.
+        assert!((hip.now().since(t0).as_ms() - 1.0).abs() < 1e-9);
+        assert!(!hip.all_idle());
+        // Waiting again without a bound drains it.
+        hip.stream_synchronize(stream).unwrap();
+        assert!(hip.all_idle());
+    }
+
+    #[test]
+    fn event_synchronize_timeout_expires() {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        let bytes = 1u64 << 30;
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(bytes).unwrap();
+        hip.set_device(1).unwrap();
+        let dst = hip.malloc(bytes).unwrap();
+        let stream = hip.default_stream(0).unwrap();
+        hip.set_device(0).unwrap();
+        hip.memcpy_peer_async(dst, 1, src, 0, bytes, stream)
+            .unwrap();
+        let ev = hip.event_create();
+        hip.event_record(ev, stream).unwrap();
+        let err = hip
+            .event_synchronize_timeout(ev, Dur::from_ms(1.0))
+            .unwrap_err();
+        assert!(matches!(err, HipError::Timeout(_)), "{err}");
+        hip.event_synchronize(ev).unwrap();
+    }
+
+    #[test]
+    fn sdma_failure_falls_back_to_blit_path() {
+        // With GCD0's SDMA engines dead, the quad-link copy sheds the 50 GB/s
+        // engine cap and runs at blit speed — same as HSA_ENABLE_PEER_SDMA=0.
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(0);
+        hip.enable_all_peer_access().unwrap();
+        hip.set_fault_plan(FaultPlan::new().at(Time::ZERO, FaultKind::SdmaFail { gcd: GcdId(0) }))
+            .unwrap();
+        hip.host_sleep(Dur::from_us(1.0));
+        let bytes = 1u64 << 30;
+        let d = peer_copy_elapsed(&mut hip, 0, 1, bytes);
+        let bw = to_gbps(bytes as f64 / d.as_secs());
+        assert!(bw > 150.0, "blit fallback on quad link: {bw} GB/s");
+        // Restore brings the SDMA cap back.
+        hip.set_fault_plan(
+            FaultPlan::new().at(hip.now(), FaultKind::SdmaRestore { gcd: GcdId(0) }),
+        )
+        .unwrap();
+        hip.host_sleep(Dur::from_us(1.0));
+        let d = peer_copy_elapsed(&mut hip, 0, 1, bytes);
+        let bw = to_gbps(bytes as f64 / d.as_secs());
+        assert!((bw - 50.0).abs() < 1.0, "restored SDMA cap: {bw} GB/s");
+    }
+
+    #[test]
+    fn bit_error_tax_cuts_bandwidth_and_adds_latency() {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        let healthy = peer_copy_elapsed(&mut hip, 0, 2, 256 * MIB);
+        hip.set_fault_plan(FaultPlan::new().at(
+            hip.now(),
+            FaultKind::BitErrorRate {
+                a: GcdId(0),
+                b: GcdId(2),
+                tax: 0.4,
+                added_latency: Dur::from_us(5.0),
+            },
+        ))
+        .unwrap();
+        hip.host_sleep(Dur::from_us(1.0));
+        let taxed = peer_copy_elapsed(&mut hip, 0, 2, 256 * MIB);
+        // 40 % of the wire is retransmissions: the single link's 37.5 GB/s
+        // SDMA copy drops well below the engine cap.
+        assert!(
+            taxed.as_ms() > 1.5 * healthy.as_ms(),
+            "healthy {} ms, taxed {} ms",
+            healthy.as_ms(),
+            taxed.as_ms()
+        );
+        // A tiny copy exposes the per-hop latency penalty.
+        let lat_taxed = peer_copy_elapsed(&mut hip, 0, 2, 16);
+        assert!(
+            lat_taxed.as_us() > 5.0,
+            "latency with BER penalty: {} µs",
+            lat_taxed.as_us()
+        );
+    }
+
+    #[test]
+    fn lane_loss_degrades_blit_bandwidth_in_steps() {
+        // Quad 0-1 loses two lanes, then two more: the blit copy halves,
+        // then the link is down and traffic detours.
+        let mut hip = HipSim::new(EnvConfig::without_sdma());
+        hip.mem_mut().set_phantom_threshold(0);
+        hip.enable_all_peer_access().unwrap();
+        let bytes = 512u64 * MIB;
+        let full = peer_copy_elapsed(&mut hip, 0, 1, bytes);
+        hip.set_fault_plan(FaultPlan::new().at(
+            hip.now(),
+            FaultKind::LaneLoss {
+                a: GcdId(0),
+                b: GcdId(1),
+                lanes: 2,
+            },
+        ))
+        .unwrap();
+        hip.host_sleep(Dur::from_us(1.0));
+        let link = hip
+            .topo()
+            .link_between(PortId::Gcd(GcdId(0)), PortId::Gcd(GcdId(1)))
+            .unwrap();
+        assert_eq!(
+            hip.fabric_health().health().get(link),
+            LinkHealth::Degraded { lanes: 2 }
+        );
+        let half = peer_copy_elapsed(&mut hip, 0, 1, bytes);
+        assert!(
+            (half.as_ms() / full.as_ms() - 2.0).abs() < 0.2,
+            "full {} ms, half {} ms",
+            full.as_ms(),
+            half.as_ms()
+        );
+        hip.set_fault_plan(FaultPlan::new().at(
+            hip.now(),
+            FaultKind::LaneLoss {
+                a: GcdId(0),
+                b: GcdId(1),
+                lanes: 2,
+            },
+        ))
+        .unwrap();
+        hip.host_sleep(Dur::from_us(1.0));
+        assert!(hip.fabric_health().health().is_down(link));
+        // 0->1 now detours; the copy still completes.
+        let detour = peer_copy_elapsed(&mut hip, 0, 1, bytes);
+        assert!(detour > Dur::ZERO);
+        assert!(!hip
+            .router()
+            .gcd_route(GcdId(0), GcdId(1), RoutePolicy::MaxBandwidth)
+            .links
+            .contains(&link));
+    }
+
+    #[test]
+    fn fault_plan_validates_endpoints() {
+        let mut hip = HipSim::new(EnvConfig::default());
+        // 0 and 7 share no direct link.
+        let bad = FaultPlan::new().at(
+            Time::ZERO,
+            FaultKind::LinkDown {
+                a: GcdId(0),
+                b: GcdId(7),
+            },
+        );
+        assert!(matches!(
+            hip.set_fault_plan(bad),
+            Err(HipError::InvalidValue(_))
+        ));
+        let bad = FaultPlan::new().at(Time::ZERO, FaultKind::SdmaFail { gcd: GcdId(42) });
+        assert!(matches!(
+            hip.set_fault_plan(bad),
+            Err(HipError::InvalidValue(_))
+        ));
+        assert_eq!(hip.pending_faults(), 0);
     }
 }

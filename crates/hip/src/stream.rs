@@ -86,6 +86,9 @@ pub struct QueuedOp {
     pub event: Option<EventId>,
     /// Trace label.
     pub label: String,
+    /// How many times this op has already been aborted by a fabric fault
+    /// and re-queued (0 for a fresh submission).
+    pub attempts: u32,
 }
 
 /// The op currently executing on a stream.
@@ -100,6 +103,12 @@ pub struct RunningOp {
     pub started: ifsim_des::Time,
     /// Trace label.
     pub label: String,
+    /// The originating request, kept so a fault-aborted op can be re-planned
+    /// over the surviving fabric. `None` for library-internal pre-planned
+    /// work, which is not runtime-retryable.
+    pub request: Option<OpRequest>,
+    /// Fault-abort count for this op (drives exponential backoff).
+    pub attempts: u32,
 }
 
 /// One stream's state.
@@ -116,6 +125,11 @@ pub struct StreamState {
     pub starting: bool,
     /// Event this stream is parked on (`hipStreamWaitEvent`), if any.
     pub parked_on: Option<EventId>,
+    /// Sticky error from an op that failed beyond recovery (fault-aborted
+    /// with retries exhausted, or unplannable over the degraded fabric).
+    /// Surfaced — and cleared — by the next synchronization, mirroring how
+    /// `hipStreamSynchronize` reports asynchronous failures.
+    pub failed: Option<crate::error::HipError>,
 }
 
 impl StreamState {
@@ -128,13 +142,17 @@ impl StreamState {
             running: None,
             starting: false,
             parked_on: None,
+            failed: None,
         }
     }
 
     /// Whether the stream has no queued or in-flight work. A parked stream
     /// is *not* idle: it still has the wait (and whatever follows) pending.
     pub fn idle(&self) -> bool {
-        self.queue.is_empty() && self.running.is_none() && !self.starting && self.parked_on.is_none()
+        self.queue.is_empty()
+            && self.running.is_none()
+            && !self.starting
+            && self.parked_on.is_none()
     }
 }
 
@@ -160,7 +178,19 @@ mod tests {
             event: None,
             started: ifsim_des::Time::ZERO,
             label: "test".into(),
+            request: None,
+            attempts: 0,
         });
         assert!(!s.idle());
+    }
+
+    #[test]
+    fn failed_stream_is_idle_but_carries_the_error() {
+        // A fault-failed stream has its queue cleared: it is idle (so
+        // synchronization terminates) and the sticky error reports why.
+        let mut s = StreamState::new(DeviceId(0), GcdId(0));
+        s.failed = Some(crate::error::HipError::LinkDown("test".into()));
+        assert!(s.idle());
+        assert!(s.failed.is_some());
     }
 }

@@ -123,11 +123,8 @@ impl Trace {
             .map(|e| e.end.as_ns())
             .fold(f64::NEG_INFINITY, f64::max);
         let span = (t1 - t0).max(1e-9);
-        let mut rows: Vec<(DeviceId, StreamId)> = self
-            .events
-            .iter()
-            .map(|e| (e.dev, e.stream))
-            .collect();
+        let mut rows: Vec<(DeviceId, StreamId)> =
+            self.events.iter().map(|e| (e.dev, e.stream)).collect();
         rows.sort();
         rows.dedup();
         let mut out = String::new();
@@ -140,7 +137,11 @@ impl Trace {
         );
         for (dev, stream) in rows {
             let mut lane = vec!['.'; width];
-            for e in self.events.iter().filter(|e| e.dev == dev && e.stream == stream) {
+            for e in self
+                .events
+                .iter()
+                .filter(|e| e.dev == dev && e.stream == stream)
+            {
                 let a = (((e.start.as_ns() - t0) / span) * width as f64).floor() as usize;
                 let b = (((e.end.as_ns() - t0) / span) * width as f64).ceil() as usize;
                 let glyph = e.label.chars().next().unwrap_or('#');

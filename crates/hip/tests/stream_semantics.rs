@@ -59,25 +59,44 @@ fn streams_on_one_device_run_concurrently() {
     // Solo reference.
     let (a, b) = mk(&mut hip);
     let t0 = hip.now();
-    hip.launch_kernel(KernelSpec::StreamCopy { src: a, dst: b, elems })
-        .unwrap();
+    hip.launch_kernel(KernelSpec::StreamCopy {
+        src: a,
+        dst: b,
+        elems,
+    })
+    .unwrap();
     hip.device_synchronize().unwrap();
     let solo = (hip.now() - t0).as_us();
 
     let (c, d) = mk(&mut hip);
     let s2 = hip.stream_create().unwrap();
     let t1 = hip.now();
-    hip.launch_kernel(KernelSpec::StreamCopy { src: a, dst: b, elems })
-        .unwrap();
-    hip.launch_kernel_on(KernelSpec::StreamCopy { src: c, dst: d, elems }, s2)
-        .unwrap();
+    hip.launch_kernel(KernelSpec::StreamCopy {
+        src: a,
+        dst: b,
+        elems,
+    })
+    .unwrap();
+    hip.launch_kernel_on(
+        KernelSpec::StreamCopy {
+            src: c,
+            dst: d,
+            elems,
+        },
+        s2,
+    )
+    .unwrap();
     hip.device_synchronize().unwrap();
     let pair = (hip.now() - t1).as_us();
     // Fair sharing of HBM: the concurrent pair takes ~2× the solo time
     // (same total traffic through the same memory), clearly less than
     // 2× + another solo (serialization would be exactly 2× as well...
     // distinguish via per-kernel duration instead).
-    assert!((1.8..2.3).contains(&(pair / solo)), "pair/solo = {}", pair / solo);
+    assert!(
+        (1.8..2.3).contains(&(pair / solo)),
+        "pair/solo = {}",
+        pair / solo
+    );
 }
 
 #[test]
@@ -90,8 +109,12 @@ fn kernels_on_different_devices_are_independent() {
     let a = hip.malloc(bytes).unwrap();
     let b = hip.malloc(bytes).unwrap();
     let t0 = hip.now();
-    hip.launch_kernel(KernelSpec::StreamCopy { src: a, dst: b, elems })
-        .unwrap();
+    hip.launch_kernel(KernelSpec::StreamCopy {
+        src: a,
+        dst: b,
+        elems,
+    })
+    .unwrap();
     hip.device_synchronize().unwrap();
     let solo = (hip.now() - t0).as_us();
     // Eight kernels, one per device: same wall time (no shared resources).
@@ -103,8 +126,12 @@ fn kernels_on_different_devices_are_independent() {
     let t1 = hip.now();
     for (dev, &(x, y)) in bufs.iter().enumerate() {
         hip.set_device(dev).unwrap();
-        hip.launch_kernel(KernelSpec::StreamCopy { src: x, dst: y, elems })
-            .unwrap();
+        hip.launch_kernel(KernelSpec::StreamCopy {
+            src: x,
+            dst: y,
+            elems,
+        })
+        .unwrap();
     }
     hip.synchronize_all().unwrap();
     let eight = (hip.now() - t1).as_us();

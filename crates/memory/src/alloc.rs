@@ -257,7 +257,13 @@ impl MemorySystem {
         };
         let s = s_ref.as_ref().ok_or(AllocError::InvalidBuffer(src))?;
         let d = d_ref.as_mut().ok_or(AllocError::InvalidBuffer(dst))?;
-        Ok(Backing::copy(&s.backing, src_off, &mut d.backing, dst_off, len))
+        Ok(Backing::copy(
+            &s.backing,
+            src_off,
+            &mut d.backing,
+            dst_off,
+            len,
+        ))
     }
 
     /// Write raw bytes into a buffer (host-side initialization). Phantom
@@ -298,7 +304,12 @@ impl MemorySystem {
 
     /// Write a slice of `f32`s (little-endian) — the element type of the
     /// STREAM kernels and collectives.
-    pub fn write_f32s(&mut self, id: BufferId, offset: u64, data: &[f32]) -> Result<bool, AllocError> {
+    pub fn write_f32s(
+        &mut self,
+        id: BufferId,
+        offset: u64,
+        data: &[f32],
+    ) -> Result<bool, AllocError> {
         let mut bytes = Vec::with_capacity(data.len() * 4);
         for v in data {
             bytes.extend_from_slice(&v.to_le_bytes());
@@ -313,13 +324,11 @@ impl MemorySystem {
         offset: u64,
         count: usize,
     ) -> Result<Option<Vec<f32>>, AllocError> {
-        Ok(self
-            .read_bytes(id, offset, count as u64 * 4)?
-            .map(|b| {
-                b.chunks_exact(4)
-                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                    .collect()
-            }))
+        Ok(self.read_bytes(id, offset, count as u64 * 4)?.map(|b| {
+            b.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        }))
     }
 }
 

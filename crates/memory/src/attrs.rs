@@ -81,7 +81,10 @@ impl MemKind {
     /// Whether the allocation is mapped into GPU address spaces without
     /// explicit action (zero-copy capable).
     pub fn gpu_mapped(self) -> bool {
-        matches!(self, MemKind::Device | MemKind::HostPinned(_) | MemKind::Managed)
+        matches!(
+            self,
+            MemKind::Device | MemKind::HostPinned(_) | MemKind::Managed
+        )
     }
 }
 

@@ -115,7 +115,9 @@ mod tests {
     #[test]
     fn copy_moves_bytes_between_real_backings() {
         let mut src = Backing::real(8);
-        src.bytes_mut().unwrap().copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        src.bytes_mut()
+            .unwrap()
+            .copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
         let mut dst = Backing::real(8);
         assert!(Backing::copy(&src, 2, &mut dst, 4, 3));
         assert_eq!(dst.bytes().unwrap(), &[0, 0, 0, 0, 3, 4, 5, 0]);

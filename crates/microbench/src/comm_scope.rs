@@ -5,9 +5,7 @@ use crate::config::BenchConfig;
 use crate::report::{Matrix, Series};
 use ifsim_des::units::{bw_bytes_per_sec, to_gbps};
 use ifsim_des::Summary;
-use ifsim_hip::{
-    EnvConfig, GcdId, HostAllocFlags, KernelSpec, MemcpyKind, NumaId,
-};
+use ifsim_hip::{EnvConfig, GcdId, HostAllocFlags, KernelSpec, MemcpyKind, NumaId};
 
 /// The four host-to-device interfaces of Fig. 3 / Table II.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -205,10 +203,7 @@ pub fn p2p_sweep(cfg: &BenchConfig, dsts: &[u8], sizes: &[u64]) -> Vec<Series> {
             .xgmi_width(GcdId(0), GcdId(dst))
             .map(|w| w.lanes())
             .unwrap_or(0);
-        let mut s = Series::new(
-            format!("GCD0->GCD{dst} ({width}x link)"),
-            "GB/s",
-        );
+        let mut s = Series::new(format!("GCD0->GCD{dst} ({width}x link)"), "GB/s");
         for &bytes in sizes {
             hip.set_device(0).expect("device 0");
             let src = hip.malloc(bytes).expect("src");

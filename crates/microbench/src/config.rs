@@ -67,8 +67,14 @@ mod tests {
         let cfg = BenchConfig::default();
         let mut a = cfg.runtime(EnvConfig::default());
         let mut b = cfg.runtime(EnvConfig::default());
-        let (ha, da) = (a.malloc_pageable(1 << 20).unwrap(), a.malloc(1 << 20).unwrap());
-        let (hb, db) = (b.malloc_pageable(1 << 20).unwrap(), b.malloc(1 << 20).unwrap());
+        let (ha, da) = (
+            a.malloc_pageable(1 << 20).unwrap(),
+            a.malloc(1 << 20).unwrap(),
+        );
+        let (hb, db) = (
+            b.malloc_pageable(1 << 20).unwrap(),
+            b.malloc(1 << 20).unwrap(),
+        );
         a.memcpy(da, 0, ha, 0, 1 << 20, ifsim_hip::MemcpyKind::HostToDevice)
             .unwrap();
         b.memcpy(db, 0, hb, 0, 1 << 20, ifsim_hip::MemcpyKind::HostToDevice)

@@ -64,10 +64,7 @@ pub fn probe_links(hip: &mut HipSim, probe_bytes: u64) -> Vec<LinkHealth> {
         hip.launch_kernel(KernelSpec::StreamCopy { src, dst, elems })
             .expect("probe kernel");
         hip.device_synchronize().expect("sync");
-        let measured = to_gbps(bw_bytes_per_sec(
-            probe_bytes as f64,
-            hip.now() - t0,
-        ));
+        let measured = to_gbps(bw_bytes_per_sec(probe_bytes as f64, hip.now() - t0));
         let expected = to_gbps(calib_eff * lanes as f64 * 50e9);
         out.push(LinkHealth {
             a,
@@ -98,7 +95,11 @@ pub fn render_report(health: &[LinkHealth], tolerance: f64) -> String {
         "link", "lanes", "measured", "expected", "ratio"
     );
     for h in health {
-        let verdict = if h.healthy(tolerance) { "OK" } else { "DEGRADED" };
+        let verdict = if h.healthy(tolerance) {
+            "OK"
+        } else {
+            "DEGRADED"
+        };
         let _ = writeln!(
             out,
             "{:<14} {:>6} {:>10.1} {:>12.1} {:>8.2}  {verdict}",
@@ -133,8 +134,7 @@ mod tests {
         let mut hip = cfg.runtime(EnvConfig::default());
         hip.derate_xgmi_link(GcdId(2), GcdId(4), 0.5).unwrap();
         let health = probe_links(&mut hip, 64 * MIB);
-        let flagged: Vec<&LinkHealth> =
-            health.iter().filter(|h| !h.healthy(0.1)).collect();
+        let flagged: Vec<&LinkHealth> = health.iter().filter(|h| !h.healthy(0.1)).collect();
         assert_eq!(flagged.len(), 1, "exactly the injected fault: {flagged:?}");
         assert_eq!((flagged[0].a, flagged[0].b), (GcdId(2), GcdId(4)));
         assert!((0.45..0.55).contains(&flagged[0].ratio));

@@ -63,8 +63,12 @@ pub fn osu_p2p_latency(cfg: &BenchConfig, dst_dev: usize, bytes: u64) -> f64 {
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
         // One ping + one pong; OSU reports half the round trip.
-        let ping = comm.send_recv(&mut hip, 0, 1, a, b, bytes.max(4)).expect("ping");
-        let pong = comm.send_recv(&mut hip, 1, 0, b, a, bytes.max(4)).expect("pong");
+        let ping = comm
+            .send_recv(&mut hip, 0, 1, a, b, bytes.max(4))
+            .expect("ping");
+        let pong = comm
+            .send_recv(&mut hip, 1, 0, b, a, bytes.max(4))
+            .expect("pong");
         if rep >= cfg.warmup {
             samples.push((ping + pong).as_us() / 2.0);
         }
@@ -73,11 +77,7 @@ pub fn osu_p2p_latency(cfg: &BenchConfig, dst_dev: usize, bytes: u64) -> f64 {
 }
 
 /// Allocate OSU-style per-rank buffers for a collective run.
-pub fn collective_buffers(
-    hip: &mut ifsim_hip::HipSim,
-    n: usize,
-    elems: usize,
-) -> RankBuffers {
+pub fn collective_buffers(hip: &mut ifsim_hip::HipSim, n: usize, elems: usize) -> RankBuffers {
     let mut send = Vec::new();
     let mut recv = Vec::new();
     for r in 0..n {

@@ -167,7 +167,11 @@ mod tests {
         cfg.reps = 1;
         let m = latency_matrix(&cfg);
         // Global range: 8.7 - 18.2 µs.
-        assert!((8.4..9.2).contains(&m.min_off_diagonal()), "min {}", m.min_off_diagonal());
+        assert!(
+            (8.4..9.2).contains(&m.min_off_diagonal()),
+            "min {}",
+            m.min_off_diagonal()
+        );
         assert!(
             (17.4..18.8).contains(&m.max_off_diagonal()),
             "max {}",

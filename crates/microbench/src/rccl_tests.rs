@@ -141,12 +141,7 @@ mod tests {
     #[test]
     fn latency_scales_with_message_size() {
         let c = cfg();
-        let s = rccl_latency_vs_size(
-            &c,
-            Collective::AllReduce,
-            8,
-            &[64 * 1024, MIB, 16 * MIB],
-        );
+        let s = rccl_latency_vs_size(&c, Collective::AllReduce, 8, &[64 * 1024, MIB, 16 * MIB]);
         let v: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
         assert!(v[0] < v[1] && v[1] < v[2], "{v:?}");
         // Large messages amortize fixed costs: 16 MiB is not 16× the 1 MiB

@@ -39,7 +39,10 @@ impl Series {
 
     /// y at a given x, if present.
     pub fn at(&self, x: u64) -> Option<f64> {
-        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|&&(px, _)| px == x)
+            .map(|&(_, y)| y)
     }
 }
 

@@ -25,7 +25,10 @@ pub fn local_stream(cfg: &BenchConfig, bytes: u64) -> f64 {
         .expect("kernel");
         hip.device_synchronize().expect("sync");
         if rep >= cfg.warmup {
-            samples.push(to_gbps(bw_bytes_per_sec(2.0 * bytes as f64, hip.now() - t0)));
+            samples.push(to_gbps(bw_bytes_per_sec(
+                2.0 * bytes as f64,
+                hip.now() - t0,
+            )));
         }
     }
     Summary::from_samples(&samples).mean
@@ -60,8 +63,10 @@ pub fn peer_stream_sweep(cfg: &BenchConfig, dsts: &[u8], sizes: &[u64]) -> Vec<S
                 .expect("kernel");
                 hip.device_synchronize().expect("sync");
                 if rep >= cfg.warmup {
-                    samples
-                        .push(to_gbps(bw_bytes_per_sec(2.0 * bytes as f64, hip.now() - t0)));
+                    samples.push(to_gbps(bw_bytes_per_sec(
+                        2.0 * bytes as f64,
+                        hip.now() - t0,
+                    )));
                 }
             }
             s.push(bytes, Summary::from_samples(&samples).mean);
@@ -196,7 +201,10 @@ mod tests {
         let same = multi_gpu_host_stream(&c, &[0, 1], 64 * MIB);
         let spread = multi_gpu_host_stream(&c, &[0, 2], 64 * MIB);
         assert!(same / one < 1.1, "same-package {one} -> {same}");
-        assert!((spread / one - 2.0).abs() < 0.15, "spread {one} -> {spread}");
+        assert!(
+            (spread / one - 2.0).abs() < 0.15,
+            "spread {one} -> {spread}"
+        );
     }
 
     #[test]

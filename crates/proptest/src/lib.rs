@@ -1,0 +1,118 @@
+//! In-tree, offline stand-in for the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The build sandbox has no package-registry access, so the real `proptest`
+//! cannot be fetched or vendored. This crate keeps every property test in
+//! the workspace compiling and running unchanged. Semantics:
+//!
+//! - Case generation is **deterministic**: each test gets a SplitMix64
+//!   stream keyed by its module path and name, so failures reproduce
+//!   run-to-run without a persistence file.
+//! - `prop_assert!`/`prop_assert_eq!` panic like plain assertions; there is
+//!   no shrinking, so the failing case is the first one encountered.
+//! - `prop_assume!` skips the current case (it does not count toward the
+//!   case budget being re-drawn; the stream simply moves on).
+//!
+//! Only the combinators the workspace actually exercises are provided:
+//! integer/float range strategies, `any::<T>()`, tuples, `collection::vec`,
+//! `prop_map`, `prop_filter`, `prop_oneof!`, and `Just`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` header followed by `fn name(pat in strategy, ..)`
+/// items, each expanded to a `#[test]` running the configured number of
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_key(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..__config.cases {
+                $( let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )*
+                #[allow(unused_mut)]
+                let mut __case_fn = move || { $body };
+                __case_fn();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,98 @@
+//! Configuration and the deterministic case RNG.
+
+/// Per-`proptest!` block configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Alias matching `proptest::test_runner::Config`.
+pub type Config = ProptestConfig;
+
+/// SplitMix64 stream seeded from the test's module path and name, so every
+/// run of a given test draws the same cases.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a key string (FNV-1a), honoring a
+    /// `PROPTEST_SEED` environment variable for ad-hoc exploration.
+    pub fn from_key(key: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = extra.parse::<u64>() {
+                h ^= s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_stream() {
+        let mut a = TestRng::from_key("x::y");
+        let mut b = TestRng::from_key("x::y");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_keys_diverge() {
+        let mut a = TestRng::from_key("x::y");
+        let mut b = TestRng::from_key("x::z");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRng::from_key("below");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

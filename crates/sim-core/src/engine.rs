@@ -87,7 +87,11 @@ impl<W> Engine<W> {
     /// flow completion) occurring before the next queued event. Panics if
     /// this would skip over a queued event or move backwards.
     pub fn advance_to(&mut self, t: Time) {
-        assert!(t >= self.now, "clock moved backwards: to={t} now={}", self.now);
+        assert!(
+            t >= self.now,
+            "clock moved backwards: to={t} now={}",
+            self.now
+        );
         if let Some(next) = self.queue.peek_time() {
             assert!(
                 t <= next,

@@ -1,0 +1,199 @@
+//! Per-link health state for degraded-fabric modeling.
+//!
+//! Real Infinity Fabric links fail in degrees: an xGMI connection can lose
+//! individual 50 GB/s lanes (a quad running on three lanes), retrain at an
+//! elevated bit-error rate, or drop entirely. [`HealthMap`] tracks one
+//! [`LinkHealth`] per link of a topology and converts it into the capacity
+//! factor the fabric layer applies to the link's segments; the routing layer
+//! consults it to steer paths away from downed links.
+
+use crate::ids::LinkId;
+use crate::link::LinkKind;
+use crate::node::NodeTopology;
+use std::fmt;
+
+/// Health state of one fabric link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Full capacity; all lanes trained.
+    Healthy,
+    /// Link is up but running on a reduced lane count (`lanes` remaining).
+    /// Only meaningful for aggregated xGMI connections; a quad degraded to
+    /// two lanes carries half its healthy bandwidth.
+    Degraded {
+        /// Remaining trained lanes (at least one — zero lanes is [`LinkHealth::Down`]).
+        lanes: u32,
+    },
+    /// Link is down: no traffic can cross it in either direction.
+    Down,
+}
+
+impl LinkHealth {
+    /// Whether the link carries no traffic at all.
+    pub fn is_down(self) -> bool {
+        matches!(self, LinkHealth::Down)
+    }
+}
+
+impl fmt::Display for LinkHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkHealth::Healthy => write!(f, "healthy"),
+            LinkHealth::Degraded { lanes } => write!(f, "degraded({lanes} lanes)"),
+            LinkHealth::Down => write!(f, "down"),
+        }
+    }
+}
+
+/// Health state for every link of one topology, indexed by [`LinkId`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthMap {
+    states: Vec<LinkHealth>,
+}
+
+impl HealthMap {
+    /// An all-healthy map sized for `topo`.
+    pub fn healthy(topo: &NodeTopology) -> Self {
+        HealthMap {
+            states: vec![LinkHealth::Healthy; topo.links().len()],
+        }
+    }
+
+    /// Current state of `link`.
+    pub fn get(&self, link: LinkId) -> LinkHealth {
+        self.states[link.idx()]
+    }
+
+    /// Set the state of `link`.
+    pub fn set(&mut self, link: LinkId, state: LinkHealth) {
+        if let LinkHealth::Degraded { lanes } = state {
+            assert!(lanes > 0, "zero remaining lanes is LinkHealth::Down");
+        }
+        self.states[link.idx()] = state;
+    }
+
+    /// Whether `link` is down.
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.get(link).is_down()
+    }
+
+    /// Whether every link is fully healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.states.iter().all(|s| *s == LinkHealth::Healthy)
+    }
+
+    /// Links that are not fully healthy, with their states.
+    pub fn impaired(&self) -> impl Iterator<Item = (LinkId, LinkHealth)> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != LinkHealth::Healthy)
+            .map(|(i, s)| (LinkId(i as u32), *s))
+    }
+
+    /// Remaining capacity of `link` as a fraction of its healthy capacity:
+    /// 1.0 when healthy, 0.0 when down, `lanes / total_lanes` when degraded.
+    /// Non-xGMI links (CPU, NUMA fabric) have no lane structure; any degraded
+    /// state on them is treated as a single surviving lane (factor 1.0).
+    pub fn capacity_factor(&self, topo: &NodeTopology, link: LinkId) -> f64 {
+        match self.get(link) {
+            LinkHealth::Healthy => 1.0,
+            LinkHealth::Down => 0.0,
+            LinkHealth::Degraded { lanes } => {
+                let total = match topo.link(link).kind {
+                    LinkKind::Xgmi(w) => w.lanes(),
+                    _ => 1,
+                };
+                (lanes.min(total) as f64) / (total as f64)
+            }
+        }
+    }
+
+    /// Per-direction bandwidth of `link` after degradation, bytes/s.
+    pub fn effective_peak_per_dir(&self, topo: &NodeTopology, link: LinkId) -> f64 {
+        topo.link(link).kind.peak_per_dir() * self.capacity_factor(topo, link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GcdId, PortId};
+    use ifsim_des::units::gbps;
+
+    fn frontier() -> NodeTopology {
+        NodeTopology::frontier()
+    }
+
+    fn link(t: &NodeTopology, a: u8, b: u8) -> LinkId {
+        t.link_between(PortId::Gcd(GcdId(a)), PortId::Gcd(GcdId(b)))
+            .expect("direct link")
+    }
+
+    #[test]
+    fn healthy_map_is_all_ones() {
+        let t = frontier();
+        let h = HealthMap::healthy(&t);
+        assert!(h.all_healthy());
+        for i in 0..t.links().len() {
+            assert_eq!(h.capacity_factor(&t, LinkId(i as u32)), 1.0);
+        }
+        assert_eq!(h.impaired().count(), 0);
+    }
+
+    #[test]
+    fn degraded_quad_scales_by_lane_fraction() {
+        let t = frontier();
+        let mut h = HealthMap::healthy(&t);
+        let quad = link(&t, 0, 1);
+        h.set(quad, LinkHealth::Degraded { lanes: 1 });
+        assert_eq!(h.capacity_factor(&t, quad), 0.25);
+        assert_eq!(h.effective_peak_per_dir(&t, quad), gbps(50.0));
+        h.set(quad, LinkHealth::Degraded { lanes: 3 });
+        assert_eq!(h.capacity_factor(&t, quad), 0.75);
+        assert_eq!(h.effective_peak_per_dir(&t, quad), gbps(150.0));
+    }
+
+    #[test]
+    fn down_link_has_zero_capacity() {
+        let t = frontier();
+        let mut h = HealthMap::healthy(&t);
+        let single = link(&t, 0, 2);
+        h.set(single, LinkHealth::Down);
+        assert!(h.is_down(single));
+        assert_eq!(h.capacity_factor(&t, single), 0.0);
+        assert_eq!(
+            h.impaired().collect::<Vec<_>>(),
+            vec![(single, LinkHealth::Down)]
+        );
+        assert!(!h.all_healthy());
+    }
+
+    #[test]
+    fn degraded_lanes_clamp_to_link_width() {
+        let t = frontier();
+        let mut h = HealthMap::healthy(&t);
+        let single = link(&t, 0, 2);
+        // A single connection has one lane; "degraded to 4 lanes" clamps.
+        h.set(single, LinkHealth::Degraded { lanes: 4 });
+        assert_eq!(h.capacity_factor(&t, single), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero remaining lanes")]
+    fn zero_lane_degradation_rejected() {
+        let t = frontier();
+        let mut h = HealthMap::healthy(&t);
+        h.set(LinkId(0), LinkHealth::Degraded { lanes: 0 });
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(LinkHealth::Healthy.to_string(), "healthy");
+        assert_eq!(
+            LinkHealth::Degraded { lanes: 2 }.to_string(),
+            "degraded(2 lanes)"
+        );
+        assert_eq!(LinkHealth::Down.to_string(), "down");
+    }
+}

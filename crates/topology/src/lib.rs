@@ -19,6 +19,7 @@
 //! `hipMemcpyPeer` empirically uses — the (1,7)/(3,5) latency outliers in the
 //! paper's Fig. 6b are exactly the pairs where the two differ).
 
+pub mod health;
 pub mod hops;
 pub mod ids;
 pub mod link;
@@ -27,6 +28,7 @@ pub mod numa;
 pub mod routing;
 pub mod validate;
 
+pub use health::{HealthMap, LinkHealth};
 pub use hops::hop_matrix;
 pub use ids::{GcdId, GpuId, LinkId, NumaId, PortId};
 pub use link::{LinkKind, LinkSpec, XgmiWidth};

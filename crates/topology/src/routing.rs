@@ -15,6 +15,7 @@
 //! the CPU); GCD→NUMA routes use the GCD's host link plus, when the target
 //! domain differs, one on-die NUMA-fabric hop.
 
+use crate::health::HealthMap;
 use crate::ids::{GcdId, LinkId, NumaId, PortId};
 use crate::link::LinkKind;
 use crate::node::NodeTopology;
@@ -115,21 +116,46 @@ fn max_hops(topo: &NodeTopology) -> usize {
 
 impl Router {
     /// Precompute routes for all GCD pairs (both policies) and all
-    /// GCD→NUMA pairs.
+    /// GCD→NUMA pairs, assuming every link is healthy.
     pub fn new(topo: &NodeTopology) -> Self {
+        let health = HealthMap::healthy(topo);
+        let router = Self::new_with_health(topo, &health);
+        for a in topo.gcds() {
+            for b in topo.gcds() {
+                if a == b {
+                    continue;
+                }
+                assert!(
+                    router
+                        .try_gcd_route(a, b, RoutePolicy::ShortestHop)
+                        .is_some(),
+                    "no xGMI route between {a} and {b}; topology disconnected"
+                );
+            }
+        }
+        router
+    }
+
+    /// Precompute routes honoring a [`HealthMap`]: downed links are never
+    /// traversed, and bandwidth-maximizing selection weighs each link by its
+    /// *degraded* capacity (a quad running on one lane competes like a
+    /// single). Pairs isolated by a partition get no route; detect them with
+    /// [`Router::try_gcd_route`] returning `None` (the fabric has no
+    /// CPU-bounce fallback for peer traffic — a severed xGMI component is an
+    /// error surfaced by the runtime, matching real RSMI behavior).
+    pub fn new_with_health(topo: &NodeTopology, health: &HealthMap) -> Self {
         let mut gcd_routes = BTreeMap::new();
         for a in topo.gcds() {
             for b in topo.gcds() {
                 if a == b {
                     continue;
                 }
-                let paths = enumerate_xgmi_paths(topo, a, b);
-                assert!(
-                    !paths.is_empty(),
-                    "no xGMI route between {a} and {b}; topology disconnected"
-                );
+                let paths = enumerate_xgmi_paths(topo, health, a, b);
+                if paths.is_empty() {
+                    continue;
+                }
                 for policy in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
-                    let best = select(topo, &paths, policy).clone();
+                    let best = select(topo, health, &paths, policy).clone();
                     gcd_routes.insert((a, b, policy), best);
                 }
             }
@@ -153,6 +179,12 @@ impl Router {
             .unwrap_or_else(|| panic!("no route {a} -> {b}"))
     }
 
+    /// Route between two distinct GCDs, or `None` when link failures have
+    /// partitioned the fabric between them.
+    pub fn try_gcd_route(&self, a: GcdId, b: GcdId, policy: RoutePolicy) -> Option<&Path> {
+        self.gcd_routes.get(&(a, b, policy))
+    }
+
     /// Route from a GCD to a CPU NUMA domain (host link + optional on-die hop).
     pub fn host_route(&self, g: GcdId, n: NumaId) -> &Path {
         self.host_routes
@@ -170,17 +202,33 @@ impl Router {
     }
 }
 
-/// All simple xGMI-only paths between two GCDs up to [`max_hops`].
-fn enumerate_xgmi_paths(topo: &NodeTopology, from: GcdId, to: GcdId) -> Vec<Path> {
+/// All simple xGMI-only paths between two GCDs up to [`max_hops`],
+/// never crossing a downed link.
+fn enumerate_xgmi_paths(
+    topo: &NodeTopology,
+    health: &HealthMap,
+    from: GcdId,
+    to: GcdId,
+) -> Vec<Path> {
     let mut out = Vec::new();
     let mut ports = vec![PortId::Gcd(from)];
     let mut links = Vec::new();
-    dfs(topo, PortId::Gcd(to), max_hops(topo), &mut ports, &mut links, &mut out);
+    dfs(
+        topo,
+        health,
+        PortId::Gcd(to),
+        max_hops(topo),
+        &mut ports,
+        &mut links,
+        &mut out,
+    );
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     topo: &NodeTopology,
+    health: &HealthMap,
     target: PortId,
     hop_limit: usize,
     ports: &mut Vec<PortId>,
@@ -202,27 +250,44 @@ fn dfs(
         if !matches!(topo.link(lid).kind, LinkKind::Xgmi(_)) {
             continue;
         }
+        if health.is_down(lid) {
+            continue;
+        }
         if ports.contains(&next) {
             continue;
         }
         ports.push(next);
         links.push(lid);
-        dfs(topo, target, hop_limit, ports, links, out);
+        dfs(topo, health, target, hop_limit, ports, links, out);
         ports.pop();
         links.pop();
     }
 }
 
+/// The smallest *effective* (post-degradation) per-direction bandwidth
+/// along a path, bytes/s.
+fn effective_bottleneck(topo: &NodeTopology, health: &HealthMap, path: &Path) -> f64 {
+    path.links
+        .iter()
+        .map(|l| health.effective_peak_per_dir(topo, *l))
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Pick the best path under a policy. Deterministic: full tie-break chain
 /// ends at the lexicographically smallest port sequence.
-fn select<'p>(topo: &NodeTopology, paths: &'p [Path], policy: RoutePolicy) -> &'p Path {
+fn select<'p>(
+    topo: &NodeTopology,
+    health: &HealthMap,
+    paths: &'p [Path],
+    policy: RoutePolicy,
+) -> &'p Path {
     paths
         .iter()
         .min_by(|x, y| {
             let (hx, hy) = (x.hops(), y.hops());
             let (bx, by) = (
-                ordered(x.bottleneck_per_dir(topo)),
-                ordered(y.bottleneck_per_dir(topo)),
+                ordered(effective_bottleneck(topo, health, x)),
+                ordered(effective_bottleneck(topo, health, y)),
             );
             let primary = match policy {
                 RoutePolicy::ShortestHop => hx.cmp(&hy).then(by.cmp(&bx)),
@@ -410,6 +475,107 @@ mod tests {
         assert_eq!(remote.hops(), 2);
         assert!(matches!(t.link(remote.links[1]).kind, LinkKind::NumaFabric));
         remote.validate(&t);
+    }
+
+    #[test]
+    fn healthy_health_map_reproduces_default_routes() {
+        // Satellite guarantee: with nothing impaired, the health-aware
+        // constructor yields byte-identical routes — including the
+        // (1,7)/(3,5) three-hop outliers.
+        let t = NodeTopology::frontier();
+        let base = Router::new(&t);
+        let hr = Router::new_with_health(&t, &crate::health::HealthMap::healthy(&t));
+        for a in t.gcds() {
+            for b in t.gcds() {
+                if a == b {
+                    continue;
+                }
+                for p in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+                    assert_eq!(
+                        hr.try_gcd_route(a, b, p).expect("route exists"),
+                        base.gcd_route(a, b, p),
+                        "{a}->{b} {p:?}"
+                    );
+                }
+            }
+        }
+        let bw = hr.try_gcd_route(GcdId(1), GcdId(7), RoutePolicy::MaxBandwidth);
+        assert_eq!(bw.expect("outlier route").hops(), 3);
+    }
+
+    #[test]
+    fn down_link_is_routed_around() {
+        use crate::health::{HealthMap, LinkHealth};
+        let t = NodeTopology::frontier();
+        let dead = t
+            .link_between(PortId::Gcd(GcdId(0)), PortId::Gcd(GcdId(2)))
+            .unwrap();
+        let mut h = HealthMap::healthy(&t);
+        h.set(dead, LinkHealth::Down);
+        let r = Router::new_with_health(&t, &h);
+        for p in [RoutePolicy::ShortestHop, RoutePolicy::MaxBandwidth] {
+            let path = r.try_gcd_route(GcdId(0), GcdId(2), p).expect("rerouted");
+            assert!(!path.uses_link(dead), "{p:?} still crosses the dead link");
+            assert!(path.hops() >= 2, "{p:?} must detour");
+            path.validate(&t);
+        }
+    }
+
+    #[test]
+    fn degraded_quad_dissolves_the_bandwidth_outlier() {
+        // Degrade the (0,1) quad to one lane: the 1-0-6-7 route's effective
+        // bottleneck drops to 50 GB/s, tying the two-hop alternatives — so
+        // bandwidth-maximizing routing falls back to two hops and the
+        // (1,7) latency outlier disappears.
+        use crate::health::{HealthMap, LinkHealth};
+        let t = NodeTopology::frontier();
+        let quad = t
+            .link_between(PortId::Gcd(GcdId(0)), PortId::Gcd(GcdId(1)))
+            .unwrap();
+        let mut h = HealthMap::healthy(&t);
+        h.set(quad, LinkHealth::Degraded { lanes: 1 });
+        let r = Router::new_with_health(&t, &h);
+        let bw = r
+            .try_gcd_route(GcdId(1), GcdId(7), RoutePolicy::MaxBandwidth)
+            .expect("still connected");
+        assert_eq!(bw.hops(), 2, "outlier route should collapse to two hops");
+        assert!(!bw.uses_link(quad));
+        // The (3,5) outlier, on the untouched side of the node, survives.
+        let other = r
+            .try_gcd_route(GcdId(3), GcdId(5), RoutePolicy::MaxBandwidth)
+            .expect("route exists");
+        assert_eq!(other.hops(), 3);
+    }
+
+    #[test]
+    fn isolated_gcd_partitions_cleanly() {
+        use crate::health::{HealthMap, LinkHealth};
+        let t = NodeTopology::frontier();
+        let mut h = HealthMap::healthy(&t);
+        // GCD0's xGMI attachments: quad to 1, single to 2, dual to 6.
+        for peer in [1u8, 2, 6] {
+            let l = t
+                .link_between(PortId::Gcd(GcdId(0)), PortId::Gcd(GcdId(peer)))
+                .unwrap();
+            h.set(l, LinkHealth::Down);
+        }
+        let r = Router::new_with_health(&t, &h);
+        for b in t.gcds() {
+            if b == GcdId(0) {
+                continue;
+            }
+            assert!(r
+                .try_gcd_route(GcdId(0), b, RoutePolicy::MaxBandwidth)
+                .is_none());
+            assert!(r
+                .try_gcd_route(b, GcdId(0), RoutePolicy::MaxBandwidth)
+                .is_none());
+        }
+        // The surviving seven GCDs still reach each other.
+        let p = r
+            .try_gcd_route(GcdId(1), GcdId(7), RoutePolicy::MaxBandwidth)
+            .expect("survivors stay connected");
+        p.validate(&t);
     }
 
     #[test]

@@ -181,9 +181,7 @@ mod tests {
         let t = NodeTopology::custom(cfg, links);
         assert_eq!(
             check(&t),
-            Err(TopologyError::MissingCpuLink {
-                gcd: "GCD3".into()
-            })
+            Err(TopologyError::MissingCpuLink { gcd: "GCD3".into() })
         );
     }
 

@@ -19,7 +19,10 @@ fn main() {
         let a: u8 = a.parse().expect("GCD index");
         let b: u8 = b.parse().expect("GCD index");
         let f: f64 = f.parse().expect("derate factor (0, 1]");
-        println!("injecting fault: link GCD{a}-GCD{b} derated to {:.0} %\n", f * 100.0);
+        println!(
+            "injecting fault: link GCD{a}-GCD{b} derated to {:.0} %\n",
+            f * 100.0
+        );
         hip.derate_xgmi_link(GcdId(a), GcdId(b), f)
             .expect("GCDs must be directly linked");
     }
@@ -32,7 +35,10 @@ fn main() {
     if degraded.is_empty() {
         println!("\nall links within 10 % of expected bandwidth.");
     } else {
-        println!("\n{} link(s) degraded — check xGMI training state:", degraded.len());
+        println!(
+            "\n{} link(s) degraded — check xGMI training state:",
+            degraded.len()
+        );
         for h in degraded {
             println!(
                 "  {}-{}: {:.1} of {:.1} GB/s expected ({:.0} %)",

@@ -55,8 +55,10 @@ fn halo_phase_time(mapping: &[usize], halo_bytes: u64, strategy: Strategy) -> f6
             hip.malloc(halo_bytes).unwrap(),
         ]);
         bounce.push([
-            hip.host_malloc(halo_bytes, HostAllocFlags::coherent()).unwrap(),
-            hip.host_malloc(halo_bytes, HostAllocFlags::coherent()).unwrap(),
+            hip.host_malloc(halo_bytes, HostAllocFlags::coherent())
+                .unwrap(),
+            hip.host_malloc(halo_bytes, HostAllocFlags::coherent())
+                .unwrap(),
         ]);
     }
 

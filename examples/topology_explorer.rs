@@ -87,16 +87,13 @@ fn main() {
     }
 }
 
-fn explain_pair(
-    topo: &NodeTopology,
-    router: &Router,
-    calib: &Calibration,
-    a: GcdId,
-    b: GcdId,
-) {
+fn explain_pair(topo: &NodeTopology, router: &Router, calib: &Calibration, a: GcdId, b: GcdId) {
     println!("=== {a} <-> {b} ===");
     for (name, policy) in [
-        ("bandwidth-maximizing (hipMemcpyPeer)", RoutePolicy::MaxBandwidth),
+        (
+            "bandwidth-maximizing (hipMemcpyPeer)",
+            RoutePolicy::MaxBandwidth,
+        ),
         ("shortest-hop", RoutePolicy::ShortestHop),
     ] {
         let p = router.gcd_route(a, b, policy);

@@ -86,7 +86,11 @@ fn mpi_and_rccl_agree_on_allreduce_results() {
             let s = hip.malloc(bytes).unwrap();
             let d = hip.malloc(bytes).unwrap();
             hip.mem_mut()
-                .write_f32s(s, 0, &(0..elems).map(|i| (i + r) as f32).collect::<Vec<_>>())
+                .write_f32s(
+                    s,
+                    0,
+                    &(0..elems).map(|i| (i + r) as f32).collect::<Vec<_>>(),
+                )
                 .unwrap();
             send.push(s);
             recv.push(d);
@@ -102,7 +106,10 @@ fn mpi_and_rccl_agree_on_allreduce_results() {
                 .unwrap()
         };
         (
-            hip.mem().read_f32s(bufs.recv[0], 0, elems).unwrap().unwrap(),
+            hip.mem()
+                .read_f32s(bufs.recv[0], 0, elems)
+                .unwrap()
+                .unwrap(),
             dur.as_us(),
         )
     };

@@ -5,6 +5,7 @@
 //! living-documentation counterpart of EXPERIMENTS.md: if a recalibration
 //! or model change breaks a finding, the failing test names the sentence.
 
+use ifsim::coll::Collective;
 use ifsim::des::units::{GIB, MIB};
 use ifsim::microbench::comm_scope::{h2d_bandwidth, numa_to_gpu_matrix, H2dInterface};
 use ifsim::microbench::p2p_matrix::{bandwidth_matrix, latency_matrix};
@@ -12,7 +13,6 @@ use ifsim::microbench::stream::{
     direct_p2p_unidirectional, local_stream, multi_gpu_host_stream, peer_stream_peaks,
 };
 use ifsim::microbench::{osu, rccl_tests, BenchConfig};
-use ifsim::coll::Collective;
 
 fn cfg() -> BenchConfig {
     let mut c = BenchConfig::quick();
@@ -85,7 +85,11 @@ fn claim_4c_only_the_spread_strategy_scales_correctly() {
     let one = multi_gpu_host_stream(&c, &[0], 64 * MIB);
     let same = multi_gpu_host_stream(&c, &[0, 1], 64 * MIB);
     let spread = multi_gpu_host_stream(&c, &[0, 2], 64 * MIB);
-    assert!((spread / one - 2.0).abs() < 0.15, "spread doubles: {}", spread / one);
+    assert!(
+        (spread / one - 2.0).abs() < 0.15,
+        "spread doubles: {}",
+        spread / one
+    );
     assert!(same / one < 1.1, "same GPU does not: {}", same / one);
 }
 
@@ -105,8 +109,16 @@ fn claim_4c_using_eight_gcds_does_not_improve_over_four() {
 fn claim_5a1_the_measured_latency_varies_within_8_7_to_18_2_us() {
     // "The measured latency varies within 8.7-18.2 µs."
     let m = latency_matrix(&cfg());
-    assert!((m.min_off_diagonal() - 8.7).abs() < 0.4, "{}", m.min_off_diagonal());
-    assert!((m.max_off_diagonal() - 18.2).abs() < 0.6, "{}", m.max_off_diagonal());
+    assert!(
+        (m.min_off_diagonal() - 8.7).abs() < 0.4,
+        "{}",
+        m.min_off_diagonal()
+    );
+    assert!(
+        (m.max_off_diagonal() - 18.2).abs() < 0.6,
+        "{}",
+        m.max_off_diagonal()
+    );
 }
 
 #[test]
@@ -279,7 +291,11 @@ fn claim_6_latency_drops_from_7_to_8_threads_for_rooted_and_allreduce() {
     // "for Reduce, Broadcast, and AllReduce collectives, the latency drops
     //  when increasing from 7 to 8 threads"
     let c = cfg();
-    for coll in [Collective::Reduce, Collective::Broadcast, Collective::AllReduce] {
+    for coll in [
+        Collective::Reduce,
+        Collective::Broadcast,
+        Collective::AllReduce,
+    ] {
         let at7 = rccl_tests::rccl_collective_latency(&c, coll, 7, MIB);
         let at8 = rccl_tests::rccl_collective_latency(&c, coll, 8, MIB);
         assert!(at8 < at7, "{}: {at7} -> {at8}", coll.name());
