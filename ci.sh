@@ -16,4 +16,15 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> telemetry smoke: exp ext-fault-link-down --trace-out/--metrics-out + lint"
+cargo build --release -p ifsim-bench
+TELEMETRY_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP"' EXIT
+./target/release/mgpu-bench exp ext-fault-link-down --reps 1 \
+    --trace-out "$TELEMETRY_TMP/trace.json" \
+    --metrics-out "$TELEMETRY_TMP/metrics.json" > /dev/null
+./target/release/telemetry-lint \
+    --trace "$TELEMETRY_TMP/trace.json" \
+    --metrics "$TELEMETRY_TMP/metrics.json"
+
 echo "CI green."

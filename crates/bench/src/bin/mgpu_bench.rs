@@ -12,9 +12,13 @@
 //! mgpu-bench osu-coll --coll allreduce --ranks N [--size BYTES]
 //! mgpu-bench rccl --coll allreduce --ranks N [--size BYTES]
 //! mgpu-bench doctor [--derate A,B,F]     link health probe
+//! mgpu-bench exp <id>                    run one registry experiment
 //! ```
 //!
-//! Global options: `--seed <u64>`, `--reps <n>`.
+//! Global options: `--seed <u64>`, `--reps <n>`, and the telemetry pair
+//! `--trace-out <file>` / `--metrics-out <file>`, which observe whatever
+//! command runs and write the merged Chrome trace-event timeline and the
+//! metrics snapshot (see docs/OBSERVABILITY.md).
 
 use ifsim_core::coll::Collective;
 use ifsim_core::des::units::{fmt_bytes, pow2_sweep, GIB, KIB, MIB};
@@ -22,10 +26,14 @@ use ifsim_core::hip::{EnvConfig, GcdId};
 use ifsim_core::microbench::{
     comm_scope, doctor, osu, p2p_matrix, rccl_tests, report, stream, BenchConfig,
 };
+use ifsim_core::registry;
+use ifsim_core::telemetry::Collector;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Cli {
     cmd: String,
+    arg: Option<String>,
     cfg: BenchConfig,
     size: Option<u64>,
     devices: Vec<usize>,
@@ -35,14 +43,16 @@ struct Cli {
     no_sdma: bool,
     p2p_mode: &'static str,
     derate: Option<(u8, u8, f64)>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mgpu-bench <h2d|stream|p2p|osu-bw|osu-latency|osu-coll|rccl|doctor> [options]\n\
+        "usage: mgpu-bench <h2d|stream|p2p|osu-bw|osu-latency|osu-coll|rccl|doctor|exp> [options]\n\
          run `mgpu-bench <cmd> --help` conventions: --size BYTES --devices LIST --dst N\n\
          --ranks N --coll NAME --no-sdma --latency/--bandwidth/--bidir --derate A,B,F\n\
-         --seed U64 --reps N"
+         --seed U64 --reps N --trace-out FILE --metrics-out FILE"
     );
     std::process::exit(2)
 }
@@ -66,6 +76,7 @@ fn parse() -> Cli {
     let Some(cmd) = args.next() else { usage() };
     let mut cli = Cli {
         cmd,
+        arg: None,
         cfg: BenchConfig::quick(),
         size: None,
         devices: (0..8).collect(),
@@ -75,6 +86,8 @@ fn parse() -> Cli {
         no_sdma: false,
         p2p_mode: "bandwidth",
         derate: None,
+        trace_out: None,
+        metrics_out: None,
     };
     while let Some(a) = args.next() {
         let mut next = |name: &str| {
@@ -112,7 +125,12 @@ fn parse() -> Cli {
                     parts[2].parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(next("--trace-out"))),
+            "--metrics-out" => cli.metrics_out = Some(PathBuf::from(next("--metrics-out"))),
             "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && cli.arg.is_none() => {
+                cli.arg = Some(other.to_string())
+            }
             other => {
                 eprintln!("unknown option {other}");
                 usage()
@@ -124,6 +142,29 @@ fn parse() -> Cli {
 
 fn main() -> ExitCode {
     let cli = parse();
+    // With a telemetry artifact requested, every runtime the dispatched
+    // command constructs self-observes and feeds this collector.
+    let collector = (cli.trace_out.is_some() || cli.metrics_out.is_some()).then(Collector::install);
+    let code = dispatch(&cli);
+    if let Some(collector) = collector {
+        let t = collector.take();
+        if let Some(path) = &cli.trace_out {
+            if let Err(e) = std::fs::write(path, t.chrome_trace_string()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &cli.metrics_out {
+            if let Err(e) = std::fs::write(path, t.metrics_json_string()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
+fn dispatch(cli: &Cli) -> ExitCode {
     match cli.cmd.as_str() {
         "h2d" => {
             let sizes = match cli.size {
@@ -215,6 +256,24 @@ fn main() -> ExitCode {
             let health = doctor::probe_links(&mut hip, cli.size.unwrap_or(64 * MIB));
             print!("{}", doctor::render_report(&health, 0.1));
             if health.iter().any(|h| !h.healthy(0.1)) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "exp" => {
+            let Some(id) = cli.arg.as_deref() else {
+                eprintln!("exp needs an experiment id; see `repro --list`");
+                return ExitCode::from(2);
+            };
+            let Some(exp) = registry::by_id(id) else {
+                eprintln!(
+                    "unknown experiment '{id}'; available: {}",
+                    registry::ids().join(", ")
+                );
+                return ExitCode::from(2);
+            };
+            let r = exp.run(&cli.cfg);
+            print!("{}", r.report());
+            if !r.all_passed() {
                 return ExitCode::FAILURE;
             }
         }

@@ -8,11 +8,15 @@
 //!   --quick          2 repetitions, no warmup (smoke run)
 //!   --seed <u64>     jitter seed (default 0xC0FFEE)
 //!   --reps <n>       measured repetitions per point
-//!   --csv <dir>      write CSV artifacts into <dir>
+//!   --csv <dir>      write CSV artifacts into <dir> (plus one
+//!                    <id>.metrics.json telemetry snapshot per experiment)
+//!   --trace-out <f>  write the merged Chrome trace-event timeline to <f>
+//!   --metrics-out <f> write the merged metrics snapshot (JSON) to <f>
 //!   --list           list experiments and exit
 //! ```
 
-use ifsim_bench::{run_experiments, BenchConfig};
+use ifsim_bench::telemetry::{json, CollectedTelemetry};
+use ifsim_bench::{run_experiments, run_experiments_instrumented, BenchConfig};
 use ifsim_core::registry;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,6 +25,8 @@ struct Args {
     ids: Vec<String>,
     cfg: BenchConfig,
     csv_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     list: bool,
 }
 
@@ -29,6 +35,8 @@ fn parse_args() -> Result<Args, String> {
         ids: Vec::new(),
         cfg: BenchConfig::default(),
         csv_dir: None,
+        trace_out: None,
+        metrics_out: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -48,9 +56,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--csv needs a directory")?;
                 args.csv_dir = Some(PathBuf::from(v));
             }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a file")?;
+                args.trace_out = Some(PathBuf::from(v));
+            }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a file")?;
+                args.metrics_out = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] [--list] [IDS...]"
+                    "usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] \
+                     [--trace-out FILE] [--metrics-out FILE] [--list] [IDS...]"
                 );
                 println!("experiments: {}", registry::ids().join(", "));
                 std::process::exit(0);
@@ -84,11 +101,26 @@ fn main() -> ExitCode {
         "ifsim repro — seed {:#x}, {} reps + {} warmup\n",
         args.cfg.seed, args.cfg.reps, args.cfg.warmup
     );
-    let results = run_experiments(&args.ids, &args.cfg);
+    // Instrument as soon as any telemetry artifact is requested: the merged
+    // trace/metrics files, or the per-experiment snapshots beside the CSVs.
+    let instrument =
+        args.trace_out.is_some() || args.metrics_out.is_some() || args.csv_dir.is_some();
+    let results: Vec<(ifsim_bench::ExperimentResult, Option<CollectedTelemetry>)> = if instrument {
+        run_experiments_instrumented(&args.ids, &args.cfg)
+            .into_iter()
+            .map(|(r, t)| (r, Some(t)))
+            .collect()
+    } else {
+        run_experiments(&args.ids, &args.cfg)
+            .into_iter()
+            .map(|r| (r, None))
+            .collect()
+    };
 
     let mut failed = 0usize;
     let mut total_checks = 0usize;
-    for r in &results {
+    let mut merged = CollectedTelemetry::new();
+    for (r, telemetry) in results.iter() {
         println!("{}", r.report());
         total_checks += r.checks.len();
         failed += r.checks.iter().filter(|c| !c.passed).count();
@@ -104,6 +136,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            if let Some(t) = telemetry {
+                let path = dir.join(format!("{}.metrics.json", r.id));
+                let text = json::to_string_pretty(&t.metrics_json_labeled(r.id));
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(t) = telemetry {
+            merged.absorb(t.clone());
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, merged.chrome_trace_string()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, merged.metrics_json_string()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
 

@@ -1,0 +1,143 @@
+//! `telemetry-lint` — schema smoke test for the telemetry artifacts that
+//! `repro` and `mgpu-bench` emit via `--trace-out` / `--metrics-out`.
+//!
+//! ```text
+//! telemetry-lint [--trace FILE] [--metrics FILE]
+//! ```
+//!
+//! Validates structure only, no golden values: the trace must be Chrome
+//! trace-event JSON (a `traceEvents` array whose records all carry
+//! name/ph/ts/pid/tid, with `dur` on complete spans and `args.name` on
+//! metadata records), and the metrics snapshot must hold counter/gauge
+//! arrays plus histograms carrying count/sum/min/max/mean/p50/p95/p99.
+//! Exit code 0 when every given file passes, 1 otherwise.
+
+use ifsim_core::telemetry::json::{self, Value};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn load(path: &PathBuf) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json::from_str(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+fn lint_trace(v: &Value) -> Result<usize, String> {
+    let events = v
+        .get("traceEvents")
+        .and_then(|t| t.as_array())
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        for field in ["name", "ph", "ts", "pid", "tid"] {
+            if ev.get(field).is_none() {
+                return Err(format!("event #{i} missing {field}: {ev:?}"));
+            }
+        }
+        match ev.get("ph").and_then(|p| p.as_str()) {
+            Some("X") => {
+                if ev.get("dur").is_none() {
+                    return Err(format!("complete span #{i} missing dur"));
+                }
+            }
+            Some("i") | Some("M") => {
+                if ev.get("ph").and_then(|p| p.as_str()) == Some("M")
+                    && ev.get("args").and_then(|a| a.get("name")).is_none()
+                {
+                    return Err(format!("metadata record #{i} missing args.name"));
+                }
+            }
+            other => return Err(format!("event #{i} has unexpected phase {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+fn lint_metrics(v: &Value) -> Result<usize, String> {
+    // Accept both the bare registry snapshot and the per-experiment
+    // `{id, metrics}` wrapper.
+    let root = v.get("metrics").unwrap_or(v);
+    let mut entries = 0usize;
+    for section in ["counters", "gauges"] {
+        let items = root
+            .get(section)
+            .and_then(|s| s.as_array())
+            .ok_or_else(|| format!("missing {section} array"))?;
+        for (i, item) in items.iter().enumerate() {
+            for field in ["name", "labels", "value"] {
+                if item.get(field).is_none() {
+                    return Err(format!("{section} #{i} missing {field}: {item:?}"));
+                }
+            }
+        }
+        entries += items.len();
+    }
+    let hists = root
+        .get("histograms")
+        .and_then(|s| s.as_array())
+        .ok_or("missing histograms array")?;
+    for (i, item) in hists.iter().enumerate() {
+        for field in [
+            "name", "labels", "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        ] {
+            if item.get(field).is_none() {
+                return Err(format!("histogram #{i} missing {field}: {item:?}"));
+            }
+        }
+    }
+    entries += hists.len();
+    if entries == 0 {
+        return Err("metrics snapshot is empty".into());
+    }
+    Ok(entries)
+}
+
+fn main() -> ExitCode {
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace = it.next().map(PathBuf::from),
+            "--metrics" => metrics = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: telemetry-lint [--trace FILE] [--metrics FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if trace.is_none() && metrics.is_none() {
+        eprintln!("nothing to lint: pass --trace and/or --metrics");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    if let Some(path) = trace {
+        match load(&path).and_then(|v| lint_trace(&v)) {
+            Ok(n) => println!("trace   OK: {} — {n} events", path.display()),
+            Err(e) => {
+                eprintln!("trace   FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = metrics {
+        match load(&path).and_then(|v| lint_metrics(&v)) {
+            Ok(n) => println!("metrics OK: {} — {n} entries", path.display()),
+            Err(e) => {
+                eprintln!("metrics FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -11,27 +11,42 @@
 //!   per-figure end-to-end runs (`figures`), hot components (`components`),
 //!   and the design-choice ablations called out in DESIGN.md (`ablations`).
 
+pub use ifsim_core::telemetry;
 pub use ifsim_core::{registry, BenchConfig, Experiment, ExperimentResult};
+
+fn select(ids: &[String]) -> Vec<Experiment> {
+    if ids.is_empty() {
+        return registry::all();
+    }
+    ids.iter()
+        .map(|id| {
+            registry::by_id(id).unwrap_or_else(|| {
+                panic!(
+                    "unknown experiment '{id}'; available: {}",
+                    registry::ids().join(", ")
+                )
+            })
+        })
+        .collect()
+}
 
 /// Run a list of experiment ids (or all when empty), returning results in
 /// registry order. Unknown ids panic with the available set listed.
 pub fn run_experiments(ids: &[String], cfg: &BenchConfig) -> Vec<ExperimentResult> {
-    let all = registry::all();
-    let selected: Vec<&Experiment> = if ids.is_empty() {
-        all.iter().collect()
-    } else {
-        ids.iter()
-            .map(|id| {
-                all.iter().find(|e| e.id == id).unwrap_or_else(|| {
-                    panic!(
-                        "unknown experiment '{id}'; available: {}",
-                        registry::ids().join(", ")
-                    )
-                })
-            })
-            .collect()
-    };
-    selected.iter().map(|e| e.run(cfg)).collect()
+    select(ids).iter().map(|e| e.run(cfg)).collect()
+}
+
+/// As [`run_experiments`], but each experiment runs under its own telemetry
+/// collector; every result comes back paired with the merged timeline and
+/// metrics of the simulators the experiment constructed.
+pub fn run_experiments_instrumented(
+    ids: &[String],
+    cfg: &BenchConfig,
+) -> Vec<(ExperimentResult, telemetry::CollectedTelemetry)> {
+    select(ids)
+        .iter()
+        .map(|e| e.run_instrumented(cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -52,5 +67,17 @@ mod tests {
     fn unknown_id_panics_with_listing() {
         let cfg = BenchConfig::quick();
         let _ = run_experiments(&["fig99".into()], &cfg);
+    }
+
+    #[test]
+    fn instrumented_run_pairs_results_with_telemetry() {
+        let mut cfg = BenchConfig::quick();
+        cfg.reps = 1;
+        let pairs = run_experiments_instrumented(&["fig6b".into()], &cfg);
+        assert_eq!(pairs.len(), 1);
+        let (r, t) = &pairs[0];
+        assert_eq!(r.id, "fig6b");
+        assert!(t.sims() > 0, "the experiment's runtimes were observed");
+        assert!(t.events().iter().any(|e| e.cat == "hip_op"));
     }
 }

@@ -93,3 +93,134 @@ fn mgpu_bench_usage_on_no_command() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_telemetry-lint"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ifsim-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn mgpu_bench_exp_runs_a_registry_experiment_with_telemetry() {
+    let dir = temp_dir("exp");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+    let out = mgpu()
+        .args(["exp", "ext-fault-link-down", "--reps", "1"])
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("run mgpu-bench exp");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ext-fault-link-down"));
+    // The fault experiment's trace carries hip ops, fabric flows, and the
+    // injected fault marker; the metrics carry per-link byte counters.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    for needle in ["hip_op", "fabric_flow", "\"fault\""] {
+        assert!(trace_text.contains(needle), "trace missing {needle}");
+    }
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    for needle in ["fabric_link_wire_bytes", "hip_op_duration_ns", "p99"] {
+        assert!(metrics_text.contains(needle), "metrics missing {needle}");
+    }
+    // And both pass the lint.
+    let ok = lint()
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("run telemetry-lint");
+    assert!(
+        ok.status.success(),
+        "lint failed: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mgpu_bench_exp_rejects_unknown_ids() {
+    let out = mgpu()
+        .args(["exp", "fig99"])
+        .output()
+        .expect("run mgpu-bench exp");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn repro_emits_telemetry_artifacts_next_to_csv() {
+    let dir = temp_dir("repro-telemetry");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+    let out = repro()
+        .args(["--quick", "--reps", "1"])
+        .arg("--csv")
+        .arg(&dir)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("fig6b")
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    // Per-experiment snapshot beside the CSV, plus the merged artifacts.
+    let labeled = std::fs::read_to_string(dir.join("fig6b.metrics.json")).expect("snapshot");
+    assert!(labeled.contains("\"fig6b\""));
+    assert!(labeled.contains("hip_op_duration_ns"));
+    assert!(std::fs::read_to_string(&trace)
+        .expect("trace")
+        .contains("traceEvents"));
+    let ok = lint()
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("run telemetry-lint");
+    assert!(
+        ok.status.success(),
+        "lint failed: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_lint_rejects_malformed_artifacts() {
+    let dir = temp_dir("lint");
+    let bad_trace = dir.join("bad-trace.json");
+    std::fs::write(&bad_trace, r#"{"traceEvents":[{"ph":"X"}]}"#).unwrap();
+    let out = lint()
+        .arg("--trace")
+        .arg(&bad_trace)
+        .output()
+        .expect("lint");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing name"));
+    let bad_metrics = dir.join("bad-metrics.json");
+    std::fs::write(&bad_metrics, r#"{"counters":[]}"#).unwrap();
+    let out = lint()
+        .arg("--metrics")
+        .arg(&bad_metrics)
+        .output()
+        .expect("lint");
+    assert!(!out.status.success());
+    // Nothing to lint at all is a usage error.
+    let out = lint().output().expect("lint");
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -93,6 +93,18 @@ impl Experiment {
     pub fn run(&self, cfg: &BenchConfig) -> ExperimentResult {
         (self.runner)(cfg)
     }
+
+    /// Run it under an installed telemetry collector: every simulator the
+    /// benchmarks construct self-observes, and the merged timeline plus
+    /// metrics snapshot come back alongside the result.
+    pub fn run_instrumented(
+        &self,
+        cfg: &BenchConfig,
+    ) -> (ExperimentResult, ifsim_telemetry::CollectedTelemetry) {
+        let collector = ifsim_telemetry::Collector::install();
+        let result = (self.runner)(cfg);
+        (result, collector.take())
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +119,37 @@ mod tests {
             csv: vec![],
             checks: vec![Check::new("a", true, "ok"), Check::new("b", false, "off")],
         }
+    }
+
+    #[test]
+    fn run_instrumented_captures_the_benchmark_runtimes() {
+        fn runner(cfg: &BenchConfig) -> ExperimentResult {
+            let mut hip = cfg.runtime(ifsim_hip::EnvConfig::default());
+            let a = hip.malloc(1 << 20).unwrap();
+            let b = hip.malloc(1 << 20).unwrap();
+            hip.memcpy(b, 0, a, 0, 1 << 20, ifsim_hip::MemcpyKind::DeviceToDevice)
+                .unwrap();
+            ExperimentResult {
+                id: "probe",
+                title: "probe",
+                rendered: String::new(),
+                csv: vec![],
+                checks: vec![],
+            }
+        }
+        let e = Experiment::new("probe", "probe", "d", runner);
+        let (r, t) = e.run_instrumented(&BenchConfig::quick());
+        assert!(r.all_passed());
+        assert_eq!(t.sims(), 1, "one runtime contributed a snapshot");
+        assert!(t.events().iter().any(|e| e.cat == "hip_op"));
+        assert!(t
+            .metrics()
+            .histogram(
+                &ifsim_telemetry::MetricKey::new("hip_op_duration_ns")
+                    .with("op", "memcpy")
+                    .with("dev", "0")
+            )
+            .is_some());
     }
 
     #[test]

@@ -8,7 +8,8 @@ use ifsim_hip::{Calibration, EnvConfig, HipSim, KernelSpec, NodeTopology};
 use ifsim_microbench::comm_scope::d2h_sweep;
 use ifsim_microbench::p2p_matrix::bandwidth_matrix_bidir;
 use ifsim_microbench::report::{
-    render_matrix_csv, render_series_csv, render_series_table, render_series_table_counts, Series,
+    render_matrix_csv, render_series_csv, render_series_table, render_series_table_counts,
+    render_summary_table, Series,
 };
 use ifsim_microbench::{rccl_tests, BenchConfig};
 use std::fmt::Write as _;
@@ -72,12 +73,42 @@ pub fn ext_bidir(cfg: &BenchConfig) -> ExperimentResult {
 /// ranks — the axis the paper fixes at 1 MiB.
 pub fn ext_coll_sweep(cfg: &BenchConfig) -> ExperimentResult {
     let sizes: Vec<u64> = [64 * 1024, 256 * 1024, MIB, 4 * MIB, 16 * MIB, 64 * MIB].into();
-    let s = rccl_tests::rccl_latency_vs_size(cfg, ifsim_coll::Collective::AllReduce, 8, &sizes);
-    let rendered = render_series_table(
+    // One distribution per size; the mean series (identical to what
+    // `rccl_latency_vs_size` reports) feeds the checks, the full summaries
+    // feed the percentile table.
+    let dists: Vec<(u64, ifsim_des::Summary)> = sizes
+        .iter()
+        .map(|&bytes| {
+            (
+                bytes,
+                rccl_tests::rccl_collective_latency_dist(
+                    cfg,
+                    ifsim_coll::Collective::AllReduce,
+                    8,
+                    bytes,
+                ),
+            )
+        })
+        .collect();
+    let mut s = Series::new("RCCL AllReduce (8 ranks)", "us");
+    for &(bytes, d) in &dists {
+        s.push(bytes, d.mean);
+    }
+    let mut rendered = render_series_table(
         "RCCL AllReduce latency vs message size",
         "size",
         std::slice::from_ref(&s),
     );
+    rendered.push('\n');
+    let rows: Vec<(String, ifsim_des::Summary)> = dists
+        .iter()
+        .map(|&(bytes, d)| (ifsim_des::units::fmt_bytes(bytes), d))
+        .collect();
+    rendered.push_str(&render_summary_table(
+        "RCCL AllReduce latency distribution",
+        "us",
+        &rows,
+    ));
     let small = s.at(64 * 1024).unwrap();
     let big = s.at(64 * MIB).unwrap();
     let checks = vec![
@@ -232,9 +263,16 @@ mod tests {
     }
 
     #[test]
-    fn ext_coll_sweep_passes() {
+    fn ext_coll_sweep_passes_and_reports_percentiles() {
         let r = ext_coll_sweep(&cfg());
         assert!(r.all_passed(), "{}", r.report());
+        for col in ["p50", "p95", "p99"] {
+            assert!(
+                r.rendered.contains(col),
+                "distribution table carries {col}:\n{}",
+                r.rendered
+            );
+        }
     }
 
     #[test]

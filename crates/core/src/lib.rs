@@ -35,4 +35,5 @@ pub use ifsim_fabric as fabric;
 pub use ifsim_hip as hip;
 pub use ifsim_memory as memory;
 pub use ifsim_microbench as microbench;
+pub use ifsim_telemetry as telemetry;
 pub use ifsim_topology as topology;

@@ -35,6 +35,7 @@ pub mod calib;
 pub mod fairshare;
 pub mod fault;
 pub mod flow;
+pub mod flowlog;
 pub mod latency;
 pub mod net;
 pub mod seg;
@@ -42,5 +43,6 @@ pub mod seg;
 pub use calib::Calibration;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use flow::{FlowId, FlowSpec};
-pub use net::FlowNet;
+pub use flowlog::{FlowEvent, FlowEventKind, FlowLog};
+pub use net::{FlowNet, LinkLoad};
 pub use seg::{Dir, SegId, SegmentMap};

@@ -18,8 +18,10 @@
 
 use crate::fairshare::{max_min_rates, FlowInput};
 use crate::flow::{FlowId, FlowSpec};
-use crate::seg::SegmentMap;
+use crate::flowlog::{FlowEvent, FlowEventKind, FlowLog};
+use crate::seg::{Dir, SegmentMap};
 use ifsim_des::{Dur, Time};
+use ifsim_topology::LinkId;
 use std::collections::BTreeMap;
 
 struct Active {
@@ -27,6 +29,25 @@ struct Active {
     delivered: f64,
     /// Current payload rate (bytes/s) from the latest recompute.
     rate: f64,
+}
+
+/// Telemetry summary of one directed link segment over a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkLoad {
+    /// The topology link.
+    pub link: LinkId,
+    /// Traversal direction of this row.
+    pub dir: Dir,
+    /// Diagnostic label (`Gcd(0)->Gcd(1)`).
+    pub label: String,
+    /// Whether the link is xGMI (GPU–GPU) as opposed to CPU/NUMA fabric.
+    pub xgmi: bool,
+    /// Cumulative wire bytes carried in this direction.
+    pub wire_bytes: f64,
+    /// Nanoseconds during which at least one flow traversed the segment.
+    pub busy_ns: f64,
+    /// Mean utilization over `[0, now]` (carried / capacity × elapsed).
+    pub utilization: f64,
 }
 
 /// Fluid network state. See module docs for the driving protocol.
@@ -38,6 +59,16 @@ pub struct FlowNet {
     recomputes: u64,
     /// Cumulative wire bytes carried per segment (utilization accounting).
     seg_bytes: Vec<f64>,
+    /// Nanoseconds each segment spent with ≥ 1 active flow crossing it.
+    seg_busy_ns: Vec<f64>,
+    /// Scratch generation stamps so one `advance_to` interval charges each
+    /// busy segment exactly once however many flows cross it.
+    busy_mark: Vec<u64>,
+    busy_gen: u64,
+    /// High-water mark of concurrently active flows.
+    peak_active: usize,
+    /// Lifecycle event stream (disabled by default).
+    log: FlowLog,
 }
 
 impl FlowNet {
@@ -51,7 +82,58 @@ impl FlowNet {
             next_id: 0,
             recomputes: 0,
             seg_bytes: vec![0.0; n],
+            seg_busy_ns: vec![0.0; n],
+            busy_mark: vec![0; n],
+            busy_gen: 0,
+            peak_active: 0,
+            log: FlowLog::default(),
         }
+    }
+
+    /// Start recording flow lifecycle events (created / completed / aborted
+    /// / rerouted). Off by default: disabled, the log costs one branch per
+    /// transition and never allocates.
+    pub fn enable_flow_log(&mut self) {
+        self.log.enable();
+    }
+
+    /// The lifecycle event stream recorded so far.
+    pub fn flow_log(&self) -> &FlowLog {
+        &self.log
+    }
+
+    /// Mutable access to the lifecycle log, for layers above the fabric to
+    /// append context the network cannot know (e.g. the runtime's reroute
+    /// notes after a fault-aborted op is re-planned).
+    pub fn flow_log_mut(&mut self) -> &mut FlowLog {
+        &mut self.log
+    }
+
+    /// High-water mark of concurrently active flows since construction.
+    pub fn peak_active_flows(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Nanoseconds a segment spent with at least one flow crossing it.
+    pub fn seg_busy_ns(&self, seg: crate::seg::SegId) -> f64 {
+        self.seg_busy_ns[seg.idx()]
+    }
+
+    /// Per-direction load summary of every topology link, ordered by
+    /// `(link, direction)`: wire bytes, busy time, mean utilization.
+    pub fn link_loads(&self) -> Vec<LinkLoad> {
+        self.segmap
+            .dir_segments()
+            .map(|(link, dir, seg)| LinkLoad {
+                link,
+                dir,
+                label: self.segmap.label(seg).to_string(),
+                xgmi: self.segmap.is_xgmi(link),
+                wire_bytes: self.seg_bytes[seg.idx()],
+                busy_ns: self.seg_busy_ns[seg.idx()],
+                utilization: self.seg_utilization(seg),
+            })
+            .collect()
     }
 
     /// The segment map this network runs over.
@@ -118,6 +200,17 @@ impl FlowNet {
             })
             .collect();
         if !aborted.is_empty() {
+            if self.log.is_enabled() {
+                for &(id, delivered) in &aborted {
+                    self.log.push(FlowEvent {
+                        at: self.now,
+                        flow: id,
+                        kind: FlowEventKind::Aborted {
+                            delivered_bytes: delivered,
+                        },
+                    });
+                }
+            }
             self.recompute();
         }
         aborted
@@ -166,6 +259,20 @@ impl FlowNet {
         }
         let id = FlowId(self.next_id);
         self.next_id += 1;
+        // Build the route string only when the log is live — the segment
+        // labels exist for exactly this purpose, and the disabled path must
+        // not allocate.
+        let created = self.log.is_enabled().then(|| {
+            let route: Vec<&str> = spec.segs.iter().map(|&s| self.segmap.label(s)).collect();
+            FlowEvent {
+                at: self.now,
+                flow: id,
+                kind: FlowEventKind::Created {
+                    payload_bytes: spec.payload_bytes,
+                    route: route.join(" + "),
+                },
+            }
+        });
         self.flows.insert(
             id,
             Active {
@@ -174,6 +281,10 @@ impl FlowNet {
                 rate: 0.0,
             },
         );
+        self.peak_active = self.peak_active.max(self.flows.len());
+        if let Some(ev) = created {
+            self.log.push(ev);
+        }
         self.recompute();
         id
     }
@@ -210,6 +321,9 @@ impl FlowNet {
         }
         let dt = (t - self.now).as_secs();
         if dt > 0.0 {
+            let dt_ns = (t - self.now).as_ns();
+            self.busy_gen += 1;
+            let gen = self.busy_gen;
             for f in self.flows.values_mut() {
                 f.delivered = (f.delivered + f.rate * dt).min(f.spec.payload_bytes);
                 // Wire bytes = payload / efficiency, charged to every
@@ -217,6 +331,12 @@ impl FlowNet {
                 let wire = f.rate * dt / f.spec.efficiency;
                 for s in &f.spec.segs {
                     self.seg_bytes[s.idx()] += wire;
+                    // Busy time: charge each segment at most once per
+                    // interval, no matter how many flows cross it.
+                    if self.busy_mark[s.idx()] != gen {
+                        self.busy_mark[s.idx()] = gen;
+                        self.seg_busy_ns[s.idx()] += dt_ns;
+                    }
                 }
             }
         }
@@ -251,6 +371,13 @@ impl FlowNet {
             f.delivered,
             f.spec.payload_bytes
         );
+        self.log.push_with(|| FlowEvent {
+            at: t,
+            flow: id,
+            kind: FlowEventKind::Completed {
+                delivered_bytes: f.delivered,
+            },
+        });
         self.recompute();
         Some((t, id))
     }
@@ -258,6 +385,14 @@ impl FlowNet {
     /// Cancel a flow (used for failure-injection tests); returns delivered bytes.
     pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
         let f = self.flows.remove(&id)?;
+        let now = self.now;
+        self.log.push_with(|| FlowEvent {
+            at: now,
+            flow: id,
+            kind: FlowEventKind::Aborted {
+                delivered_bytes: f.delivered,
+            },
+        });
         self.recompute();
         Some(f.delivered)
     }
@@ -559,6 +694,102 @@ mod tests {
         let other = n.segmap().hbm_seg(GcdId(7));
         assert_eq!(n.seg_wire_bytes(other), 0.0);
         assert_eq!(n.seg_utilization(other), 0.0);
+    }
+
+    #[test]
+    fn flow_log_records_full_lifecycle_with_route() {
+        use crate::flowlog::FlowEventKind;
+        let (t, r, mut n) = net();
+        n.enable_flow_log();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let lid = r
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .links[0];
+        let done = n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 1e6, 1.0));
+        n.complete_next().unwrap();
+        let doomed = n.add_flow(n.now(), FlowSpec::new(segs, 1e9, 1.0));
+        let aborted = n.fail_link(lid);
+        assert_eq!(aborted.len(), 1);
+        let log = n.flow_log();
+        assert_eq!(log.count("created"), 2);
+        assert_eq!(log.count("completed"), 1);
+        assert_eq!(log.count("aborted"), 1);
+        let created = &log.events()[0];
+        assert_eq!(created.flow, done);
+        match &created.kind {
+            FlowEventKind::Created {
+                payload_bytes,
+                route,
+            } => {
+                assert_eq!(*payload_bytes, 1e6);
+                assert!(route.contains("GCD"), "route labels segments: {route}");
+            }
+            other => panic!("expected Created, got {other:?}"),
+        }
+        let abort_ev = log
+            .events()
+            .iter()
+            .find(|e| e.kind.tag() == "aborted")
+            .unwrap();
+        assert_eq!(abort_ev.flow, doomed);
+    }
+
+    #[test]
+    fn disabled_flow_log_stays_empty() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 1.0));
+        n.complete_next().unwrap();
+        assert!(n.flow_log().events().is_empty());
+    }
+
+    #[test]
+    fn busy_time_counts_overlap_once() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let seg = segs[0];
+        // Two equal flows share the link: both cross `seg`, but busy time
+        // must count wall-clock, not flow-seconds.
+        n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 1e9, 1.0));
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        n.complete_next().unwrap();
+        n.complete_next().unwrap();
+        // 2 GB total through a 50 GB/s link = 40 ms busy.
+        assert!(
+            (n.seg_busy_ns(seg) - 40e6).abs() < 1.0,
+            "busy {} ns",
+            n.seg_busy_ns(seg)
+        );
+        assert_eq!(n.peak_active_flows(), 2);
+        // Idle time afterwards does not accrue.
+        n.advance_to(Time::from_ns(100e6));
+        assert!((n.seg_busy_ns(seg) - 40e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_loads_cover_every_direction_and_report_traffic() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let lid = r
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .links[0];
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        n.complete_next().unwrap();
+        let loads = n.link_loads();
+        // One row per direction of every topology link.
+        assert_eq!(loads.len(), t.links().len() * 2);
+        let hot: Vec<_> = loads.iter().filter(|l| l.wire_bytes > 0.0).collect();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].link, lid);
+        assert!(hot[0].xgmi);
+        assert!((hot[0].utilization - 1.0).abs() < 1e-9);
+        assert!(hot[0].busy_ns > 0.0);
+        assert!(hot[0].label.contains("GCD"));
+        // Idle rows stay zeroed.
+        assert!(loads
+            .iter()
+            .filter(|l| l.link != lid)
+            .all(|l| l.wire_bytes == 0.0 && l.utilization == 0.0));
     }
 
     #[test]

@@ -211,6 +211,17 @@ impl SegmentMap {
         self.duplex_segs.get(&link).copied()
     }
 
+    /// Whether a link is xGMI (equivalently: has a duplex pool).
+    pub fn is_xgmi(&self, link: LinkId) -> bool {
+        self.duplex_segs.contains_key(&link)
+    }
+
+    /// All directed link segments, ordered by `(link, direction)` — the
+    /// iteration backbone for per-link telemetry and heatmaps.
+    pub fn dir_segments(&self) -> impl Iterator<Item = (LinkId, Dir, SegId)> + '_ {
+        self.dir_segs.iter().map(|(&(l, d), &s)| (l, d, s))
+    }
+
     /// The HBM segment of a GCD.
     pub fn hbm_seg(&self, gcd: GcdId) -> SegId {
         self.hbm_segs[&gcd]

@@ -46,6 +46,7 @@ pub mod op;
 pub mod plan;
 pub mod runtime;
 pub mod stream;
+pub mod telemetry;
 pub mod trace;
 
 pub use device::{DeviceId, DeviceProps};
@@ -54,9 +55,10 @@ pub use error::{HipError, HipResult};
 pub use event::EventId;
 pub use fault::{FabricHealth, FaultStats, RetryPolicy};
 pub use kernel::KernelSpec;
-pub use op::MemcpyKind;
+pub use op::{MemcpyKind, OpLabel};
 pub use runtime::{HipSim, MemAdvise};
 pub use stream::StreamId;
+pub use telemetry::build_sim_telemetry;
 pub use trace::{Trace, TraceEvent};
 
 // Re-exports the benchmarks lean on.

@@ -7,7 +7,7 @@ use crate::error::{HipError, HipResult};
 use crate::event::{EventId, EventTable};
 use crate::fault::{FabricHealth, FaultStats, RetryPolicy};
 use crate::kernel::KernelSpec;
-use crate::op::MemcpyKind;
+use crate::op::{MemcpyKind, OpLabel};
 use crate::plan::{plan_kernel, plan_memcpy, plan_prefetch, Effect, OpPlan, PlanCtx};
 use crate::stream::{OpRequest, QueuedOp, RunningOp, StreamId, StreamState, Work};
 use ifsim_des::{Dur, Engine, Rng, Time};
@@ -38,6 +38,13 @@ pub struct Inner {
     fault_plan: FaultPlan,
     retry: RetryPolicy,
     fault_stats: FaultStats,
+    /// Per-op metrics (durations, completion counters), populated only
+    /// while telemetry is enabled.
+    metrics: ifsim_telemetry::MetricsRegistry,
+    /// Master switch for the unified telemetry layer.
+    telemetry: bool,
+    /// Whether this runtime already contributed its snapshot to a collector.
+    telemetry_flushed: bool,
 }
 
 /// Why a fault tore down an op's in-flight flows (selects the error code
@@ -106,7 +113,7 @@ impl HipSim {
         }
         let next_stream = devices.count() as u64;
         let fabric_health = FabricHealth::healthy(&topo);
-        HipSim {
+        let mut sim = HipSim {
             engine: Engine::new(),
             inner: Inner {
                 topo,
@@ -129,8 +136,18 @@ impl HipSim {
                 fault_plan: FaultPlan::new(),
                 retry: RetryPolicy::default(),
                 fault_stats: FaultStats::default(),
+                metrics: ifsim_telemetry::MetricsRegistry::new(),
+                telemetry: false,
+                telemetry_flushed: false,
             },
+        };
+        // Under an installed telemetry collector the runtime observes
+        // itself without the call site having to know: trace, flow log,
+        // and metrics all go live, and `Drop` contributes the snapshot.
+        if ifsim_telemetry::collector::active() {
+            sim.telemetry_enable();
         }
+        sim
     }
 
     // ---------------- clocks & introspection ----------------
@@ -347,7 +364,7 @@ impl HipSim {
             stream,
             OpRequest::EventRecord,
             Some(ev),
-            "event_record".into(),
+            OpLabel::EventRecord,
         )
     }
 
@@ -535,7 +552,7 @@ impl HipSim {
                 kind,
             },
             None,
-            format!("memcpy {bytes}B"),
+            OpLabel::Memcpy { bytes },
         )
     }
 
@@ -587,7 +604,7 @@ impl HipSim {
                 kind: MemcpyKind::DeviceToDevice,
             },
             None,
-            format!("memcpy_peer {bytes}B"),
+            OpLabel::MemcpyPeer { bytes },
         )
     }
 
@@ -617,7 +634,7 @@ impl HipSim {
                 len,
             },
             None,
-            format!("memset {len}B"),
+            OpLabel::Memset { len },
         )
     }
 
@@ -631,7 +648,7 @@ impl HipSim {
             stream,
             OpRequest::WaitEvent(event),
             None,
-            "wait_event".into(),
+            OpLabel::WaitEvent,
         )
     }
 
@@ -654,7 +671,7 @@ impl HipSim {
     /// Launch a kernel on a specific stream.
     pub fn launch_kernel_on(&mut self, spec: KernelSpec, stream: StreamId) -> HipResult<()> {
         self.check_stream(stream)?;
-        let label = format!("kernel {}", spec.name());
+        let label = OpLabel::Kernel { name: spec.name() };
         self.submit_request(stream, OpRequest::Kernel(spec), None, label)
     }
 
@@ -697,7 +714,9 @@ impl HipSim {
                 }
             }
         };
-        let label = format!("prefetch -> {target_space}");
+        let label = OpLabel::Prefetch {
+            target: target_space,
+        };
         self.submit_request(
             stream,
             OpRequest::Prefetch {
@@ -752,6 +771,55 @@ impl HipSim {
     /// counters, active flows) for observability tooling.
     pub fn fabric(&self) -> &FlowNet {
         &self.inner.net
+    }
+
+    // ---------------- unified telemetry ----------------
+
+    /// Turn on the unified telemetry layer: op tracing, fabric flow
+    /// lifecycle logging, and per-op metrics all go live. Enabled
+    /// automatically when the runtime is constructed while a telemetry
+    /// collector is installed on this thread.
+    pub fn telemetry_enable(&mut self) {
+        self.inner.telemetry = true;
+        self.inner.trace.enable();
+        self.inner.net.enable_flow_log();
+    }
+
+    /// Whether the unified telemetry layer is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.inner.telemetry
+    }
+
+    /// Per-op metrics recorded so far (empty unless telemetry is enabled).
+    pub fn metrics(&self) -> &ifsim_telemetry::MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Build this runtime's unified telemetry snapshot: the merged
+    /// hip-op / fault / fabric-flow timeline plus the metrics registry
+    /// (op durations, per-link byte counters, fault statistics).
+    pub fn telemetry_snapshot(&self) -> ifsim_telemetry::SimTelemetry {
+        crate::telemetry::build_sim_telemetry(
+            self.inner.trace.events(),
+            self.inner.net.flow_log(),
+            &self.inner.net.link_loads(),
+            self.inner.net.peak_active_flows(),
+            self.inner.net.recomputes(),
+            &self.inner.fault_stats,
+            &self.inner.metrics,
+        )
+    }
+
+    /// Contribute this runtime's telemetry snapshot to the collector stack
+    /// (no-op without one, or when telemetry is off), at most once per
+    /// runtime. Called automatically on drop; call it earlier to snapshot
+    /// before further work.
+    pub fn flush_telemetry(&mut self) {
+        if !self.inner.telemetry || self.inner.telemetry_flushed {
+            return;
+        }
+        self.inner.telemetry_flushed = true;
+        ifsim_telemetry::collector::contribute(self.telemetry_snapshot());
     }
 
     /// Fault injection: derate the xGMI link between two GCDs to `factor`
@@ -866,13 +934,18 @@ impl HipSim {
     /// clock: a communication library issues many internal transfers per
     /// user call and accounts its own software overheads in the plans'
     /// latencies.
-    pub fn submit_plan(&mut self, stream: StreamId, plan: OpPlan, label: String) -> HipResult<()> {
+    pub fn submit_plan(
+        &mut self,
+        stream: StreamId,
+        plan: OpPlan,
+        label: impl Into<OpLabel>,
+    ) -> HipResult<()> {
         self.check_stream(stream)?;
         let st = self.inner.streams.get_mut(&stream).expect("checked stream");
         st.queue.push_back(QueuedOp {
             work: Work::Planned(plan),
             event: None,
-            label,
+            label: label.into(),
             attempts: 0,
         });
         Inner::start_next(&mut self.inner, &mut self.engine, stream);
@@ -906,7 +979,7 @@ impl HipSim {
         sid: StreamId,
         req: OpRequest,
         event: Option<EventId>,
-        label: String,
+        label: OpLabel,
     ) -> HipResult<()> {
         let gcd = self.inner.streams[&sid].gcd;
         // Synchronous argument validation, as the HIP entry points do.
@@ -1238,12 +1311,26 @@ impl Inner {
                 .record(ev, engine.now())
                 .expect("event created by this runtime");
         }
-        inner.trace.record(crate::trace::TraceEvent {
+        let end = engine.now();
+        if inner.telemetry {
+            let op = run.label.kind();
+            inner.metrics.observe(
+                ifsim_telemetry::MetricKey::new("hip_op_duration_ns")
+                    .with("op", op)
+                    .with("dev", dev.idx().to_string()),
+                (end - run.started).as_ns(),
+            );
+            inner.metrics.counter_add(
+                ifsim_telemetry::MetricKey::new("hip_ops_completed").with("op", op),
+                1.0,
+            );
+        }
+        inner.trace.record_with(|| crate::trace::TraceEvent {
             dev,
             stream: sid,
             start: run.started,
-            end: engine.now(),
-            label: run.label,
+            end,
+            label: run.label.to_string(),
         });
         Inner::start_next(inner, engine, sid);
         // Wake any streams parked on the event that just recorded.
@@ -1284,11 +1371,13 @@ impl Inner {
         // Mark the fault on the timeline as a zero-length event (lane of
         // device 0's null stream; the '!' glyph makes it stand out in the
         // Gantt rendering).
-        inner.trace.record(crate::trace::TraceEvent {
+        let stream0 = inner.default_streams[0];
+        let now = engine.now();
+        inner.trace.record_with(|| crate::trace::TraceEvent {
             dev: DeviceId(0),
-            stream: inner.default_streams[0],
-            start: engine.now(),
-            end: engine.now(),
+            stream: stream0,
+            start: now,
+            end: now,
             label: format!("!fault: {kind}"),
         });
         match kind {
@@ -1389,9 +1478,11 @@ impl Inner {
             return;
         }
         let mut hit: BTreeSet<StreamId> = BTreeSet::new();
+        let mut first_aborted: BTreeMap<StreamId, FlowId> = BTreeMap::new();
         for (fid, _delivered) in &aborted {
             if let Some(sid) = inner.flow_owner.remove(fid) {
                 hit.insert(sid);
+                first_aborted.entry(sid).or_insert(*fid);
             }
             *inner.fault_stats.link_errors.entry(link).or_insert(0) += 1;
         }
@@ -1419,6 +1510,27 @@ impl Inner {
                 .expect("aborted flow belongs to a running op");
             match run.request {
                 Some(req) if run.attempts < inner.retry.max_retries => {
+                    // Make the mid-flight reroute visible on the flow
+                    // lifecycle stream: the aborted flow's op will re-plan
+                    // over the surviving fabric after backoff.
+                    if let Some(&flow) = first_aborted.get(&sid) {
+                        let next_attempt = run.attempts + 1;
+                        let at = engine.now();
+                        let label = &run.label;
+                        inner
+                            .net
+                            .flow_log_mut()
+                            .push_with(|| ifsim_fabric::FlowEvent {
+                                at,
+                                flow,
+                                kind: ifsim_fabric::FlowEventKind::Rerouted {
+                                    note: format!(
+                                        "{label}: retry {next_attempt} re-planned over \
+                                         surviving fabric"
+                                    ),
+                                },
+                            });
+                    }
                     Inner::schedule_retry(
                         inner,
                         engine,
@@ -1454,7 +1566,7 @@ impl Inner {
         sid: StreamId,
         req: OpRequest,
         event: Option<EventId>,
-        label: String,
+        label: OpLabel,
         started: Time,
         attempts: u32,
     ) {
@@ -1462,11 +1574,12 @@ impl Inner {
         inner.fault_stats.retries += 1;
         let backoff = inner.retry.backoff(next_attempt);
         let dev = inner.streams[&sid].dev;
-        inner.trace.record(crate::trace::TraceEvent {
+        let now = engine.now();
+        inner.trace.record_with(|| crate::trace::TraceEvent {
             dev,
             stream: sid,
             start: started,
-            end: engine.now(),
+            end: now,
             label: format!("{label} [aborted; retry {next_attempt}]"),
         });
         let st = inner.streams.get_mut(&sid).expect("stream exists");
@@ -1492,7 +1605,7 @@ impl Inner {
         sid: StreamId,
         err: HipError,
         started: Time,
-        label: &str,
+        label: &OpLabel,
     ) {
         inner.fault_stats.failed_ops += 1;
         let st = inner.streams.get_mut(&sid).expect("stream exists");
@@ -1502,11 +1615,12 @@ impl Inner {
         st.starting = false;
         st.parked_on = None;
         st.failed = Some(err.clone());
-        inner.trace.record(crate::trace::TraceEvent {
+        let now = engine.now();
+        inner.trace.record_with(|| crate::trace::TraceEvent {
             dev,
             stream: sid,
             start: started,
-            end: engine.now(),
+            end: now,
             label: format!("{label} [failed: {err}]"),
         });
     }
@@ -1585,6 +1699,14 @@ impl Inner {
                 }
             }
         }
+    }
+}
+
+impl Drop for HipSim {
+    fn drop(&mut self) {
+        // Hand the snapshot to any installed collector so experiments that
+        // build runtimes deep inside library code still get observed.
+        self.flush_telemetry();
     }
 }
 

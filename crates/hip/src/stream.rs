@@ -3,7 +3,7 @@
 use crate::device::DeviceId;
 use crate::event::EventId;
 use crate::kernel::KernelSpec;
-use crate::op::MemcpyKind;
+use crate::op::{MemcpyKind, OpLabel};
 use crate::plan::{Effect, OpPlan};
 use ifsim_memory::{BufferId, MemSpace};
 use ifsim_topology::GcdId;
@@ -84,8 +84,8 @@ pub struct QueuedOp {
     pub work: Work,
     /// Event to stamp at completion (for `EventRecord` markers).
     pub event: Option<EventId>,
-    /// Trace label.
-    pub label: String,
+    /// Trace label (rendered lazily, only when tracing is on).
+    pub label: OpLabel,
     /// How many times this op has already been aborted by a fabric fault
     /// and re-queued (0 for a fresh submission).
     pub attempts: u32,
@@ -101,8 +101,8 @@ pub struct RunningOp {
     pub event: Option<EventId>,
     /// When the op left the queue (for the trace timeline).
     pub started: ifsim_des::Time,
-    /// Trace label.
-    pub label: String,
+    /// Trace label (rendered lazily, only when tracing is on).
+    pub label: OpLabel,
     /// The originating request, kept so a fault-aborted op can be re-planned
     /// over the surviving fabric. `None` for library-internal pre-planned
     /// work, which is not runtime-retryable.
@@ -177,7 +177,7 @@ mod tests {
             effects: vec![],
             event: None,
             started: ifsim_des::Time::ZERO,
-            label: "test".into(),
+            label: OpLabel::from("test"),
             request: None,
             attempts: 0,
         });

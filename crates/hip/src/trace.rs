@@ -68,6 +68,15 @@ impl Trace {
         }
     }
 
+    /// As [`Trace::record`], but the event is built lazily: with tracing
+    /// disabled the closure never runs, so label rendering (and its
+    /// allocations) cost nothing.
+    pub fn record_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.enabled {
+            self.events.push(f());
+        }
+    }
+
     /// All recorded events, in completion order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -179,9 +188,10 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::default();
         t.record(ev(0, 0, 0.0, 10.0, "kernel"));
+        t.record_with(|| panic!("lazy event must not be built while disabled"));
         assert!(t.events().is_empty());
         t.enable();
-        t.record(ev(0, 0, 0.0, 10.0, "kernel"));
+        t.record_with(|| ev(0, 0, 0.0, 10.0, "kernel"));
         assert_eq!(t.events().len(), 1);
         t.disable();
         t.record(ev(0, 0, 10.0, 20.0, "kernel"));

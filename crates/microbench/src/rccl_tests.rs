@@ -8,14 +8,14 @@ use ifsim_coll::{Collective, RcclComm};
 use ifsim_des::Summary;
 use ifsim_hip::EnvConfig;
 
-/// Mean RCCL collective latency (µs) at `msg_bytes` with ranks on devices
-/// `0..n`.
-pub fn rccl_collective_latency(
+/// Full RCCL collective latency distribution (µs) at `msg_bytes` with
+/// ranks on devices `0..n` — min/median/mean and tail percentiles.
+pub fn rccl_collective_latency_dist(
     cfg: &BenchConfig,
     coll: Collective,
     n: usize,
     msg_bytes: u64,
-) -> f64 {
+) -> Summary {
     let mut hip = cfg.runtime(EnvConfig::default());
     let comm = RcclComm::new(&mut hip, (0..n).collect()).expect("ranks");
     let elems = (msg_bytes / 4) as usize;
@@ -29,7 +29,18 @@ pub fn rccl_collective_latency(
             samples.push(d.as_us());
         }
     }
-    Summary::from_samples(&samples).mean
+    Summary::from_samples(&samples)
+}
+
+/// Mean RCCL collective latency (µs) at `msg_bytes` with ranks on devices
+/// `0..n`.
+pub fn rccl_collective_latency(
+    cfg: &BenchConfig,
+    coll: Collective,
+    n: usize,
+    msg_bytes: u64,
+) -> f64 {
+    rccl_collective_latency_dist(cfg, coll, n, msg_bytes).mean
 }
 
 /// Fig. 12: latency vs. thread (rank) count for one collective.
@@ -111,6 +122,21 @@ mod tests {
                 coll.name()
             );
         }
+    }
+
+    #[test]
+    fn latency_distribution_orders_its_percentiles() {
+        let mut c = cfg();
+        c.reps = 5;
+        let s = rccl_collective_latency_dist(&c, Collective::AllReduce, 4, MIB);
+        assert_eq!(s.n, 5);
+        assert!(s.min <= s.median && s.median <= s.p95);
+        assert!(s.p95 <= s.p99 && s.p99 <= s.max);
+        // The delegating mean helper agrees with the distribution.
+        assert_eq!(
+            rccl_collective_latency(&c, Collective::AllReduce, 4, MIB),
+            s.mean
+        );
     }
 
     #[test]

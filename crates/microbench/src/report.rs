@@ -1,6 +1,7 @@
 //! Result containers and text rendering shared by all benchmarks.
 
 use ifsim_des::units::fmt_bytes;
+use ifsim_des::Summary;
 use std::fmt::Write as _;
 
 /// One measured curve: y values (in `unit`) over an x sweep.
@@ -181,6 +182,32 @@ fn render_series_table_with(
     out
 }
 
+/// Render labelled latency distributions as an aligned table with
+/// n/min/p50/mean/p95/p99/max columns, `unit` naming the value unit.
+pub fn render_summary_table(title: &str, unit: &str, rows: &[(String, Summary)]) -> String {
+    let label_w = rows
+        .iter()
+        .map(|(label, _)| label.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} ({unit})");
+    let _ = write!(out, "{:>label_w$}", "");
+    for col in ["n", "min", "p50", "mean", "p95", "p99", "max"] {
+        let _ = write!(out, " {col:>10}");
+    }
+    out.push('\n');
+    for (label, s) in rows {
+        let _ = write!(out, "{label:>label_w$} {:>10}", s.n);
+        for v in [s.min, s.median, s.mean, s.p95, s.p99, s.max] {
+            let _ = write!(out, " {v:>10.2}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Render series as CSV (`x,label1,label2,...`), x in raw units.
 pub fn render_series_csv(x_label: &str, series: &[Series]) -> String {
     let mut out = String::new();
@@ -278,6 +305,18 @@ mod tests {
         assert!(t.contains("pinned"));
         assert!(t.contains("pageable"));
         assert!(t.contains("1 KiB"));
+    }
+
+    #[test]
+    fn summary_table_reports_the_tails() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 100.0]);
+        let t = render_summary_table("allreduce", "us", &[("8 ranks".into(), s)]);
+        let header = t.lines().nth(1).unwrap();
+        for col in ["n", "min", "p50", "mean", "p95", "p99", "max"] {
+            assert!(header.contains(col), "missing {col}: {header}");
+        }
+        assert!(t.contains("8 ranks"));
+        assert!(t.contains("100.00"), "max lands in the table:\n{t}");
     }
 
     #[test]

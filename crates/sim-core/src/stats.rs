@@ -19,6 +19,10 @@ pub struct Summary {
     pub mean: f64,
     /// Median (50th percentile, linear interpolation).
     pub median: f64,
+    /// 95th percentile (same linear interpolation as the median).
+    pub p95: f64,
+    /// 99th percentile (same linear interpolation as the median).
+    pub p99: f64,
     /// Population standard deviation.
     pub stddev: f64,
 }
@@ -40,6 +44,8 @@ impl Summary {
             max: sorted[n - 1],
             mean,
             median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
             stddev: var.sqrt(),
         }
     }
@@ -120,6 +126,21 @@ mod tests {
     fn median_interpolates_even_counts() {
         let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn tail_percentiles_interpolate_like_the_median() {
+        // 0..=100: rank p/100 × 100 lands exactly on the value p.
+        let data: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let s = Summary::from_samples(&data);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        // Interpolated case: [0, 10] with rank 0.95 and 0.99.
+        let s = Summary::from_samples(&[0.0, 10.0]);
+        assert!((s.p95 - 9.5).abs() < 1e-12);
+        assert!((s.p99 - 9.9).abs() < 1e-12);
+        // Tails are ordered and bounded by max.
+        assert!(s.median <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the `{"traceEvents": [...]}` object format understood by
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: complete
+//! spans (`ph: "X"`) with microsecond `ts`/`dur`, global instants
+//! (`ph: "i"`), and name metadata records (`ph: "M"`) for process and
+//! thread lanes.
+
+use crate::collector::CollectedTelemetry;
+use crate::event::EventKind;
+use serde_json::{Map, Value};
+
+/// Build the Chrome trace-event document for a collection.
+pub fn chrome_trace(t: &CollectedTelemetry) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    // Lane-name metadata first, as the format recommends.
+    for (pid, name) in t.processes() {
+        events.push(metadata("process_name", *pid, 0, name));
+    }
+    for ((pid, tid), name) in t.threads() {
+        events.push(metadata("thread_name", *pid, *tid, name));
+    }
+    for ev in t.events() {
+        let mut m = Map::new();
+        m.insert("name", Value::from(ev.name.clone()));
+        m.insert("cat", Value::from(ev.cat.clone()));
+        m.insert("pid", Value::from(ev.pid));
+        m.insert("tid", Value::from(ev.tid));
+        m.insert("ts", Value::from(ev.ts_ns / 1000.0));
+        match ev.kind {
+            EventKind::Span { dur_ns } => {
+                m.insert("ph", Value::from("X"));
+                m.insert("dur", Value::from(dur_ns / 1000.0));
+            }
+            EventKind::Instant => {
+                m.insert("ph", Value::from("i"));
+                // Instant scope: process-wide.
+                m.insert("s", Value::from("p"));
+            }
+        }
+        if !ev.args.is_empty() {
+            let mut args = Map::new();
+            for (k, v) in &ev.args {
+                args.insert(k.clone(), Value::from(v.clone()));
+            }
+            m.insert("args", Value::Object(args));
+        }
+        events.push(Value::Object(m));
+    }
+    let mut root = Map::new();
+    root.insert("traceEvents", Value::Array(events));
+    root.insert("displayTimeUnit", Value::from("ns"));
+    Value::Object(root)
+}
+
+fn metadata(kind: &str, pid: u32, tid: u32, name: &str) -> Value {
+    let mut args = Map::new();
+    args.insert("name", Value::from(name));
+    let mut m = Map::new();
+    m.insert("name", Value::from(kind));
+    m.insert("ph", Value::from("M"));
+    m.insert("ts", Value::from(0.0));
+    m.insert("pid", Value::from(pid));
+    m.insert("tid", Value::from(tid));
+    m.insert("args", Value::Object(args));
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::SimTelemetry;
+    use crate::event::TimelineEvent;
+    use crate::metrics::MetricsRegistry;
+    use ifsim_des::Time;
+
+    fn collection() -> CollectedTelemetry {
+        let mut c = CollectedTelemetry::new();
+        c.ingest(SimTelemetry {
+            process_name: "hipsim".into(),
+            events: vec![
+                TimelineEvent::span(Time::from_ns(1000.0), Time::from_ns(3000.0), "op", "hip_op")
+                    .on_tid(1)
+                    .with_arg("dev", "0"),
+                TimelineEvent::instant(Time::from_ns(2000.0), "!fault: link down", "fault"),
+            ],
+            threads: vec![(1, "dev0/stream#1".into())],
+            metrics: MetricsRegistry::new(),
+        });
+        c
+    }
+
+    #[test]
+    fn export_round_trips_with_required_fields() {
+        let text = collection().chrome_trace_string();
+        let v = serde_json::from_str(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        for ev in events {
+            for field in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(ev.get(field).is_some(), "missing {field} in {ev:?}");
+            }
+        }
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .expect("a complete span");
+        // 2000 ns span → 2 µs dur at ts 1 µs.
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            span.get("args").unwrap().get("dev").unwrap().as_str(),
+            Some("0")
+        );
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .expect("an instant");
+        assert_eq!(instant.get("s").unwrap().as_str(), Some("p"));
+    }
+
+    #[test]
+    fn export_names_process_and_thread_lanes() {
+        let v = collection().chrome_trace();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert!(metas
+            .iter()
+            .any(|m| m.get("name").unwrap().as_str() == Some("process_name")));
+        assert!(metas.iter().any(|m| {
+            m.get("name").unwrap().as_str() == Some("thread_name")
+                && m.get("args").unwrap().get("name").unwrap().as_str() == Some("dev0/stream#1")
+        }));
+    }
+}

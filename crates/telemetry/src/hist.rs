@@ -1,0 +1,259 @@
+//! Log-bucketed histograms with interpolated quantiles.
+//!
+//! Buckets grow geometrically by `2^(1/4)` (~19 % per bucket, ~2.4 %
+//! worst-case quantile error), so a histogram spanning nanoseconds to
+//! seconds needs ~120 sparse buckets. Alongside the buckets the histogram
+//! keeps exact `count`/`sum`/`min`/`max`, so means and extremes carry no
+//! bucketing error at all.
+
+use std::collections::BTreeMap;
+
+/// Buckets per doubling: bucket `i` covers `[2^(i/4), 2^((i+1)/4))`.
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+
+/// Bucket index for values `<= 0` (quantile interpolation treats it as the
+/// span from `min` to zero).
+const NONPOS_BUCKET: i32 = i32::MIN;
+
+/// A mergeable log-bucketed histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "histogram sample must be finite, got {v}");
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`, using the same
+    /// `rank = q · (n − 1)` convention as `ifsim_des::stats`, linearly
+    /// interpolated within the covering bucket and clamped to the exact
+    /// `min`/`max`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count == 1 {
+            return self.min;
+        }
+        let rank = q * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.buckets {
+            let last_in_bucket = (seen + c - 1) as f64;
+            if last_in_bucket >= rank {
+                let (lo, hi) = self.bucket_span(idx);
+                // Position of the target rank among this bucket's samples.
+                let frac = if c > 1 {
+                    ((rank - seen as f64) / (c - 1) as f64).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                };
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+    }
+
+    /// Interpolation bounds of a bucket, clamped to observed extremes.
+    fn bucket_span(&self, idx: i32) -> (f64, f64) {
+        if idx == NONPOS_BUCKET {
+            (self.min.min(0.0), self.max.min(0.0))
+        } else {
+            let lo = 2f64.powf(idx as f64 / BUCKETS_PER_OCTAVE);
+            let hi = 2f64.powf((idx + 1) as f64 / BUCKETS_PER_OCTAVE);
+            (lo.max(self.min), hi.min(self.max))
+        }
+    }
+}
+
+fn bucket_of(v: f64) -> i32 {
+    if v <= 0.0 {
+        NONPOS_BUCKET
+    } else {
+        (v.log2() * BUCKETS_PER_OCTAVE).floor() as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn exact_stats_have_no_bucketing_error() {
+        let mut h = Histogram::new();
+        for v in [3.0, 1.0, 10.0, 7.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 10.0);
+        assert_eq!(h.sum(), 21.0);
+        assert!((h.mean() - 5.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max() && p50 >= h.min());
+        // Log buckets bound relative error by the bucket ratio (2^¼ ≈ 19 %).
+        assert!((p50 - 500.0).abs() / 500.0 < 0.2, "p50 = {p50}");
+        assert!((p95 - 950.0).abs() / 950.0 < 0.2, "p95 = {p95}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.2, "p99 = {p99}");
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        assert_eq!(h.p50(), 42.0);
+        assert_eq!(h.p99(), 42.0);
+    }
+
+    #[test]
+    fn nonpositive_samples_are_accepted() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(5.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 5.0);
+        let p = h.p50();
+        assert!((-5.0..=5.0).contains(&p));
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 1..=50 {
+            a.record(i as f64);
+            all.record(i as f64);
+        }
+        for i in 51..=100 {
+            b.record(i as f64);
+            all.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merge into empty adopts the other side wholesale.
+        let mut empty = Histogram::new();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_samples_panic() {
+        Histogram::new().record(f64::NAN);
+    }
+}

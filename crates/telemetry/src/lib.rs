@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # ifsim-telemetry — the observability substrate of the simulator
+//!
+//! The simulator's answer to `rocprof`/`omnitrace`: one crate that every
+//! layer (fabric, hip, collectives, bench) reports into, producing
+//!
+//! - a **metrics registry** ([`MetricsRegistry`]) of counters, gauges, and
+//!   log-bucketed [`Histogram`]s with p50/p95/p99 quantiles, keyed by metric
+//!   name + label set;
+//! - a **merged event timeline** ([`EventSink`]) of spans and instants from
+//!   any number of sources, ordered deterministically by timestamp;
+//! - a **Chrome trace-event JSON** exporter ([`chrome`]) whose output loads
+//!   directly in Perfetto or `chrome://tracing`;
+//! - a per-link **utilization heatmap** renderer ([`heatmap`]);
+//! - a thread-local **collector stack** ([`collector`]) so simulator
+//!   instances created deep inside experiment code can contribute their
+//!   telemetry without any configuration threading.
+//!
+//! Metric names and label conventions are documented in
+//! `docs/OBSERVABILITY.md` at the repository root.
+
+pub mod chrome;
+pub mod collector;
+pub mod event;
+pub mod heatmap;
+pub mod hist;
+pub mod metrics;
+
+pub use collector::{CollectedTelemetry, Collector, SimTelemetry};
+pub use event::{EventKind, EventSink, TimelineEvent};
+pub use heatmap::{render_heatmap, UtilRow};
+pub use hist::Histogram;
+pub use metrics::{MetricKey, MetricsRegistry};
+
+// The vendored JSON shim, re-exported so downstream crates can parse the
+// exported artifacts without declaring their own dependency.
+pub use serde_json as json;

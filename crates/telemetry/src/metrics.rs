@@ -1,0 +1,305 @@
+//! The metrics registry: counters, gauges, and histograms keyed by
+//! name + label set.
+//!
+//! Keys follow the Prometheus convention rendered as
+//! `name{label="value",...}` with labels sorted, so a key's text form is
+//! canonical and registries merge deterministically.
+
+use crate::hist::Histogram;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A metric identity: static-ish name plus a (sorted) label set.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// A key with no labels.
+    pub fn new(name: impl Into<String>) -> MetricKey {
+        MetricKey {
+            name: name.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Add (or replace) one label, keeping the set sorted.
+    pub fn with(mut self, label: impl Into<String>, value: impl Into<String>) -> MetricKey {
+        let label = label.into();
+        let value = value.into();
+        match self.labels.binary_search_by(|(k, _)| k.cmp(&label)) {
+            Ok(i) => self.labels[i].1 = value,
+            Err(i) => self.labels.insert(i, (label, value)),
+        }
+        self
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sorted label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A set of counters, gauges, and histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, f64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    hists: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `v` to a monotonically growing counter.
+    pub fn counter_add(&mut self, key: MetricKey, v: f64) {
+        *self.counters.entry(key).or_insert(0.0) += v;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, key: MetricKey, v: f64) {
+        self.gauges.insert(key, v);
+    }
+
+    /// Record one histogram sample.
+    pub fn observe(&mut self, key: MetricKey, v: f64) {
+        self.hists.entry(key).or_default().record(v);
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, key: &MetricKey) -> f64 {
+        self.counters.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, key: &MetricKey) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// A histogram by key, if any sample was recorded.
+    pub fn histogram(&self, key: &MetricKey) -> Option<&Histogram> {
+        self.hists.get(key)
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, f64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &Histogram)> {
+        self.hists.iter()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Fold `other` into this registry: counters add, gauges take the
+    /// incoming value, histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.counter_add(k.clone(), v);
+        }
+        for (k, &v) in &other.gauges {
+            self.gauge_set(k.clone(), v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The snapshot as a JSON value: `counters` / `gauges` / `histograms`
+    /// arrays, histograms carrying count/sum/min/max/mean/p50/p95/p99.
+    pub fn to_json(&self) -> Value {
+        let entry = |key: &MetricKey| {
+            let mut labels = Map::new();
+            for (k, v) in key.labels() {
+                labels.insert(k.clone(), Value::from(v.clone()));
+            }
+            let mut m = Map::new();
+            m.insert("name", Value::from(key.name()));
+            m.insert("labels", Value::Object(labels));
+            m
+        };
+        let scalars = |items: &BTreeMap<MetricKey, f64>| {
+            Value::Array(
+                items
+                    .iter()
+                    .map(|(k, &v)| {
+                        let mut m = entry(k);
+                        m.insert("value", Value::from(v));
+                        Value::Object(m)
+                    })
+                    .collect(),
+            )
+        };
+        let hists = Value::Array(
+            self.hists
+                .iter()
+                .map(|(k, h)| {
+                    let mut m = entry(k);
+                    m.insert("count", Value::from(h.count()));
+                    m.insert("sum", Value::from(h.sum()));
+                    m.insert("min", Value::from(h.min()));
+                    m.insert("max", Value::from(h.max()));
+                    m.insert("mean", Value::from(h.mean()));
+                    m.insert("p50", Value::from(h.p50()));
+                    m.insert("p95", Value::from(h.p95()));
+                    m.insert("p99", Value::from(h.p99()));
+                    Value::Object(m)
+                })
+                .collect(),
+        );
+        let mut root = Map::new();
+        root.insert("counters", scalars(&self.counters));
+        root.insert("gauges", scalars(&self.gauges));
+        root.insert("histograms", hists);
+        Value::Object(root)
+    }
+
+    /// Render a plain-text snapshot (debugging, example output).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k} = {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge   {k} = {v}");
+        }
+        for (k, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "hist    {k}: n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_and_render_canonically() {
+        let k = MetricKey::new("fabric_link_wire_bytes")
+            .with("dir", "fwd")
+            .with("link", "Gcd(0)->Gcd(1)");
+        let k2 = MetricKey::new("fabric_link_wire_bytes")
+            .with("link", "Gcd(0)->Gcd(1)")
+            .with("dir", "fwd");
+        assert_eq!(k, k2);
+        assert_eq!(
+            k.to_string(),
+            "fabric_link_wire_bytes{dir=\"fwd\",link=\"Gcd(0)->Gcd(1)\"}"
+        );
+        // Replacing an existing label keeps one entry.
+        let k3 = k.with("dir", "bwd");
+        assert_eq!(k3.labels().len(), 2);
+        assert_eq!(k3.labels()[0].1, "bwd");
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        let k = MetricKey::new("ops");
+        r.counter_add(k.clone(), 2.0);
+        r.counter_add(k.clone(), 3.0);
+        assert_eq!(r.counter(&k), 5.0);
+        let g = MetricKey::new("active");
+        r.gauge_set(g.clone(), 7.0);
+        r.gauge_set(g.clone(), 4.0);
+        assert_eq!(r.gauge(&g), Some(4.0));
+        assert_eq!(r.counter(&MetricKey::new("missing")), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let k = MetricKey::new("bytes");
+        a.counter_add(k.clone(), 10.0);
+        b.counter_add(k.clone(), 5.0);
+        let h = MetricKey::new("lat");
+        a.observe(h.clone(), 1.0);
+        b.observe(h.clone(), 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter(&k), 15.0);
+        assert_eq!(a.histogram(&h).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_snapshot_has_percentile_fields() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(MetricKey::new("n").with("op", "memcpy"), 1.0);
+        r.observe(MetricKey::new("lat"), 5.0);
+        let v = r.to_json();
+        let text = serde_json::to_string(&v);
+        let back = serde_json::from_str(&text).unwrap();
+        let hist = &back.get("histograms").unwrap().as_array().unwrap()[0];
+        for field in ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"] {
+            assert!(hist.get(field).is_some(), "missing {field}");
+        }
+        let counter = &back.get("counters").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            counter.get("labels").unwrap().get("op").unwrap().as_str(),
+            Some("memcpy")
+        );
+    }
+
+    #[test]
+    fn text_rendering_lists_every_kind() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(MetricKey::new("c"), 1.0);
+        r.gauge_set(MetricKey::new("g"), 2.0);
+        r.observe(MetricKey::new("h"), 3.0);
+        let text = r.render_text();
+        assert!(text.contains("counter c"));
+        assert!(text.contains("gauge   g"));
+        assert!(text.contains("hist    h"));
+        assert!(!r.is_empty());
+        assert!(MetricsRegistry::new().is_empty());
+    }
+}

@@ -1,72 +1,86 @@
-//! Fabric heatmap: run a workload, then print per-link utilization and the
-//! op timeline — the simulator's observability tools in one place.
+//! Fabric heatmap: run a workload under a telemetry collector, then print
+//! per-link utilization, the op timeline, and the metrics snapshot — the
+//! simulator's observability tools in one place.
 //!
 //! ```text
-//! cargo run --example fabric_heatmap
+//! cargo run --example fabric_heatmap [-- trace.json]
 //! ```
+//!
+//! With a path argument the merged Chrome trace-event timeline is written
+//! there, ready to open in Perfetto (see docs/OBSERVABILITY.md).
 
 use ifsim::coll::schedule::RankBuffers;
 use ifsim::coll::{Collective, RcclComm};
 use ifsim::des::units::MIB;
 use ifsim::hip::{EnvConfig, HipSim};
-use ifsim::topology::LinkKind;
+use ifsim::telemetry::{render_heatmap, Collector, UtilRow};
 
 fn main() {
-    let mut hip = HipSim::new(EnvConfig::default());
-    hip.mem_mut().set_phantom_threshold(0);
-    hip.trace_enable();
+    let collector = Collector::install();
+    {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.mem_mut().set_phantom_threshold(0);
 
-    // Workload: an 8-rank AllReduce of 64 MiB.
-    let n = 8;
-    let elems = (64 * MIB / 4) as usize;
-    let comm = RcclComm::new(&mut hip, (0..n).collect()).unwrap();
-    let mut send = Vec::new();
-    let mut recv = Vec::new();
-    for r in 0..n {
-        hip.set_device(r).unwrap();
-        send.push(hip.malloc(elems as u64 * 4).unwrap());
-        recv.push(hip.malloc(elems as u64 * 4).unwrap());
-    }
-    let bufs = RankBuffers { send, recv };
-    let d = comm
-        .collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
-        .unwrap();
-    println!("AllReduce of 64 MiB across 8 GCDs: {d}\n");
-
-    // Per-link utilization heatmap.
-    println!("xGMI link utilization (mean over the run, by direction):");
-    let topo = hip.topo().clone();
-    let net = hip.fabric();
-    let segmap = net.segmap();
-    for (i, link) in topo.links().iter().enumerate() {
-        if !matches!(link.kind, LinkKind::Xgmi(_)) {
-            continue;
+        // Workload: an 8-rank AllReduce of 64 MiB.
+        let n = 8;
+        let elems = (64 * MIB / 4) as usize;
+        let comm = RcclComm::new(&mut hip, (0..n).collect()).unwrap();
+        let mut send = Vec::new();
+        let mut recv = Vec::new();
+        for r in 0..n {
+            hip.set_device(r).unwrap();
+            send.push(hip.malloc(elems as u64 * 4).unwrap());
+            recv.push(hip.malloc(elems as u64 * 4).unwrap());
         }
-        let lid = ifsim::topology::LinkId(i as u32);
-        let fwd = net.seg_utilization(segmap.dir_seg(lid, ifsim::fabric::Dir::Forward));
-        let bwd = net.seg_utilization(segmap.dir_seg(lid, ifsim::fabric::Dir::Backward));
-        let bar = |u: f64| "#".repeat((u * 30.0).round() as usize);
-        println!(
-            "  {:>5} -> {:<5} {:>5.1}% |{:<30}|",
-            format!("{:?}", link.a),
-            format!("{:?}", link.b),
-            fwd * 100.0,
-            bar(fwd)
+        let bufs = RankBuffers { send, recv };
+        let d = comm
+            .collective(&mut hip, Collective::AllReduce, &bufs, elems, 0)
+            .unwrap();
+        println!("AllReduce of 64 MiB across 8 GCDs: {d}\n");
+
+        // Per-link utilization heatmap from the fabric's own counters:
+        // xGMI links only, both directions, busiest first.
+        let mut rows: Vec<UtilRow> = hip
+            .fabric()
+            .link_loads()
+            .into_iter()
+            .filter(|l| l.xgmi && l.wire_bytes > 0.0)
+            .map(|l| UtilRow {
+                label: l.label,
+                utilization: l.utilization,
+                wire_bytes: l.wire_bytes,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.utilization.total_cmp(&a.utilization));
+        print!(
+            "{}",
+            render_heatmap(
+                "xGMI link utilization (mean over the run, by direction):",
+                &rows,
+                30
+            )
         );
+
+        // The op timeline (one glyph class per op kind).
+        println!("\nop timeline (c = coll transfers):");
+        print!("{}", hip.trace().render_gantt(72));
         println!(
-            "  {:>5} -> {:<5} {:>5.1}% |{:<30}|",
-            format!("{:?}", link.b),
-            format!("{:?}", link.a),
-            bwd * 100.0,
-            bar(bwd)
+            "\nring order used: {:?}",
+            comm.ring().order.iter().map(|g| g.0).collect::<Vec<_>>()
         );
+        // `hip` dropped here: its snapshot flushes to the collector.
     }
 
-    // The op timeline (one glyph class per op kind).
-    println!("\nop timeline (c = coll transfers):");
-    print!("{}", hip.trace().render_gantt(72));
+    let telemetry = collector.take();
     println!(
-        "\nring order used: {:?}",
-        comm.ring().order.iter().map(|g| g.0).collect::<Vec<_>>()
+        "\ncollected telemetry: {} events from {} simulator(s)",
+        telemetry.events().len(),
+        telemetry.sims()
     );
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, telemetry.chrome_trace_string()).expect("write trace");
+        println!("chrome trace written to {path} (load it in ui.perfetto.dev)");
+    } else {
+        println!("pass a path to write the Chrome trace: cargo run --example fabric_heatmap -- trace.json");
+    }
 }
