@@ -27,4 +27,13 @@ trap 'rm -rf "$TELEMETRY_TMP"' EXIT
     --trace "$TELEMETRY_TMP/trace.json" \
     --metrics "$TELEMETRY_TMP/metrics.json"
 
+echo "==> engine bench smoke: fabric_engine summary + lint"
+# Release-mode criterion run of the engine-vs-reference benches; the summary
+# is written to a temp file (the committed BENCH_fabric.json snapshot is
+# regenerated manually) and schema-checked. Speedup *values* are not gated
+# here: CI machines are shared and noisy.
+BENCH_FABRIC_OUT="$TELEMETRY_TMP/bench-fabric.json" \
+    cargo bench -p ifsim-bench --bench fabric_engine > /dev/null
+./target/release/telemetry-lint --bench "$TELEMETRY_TMP/bench-fabric.json"
+
 echo "CI green."

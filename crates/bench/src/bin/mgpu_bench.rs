@@ -12,13 +12,15 @@
 //! mgpu-bench osu-coll --coll allreduce --ranks N [--size BYTES]
 //! mgpu-bench rccl --coll allreduce --ranks N [--size BYTES]
 //! mgpu-bench doctor [--derate A,B,F]     link health probe
-//! mgpu-bench exp <id>                    run one registry experiment
+//! mgpu-bench exp <id>... [--jobs N]      run registry experiments
 //! ```
 //!
 //! Global options: `--seed <u64>`, `--reps <n>`, and the telemetry pair
 //! `--trace-out <file>` / `--metrics-out <file>`, which observe whatever
 //! command runs and write the merged Chrome trace-event timeline and the
-//! metrics snapshot (see docs/OBSERVABILITY.md).
+//! metrics snapshot (see docs/OBSERVABILITY.md). `exp` accepts several ids
+//! and `--jobs N` to run them concurrently; reports and telemetry still
+//! come out in the order the ids were given.
 
 use ifsim_core::coll::Collective;
 use ifsim_core::des::units::{fmt_bytes, pow2_sweep, GIB, KIB, MIB};
@@ -33,8 +35,9 @@ use std::process::ExitCode;
 
 struct Cli {
     cmd: String,
-    arg: Option<String>,
+    ids: Vec<String>,
     cfg: BenchConfig,
+    jobs: usize,
     size: Option<u64>,
     devices: Vec<usize>,
     dst: usize,
@@ -52,7 +55,7 @@ fn usage() -> ! {
         "usage: mgpu-bench <h2d|stream|p2p|osu-bw|osu-latency|osu-coll|rccl|doctor|exp> [options]\n\
          run `mgpu-bench <cmd> --help` conventions: --size BYTES --devices LIST --dst N\n\
          --ranks N --coll NAME --no-sdma --latency/--bandwidth/--bidir --derate A,B,F\n\
-         --seed U64 --reps N --trace-out FILE --metrics-out FILE"
+         --seed U64 --reps N --jobs N --trace-out FILE --metrics-out FILE"
     );
     std::process::exit(2)
 }
@@ -76,8 +79,9 @@ fn parse() -> Cli {
     let Some(cmd) = args.next() else { usage() };
     let mut cli = Cli {
         cmd,
-        arg: None,
+        ids: Vec::new(),
         cfg: BenchConfig::quick(),
+        jobs: 1,
         size: None,
         devices: (0..8).collect(),
         dst: 1,
@@ -100,6 +104,12 @@ fn parse() -> Cli {
             "--size" => cli.size = Some(next("--size").parse().unwrap_or_else(|_| usage())),
             "--seed" => cli.cfg.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
             "--reps" => cli.cfg.reps = next("--reps").parse().unwrap_or_else(|_| usage()),
+            "--jobs" => {
+                cli.jobs = next("--jobs").parse().unwrap_or_else(|_| usage());
+                if cli.jobs == 0 {
+                    usage();
+                }
+            }
             "--devices" => {
                 cli.devices = next("--devices")
                     .split(',')
@@ -128,9 +138,7 @@ fn parse() -> Cli {
             "--trace-out" => cli.trace_out = Some(PathBuf::from(next("--trace-out"))),
             "--metrics-out" => cli.metrics_out = Some(PathBuf::from(next("--metrics-out"))),
             "--help" | "-h" => usage(),
-            other if !other.starts_with('-') && cli.arg.is_none() => {
-                cli.arg = Some(other.to_string())
-            }
+            other if !other.starts_with('-') => cli.ids.push(other.to_string()),
             other => {
                 eprintln!("unknown option {other}");
                 usage()
@@ -260,20 +268,40 @@ fn dispatch(cli: &Cli) -> ExitCode {
             }
         }
         "exp" => {
-            let Some(id) = cli.arg.as_deref() else {
-                eprintln!("exp needs an experiment id; see `repro --list`");
+            if cli.ids.is_empty() {
+                eprintln!("exp needs at least one experiment id; see `repro --list`");
                 return ExitCode::from(2);
-            };
-            let Some(exp) = registry::by_id(id) else {
-                eprintln!(
-                    "unknown experiment '{id}'; available: {}",
-                    registry::ids().join(", ")
-                );
-                return ExitCode::from(2);
-            };
-            let r = exp.run(&cli.cfg);
-            print!("{}", r.report());
-            if !r.all_passed() {
+            }
+            for id in &cli.ids {
+                if registry::by_id(id).is_none() {
+                    eprintln!(
+                        "unknown experiment '{id}'; available: {}",
+                        registry::ids().join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            let mut all_passed = true;
+            if cli.jobs > 1 && cli.ids.len() > 1 {
+                // Workers run off-thread, out of reach of the main-thread
+                // collector installed above; gather per-experiment bundles
+                // and forward them so --trace-out/--metrics-out still see
+                // everything, in id order.
+                for (r, t) in
+                    ifsim_bench::run_experiments_instrumented_jobs(&cli.ids, &cli.cfg, cli.jobs)
+                {
+                    print!("{}", r.report());
+                    all_passed &= r.all_passed();
+                    ifsim_core::telemetry::collector::contribute_collected(t);
+                }
+            } else {
+                for id in &cli.ids {
+                    let r = registry::by_id(id).expect("validated above").run(&cli.cfg);
+                    print!("{}", r.report());
+                    all_passed &= r.all_passed();
+                }
+            }
+            if !all_passed {
                 return ExitCode::FAILURE;
             }
         }

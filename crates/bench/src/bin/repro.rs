@@ -12,11 +12,13 @@
 //!                    <id>.metrics.json telemetry snapshot per experiment)
 //!   --trace-out <f>  write the merged Chrome trace-event timeline to <f>
 //!   --metrics-out <f> write the merged metrics snapshot (JSON) to <f>
+//!   --jobs <n>       run up to <n> experiments concurrently; every
+//!                    artifact is byte-identical to a serial run
 //!   --list           list experiments and exit
 //! ```
 
 use ifsim_bench::telemetry::{json, CollectedTelemetry};
-use ifsim_bench::{run_experiments, run_experiments_instrumented, BenchConfig};
+use ifsim_bench::{run_experiments_instrumented_jobs, run_experiments_jobs, BenchConfig};
 use ifsim_core::registry;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +29,7 @@ struct Args {
     csv_dir: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    jobs: usize,
     list: bool,
 }
 
@@ -37,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir: None,
         trace_out: None,
         metrics_out: None,
+        jobs: 1,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -64,10 +68,17 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--metrics-out needs a file")?;
                 args.metrics_out = Some(PathBuf::from(v));
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|e| format!("bad jobs: {e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] \
-                     [--trace-out FILE] [--metrics-out FILE] [--list] [IDS...]"
+                     [--trace-out FILE] [--metrics-out FILE] [--jobs N] [--list] [IDS...]"
                 );
                 println!("experiments: {}", registry::ids().join(", "));
                 std::process::exit(0);
@@ -105,13 +116,17 @@ fn main() -> ExitCode {
     // trace/metrics files, or the per-experiment snapshots beside the CSVs.
     let instrument =
         args.trace_out.is_some() || args.metrics_out.is_some() || args.csv_dir.is_some();
+    // Results come back in registry order regardless of --jobs, and each
+    // experiment seeds its simulators from the config alone, so the loop
+    // below emits byte-identical artifacts whether the run was parallel
+    // or serial.
     let results: Vec<(ifsim_bench::ExperimentResult, Option<CollectedTelemetry>)> = if instrument {
-        run_experiments_instrumented(&args.ids, &args.cfg)
+        run_experiments_instrumented_jobs(&args.ids, &args.cfg, args.jobs)
             .into_iter()
             .map(|(r, t)| (r, Some(t)))
             .collect()
     } else {
-        run_experiments(&args.ids, &args.cfg)
+        run_experiments_jobs(&args.ids, &args.cfg, args.jobs)
             .into_iter()
             .map(|r| (r, None))
             .collect()

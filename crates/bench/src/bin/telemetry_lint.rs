@@ -1,15 +1,19 @@
 //! `telemetry-lint` — schema smoke test for the telemetry artifacts that
-//! `repro` and `mgpu-bench` emit via `--trace-out` / `--metrics-out`.
+//! `repro` and `mgpu-bench` emit via `--trace-out` / `--metrics-out`, and
+//! for the engine-bench summary `cargo bench --bench fabric_engine` writes.
 //!
 //! ```text
-//! telemetry-lint [--trace FILE] [--metrics FILE]
+//! telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE]
 //! ```
 //!
 //! Validates structure only, no golden values: the trace must be Chrome
 //! trace-event JSON (a `traceEvents` array whose records all carry
 //! name/ph/ts/pid/tid, with `dur` on complete spans and `args.name` on
-//! metadata records), and the metrics snapshot must hold counter/gauge
-//! arrays plus histograms carrying count/sum/min/max/mean/p50/p95/p99.
+//! metadata records), the metrics snapshot must hold counter/gauge
+//! arrays plus histograms carrying count/sum/min/max/mean/p50/p95/p99,
+//! and the bench summary must be `ifsim-bench-fabric-v1`: non-empty
+//! `results` rows with an id, positive timings, and at least one
+//! iteration, plus a `speedup` object of positive ratios.
 //! Exit code 0 when every given file passes, 1 otherwise.
 
 use ifsim_core::telemetry::json::{self, Value};
@@ -94,16 +98,66 @@ fn lint_metrics(v: &Value) -> Result<usize, String> {
     Ok(entries)
 }
 
+/// Validate the `BENCH_fabric.json` summary the `fabric_engine` bench
+/// target writes. Returns the number of result rows.
+fn lint_bench(v: &Value) -> Result<usize, String> {
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some("ifsim-bench-fabric-v1") => {}
+        other => return Err(format!("unexpected schema {other:?}")),
+    }
+    if v.get("flows").and_then(|f| f.as_u64()).is_none() {
+        return Err("missing flows count".into());
+    }
+    let rows = v
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or("missing results array")?;
+    if rows.is_empty() {
+        return Err("results is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if row.get("id").and_then(|s| s.as_str()).is_none() {
+            return Err(format!("result #{i} missing id"));
+        }
+        for field in ["mean_ns", "min_ns"] {
+            match row.get(field).and_then(|m| m.as_f64()) {
+                Some(ns) if ns > 0.0 => {}
+                other => return Err(format!("result #{i} has bad {field} {other:?}")),
+            }
+        }
+        match row.get("iters").and_then(|n| n.as_u64()) {
+            Some(n) if n >= 1 => {}
+            other => return Err(format!("result #{i} has bad iters {other:?}")),
+        }
+    }
+    let speedups = v
+        .get("speedup")
+        .and_then(|s| s.as_object())
+        .ok_or("missing speedup object")?;
+    if speedups.is_empty() {
+        return Err("speedup object is empty".into());
+    }
+    for (name, ratio) in speedups.iter() {
+        match ratio.as_f64() {
+            Some(r) if r > 0.0 => {}
+            other => return Err(format!("speedup {name} has bad ratio {other:?}")),
+        }
+    }
+    Ok(rows.len())
+}
+
 fn main() -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
+    let mut bench: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace = it.next().map(PathBuf::from),
             "--metrics" => metrics = it.next().map(PathBuf::from),
+            "--bench" => bench = it.next().map(PathBuf::from),
             "--help" | "-h" => {
-                println!("usage: telemetry-lint [--trace FILE] [--metrics FILE]");
+                println!("usage: telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -112,8 +166,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    if trace.is_none() && metrics.is_none() {
-        eprintln!("nothing to lint: pass --trace and/or --metrics");
+    if trace.is_none() && metrics.is_none() && bench.is_none() {
+        eprintln!("nothing to lint: pass --trace, --metrics, and/or --bench");
         return ExitCode::from(2);
     }
     let mut ok = true;
@@ -131,6 +185,15 @@ fn main() -> ExitCode {
             Ok(n) => println!("metrics OK: {} — {n} entries", path.display()),
             Err(e) => {
                 eprintln!("metrics FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = bench {
+        match load(&path).and_then(|v| lint_bench(&v)) {
+            Ok(n) => println!("bench   OK: {} — {n} results", path.display()),
+            Err(e) => {
+                eprintln!("bench   FAIL: {} — {e}", path.display());
                 ok = false;
             }
         }

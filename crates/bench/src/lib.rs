@@ -49,6 +49,67 @@ pub fn run_experiments_instrumented(
         .collect()
 }
 
+/// Fan the selected experiments out over a worker pool and hand the results
+/// back in registry order, exactly as the serial driver would. Experiments
+/// are independent by construction — each builds its own simulators from
+/// `cfg` (same seed, same jitter stream regardless of scheduling) — so the
+/// only parallelism-visible effect is wall-clock time.
+fn run_pooled<T, F>(exps: Vec<Experiment>, cfg: &BenchConfig, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&Experiment, &BenchConfig) -> T + Copy + Send + 'static,
+{
+    if jobs <= 1 || exps.len() <= 1 {
+        return exps.iter().map(|e| run(e, cfg)).collect();
+    }
+    let pool = threadpool::ThreadPool::new(jobs.min(exps.len()));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let n = exps.len();
+    for (i, e) in exps.into_iter().enumerate() {
+        let tx = tx.clone();
+        let cfg = cfg.clone();
+        pool.execute(move || {
+            // A send can only fail if the receiver bailed early, which it
+            // never does below; ignore the error to keep panics meaningful.
+            let _ = tx.send((i, run(&e, &cfg)));
+        });
+    }
+    drop(tx);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, result) in rx {
+        slots[i] = Some(result);
+    }
+    pool.join();
+    assert_eq!(pool.panic_count(), 0, "an experiment worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index reported a result"))
+        .collect()
+}
+
+/// As [`run_experiments`], with up to `jobs` experiments in flight at once.
+/// Results come back in registry order; `jobs <= 1` degenerates to the
+/// serial driver.
+pub fn run_experiments_jobs(
+    ids: &[String],
+    cfg: &BenchConfig,
+    jobs: usize,
+) -> Vec<ExperimentResult> {
+    run_pooled(select(ids), cfg, jobs, |e, cfg| e.run(cfg))
+}
+
+/// As [`run_experiments_instrumented`], with up to `jobs` experiments in
+/// flight at once. The telemetry collector stack is thread-local, so each
+/// worker installs its own per-experiment collector — parallel runs gather
+/// exactly the telemetry the serial driver would.
+pub fn run_experiments_instrumented_jobs(
+    ids: &[String],
+    cfg: &BenchConfig,
+    jobs: usize,
+) -> Vec<(ExperimentResult, telemetry::CollectedTelemetry)> {
+    run_pooled(select(ids), cfg, jobs, |e, cfg| e.run_instrumented(cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +128,40 @@ mod tests {
     fn unknown_id_panics_with_listing() {
         let cfg = BenchConfig::quick();
         let _ = run_experiments(&["fig99".into()], &cfg);
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_results_and_order() {
+        let mut cfg = BenchConfig::quick();
+        cfg.reps = 1;
+        let ids: Vec<String> = ["fig6b", "table1", "fig6a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let serial = run_experiments(&ids, &cfg);
+        let parallel = run_experiments_jobs(&ids, &cfg, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.id, p.id);
+            assert_eq!(s.report(), p.report(), "{} diverged under --jobs", s.id);
+            assert_eq!(s.csv, p.csv, "{} CSV diverged under --jobs", s.id);
+        }
+    }
+
+    #[test]
+    fn parallel_instrumented_driver_collects_per_experiment_telemetry() {
+        let mut cfg = BenchConfig::quick();
+        cfg.reps = 1;
+        let ids: Vec<String> = ["fig6a", "fig6b"].iter().map(|s| s.to_string()).collect();
+        let pairs = run_experiments_instrumented_jobs(&ids, &cfg, 2);
+        assert_eq!(pairs.len(), 2);
+        for ((r, _), want) in pairs.iter().zip(&ids) {
+            assert_eq!(r.id, want.as_str(), "submission order preserved");
+        }
+        // fig6b is the experiment known to construct observed runtimes (the
+        // serial test above relies on the same fact): its telemetry must
+        // arrive even though the collector lived on a worker thread.
+        assert!(pairs[1].1.sims() > 0, "fig6b telemetry observed off-thread");
     }
 
     #[test]

@@ -57,6 +57,79 @@ fn repro_writes_csv_artifacts() {
 }
 
 #[test]
+fn repro_jobs_output_is_byte_identical_to_serial() {
+    // The acceptance bar for the parallel driver: every artifact — stdout,
+    // CSVs, per-experiment metrics snapshots, merged trace and metrics —
+    // must match a serial run byte for byte.
+    let run = |tag: &str, jobs: &str| {
+        let dir = temp_dir(tag);
+        let out = repro()
+            .args(["--quick", "--reps", "1", "--jobs", jobs, "--csv"])
+            .arg(&dir)
+            .arg("--trace-out")
+            .arg(dir.join("trace.json"))
+            .arg("--metrics-out")
+            .arg(dir.join("metrics.json"))
+            .args(["table1", "fig6a", "fig6b"])
+            .output()
+            .expect("run repro");
+        assert!(out.status.success(), "exit ({tag}): {:?}", out.status);
+        (dir, out.stdout)
+    };
+    let (d1, stdout1) = run("jobs1", "1");
+    let (d4, stdout4) = run("jobs4", "4");
+    assert_eq!(
+        String::from_utf8_lossy(&stdout1),
+        String::from_utf8_lossy(&stdout4),
+        "stdout diverges under --jobs"
+    );
+    let mut names: Vec<_> = std::fs::read_dir(&d1)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 5,
+        "expected CSVs + snapshots + merged artifacts, got {names:?}"
+    );
+    for name in names {
+        let a = std::fs::read(d1.join(&name)).unwrap();
+        let b = std::fs::read(d4.join(&name)).expect("same artifact set");
+        assert_eq!(a, b, "{name:?} diverges under --jobs");
+    }
+    std::fs::remove_dir_all(&d1).ok();
+    std::fs::remove_dir_all(&d4).ok();
+}
+
+#[test]
+fn mgpu_bench_exp_runs_several_ids_in_parallel_with_telemetry() {
+    let dir = temp_dir("exp-jobs");
+    let metrics = dir.join("metrics.json");
+    let out = mgpu()
+        .args(["exp", "fig6a", "fig6b", "--jobs", "2", "--reps", "1"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("run mgpu-bench exp");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let (a, b) = (text.find("fig6a").unwrap(), text.find("fig6b").unwrap());
+    assert!(a < b, "reports come out in the order the ids were given");
+    // Worker-thread telemetry was forwarded to the main-thread collector.
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        metrics_text.contains("hip_op_duration_ns"),
+        "{metrics_text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn mgpu_bench_osu_bw_prints_a_bandwidth_row() {
     let out = mgpu()
         .args(["osu-bw", "--dst", "2", "--reps", "1"])
@@ -222,5 +295,55 @@ fn telemetry_lint_rejects_malformed_artifacts() {
     // Nothing to lint at all is a usage error.
     let out = lint().output().expect("lint");
     assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_lint_validates_bench_summary() {
+    let dir = temp_dir("lint-bench");
+    // A well-formed summary in the shape `fabric_engine` writes.
+    let good = dir.join("bench.json");
+    std::fs::write(
+        &good,
+        r#"{
+  "schema": "ifsim-bench-fabric-v1",
+  "flows": 64,
+  "results": [
+    {"id": "engine/add_drain_cycle_64", "mean_ns": 150000.0, "min_ns": 120000.0, "iters": 40},
+    {"id": "reference/add_drain_cycle_64", "mean_ns": 700000.0, "min_ns": 650000.0, "iters": 40}
+  ],
+  "speedup": {"add_drain_cycle_64": 5.4}
+}"#,
+    )
+    .unwrap();
+    let out = lint().arg("--bench").arg(&good).output().expect("lint");
+    assert!(
+        out.status.success(),
+        "good summary rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2 results"));
+    // Wrong schema tag, empty results, and a zero timing must all fail.
+    for (name, body) in [
+        (
+            "schema",
+            r#"{"schema": "other", "flows": 1, "results": [], "speedup": {}}"#,
+        ),
+        (
+            "empty",
+            r#"{"schema": "ifsim-bench-fabric-v1", "flows": 1, "results": [], "speedup": {"x": 1.0}}"#,
+        ),
+        (
+            "timing",
+            r#"{"schema": "ifsim-bench-fabric-v1", "flows": 1,
+               "results": [{"id": "a", "mean_ns": 0.0, "min_ns": 0.0, "iters": 1}],
+               "speedup": {"x": 1.0}}"#,
+        ),
+    ] {
+        let bad = dir.join(format!("bad-{name}.json"));
+        std::fs::write(&bad, body).unwrap();
+        let out = lint().arg("--bench").arg(&bad).output().expect("lint");
+        assert!(!out.status.success(), "{name} summary accepted");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -33,6 +33,10 @@ pub(crate) fn submit_round(
     transport: Transport,
     round: &Round,
 ) -> HipResult<()> {
+    // Plan every transfer first, then hand the round to the runtime as one
+    // batch: all of the round's flows start at the same timestamp, so the
+    // fabric charges the whole round a single fair-share recompute.
+    let mut batch = Vec::new();
     for t in round {
         if t.elems == 0 {
             continue;
@@ -43,13 +47,13 @@ pub(crate) fn submit_round(
             .device_of_gcd(from_gcd)
             .ok_or_else(|| HipError::InvalidHandle(format!("{from_gcd} not visible")))?;
         let stream = hip.default_stream(dev)?;
-        hip.submit_plan(
+        batch.push((
             stream,
             plan,
             format!("coll {}->{} {}el", t.from, t.to, t.elems),
-        )?;
+        ));
     }
-    Ok(())
+    hip.submit_plans(batch)
 }
 
 fn plan_transfer_op(

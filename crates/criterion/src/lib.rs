@@ -13,14 +13,36 @@ use std::time::{Duration, Instant};
 /// once it has consumed this much wall time (after at least one iteration).
 const TIME_CAP: Duration = Duration::from_secs(2);
 
+/// The measurement one completed `bench_function` produced. The real
+/// criterion persists these under `target/criterion/`; the shim instead
+/// hands them back through [`Criterion::results`] so harness-less bench
+/// mains can export machine-readable summaries (e.g. `BENCH_fabric.json`).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// The benchmark id as given to `bench_function`.
+    pub id: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest single iteration, in nanoseconds. For a deterministic
+    /// benchmark this is the noise-robust estimator of true cost: background
+    /// load only ever inflates a sample, never deflates it.
+    pub min_ns: f64,
+    /// How many timed iterations the mean is over.
+    pub iters: u64,
+}
+
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -30,7 +52,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, self.sample_size, f);
+        let r = run_bench(id, self.sample_size, f);
+        self.results.extend(r);
         self
     }
 
@@ -38,15 +61,21 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             sample_size: 10,
         }
+    }
+
+    /// Every measurement taken so far, in execution order (benches run in
+    /// groups included).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
 /// A group of related benchmarks sharing a sample-size setting.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     sample_size: usize,
 }
 
@@ -62,7 +91,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, self.sample_size, f);
+        let r = run_bench(id, self.sample_size, f);
+        self.parent.results.extend(r);
         self
     }
 
@@ -74,6 +104,7 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     iters: usize,
     total: Duration,
+    min: Duration,
     done: usize,
 }
 
@@ -84,7 +115,9 @@ impl Bencher {
         for _ in 0..self.iters {
             let t0 = Instant::now();
             let out = f();
-            self.total += t0.elapsed();
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
             self.done += 1;
             std::hint::black_box(&out);
             if self.total >= TIME_CAP {
@@ -94,19 +127,33 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) -> Option<BenchResult> {
     let mut b = Bencher {
         iters: sample_size.max(1),
         total: Duration::ZERO,
+        min: Duration::MAX,
         done: 0,
     };
     f(&mut b);
     if b.done == 0 {
         println!("  {id}: no iterations run");
-    } else {
-        let mean = b.total / b.done as u32;
-        println!("  {id}: {mean:?} mean over {} iters", b.done);
+        return None;
     }
+    let mean = b.total / b.done as u32;
+    println!(
+        "  {id}: {mean:?} mean, {:?} min over {} iters",
+        b.min, b.done
+    );
+    Some(BenchResult {
+        id: id.to_string(),
+        mean_ns: b.total.as_nanos() as f64 / b.done as f64,
+        min_ns: b.min.as_nanos() as f64,
+        iters: b.done as u64,
+    })
 }
 
 /// Group several bench functions under one runner function.
@@ -140,6 +187,25 @@ mod tests {
         let mut count = 0;
         c.bench_function("smoke", |b| b.iter(|| count += 1));
         assert!(count >= 1);
+    }
+
+    #[test]
+    fn results_record_every_measurement_in_order() {
+        let mut c = Criterion::default();
+        c.bench_function("first", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("second", |b| b.iter(|| std::hint::black_box(2 + 2)));
+            g.finish();
+        }
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["first", "second"]);
+        for r in c.results() {
+            assert!(r.iters >= 1);
+            assert!(r.mean_ns >= 0.0);
+            assert!(r.min_ns <= r.mean_ns, "min cannot exceed the mean");
+        }
     }
 
     #[test]

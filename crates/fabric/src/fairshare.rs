@@ -9,6 +9,18 @@
 //! A flow traversing the same segment more than once (a route loop) counts
 //! once — routes are simple paths by construction, and the duplex-pool trick
 //! never duplicates a segment within one flow.
+//!
+//! Two implementations of the same allocation live here:
+//!
+//! - [`max_min_rates`] — the original, naive version taking owned slices and
+//!   allocating its working state per call. It is the **differential
+//!   oracle**: intentionally simple, kept byte-for-byte as seeded, and
+//!   exercised against the production path by the engine property tests.
+//! - [`max_min_rates_arena`] — the hot-path version run by
+//!   [`crate::FlowNet`] on every recompute: it walks the persistent
+//!   [`crate::arena::FlowArena`] spans directly and keeps all working state
+//!   in a caller-owned [`FairshareScratch`], so steady-state recomputes
+//!   perform **zero** heap allocations.
 
 /// One flow's constraints, referencing segments by dense index.
 #[derive(Clone, Debug)]
@@ -110,6 +122,288 @@ pub fn max_min_rates(caps: &[f64], flows: &[FlowInput<'_>]) -> Vec<f64> {
     rate
 }
 
+/// Reusable working state for [`max_min_rates_arena`]. Buffers grow to the
+/// high-water mark of the scenario and are then reused verbatim; a steady
+/// simulation performs no allocation after the first recompute.
+#[derive(Clone, Debug, Default)]
+pub struct FairshareScratch {
+    /// Remaining capacity per segment after subtracting fixed flows.
+    slack: Vec<f64>,
+    /// Number of unfixed flows crossing each segment.
+    load: Vec<u32>,
+    /// Dense list of segments with nonzero unfixed load: the water-fill
+    /// rounds scan these instead of the whole capacity vector (a topology
+    /// has many more segments than any flow set touches).
+    active: Vec<u32>,
+    /// `active`-list position of each segment (`u32::MAX` when inactive).
+    pos: Vec<u32>,
+    /// Reverse CSR offsets: flows crossing segment `s` sit at
+    /// `rev_flows[rev_start[s]..rev_start[s + 1]]`.
+    rev_start: Vec<u32>,
+    /// Reverse CSR payload: flow indices grouped by segment.
+    rev_flows: Vec<u32>,
+    /// Unfixed flows with a *finite* wire cap — empty for typical flow sets,
+    /// which skips cap handling entirely.
+    capped: Vec<u32>,
+    /// Whether each flow's rate is frozen yet.
+    fixed: Vec<bool>,
+    /// Per-round list of segments that just saturated.
+    sat: Vec<u32>,
+    /// Saturation threshold per segment (`EPS · max(cap, 1)`), precomputed
+    /// once per solve instead of once per segment per round.
+    thresh: Vec<f64>,
+    /// Round in which each segment's load last changed, for validating the
+    /// carried Δ-argmin across rounds.
+    stamp: Vec<u32>,
+}
+
+impl FairshareScratch {
+    /// Empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        FairshareScratch::default()
+    }
+}
+
+/// Compute max-min fair wire rates over an arena view, allocation-free.
+///
+/// `caps[s]` is segment `s`'s wire capacity; `spans` and `buf` describe each
+/// flow's traversed segments ([`crate::arena::FlowArena`] layout). One wire
+/// rate per flow is written into `out` (cleared first), in span order.
+///
+/// Unlike the naive oracle, the water-fill rounds here only touch *live*
+/// state, and the per-round scans are restructured so total work is close to
+/// linear in the CSR size rather than `rounds × flows × segments`:
+///
+/// - the Δ-min over active segments compares `slack/load` ratios by
+///   cross-multiplication, paying a single division per round;
+/// - flows freeze through a **reverse CSR** (segment → flows): when a
+///   segment saturates, exactly its flows are visited, so freeze work totals
+///   one pass over the CSR across *all* rounds instead of a full flow scan
+///   per round;
+/// - per-flow caps live on a dense `capped` list that is empty for typical
+///   flow sets, skipping cap handling entirely.
+///
+/// Each round still applies the same min/charge/freeze arithmetic to the
+/// same values as the oracle (the Δ chosen is the same ratio, saturation
+/// uses the same post-charge slack threshold, frozen rates are the same
+/// `cap`-or-`level`), so the allocation returned is identical to
+/// [`max_min_rates`] up to floating-point round-off — the engine property
+/// tests enforce 1e-6 relative agreement.
+pub fn max_min_rates_arena(
+    caps: &[f64],
+    buf: &[u32],
+    spans: &[crate::arena::Span],
+    scratch: &mut FairshareScratch,
+    out: &mut Vec<f64>,
+) {
+    let nf = spans.len();
+    out.clear();
+    out.resize(nf, 0.0);
+    if nf == 0 {
+        return;
+    }
+    let segs_of = |s: &crate::arena::Span| &buf[s.start as usize..(s.start + s.len) as usize];
+
+    scratch.slack.clear();
+    scratch.slack.extend_from_slice(caps);
+    scratch.load.clear();
+    scratch.load.resize(caps.len(), 0);
+    for f in spans {
+        for &s in segs_of(f) {
+            scratch.load[s as usize] += 1;
+        }
+    }
+    scratch.active.clear();
+    scratch.pos.clear();
+    scratch.pos.resize(caps.len(), u32::MAX);
+    for (s, &ld) in scratch.load.iter().enumerate() {
+        if ld > 0 {
+            scratch.pos[s] = scratch.active.len() as u32;
+            scratch.active.push(s as u32);
+        }
+    }
+    // Reverse CSR (segment → flows) via counting sort over the loads. After
+    // the fill loop `rev_start[s]` has advanced to the *end* of segment
+    // `s`'s group; the start is the previous segment's end.
+    scratch.rev_start.clear();
+    scratch.rev_start.push(0);
+    let mut total = 0u32;
+    for &ld in &scratch.load {
+        total += ld;
+        scratch.rev_start.push(total);
+    }
+    scratch.rev_start.pop();
+    scratch.rev_flows.clear();
+    scratch.rev_flows.resize(total as usize, 0);
+    for (i, f) in spans.iter().enumerate() {
+        for &s in segs_of(f) {
+            let at = &mut scratch.rev_start[s as usize];
+            scratch.rev_flows[*at as usize] = i as u32;
+            *at += 1;
+        }
+    }
+    let rev_range = |rev_start: &[u32], s: usize| {
+        let start = if s == 0 { 0 } else { rev_start[s - 1] };
+        start as usize..rev_start[s] as usize
+    };
+    scratch.capped.clear();
+    scratch.capped.extend(
+        spans
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.wire_cap.is_finite().then_some(i as u32)),
+    );
+    scratch.fixed.clear();
+    scratch.fixed.resize(nf, false);
+    scratch.thresh.clear();
+    scratch
+        .thresh
+        .extend(caps.iter().map(|&c| EPS * c.max(1.0)));
+    scratch.stamp.clear();
+    scratch.stamp.resize(caps.len(), u32::MAX);
+
+    let mut remaining = nf;
+    // Common water level reached so far.
+    let mut level = 0.0f64;
+    // The Δ-argmin carried over from the previous round's charge pass, or
+    // `u32::MAX` when a fresh scan is needed. The charge pass already sees
+    // the post-charge slacks, so its argmin is next round's — *unless* the
+    // freeze then changes that segment's load (detected via `stamp`).
+    // Loads only ever shrink, so other segments' ratios can only grow and
+    // cannot undercut an unchanged argmin.
+    let mut carry = u32::MAX;
+    let mut round = 0u32;
+    while remaining > 0 {
+        // Highest uniform increment Δ all unfixed flows can take together:
+        // min of slack/load over active segments. Ratios are compared by
+        // cross-multiplication (slack and load are nonnegative), so each
+        // round performs exactly one division — and when the carried argmin
+        // is still valid, no scan at all.
+        let delta = if carry != u32::MAX {
+            scratch.slack[carry as usize] / scratch.load[carry as usize] as f64
+        } else {
+            let mut best_num = f64::INFINITY;
+            let mut best_den = 1.0f64;
+            for &s in &scratch.active {
+                let sl = scratch.slack[s as usize];
+                let ld = scratch.load[s as usize] as f64;
+                if sl * best_den < best_num * ld {
+                    best_num = sl;
+                    best_den = ld;
+                }
+            }
+            best_num / best_den
+        };
+        // A capped flow may bind earlier.
+        let mut min_cap_delta = f64::INFINITY;
+        for &i in &scratch.capped {
+            let cap = spans[i as usize].wire_cap;
+            min_cap_delta = min_cap_delta.min((cap - level).max(0.0));
+        }
+        let step = delta.min(min_cap_delta);
+        assert!(
+            step.is_finite(),
+            "no binding constraint: some flow traverses no loaded segment and has no cap"
+        );
+        level += step;
+
+        // Charge the increment to segments, collecting the ones the charge
+        // just saturated and the argmin of the post-charge ratios (next
+        // round's Δ candidate).
+        scratch.sat.clear();
+        let mut next_num = f64::INFINITY;
+        let mut next_den = 1.0f64;
+        let mut next_arg = u32::MAX;
+        for &s in &scratch.active {
+            let sl = &mut scratch.slack[s as usize];
+            let ld = scratch.load[s as usize] as f64;
+            *sl -= step * ld;
+            if *sl < 0.0 {
+                *sl = 0.0; // numerical dust
+            }
+            if *sl <= scratch.thresh[s as usize] {
+                scratch.sat.push(s);
+            } else if *sl * next_den < next_num * ld {
+                next_num = *sl;
+                next_den = ld;
+                next_arg = s;
+            }
+        }
+
+        // Freeze flows: first those at their cap, then every flow through a
+        // saturated segment. Within a round the decisions depend only on
+        // the post-charge slack and the level, so the visiting order only
+        // affects bookkeeping, not the rates allocated.
+        let mut froze_any = false;
+        let mut k = 0;
+        while k < scratch.capped.len() {
+            let i = scratch.capped[k] as usize;
+            if scratch.fixed[i] {
+                scratch.capped.swap_remove(k);
+                continue;
+            }
+            let cap = spans[i].wire_cap;
+            if level + EPS * (1.0 + cap) < cap {
+                k += 1;
+                continue;
+            }
+            out[i] = cap;
+            scratch.fixed[i] = true;
+            remaining -= 1;
+            froze_any = true;
+            retire_flow_load(scratch, segs_of(&spans[i]), round);
+            scratch.capped.swap_remove(k);
+        }
+        for si in 0..scratch.sat.len() {
+            let s = scratch.sat[si] as usize;
+            for fi in rev_range(&scratch.rev_start, s) {
+                let i = scratch.rev_flows[fi] as usize;
+                if scratch.fixed[i] {
+                    continue;
+                }
+                out[i] = level;
+                scratch.fixed[i] = true;
+                remaining -= 1;
+                froze_any = true;
+                retire_flow_load(scratch, segs_of(&spans[i]), round);
+            }
+        }
+        assert!(
+            froze_any,
+            "progressive filling stalled at level {level}; eps too tight"
+        );
+        carry = if next_arg != u32::MAX && scratch.stamp[next_arg as usize] != round {
+            next_arg
+        } else {
+            u32::MAX
+        };
+        round += 1;
+    }
+}
+
+/// Numerical saturation slack, relative to segment capacity (and matching
+/// the cap-freeze tolerance in level terms).
+const EPS: f64 = 1e-7;
+
+/// Drop a freshly-frozen flow's contribution from the per-segment loads,
+/// stamping each touched segment with the current round (which invalidates
+/// a carried Δ-argmin) and retiring segments whose load reaches zero from
+/// the active list.
+fn retire_flow_load(scratch: &mut FairshareScratch, segs: &[u32], round: u32) {
+    for &s in segs {
+        scratch.stamp[s as usize] = round;
+        let ld = &mut scratch.load[s as usize];
+        *ld -= 1;
+        if *ld == 0 {
+            let at = scratch.pos[s as usize];
+            let last = *scratch.active.last().expect("segment was active");
+            scratch.active.swap_remove(at as usize);
+            scratch.pos[last as usize] = at;
+            scratch.pos[s as usize] = u32::MAX;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +483,45 @@ mod tests {
     fn no_flows_no_rates() {
         let r = max_min_rates(&[10.0], &[]);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn arena_solver_matches_naive_on_mixed_scenarios() {
+        use crate::arena::FlowArena;
+        use crate::seg::SegId;
+        let caps = [50.0, 80.0, 20.0, 100.0];
+        let defs = [
+            (vec![0u32, 1], INF),
+            (vec![1, 2], 30.0),
+            (vec![2, 3], INF),
+            (vec![0, 3], 12.0),
+            (vec![1], INF),
+        ];
+        let fl = flows(&defs);
+        let naive = max_min_rates(&caps, &fl);
+        let mut arena = FlowArena::new();
+        for (segs, cap) in &defs {
+            let segs: Vec<SegId> = segs.iter().map(|&s| SegId(s)).collect();
+            arena.push(&segs, *cap);
+        }
+        let mut scratch = FairshareScratch::new();
+        let mut out = Vec::new();
+        // Run twice over the same scratch: reuse must not leak state.
+        for _ in 0..2 {
+            max_min_rates_arena(&caps, arena.buf(), arena.spans(), &mut scratch, &mut out);
+            assert_eq!(out.len(), naive.len());
+            for (a, b) in out.iter().zip(&naive) {
+                assert!((a - b).abs() <= 1e-9 * b.max(1.0), "{out:?} vs {naive:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_solver_handles_empty_input() {
+        let mut scratch = FairshareScratch::new();
+        let mut out = vec![1.0, 2.0];
+        max_min_rates_arena(&[10.0], &[], &[], &mut scratch, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

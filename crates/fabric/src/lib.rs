@@ -30,7 +30,16 @@
 //! All protocol efficiencies, engine caps, and latency constants live in
 //! [`calib::Calibration`], each annotated with the paper measurement it is
 //! fitted to.
+//!
+//! ## Performance
+//!
+//! The engine keeps flow state in a persistent CSR arena ([`arena`]), runs
+//! deferred allocation-free fair-share recomputes ([`fairshare`]), and peeks
+//! completions from a lazily-invalidated heap — see `docs/PERFORMANCE.md`.
+//! The pre-rework engine survives as [`reference::ReferenceNet`], the oracle
+//! for the differential property tests and the benchmark baseline.
 
+pub mod arena;
 pub mod calib;
 pub mod fairshare;
 pub mod fault;
@@ -38,6 +47,7 @@ pub mod flow;
 pub mod flowlog;
 pub mod latency;
 pub mod net;
+pub mod reference;
 pub mod seg;
 
 pub use calib::Calibration;

@@ -12,23 +12,100 @@
 //! }
 //! ```
 //!
-//! Rates are recomputed on every arrival and departure, so each flow's
-//! completion estimate is only valid until the next membership change —
-//! which is exactly why completions are *peeked*, never pre-scheduled.
+//! Rates change only on membership or capacity changes, so each flow's
+//! completion estimate is only valid until the next such change — which is
+//! exactly why completions are *peeked*, never pre-scheduled.
+//!
+//! ## Engine internals (see `docs/PERFORMANCE.md` for the full story)
+//!
+//! - Flows live in a **dense entry vector** plus a `FlowId → index` map;
+//!   removal is `swap_remove`. Segment lists live in a persistent CSR
+//!   [`FlowArena`] maintained incrementally, so a recompute walks
+//!   contiguous memory and allocates nothing
+//!   ([`fairshare::max_min_rates_arena`]).
+//! - Recomputes are **deferred**: membership and capacity changes set a
+//!   dirty flag, and the fair-share pass runs once at the next rate-sensitive
+//!   observation (`peek_completion`, `rate_of`, or a time advance). Admitting
+//!   a batch of flows at one timestamp therefore costs a single recompute —
+//!   [`FlowNet::add_flows`] — and `advance_to(now)` is free.
+//! - `peek_completion` reads a **lazily-invalidated min-heap** of projected
+//!   completion times. A projection `t = now + remaining/rate` is constant
+//!   under advancement while the flow's rate is unchanged, so a recompute
+//!   only re-pushes flows whose rate actually changed (bumping a per-flow
+//!   generation that orphans the old entry). The drain loop is O(F log F)
+//!   instead of the former O(F²) scan.
 
-use crate::fairshare::{max_min_rates, FlowInput};
+use crate::arena::FlowArena;
+use crate::fairshare::{max_min_rates_arena, FairshareScratch};
 use crate::flow::{FlowId, FlowSpec};
 use crate::flowlog::{FlowEvent, FlowEventKind, FlowLog};
-use crate::seg::{Dir, SegmentMap};
+use crate::seg::{Dir, SegId, SegmentMap};
 use ifsim_des::{Dur, Time};
 use ifsim_topology::LinkId;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
-struct Active {
+/// One active flow in the dense table. Its segment list lives at the same
+/// index in the arena; its rate and heap generation at the same index in
+/// [`RateState`].
+struct Entry {
+    id: FlowId,
     spec: FlowSpec,
     delivered: f64,
-    /// Current payload rate (bytes/s) from the latest recompute.
-    rate: f64,
+}
+
+/// A projected completion in the lazy min-heap: flow `flow` finishes at
+/// absolute time `ns` — valid while the flow is alive *and* its generation
+/// still equals `gen` (each rate change bumps the generation, orphaning
+/// earlier projections, which are skipped on pop).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    ns: f64,
+    flow: FlowId,
+    gen: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    /// Earliest time first; equal times break toward the lowest `FlowId`,
+    /// which pins completion order deterministically (and matches the
+    /// ascending-id scan of the reference engine).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ns
+            .total_cmp(&other.ns)
+            .then(self.flow.cmp(&other.flow))
+    }
+}
+
+/// Rate-side state, behind a `RefCell` because `peek_completion(&self)` must
+/// be able to run a deferred recompute and drop orphaned heap entries.
+struct RateState {
+    /// Set by any membership or capacity change; cleared by [`FlowNet::flush`].
+    dirty: bool,
+    /// Current payload rate (bytes/s) per dense entry. `-1.0` marks a flow
+    /// admitted since the last recompute (forces a first heap push).
+    rates: Vec<f64>,
+    /// Heap generation per dense entry.
+    gens: Vec<u32>,
+    /// Projected completions, min-ordered; may hold orphaned entries.
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Reusable fair-share working set.
+    scratch: FairshareScratch,
+    /// Reusable wire-rate output buffer.
+    wire: Vec<f64>,
+    /// Fair-share passes actually executed (over a non-empty table).
+    recomputes: u64,
 }
 
 /// Telemetry summary of one directed link segment over a run.
@@ -53,10 +130,16 @@ pub struct LinkLoad {
 /// Fluid network state. See module docs for the driving protocol.
 pub struct FlowNet {
     segmap: SegmentMap,
-    flows: BTreeMap<FlowId, Active>,
+    /// Cached per-segment capacities, refreshed on any link-factor change so
+    /// recomputes never re-query the segment map.
+    caps: Vec<f64>,
+    /// FlowId → dense index into `entries` / arena / rate vectors.
+    ids: BTreeMap<FlowId, u32>,
+    entries: Vec<Entry>,
+    /// CSR segment lists, parallel to `entries`.
+    arena: FlowArena,
     now: Time,
     next_id: u64,
-    recomputes: u64,
     /// Cumulative wire bytes carried per segment (utilization accounting).
     seg_bytes: Vec<f64>,
     /// Nanoseconds each segment spent with ≥ 1 active flow crossing it.
@@ -69,24 +152,37 @@ pub struct FlowNet {
     peak_active: usize,
     /// Lifecycle event stream (disabled by default).
     log: FlowLog,
+    rs: RefCell<RateState>,
 }
 
 impl FlowNet {
     /// A network over the given segments, starting at `Time::ZERO`.
     pub fn new(segmap: SegmentMap) -> Self {
         let n = segmap.len();
+        let caps = (0..n).map(|i| segmap.capacity(SegId(i as u32))).collect();
         FlowNet {
             segmap,
-            flows: BTreeMap::new(),
+            caps,
+            ids: BTreeMap::new(),
+            entries: Vec::new(),
+            arena: FlowArena::new(),
             now: Time::ZERO,
             next_id: 0,
-            recomputes: 0,
             seg_bytes: vec![0.0; n],
             seg_busy_ns: vec![0.0; n],
             busy_mark: vec![0; n],
             busy_gen: 0,
             peak_active: 0,
             log: FlowLog::default(),
+            rs: RefCell::new(RateState {
+                dirty: false,
+                rates: Vec::new(),
+                gens: Vec::new(),
+                heap: BinaryHeap::new(),
+                scratch: FairshareScratch::new(),
+                wire: Vec::new(),
+                recomputes: 0,
+            }),
         }
     }
 
@@ -115,7 +211,7 @@ impl FlowNet {
     }
 
     /// Nanoseconds a segment spent with at least one flow crossing it.
-    pub fn seg_busy_ns(&self, seg: crate::seg::SegId) -> f64 {
+    pub fn seg_busy_ns(&self, seg: SegId) -> f64 {
         self.seg_busy_ns[seg.idx()]
     }
 
@@ -143,87 +239,87 @@ impl FlowNet {
 
     /// Derate a link's capacity (fault injection). Requires an idle network
     /// so no in-flight completion estimate is invalidated.
-    pub fn derate_link(&mut self, link: ifsim_topology::LinkId, factor: f64) {
+    pub fn derate_link(&mut self, link: LinkId, factor: f64) {
         assert_eq!(
             self.active(),
             0,
             "derate the fabric only while no flows are active"
         );
         self.segmap.derate_link(link, factor);
+        self.refresh_caps();
     }
 
     /// Apply an absolute health factor (fraction of *healthy* capacity) to a
     /// link **mid-flight**: active flows keep running and their max-min fair
-    /// shares are recomputed against the new capacities immediately. The
-    /// factor must be positive — a dead link must first have its flows
-    /// removed; use [`FlowNet::fail_link`] for that.
-    pub fn set_link_factor(&mut self, link: ifsim_topology::LinkId, factor: f64) {
+    /// shares are recomputed against the new capacities. The factor must be
+    /// positive — a dead link must first have its flows removed; use
+    /// [`FlowNet::fail_link`] for that.
+    pub fn set_link_factor(&mut self, link: LinkId, factor: f64) {
         assert!(
             factor > 0.0,
             "zero-capacity link would stall its flows forever; use fail_link"
         );
         self.segmap.set_link_factor(link, factor);
-        self.recompute();
+        self.refresh_caps();
     }
 
     /// Take a link down mid-flight: every flow crossing any of its segments
     /// is aborted (returned with its delivered byte count), the link's
     /// capacities drop to zero, and surviving flows are re-shared.
-    pub fn fail_link(&mut self, link: ifsim_topology::LinkId) -> Vec<(FlowId, f64)> {
+    pub fn fail_link(&mut self, link: LinkId) -> Vec<(FlowId, f64)> {
         let aborted = self.abort_flows_using(&self.segmap.link_segments(link));
         self.segmap.set_link_factor(link, 0.0);
-        self.recompute();
+        self.refresh_caps();
         aborted
     }
 
     /// Restore a failed or degraded link to full healthy capacity.
-    pub fn restore_link(&mut self, link: ifsim_topology::LinkId) {
+    pub fn restore_link(&mut self, link: LinkId) {
         self.segmap.set_link_factor(link, 1.0);
-        self.recompute();
+        self.refresh_caps();
     }
 
     /// Abort every active flow traversing any of `segs` (e.g. an
     /// uncorrectable error burst on a link). Returns `(flow, delivered
-    /// bytes)` per abort; surviving flows are re-shared.
-    pub fn abort_flows_using(&mut self, segs: &[crate::seg::SegId]) -> Vec<(FlowId, f64)> {
-        let victims: Vec<FlowId> = self
-            .flows
+    /// bytes)` per abort in ascending flow order; surviving flows are
+    /// re-shared.
+    pub fn abort_flows_using(&mut self, segs: &[SegId]) -> Vec<(FlowId, f64)> {
+        let mut victims: Vec<FlowId> = self
+            .entries
             .iter()
-            .filter(|(_, f)| f.spec.segs.iter().any(|s| segs.contains(s)))
-            .map(|(&id, _)| id)
+            .filter(|e| e.spec.segs.iter().any(|s| segs.contains(s)))
+            .map(|e| e.id)
             .collect();
+        victims.sort_unstable();
         let aborted: Vec<(FlowId, f64)> = victims
             .into_iter()
             .map(|id| {
-                let f = self.flows.remove(&id).expect("victim is active");
-                (id, f.delivered)
+                let e = self.remove_flow(id).expect("victim is active");
+                (id, e.delivered)
             })
             .collect();
-        if !aborted.is_empty() {
-            if self.log.is_enabled() {
-                for &(id, delivered) in &aborted {
-                    self.log.push(FlowEvent {
-                        at: self.now,
-                        flow: id,
-                        kind: FlowEventKind::Aborted {
-                            delivered_bytes: delivered,
-                        },
-                    });
-                }
+        if self.log.is_enabled() {
+            for &(id, delivered) in &aborted {
+                self.log.push(FlowEvent {
+                    at: self.now,
+                    flow: id,
+                    kind: FlowEventKind::Aborted {
+                        delivered_bytes: delivered,
+                    },
+                });
             }
-            self.recompute();
         }
         aborted
     }
 
     /// Ids of all active flows, ascending.
     pub fn active_ids(&self) -> Vec<FlowId> {
-        self.flows.keys().copied().collect()
+        self.ids.keys().copied().collect()
     }
 
     /// The spec a flow was submitted with, while it is active.
     pub fn spec_of(&self, id: FlowId) -> Option<&FlowSpec> {
-        self.flows.get(&id).map(|f| &f.spec)
+        self.ids.get(&id).map(|&i| &self.entries[i as usize].spec)
     }
 
     /// Current network-local time.
@@ -233,18 +329,193 @@ impl FlowNet {
 
     /// Number of active flows.
     pub fn active(&self) -> usize {
-        self.flows.len()
+        self.entries.len()
     }
 
-    /// Total rate recomputations performed (a performance counter exercised
-    /// by the Criterion component benches).
+    /// Fair-share passes actually executed so far (a performance counter
+    /// exercised by the Criterion component benches). Deferred-recompute
+    /// coalescing means this counts *solver runs*, not membership changes,
+    /// and a pass is never charged for an empty flow table.
     pub fn recomputes(&self) -> u64 {
-        self.recomputes
+        self.rs.borrow().recomputes
     }
 
     /// Start a flow at time `now` (must not precede network time).
     pub fn add_flow(&mut self, now: Time, spec: FlowSpec) -> FlowId {
         self.advance_to(now);
+        self.insert_flow(spec)
+    }
+
+    /// Admit a whole batch of flows starting at the same timestamp. The
+    /// deferred-recompute engine charges the entire batch a **single**
+    /// fair-share pass (at the next observation), where per-flow
+    /// [`FlowNet::add_flow`] calls from distinct timestamps would each pay
+    /// one. Returns the assigned ids in input order.
+    pub fn add_flows(
+        &mut self,
+        now: Time,
+        specs: impl IntoIterator<Item = FlowSpec>,
+    ) -> Vec<FlowId> {
+        self.advance_to(now);
+        specs.into_iter().map(|s| self.insert_flow(s)).collect()
+    }
+
+    /// The earliest completion among active flows, with its flow id. Equal
+    /// completion times break toward the lowest `FlowId`.
+    pub fn peek_completion(&self) -> Option<(Time, FlowId)> {
+        self.flush();
+        let mut rs = self.rs.borrow_mut();
+        let RateState { gens, heap, .. } = &mut *rs;
+        loop {
+            let top = match heap.peek() {
+                Some(&Reverse(top)) => top,
+                None => return None,
+            };
+            let live = self
+                .ids
+                .get(&top.flow)
+                .is_some_and(|&i| gens[i as usize] == top.gen);
+            if live {
+                return Some((Time::from_ns(top.ns), top.flow));
+            }
+            heap.pop();
+        }
+    }
+
+    /// Move network time forward, accruing delivered payload.
+    ///
+    /// Panics if `t` lies beyond the earliest pending completion by more
+    /// than a numeric epsilon — the driver must complete flows in order.
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(
+            t >= self.now,
+            "fabric time moved backwards: to {t}, now {}",
+            self.now
+        );
+        if t == self.now {
+            // Nothing can accrue over a zero interval; crucially this leaves
+            // any pending recompute deferred, so same-timestamp admissions
+            // coalesce into one fair-share pass.
+            return;
+        }
+        self.flush();
+        if let Some((tc, id)) = self.peek_completion() {
+            assert!(
+                t.as_ns() <= tc.as_ns() + tolerance_ns(tc),
+                "advance_to({t}) skips completion of {id:?} at {tc}"
+            );
+        }
+        self.accrue_to(t);
+    }
+
+    /// The accrual half of [`FlowNet::advance_to`], callable once the
+    /// skip-a-completion assertion is already established (internal drain
+    /// paths advance exactly to a just-peeked completion, so re-peeking
+    /// would only repeat work).
+    fn accrue_to(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "accrue_to({t}) precedes now {}", self.now);
+        let dt = (t - self.now).as_secs();
+        if dt > 0.0 {
+            let dt_ns = (t - self.now).as_ns();
+            self.busy_gen += 1;
+            let gen = self.busy_gen;
+            let rs = self.rs.borrow();
+            for (i, e) in self.entries.iter_mut().enumerate() {
+                let rate = rs.rates[i];
+                e.delivered = (e.delivered + rate * dt).min(e.spec.payload_bytes);
+                // Wire bytes = payload / efficiency, charged to every
+                // traversed segment.
+                let wire = rate * dt / e.spec.efficiency;
+                for &s in self.arena.segs(i) {
+                    self.seg_bytes[s as usize] += wire;
+                    // Busy time: charge each segment at most once per
+                    // interval, no matter how many flows cross it.
+                    if self.busy_mark[s as usize] != gen {
+                        self.busy_mark[s as usize] = gen;
+                        self.seg_busy_ns[s as usize] += dt_ns;
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Cumulative wire bytes carried by a segment since construction.
+    pub fn seg_wire_bytes(&self, seg: SegId) -> f64 {
+        self.seg_bytes[seg.idx()]
+    }
+
+    /// Mean utilization of a segment over `[0, now]`: carried wire bytes
+    /// divided by capacity × elapsed time. Zero before any time passes.
+    pub fn seg_utilization(&self, seg: SegId) -> f64 {
+        let elapsed = self.now.as_secs();
+        let cap = self.segmap.capacity(seg);
+        if elapsed <= 0.0 || cap <= 0.0 {
+            return 0.0;
+        }
+        self.seg_bytes[seg.idx()] / (cap * elapsed)
+    }
+
+    /// Advance to the earliest completion and remove that flow.
+    /// Returns `(completion_time, flow_id)`, or `None` if the net is idle.
+    pub fn complete_next(&mut self) -> Option<(Time, FlowId)> {
+        let (t, id) = self.peek_completion()?;
+        // The peek both flushed any deferred recompute and established that
+        // `t` is the earliest pending completion, so the `advance_to`
+        // preamble (flush + skip assertion) would be pure repetition.
+        self.accrue_to(t);
+        let e = self.remove_flow(id).expect("peeked flow exists");
+        debug_assert!(
+            (e.delivered - e.spec.payload_bytes).abs() <= 1e-6 * e.spec.payload_bytes.max(1.0),
+            "flow completed with {} of {} bytes delivered",
+            e.delivered,
+            e.spec.payload_bytes
+        );
+        self.log.push_with(|| FlowEvent {
+            at: t,
+            flow: id,
+            kind: FlowEventKind::Completed {
+                delivered_bytes: e.delivered,
+            },
+        });
+        Some((t, id))
+    }
+
+    /// Cancel a flow (used for failure-injection tests); returns delivered bytes.
+    pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
+        let e = self.remove_flow(id)?;
+        let now = self.now;
+        self.log.push_with(|| FlowEvent {
+            at: now,
+            flow: id,
+            kind: FlowEventKind::Aborted {
+                delivered_bytes: e.delivered,
+            },
+        });
+        Some(e.delivered)
+    }
+
+    /// Current payload rate of a flow, bytes/s.
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flush();
+        self.ids
+            .get(&id)
+            .map(|&i| self.rs.borrow().rates[i as usize])
+    }
+
+    /// Run a single flow to completion from `now`, returning its duration.
+    /// Convenience for tests and simple one-shot transfers.
+    pub fn run_exclusive(&mut self, now: Time, spec: FlowSpec) -> Dur {
+        assert_eq!(self.active(), 0, "run_exclusive requires an idle network");
+        let start = now.max(self.now);
+        self.add_flow(start, spec);
+        let (end, _) = self.complete_next().expect("flow just added");
+        end - start
+    }
+
+    /// Admit a flow into the dense table without advancing time or forcing a
+    /// recompute (that is deferred to the next observation).
+    fn insert_flow(&mut self, spec: FlowSpec) -> FlowId {
         for &s in &spec.segs {
             assert!(
                 s.idx() < self.segmap.len(),
@@ -273,170 +544,129 @@ impl FlowNet {
                 },
             }
         });
-        self.flows.insert(
+        self.arena.push(&spec.segs, spec.wire_cap());
+        self.ids.insert(id, self.entries.len() as u32);
+        self.entries.push(Entry {
             id,
-            Active {
-                spec,
-                delivered: 0.0,
-                rate: 0.0,
-            },
-        );
-        self.peak_active = self.peak_active.max(self.flows.len());
+            spec,
+            delivered: 0.0,
+        });
+        let rs = self.rs.get_mut();
+        // -1.0 can never equal a computed rate, so the first flush always
+        // pushes this flow's projection.
+        rs.rates.push(-1.0);
+        rs.gens.push(0);
+        rs.dirty = true;
+        self.peak_active = self.peak_active.max(self.entries.len());
         if let Some(ev) = created {
             self.log.push(ev);
         }
-        self.recompute();
         id
     }
 
-    /// The earliest completion among active flows, with its flow id.
-    pub fn peek_completion(&self) -> Option<(Time, FlowId)> {
-        let mut best: Option<(Time, FlowId)> = None;
-        for (&id, f) in &self.flows {
-            let remaining = (f.spec.payload_bytes - f.delivered).max(0.0);
-            let t = self.now + Dur::for_bytes(remaining, f.rate);
-            match best {
-                Some((bt, _)) if bt <= t => {}
-                _ => best = Some((t, id)),
-            }
+    /// Drop a flow from the dense table, keeping arena and rate vectors in
+    /// swap-remove lockstep. Heap projections of the removed flow orphan via
+    /// the id lookup; projections of the flow swapped into its slot stay
+    /// valid because its generation moves with it.
+    fn remove_flow(&mut self, id: FlowId) -> Option<Entry> {
+        let idx = self.ids.remove(&id)? as usize;
+        let e = self.entries.swap_remove(idx);
+        self.arena.swap_remove(idx);
+        let rs = self.rs.get_mut();
+        rs.rates.swap_remove(idx);
+        rs.gens.swap_remove(idx);
+        rs.dirty = true;
+        if idx < self.entries.len() {
+            let moved = self.entries[idx].id;
+            *self.ids.get_mut(&moved).expect("moved flow is indexed") = idx as u32;
         }
-        best
+        Some(e)
     }
 
-    /// Move network time forward, accruing delivered payload.
-    ///
-    /// Panics if `t` lies beyond the earliest pending completion by more
-    /// than a numeric epsilon — the driver must complete flows in order.
-    pub fn advance_to(&mut self, t: Time) {
-        assert!(
-            t >= self.now,
-            "fabric time moved backwards: to {t}, now {}",
-            self.now
-        );
-        if let Some((tc, id)) = self.peek_completion() {
-            assert!(
-                t.as_ns() <= tc.as_ns() + tolerance_ns(tc),
-                "advance_to({t}) skips completion of {id:?} at {tc}"
-            );
+    /// Re-cache segment capacities after a link-factor change and schedule a
+    /// re-share.
+    fn refresh_caps(&mut self) {
+        for (i, c) in self.caps.iter_mut().enumerate() {
+            *c = self.segmap.capacity(SegId(i as u32));
         }
-        let dt = (t - self.now).as_secs();
-        if dt > 0.0 {
-            let dt_ns = (t - self.now).as_ns();
-            self.busy_gen += 1;
-            let gen = self.busy_gen;
-            for f in self.flows.values_mut() {
-                f.delivered = (f.delivered + f.rate * dt).min(f.spec.payload_bytes);
-                // Wire bytes = payload / efficiency, charged to every
-                // traversed segment.
-                let wire = f.rate * dt / f.spec.efficiency;
-                for s in &f.spec.segs {
-                    self.seg_bytes[s.idx()] += wire;
-                    // Busy time: charge each segment at most once per
-                    // interval, no matter how many flows cross it.
-                    if self.busy_mark[s.idx()] != gen {
-                        self.busy_mark[s.idx()] = gen;
-                        self.seg_busy_ns[s.idx()] += dt_ns;
-                    }
-                }
-            }
-        }
-        self.now = t;
+        self.rs.get_mut().dirty = true;
     }
 
-    /// Cumulative wire bytes carried by a segment since construction.
-    pub fn seg_wire_bytes(&self, seg: crate::seg::SegId) -> f64 {
-        self.seg_bytes[seg.idx()]
-    }
-
-    /// Mean utilization of a segment over `[0, now]`: carried wire bytes
-    /// divided by capacity × elapsed time. Zero before any time passes.
-    pub fn seg_utilization(&self, seg: crate::seg::SegId) -> f64 {
-        let elapsed = self.now.as_secs();
-        let cap = self.segmap.capacity(seg);
-        if elapsed <= 0.0 || cap <= 0.0 {
-            return 0.0;
-        }
-        self.seg_bytes[seg.idx()] / (cap * elapsed)
-    }
-
-    /// Advance to the earliest completion and remove that flow.
-    /// Returns `(completion_time, flow_id)`, or `None` if the net is idle.
-    pub fn complete_next(&mut self) -> Option<(Time, FlowId)> {
-        let (t, id) = self.peek_completion()?;
-        self.advance_to(t);
-        let f = self.flows.remove(&id).expect("peeked flow exists");
-        debug_assert!(
-            (f.delivered - f.spec.payload_bytes).abs() <= 1e-6 * f.spec.payload_bytes.max(1.0),
-            "flow completed with {} of {} bytes delivered",
-            f.delivered,
-            f.spec.payload_bytes
-        );
-        self.log.push_with(|| FlowEvent {
-            at: t,
-            flow: id,
-            kind: FlowEventKind::Completed {
-                delivered_bytes: f.delivered,
-            },
-        });
-        self.recompute();
-        Some((t, id))
-    }
-
-    /// Cancel a flow (used for failure-injection tests); returns delivered bytes.
-    pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
-        let f = self.flows.remove(&id)?;
-        let now = self.now;
-        self.log.push_with(|| FlowEvent {
-            at: now,
-            flow: id,
-            kind: FlowEventKind::Aborted {
-                delivered_bytes: f.delivered,
-            },
-        });
-        self.recompute();
-        Some(f.delivered)
-    }
-
-    /// Current payload rate of a flow, bytes/s.
-    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
-    }
-
-    /// Run a single flow to completion from `now`, returning its duration.
-    /// Convenience for tests and simple one-shot transfers.
-    pub fn run_exclusive(&mut self, now: Time, spec: FlowSpec) -> Dur {
-        assert_eq!(self.active(), 0, "run_exclusive requires an idle network");
-        let start = now.max(self.now);
-        self.add_flow(start, spec);
-        let (end, _) = self.complete_next().expect("flow just added");
-        end - start
-    }
-
-    fn recompute(&mut self) {
-        self.recomputes += 1;
-        if self.flows.is_empty() {
+    /// Run the deferred fair-share pass, if one is pending: recompute every
+    /// flow's rate over the arena and re-push heap projections for exactly
+    /// the flows whose rate changed (an unchanged rate means the existing
+    /// absolute-time projection is still exact).
+    fn flush(&self) {
+        let mut rs = self.rs.borrow_mut();
+        if !rs.dirty {
             return;
         }
-        let caps: Vec<f64> = (0..self.segmap.len())
-            .map(|i| self.segmap.capacity(crate::seg::SegId(i as u32)))
-            .collect();
-        let seg_lists: Vec<Vec<u32>> = self
-            .flows
-            .values()
-            .map(|f| f.spec.segs.iter().map(|s| s.0).collect())
-            .collect();
-        let inputs: Vec<FlowInput<'_>> = self
-            .flows
-            .values()
-            .zip(seg_lists.iter())
-            .map(|(f, segs)| FlowInput {
-                segs,
-                wire_cap: f.spec.wire_cap(),
-            })
-            .collect();
-        let rates = max_min_rates(&caps, &inputs);
-        for (f, wire_rate) in self.flows.values_mut().zip(rates) {
-            f.rate = wire_rate * f.spec.efficiency;
+        rs.dirty = false;
+        if self.entries.is_empty() {
+            // No solver pass happens (and none is counted) for an empty
+            // table; stale projections can be dropped wholesale.
+            rs.heap.clear();
+            return;
+        }
+        rs.recomputes += 1;
+        let RateState {
+            rates,
+            gens,
+            heap,
+            scratch,
+            wire,
+            ..
+        } = &mut *rs;
+        max_min_rates_arena(
+            &self.caps,
+            self.arena.buf(),
+            self.arena.spans(),
+            scratch,
+            wire,
+        );
+        let now_ns = self.now.as_ns();
+        let n = self.entries.len();
+        let changed = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| wire[*i] * e.spec.efficiency != rates[*i])
+            .count();
+        if changed * 2 > n || heap.len() > 2 * n + 64 {
+            // Most projections just died — the typical post-completion
+            // recompute raises every surviving flow's rate. Piling fresh
+            // entries on top of the stale ones would grow the heap towards
+            // O(F²) and tax every later pop; rebuilding from the live flow
+            // table (O(n) heapify into the heap's own buffer) leaves nothing
+            // stale behind and allocates nothing at steady state.
+            let mut v = std::mem::take(heap).into_vec();
+            v.clear();
+            for (i, e) in self.entries.iter().enumerate() {
+                rates[i] = wire[i] * e.spec.efficiency;
+                let remaining = (e.spec.payload_bytes - e.delivered).max(0.0);
+                let ns = now_ns + Dur::for_bytes(remaining, rates[i]).as_ns();
+                v.push(Reverse(HeapEntry {
+                    ns,
+                    flow: e.id,
+                    gen: gens[i],
+                }));
+            }
+            *heap = BinaryHeap::from(v);
+        } else {
+            for (i, e) in self.entries.iter().enumerate() {
+                let rate = wire[i] * e.spec.efficiency;
+                if rate != rates[i] {
+                    rates[i] = rate;
+                    gens[i] = gens[i].wrapping_add(1);
+                    let remaining = (e.spec.payload_bytes - e.delivered).max(0.0);
+                    let ns = now_ns + Dur::for_bytes(remaining, rate).as_ns();
+                    heap.push(Reverse(HeapEntry {
+                        ns,
+                        flow: e.id,
+                        gen: gens[i],
+                    }));
+                }
+            }
         }
     }
 }
@@ -802,5 +1032,102 @@ mod tests {
         n.complete_next().unwrap();
         n.advance_to(Time::from_ns(40e6));
         assert!((n.seg_utilization(seg) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_flows_complete_in_flow_id_order() {
+        // Regression for the heap refactor: three identical flows tie on
+        // completion time and must drain lowest-id first, exactly like the
+        // old ascending-scan implementation.
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let ids = n.add_flows(
+            Time::ZERO,
+            (0..3).map(|_| FlowSpec::new(segs.clone(), 1e9, 1.0)),
+        );
+        let mut done = Vec::new();
+        let mut times = Vec::new();
+        while let Some((tc, id)) = n.complete_next() {
+            done.push(id);
+            times.push(tc);
+        }
+        assert_eq!(done, ids);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // All three tie (equal specs, admitted together).
+        assert!((times[0].as_ns() - times[2].as_ns()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_table_charges_no_recompute() {
+        // Completing the last flow leaves the table empty; the pass that
+        // previously ran (and was counted) over nothing no longer happens.
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 1.0));
+        n.complete_next().unwrap();
+        assert!(n.peek_completion().is_none());
+        n.advance_to(Time::from_ns(1e9));
+        assert_eq!(n.recomputes(), 1);
+    }
+
+    #[test]
+    fn batched_admission_coalesces_into_one_recompute() {
+        let (t, r, mut n) = net();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let ids = n.add_flows(
+            Time::ZERO,
+            (0..4).map(|_| FlowSpec::new(segs.clone(), 1e9, 1.0)),
+        );
+        assert_eq!(ids.len(), 4);
+        for &id in &ids {
+            assert!((n.rate_of(id).unwrap() - gbps(12.5)).abs() < 1.0);
+        }
+        assert_eq!(n.recomputes(), 1);
+        // Same-timestamp per-flow adds coalesce too: the recompute is
+        // deferred until a rate is actually observed.
+        let (t2, r2, mut n2) = net();
+        let segs2 = peer_segs(&t2, &r2, &n2, 0, 2, false);
+        for _ in 0..4 {
+            n2.add_flow(Time::ZERO, FlowSpec::new(segs2.clone(), 1e9, 1.0));
+        }
+        n2.peek_completion().unwrap();
+        assert_eq!(n2.recomputes(), 1);
+    }
+
+    #[test]
+    fn unchanged_rates_keep_heap_projections_valid() {
+        // Flow A runs on its own link; B and C share another. Completing B
+        // changes only C's rate — A's original heap projection must still
+        // produce the exact completion time.
+        let (t, r, mut n) = net();
+        let a_segs = peer_segs(&t, &r, &n, 4, 5, false);
+        let bc_segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let a = n.add_flow(Time::ZERO, FlowSpec::new(a_segs, 20e9, 1.0));
+        let _b = n.add_flow(Time::ZERO, FlowSpec::new(bc_segs.clone(), 0.5e9, 1.0));
+        let c = n.add_flow(Time::ZERO, FlowSpec::new(bc_segs, 1.5e9, 1.0));
+        let rate_a = n.rate_of(a).unwrap();
+        // B: 0.5 GB at 25 GB/s = 20 ms. C then speeds up to 50 GB/s.
+        let (tb, _) = n.complete_next().unwrap();
+        assert!((tb.as_secs() - 0.02).abs() < 1e-9);
+        // C: 0.5 GB delivered, 1.0 GB left at 50 GB/s → done at 40 ms.
+        let (tc_, idc) = n.complete_next().unwrap();
+        assert_eq!(idc, c);
+        assert!((tc_.as_secs() - 0.04).abs() < 1e-9);
+        // A kept its original rate the whole time: the projection pushed at
+        // admission is still exact despite two intervening recomputes.
+        assert_eq!(n.rate_of(a).unwrap(), rate_a);
+        let (ta, ida) = n.complete_next().unwrap();
+        assert_eq!(ida, a);
+        assert!((ta.as_secs() - 20e9 / rate_a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_flows_with_empty_batch_is_a_no_op() {
+        let (_, _, mut n) = net();
+        let ids = n.add_flows(Time::ZERO, std::iter::empty());
+        assert!(ids.is_empty());
+        assert_eq!(n.active(), 0);
+        assert!(n.peek_completion().is_none());
+        assert_eq!(n.recomputes(), 0);
     }
 }

@@ -1,0 +1,238 @@
+//! The pre-arena flow engine, preserved as an executable oracle.
+//!
+//! [`ReferenceNet`] is the original [`crate::FlowNet`] event core before the
+//! performance rework (see `docs/PERFORMANCE.md`): a `BTreeMap` flow table,
+//! a **from-scratch** progressive-filling pass on every membership change
+//! (re-collecting segment lists into fresh `Vec`s each time), and an O(F)
+//! linear scan per completion peek. It is deliberately simple and slow.
+//!
+//! Two consumers keep it alive:
+//!
+//! - the **differential property tests** (`tests/engine_differential.rs`)
+//!   drive it in lockstep with the production engine and require the two to
+//!   agree on every rate, completion time, and completion order;
+//! - the **`fabric_engine` Criterion bench** measures the production engine's
+//!   speedup against it, recorded in `BENCH_fabric.json`.
+//!
+//! It intentionally omits the production niceties (flow log, link-load
+//! accounting, batch admission): only the timed core being verified.
+
+use crate::fairshare::{max_min_rates, FlowInput};
+use crate::flow::{FlowId, FlowSpec};
+use crate::seg::SegmentMap;
+use ifsim_des::{Dur, Time};
+use std::collections::BTreeMap;
+
+struct Active {
+    spec: FlowSpec,
+    delivered: f64,
+    rate: f64,
+}
+
+/// The naive fluid-network engine (see module docs). Driving protocol and
+/// numeric behaviour match [`crate::FlowNet`]; performance does not.
+pub struct ReferenceNet {
+    segmap: SegmentMap,
+    flows: BTreeMap<FlowId, Active>,
+    now: Time,
+    next_id: u64,
+    recomputes: u64,
+}
+
+impl ReferenceNet {
+    /// A network over the given segments, starting at `Time::ZERO`.
+    pub fn new(segmap: SegmentMap) -> Self {
+        ReferenceNet {
+            segmap,
+            flows: BTreeMap::new(),
+            now: Time::ZERO,
+            next_id: 0,
+            recomputes: 0,
+        }
+    }
+
+    /// The segment map this network runs over.
+    pub fn segmap(&self) -> &SegmentMap {
+        &self.segmap
+    }
+
+    /// Current network-local time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total from-scratch rate recomputations performed.
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// Current payload rate of a flow, bytes/s.
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Apply an absolute health factor to a link mid-flight and re-share.
+    pub fn set_link_factor(&mut self, link: ifsim_topology::LinkId, factor: f64) {
+        assert!(factor > 0.0, "zero-capacity link: remove its flows instead");
+        self.segmap.set_link_factor(link, factor);
+        self.recompute();
+    }
+
+    /// Take a link down: abort crossing flows, zero its capacity, re-share.
+    pub fn fail_link(&mut self, link: ifsim_topology::LinkId) -> Vec<(FlowId, f64)> {
+        let segs = self.segmap.link_segments(link);
+        let victims: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.spec.segs.iter().any(|s| segs.contains(s)))
+            .map(|(&id, _)| id)
+            .collect();
+        let aborted: Vec<(FlowId, f64)> = victims
+            .into_iter()
+            .map(|id| {
+                let f = self.flows.remove(&id).expect("victim is active");
+                (id, f.delivered)
+            })
+            .collect();
+        self.segmap.set_link_factor(link, 0.0);
+        self.recompute();
+        aborted
+    }
+
+    /// Start a flow at time `now` (must not precede network time).
+    pub fn add_flow(&mut self, now: Time, spec: FlowSpec) -> FlowId {
+        self.advance_to(now);
+        for &s in &spec.segs {
+            assert!(s.idx() < self.segmap.len(), "unknown segment {s:?}");
+            assert!(
+                self.segmap.capacity(s) > 0.0,
+                "flow routed over dead segment"
+            );
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Active {
+                spec,
+                delivered: 0.0,
+                rate: 0.0,
+            },
+        );
+        self.recompute();
+        id
+    }
+
+    /// The earliest completion among active flows: a full linear scan.
+    pub fn peek_completion(&self) -> Option<(Time, FlowId)> {
+        let mut best: Option<(Time, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            let remaining = (f.spec.payload_bytes - f.delivered).max(0.0);
+            let t = self.now + Dur::for_bytes(remaining, f.rate);
+            match best {
+                Some((bt, _)) if bt <= t => {}
+                _ => best = Some((t, id)),
+            }
+        }
+        best
+    }
+
+    /// Move network time forward, accruing delivered payload.
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(t >= self.now, "time moved backwards");
+        let dt = (t - self.now).as_secs();
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                f.delivered = (f.delivered + f.rate * dt).min(f.spec.payload_bytes);
+            }
+        }
+        self.now = t;
+    }
+
+    /// Advance to the earliest completion and remove that flow.
+    pub fn complete_next(&mut self) -> Option<(Time, FlowId)> {
+        let (t, id) = self.peek_completion()?;
+        self.advance_to(t);
+        self.flows.remove(&id).expect("peeked flow exists");
+        self.recompute();
+        Some((t, id))
+    }
+
+    /// Cancel a flow; returns delivered bytes.
+    pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
+        let f = self.flows.remove(&id)?;
+        self.recompute();
+        Some(f.delivered)
+    }
+
+    fn recompute(&mut self) {
+        self.recomputes += 1;
+        if self.flows.is_empty() {
+            return;
+        }
+        let caps: Vec<f64> = (0..self.segmap.len())
+            .map(|i| self.segmap.capacity(crate::seg::SegId(i as u32)))
+            .collect();
+        let seg_lists: Vec<Vec<u32>> = self
+            .flows
+            .values()
+            .map(|f| f.spec.segs.iter().map(|s| s.0).collect())
+            .collect();
+        let inputs: Vec<FlowInput<'_>> = self
+            .flows
+            .values()
+            .zip(seg_lists.iter())
+            .map(|(f, segs)| FlowInput {
+                segs,
+                wire_cap: f.spec.wire_cap(),
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &inputs);
+        for (f, wire_rate) in self.flows.values_mut().zip(rates) {
+            f.rate = wire_rate * f.spec.efficiency;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifsim_des::units::gbps;
+    use ifsim_topology::{GcdId, NodeTopology, RoutePolicy, Router};
+
+    #[test]
+    fn reference_engine_reproduces_the_textbook_flow() {
+        let t = NodeTopology::frontier();
+        let r = Router::new(&t);
+        let mut n = ReferenceNet::new(SegmentMap::new(&t));
+        let p = r.gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth);
+        let segs = n.segmap().path_segments(&t, p, false);
+        let id = n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        assert!((n.rate_of(id).unwrap() - gbps(50.0)).abs() < 1.0);
+        let (tc, idc) = n.complete_next().unwrap();
+        assert_eq!(idc, id);
+        assert!((tc.as_secs() - 0.02).abs() < 1e-9);
+        assert_eq!(n.active(), 0);
+    }
+
+    #[test]
+    fn reference_counter_counts_every_pass_including_empty() {
+        // The naive engine's historical wart, kept verbatim: removing the
+        // last flow still runs (and counts) a recompute over nothing. The
+        // production engine fixes this; the differential tests compare
+        // rates and completions, never this counter.
+        let t = NodeTopology::frontier();
+        let r = Router::new(&t);
+        let mut n = ReferenceNet::new(SegmentMap::new(&t));
+        let p = r.gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth);
+        let segs = n.segmap().path_segments(&t, p, false);
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 1.0));
+        n.complete_next().unwrap();
+        assert_eq!(n.recomputes(), 2);
+    }
+}

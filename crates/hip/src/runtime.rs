@@ -952,6 +952,44 @@ impl HipSim {
         Ok(())
     }
 
+    /// Submit a whole batch of custom [`OpPlan`]s — e.g. every transfer of a
+    /// collective round — in one call. Entries are enqueued in order and
+    /// their streams started afterwards, which is timing-identical to
+    /// consecutive [`HipSim::submit_plan`] calls (the event queue breaks
+    /// time ties by insertion order) but lets the fabric coalesce all
+    /// same-timestamp flow admissions into a single fair-share recompute.
+    ///
+    /// On an invalid stream the batch stops there: earlier entries stay
+    /// submitted and their streams are still started before the error
+    /// returns.
+    pub fn submit_plans<L: Into<OpLabel>>(
+        &mut self,
+        plans: impl IntoIterator<Item = (StreamId, OpPlan, L)>,
+    ) -> HipResult<()> {
+        let mut started: Vec<StreamId> = Vec::new();
+        let mut result = Ok(());
+        for (stream, plan, label) in plans {
+            if let Err(e) = self.check_stream(stream) {
+                result = Err(e);
+                break;
+            }
+            let st = self.inner.streams.get_mut(&stream).expect("checked stream");
+            st.queue.push_back(QueuedOp {
+                work: Work::Planned(plan),
+                event: None,
+                label: label.into(),
+                attempts: 0,
+            });
+            if !started.contains(&stream) {
+                started.push(stream);
+            }
+        }
+        for stream in started {
+            Inner::start_next(&mut self.inner, &mut self.engine, stream);
+        }
+        result
+    }
+
     /// The logical device ordinal of a physical GCD, if visible.
     pub fn device_of_gcd(&self, gcd: GcdId) -> Option<usize> {
         self.inner.devices.device_of(gcd).map(|d| d.idx())
@@ -1273,9 +1311,11 @@ impl Inner {
             if flows.is_empty() {
                 Inner::finish_op(inner, engine, sid);
             } else {
+                // Batched admission: the whole op's flows (and any other
+                // same-timestamp admissions) share one deferred fair-share
+                // recompute instead of paying one per flow.
                 let now = engine.now();
-                for f in flows {
-                    let fid = inner.net.add_flow(now, f);
+                for fid in inner.net.add_flows(now, flows) {
                     inner.flow_owner.insert(fid, sid);
                 }
             }

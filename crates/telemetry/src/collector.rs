@@ -208,6 +208,23 @@ pub fn contribute(sim: SimTelemetry) {
     });
 }
 
+/// Fold an already-collected bundle into every active collector on *this*
+/// thread. The stack is thread-local, so a parallel driver whose workers
+/// gathered telemetry under their own collectors uses this to forward the
+/// merged result to the caller's collector (pids are offset on absorb).
+pub fn contribute_collected(t: CollectedTelemetry) {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        for (i, c) in stack.iter().enumerate() {
+            if i + 1 == stack.len() {
+                c.borrow_mut().absorb(t);
+                return;
+            }
+            c.borrow_mut().absorb(t.clone());
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +286,21 @@ mod tests {
         // Empty snapshots are skipped entirely.
         c.ingest(SimTelemetry::default());
         assert_eq!(c.sims(), 2);
+    }
+
+    #[test]
+    fn contribute_collected_forwards_worker_bundles() {
+        let outer = Collector::install();
+        let mut bundle = CollectedTelemetry::new();
+        bundle.ingest(sample_sim("worker"));
+        contribute_collected(bundle);
+        let got = outer.take();
+        assert_eq!(got.sims(), 1);
+        assert_eq!(got.events().len(), 1);
+        // With no collector active it is a no-op, not a panic.
+        let mut stray = CollectedTelemetry::new();
+        stray.ingest(sample_sim("stray"));
+        contribute_collected(stray);
     }
 
     #[test]

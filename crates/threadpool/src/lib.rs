@@ -1,0 +1,214 @@
+#![warn(missing_docs)]
+
+//! In-tree offline stand-in for the `threadpool` crate.
+//!
+//! The build sandbox has no registry access, so — like the vendored
+//! `proptest`, `criterion`, and `serde_json` shims — this crate implements
+//! just the API subset the workspace uses: a fixed-size pool of worker
+//! threads, [`ThreadPool::execute`] for fire-and-forget closures,
+//! [`ThreadPool::join`] to wait for quiescence, and
+//! [`ThreadPool::panic_count`] for post-mortem accounting. Workers survive
+//! panicking jobs, matching the real crate's behavior.
+//!
+//! Callers that need results back (the parallel experiment driver in
+//! `ifsim-bench`) pair `execute` with an `mpsc` channel of
+//! `(index, result)` and reorder on the receiving side; the pool itself
+//! promises nothing about completion order.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers: the count of jobs
+/// accepted but not yet finished (queued or running), a condvar signalled
+/// when that count hits zero, and the number of jobs that panicked.
+struct Gate {
+    outstanding: Mutex<usize>,
+    quiescent: Condvar,
+    panics: AtomicUsize,
+}
+
+/// A fixed-size pool of worker threads executing queued closures.
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    gate: Arc<Gate>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        // Workers take turns holding the lock while blocked on `recv`, so
+        // job *pickup* is serialized but execution is fully parallel.
+        let receiver = Arc::new(Mutex::new(receiver));
+        let gate = Arc::new(Gate {
+            outstanding: Mutex::new(0),
+            quiescent: Condvar::new(),
+            panics: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let gate = Arc::clone(&gate);
+                thread::spawn(move || loop {
+                    let job = receiver.lock().unwrap().recv();
+                    let Ok(job) = job else {
+                        // Channel closed: the pool handle was dropped.
+                        break;
+                    };
+                    if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                        gate.panics.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let mut n = gate.outstanding.lock().unwrap();
+                    *n -= 1;
+                    if *n == 0 {
+                        gate.quiescent.notify_all();
+                    }
+                })
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            gate,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn max_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a closure for execution on some worker thread.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        *self.gate.outstanding.lock().unwrap() += 1;
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the pool handle");
+    }
+
+    /// Block until every queued job has finished (including jobs queued by
+    /// other threads while waiting). The pool remains usable afterwards.
+    pub fn join(&self) {
+        let mut n = self.gate.outstanding.lock().unwrap();
+        while *n > 0 {
+            n = self.gate.quiescent.wait(n).unwrap();
+        }
+    }
+
+    /// How many executed jobs have panicked since the pool was built.
+    pub fn panic_count(&self) -> usize {
+        self.gate.panics.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker's `recv` fail once the
+        // queue drains; then reap them so no thread outlives the pool.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn executes_every_job_and_join_waits() {
+        let pool = ThreadPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.panic_count(), 0);
+        assert_eq!(pool.max_count(), 4);
+    }
+
+    #[test]
+    fn jobs_actually_run_concurrently() {
+        // All four jobs must be in flight at once for the barrier to open;
+        // a pool secretly running jobs serially would deadlock here.
+        let pool = ThreadPool::new(4);
+        let barrier = Arc::new(Barrier::new(4));
+        for _ in 0..4 {
+            let barrier = Arc::clone(&barrier);
+            pool.execute(move || {
+                barrier.wait();
+            });
+        }
+        pool.join();
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..3 {
+            pool.execute(|| panic!("job blew up"));
+        }
+        pool.join();
+        assert_eq!(pool.panic_count(), 3);
+        // The pool still works afterwards.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = Arc::clone(&ok);
+        pool.execute(move || {
+            ok2.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn indexed_results_reorder_to_submission_order() {
+        // The usage pattern the bench driver relies on: fan out with
+        // indices, collect over a channel, reorder on the receiver.
+        let pool = ThreadPool::new(3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16usize {
+            let tx = tx.clone();
+            pool.execute(move || {
+                tx.send((i, i * i)).unwrap();
+            });
+        }
+        drop(tx);
+        let mut out = vec![0usize; 16];
+        for (i, sq) in rx {
+            out[i] = sq;
+        }
+        pool.join();
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.max_count(), 1);
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hit);
+        pool.execute(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+}
