@@ -22,10 +22,21 @@ TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 ./target/release/mgpu-bench exp ext-fault-link-down --reps 1 \
     --trace-out "$TELEMETRY_TMP/trace.json" \
-    --metrics-out "$TELEMETRY_TMP/metrics.json" > /dev/null
+    --metrics-out "$TELEMETRY_TMP/metrics.json" \
+    --attr-json "$TELEMETRY_TMP/attr.json" > /dev/null
 ./target/release/telemetry-lint \
     --trace "$TELEMETRY_TMP/trace.json" \
-    --metrics "$TELEMETRY_TMP/metrics.json"
+    --metrics "$TELEMETRY_TMP/metrics.json" \
+    --attr "$TELEMETRY_TMP/attr.json"
+
+echo "==> drift watchdog: golden figures within tolerance, and trips on perturbation"
+./target/release/ifsim-drift
+# The watchdog must actually catch a miscalibration: a 10 % shift in the
+# SDMA/xGMI efficiency has to fail at least one figure with exit code 1.
+if ./target/release/ifsim-drift --perturb eff_sdma_xgmi=1.1 > /dev/null 2>&1; then
+    echo "ifsim-drift failed to detect a 10% calibration perturbation" >&2
+    exit 1
+fi
 
 echo "==> engine bench smoke: fabric_engine summary + lint"
 # Release-mode criterion run of the engine-vs-reference benches; the summary

@@ -15,12 +15,15 @@
 //! mgpu-bench exp <id>... [--jobs N]      run registry experiments
 //! ```
 //!
-//! Global options: `--seed <u64>`, `--reps <n>`, and the telemetry pair
-//! `--trace-out <file>` / `--metrics-out <file>`, which observe whatever
-//! command runs and write the merged Chrome trace-event timeline and the
-//! metrics snapshot (see docs/OBSERVABILITY.md). `exp` accepts several ids
-//! and `--jobs N` to run them concurrently; reports and telemetry still
-//! come out in the order the ids were given.
+//! Global options: `--seed <u64>`, `--reps <n>`, and the telemetry flags
+//! `--trace-out <file>` / `--metrics-out <file>` / `--attr-out <file>` /
+//! `--attr-json <file>` / `--timeseries-out <file>`, which observe whatever
+//! command runs and write the merged Chrome trace-event timeline, the
+//! metrics snapshot, the bottleneck-attribution report (markdown / JSON),
+//! and the flight recorder's link-utilization series as long-format CSV
+//! (see docs/OBSERVABILITY.md). `exp` accepts several ids and `--jobs N`
+//! to run them concurrently; reports and telemetry still come out in the
+//! order the ids were given.
 
 use ifsim_core::coll::Collective;
 use ifsim_core::des::units::{fmt_bytes, pow2_sweep, GIB, KIB, MIB};
@@ -29,7 +32,7 @@ use ifsim_core::microbench::{
     comm_scope, doctor, osu, p2p_matrix, rccl_tests, report, stream, BenchConfig,
 };
 use ifsim_core::registry;
-use ifsim_core::telemetry::Collector;
+use ifsim_core::telemetry::{self, Collector};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -48,6 +51,20 @@ struct Cli {
     derate: Option<(u8, u8, f64)>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    attr_out: Option<PathBuf>,
+    attr_json: Option<PathBuf>,
+    timeseries_out: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Whether any requested artifact needs an installed collector.
+    fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.attr_out.is_some()
+            || self.attr_json.is_some()
+            || self.timeseries_out.is_some()
+    }
 }
 
 fn usage() -> ! {
@@ -55,7 +72,8 @@ fn usage() -> ! {
         "usage: mgpu-bench <h2d|stream|p2p|osu-bw|osu-latency|osu-coll|rccl|doctor|exp> [options]\n\
          run `mgpu-bench <cmd> --help` conventions: --size BYTES --devices LIST --dst N\n\
          --ranks N --coll NAME --no-sdma --latency/--bandwidth/--bidir --derate A,B,F\n\
-         --seed U64 --reps N --jobs N --trace-out FILE --metrics-out FILE"
+         --seed U64 --reps N --jobs N --trace-out FILE --metrics-out FILE\n\
+         --attr-out FILE --attr-json FILE --timeseries-out FILE"
     );
     std::process::exit(2)
 }
@@ -92,6 +110,9 @@ fn parse() -> Cli {
         derate: None,
         trace_out: None,
         metrics_out: None,
+        attr_out: None,
+        attr_json: None,
+        timeseries_out: None,
     };
     while let Some(a) = args.next() {
         let mut next = |name: &str| {
@@ -137,6 +158,11 @@ fn parse() -> Cli {
             }
             "--trace-out" => cli.trace_out = Some(PathBuf::from(next("--trace-out"))),
             "--metrics-out" => cli.metrics_out = Some(PathBuf::from(next("--metrics-out"))),
+            "--attr-out" => cli.attr_out = Some(PathBuf::from(next("--attr-out"))),
+            "--attr-json" => cli.attr_json = Some(PathBuf::from(next("--attr-json"))),
+            "--timeseries-out" => {
+                cli.timeseries_out = Some(PathBuf::from(next("--timeseries-out")))
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => cli.ids.push(other.to_string()),
             other => {
@@ -152,20 +178,26 @@ fn main() -> ExitCode {
     let cli = parse();
     // With a telemetry artifact requested, every runtime the dispatched
     // command constructs self-observes and feeds this collector.
-    let collector = (cli.trace_out.is_some() || cli.metrics_out.is_some()).then(Collector::install);
+    let collector = cli.wants_telemetry().then(Collector::install);
     let code = dispatch(&cli);
     if let Some(collector) = collector {
         let t = collector.take();
-        if let Some(path) = &cli.trace_out {
-            if let Err(e) = std::fs::write(path, t.chrome_trace_string()) {
-                eprintln!("cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        }
-        if let Some(path) = &cli.metrics_out {
-            if let Err(e) = std::fs::write(path, t.metrics_json_string()) {
-                eprintln!("cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
+        let artifacts: [(&Option<PathBuf>, String); 5] = [
+            (&cli.trace_out, t.chrome_trace_string()),
+            (&cli.metrics_out, t.metrics_json_string()),
+            (&cli.attr_out, telemetry::render_attribution(&t)),
+            (
+                &cli.attr_json,
+                telemetry::json::to_string_pretty(&telemetry::attribution_json(&t)),
+            ),
+            (&cli.timeseries_out, telemetry::timeseries_csv(&t)),
+        ];
+        for (path, contents) in artifacts {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, contents) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

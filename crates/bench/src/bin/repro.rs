@@ -12,12 +12,18 @@
 //!                    <id>.metrics.json telemetry snapshot per experiment)
 //!   --trace-out <f>  write the merged Chrome trace-event timeline to <f>
 //!   --metrics-out <f> write the merged metrics snapshot (JSON) to <f>
+//!   --attr-out <f>   write the bottleneck-attribution report (markdown)
+//!   --attr-json <f>  write the attribution as JSON (schema ifsim-attr-v1)
+//!   --timeseries-out <f> write the flight recorder's link-utilization
+//!                    counter series as long-format CSV
 //!   --jobs <n>       run up to <n> experiments concurrently; every
 //!                    artifact is byte-identical to a serial run
 //!   --list           list experiments and exit
 //! ```
 
-use ifsim_bench::telemetry::{json, CollectedTelemetry};
+use ifsim_bench::telemetry::{
+    attribution_json, json, render_attribution, timeseries_csv, CollectedTelemetry,
+};
 use ifsim_bench::{run_experiments_instrumented_jobs, run_experiments_jobs, BenchConfig};
 use ifsim_core::registry;
 use std::path::PathBuf;
@@ -29,6 +35,9 @@ struct Args {
     csv_dir: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    attr_out: Option<PathBuf>,
+    attr_json: Option<PathBuf>,
+    timeseries_out: Option<PathBuf>,
     jobs: usize,
     list: bool,
 }
@@ -40,6 +49,9 @@ fn parse_args() -> Result<Args, String> {
         csv_dir: None,
         trace_out: None,
         metrics_out: None,
+        attr_out: None,
+        attr_json: None,
+        timeseries_out: None,
         jobs: 1,
         list: false,
     };
@@ -68,6 +80,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--metrics-out needs a file")?;
                 args.metrics_out = Some(PathBuf::from(v));
             }
+            "--attr-out" => {
+                let v = it.next().ok_or("--attr-out needs a file")?;
+                args.attr_out = Some(PathBuf::from(v));
+            }
+            "--attr-json" => {
+                let v = it.next().ok_or("--attr-json needs a file")?;
+                args.attr_json = Some(PathBuf::from(v));
+            }
+            "--timeseries-out" => {
+                let v = it.next().ok_or("--timeseries-out needs a file")?;
+                args.timeseries_out = Some(PathBuf::from(v));
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 args.jobs = v.parse().map_err(|e| format!("bad jobs: {e}"))?;
@@ -78,7 +102,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] \
-                     [--trace-out FILE] [--metrics-out FILE] [--jobs N] [--list] [IDS...]"
+                     [--trace-out FILE] [--metrics-out FILE] [--attr-out FILE] \
+                     [--attr-json FILE] [--timeseries-out FILE] [--jobs N] [--list] [IDS...]"
                 );
                 println!("experiments: {}", registry::ids().join(", "));
                 std::process::exit(0);
@@ -114,8 +139,12 @@ fn main() -> ExitCode {
     );
     // Instrument as soon as any telemetry artifact is requested: the merged
     // trace/metrics files, or the per-experiment snapshots beside the CSVs.
-    let instrument =
-        args.trace_out.is_some() || args.metrics_out.is_some() || args.csv_dir.is_some();
+    let instrument = args.trace_out.is_some()
+        || args.metrics_out.is_some()
+        || args.attr_out.is_some()
+        || args.attr_json.is_some()
+        || args.timeseries_out.is_some()
+        || args.csv_dir.is_some();
     // Results come back in registry order regardless of --jobs, and each
     // experiment seeds its simulators from the config alone, so the loop
     // below emits byte-identical artifacts whether the run was parallel
@@ -172,6 +201,24 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.metrics_out {
         if let Err(e) = std::fs::write(path, merged.metrics_json_string()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.attr_out {
+        if let Err(e) = std::fs::write(path, render_attribution(&merged)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.attr_json {
+        if let Err(e) = std::fs::write(path, json::to_string_pretty(&attribution_json(&merged))) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.timeseries_out {
+        if let Err(e) = std::fs::write(path, timeseries_csv(&merged)) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

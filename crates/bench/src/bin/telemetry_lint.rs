@@ -1,22 +1,30 @@
 //! `telemetry-lint` — schema smoke test for the telemetry artifacts that
-//! `repro` and `mgpu-bench` emit via `--trace-out` / `--metrics-out`, and
-//! for the engine-bench summary `cargo bench --bench fabric_engine` writes.
+//! `repro` and `mgpu-bench` emit via `--trace-out` / `--metrics-out` /
+//! `--attr-json`, and for the engine-bench summary
+//! `cargo bench --bench fabric_engine` writes.
 //!
 //! ```text
-//! telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE]
+//! telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE] [--attr FILE]
 //! ```
 //!
 //! Validates structure only, no golden values: the trace must be Chrome
 //! trace-event JSON (a `traceEvents` array whose records all carry
-//! name/ph/ts/pid/tid, with `dur` on complete spans and `args.name` on
-//! metadata records), the metrics snapshot must hold counter/gauge
-//! arrays plus histograms carrying count/sum/min/max/mean/p50/p95/p99,
-//! and the bench summary must be `ifsim-bench-fabric-v1`: non-empty
-//! `results` rows with an id, positive timings, and at least one
-//! iteration, plus a `speedup` object of positive ratios.
-//! Exit code 0 when every given file passes, 1 otherwise.
+//! name/ph/ts/pid/tid, with `dur` on complete spans, `args.name` on
+//! metadata records, and — for the flight recorder's `ph: "C"` counter
+//! tracks — a numeric `args.value`, a `fabric util <link>` name matching
+//! a real Frontier-topology segment label, and non-decreasing timestamps
+//! per `(pid, name)` track); the metrics snapshot must hold counter/gauge
+//! arrays plus histograms carrying count/sum/min/max/mean/p50/p95/p99;
+//! the attribution document must be schema `ifsim-attr-v1` with a
+//! consistent cap/link split; and the bench summary must be
+//! `ifsim-bench-fabric-v1`: non-empty `results` rows with an id, positive
+//! timings, and at least one iteration, plus a `speedup` object of
+//! positive ratios. Exit code 0 when every given file passes, 1 otherwise.
 
+use ifsim_core::fabric::SegmentMap;
 use ifsim_core::telemetry::json::{self, Value};
+use ifsim_core::topology::NodeTopology;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +32,17 @@ fn load(path: &PathBuf) -> Result<Value, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     json::from_str(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+/// Directed-link segment labels of the Frontier topology — the universe
+/// the flight recorder samples, and therefore the only names a
+/// `fabric util <link>` counter track may carry.
+fn known_link_labels() -> BTreeSet<String> {
+    let segmap = SegmentMap::new(&NodeTopology::frontier());
+    segmap
+        .dir_segments()
+        .map(|(_, _, seg)| segmap.label(seg).to_string())
+        .collect()
 }
 
 fn lint_trace(v: &Value) -> Result<usize, String> {
@@ -34,6 +53,9 @@ fn lint_trace(v: &Value) -> Result<usize, String> {
     if events.is_empty() {
         return Err("traceEvents is empty".into());
     }
+    let known = known_link_labels();
+    // Last timestamp seen per (pid, counter-name) track.
+    let mut last_ts: BTreeMap<(u64, String), f64> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         for field in ["name", "ph", "ts", "pid", "tid"] {
             if ev.get(field).is_none() {
@@ -53,10 +75,90 @@ fn lint_trace(v: &Value) -> Result<usize, String> {
                     return Err(format!("metadata record #{i} missing args.name"));
                 }
             }
+            Some("C") => {
+                if ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_f64())
+                    .is_none()
+                {
+                    return Err(format!("counter #{i} missing numeric args.value: {ev:?}"));
+                }
+                let name = ev.get("name").and_then(|n| n.as_str()).unwrap_or("");
+                let link = name
+                    .strip_prefix("fabric util ")
+                    .ok_or_else(|| format!("counter #{i} has non-recorder name '{name}'"))?;
+                if !known.contains(link) {
+                    return Err(format!("counter #{i} references unknown link '{link}'"));
+                }
+                let pid = ev.get("pid").and_then(|p| p.as_u64()).unwrap_or(0);
+                let ts = ev.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0);
+                let key = (pid, name.to_string());
+                if let Some(&prev) = last_ts.get(&key) {
+                    if ts < prev {
+                        return Err(format!(
+                            "counter track (pid {pid}, '{name}') goes back in time: \
+                             {ts} after {prev}"
+                        ));
+                    }
+                }
+                last_ts.insert(key, ts);
+            }
             other => return Err(format!("event #{i} has unexpected phase {other:?}")),
         }
     }
     Ok(events.len())
+}
+
+/// Validate an `--attr-json` document (schema `ifsim-attr-v1`): numeric,
+/// non-negative aggregates; segment rows carrying segment/bound_ns/share;
+/// and a cap + link split that sums back to the total flow-time.
+fn lint_attr(v: &Value) -> Result<usize, String> {
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some("ifsim-attr-v1") => {}
+        other => return Err(format!("unexpected schema {other:?}")),
+    }
+    let num = |field: &str| -> Result<f64, String> {
+        match v.get(field).and_then(|x| x.as_f64()) {
+            Some(x) if x >= 0.0 && x.is_finite() => Ok(x),
+            other => Err(format!("bad {field}: {other:?}")),
+        }
+    };
+    let total = num("total_ns")?;
+    let cap = num("cap_bound_ns")?;
+    let link = num("link_bound_ns")?;
+    num("flows")?;
+    let segments = v
+        .get("segments")
+        .and_then(|s| s.as_array())
+        .ok_or("missing segments array")?;
+    let mut seg_sum = 0.0;
+    for (i, s) in segments.iter().enumerate() {
+        if s.get("segment").and_then(|x| x.as_str()).is_none() {
+            return Err(format!("segment #{i} missing segment label"));
+        }
+        let bound = match s.get("bound_ns").and_then(|x| x.as_f64()) {
+            Some(b) if b >= 0.0 => b,
+            other => return Err(format!("segment #{i} has bad bound_ns {other:?}")),
+        };
+        match s.get("share").and_then(|x| x.as_f64()) {
+            Some(sh) if (0.0..=1.0 + 1e-9).contains(&sh) => {}
+            other => return Err(format!("segment #{i} has bad share {other:?}")),
+        }
+        seg_sum += bound;
+    }
+    let tol = 1e-6 * total.max(1.0);
+    if (seg_sum - link).abs() > tol {
+        return Err(format!(
+            "segment bound times sum to {seg_sum}, but link_bound_ns is {link}"
+        ));
+    }
+    if (cap + link) > total + tol {
+        return Err(format!(
+            "cap ({cap}) + link ({link}) exceeds total flow-time ({total})"
+        ));
+    }
+    Ok(segments.len())
 }
 
 fn lint_metrics(v: &Value) -> Result<usize, String> {
@@ -150,14 +252,19 @@ fn main() -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
     let mut bench: Option<PathBuf> = None;
+    let mut attr: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace = it.next().map(PathBuf::from),
             "--metrics" => metrics = it.next().map(PathBuf::from),
             "--bench" => bench = it.next().map(PathBuf::from),
+            "--attr" => attr = it.next().map(PathBuf::from),
             "--help" | "-h" => {
-                println!("usage: telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE]");
+                println!(
+                    "usage: telemetry-lint [--trace FILE] [--metrics FILE] \
+                     [--bench FILE] [--attr FILE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -166,8 +273,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    if trace.is_none() && metrics.is_none() && bench.is_none() {
-        eprintln!("nothing to lint: pass --trace, --metrics, and/or --bench");
+    if trace.is_none() && metrics.is_none() && bench.is_none() && attr.is_none() {
+        eprintln!("nothing to lint: pass --trace, --metrics, --bench, and/or --attr");
         return ExitCode::from(2);
     }
     let mut ok = true;
@@ -194,6 +301,15 @@ fn main() -> ExitCode {
             Ok(n) => println!("bench   OK: {} — {n} results", path.display()),
             Err(e) => {
                 eprintln!("bench   FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = attr {
+        match load(&path).and_then(|v| lint_attr(&v)) {
+            Ok(n) => println!("attr    OK: {} — {n} segments", path.display()),
+            Err(e) => {
+                eprintln!("attr    FAIL: {} — {e}", path.display());
                 ok = false;
             }
         }

@@ -273,6 +273,127 @@ fn repro_emits_telemetry_artifacts_next_to_csv() {
 }
 
 #[test]
+fn observability_artifacts_do_not_change_results() {
+    // Attribution and the flight recorder are observers: a run that emits
+    // every observability artifact must produce byte-identical CSVs (and
+    // identical stdout reports) to a bare run of the same experiments.
+    let bare_dir = temp_dir("obs-off");
+    let bare = repro()
+        .args(["--quick", "--reps", "1", "--csv"])
+        .arg(&bare_dir)
+        .args(["fig6a", "fig6b"])
+        .output()
+        .expect("bare run");
+    assert!(bare.status.success());
+    let obs_dir = temp_dir("obs-on");
+    let obs = repro()
+        .args(["--quick", "--reps", "1", "--csv"])
+        .arg(&obs_dir)
+        .arg("--attr-out")
+        .arg(obs_dir.join("attr.md"))
+        .arg("--attr-json")
+        .arg(obs_dir.join("attr.json"))
+        .arg("--timeseries-out")
+        .arg(obs_dir.join("util.csv"))
+        .arg("--trace-out")
+        .arg(obs_dir.join("trace.json"))
+        .args(["fig6a", "fig6b"])
+        .output()
+        .expect("instrumented run");
+    assert!(obs.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&bare.stdout),
+        String::from_utf8_lossy(&obs.stdout),
+        "stdout diverges when observability is on"
+    );
+    for name in ["fig6a.csv", "fig6b.csv"] {
+        let a = std::fs::read(bare_dir.join(name)).unwrap();
+        let b = std::fs::read(obs_dir.join(name)).unwrap();
+        assert_eq!(a, b, "{name} diverges when observability is on");
+    }
+    // The attribution JSON the instrumented run produced passes the lint.
+    let ok = lint()
+        .arg("--attr")
+        .arg(obs_dir.join("attr.json"))
+        .output()
+        .expect("run telemetry-lint");
+    assert!(
+        ok.status.success(),
+        "attr lint failed: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    std::fs::remove_dir_all(&bare_dir).ok();
+    std::fs::remove_dir_all(&obs_dir).ok();
+}
+
+#[test]
+fn mgpu_bench_attr_report_names_the_saturated_link() {
+    // The lane-loss experiment drives the quad GCD0<->GCD1 link into
+    // contention: the attribution report must name it dominant.
+    let dir = temp_dir("attr-report");
+    let attr = dir.join("attr.md");
+    let out = mgpu()
+        .args(["exp", "ext-fault-p2p-lanes", "--reps", "1"])
+        .arg("--attr-out")
+        .arg(&attr)
+        .output()
+        .expect("run mgpu-bench exp");
+    assert!(out.status.success());
+    let report = std::fs::read_to_string(&attr).expect("attr report written");
+    assert!(
+        report.contains("Dominant binding segment: **GCD0->GCD1**"),
+        "{report}"
+    );
+    assert!(report.contains("endpoint/engine cap"), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_lint_validates_attribution_json() {
+    let dir = temp_dir("lint-attr");
+    let good = dir.join("attr.json");
+    std::fs::write(
+        &good,
+        r#"{
+  "schema": "ifsim-attr-v1",
+  "flows": 4,
+  "total_ns": 100.0,
+  "cap_bound_ns": 60.0,
+  "link_bound_ns": 40.0,
+  "segments": [{"segment": "GCD0->GCD1", "bound_ns": 40.0, "share": 0.4}]
+}"#,
+    )
+    .unwrap();
+    let out = lint().arg("--attr").arg(&good).output().expect("lint");
+    assert!(
+        out.status.success(),
+        "good attr rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Wrong schema, and a segment sum that disagrees with link_bound_ns,
+    // must both fail.
+    for (name, body) in [
+        (
+            "schema",
+            r#"{"schema": "other", "flows": 0, "total_ns": 0.0,
+               "cap_bound_ns": 0.0, "link_bound_ns": 0.0, "segments": []}"#,
+        ),
+        (
+            "sum",
+            r#"{"schema": "ifsim-attr-v1", "flows": 1, "total_ns": 100.0,
+               "cap_bound_ns": 60.0, "link_bound_ns": 40.0,
+               "segments": [{"segment": "GCD0->GCD1", "bound_ns": 10.0, "share": 0.1}]}"#,
+        ),
+    ] {
+        let bad = dir.join(format!("bad-{name}.json"));
+        std::fs::write(&bad, body).unwrap();
+        let out = lint().arg("--attr").arg(&bad).output().expect("lint");
+        assert!(!out.status.success(), "{name} attr accepted");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn telemetry_lint_rejects_malformed_artifacts() {
     let dir = temp_dir("lint");
     let bad_trace = dir.join("bad-trace.json");

@@ -155,6 +155,10 @@ pub struct FairshareScratch {
     /// Round in which each segment's load last changed, for validating the
     /// carried Δ-argmin across rounds.
     stamp: Vec<u32>,
+    /// Which constraint froze each flow in the last solve: [`CAP_BOUND`]
+    /// when the flow's own wire cap bound it, otherwise the index of the
+    /// saturated segment whose freeze fixed the flow's rate.
+    binding: Vec<u32>,
 }
 
 impl FairshareScratch {
@@ -162,7 +166,20 @@ impl FairshareScratch {
     pub fn new() -> Self {
         FairshareScratch::default()
     }
+
+    /// Binding constraint per flow from the most recent
+    /// [`max_min_rates_arena`] solve, in span order: [`CAP_BOUND`] for a
+    /// flow frozen at its own wire cap (endpoint/engine-bound), otherwise
+    /// the dense segment index that saturated under it (link-contention-
+    /// bound). Valid until the next solve over this scratch.
+    pub fn binding(&self) -> &[u32] {
+        &self.binding
+    }
 }
+
+/// Sentinel in [`FairshareScratch::binding`]: the flow froze at its own
+/// wire cap rather than on a saturated segment.
+pub const CAP_BOUND: u32 = u32::MAX;
 
 /// Compute max-min fair wire rates over an arena view, allocation-free.
 ///
@@ -199,6 +216,8 @@ pub fn max_min_rates_arena(
     let nf = spans.len();
     out.clear();
     out.resize(nf, 0.0);
+    scratch.binding.clear();
+    scratch.binding.resize(nf, CAP_BOUND);
     if nf == 0 {
         return;
     }
@@ -362,6 +381,7 @@ pub fn max_min_rates_arena(
                     continue;
                 }
                 out[i] = level;
+                scratch.binding[i] = s as u32;
                 scratch.fixed[i] = true;
                 remaining -= 1;
                 froze_any = true;
@@ -512,6 +532,38 @@ mod tests {
             assert_eq!(out.len(), naive.len());
             for (a, b) in out.iter().zip(&naive) {
                 assert!((a - b).abs() <= 1e-9 * b.max(1.0), "{out:?} vs {naive:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_solver_reports_binding_constraints() {
+        use crate::arena::FlowArena;
+        use crate::seg::SegId;
+        // Hand-traced water fill: seg 2 (cap 20, two flows) saturates at
+        // level 10 freezing flows 1 and 2; flow 3 then hits its 12.0 cap;
+        // seg 1 finally saturates at level 35 freezing flows 0 and 4.
+        let caps = [50.0, 80.0, 20.0, 100.0];
+        let defs = [
+            (vec![0u32, 1], INF),
+            (vec![1, 2], 30.0),
+            (vec![2, 3], INF),
+            (vec![0, 3], 12.0),
+            (vec![1], INF),
+        ];
+        let mut arena = FlowArena::new();
+        for (segs, cap) in &defs {
+            let segs: Vec<SegId> = segs.iter().map(|&s| SegId(s)).collect();
+            arena.push(&segs, *cap);
+        }
+        let mut scratch = FairshareScratch::new();
+        let mut out = Vec::new();
+        max_min_rates_arena(&caps, arena.buf(), arena.spans(), &mut scratch, &mut out);
+        assert_eq!(scratch.binding(), &[1, 2, 2, CAP_BOUND, 1]);
+        // Every link-bound flow actually traverses its binding segment.
+        for ((segs, _), &b) in defs.iter().zip(scratch.binding()) {
+            if b != CAP_BOUND {
+                assert!(segs.contains(&b), "binding {b} not on route {segs:?}");
             }
         }
     }

@@ -6,6 +6,7 @@
 //! re-planned. Disabled (the default) it costs one branch per transition
 //! and allocates nothing.
 
+use crate::attr::BottleneckAttribution;
 use crate::flow::FlowId;
 use ifsim_des::Time;
 
@@ -23,6 +24,9 @@ pub enum FlowEventKind {
     Completed {
         /// Bytes delivered (equals the payload up to numeric epsilon).
         delivered_bytes: f64,
+        /// Where the flow's lifetime went, by binding constraint — present
+        /// when the network had attribution enabled.
+        attribution: Option<BottleneckAttribution>,
     },
     /// The flow was torn down early (fault, cancellation).
     Aborted {
@@ -129,6 +133,7 @@ mod tests {
             0,
             FlowEventKind::Completed {
                 delivered_bytes: 1.0,
+                attribution: None,
             },
         ));
         log.push_with(|| panic!("must not be built while disabled"));

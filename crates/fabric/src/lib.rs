@@ -40,6 +40,7 @@
 //! for the differential property tests and the benchmark baseline.
 
 pub mod arena;
+pub mod attr;
 pub mod calib;
 pub mod fairshare;
 pub mod fault;
@@ -47,12 +48,15 @@ pub mod flow;
 pub mod flowlog;
 pub mod latency;
 pub mod net;
+pub mod recorder;
 pub mod reference;
 pub mod seg;
 
+pub use attr::BottleneckAttribution;
 pub use calib::Calibration;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use flow::{FlowId, FlowSpec};
 pub use flowlog::{FlowEvent, FlowEventKind, FlowLog};
 pub use net::{FlowNet, LinkLoad};
+pub use recorder::{UtilSample, UtilSeries};
 pub use seg::{Dir, SegId, SegmentMap};

@@ -36,9 +36,11 @@
 //!   instead of the former O(F²) scan.
 
 use crate::arena::FlowArena;
+use crate::attr::AttrAcc;
 use crate::fairshare::{max_min_rates_arena, FairshareScratch};
 use crate::flow::{FlowId, FlowSpec};
 use crate::flowlog::{FlowEvent, FlowEventKind, FlowLog};
+use crate::recorder::{FlightRecorder, UtilSeries};
 use crate::seg::{Dir, SegId, SegmentMap};
 use ifsim_des::{Dur, Time};
 use ifsim_topology::LinkId;
@@ -106,6 +108,9 @@ struct RateState {
     wire: Vec<f64>,
     /// Fair-share passes actually executed (over a non-empty table).
     recomputes: u64,
+    /// Epoch-sampled utilization time series (disabled by default). Lives
+    /// here because the flush that feeds it runs under `&self`.
+    recorder: Option<FlightRecorder>,
 }
 
 /// Telemetry summary of one directed link segment over a run.
@@ -152,6 +157,12 @@ pub struct FlowNet {
     peak_active: usize,
     /// Lifecycle event stream (disabled by default).
     log: FlowLog,
+    /// Per-flow binding-constraint accumulators, parallel to `entries`.
+    /// Maintained in swap-remove lockstep always (an empty accumulator
+    /// never allocates); *charged* only when `attr_enabled`.
+    attr: Vec<AttrAcc>,
+    /// Whether accrual intervals are charged to binding constraints.
+    attr_enabled: bool,
     rs: RefCell<RateState>,
 }
 
@@ -174,6 +185,8 @@ impl FlowNet {
             busy_gen: 0,
             peak_active: 0,
             log: FlowLog::default(),
+            attr: Vec::new(),
+            attr_enabled: false,
             rs: RefCell::new(RateState {
                 dirty: false,
                 rates: Vec::new(),
@@ -182,6 +195,7 @@ impl FlowNet {
                 scratch: FairshareScratch::new(),
                 wire: Vec::new(),
                 recomputes: 0,
+                recorder: None,
             }),
         }
     }
@@ -191,6 +205,42 @@ impl FlowNet {
     /// transition and never allocates.
     pub fn enable_flow_log(&mut self) {
         self.log.enable();
+    }
+
+    /// Start charging every accrual interval to each flow's current
+    /// binding constraint (the segment that saturated under it, or its own
+    /// wire cap). Completed flows then carry a
+    /// [`crate::attr::BottleneckAttribution`] on their log event. Flows
+    /// already active restart their lifetime clock at `now` so charged
+    /// time still partitions the reported lifetime.
+    pub fn enable_attribution(&mut self) {
+        self.attr_enabled = true;
+        let now_ns = self.now.as_ns();
+        for a in &mut self.attr {
+            a.started_ns = now_ns;
+        }
+    }
+
+    /// Whether binding-constraint time is being charged.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attr_enabled
+    }
+
+    /// Start the flight recorder: every fair-share recompute epoch appends
+    /// one per-directed-link utilization sample to a ring holding at most
+    /// `capacity` epochs (see [`crate::recorder::DEFAULT_RING_CAPACITY`]).
+    /// The recorder only observes — rates, completion times and artifact
+    /// outputs are identical with it on or off.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.rs.get_mut().recorder = Some(FlightRecorder::new(&self.segmap, capacity));
+    }
+
+    /// Snapshot of the recorded utilization series, if the recorder is on.
+    /// Flushes any deferred recompute first so a membership change right
+    /// before the snapshot (e.g. the last completion) is sampled.
+    pub fn recorder_series(&self) -> Option<UtilSeries> {
+        self.flush();
+        self.rs.borrow().recorder.as_ref().map(|r| r.series())
     }
 
     /// The lifecycle event stream recorded so far.
@@ -294,7 +344,7 @@ impl FlowNet {
         let aborted: Vec<(FlowId, f64)> = victims
             .into_iter()
             .map(|id| {
-                let e = self.remove_flow(id).expect("victim is active");
+                let (e, _) = self.remove_flow(id).expect("victim is active");
                 (id, e.delivered)
             })
             .collect();
@@ -420,9 +470,21 @@ impl FlowNet {
             self.busy_gen += 1;
             let gen = self.busy_gen;
             let rs = self.rs.borrow();
+            // Every positive-dt accrual directly follows a flush with no
+            // intervening membership change, so the solver's binding array
+            // is aligned with the entry table for this interval. One
+            // exception: the empty-table flush skips the solver, leaving a
+            // stale binding length behind — fine, nothing reads it below.
+            let bindings = self.attr_enabled.then(|| rs.scratch.binding());
+            debug_assert!(
+                self.entries.is_empty() || bindings.is_none_or(|b| b.len() == self.entries.len())
+            );
             for (i, e) in self.entries.iter_mut().enumerate() {
                 let rate = rs.rates[i];
                 e.delivered = (e.delivered + rate * dt).min(e.spec.payload_bytes);
+                if let Some(b) = bindings {
+                    self.attr[i].charge(b[i], dt_ns);
+                }
                 // Wire bytes = payload / efficiency, charged to every
                 // traversed segment.
                 let wire = rate * dt / e.spec.efficiency;
@@ -464,18 +526,20 @@ impl FlowNet {
         // `t` is the earliest pending completion, so the `advance_to`
         // preamble (flush + skip assertion) would be pure repetition.
         self.accrue_to(t);
-        let e = self.remove_flow(id).expect("peeked flow exists");
+        let (e, acc) = self.remove_flow(id).expect("peeked flow exists");
         debug_assert!(
             (e.delivered - e.spec.payload_bytes).abs() <= 1e-6 * e.spec.payload_bytes.max(1.0),
             "flow completed with {} of {} bytes delivered",
             e.delivered,
             e.spec.payload_bytes
         );
+        let attributed = self.attr_enabled;
         self.log.push_with(|| FlowEvent {
             at: t,
             flow: id,
             kind: FlowEventKind::Completed {
                 delivered_bytes: e.delivered,
+                attribution: attributed.then(|| acc.finish(t.as_ns())),
             },
         });
         Some((t, id))
@@ -483,7 +547,7 @@ impl FlowNet {
 
     /// Cancel a flow (used for failure-injection tests); returns delivered bytes.
     pub fn cancel(&mut self, id: FlowId) -> Option<f64> {
-        let e = self.remove_flow(id)?;
+        let (e, _) = self.remove_flow(id)?;
         let now = self.now;
         self.log.push_with(|| FlowEvent {
             at: now,
@@ -551,6 +615,11 @@ impl FlowNet {
             spec,
             delivered: 0.0,
         });
+        // Lockstep with `entries`; an empty accumulator never allocates.
+        self.attr.push(AttrAcc {
+            started_ns: self.now.as_ns(),
+            ..AttrAcc::default()
+        });
         let rs = self.rs.get_mut();
         // -1.0 can never equal a computed rate, so the first flush always
         // pushes this flow's projection.
@@ -568,9 +637,10 @@ impl FlowNet {
     /// swap-remove lockstep. Heap projections of the removed flow orphan via
     /// the id lookup; projections of the flow swapped into its slot stay
     /// valid because its generation moves with it.
-    fn remove_flow(&mut self, id: FlowId) -> Option<Entry> {
+    fn remove_flow(&mut self, id: FlowId) -> Option<(Entry, AttrAcc)> {
         let idx = self.ids.remove(&id)? as usize;
         let e = self.entries.swap_remove(idx);
+        let acc = self.attr.swap_remove(idx);
         self.arena.swap_remove(idx);
         let rs = self.rs.get_mut();
         rs.rates.swap_remove(idx);
@@ -580,7 +650,7 @@ impl FlowNet {
             let moved = self.entries[idx].id;
             *self.ids.get_mut(&moved).expect("moved flow is indexed") = idx as u32;
         }
-        Some(e)
+        Some((e, acc))
     }
 
     /// Re-cache segment capacities after a link-factor change and schedule a
@@ -604,8 +674,14 @@ impl FlowNet {
         rs.dirty = false;
         if self.entries.is_empty() {
             // No solver pass happens (and none is counted) for an empty
-            // table; stale projections can be dropped wholesale.
-            rs.heap.clear();
+            // table; stale projections can be dropped wholesale. The
+            // recorder still gets an all-zero epoch so the series shows
+            // traffic dropping to idle.
+            let RateState { heap, recorder, .. } = &mut *rs;
+            heap.clear();
+            if let Some(rec) = recorder.as_mut() {
+                rec.record(self.now.as_ns(), &self.caps, &[], &[], &[]);
+            }
             return;
         }
         rs.recomputes += 1;
@@ -615,6 +691,7 @@ impl FlowNet {
             heap,
             scratch,
             wire,
+            recorder,
             ..
         } = &mut *rs;
         max_min_rates_arena(
@@ -624,6 +701,15 @@ impl FlowNet {
             scratch,
             wire,
         );
+        if let Some(rec) = recorder.as_mut() {
+            rec.record(
+                self.now.as_ns(),
+                &self.caps,
+                self.arena.buf(),
+                self.arena.spans(),
+                wire,
+            );
+        }
         let now_ns = self.now.as_ns();
         let n = self.entries.len();
         let changed = self
@@ -1119,6 +1205,167 @@ mod tests {
         let (ta, ida) = n.complete_next().unwrap();
         assert_eq!(ida, a);
         assert!((ta.as_secs() - 20e9 / rate_a).abs() < 1e-9);
+    }
+
+    /// The attribution on the first Completed event of the log.
+    fn first_attribution(n: &FlowNet) -> crate::attr::BottleneckAttribution {
+        n.flow_log()
+            .events()
+            .iter()
+            .find_map(|e| match &e.kind {
+                FlowEventKind::Completed {
+                    attribution: Some(a),
+                    ..
+                } => Some(a.clone()),
+                _ => None,
+            })
+            .expect("a completed event with attribution")
+    }
+
+    #[test]
+    fn capped_exclusive_flow_attributes_to_its_cap() {
+        let (t, r, mut n) = net();
+        n.enable_flow_log();
+        n.enable_attribution();
+        // Quad link (200 GB/s) with an SDMA-like cap: the cap binds the
+        // whole lifetime; no segment ever saturates.
+        let segs = peer_segs(&t, &r, &n, 0, 1, false);
+        n.run_exclusive(
+            Time::ZERO,
+            FlowSpec::new(segs, 1e9, 0.75).with_cap(gbps(50.0)),
+        );
+        let a = first_attribution(&n);
+        assert!(a.total_ns > 0.0);
+        assert!(
+            (a.cap_bound_ns - a.total_ns).abs() <= 1e-6 * a.total_ns,
+            "cap bound {} of {}",
+            a.cap_bound_ns,
+            a.total_ns
+        );
+        assert!(a.segments.is_empty());
+        assert_eq!(a.dominant_segment(), None);
+    }
+
+    #[test]
+    fn contended_flows_attribute_to_the_shared_segment() {
+        let (t, r, mut n) = net();
+        n.enable_flow_log();
+        n.enable_attribution();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let shared = segs[0];
+        n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 1e9, 1.0));
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        n.complete_next().unwrap();
+        n.complete_next().unwrap();
+        let a = first_attribution(&n);
+        assert_eq!(a.cap_bound_ns, 0.0);
+        assert_eq!(a.segments.len(), 1);
+        assert_eq!(a.segments[0].0, shared);
+        assert!(
+            (a.segments[0].1 - a.total_ns).abs() <= 1e-6 * a.total_ns,
+            "{a:?}"
+        );
+        assert_eq!(a.dominant_segment().unwrap().0, shared);
+    }
+
+    #[test]
+    fn attribution_splits_time_across_regime_changes() {
+        // A capped flow alone is cap-bound; halving the link below the cap
+        // flips it to link-bound. Both phases must be charged, and their
+        // sum must equal the lifetime.
+        let (t, r, mut n) = net();
+        n.enable_flow_log();
+        n.enable_attribution();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let seg = segs[0];
+        let lid = r
+            .gcd_route(GcdId(0), GcdId(2), RoutePolicy::MaxBandwidth)
+            .links[0];
+        // 50 GB/s link, 40 GB/s cap: cap binds. At 10 ms (400 MB done),
+        // the link halves to 25 GB/s: the link now binds.
+        n.add_flow(
+            Time::ZERO,
+            FlowSpec::new(segs, 1e9, 1.0).with_cap(gbps(40.0)),
+        );
+        n.advance_to(Time::from_ns(10e6));
+        n.set_link_factor(lid, 0.5);
+        n.complete_next().unwrap();
+        let a = first_attribution(&n);
+        assert!((a.cap_bound_ns - 10e6).abs() < 1.0, "{a:?}");
+        assert_eq!(a.segments.len(), 1);
+        assert_eq!(a.segments[0].0, seg);
+        // Remaining 600 MB at 25 GB/s = 24 ms link-bound.
+        assert!((a.segments[0].1 - 24e6).abs() < 1.0, "{a:?}");
+        let parts = a.cap_bound_ns + a.link_bound_ns();
+        assert!((parts - a.total_ns).abs() <= 1e-6 * a.total_ns);
+        assert_eq!(a.dominant_segment().unwrap().0, seg);
+    }
+
+    #[test]
+    fn attribution_disabled_leaves_completed_events_bare() {
+        let (t, r, mut n) = net();
+        n.enable_flow_log();
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e6, 1.0));
+        n.complete_next().unwrap();
+        let completed = &n.flow_log().events()[1];
+        assert!(matches!(
+            completed.kind,
+            FlowEventKind::Completed {
+                attribution: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn recorder_samples_each_recompute_epoch_and_idle_tail() {
+        let (t, r, mut n) = net();
+        n.enable_flight_recorder(64);
+        let segs = peer_segs(&t, &r, &n, 0, 2, false);
+        let seg = segs[0];
+        n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 0.5e9, 1.0));
+        n.add_flow(Time::ZERO, FlowSpec::new(segs, 1e9, 1.0));
+        n.complete_next().unwrap();
+        n.complete_next().unwrap();
+        let s = n.recorder_series().expect("recorder enabled");
+        // Admission epoch (both flows), post-first-completion epoch (the
+        // survivor alone), and the all-zero epoch after the table empties
+        // (flushed by the snapshot itself).
+        assert_eq!(s.samples.len(), 3, "{:?}", s.samples);
+        let col = n
+            .segmap()
+            .dir_segments()
+            .position(|(_, _, sg)| sg == seg)
+            .expect("tracked");
+        assert_eq!(s.labels[col], n.segmap().label(seg));
+        assert!((s.samples[0].util[col] - 1.0).abs() < 1e-9, "{s:?}");
+        assert!((s.samples[1].util[col] - 1.0).abs() < 1e-9);
+        assert_eq!(s.samples[2].util[col], 0.0);
+        assert!(s.samples.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn recorder_is_observation_only() {
+        // Same scenario with and without the recorder: identical
+        // completion times, rates, and segment accounting.
+        let run = |record: bool| {
+            let (t, r, mut n) = net();
+            if record {
+                n.enable_flight_recorder(8);
+            }
+            let segs = peer_segs(&t, &r, &n, 0, 2, false);
+            let seg = segs[0];
+            n.add_flow(Time::ZERO, FlowSpec::new(segs.clone(), 1e9, 1.0));
+            n.add_flow(Time::ZERO, FlowSpec::new(segs, 0.5e9, 1.0));
+            let mut times = Vec::new();
+            while let Some((tc, id)) = n.complete_next() {
+                times.push((tc, id));
+            }
+            (times, n.seg_wire_bytes(seg), n.seg_busy_ns(seg))
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -187,6 +187,104 @@ proptest! {
         prop_assert_eq!(net.active(), 0);
     }
 
+    /// Bottleneck attribution partitions every completed flow's lifetime:
+    /// cap-bound time plus the per-segment binding times reproduces the
+    /// creation-to-completion span to 1e-6 relative, for arbitrary flow
+    /// mixes (where contention makes the binding constraint shift between
+    /// the wire cap and saturated segments mid-flight).
+    #[test]
+    fn attribution_partitions_flow_lifetime(
+        flow_defs in proptest::collection::vec((0u8..8, 0u8..8, 1u32..5_000), 1..16),
+    ) {
+        let topo = NodeTopology::frontier();
+        let router = Router::new(&topo);
+        let mut net = FlowNet::new(SegmentMap::new(&topo));
+        net.enable_flow_log();
+        net.enable_attribution();
+        for (a, b, kb) in flow_defs {
+            let (a, b) = (a % 8, b % 8);
+            if a == b {
+                continue;
+            }
+            let p = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+            let segs = net.segmap().path_segments(&topo, p, false);
+            net.add_flow(net.now(), FlowSpec::new(segs, kb as f64 * 1024.0, 0.9));
+        }
+        while net.complete_next().is_some() {}
+
+        let mut created: std::collections::HashMap<ifsim_fabric::FlowId, f64> =
+            std::collections::HashMap::new();
+        let mut completions = 0usize;
+        for ev in net.flow_log().events() {
+            match &ev.kind {
+                ifsim_fabric::FlowEventKind::Created { .. } => {
+                    created.insert(ev.flow, ev.at.as_ns());
+                }
+                ifsim_fabric::FlowEventKind::Completed { attribution, .. } => {
+                    completions += 1;
+                    let a = attribution
+                        .as_ref()
+                        .expect("attribution enabled, so completions carry one");
+                    let lifetime = ev.at.as_ns() - created[&ev.flow];
+                    let tol = 1e-6 * lifetime.max(1.0);
+                    prop_assert!(
+                        (a.total_ns - lifetime).abs() <= tol,
+                        "total_ns {} vs observed lifetime {lifetime}",
+                        a.total_ns
+                    );
+                    let accounted = a.cap_bound_ns + a.link_bound_ns();
+                    prop_assert!(
+                        (accounted - a.total_ns).abs() <= tol,
+                        "cap {} + link {} does not partition total {}",
+                        a.cap_bound_ns,
+                        a.link_bound_ns(),
+                        a.total_ns
+                    );
+                    for &(_, ns) in &a.segments {
+                        prop_assert!(ns >= 0.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(completions, created.len(), "every flow completed");
+    }
+
+    /// The flight recorder and attribution are pure observers: running the
+    /// identical flow mix with all observability enabled yields bitwise the
+    /// same completion schedule as a bare network.
+    #[test]
+    fn observability_never_perturbs_the_schedule(
+        flow_defs in proptest::collection::vec((0u8..8, 0u8..8, 1u32..5_000), 1..16),
+    ) {
+        let topo = NodeTopology::frontier();
+        let router = Router::new(&topo);
+        let mut bare = FlowNet::new(SegmentMap::new(&topo));
+        let mut observed = FlowNet::new(SegmentMap::new(&topo));
+        observed.enable_flow_log();
+        observed.enable_attribution();
+        observed.enable_flight_recorder(ifsim_fabric::recorder::DEFAULT_RING_CAPACITY);
+        for (a, b, kb) in flow_defs {
+            let (a, b) = (a % 8, b % 8);
+            if a == b {
+                continue;
+            }
+            let p = router.gcd_route(GcdId(a), GcdId(b), RoutePolicy::MaxBandwidth);
+            for net in [&mut bare, &mut observed] {
+                let segs = net.segmap().path_segments(&topo, p, false);
+                net.add_flow(net.now(), FlowSpec::new(segs, kb as f64 * 1024.0, 0.9));
+            }
+        }
+        loop {
+            let a = bare.complete_next();
+            let b = observed.complete_next();
+            prop_assert_eq!(a, b, "schedules diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Completion times never decrease as the driver pulls them, whatever
     /// the flow mix.
     #[test]

@@ -776,13 +776,18 @@ impl HipSim {
     // ---------------- unified telemetry ----------------
 
     /// Turn on the unified telemetry layer: op tracing, fabric flow
-    /// lifecycle logging, and per-op metrics all go live. Enabled
+    /// lifecycle logging, per-flow bottleneck attribution, the link
+    /// flight recorder, and per-op metrics all go live. Enabled
     /// automatically when the runtime is constructed while a telemetry
     /// collector is installed on this thread.
     pub fn telemetry_enable(&mut self) {
         self.inner.telemetry = true;
         self.inner.trace.enable();
         self.inner.net.enable_flow_log();
+        self.inner.net.enable_attribution();
+        self.inner
+            .net
+            .enable_flight_recorder(ifsim_fabric::recorder::DEFAULT_RING_CAPACITY);
     }
 
     /// Whether the unified telemetry layer is on.
@@ -796,9 +801,12 @@ impl HipSim {
     }
 
     /// Build this runtime's unified telemetry snapshot: the merged
-    /// hip-op / fault / fabric-flow timeline plus the metrics registry
-    /// (op durations, per-link byte counters, fault statistics).
+    /// hip-op / fault / fabric-flow timeline, the flight recorder's
+    /// link-utilization counter tracks, plus the metrics registry
+    /// (op durations, per-link byte counters, bottleneck attribution,
+    /// fault statistics).
     pub fn telemetry_snapshot(&self) -> ifsim_telemetry::SimTelemetry {
+        let series = self.inner.net.recorder_series();
         crate::telemetry::build_sim_telemetry(
             self.inner.trace.events(),
             self.inner.net.flow_log(),
@@ -807,6 +815,8 @@ impl HipSim {
             self.inner.net.recomputes(),
             &self.inner.fault_stats,
             &self.inner.metrics,
+            series.as_ref(),
+            Some(self.inner.net.segmap()),
         )
     }
 

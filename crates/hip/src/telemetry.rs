@@ -9,14 +9,20 @@
 //! - the fabric [`FlowLog`] — each flow's created→completed/aborted pair
 //!   becomes a span (cat `fabric_flow`) carrying the route taken, with
 //!   reroute notes as instants, making PR 1's mid-flight reroutes visible
-//!   on the timeline;
+//!   on the timeline; completion attributions fold into the
+//!   `fabric_attr_*` counters behind `ifsim_telemetry::attribution`;
+//! - the flight recorder's [`UtilSeries`] — per-link utilization samples
+//!   become counter tracks (cat `fabric_util`, Chrome `ph: "C"`), one per
+//!   link direction that ever carried traffic;
 //! - the metrics registries — per-op duration histograms recorded by the
 //!   runtime, joined here by per-link byte/busy/utilization counters and
 //!   fault statistics.
 
 use crate::fault::FaultStats;
 use crate::trace::TraceEvent;
-use ifsim_fabric::{FlowEventKind, FlowLog, LinkLoad};
+use ifsim_des::Time;
+use ifsim_fabric::{FlowEventKind, FlowLog, LinkLoad, SegmentMap, UtilSeries};
+use ifsim_telemetry::attribution::{ATTR_BOUND_NS, ATTR_FLOWS, ATTR_TOTAL_NS};
 use ifsim_telemetry::{MetricKey, MetricsRegistry, SimTelemetry, TimelineEvent};
 use std::collections::BTreeMap;
 
@@ -43,7 +49,15 @@ pub fn build_sim_telemetry(
     recomputes: u64,
     fault_stats: &FaultStats,
     op_metrics: &MetricsRegistry,
+    util_series: Option<&UtilSeries>,
+    segmap: Option<&SegmentMap>,
 ) -> SimTelemetry {
+    let seg_label = |seg: ifsim_fabric::SegId| -> String {
+        match segmap {
+            Some(m) if seg.idx() < m.len() => m.label(seg).to_string(),
+            _ => format!("seg{}", seg.idx()),
+        }
+    };
     let mut events: Vec<TimelineEvent> = Vec::new();
     let mut threads: Vec<(u32, String)> = Vec::new();
     let mut seen_lanes: BTreeMap<u32, ()> = BTreeMap::new();
@@ -78,6 +92,11 @@ pub fn build_sim_telemetry(
     }
     let mut open: BTreeMap<u64, Open> = BTreeMap::new();
     let mut flow_durations: Vec<f64> = Vec::new();
+    // Attribution accumulators, folded into the registry below.
+    let mut attr_flows = 0u64;
+    let mut attr_total_ns = 0.0;
+    let mut attr_cap_ns = 0.0;
+    let mut attr_seg_ns: BTreeMap<String, f64> = BTreeMap::new();
     for ev in flow_log.events() {
         match &ev.kind {
             FlowEventKind::Created {
@@ -93,24 +112,49 @@ pub fn build_sim_telemetry(
                     },
                 );
             }
-            FlowEventKind::Completed { delivered_bytes }
-            | FlowEventKind::Aborted { delivered_bytes } => {
+            FlowEventKind::Completed { .. } | FlowEventKind::Aborted { .. } => {
+                let (delivered_bytes, attribution) = match &ev.kind {
+                    FlowEventKind::Completed {
+                        delivered_bytes,
+                        attribution,
+                    } => (*delivered_bytes, attribution.as_ref()),
+                    FlowEventKind::Aborted { delivered_bytes } => (*delivered_bytes, None),
+                    _ => unreachable!("outer match narrowed the kind"),
+                };
                 let outcome = ev.kind.tag();
+                // Fold the lifetime's binding-constraint split into the
+                // fabric_attr_* counters, and name what bound this flow
+                // longest on its span for Perfetto inspection.
+                let mut bound_by = None;
+                if let Some(a) = attribution {
+                    attr_flows += 1;
+                    attr_total_ns += a.total_ns;
+                    attr_cap_ns += a.cap_bound_ns;
+                    for &(seg, ns) in &a.segments {
+                        *attr_seg_ns.entry(seg_label(seg)).or_insert(0.0) += ns;
+                    }
+                    bound_by = Some(match a.dominant_segment() {
+                        Some((seg, _)) => seg_label(seg),
+                        None => "engine-cap".to_string(),
+                    });
+                }
                 if let Some(o) = open.remove(&ev.flow.0) {
                     let tid = flow_lane(ev.flow.0);
-                    events.push(
-                        TimelineEvent::span(
-                            o.at,
-                            ev.at,
-                            format!("flow#{} {}B [{outcome}]", ev.flow.0, o.payload_bytes),
-                            "fabric_flow",
-                        )
-                        .on_tid(tid)
-                        .with_arg("route", o.route)
-                        .with_arg("payload_bytes", format!("{}", o.payload_bytes))
-                        .with_arg("delivered_bytes", format!("{delivered_bytes}"))
-                        .with_arg("outcome", outcome),
-                    );
+                    let mut span = TimelineEvent::span(
+                        o.at,
+                        ev.at,
+                        format!("flow#{} {}B [{outcome}]", ev.flow.0, o.payload_bytes),
+                        "fabric_flow",
+                    )
+                    .on_tid(tid)
+                    .with_arg("route", o.route)
+                    .with_arg("payload_bytes", format!("{}", o.payload_bytes))
+                    .with_arg("delivered_bytes", format!("{delivered_bytes}"))
+                    .with_arg("outcome", outcome);
+                    if let Some(b) = bound_by {
+                        span = span.with_arg("bound_by", b);
+                    }
+                    events.push(span);
                     if seen_lanes.insert(tid, ()).is_none() {
                         threads.push((tid, format!("fabric flows %{}", tid - FLOW_LANE_BASE)));
                     }
@@ -135,10 +179,59 @@ pub fn build_sim_telemetry(
     // have no end), but their creation is not lost: the metrics below
     // count them via peak/active statistics.
 
+    // --- flight recorder counter tracks ----------------------------------
+    // One counter track per link direction that ever carried traffic;
+    // all-zero columns would add 50+ flat tracks to every Perfetto view.
+    if let Some(series) = util_series {
+        let active: Vec<usize> = (0..series.labels.len())
+            .filter(|&j| series.samples.iter().any(|s| s.util[j] > 0.0))
+            .collect();
+        for s in &series.samples {
+            for &j in &active {
+                events.push(TimelineEvent::counter(
+                    Time::from_ns(s.ts_ns),
+                    format!("fabric util {}", series.labels[j]),
+                    "fabric_util",
+                    s.util[j],
+                ));
+            }
+        }
+    }
+
     // --- metrics ---------------------------------------------------------
     let mut metrics = op_metrics.clone();
     for d in flow_durations {
         metrics.observe(MetricKey::new("fabric_flow_duration_ns"), d);
+    }
+    if attr_flows > 0 {
+        metrics.counter_add(MetricKey::new(ATTR_FLOWS), attr_flows as f64);
+        metrics.counter_add(MetricKey::new(ATTR_TOTAL_NS), attr_total_ns);
+        metrics.counter_add(
+            MetricKey::new(ATTR_BOUND_NS).with("cause", "engine-cap"),
+            attr_cap_ns,
+        );
+        for (label, ns) in &attr_seg_ns {
+            if *ns > 0.0 {
+                metrics.counter_add(
+                    MetricKey::new(ATTR_BOUND_NS)
+                        .with("cause", "link")
+                        .with("segment", label.clone()),
+                    *ns,
+                );
+            }
+        }
+    }
+    if let Some(series) = util_series {
+        metrics.gauge_set(
+            MetricKey::new("fabric_recorder_samples"),
+            series.samples.len() as f64,
+        );
+        if series.dropped > 0 {
+            metrics.counter_add(
+                MetricKey::new("fabric_recorder_dropped_samples"),
+                series.dropped as f64,
+            );
+        }
     }
     for l in link_loads {
         if l.wire_bytes <= 0.0 {
@@ -215,6 +308,8 @@ mod tests {
             0,
             &FaultStats::default(),
             &MetricsRegistry::new(),
+            None,
+            None,
         );
         assert_eq!(t.events.len(), 2);
         let span = &t.events[0];
@@ -243,6 +338,7 @@ mod tests {
             flow: FlowId(3),
             kind: FlowEventKind::Completed {
                 delivered_bytes: 256.0,
+                attribution: None,
             },
         });
         log.push(FlowEvent {
@@ -260,6 +356,8 @@ mod tests {
             2,
             &FaultStats::default(),
             &MetricsRegistry::new(),
+            None,
+            None,
         );
         let span = t
             .events
@@ -326,6 +424,8 @@ mod tests {
             42,
             &stats,
             &MetricsRegistry::new(),
+            None,
+            None,
         );
         let key = MetricKey::new("fabric_link_wire_bytes")
             .with("link", "GCD0->GCD1")
@@ -345,6 +445,122 @@ mod tests {
         assert_eq!(
             t.metrics.counter(&MetricKey::new("fault_events_applied")),
             2.0
+        );
+    }
+
+    #[test]
+    fn attributions_fold_into_fabric_attr_counters_and_span_args() {
+        use ifsim_fabric::{BottleneckAttribution, SegId};
+        let mut log = FlowLog::default();
+        log.enable();
+        log.push(FlowEvent {
+            at: Time::from_ns(0.0),
+            flow: FlowId(1),
+            kind: FlowEventKind::Created {
+                payload_bytes: 64.0,
+                route: "GCD0->GCD1".into(),
+            },
+        });
+        log.push(FlowEvent {
+            at: Time::from_ns(100.0),
+            flow: FlowId(1),
+            kind: FlowEventKind::Completed {
+                delivered_bytes: 64.0,
+                attribution: Some(BottleneckAttribution {
+                    total_ns: 100.0,
+                    cap_bound_ns: 30.0,
+                    segments: vec![(SegId(4), 70.0)],
+                }),
+            },
+        });
+        let t = build_sim_telemetry(
+            &[],
+            &log,
+            &[],
+            1,
+            1,
+            &FaultStats::default(),
+            &MetricsRegistry::new(),
+            None,
+            None,
+        );
+        assert_eq!(t.metrics.counter(&MetricKey::new(ATTR_FLOWS)), 1.0);
+        assert_eq!(t.metrics.counter(&MetricKey::new(ATTR_TOTAL_NS)), 100.0);
+        assert_eq!(
+            t.metrics
+                .counter(&MetricKey::new(ATTR_BOUND_NS).with("cause", "engine-cap")),
+            30.0
+        );
+        // No segmap supplied: segment 4 falls back to a positional label.
+        assert_eq!(
+            t.metrics.counter(
+                &MetricKey::new(ATTR_BOUND_NS)
+                    .with("cause", "link")
+                    .with("segment", "seg4")
+            ),
+            70.0
+        );
+        let span = t
+            .events
+            .iter()
+            .find(|e| e.cat == "fabric_flow")
+            .expect("flow span");
+        assert!(
+            span.args
+                .iter()
+                .any(|(k, v)| k == "bound_by" && v == "seg4"),
+            "{:?}",
+            span.args
+        );
+    }
+
+    #[test]
+    fn util_series_becomes_counter_tracks_for_active_links_only() {
+        use ifsim_fabric::{UtilSample, UtilSeries};
+        let series = UtilSeries {
+            labels: vec!["GCD0->GCD1".into(), "GCD1->GCD0".into()],
+            samples: vec![
+                UtilSample {
+                    ts_ns: 0.0,
+                    util: vec![0.8, 0.0],
+                },
+                UtilSample {
+                    ts_ns: 50.0,
+                    util: vec![0.0, 0.0],
+                },
+            ],
+            dropped: 3,
+        };
+        let t = build_sim_telemetry(
+            &[],
+            &FlowLog::default(),
+            &[],
+            0,
+            0,
+            &FaultStats::default(),
+            &MetricsRegistry::new(),
+            Some(&series),
+            None,
+        );
+        let counters: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, ifsim_telemetry::EventKind::Counter { .. }))
+            .collect();
+        // Only the link that ever carried traffic gets a track — both its
+        // samples, including the trailing zero.
+        assert_eq!(counters.len(), 2);
+        assert!(counters
+            .iter()
+            .all(|e| e.name == "fabric util GCD0->GCD1" && e.cat == "fabric_util"));
+        assert_eq!(
+            t.metrics.gauge(&MetricKey::new("fabric_recorder_samples")),
+            Some(2.0)
+        );
+        assert_eq!(
+            t.metrics
+                .counter(&MetricKey::new("fabric_recorder_dropped_samples")),
+            3.0
         );
     }
 }

@@ -130,6 +130,7 @@ fn chrome_export_round_trips_with_required_fields() {
     assert!(!events.is_empty());
     let mut saw_span = false;
     let mut saw_instant = false;
+    let mut saw_counter = false;
     for ev in events {
         for field in ["name", "ph", "ts", "pid", "tid"] {
             assert!(ev.get(field).is_some(), "missing {field}: {ev:?}");
@@ -144,10 +145,33 @@ fn chrome_export_round_trips_with_required_fields() {
                 ev.get("args").unwrap().get("name").is_some(),
                 "metadata records name lanes"
             ),
+            "C" => {
+                saw_counter = true;
+                assert!(
+                    ev.get("args")
+                        .unwrap()
+                        .get("value")
+                        .and_then(|v| v.as_f64())
+                        .is_some(),
+                    "counter tracks carry a numeric value: {ev:?}"
+                );
+                assert!(
+                    ev.get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .starts_with("fabric util "),
+                    "counter tracks are the flight recorder's: {ev:?}"
+                );
+            }
             ph => panic!("unexpected phase {ph}"),
         }
     }
     assert!(saw_span && saw_instant);
+    assert!(
+        saw_counter,
+        "flight recorder counter tracks present in the export"
+    );
     // Timestamps are microseconds: the run lasts ~tens of ms, so the last
     // op must sit past 1000 µs but before 10^9 (which would mean ns).
     let max_ts = events

@@ -473,12 +473,19 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar from the source slice.
+                    // Consume the whole run of unescaped bytes up to the
+                    // next quote or backslash in one UTF-8 validation —
+                    // validating from `pos` to end-of-input per character
+                    // would make parsing quadratic in document size.
                     let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = text.chars().next().expect("peeked non-empty");
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let text =
+                        std::str::from_utf8(&rest[..run]).map_err(|_| self.err("bad utf-8"))?;
+                    s.push_str(text);
+                    self.pos += run;
                 }
             }
         }

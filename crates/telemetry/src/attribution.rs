@@ -1,0 +1,294 @@
+//! Attribution report: which constraints bound the run, and for how long.
+//!
+//! The fabric charges every flow's lifetime to its current binding
+//! constraint (see `ifsim-fabric`'s `attr` module); the HIP bridge folds
+//! completed-flow attributions into `fabric_attr_*` metrics. This module
+//! renders the merged registry back into the paper-style answer: *which
+//! links bound this experiment and for how long* — as markdown
+//! ([`render_attribution`]), machine-checkable JSON
+//! ([`attribution_json`], schema `ifsim-attr-v1`), plus a long-format CSV
+//! of the flight recorder's counter tracks ([`timeseries_csv`]).
+
+use crate::collector::CollectedTelemetry;
+use crate::event::EventKind;
+use crate::metrics::MetricKey;
+use serde_json::{Map, Value};
+use std::fmt::Write as _;
+
+/// Counter: nanoseconds of flow lifetime bound by one constraint. Labeled
+/// `cause="engine-cap"`, or `cause="link"` + `segment="<label>"`.
+pub const ATTR_BOUND_NS: &str = "fabric_attr_bound_ns";
+/// Counter: completed flows that carried an attribution.
+pub const ATTR_FLOWS: &str = "fabric_attr_flows";
+/// Counter: total attributed flow lifetime, nanoseconds.
+pub const ATTR_TOTAL_NS: &str = "fabric_attr_total_ns";
+/// Schema tag of [`attribution_json`] documents.
+pub const ATTR_SCHEMA: &str = "ifsim-attr-v1";
+
+/// One aggregated binding-segment row.
+#[derive(Clone, Debug, PartialEq)]
+struct SegRow {
+    segment: String,
+    bound_ns: f64,
+}
+
+/// Pull the aggregate numbers out of the merged metrics.
+fn collect(t: &CollectedTelemetry) -> (f64, f64, f64, Vec<SegRow>) {
+    let m = t.metrics();
+    let flows = m.counter(&MetricKey::new(ATTR_FLOWS));
+    let total_ns = m.counter(&MetricKey::new(ATTR_TOTAL_NS));
+    let cap_ns = m.counter(&MetricKey::new(ATTR_BOUND_NS).with("cause", "engine-cap"));
+    let mut segs: Vec<SegRow> = m
+        .counters()
+        .filter(|(k, _)| k.name() == ATTR_BOUND_NS)
+        .filter_map(|(k, v)| {
+            let segment = k
+                .labels()
+                .iter()
+                .find(|(l, _)| l == "segment")
+                .map(|(_, s)| s.clone())?;
+            Some(SegRow {
+                segment,
+                bound_ns: v,
+            })
+        })
+        .collect();
+    segs.sort_by(|a, b| {
+        b.bound_ns
+            .total_cmp(&a.bound_ns)
+            .then_with(|| a.segment.cmp(&b.segment))
+    });
+    (flows, total_ns, cap_ns, segs)
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3} ms", ns / 1e6)
+}
+
+fn share(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        part / whole
+    } else {
+        0.0
+    }
+}
+
+/// Render the run's bottleneck attribution as markdown: the split between
+/// endpoint/engine caps and link contention, and a table of binding
+/// segments descending by bound time, leading with the dominant one.
+pub fn render_attribution(t: &CollectedTelemetry) -> String {
+    let (flows, total_ns, cap_ns, segs) = collect(t);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fabric bottleneck attribution\n");
+    if flows == 0.0 {
+        let _ = writeln!(
+            out,
+            "No attributed flows were recorded. Run with telemetry enabled \
+             (`--trace-out`/`--metrics-out`/`--attr-out` install a collector)."
+        );
+        return out;
+    }
+    let link_ns: f64 = segs.iter().map(|s| s.bound_ns).sum();
+    let _ = writeln!(out, "- attributed flows: {}", flows as u64);
+    let _ = writeln!(out, "- attributed flow-time: {}", fmt_ms(total_ns));
+    let _ = writeln!(
+        out,
+        "- endpoint/engine-cap bound: {} ({:.1}%)",
+        fmt_ms(cap_ns),
+        share(cap_ns, total_ns) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "- link-contention bound: {} ({:.1}%)\n",
+        fmt_ms(link_ns),
+        share(link_ns, total_ns) * 100.0
+    );
+    match segs.first() {
+        Some(top) => {
+            let _ = writeln!(
+                out,
+                "Dominant binding segment: **{}** ({}, {:.1}% of flow-time)\n",
+                top.segment,
+                fmt_ms(top.bound_ns),
+                share(top.bound_ns, total_ns) * 100.0
+            );
+            let _ = writeln!(out, "| binding segment | bound time | share |");
+            let _ = writeln!(out, "|---|---:|---:|");
+            for s in &segs {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {:.1}% |",
+                    s.segment,
+                    fmt_ms(s.bound_ns),
+                    share(s.bound_ns, total_ns) * 100.0
+                );
+            }
+            let _ = writeln!(
+                out,
+                "| (endpoint/engine cap) | {} | {:.1}% |",
+                fmt_ms(cap_ns),
+                share(cap_ns, total_ns) * 100.0
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "No link ever bound a flow: every flow ran at its endpoint/\
+                 engine cap the whole time."
+            );
+        }
+    }
+    out
+}
+
+/// The same aggregation as [`render_attribution`], as a JSON document with
+/// schema [`ATTR_SCHEMA`] — the shape `telemetry-lint --attr` validates.
+pub fn attribution_json(t: &CollectedTelemetry) -> Value {
+    let (flows, total_ns, cap_ns, segs) = collect(t);
+    let link_ns: f64 = segs.iter().map(|s| s.bound_ns).sum();
+    let mut root = Map::new();
+    root.insert("schema", Value::from(ATTR_SCHEMA));
+    root.insert("flows", Value::from(flows));
+    root.insert("total_ns", Value::from(total_ns));
+    root.insert("cap_bound_ns", Value::from(cap_ns));
+    root.insert("link_bound_ns", Value::from(link_ns));
+    root.insert(
+        "segments",
+        Value::Array(
+            segs.iter()
+                .map(|s| {
+                    let mut m = Map::new();
+                    m.insert("segment", Value::from(s.segment.clone()));
+                    m.insert("bound_ns", Value::from(s.bound_ns));
+                    m.insert("share", Value::from(share(s.bound_ns, total_ns)));
+                    Value::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(root)
+}
+
+/// The flight recorder's counter tracks as long-format CSV:
+/// `pid,name,ts_ns,value`, in the merged timeline's deterministic order.
+pub fn timeseries_csv(t: &CollectedTelemetry) -> String {
+    let mut out = String::from("pid,name,ts_ns,value\n");
+    for ev in t.events() {
+        if let EventKind::Counter { value } = ev.kind {
+            let _ = writeln!(out, "{},{},{:.1},{:.6}", ev.pid, ev.name, ev.ts_ns, value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::SimTelemetry;
+    use crate::event::TimelineEvent;
+    use crate::metrics::MetricsRegistry;
+    use ifsim_des::Time;
+
+    fn collection() -> CollectedTelemetry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(MetricKey::new(ATTR_FLOWS), 3.0);
+        m.counter_add(MetricKey::new(ATTR_TOTAL_NS), 100e6);
+        m.counter_add(
+            MetricKey::new(ATTR_BOUND_NS).with("cause", "engine-cap"),
+            40e6,
+        );
+        m.counter_add(
+            MetricKey::new(ATTR_BOUND_NS)
+                .with("cause", "link")
+                .with("segment", "GCD0->GCD1"),
+            50e6,
+        );
+        m.counter_add(
+            MetricKey::new(ATTR_BOUND_NS)
+                .with("cause", "link")
+                .with("segment", "GCD0->GCD2"),
+            10e6,
+        );
+        let mut c = CollectedTelemetry::new();
+        c.ingest(SimTelemetry {
+            process_name: "hipsim".into(),
+            events: vec![TimelineEvent::counter(
+                Time::from_ns(5.0),
+                "fabric util GCD0->GCD1",
+                "fabric_util",
+                0.5,
+            )],
+            threads: vec![],
+            metrics: m,
+        });
+        c
+    }
+
+    #[test]
+    fn report_names_the_dominant_segment() {
+        let text = render_attribution(&collection());
+        assert!(
+            text.contains("Dominant binding segment: **GCD0->GCD1**"),
+            "{text}"
+        );
+        assert!(text.contains("attributed flows: 3"), "{text}");
+        assert!(text.contains("| GCD0->GCD2 |"), "{text}");
+        assert!(text.contains("(endpoint/engine cap)"), "{text}");
+        // Shares of total flow-time.
+        assert!(text.contains("50.0%"), "{text}");
+        assert!(text.contains("40.0%"), "{text}");
+    }
+
+    #[test]
+    fn empty_collection_reports_gracefully() {
+        let text = render_attribution(&CollectedTelemetry::new());
+        assert!(text.contains("No attributed flows"), "{text}");
+    }
+
+    #[test]
+    fn cap_only_run_says_so() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(MetricKey::new(ATTR_FLOWS), 1.0);
+        m.counter_add(MetricKey::new(ATTR_TOTAL_NS), 10e6);
+        m.counter_add(
+            MetricKey::new(ATTR_BOUND_NS).with("cause", "engine-cap"),
+            10e6,
+        );
+        let mut c = CollectedTelemetry::new();
+        c.ingest(SimTelemetry {
+            process_name: "hipsim".into(),
+            events: vec![TimelineEvent::instant(Time::from_ns(1.0), "e", "t")],
+            threads: vec![],
+            metrics: m,
+        });
+        let text = render_attribution(&c);
+        assert!(text.contains("No link ever bound a flow"), "{text}");
+    }
+
+    #[test]
+    fn json_has_schema_and_sorted_segments() {
+        let v = attribution_json(&collection());
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(ATTR_SCHEMA));
+        assert_eq!(v.get("flows").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("link_bound_ns").unwrap().as_f64(), Some(60e6));
+        let segs = v.get("segments").unwrap().as_array().unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(
+            segs[0].get("segment").unwrap().as_str(),
+            Some("GCD0->GCD1"),
+            "descending by bound time"
+        );
+        let share = segs[0].get("share").unwrap().as_f64().unwrap();
+        assert!((share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeseries_csv_lists_counter_samples() {
+        let csv = timeseries_csv(&collection());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "pid,name,ts_ns,value");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("fabric util GCD0->GCD1"), "{csv}");
+        assert!(lines[1].ends_with("0.500000"), "{csv}");
+    }
+}

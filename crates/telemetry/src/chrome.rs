@@ -3,8 +3,9 @@
 //! Produces the `{"traceEvents": [...]}` object format understood by
 //! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: complete
 //! spans (`ph: "X"`) with microsecond `ts`/`dur`, global instants
-//! (`ph: "i"`), and name metadata records (`ph: "M"`) for process and
-//! thread lanes.
+//! (`ph: "i"`), counter samples (`ph: "C"`, one track per name — the
+//! flight recorder's link-utilization series), and name metadata records
+//! (`ph: "M"`) for process and thread lanes.
 
 use crate::collector::CollectedTelemetry;
 use crate::event::EventKind;
@@ -36,6 +37,16 @@ pub fn chrome_trace(t: &CollectedTelemetry) -> Value {
                 m.insert("ph", Value::from("i"));
                 // Instant scope: process-wide.
                 m.insert("s", Value::from("p"));
+            }
+            EventKind::Counter { value } => {
+                m.insert("ph", Value::from("C"));
+                // Counter tracks read their series values from numeric
+                // args; one "value" series per track name.
+                let mut args = Map::new();
+                args.insert("value", Value::from(value));
+                m.insert("args", Value::Object(args));
+                events.push(Value::Object(m));
+                continue;
             }
         }
         if !ev.args.is_empty() {
@@ -117,6 +128,51 @@ mod tests {
             .find(|e| e.get("ph").unwrap().as_str() == Some("i"))
             .expect("an instant");
         assert_eq!(instant.get("s").unwrap().as_str(), Some("p"));
+    }
+
+    #[test]
+    fn counters_export_as_counter_tracks() {
+        let mut c = CollectedTelemetry::new();
+        c.ingest(SimTelemetry {
+            process_name: "hipsim".into(),
+            events: vec![
+                TimelineEvent::counter(
+                    Time::from_ns(1000.0),
+                    "fabric util GCD0->GCD1",
+                    "fabric_util",
+                    0.75,
+                ),
+                TimelineEvent::counter(
+                    Time::from_ns(2000.0),
+                    "fabric util GCD0->GCD1",
+                    "fabric_util",
+                    0.0,
+                ),
+            ],
+            threads: vec![],
+            metrics: MetricsRegistry::new(),
+        });
+        let v = chrome_trace(&c);
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(0.75)
+        );
+        assert_eq!(
+            counters[0].get("name").unwrap().as_str(),
+            Some("fabric util GCD0->GCD1")
+        );
     }
 
     #[test]

@@ -13,6 +13,13 @@ pub enum EventKind {
     },
     /// A point event (fault marker, flow abort, reroute).
     Instant,
+    /// A sampled counter value (link utilization at a recompute epoch).
+    /// Exported as a Chrome `ph: "C"` event; each distinct name becomes a
+    /// counter track.
+    Counter {
+        /// Sampled value at `ts_ns`.
+        value: f64,
+    },
 }
 
 /// One event on the merged timeline.
@@ -63,6 +70,19 @@ impl TimelineEvent {
         }
     }
 
+    /// A counter sample at `at`.
+    pub fn counter(at: Time, name: impl Into<String>, cat: &str, value: f64) -> TimelineEvent {
+        TimelineEvent {
+            ts_ns: at.as_ns(),
+            kind: EventKind::Counter { value },
+            name: name.into(),
+            cat: cat.to_string(),
+            pid: 0,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
     /// Set the thread lane.
     pub fn on_tid(mut self, tid: u32) -> TimelineEvent {
         self.tid = tid;
@@ -79,7 +99,7 @@ impl TimelineEvent {
     pub fn end_ns(&self) -> f64 {
         match self.kind {
             EventKind::Span { dur_ns } => self.ts_ns + dur_ns,
-            EventKind::Instant => self.ts_ns,
+            EventKind::Instant | EventKind::Counter { .. } => self.ts_ns,
         }
     }
 }
@@ -185,6 +205,9 @@ mod tests {
         assert_eq!(e.args, vec![("dev".to_string(), "0".to_string())]);
         let i = TimelineEvent::instant(Time::from_ns(7.0), "mark", "fault");
         assert_eq!(i.end_ns(), 7.0);
+        let c = TimelineEvent::counter(Time::from_ns(9.0), "fabric util x", "fabric_util", 0.5);
+        assert_eq!(c.end_ns(), 9.0);
+        assert_eq!(c.kind, EventKind::Counter { value: 0.5 });
     }
 
     #[test]

@@ -17,7 +17,24 @@ pub struct UtilRow {
     pub wire_bytes: f64,
 }
 
+/// Split a `A->B` / `A<->B` label into endpoints, so mixed-width endpoint
+/// names (`GCD0` next to `GCD10`) can be padded into aligned columns.
+fn split_arrow(label: &str) -> Option<(&str, &'static str, &str)> {
+    if let Some((l, r)) = label.split_once("<->") {
+        return Some((l, "<->", r));
+    }
+    if let Some((l, r)) = label.split_once("->") {
+        return Some((l, "->", r));
+    }
+    None
+}
+
 /// Render rows as an aligned bar heatmap, `width` columns per bar.
+///
+/// Arrowed labels are padded per endpoint, so `GCD2->GCD3` and
+/// `GCD10->GCD11` line up their arrows instead of shifting the whole
+/// column. Rows with no traffic at all render `·` in the numeric columns —
+/// an idle link is information, but `0.0% … 0 B` noise is not.
 pub fn render_heatmap(title: &str, rows: &[UtilRow], width: usize) -> String {
     assert!(width >= 10, "heatmap needs at least 10 columns");
     let mut out = String::new();
@@ -26,17 +43,33 @@ pub fn render_heatmap(title: &str, rows: &[UtilRow], width: usize) -> String {
         let _ = writeln!(out, "  (no traffic recorded)");
         return out;
     }
-    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(8);
-    for r in rows {
+    let lhs_w = rows
+        .iter()
+        .filter_map(|r| split_arrow(&r.label))
+        .map(|(l, a, _)| l.len() + a.len())
+        .max()
+        .unwrap_or(0);
+    let labels: Vec<String> = rows
+        .iter()
+        .map(|r| match split_arrow(&r.label) {
+            Some((l, a, rhs)) => format!("{:>lhs_w$}{rhs}", format!("{l}{a}")),
+            None => r.label.clone(),
+        })
+        .collect();
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(8);
+    for (r, label) in rows.iter().zip(&labels) {
+        let idle = r.utilization == 0.0 && r.wire_bytes == 0.0;
         let filled = ((r.utilization.clamp(0.0, 1.0) * width as f64).round()) as usize;
         let bar = format!("{}{}", "#".repeat(filled), ".".repeat(width - filled));
-        let _ = writeln!(
-            out,
-            "  {:<label_w$} {:>6.1}% |{bar}| {:>10}",
-            r.label,
-            r.utilization * 100.0,
-            fmt_bytes(r.wire_bytes.round() as u64),
-        );
+        let (pct, bytes) = if idle {
+            (format!("{:>7}", "·"), format!("{:>10}", "·"))
+        } else {
+            (
+                format!("{:>6.1}%", r.utilization * 100.0),
+                format!("{:>10}", fmt_bytes(r.wire_bytes.round() as u64)),
+            )
+        };
+        let _ = writeln!(out, "  {label:<label_w$} {pct} |{bar}| {bytes}");
     }
     out
 }
@@ -71,6 +104,62 @@ mod tests {
         assert!(text.contains("|....................|"), "{text}");
         assert!(text.contains("100.0%"));
         assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn double_digit_ids_keep_arrows_aligned() {
+        let rows = vec![
+            UtilRow {
+                label: "GCD2->GCD3".into(),
+                utilization: 0.5,
+                wire_bytes: 1e9,
+            },
+            UtilRow {
+                label: "GCD10->GCD11".into(),
+                utilization: 0.25,
+                wire_bytes: 5e8,
+            },
+        ];
+        let text = render_heatmap("t", &rows, 10);
+        let arrow_cols: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.find("->").expect("arrowed label"))
+            .collect();
+        assert_eq!(arrow_cols[0], arrow_cols[1], "{text}");
+        // Bars start at the same column too.
+        let bar_cols: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.find('|').expect("bar"))
+            .collect();
+        assert_eq!(bar_cols[0], bar_cols[1], "{text}");
+    }
+
+    #[test]
+    fn zero_traffic_rows_render_a_dot_not_zeroes() {
+        let rows = vec![
+            UtilRow {
+                label: "GCD0->GCD1".into(),
+                utilization: 1.0,
+                wire_bytes: 1e9,
+            },
+            UtilRow {
+                label: "GCD1->GCD0".into(),
+                utilization: 0.0,
+                wire_bytes: 0.0,
+            },
+        ];
+        let text = render_heatmap("t", &rows, 10);
+        let idle_line = text
+            .lines()
+            .find(|l| l.contains("GCD1->GCD0"))
+            .expect("idle row");
+        assert!(idle_line.contains('·'), "{text}");
+        assert!(!idle_line.contains("0.0%"), "{text}");
+        assert!(!idle_line.contains("0 B"), "{text}");
+        // A hot row keeps real numbers.
+        assert!(text.contains("100.0%"), "{text}");
     }
 
     #[test]

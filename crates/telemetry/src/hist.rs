@@ -93,9 +93,21 @@ impl Histogram {
             return 0.0;
         }
         if self.count == 1 {
+            // One sample: every quantile *is* that sample. Interpolating
+            // inside its bucket would report a bucket bound as an observed
+            // value.
             return self.min;
         }
         let rank = q * (self.count - 1) as f64;
+        // Extreme ranks are known exactly — never let bucket interpolation
+        // turn a bucket's upper bound into a reported maximum (or its
+        // lower bound into a minimum).
+        if rank >= (self.count - 1) as f64 {
+            return self.max;
+        }
+        if rank <= 0.0 {
+            return self.min;
+        }
         let mut seen = 0u64;
         for (&idx, &c) in &self.buckets {
             let last_in_bucket = (seen + c - 1) as f64;
@@ -214,7 +226,43 @@ mod tests {
         let mut h = Histogram::new();
         h.record(42.0);
         assert_eq!(h.p50(), 42.0);
+        assert_eq!(h.p95(), 42.0);
         assert_eq!(h.p99(), 42.0);
+        assert_eq!(h.quantile(0.0), 42.0);
+        assert_eq!(h.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn empty_histogram_tail_quantiles_do_not_panic() {
+        let h = Histogram::new();
+        assert_eq!(h.p95(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn extreme_quantiles_report_observed_extremes_not_bucket_bounds() {
+        // 100.0 sits in log-bucket [97.0, 115.4): a naive interpolation
+        // reports a value above the observed max for q = 1.0 and tail
+        // quantiles of tiny histograms.
+        let mut h = Histogram::new();
+        h.record(3.0);
+        h.record(100.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.quantile(0.0), 3.0);
+        // p99 on two samples: rank 0.99 interpolates but stays within the
+        // observed range.
+        let p99 = h.p99();
+        assert!((3.0..=100.0).contains(&p99), "p99 = {p99}");
+        // Ten equal samples: every quantile is exactly that value, not a
+        // bucket bound above it.
+        let mut eq = Histogram::new();
+        for _ in 0..10 {
+            eq.record(100.0);
+        }
+        assert_eq!(eq.p95(), 100.0);
+        assert_eq!(eq.p99(), 100.0);
+        assert_eq!(eq.quantile(1.0), 100.0);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! - a **Chrome trace-event JSON** exporter ([`chrome`]) whose output loads
 //!   directly in Perfetto or `chrome://tracing`;
 //! - a per-link **utilization heatmap** renderer ([`heatmap`]);
+//! - a **bottleneck attribution report** ([`attribution`]) answering which
+//!   links bound an experiment and for how long, plus a long-format CSV of
+//!   the flight recorder's counter tracks;
 //! - a thread-local **collector stack** ([`collector`]) so simulator
 //!   instances created deep inside experiment code can contribute their
 //!   telemetry without any configuration threading.
@@ -20,6 +23,7 @@
 //! Metric names and label conventions are documented in
 //! `docs/OBSERVABILITY.md` at the repository root.
 
+pub mod attribution;
 pub mod chrome;
 pub mod collector;
 pub mod event;
@@ -27,6 +31,7 @@ pub mod heatmap;
 pub mod hist;
 pub mod metrics;
 
+pub use attribution::{attribution_json, render_attribution, timeseries_csv};
 pub use collector::{CollectedTelemetry, Collector, SimTelemetry};
 pub use event::{EventKind, EventSink, TimelineEvent};
 pub use heatmap::{render_heatmap, UtilRow};
