@@ -38,6 +38,42 @@ if ./target/release/ifsim-drift --perturb eff_sdma_xgmi=1.1 > /dev/null 2>&1; th
     exit 1
 fi
 
+echo "==> serve smoke: cache replay byte-identical to repro, stats lint, clean drain"
+cargo build --release -p ifsim-serve
+SERVE_SOCK="$TELEMETRY_TMP/serve.sock"
+./target/release/ifsim-serve --socket "$SERVE_SOCK" --workers 4 --queue-depth 16 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SERVE_SOCK" ] && break
+    sleep 0.1
+done
+./target/release/ifsim-client --socket "$SERVE_SOCK" ping > /dev/null
+# The same config twice: the replay must come from the cache and the served
+# CSV must match the repro CLI byte for byte.
+./target/release/ifsim-client --socket "$SERVE_SOCK" \
+    exp fig6a --quick --reps 1 --no-report --csv "$TELEMETRY_TMP/serve-first" > /dev/null
+SECOND="$(./target/release/ifsim-client --socket "$SERVE_SOCK" \
+    exp fig6a --quick --reps 1 --no-report --csv "$TELEMETRY_TMP/serve-second")"
+case "$SECOND" in
+    *"cache hit"*) ;;
+    *) echo "second serve run was not a cache hit: $SECOND" >&2; exit 1 ;;
+esac
+./target/release/repro --quick --reps 1 --csv "$TELEMETRY_TMP/serve-repro" fig6a > /dev/null
+cmp "$TELEMETRY_TMP/serve-first/fig6a.csv" "$TELEMETRY_TMP/serve-repro/fig6a.csv"
+cmp "$TELEMETRY_TMP/serve-second/fig6a.csv" "$TELEMETRY_TMP/serve-repro/fig6a.csv"
+# Seeded 100-request mix at concurrency 8; the stats snapshot must show
+# cache hits and pass the serve lint.
+./target/release/ifsim-loadgen --socket "$SERVE_SOCK" --concurrency 8 --requests 100 > /dev/null
+./target/release/ifsim-client --socket "$SERVE_SOCK" stats --raw > "$TELEMETRY_TMP/serve-stats.json"
+./target/release/telemetry-lint --serve "$TELEMETRY_TMP/serve-stats.json"
+HITS="$(./target/release/ifsim-client --socket "$SERVE_SOCK" stats | sed -n 's/.* \([0-9]*\) hits.*/\1/p')"
+if [ "${HITS:-0}" -lt 1 ]; then
+    echo "serve cache reported no hits" >&2
+    exit 1
+fi
+./target/release/ifsim-client --socket "$SERVE_SOCK" shutdown > /dev/null
+wait "$SERVE_PID"
+
 echo "==> engine bench smoke: fabric_engine summary + lint"
 # Release-mode criterion run of the engine-vs-reference benches; the summary
 # is written to a temp file (the committed BENCH_fabric.json snapshot is

@@ -1,0 +1,301 @@
+//! `ifsim-client` — submit one request to a running `ifsim-serve`.
+//!
+//! ```text
+//! ifsim-client (--socket PATH | --tcp HOST:PORT) COMMAND
+//!
+//! commands:
+//!   ping                        liveness probe
+//!   stats [--raw]               server statistics (--raw prints the JSON
+//!                               snapshot, lintable via telemetry-lint --serve)
+//!   shutdown                    ask the server to drain and exit
+//!   exp <id> [RUN OPTIONS]      run (or replay from cache) one experiment
+//!
+//! run options:
+//!   --quick            start from the quick configuration (2 reps, no warmup)
+//!   --seed U64         jitter seed override
+//!   --reps N           measured repetitions override
+//!   --warmup N         warmup repetitions override
+//!   --calib F=X        multiply calibration field F by X (repeatable;
+//!                      names as printed by `ifsim-drift --list-fields`)
+//!   --artifact NAME    only return the named CSV artifact (repeatable)
+//!   --csv DIR          save returned CSV artifacts into DIR
+//!   --no-report        don't print the rendered report
+//! ```
+//!
+//! Exit codes: 0 ok, 1 server-side error (including Overloaded), 2 usage.
+
+use ifsim_serve::proto::RunRequest;
+use ifsim_serve::{ClientAddr, Connection, Status};
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: ifsim-client (--socket PATH | --tcp HOST:PORT) \
+         (ping | stats [--raw] | shutdown | exp ID [RUN OPTIONS])"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    addr: ClientAddr,
+    command: Command,
+}
+
+enum Command {
+    Ping,
+    Stats { raw: bool },
+    Shutdown,
+    Exp(Box<ExpArgs>),
+}
+
+struct ExpArgs {
+    request: RunRequest,
+    csv_dir: Option<PathBuf>,
+    print_report: bool,
+}
+
+fn parse_args() -> Args {
+    let mut addr: Option<ClientAddr> = None;
+    let mut words: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                let path = it.next().unwrap_or_else(|| usage("--socket needs a path"));
+                #[cfg(unix)]
+                {
+                    addr = Some(ClientAddr::Unix(PathBuf::from(path)));
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    usage("--socket requires a Unix platform; use --tcp");
+                }
+            }
+            "--tcp" => {
+                addr = Some(ClientAddr::Tcp(
+                    it.next().unwrap_or_else(|| usage("--tcp needs HOST:PORT")),
+                ))
+            }
+            "--help" | "-h" => usage("help requested"),
+            _ => words.push(a),
+        }
+    }
+    let Some(addr) = addr else {
+        usage("one of --socket or --tcp is required");
+    };
+    let mut words = words.into_iter();
+    let command = match words.next().as_deref() {
+        Some("ping") => Command::Ping,
+        Some("stats") => {
+            let mut raw = false;
+            for w in words.by_ref() {
+                match w.as_str() {
+                    "--raw" => raw = true,
+                    other => usage(&format!("unknown stats option {other}")),
+                }
+            }
+            Command::Stats { raw }
+        }
+        Some("shutdown") => Command::Shutdown,
+        Some("exp") => {
+            let id = words.next().unwrap_or_else(|| usage("exp needs an id"));
+            let mut exp = ExpArgs {
+                request: RunRequest::new(id),
+                csv_dir: None,
+                print_report: true,
+            };
+            let mut rest = words.collect::<Vec<_>>().into_iter();
+            while let Some(w) = rest.next() {
+                let mut next = |name: &str| {
+                    rest.next()
+                        .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                };
+                match w.as_str() {
+                    "--quick" => exp.request.overrides.quick = true,
+                    "--seed" => {
+                        exp.request.overrides.seed = Some(
+                            next("--seed")
+                                .parse()
+                                .unwrap_or_else(|_| usage("bad --seed value")),
+                        )
+                    }
+                    "--reps" => {
+                        exp.request.overrides.reps = Some(
+                            next("--reps")
+                                .parse()
+                                .unwrap_or_else(|_| usage("bad --reps value")),
+                        )
+                    }
+                    "--warmup" => {
+                        exp.request.overrides.warmup = Some(
+                            next("--warmup")
+                                .parse()
+                                .unwrap_or_else(|_| usage("bad --warmup value")),
+                        )
+                    }
+                    "--calib" => {
+                        let v = next("--calib");
+                        let (field, factor) = v
+                            .split_once('=')
+                            .unwrap_or_else(|| usage("--calib wants FIELD=FACTOR"));
+                        let factor: f64 = factor
+                            .parse()
+                            .unwrap_or_else(|_| usage(&format!("bad factor '{factor}'")));
+                        exp.request
+                            .overrides
+                            .calib
+                            .push((field.to_string(), factor));
+                    }
+                    "--artifact" => exp.request.artifacts.push(next("--artifact")),
+                    "--csv" => exp.csv_dir = Some(PathBuf::from(next("--csv"))),
+                    "--no-report" => exp.print_report = false,
+                    other => usage(&format!("unknown exp option {other}")),
+                }
+            }
+            Command::Exp(Box::new(exp))
+        }
+        Some(other) => usage(&format!("unknown command '{other}'")),
+        None => usage("a command is required (ping|stats|shutdown|exp)"),
+    };
+    Args { addr, command }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut conn = match Connection::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.command {
+        Command::Ping => match conn.ping() {
+            Ok(()) => {
+                println!("pong");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ping failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Stats { raw } => match conn.stats() {
+            Ok(stats) => {
+                if raw {
+                    println!("{}", serde_json::to_string_pretty(&stats));
+                } else {
+                    print_stats(&stats);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("stats failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Shutdown => match conn.shutdown() {
+            Ok(_) => {
+                println!("server draining");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Exp(exp) => run_exp(&mut conn, &exp),
+    }
+}
+
+fn run_exp(conn: &mut Connection, exp: &ExpArgs) -> ExitCode {
+    let resp = match conn.run(&exp.request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if resp.status != Status::Ok {
+        eprintln!(
+            "{} ({}): {}",
+            resp.status.as_str(),
+            resp.status.code(),
+            resp.error.as_deref().unwrap_or("no detail")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} — digest {} — {} ({}/{} checks)",
+        resp.experiment_id,
+        resp.digest,
+        if resp.cached { "cache hit" } else { "computed" },
+        resp.checks_passed,
+        resp.checks_total
+    );
+    if exp.print_report {
+        if let Some(report) = &resp.report {
+            println!("{report}");
+        }
+    }
+    if let Some(dir) = &exp.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, contents) in &resp.csv {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+    }
+    if resp.checks_passed == resp.checks_total {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_stats(stats: &Value) {
+    let f = |path: &[&str]| -> f64 {
+        let mut v = stats;
+        for p in path {
+            match v.get(p) {
+                Some(next) => v = next,
+                None => return f64::NAN,
+            }
+        }
+        v.as_f64().unwrap_or(f64::NAN)
+    };
+    println!(
+        "uptime {:.1}s · draining: {}",
+        f(&["uptime_ns"]) / 1e9,
+        stats
+            .get("draining")
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+    );
+    println!(
+        "cache: {}/{} entries · {} hits / {} misses (hit rate {:.1}%)",
+        f(&["cache", "entries"]),
+        f(&["cache", "capacity"]),
+        f(&["cache", "hits"]),
+        f(&["cache", "misses"]),
+        f(&["cache", "hit_rate"]) * 100.0
+    );
+    println!(
+        "queue: {} in flight of {} capacity ({} workers + {} queue)",
+        f(&["queue", "in_flight"]),
+        f(&["queue", "capacity"]),
+        f(&["queue", "workers"]),
+        f(&["queue", "queue_depth"])
+    );
+    println!("pool:  {} panicked jobs", f(&["pool", "panicked_jobs"]));
+}

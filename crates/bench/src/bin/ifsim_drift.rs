@@ -36,27 +36,6 @@ const FIGURES: &[(&str, f64)] = &[
     ("fig7", 0.02),
 ];
 
-/// Accessor into one perturbable `Calibration` field.
-type FieldAccessor = fn(&mut Calibration) -> &mut f64;
-
-/// The perturbable calibration constants (`--perturb NAME=FACTOR`).
-/// Multiplicative, so `=1.0` is the identity run.
-const FIELDS: &[(&str, FieldAccessor)] = &[
-    ("eff_memcpy_pinned", |c| &mut c.eff_memcpy_pinned),
-    ("eff_memcpy_pageable", |c| &mut c.eff_memcpy_pageable),
-    ("eff_kernel_hbm", |c| &mut c.eff_kernel_hbm),
-    ("eff_kernel_xgmi", |c| &mut c.eff_kernel_xgmi),
-    ("eff_kernel_host_pinned", |c| &mut c.eff_kernel_host_pinned),
-    ("eff_kernel_host_managed", |c| {
-        &mut c.eff_kernel_host_managed
-    }),
-    ("sdma_payload_cap", |c| &mut c.sdma_payload_cap),
-    ("eff_sdma_xgmi", |c| &mut c.eff_sdma_xgmi),
-    ("ddr_total_bw", |c| &mut c.ddr_total_bw),
-    ("mpi_overhead_frac", |c| &mut c.mpi_overhead_frac),
-    ("rccl_store_forward_eff", |c| &mut c.rccl_store_forward_eff),
-];
-
 struct Args {
     golden: PathBuf,
     figures: Vec<String>,
@@ -111,7 +90,7 @@ fn parse_args() -> Args {
                 let factor: f64 = factor
                     .parse()
                     .unwrap_or_else(|_| usage(&format!("bad factor '{factor}'")));
-                if !FIELDS.iter().any(|(name, _)| *name == field) {
+                if !Calibration::f64_field_names().any(|name| name == field) {
                     usage(&format!(
                         "unknown calibration field '{field}'; try --list-fields"
                     ));
@@ -120,7 +99,7 @@ fn parse_args() -> Args {
             }
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(next("--metrics-out"))),
             "--list-fields" => {
-                for (name, _) in FIELDS {
+                for name in Calibration::f64_field_names() {
                     println!("{name}");
                 }
                 std::process::exit(0);
@@ -183,12 +162,9 @@ fn main() -> ExitCode {
     let mut cfg = BenchConfig::quick();
     cfg.reps = 1;
     if let Some((field, factor)) = &args.perturb {
-        let accessor = FIELDS
-            .iter()
-            .find(|(name, _)| name == field)
-            .expect("validated in parse_args")
-            .1;
-        *accessor(&mut cfg.calib) *= factor;
+        *cfg.calib
+            .f64_field_mut(field)
+            .expect("validated in parse_args") *= factor;
         println!("perturbed {field} by ×{factor}");
     }
 

@@ -1,0 +1,307 @@
+//! `ifsim-loadgen` — closed-loop load generator for `ifsim-serve`.
+//!
+//! ```text
+//! ifsim-loadgen (--socket PATH | --tcp HOST:PORT) [OPTIONS]
+//!
+//!   --concurrency K    closed-loop worker connections (default 8)
+//!   --requests N       total requests in the mix (default 100)
+//!   --seed U64         mix seed (default 0xC0FFEE); the same seed
+//!                      replays byte-for-byte the same request sequence,
+//!                      so a second run exercises the server's cache
+//!   --retries N        max retries per request on Overloaded, with
+//!                      linear backoff (default 50)
+//! ```
+//!
+//! The mix draws uniformly (seeded SplitMix64) from a pool of cheap
+//! registry experiments crossed with a handful of jitter seeds — the
+//! paper-sweep shape: many repeated configurations. Reports throughput
+//! and latency percentiles via the simulator's own `Summary` machinery,
+//! plus the observed cache hit rate. Exit code 0 when every request
+//! eventually succeeded.
+
+use ifsim_core::des::Summary;
+use ifsim_serve::proto::RunRequest;
+use ifsim_serve::{ClientAddr, Connection, Status};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Cheap, check-clean experiments for the request mix. Crossed with
+/// `SEED_POOL` this gives 20 distinct cache keys per mix seed.
+const EXPERIMENT_POOL: &[&str] = &["fig1", "table1", "table2", "fig6a"];
+const SEED_POOL: &[u64] = &[11, 22, 33, 44, 55];
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: ifsim-loadgen (--socket PATH | --tcp HOST:PORT) \
+         [--concurrency K] [--requests N] [--seed U64] [--retries N]"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    addr: ClientAddr,
+    concurrency: usize,
+    requests: usize,
+    seed: u64,
+    retries: usize,
+}
+
+fn parse_args() -> Args {
+    let mut addr: Option<ClientAddr> = None;
+    let mut args = Args {
+        addr: ClientAddr::Tcp(String::new()), // placeholder, replaced below
+        concurrency: 8,
+        requests: 100,
+        seed: 0xC0FFEE,
+        retries: 50,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--socket" => {
+                let path = next("--socket");
+                #[cfg(unix)]
+                {
+                    addr = Some(ClientAddr::Unix(PathBuf::from(path)));
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    usage("--socket requires a Unix platform; use --tcp");
+                }
+            }
+            "--tcp" => addr = Some(ClientAddr::Tcp(next("--tcp"))),
+            "--concurrency" => {
+                args.concurrency = next("--concurrency")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --concurrency value"));
+                if args.concurrency == 0 {
+                    usage("--concurrency must be at least 1");
+                }
+            }
+            "--requests" => {
+                args.requests = next("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --requests value"));
+            }
+            "--seed" => {
+                args.seed = next("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed value"));
+            }
+            "--retries" => {
+                args.retries = next("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --retries value"));
+            }
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown option {other}")),
+        }
+    }
+    match addr {
+        Some(a) => args.addr = a,
+        None => usage("one of --socket or --tcp is required"),
+    }
+    args
+}
+
+/// SplitMix64 — the same tiny deterministic generator the simulator's
+/// jitter model uses, so the mix is reproducible everywhere.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The seeded request mix: `n` quick single-rep runs drawn from the
+/// experiment × seed pools.
+fn build_mix(seed: u64, n: usize) -> Vec<RunRequest> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            let exp =
+                EXPERIMENT_POOL[(splitmix64(&mut state) % EXPERIMENT_POOL.len() as u64) as usize];
+            let jitter_seed = SEED_POOL[(splitmix64(&mut state) % SEED_POOL.len() as u64) as usize];
+            let mut req = RunRequest::new(exp);
+            req.overrides.quick = true;
+            req.overrides.reps = Some(1);
+            req.overrides.seed = Some(jitter_seed);
+            req
+        })
+        .collect()
+}
+
+/// One request's outcome, reported back to the aggregator.
+struct Outcome {
+    latency_ns: f64,
+    cached: bool,
+    overloaded_retries: usize,
+    error: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mix = Arc::new(build_mix(args.seed, args.requests));
+    println!(
+        "ifsim-loadgen: {} requests over {} distinct configs, concurrency {}, mix seed {:#x}",
+        mix.len(),
+        EXPERIMENT_POOL.len() * SEED_POOL.len(),
+        args.concurrency,
+        args.seed
+    );
+
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel::<Outcome>();
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for _ in 0..args.concurrency {
+        let mix = Arc::clone(&mix);
+        let cursor = Arc::clone(&cursor);
+        let tx = tx.clone();
+        let addr = args.addr.clone();
+        let retries = args.retries;
+        workers.push(std::thread::spawn(move || {
+            let mut conn = match Connection::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    let _ = tx.send(Outcome {
+                        latency_ns: 0.0,
+                        cached: false,
+                        overloaded_retries: 0,
+                        error: Some(format!("cannot connect: {e}")),
+                    });
+                    return;
+                }
+            };
+            loop {
+                let i = cursor.fetch_add(1, Ordering::SeqCst);
+                let Some(req) = mix.get(i) else {
+                    return;
+                };
+                let _ = tx.send(drive_one(&mut conn, req, retries));
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut latencies = Vec::with_capacity(mix.len());
+    let mut cached = 0usize;
+    let mut overloaded_retries = 0usize;
+    let mut errors = Vec::new();
+    for outcome in rx {
+        overloaded_retries += outcome.overloaded_retries;
+        match outcome.error {
+            Some(e) => errors.push(e),
+            None => {
+                latencies.push(outcome.latency_ns);
+                if outcome.cached {
+                    cached += 1;
+                }
+            }
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let wall = t0.elapsed();
+
+    if latencies.is_empty() {
+        eprintln!("no request succeeded; first error: {:?}", errors.first());
+        return ExitCode::FAILURE;
+    }
+    let summary = Summary::from_samples(&latencies);
+    let done = latencies.len();
+    println!(
+        "completed {done}/{} ok ({cached} cache hits, hit rate {:.1}%) \
+         with {overloaded_retries} overloaded retries, {} errors",
+        mix.len(),
+        100.0 * cached as f64 / done as f64,
+        errors.len()
+    );
+    println!(
+        "wall {:.2}s · throughput {:.1} req/s",
+        wall.as_secs_f64(),
+        done as f64 / wall.as_secs_f64()
+    );
+    let ms = 1e6;
+    println!(
+        "latency ms: p50 {:.2} · p95 {:.2} · p99 {:.2} · max {:.2}",
+        summary.median / ms,
+        summary.p95 / ms,
+        summary.p99 / ms,
+        summary.max / ms
+    );
+    for e in errors.iter().take(3) {
+        eprintln!("error: {e}");
+    }
+    if errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Issue one request, retrying Overloaded answers with linear backoff.
+fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize) -> Outcome {
+    let mut overloaded_retries = 0usize;
+    let t0 = Instant::now();
+    loop {
+        match conn.run(req) {
+            Ok(resp) if resp.status == Status::Ok => {
+                return Outcome {
+                    latency_ns: t0.elapsed().as_nanos() as f64,
+                    cached: resp.cached,
+                    overloaded_retries,
+                    error: None,
+                };
+            }
+            Ok(resp) if resp.status == Status::Overloaded => {
+                if overloaded_retries >= retries {
+                    return Outcome {
+                        latency_ns: 0.0,
+                        cached: false,
+                        overloaded_retries,
+                        error: Some(format!(
+                            "{}: still overloaded after {retries} retries",
+                            req.experiment_id
+                        )),
+                    };
+                }
+                overloaded_retries += 1;
+                std::thread::sleep(Duration::from_millis(5 * overloaded_retries as u64));
+            }
+            Ok(resp) => {
+                return Outcome {
+                    latency_ns: 0.0,
+                    cached: false,
+                    overloaded_retries,
+                    error: Some(format!(
+                        "{}: {} ({}): {}",
+                        req.experiment_id,
+                        resp.status.as_str(),
+                        resp.status.code(),
+                        resp.error.unwrap_or_default()
+                    )),
+                };
+            }
+            Err(e) => {
+                return Outcome {
+                    latency_ns: 0.0,
+                    cached: false,
+                    overloaded_retries,
+                    error: Some(format!("{}: transport: {e}", req.experiment_id)),
+                };
+            }
+        }
+    }
+}

@@ -128,7 +128,8 @@ fn parse() -> Cli {
             "--jobs" => {
                 cli.jobs = next("--jobs").parse().unwrap_or_else(|_| usage());
                 if cli.jobs == 0 {
-                    usage();
+                    eprintln!("error: --jobs must be at least 1 (0 would start no workers)");
+                    std::process::exit(2);
                 }
             }
             "--devices" => {

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE] [--attr FILE]
+//!                [--serve FILE]
 //! ```
 //!
 //! Validates structure only, no golden values: the trace must be Chrome
@@ -19,7 +20,11 @@
 //! consistent cap/link split; and the bench summary must be
 //! `ifsim-bench-fabric-v1`: non-empty `results` rows with an id, positive
 //! timings, and at least one iteration, plus a `speedup` object of
-//! positive ratios. Exit code 0 when every given file passes, 1 otherwise.
+//! positive ratios; and the serve stats snapshot must be
+//! `ifsim-serve-stats-v1` with numeric cache/queue/pool accounting and an
+//! embedded metrics registry carrying the serve request counters and
+//! latency histograms. Exit code 0 when every given file passes, 1
+//! otherwise.
 
 use ifsim_core::fabric::SegmentMap;
 use ifsim_core::telemetry::json::{self, Value};
@@ -248,11 +253,79 @@ fn lint_bench(v: &Value) -> Result<usize, String> {
     Ok(rows.len())
 }
 
+/// Validate an `ifsim-serve` stats snapshot (`ifsim-serve-stats-v1`): the
+/// cache/queue/pool accounting blocks plus an embedded metrics registry
+/// that must itself lint clean and carry the serve request counters and
+/// latency histograms (p50/p95/p99 come with the histogram schema).
+fn lint_serve(v: &Value) -> Result<usize, String> {
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some("ifsim-serve-stats-v1") => {}
+        other => return Err(format!("unexpected schema {other:?}")),
+    }
+    let section = |name: &str, fields: &[&str]| -> Result<(), String> {
+        let block = v
+            .get(name)
+            .and_then(|b| b.as_object())
+            .ok_or_else(|| format!("missing {name} object"))?;
+        for field in fields {
+            match block.get(field).and_then(|x| x.as_f64()) {
+                Some(x) if x >= 0.0 && x.is_finite() => {}
+                other => return Err(format!("{name}.{field} is not a number: {other:?}")),
+            }
+        }
+        Ok(())
+    };
+    section(
+        "cache",
+        &["entries", "capacity", "hits", "misses", "hit_rate"],
+    )?;
+    section(
+        "queue",
+        &["in_flight", "capacity", "workers", "queue_depth"],
+    )?;
+    section("pool", &["panicked_jobs"])?;
+    let in_flight = v
+        .get("queue")
+        .and_then(|q| q.get("in_flight"))
+        .and_then(|x| x.as_f64())
+        .unwrap_or(0.0);
+    let capacity = v
+        .get("queue")
+        .and_then(|q| q.get("capacity"))
+        .and_then(|x| x.as_f64())
+        .unwrap_or(0.0);
+    if in_flight > capacity {
+        return Err(format!(
+            "queue.in_flight ({in_flight}) exceeds queue.capacity ({capacity})"
+        ));
+    }
+    let metrics = v.get("metrics").ok_or("missing metrics snapshot")?;
+    let entries = lint_metrics(metrics)?;
+    let has = |section: &str, name: &str| -> bool {
+        metrics
+            .get(section)
+            .and_then(|s| s.as_array())
+            .is_some_and(|items| {
+                items
+                    .iter()
+                    .any(|i| i.get("name").and_then(|n| n.as_str()) == Some(name))
+            })
+    };
+    if !has("counters", "serve_requests_total") {
+        return Err("metrics missing serve_requests_total counter".into());
+    }
+    if !has("histograms", "serve_request_latency_ns") {
+        return Err("metrics missing serve_request_latency_ns histogram".into());
+    }
+    Ok(entries)
+}
+
 fn main() -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
     let mut bench: Option<PathBuf> = None;
     let mut attr: Option<PathBuf> = None;
+    let mut serve: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -260,10 +333,11 @@ fn main() -> ExitCode {
             "--metrics" => metrics = it.next().map(PathBuf::from),
             "--bench" => bench = it.next().map(PathBuf::from),
             "--attr" => attr = it.next().map(PathBuf::from),
+            "--serve" => serve = it.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
                     "usage: telemetry-lint [--trace FILE] [--metrics FILE] \
-                     [--bench FILE] [--attr FILE]"
+                     [--bench FILE] [--attr FILE] [--serve FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -273,8 +347,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    if trace.is_none() && metrics.is_none() && bench.is_none() && attr.is_none() {
-        eprintln!("nothing to lint: pass --trace, --metrics, --bench, and/or --attr");
+    if trace.is_none() && metrics.is_none() && bench.is_none() && attr.is_none() && serve.is_none()
+    {
+        eprintln!("nothing to lint: pass --trace, --metrics, --bench, --attr, and/or --serve");
         return ExitCode::from(2);
     }
     let mut ok = true;
@@ -310,6 +385,15 @@ fn main() -> ExitCode {
             Ok(n) => println!("attr    OK: {} — {n} segments", path.display()),
             Err(e) => {
                 eprintln!("attr    FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = serve {
+        match load(&path).and_then(|v| lint_serve(&v)) {
+            Ok(n) => println!("serve   OK: {} — {n} metric entries", path.display()),
+            Err(e) => {
+                eprintln!("serve   FAIL: {} — {e}", path.display());
                 ok = false;
             }
         }

@@ -420,6 +420,211 @@ fn telemetry_lint_rejects_malformed_artifacts() {
 }
 
 #[test]
+fn repro_rejects_zero_jobs() {
+    let out = repro()
+        .args(["--jobs", "0", "fig6a"])
+        .output()
+        .expect("run repro");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--jobs must be at least 1"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn mgpu_bench_exp_rejects_zero_jobs() {
+    let out = mgpu()
+        .args(["exp", "fig6a", "--jobs", "0"])
+        .output()
+        .expect("run mgpu-bench exp");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--jobs must be at least 1"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[cfg(unix)]
+mod serve_cli {
+    //! End-to-end tests for `ifsim-client` and `ifsim-loadgen` against an
+    //! in-process `ifsim_serve::Server` hosted on a temp Unix socket.
+
+    use super::temp_dir;
+    use ifsim_serve::{ServeAddr, ServeOptions, Server};
+    use std::path::PathBuf;
+    use std::process::Command;
+
+    fn client() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_ifsim-client"))
+    }
+
+    fn loadgen() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_ifsim-loadgen"))
+    }
+
+    /// Host a server on `<dir>/serve.sock` in a background thread; the
+    /// returned guard joins the server (after a client-driven shutdown).
+    fn host(dir: &std::path::Path) -> (PathBuf, std::thread::JoinHandle<()>) {
+        let sock = dir.join("serve.sock");
+        let server = Server::bind(
+            ServeAddr::Unix(sock.clone()),
+            ServeOptions {
+                workers: 4,
+                queue_depth: 16,
+                cache_cap: 64,
+            },
+        )
+        .expect("bind temp socket");
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+        (sock, handle)
+    }
+
+    fn shut_down(sock: &std::path::Path, handle: std::thread::JoinHandle<()>) {
+        let out = client()
+            .arg("--socket")
+            .arg(sock)
+            .arg("shutdown")
+            .output()
+            .expect("run client shutdown");
+        assert!(out.status.success(), "shutdown failed");
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn client_artifacts_are_byte_identical_to_repro_and_replay_from_cache() {
+        let dir = temp_dir("serve-client");
+        let (sock, handle) = host(&dir);
+
+        // Same config through the service, twice: the second answer must be
+        // a cache hit carrying the same bytes.
+        let run = |tag: &str| {
+            let csv_dir = dir.join(tag);
+            let out = client()
+                .arg("--socket")
+                .arg(&sock)
+                .args(["exp", "fig6a", "--quick", "--reps", "1", "--no-report"])
+                .arg("--csv")
+                .arg(&csv_dir)
+                .output()
+                .expect("run client exp");
+            assert!(
+                out.status.success(),
+                "stdout: {}\nstderr: {}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            (csv_dir, String::from_utf8_lossy(&out.stdout).into_owned())
+        };
+        let (d1, stdout1) = run("first");
+        let (d2, stdout2) = run("second");
+        assert!(stdout1.contains("computed"), "{stdout1}");
+        assert!(stdout2.contains("cache hit"), "{stdout2}");
+
+        // And both match what the repro CLI writes for the same config.
+        let repro_dir = dir.join("repro");
+        let out = super::repro()
+            .args(["--quick", "--reps", "1", "--csv"])
+            .arg(&repro_dir)
+            .arg("fig6a")
+            .output()
+            .expect("run repro");
+        assert!(out.status.success());
+        let reference = std::fs::read(repro_dir.join("fig6a.csv")).expect("repro csv");
+        for d in [&d1, &d2] {
+            let served = std::fs::read(d.join("fig6a.csv")).expect("served csv");
+            assert_eq!(served, reference, "served CSV diverges from repro CLI");
+        }
+
+        shut_down(&sock, handle);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loadgen_repeat_run_is_all_cache_hits() {
+        let dir = temp_dir("serve-loadgen");
+        let (sock, handle) = host(&dir);
+
+        let run = || {
+            let out = loadgen()
+                .arg("--socket")
+                .arg(&sock)
+                .args(["--concurrency", "8", "--requests", "100", "--seed", "7"])
+                .output()
+                .expect("run loadgen");
+            assert!(
+                out.status.success(),
+                "stdout: {}\nstderr: {}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            String::from_utf8_lossy(&out.stdout).into_owned()
+        };
+        let first = run();
+        assert!(first.contains("completed 100/100 ok"), "{first}");
+        assert!(first.contains("p50"), "{first}");
+        // Replaying the identical seeded mix hits the warm cache on every
+        // request — comfortably above the 0.9 acceptance bar.
+        let second = run();
+        assert!(second.contains("hit rate 100.0%"), "{second}");
+        assert!(second.contains("0 errors"), "{second}");
+
+        shut_down(&sock, handle);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_stats_raw_passes_the_serve_lint() {
+        let dir = temp_dir("serve-stats");
+        let (sock, handle) = host(&dir);
+
+        // One request so the latency histogram and request counter exist.
+        let out = client()
+            .arg("--socket")
+            .arg(&sock)
+            .args(["exp", "fig1", "--quick", "--no-report"])
+            .output()
+            .expect("run client exp");
+        assert!(out.status.success());
+
+        let out = client()
+            .arg("--socket")
+            .arg(&sock)
+            .args(["stats", "--raw"])
+            .output()
+            .expect("run client stats");
+        assert!(out.status.success());
+        let stats_path = dir.join("stats.json");
+        std::fs::write(&stats_path, &out.stdout).expect("write stats");
+        let ok = super::lint()
+            .arg("--serve")
+            .arg(&stats_path)
+            .output()
+            .expect("run telemetry-lint");
+        assert!(
+            ok.status.success(),
+            "serve lint failed: {}",
+            String::from_utf8_lossy(&ok.stderr)
+        );
+
+        shut_down(&sock, handle);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_requires_an_address_and_a_command() {
+        let out = client().arg("ping").output().expect("run client");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--socket or --tcp"));
+        let out = loadgen().output().expect("run loadgen");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--socket or --tcp"));
+    }
+}
+
+#[test]
 fn telemetry_lint_validates_bench_summary() {
     let dir = temp_dir("lint-bench");
     // A well-formed summary in the shape `fabric_engine` writes.

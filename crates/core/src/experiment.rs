@@ -94,6 +94,27 @@ impl Experiment {
         (self.runner)(cfg)
     }
 
+    /// Content-address this experiment under `cfg`: a hex digest over the
+    /// experiment id plus every configuration constant (seed, repetition
+    /// counts, and the full calibration). Two invocations with equal
+    /// digests are behaviourally identical — the simulator derives all
+    /// jitter from the seed — so result caches (`ifsim-serve`) key on it.
+    ///
+    /// The key/value pairs are sorted by name before hashing, so the digest
+    /// is stable across struct-field reordering and accessor-table churn.
+    pub fn config_digest(&self, cfg: &BenchConfig) -> String {
+        let mut pairs: Vec<(String, String)> = vec![
+            ("experiment".into(), self.id.to_string()),
+            ("seed".into(), cfg.seed.to_string()),
+            ("reps".into(), cfg.reps.to_string()),
+            ("warmup".into(), cfg.warmup.to_string()),
+        ];
+        for (name, value) in cfg.calib.kv() {
+            pairs.push((format!("calib.{name}"), value.to_string()));
+        }
+        digest_kv(&pairs)
+    }
+
     /// Run it under an installed telemetry collector: every simulator the
     /// benchmarks construct self-observes, and the merged timeline plus
     /// metrics snapshot come back alongside the result.
@@ -105,6 +126,31 @@ impl Experiment {
         let result = (self.runner)(cfg);
         (result, collector.take())
     }
+}
+
+/// Digest a key/value set into 32 hex characters, independent of the order
+/// the pairs are supplied in (they are sorted by key, then value, before
+/// hashing). Two FNV-1a streams with distinct offset bases give a 128-bit
+/// identifier without external hash dependencies.
+pub fn digest_kv(pairs: &[(String, String)]) -> String {
+    let mut sorted: Vec<&(String, String)> = pairs.iter().collect();
+    sorted.sort();
+    const PRIME: u64 = 0x100000001b3;
+    let mut h1: u64 = 0xcbf29ce484222325;
+    let mut h2: u64 = h1 ^ 0x9e3779b97f4a7c15;
+    for (k, v) in sorted {
+        for b in k
+            .as_bytes()
+            .iter()
+            .chain(b"=")
+            .chain(v.as_bytes())
+            .chain(b"\n")
+        {
+            h1 = (h1 ^ u64::from(*b)).wrapping_mul(PRIME);
+            h2 = (h2 ^ u64::from(*b)).wrapping_mul(PRIME);
+        }
+    }
+    format!("{h1:016x}{h2:016x}")
 }
 
 #[cfg(test)]
@@ -150,6 +196,42 @@ mod tests {
                     .with("dev", "0")
             )
             .is_some());
+    }
+
+    #[test]
+    fn digest_is_stable_across_pair_ordering() {
+        let fwd = vec![
+            ("seed".to_string(), "42".to_string()),
+            ("reps".to_string(), "3".to_string()),
+            ("calib.eff_sdma_xgmi".to_string(), "0.75".to_string()),
+        ];
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(digest_kv(&fwd), digest_kv(&rev));
+        assert_eq!(digest_kv(&fwd).len(), 32);
+        // Content changes move the digest.
+        let mut other = fwd.clone();
+        other[0].1 = "43".to_string();
+        assert_ne!(digest_kv(&fwd), digest_kv(&other));
+    }
+
+    #[test]
+    fn config_digest_tracks_id_seed_and_calibration() {
+        let a = Experiment::new("x", "t", "d", dummy);
+        let b = Experiment::new("y", "t", "d", dummy);
+        let cfg = BenchConfig::quick();
+        assert_eq!(a.config_digest(&cfg), a.config_digest(&cfg.clone()));
+        assert_ne!(a.config_digest(&cfg), b.config_digest(&cfg));
+        let mut seeded = cfg.clone();
+        seeded.seed = 7;
+        assert_ne!(a.config_digest(&cfg), a.config_digest(&seeded));
+        let mut perturbed = cfg.clone();
+        *perturbed.calib.f64_field_mut("eff_sdma_xgmi").unwrap() *= 1.1;
+        assert_ne!(a.config_digest(&cfg), a.config_digest(&perturbed));
+        // reps is part of the identity too: artifacts embed averaged rows.
+        let mut reps = cfg.clone();
+        reps.reps += 1;
+        assert_ne!(a.config_digest(&cfg), a.config_digest(&reps));
     }
 
     #[test]

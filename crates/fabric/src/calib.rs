@@ -218,7 +218,97 @@ impl Calibration {
         let per_page = page / link_bw + self.migration_fault_overhead.as_secs();
         page / per_page
     }
+
+    /// Names of the dimensionless/bandwidth constants addressable by
+    /// [`Calibration::f64_field_mut`] — the set `ifsim-drift --perturb` and
+    /// the serve protocol's `config.calib` overrides accept.
+    pub fn f64_field_names() -> impl Iterator<Item = &'static str> {
+        F64_FIELDS.iter().map(|(name, _)| *name)
+    }
+
+    /// Mutable access to one `f64` calibration constant by name, for
+    /// perturbation tooling (`ifsim-drift --perturb FIELD=FACTOR`) and
+    /// request-level config overrides in `ifsim-serve`.
+    pub fn f64_field_mut(&mut self, name: &str) -> Option<&mut f64> {
+        F64_FIELDS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, accessor)| accessor(self))
+    }
+
+    /// Every constant as canonical `(name, value)` pairs — durations in
+    /// nanoseconds, byte/engine counts as plain numbers. This is the
+    /// content-addressing surface: two calibrations with equal `kv()` are
+    /// behaviourally identical, so result caches may key on it.
+    pub fn kv(&self) -> Vec<(&'static str, f64)> {
+        let mut probe = self.clone();
+        let mut out: Vec<(&'static str, f64)> = F64_FIELDS
+            .iter()
+            .map(|(name, accessor)| (*name, *accessor(&mut probe)))
+            .collect();
+        out.extend([
+            ("host_dma_setup_ns", self.host_dma_setup.as_ns()),
+            (
+                "managed_cache_crossover_bytes",
+                self.managed_cache_crossover_bytes as f64,
+            ),
+            ("sdma_engines_per_gcd", self.sdma_engines_per_gcd as f64),
+            ("migration_page_bytes", self.migration_page_bytes as f64),
+            (
+                "migration_fault_overhead_ns",
+                self.migration_fault_overhead.as_ns(),
+            ),
+            ("peer_base_latency_ns", self.peer_base_latency.as_ns()),
+            ("peer_hop_latency_ns", self.peer_hop_latency.as_ns()),
+            ("peer_dual_extra_ns", self.peer_dual_extra.as_ns()),
+            ("peer_quad_extra_ns", self.peer_quad_extra.as_ns()),
+            (
+                "kernel_launch_overhead_ns",
+                self.kernel_launch_overhead.as_ns(),
+            ),
+            ("memcpy_call_overhead_ns", self.memcpy_call_overhead.as_ns()),
+            (
+                "remote_access_latency_ns",
+                self.remote_access_latency.as_ns(),
+            ),
+            ("host_api_overhead_ns", self.host_api_overhead.as_ns()),
+            ("ddr_latency_ns", self.ddr_latency.as_ns()),
+            ("mpi_message_latency_ns", self.mpi_message_latency.as_ns()),
+            ("mpi_ipc_map_latency_ns", self.mpi_ipc_map_latency.as_ns()),
+            ("mpi_staged_latency_ns", self.mpi_staged_latency.as_ns()),
+            ("rccl_launch_overhead_ns", self.rccl_launch_overhead.as_ns()),
+            ("rccl_step_latency_ns", self.rccl_step_latency.as_ns()),
+        ]);
+        out
+    }
 }
+
+/// Accessor into one perturbable `f64` field.
+type F64FieldAccessor = fn(&mut Calibration) -> &mut f64;
+
+/// The by-name addressable `f64` constants. Every dimensionless efficiency,
+/// jitter, fraction, and bandwidth cap lives here; durations and integer
+/// granularities are only exposed through [`Calibration::kv`].
+const F64_FIELDS: &[(&str, F64FieldAccessor)] = &[
+    ("eff_memcpy_pinned", |c| &mut c.eff_memcpy_pinned),
+    ("eff_memcpy_pageable", |c| &mut c.eff_memcpy_pageable),
+    ("pageable_jitter_rel", |c| &mut c.pageable_jitter_rel),
+    ("eff_kernel_hbm", |c| &mut c.eff_kernel_hbm),
+    ("eff_kernel_xgmi", |c| &mut c.eff_kernel_xgmi),
+    ("eff_kernel_host_pinned", |c| &mut c.eff_kernel_host_pinned),
+    ("eff_kernel_host_managed", |c| {
+        &mut c.eff_kernel_host_managed
+    }),
+    ("eff_kernel_host_managed_cached", |c| {
+        &mut c.eff_kernel_host_managed_cached
+    }),
+    ("sdma_payload_cap", |c| &mut c.sdma_payload_cap),
+    ("eff_sdma_xgmi", |c| &mut c.eff_sdma_xgmi),
+    ("latency_jitter_rel", |c| &mut c.latency_jitter_rel),
+    ("ddr_total_bw", |c| &mut c.ddr_total_bw),
+    ("mpi_overhead_frac", |c| &mut c.mpi_overhead_frac),
+    ("rccl_store_forward_eff", |c| &mut c.rccl_store_forward_eff),
+];
 
 #[cfg(test)]
 mod tests {
@@ -288,6 +378,36 @@ mod tests {
         // Interconnect mechanics (SDMA, xGMI) are unchanged.
         assert_eq!(apu.sdma_payload_cap, base.sdma_payload_cap);
         assert_eq!(apu.eff_kernel_xgmi, base.eff_kernel_xgmi);
+    }
+
+    #[test]
+    fn f64_fields_are_addressable_by_name() {
+        let mut c = Calibration::default();
+        *c.f64_field_mut("eff_sdma_xgmi").unwrap() *= 2.0;
+        assert_eq!(c.eff_sdma_xgmi, 2.0 * Calibration::default().eff_sdma_xgmi);
+        assert!(c.f64_field_mut("no_such_field").is_none());
+        assert!(Calibration::f64_field_names().any(|n| n == "eff_memcpy_pinned"));
+    }
+
+    #[test]
+    fn kv_covers_every_field_exactly_once() {
+        let c = Calibration::default();
+        let kv = c.kv();
+        let mut names: Vec<&str> = kv.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate kv name");
+        // Spot-check a member of each family: efficiency, duration, count.
+        assert!(kv.iter().any(|(n, v)| *n == "eff_sdma_xgmi" && *v == 0.75));
+        assert!(kv.iter().any(|(n, v)| *n == "ddr_latency_ns" && *v == 96.0));
+        assert!(kv
+            .iter()
+            .any(|(n, v)| *n == "sdma_engines_per_gcd" && *v == 4.0));
+        // A mutation through the accessor table shows up in kv().
+        let mut c2 = Calibration::default();
+        *c2.f64_field_mut("mpi_overhead_frac").unwrap() = 0.5;
+        assert_ne!(c.kv(), c2.kv());
     }
 
     #[test]

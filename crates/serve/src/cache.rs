@@ -1,0 +1,182 @@
+//! The content-addressed result cache.
+//!
+//! Keys are [`Experiment::config_digest`] values — a digest over the
+//! experiment id plus every configuration constant — so two requests with
+//! the same key are behaviourally identical (all simulator jitter derives
+//! from the seed) and the cached artifacts are byte-for-byte the ones a
+//! fresh compute would produce. Eviction is FIFO at a fixed capacity:
+//! sweep replays touch each key a handful of times in submission order,
+//! so recency tracking buys nothing over insertion order here.
+//!
+//! [`Experiment::config_digest`]: ifsim_core::Experiment::config_digest
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One computed experiment, immutable once inserted.
+#[derive(Debug)]
+pub struct CachedRun {
+    /// The configuration digest this run is stored under.
+    pub digest: String,
+    /// Rendered report (tables + check list).
+    pub report: String,
+    /// `(file name, contents)` CSV artifacts.
+    pub csv: Vec<(String, String)>,
+    /// Paper-shape checks passed.
+    pub checks_passed: usize,
+    /// Paper-shape checks total.
+    pub checks_total: usize,
+}
+
+struct Inner {
+    map: HashMap<String, Arc<CachedRun>>,
+    /// Insertion order, oldest first.
+    order: VecDeque<String>,
+}
+
+/// A bounded, thread-safe digest → result map with hit/miss accounting.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a digest, counting the hit or miss.
+    pub fn get(&self, digest: &str) -> Option<Arc<CachedRun>> {
+        let found = self.inner.lock().unwrap().map.get(digest).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a computed run, evicting the oldest entry past capacity.
+    /// A concurrent duplicate (two misses racing on one digest) keeps the
+    /// first insertion so outstanding `Arc`s stay coherent.
+    pub fn insert(&self, run: Arc<CachedRun>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.contains_key(&run.digest) {
+            return;
+        }
+        inner.order.push_back(run.digest.clone());
+        inner.map.insert(run.digest.clone(), run);
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .order
+                .pop_front()
+                .expect("order tracks every map entry");
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn entries(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Lookups served from cache since startup.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a fresh compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(digest: &str) -> Arc<CachedRun> {
+        Arc::new(CachedRun {
+            digest: digest.to_string(),
+            report: format!("report {digest}"),
+            csv: vec![],
+            checks_passed: 1,
+            checks_total: 1,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = ResultCache::new(8);
+        assert!(c.get("a").is_none());
+        c.insert(run("a"));
+        assert_eq!(c.get("a").unwrap().report, "report a");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.entries(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = ResultCache::new(2);
+        c.insert(run("a"));
+        c.insert(run("b"));
+        c.insert(run("c"));
+        assert_eq!(c.entries(), 2);
+        assert!(c.get("a").is_none(), "oldest evicted");
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let c = ResultCache::new(4);
+        c.insert(run("a"));
+        let first = c.get("a").unwrap();
+        c.insert(Arc::new(CachedRun {
+            digest: "a".into(),
+            report: "different".into(),
+            csv: vec![],
+            checks_passed: 0,
+            checks_total: 0,
+        }));
+        assert!(Arc::ptr_eq(&first, &c.get("a").unwrap()));
+        assert_eq!(c.entries(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let c = ResultCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(run("a"));
+        assert_eq!(c.entries(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Client-side connection helpers: one blocking request/response pair
+//! per call over a Unix-socket or TCP stream. `ifsim-client` and
+//! `ifsim-loadgen` (in `ifsim-bench`) and the serve tests all sit on
+//! this.
+
+use crate::proto::{self, Request, RunRequest, RunResponse};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where to reach a server (mirrors `ServeAddr` on the other side).
+#[derive(Clone, Debug)]
+pub enum ClientAddr {
+    /// A Unix domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+enum StreamKind {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for StreamKind {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.read(buf),
+            StreamKind::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamKind {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.write(buf),
+            StreamKind::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.flush(),
+            StreamKind::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One open connection; requests are serialized over it in order.
+pub struct Connection {
+    reader: BufReader<StreamKind>,
+    writer: BufWriter<StreamKind>,
+}
+
+impl Connection {
+    /// Connect to a serving `addr`.
+    pub fn connect(addr: &ClientAddr) -> std::io::Result<Connection> {
+        let (read_half, write_half) = match addr {
+            #[cfg(unix)]
+            ClientAddr::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                let w = s.try_clone()?;
+                (StreamKind::Unix(s), StreamKind::Unix(w))
+            }
+            ClientAddr::Tcp(host) => {
+                let s = TcpStream::connect(host.as_str())?;
+                let w = s.try_clone()?;
+                (StreamKind::Tcp(s), StreamKind::Tcp(w))
+            }
+        };
+        Ok(Connection {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Send one raw JSON value, read one JSON line back.
+    pub fn request_value(&mut self, v: &Value) -> Result<Value, String> {
+        let mut line = serde_json::to_string(v);
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        serde_json::from_str(response.trim()).map_err(|e| format!("bad response JSON: {e}"))
+    }
+
+    /// Submit a run request.
+    pub fn run(&mut self, req: &RunRequest) -> Result<RunResponse, String> {
+        let v = self.request_value(&req.to_json())?;
+        RunResponse::from_json(&v)
+    }
+
+    /// Liveness probe; `Ok` when the server answered with status ok.
+    pub fn ping(&mut self) -> Result<(), String> {
+        let v = self.request_value(&proto::request_to_json(&Request::Ping))?;
+        match v.get("status").and_then(Value::as_str) {
+            Some("ok") => Ok(()),
+            other => Err(format!("unexpected ping status: {other:?}")),
+        }
+    }
+
+    /// Fetch the stats snapshot (`ifsim-serve-stats-v1`).
+    pub fn stats(&mut self) -> Result<Value, String> {
+        self.request_value(&proto::request_to_json(&Request::Stats))
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<Value, String> {
+        self.request_value(&proto::request_to_json(&Request::Shutdown))
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # ifsim-serve — the resident simulation service
+//!
+//! One-shot CLIs (`repro`, `mgpu-bench`) pay process startup, topology
+//! construction, and calibration load on every invocation. This crate
+//! keeps all of that resident in a long-running daemon and serves
+//! experiment requests over a newline-delimited JSON protocol on a Unix
+//! socket or TCP — std-only, on the vendored `serde_json` and
+//! `threadpool` shims.
+//!
+//! The moving parts:
+//!
+//! - [`proto`] — the wire protocol: [`RunRequest`] → [`RunResponse`]
+//!   plus `ping` / `stats` / `shutdown` ops;
+//! - [`cache`] — a content-addressed [`ResultCache`] keyed by
+//!   `Experiment::config_digest`, with hit/miss counters;
+//! - [`server`] — [`ServerCore`] (transport-independent request
+//!   handling, admission control with an explicit `Overloaded` answer at
+//!   capacity, self-observation via `ifsim-telemetry`) and [`Server`]
+//!   (the socket host with graceful SIGTERM drain);
+//! - [`client`] — a blocking [`Connection`] used by `ifsim-client`,
+//!   `ifsim-loadgen`, and the tests.
+//!
+//! Protocol, cache semantics, and overload behaviour are documented in
+//! `docs/SERVING.md` at the repository root.
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CachedRun, ResultCache};
+pub use client::{ClientAddr, Connection};
+pub use proto::{ConfigOverrides, Request, RunRequest, RunResponse, Status};
+pub use server::{ServeAddr, ServeOptions, Server, ServerCore, STATS_SCHEMA};

@@ -1,0 +1,480 @@
+//! The serve wire protocol: newline-delimited JSON request/response pairs.
+//!
+//! Every message is one JSON object on one line. Requests carry an `op`
+//! field (`ping`, `stats`, `shutdown`, `run`); responses carry `status`
+//! plus an HTTP-flavoured numeric `code` so scripted clients can branch
+//! without string matching. The only structured pair is
+//! [`RunRequest`] / [`RunResponse`]; `ping`/`stats`/`shutdown` responses
+//! are free-form JSON documented in `docs/SERVING.md`.
+//!
+//! Two encoding rules keep the protocol exact under the vendored
+//! f64-backed JSON shim:
+//!
+//! - `seed` travels as a **decimal string**, not a JSON number, so the
+//!   full `u64` range survives the round-trip;
+//! - responses contain no timestamps or timing fields, so a cached
+//!   response is byte-identical to the fresh compute it replays (only the
+//!   `cached` flag differs).
+
+use ifsim_core::BenchConfig;
+use serde_json::{Map, Value};
+
+/// Any request a client can send.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server statistics snapshot (`ifsim-serve-stats-v1`).
+    Stats,
+    /// Ask the server to drain and exit.
+    Shutdown,
+    /// Run (or replay from cache) one experiment.
+    Run(RunRequest),
+}
+
+/// Overrides applied on top of the server's resident default
+/// configuration. All fields are optional; `calib` entries are
+/// **multiplicative factors** on named calibration constants (the same
+/// names `ifsim-drift --list-fields` prints), so `1.0` is the identity.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ConfigOverrides {
+    /// Start from `BenchConfig::quick()` instead of the full default.
+    pub quick: bool,
+    /// Jitter seed override.
+    pub seed: Option<u64>,
+    /// Measured repetitions override.
+    pub reps: Option<usize>,
+    /// Warmup repetitions override.
+    pub warmup: Option<usize>,
+    /// `(field, factor)` multiplicative calibration perturbations.
+    pub calib: Vec<(String, f64)>,
+}
+
+impl ConfigOverrides {
+    /// Materialize the overrides into a runnable configuration.
+    /// Unknown calibration field names are a client error.
+    pub fn resolve(&self) -> Result<BenchConfig, String> {
+        let mut cfg = if self.quick {
+            BenchConfig::quick()
+        } else {
+            BenchConfig::default()
+        };
+        if let Some(s) = self.seed {
+            cfg.seed = s;
+        }
+        if let Some(r) = self.reps {
+            cfg.reps = r;
+        }
+        if let Some(w) = self.warmup {
+            cfg.warmup = w;
+        }
+        for (field, factor) in &self.calib {
+            let slot = cfg
+                .calib
+                .f64_field_mut(field)
+                .ok_or_else(|| format!("unknown calibration field '{field}'"))?;
+            *slot *= factor;
+        }
+        Ok(cfg)
+    }
+
+    /// Whether every field is at its default (serialized as `{}`).
+    pub fn is_default(&self) -> bool {
+        *self == ConfigOverrides::default()
+    }
+}
+
+/// One experiment request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRequest {
+    /// Registry id (`fig6a`, `table1`, ...).
+    pub experiment_id: String,
+    /// Configuration overrides (empty = server defaults).
+    pub overrides: ConfigOverrides,
+    /// CSV artifact names to return; empty returns all of them.
+    pub artifacts: Vec<String>,
+}
+
+impl RunRequest {
+    /// A request for `experiment_id` under default overrides.
+    pub fn new(experiment_id: impl Into<String>) -> RunRequest {
+        RunRequest {
+            experiment_id: experiment_id.into(),
+            overrides: ConfigOverrides::default(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Encode as a wire JSON value (`{"op":"run",...}`).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("op", Value::from("run"));
+        m.insert("experiment_id", Value::from(self.experiment_id.clone()));
+        let mut o = Map::new();
+        if self.overrides.quick {
+            o.insert("quick", Value::from(true));
+        }
+        if let Some(s) = self.overrides.seed {
+            o.insert("seed", Value::from(s.to_string()));
+        }
+        if let Some(r) = self.overrides.reps {
+            o.insert("reps", Value::from(r));
+        }
+        if let Some(w) = self.overrides.warmup {
+            o.insert("warmup", Value::from(w));
+        }
+        if !self.overrides.calib.is_empty() {
+            let mut c = Map::new();
+            for (field, factor) in &self.overrides.calib {
+                c.insert(field.clone(), Value::from(*factor));
+            }
+            o.insert("calib", Value::Object(c));
+        }
+        m.insert("overrides", Value::Object(o));
+        if !self.artifacts.is_empty() {
+            m.insert(
+                "artifacts",
+                Value::Array(
+                    self.artifacts
+                        .iter()
+                        .map(|a| Value::from(a.clone()))
+                        .collect(),
+                ),
+            );
+        }
+        Value::Object(m)
+    }
+
+    /// Decode the wire value produced by [`RunRequest::to_json`].
+    pub fn from_json(v: &Value) -> Result<RunRequest, String> {
+        let obj = v.as_object().ok_or("run request must be a JSON object")?;
+        let experiment_id = obj
+            .get("experiment_id")
+            .and_then(Value::as_str)
+            .ok_or("run request needs a string 'experiment_id'")?
+            .to_string();
+        let mut overrides = ConfigOverrides::default();
+        if let Some(o) = obj.get("overrides") {
+            let o = o.as_object().ok_or("'overrides' must be an object")?;
+            if let Some(q) = o.get("quick") {
+                overrides.quick = q.as_bool().ok_or("'quick' must be a boolean")?;
+            }
+            if let Some(s) = o.get("seed") {
+                let text = s.as_str().ok_or("'seed' must be a decimal string")?;
+                overrides.seed = Some(
+                    text.parse()
+                        .map_err(|e| format!("bad seed '{text}': {e}"))?,
+                );
+            }
+            if let Some(r) = o.get("reps") {
+                overrides.reps = Some(parse_count(r, "reps")?);
+            }
+            if let Some(w) = o.get("warmup") {
+                overrides.warmup = Some(parse_count(w, "warmup")?);
+            }
+            if let Some(c) = o.get("calib") {
+                let c = c.as_object().ok_or("'calib' must be an object")?;
+                for (field, factor) in c.iter() {
+                    let factor = factor
+                        .as_f64()
+                        .ok_or_else(|| format!("calib factor for '{field}' must be a number"))?;
+                    overrides.calib.push((field.clone(), factor));
+                }
+            }
+        }
+        let mut artifacts = Vec::new();
+        if let Some(a) = obj.get("artifacts") {
+            for name in a.as_array().ok_or("'artifacts' must be an array")? {
+                artifacts.push(
+                    name.as_str()
+                        .ok_or("artifact names must be strings")?
+                        .to_string(),
+                );
+            }
+        }
+        Ok(RunRequest {
+            experiment_id,
+            overrides,
+            artifacts,
+        })
+    }
+}
+
+fn parse_count(v: &Value, what: &str) -> Result<usize, String> {
+    v.as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("'{what}' must be a non-negative integer"))
+}
+
+/// Response status taxonomy, with HTTP-flavoured numeric codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The request was served (`200`).
+    Ok,
+    /// The request itself is invalid — unknown experiment, bad override,
+    /// unparseable line (`400`).
+    BadRequest,
+    /// Admission control rejected the request: every worker is busy and
+    /// the queue is full. Retry later (`429`).
+    Overloaded,
+    /// The experiment panicked or the server failed internally (`500`).
+    Internal,
+}
+
+impl Status {
+    /// The numeric code.
+    pub fn code(self) -> u64 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::Overloaded => 429,
+            Status::Internal => 500,
+        }
+    }
+
+    /// The wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::BadRequest => "bad-request",
+            Status::Overloaded => "overloaded",
+            Status::Internal => "internal-error",
+        }
+    }
+
+    /// Parse the wire string.
+    pub fn parse(s: &str) -> Result<Status, String> {
+        match s {
+            "ok" => Ok(Status::Ok),
+            "bad-request" => Ok(Status::BadRequest),
+            "overloaded" => Ok(Status::Overloaded),
+            "internal-error" => Ok(Status::Internal),
+            other => Err(format!("unknown status '{other}'")),
+        }
+    }
+}
+
+/// The response to a [`RunRequest`]. Carries no timestamps: a cache hit
+/// re-serializes to exactly the bytes the original compute produced,
+/// `cached` flag aside.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResponse {
+    /// Outcome class.
+    pub status: Status,
+    /// Echo of the requested experiment id.
+    pub experiment_id: String,
+    /// Content digest of the resolved configuration (cache key); empty
+    /// when the request never reached digesting (parse/validation error).
+    pub digest: String,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Error detail for non-`Ok` statuses.
+    pub error: Option<String>,
+    /// The rendered report, for `Ok`.
+    pub report: Option<String>,
+    /// `(file name, contents)` CSV artifacts, filtered per the request.
+    pub csv: Vec<(String, String)>,
+    /// Paper-shape checks passed.
+    pub checks_passed: usize,
+    /// Paper-shape checks total.
+    pub checks_total: usize,
+}
+
+impl RunResponse {
+    /// An error response (no payload).
+    pub fn error(status: Status, experiment_id: impl Into<String>, msg: String) -> RunResponse {
+        RunResponse {
+            status,
+            experiment_id: experiment_id.into(),
+            digest: String::new(),
+            cached: false,
+            error: Some(msg),
+            report: None,
+            csv: Vec::new(),
+            checks_passed: 0,
+            checks_total: 0,
+        }
+    }
+
+    /// Encode as a wire JSON value.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("op", Value::from("run-response"));
+        m.insert("status", Value::from(self.status.as_str()));
+        m.insert("code", Value::from(self.status.code()));
+        m.insert("experiment_id", Value::from(self.experiment_id.clone()));
+        m.insert("digest", Value::from(self.digest.clone()));
+        m.insert("cached", Value::from(self.cached));
+        if let Some(e) = &self.error {
+            m.insert("error", Value::from(e.clone()));
+        }
+        if let Some(r) = &self.report {
+            m.insert("report", Value::from(r.clone()));
+        }
+        m.insert(
+            "csv",
+            Value::Array(
+                self.csv
+                    .iter()
+                    .map(|(name, contents)| {
+                        let mut f = Map::new();
+                        f.insert("name", Value::from(name.clone()));
+                        f.insert("contents", Value::from(contents.clone()));
+                        Value::Object(f)
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert("checks_passed", Value::from(self.checks_passed));
+        m.insert("checks_total", Value::from(self.checks_total));
+        Value::Object(m)
+    }
+
+    /// Decode the wire value produced by [`RunResponse::to_json`].
+    pub fn from_json(v: &Value) -> Result<RunResponse, String> {
+        let obj = v.as_object().ok_or("run response must be a JSON object")?;
+        let status = Status::parse(
+            obj.get("status")
+                .and_then(Value::as_str)
+                .ok_or("response needs a string 'status'")?,
+        )?;
+        let mut csv = Vec::new();
+        if let Some(files) = obj.get("csv") {
+            for f in files.as_array().ok_or("'csv' must be an array")? {
+                let name = f
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("csv entries need a string 'name'")?;
+                let contents = f
+                    .get("contents")
+                    .and_then(Value::as_str)
+                    .ok_or("csv entries need string 'contents'")?;
+                csv.push((name.to_string(), contents.to_string()));
+            }
+        }
+        Ok(RunResponse {
+            status,
+            experiment_id: obj
+                .get("experiment_id")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            digest: obj
+                .get("digest")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            cached: obj.get("cached").and_then(Value::as_bool).unwrap_or(false),
+            error: obj.get("error").and_then(Value::as_str).map(str::to_string),
+            report: obj
+                .get("report")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            csv,
+            checks_passed: obj
+                .get("checks_passed")
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize,
+            checks_total: obj.get("checks_total").and_then(Value::as_u64).unwrap_or(0) as usize,
+        })
+    }
+}
+
+/// Parse one request line. `Err` maps to a `400` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = serde_json::from_str(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string 'op' field")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => Ok(Request::Run(RunRequest::from_json(&v)?)),
+        other => Err(format!(
+            "unknown op '{other}' (expected ping|stats|shutdown|run)"
+        )),
+    }
+}
+
+/// Encode a request as its wire JSON value.
+pub fn request_to_json(req: &Request) -> Value {
+    let op = match req {
+        Request::Ping => "ping",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+        Request::Run(r) => return r.to_json(),
+    };
+    let mut m = Map::new();
+    m.insert("op", Value::from(op));
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_round_trips_with_full_seed_precision() {
+        let req = RunRequest {
+            experiment_id: "fig6a".into(),
+            overrides: ConfigOverrides {
+                quick: true,
+                // Deliberately above 2^53: a JSON number would lose it.
+                seed: Some(u64::MAX - 12345),
+                reps: Some(3),
+                warmup: Some(1),
+                calib: vec![("eff_sdma_xgmi".into(), 1.1)],
+            },
+            artifacts: vec!["fig6a_hops.csv".into()],
+        };
+        let line = serde_json::to_string(&req.to_json());
+        let back = RunRequest::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert!(parse_request(r#"{"op":"fly"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"no_op":1}"#).is_err());
+    }
+
+    #[test]
+    fn overrides_resolve_against_defaults() {
+        let o = ConfigOverrides {
+            quick: true,
+            seed: Some(7),
+            reps: None,
+            warmup: None,
+            calib: vec![("eff_sdma_xgmi".into(), 2.0)],
+        };
+        let cfg = o.resolve().unwrap();
+        let quick = BenchConfig::quick();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.reps, quick.reps);
+        assert_eq!(cfg.warmup, quick.warmup);
+        assert!((cfg.calib.eff_sdma_xgmi - quick.calib.eff_sdma_xgmi * 2.0).abs() < 1e-12);
+        let bad = ConfigOverrides {
+            calib: vec![("no_such_knob".into(), 1.0)],
+            ..Default::default()
+        };
+        assert!(bad.resolve().is_err());
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let resp = RunResponse::error(Status::Overloaded, "fig7", "queue full".into());
+        let line = serde_json::to_string(&resp.to_json());
+        let back = RunResponse::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(resp, back);
+        assert_eq!(back.status.code(), 429);
+    }
+}

@@ -1,0 +1,554 @@
+//! The resident server: request handling, admission control, and the
+//! socket host.
+//!
+//! [`ServerCore`] is the transport-independent heart — one JSON line in,
+//! one JSON line out — so unit tests exercise caching, admission, and
+//! error paths without sockets. [`Server`] wraps a core with a Unix or
+//! TCP listener, one handler thread per connection, SIGTERM-triggered
+//! graceful drain, and optional telemetry artifacts written at exit.
+
+use crate::cache::{CachedRun, ResultCache};
+use crate::proto::{self, Request, RunRequest, RunResponse, Status};
+use ifsim_core::registry;
+use ifsim_core::telemetry::{
+    CollectedTelemetry, MetricKey, MetricsRegistry, SimTelemetry, TimelineEvent,
+};
+use serde_json::{Map, Value};
+use std::io::{Read, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+use threadpool::ThreadPool;
+
+/// Stats/metrics schema tag, validated by `telemetry-lint --serve`.
+pub const STATS_SCHEMA: &str = "ifsim-serve-stats-v1";
+
+/// Server sizing knobs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads computing experiments concurrently.
+    pub workers: usize,
+    /// Requests allowed to wait beyond the busy workers; the admission
+    /// capacity is `workers + queue_depth`, and anything past it is
+    /// answered `Overloaded` instead of queued.
+    pub queue_depth: usize,
+    /// Result-cache capacity (entries).
+    pub cache_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_depth: 16,
+            cache_cap: 256,
+        }
+    }
+}
+
+/// The transport-independent server: resident registry + cache +
+/// bounded compute pool + self-observation.
+pub struct ServerCore {
+    opts: ServeOptions,
+    cache: ResultCache,
+    pool: ThreadPool,
+    /// Requests admitted (queued or running) right now.
+    in_flight: AtomicUsize,
+    draining: AtomicBool,
+    started: Instant,
+    metrics: Mutex<MetricsRegistry>,
+    events: Mutex<Vec<TimelineEvent>>,
+}
+
+impl ServerCore {
+    /// Build a core with `opts` (worker count clamped to ≥ 1).
+    pub fn new(opts: ServeOptions) -> ServerCore {
+        let workers = opts.workers.max(1);
+        ServerCore {
+            cache: ResultCache::new(opts.cache_cap),
+            pool: ThreadPool::new(workers),
+            in_flight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            events: Mutex::new(Vec::new()),
+            opts: ServeOptions { workers, ..opts },
+        }
+    }
+
+    /// Admission capacity: busy workers plus the bounded queue.
+    pub fn capacity(&self) -> usize {
+        self.opts.workers + self.opts.queue_depth
+    }
+
+    /// Try to claim one admission slot. `false` means the server is at
+    /// capacity and the caller must answer `Overloaded`. Public so tests
+    /// can pin the server at capacity deterministically.
+    pub fn try_admit(&self) -> bool {
+        let cap = self.capacity();
+        self.in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                if n < cap {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    /// Release one admission slot claimed by [`ServerCore::try_admit`].
+    pub fn finish_admitted(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Requests admitted (queued or running) right now.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Whether a shutdown request or signal has started the drain.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begin draining: the socket host stops accepting, in-flight work
+    /// completes, then the process exits.
+    pub fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// The result cache (hit/miss counters for tests and stats).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Handle one request line, returning the response line (no trailing
+    /// newline). Never panics outward: every failure maps to a status.
+    pub fn handle_line(&self, line: &str) -> String {
+        let t0 = Instant::now();
+        let (op, value) = match proto::parse_request(line) {
+            Err(e) => {
+                let mut m = Map::new();
+                m.insert("op", Value::from("error"));
+                m.insert("status", Value::from(Status::BadRequest.as_str()));
+                m.insert("code", Value::from(Status::BadRequest.code()));
+                m.insert("error", Value::from(e));
+                ("parse", Value::Object(m))
+            }
+            Ok(Request::Ping) => {
+                let mut m = Map::new();
+                m.insert("op", Value::from("pong"));
+                m.insert("status", Value::from(Status::Ok.as_str()));
+                m.insert("code", Value::from(Status::Ok.code()));
+                ("ping", Value::Object(m))
+            }
+            Ok(Request::Stats) => ("stats", self.stats_json()),
+            Ok(Request::Shutdown) => {
+                self.start_drain();
+                let mut m = Map::new();
+                m.insert("op", Value::from("shutdown-response"));
+                m.insert("status", Value::from(Status::Ok.as_str()));
+                m.insert("code", Value::from(Status::Ok.code()));
+                m.insert("draining", Value::from(true));
+                ("shutdown", Value::Object(m))
+            }
+            Ok(Request::Run(req)) => ("run", self.handle_run(&req).to_json()),
+        };
+        self.observe_request(op, &value, t0);
+        serde_json::to_string(&value)
+    }
+
+    /// Serve one run request: validate → digest → cache → admit → compute.
+    fn handle_run(&self, req: &RunRequest) -> RunResponse {
+        let Some(exp) = registry::by_id(&req.experiment_id) else {
+            return RunResponse::error(
+                Status::BadRequest,
+                req.experiment_id.clone(),
+                format!("unknown experiment '{}'", req.experiment_id),
+            );
+        };
+        let cfg = match req.overrides.resolve() {
+            Ok(cfg) => cfg,
+            Err(e) => return RunResponse::error(Status::BadRequest, req.experiment_id.clone(), e),
+        };
+        let digest = exp.config_digest(&cfg);
+
+        if let Some(hit) = self.cache.get(&digest) {
+            self.bump_counter("serve_cache_hits");
+            return self.respond_from(req, &hit, true);
+        }
+        self.bump_counter("serve_cache_misses");
+
+        if !self.try_admit() {
+            self.bump_counter("serve_overloaded_total");
+            let mut resp = RunResponse::error(
+                Status::Overloaded,
+                req.experiment_id.clone(),
+                format!(
+                    "server at capacity ({} in flight); retry later",
+                    self.capacity()
+                ),
+            );
+            resp.digest = digest;
+            return resp;
+        }
+        self.set_gauge("serve_queue_depth", self.in_flight() as f64);
+
+        // The worker sends the computed run back over a channel; if the
+        // experiment panics, the sender drops without sending, the pool
+        // respawns the worker, and the client gets a 500 instead of a
+        // wedged connection.
+        let (tx, rx) = mpsc::channel::<CachedRun>();
+        {
+            let cfg = cfg.clone();
+            let digest = digest.clone();
+            self.pool.execute(move || {
+                let result = exp.run(&cfg);
+                let _ = tx.send(CachedRun {
+                    digest,
+                    report: result.report(),
+                    checks_passed: result.checks.iter().filter(|c| c.passed).count(),
+                    checks_total: result.checks.len(),
+                    csv: result.csv,
+                });
+            });
+        }
+        let outcome = rx.recv();
+        self.finish_admitted();
+        self.set_gauge("serve_queue_depth", self.in_flight() as f64);
+        match outcome {
+            Ok(run) => {
+                let run = Arc::new(run);
+                self.cache.insert(Arc::clone(&run));
+                self.respond_from(req, &run, false)
+            }
+            Err(_) => {
+                self.bump_counter("serve_panicked_jobs");
+                let mut resp = RunResponse::error(
+                    Status::Internal,
+                    req.experiment_id.clone(),
+                    "experiment panicked; see server log".into(),
+                );
+                resp.digest = digest;
+                resp
+            }
+        }
+    }
+
+    /// Build the OK response, applying the request's artifact filter.
+    fn respond_from(&self, req: &RunRequest, run: &CachedRun, cached: bool) -> RunResponse {
+        let csv = if req.artifacts.is_empty() {
+            run.csv.clone()
+        } else {
+            run.csv
+                .iter()
+                .filter(|(name, _)| req.artifacts.iter().any(|a| a == name))
+                .cloned()
+                .collect()
+        };
+        RunResponse {
+            status: Status::Ok,
+            experiment_id: req.experiment_id.clone(),
+            digest: run.digest.clone(),
+            cached,
+            error: None,
+            report: Some(run.report.clone()),
+            csv,
+            checks_passed: run.checks_passed,
+            checks_total: run.checks_total,
+        }
+    }
+
+    /// The `stats` response (`ifsim-serve-stats-v1`).
+    pub fn stats_json(&self) -> Value {
+        let mut cache = Map::new();
+        cache.insert("entries", Value::from(self.cache.entries()));
+        cache.insert("capacity", Value::from(self.cache.capacity()));
+        cache.insert("hits", Value::from(self.cache.hits()));
+        cache.insert("misses", Value::from(self.cache.misses()));
+        cache.insert("hit_rate", Value::from(self.cache.hit_rate()));
+        let mut queue = Map::new();
+        queue.insert("in_flight", Value::from(self.in_flight()));
+        queue.insert("capacity", Value::from(self.capacity()));
+        queue.insert("workers", Value::from(self.opts.workers));
+        queue.insert("queue_depth", Value::from(self.opts.queue_depth));
+        let mut pool = Map::new();
+        pool.insert("panicked_jobs", Value::from(self.pool.panicked_jobs()));
+        let mut m = Map::new();
+        m.insert("op", Value::from("stats-response"));
+        m.insert("status", Value::from(Status::Ok.as_str()));
+        m.insert("code", Value::from(Status::Ok.code()));
+        m.insert("schema", Value::from(STATS_SCHEMA));
+        m.insert(
+            "uptime_ns",
+            Value::from(self.started.elapsed().as_nanos() as f64),
+        );
+        m.insert("draining", Value::from(self.draining()));
+        m.insert("cache", Value::Object(cache));
+        m.insert("queue", Value::Object(queue));
+        m.insert("pool", Value::Object(pool));
+        m.insert("metrics", self.metrics.lock().unwrap().to_json());
+        Value::Object(m)
+    }
+
+    /// Account one handled request into metrics and the trace timeline.
+    fn observe_request(&self, op: &str, response: &Value, t0: Instant) {
+        let latency_ns = t0.elapsed().as_nanos() as f64;
+        let start_ns = (t0 - self.started).as_nanos() as f64;
+        let code = response.get("code").and_then(Value::as_u64).unwrap_or(0);
+        {
+            let mut metrics = self.metrics.lock().unwrap();
+            metrics.counter_add(
+                MetricKey::new("serve_requests_total")
+                    .with("op", op)
+                    .with("code", code.to_string()),
+                1.0,
+            );
+            metrics.observe(
+                MetricKey::new("serve_request_latency_ns").with("op", op),
+                latency_ns,
+            );
+        }
+        let start = ifsim_core::des::Time::from_ns(start_ns);
+        let end = ifsim_core::des::Time::from_ns(start_ns + latency_ns);
+        let mut ev = TimelineEvent::span(start, end, format!("req {op}"), "serve_request")
+            .with_arg("code", code.to_string());
+        if let Some(cached) = response.get("cached").and_then(Value::as_bool) {
+            ev = ev.with_arg("cached", cached.to_string());
+        }
+        if let Some(id) = response.get("experiment_id").and_then(Value::as_str) {
+            ev = ev.with_arg("experiment_id", id);
+        }
+        self.events.lock().unwrap().push(ev);
+    }
+
+    fn bump_counter(&self, name: &str) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .counter_add(MetricKey::new(name), 1.0);
+    }
+
+    fn set_gauge(&self, name: &str, v: f64) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .gauge_set(MetricKey::new(name), v);
+    }
+
+    /// Wait for every admitted request to complete.
+    pub fn drain(&self) {
+        self.pool.join();
+    }
+
+    /// A snapshot of the server's own telemetry (request spans + metrics)
+    /// as one collected process, for `--trace-out`/`--metrics-out`.
+    pub fn collected_telemetry(&self) -> CollectedTelemetry {
+        let mut collected = CollectedTelemetry::new();
+        collected.ingest(SimTelemetry {
+            process_name: "ifsim-serve".into(),
+            events: self.events.lock().unwrap().clone(),
+            threads: vec![(0, "requests".into())],
+            metrics: self.metrics.lock().unwrap().clone(),
+        });
+        collected
+    }
+}
+
+/// Where the server listens.
+#[derive(Clone, Debug)]
+pub enum ServeAddr {
+    /// A Unix domain socket path (removed on graceful exit).
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP `host:port` bind address.
+    Tcp(String),
+}
+
+enum ListenerKind {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+trait Stream: Read + Write + Send {}
+impl<T: Read + Write + Send> Stream for T {}
+
+/// SIGTERM flag, set from the signal handler and polled by the accept
+/// loop (async-signal-safe: a relaxed atomic store only).
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" fn on_term(_sig: i32) {
+        SIGTERM.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM_NO: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NO, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// A [`ServerCore`] bound to a socket, serving until drained.
+pub struct Server {
+    core: Arc<ServerCore>,
+    listener: ListenerKind,
+    addr: ServeAddr,
+    /// Chrome trace of request lifecycles, written at exit.
+    pub trace_out: Option<PathBuf>,
+    /// Metrics snapshot (stats schema), written at exit.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind `addr` and build the resident core.
+    pub fn bind(addr: ServeAddr, opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = match &addr {
+            #[cfg(unix)]
+            ServeAddr::Unix(path) => {
+                // A stale socket file from a killed predecessor blocks
+                // bind; remove it (connect-refused files only).
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                ListenerKind::Unix(l)
+            }
+            ServeAddr::Tcp(host) => {
+                let l = TcpListener::bind(host.as_str())?;
+                l.set_nonblocking(true)?;
+                ListenerKind::Tcp(l)
+            }
+        };
+        Ok(Server {
+            core: Arc::new(ServerCore::new(opts)),
+            listener,
+            addr,
+            trace_out: None,
+            metrics_out: None,
+        })
+    }
+
+    /// The shared core (for in-process tests and stats).
+    pub fn core(&self) -> Arc<ServerCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// For TCP binds, the actual local address (port 0 resolves here).
+    pub fn local_tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            ListenerKind::Unix(_) => None,
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Option<Box<dyn Stream>>> {
+        match &self.listener {
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            ListenerKind::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    /// Serve until a shutdown request or SIGTERM, then drain in-flight
+    /// work, write any configured telemetry artifacts, and clean up the
+    /// socket. Each connection gets one handler thread reading request
+    /// lines until the client disconnects.
+    pub fn run(self) -> std::io::Result<()> {
+        install_sigterm_handler();
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if SIGTERM.load(Ordering::Relaxed) {
+                self.core.start_drain();
+            }
+            if self.core.draining() {
+                break;
+            }
+            match self.accept()? {
+                Some(stream) => {
+                    let core = Arc::clone(&self.core);
+                    handlers.push(std::thread::spawn(move || handle_connection(core, stream)));
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        // Graceful drain: stop accepting (done — we left the loop), let
+        // admitted work finish, then reap connection threads (their
+        // clients see the shutdown response and disconnect).
+        self.core.drain();
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, self.core.collected_telemetry().chrome_trace_string())?;
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, serde_json::to_string_pretty(&self.core.stats_json()))?;
+        }
+        #[cfg(unix)]
+        if let ServeAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// One connection: read request lines, answer each, until EOF.
+fn handle_connection(core: Arc<ServerCore>, stream: Box<dyn Stream>) {
+    // The box serves both directions; split borrows via a raw reader on
+    // a clone is not available for `dyn`, so buffer reads manually.
+    let mut stream = stream;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Read until newline or EOF.
+        let line_end = loop {
+            if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                break Some(pos);
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => break None,
+            }
+        };
+        let Some(pos) = line_end else {
+            return;
+        };
+        let line: Vec<u8> = buf.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&line[..pos]).into_owned();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = core.handle_line(&line);
+        response.push('\n');
+        if stream.write_all(response.as_bytes()).is_err() || stream.flush().is_err() {
+            return;
+        }
+    }
+}

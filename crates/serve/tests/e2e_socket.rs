@@ -1,0 +1,72 @@
+//! End-to-end test: the real `ifsim-serve` binary on a Unix socket,
+//! driven through the client library.
+#![cfg(unix)]
+
+use ifsim_serve::proto::RunRequest;
+use ifsim_serve::{ClientAddr, Connection};
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ifsim-serve-{tag}-{}.sock", std::process::id()))
+}
+
+fn wait_for(socket: &Path, child: &mut Child) -> Connection {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(conn) = Connection::connect(&ClientAddr::Unix(socket.to_path_buf())) {
+            return conn;
+        }
+        if let Some(status) = child.try_wait().expect("poll server") {
+            panic!("server exited early: {status}");
+        }
+        assert!(Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+#[test]
+fn serve_bin_caches_and_drains_over_unix_socket() {
+    let socket = socket_path("e2e");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ifsim-serve"))
+        .args(["--socket"])
+        .arg(&socket)
+        .args(["--workers", "2", "--queue-depth", "4"])
+        .spawn()
+        .expect("spawn ifsim-serve");
+
+    let mut conn = wait_for(&socket, &mut child);
+    conn.ping().expect("ping");
+
+    let mut req = RunRequest::new("fig1");
+    req.overrides.quick = true;
+    let fresh = conn.run(&req).expect("first run");
+    assert_eq!(fresh.status.code(), 200);
+    assert!(!fresh.cached);
+
+    // A second connection sees the same resident cache.
+    let mut conn2 = Connection::connect(&ClientAddr::Unix(socket.clone())).expect("reconnect");
+    let replay = conn2.run(&req).expect("second run");
+    assert!(replay.cached);
+    assert_eq!(replay.digest, fresh.digest);
+    assert_eq!(replay.report, fresh.report);
+    assert_eq!(replay.csv, fresh.csv);
+
+    let stats = conn2.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+
+    conn2.shutdown().expect("shutdown");
+    drop(conn);
+    drop(conn2);
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "graceful drain exits 0");
+    assert!(!socket.exists(), "socket file removed on graceful exit");
+}

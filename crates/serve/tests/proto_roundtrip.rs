@@ -1,0 +1,137 @@
+//! Property tests for the serve wire protocol: arbitrary requests and
+//! responses survive encode → one JSON line → parse unchanged.
+
+use ifsim_serve::proto::{
+    parse_request, ConfigOverrides, Request, RunRequest, RunResponse, Status,
+};
+use proptest::prelude::*;
+
+/// Identifier-ish strings (experiment ids, calibration field names).
+/// The shim has no `String` Arbitrary, so build them from char pools.
+fn arb_ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..37, 1..12).prop_map(|idx| {
+        const POOL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        idx.iter().map(|&i| POOL[i] as char).collect()
+    })
+}
+
+/// Free text that exercises JSON escaping: quotes, backslashes,
+/// newlines, unicode.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..12, 0..40).prop_map(|idx| {
+        const POOL: &[&str] = &[
+            "a", "Z", "0", " ", "\"", "\\", "\n", "\t", ",", "{", "é", "π",
+        ];
+        idx.iter().map(|&i| POOL[i]).collect()
+    })
+}
+
+/// `Option<T>` strategy; the shim has no `proptest::option` module.
+fn arb_option<S: Strategy>(inner: S) -> impl Strategy<Value = Option<S::Value>> {
+    (any::<bool>(), inner).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_overrides() -> impl Strategy<Value = ConfigOverrides> {
+    (
+        any::<bool>(),
+        arb_option(any::<u64>()),
+        arb_option(0usize..1000),
+        arb_option(0usize..1000),
+        proptest::collection::vec((arb_ident(), 0.01f64..100.0), 0..4),
+    )
+        .prop_map(|(quick, seed, reps, warmup, mut calib)| {
+            // Calib travels as a JSON object, so names must be unique.
+            let mut seen = std::collections::HashSet::new();
+            calib.retain(|(name, _)| seen.insert(name.clone()));
+            ConfigOverrides {
+                quick,
+                seed,
+                reps,
+                warmup,
+                calib,
+            }
+        })
+}
+
+fn arb_run_request() -> impl Strategy<Value = RunRequest> {
+    (
+        arb_ident(),
+        arb_overrides(),
+        proptest::collection::vec(arb_ident(), 0..4),
+    )
+        .prop_map(|(experiment_id, overrides, artifacts)| RunRequest {
+            experiment_id,
+            overrides,
+            artifacts,
+        })
+}
+
+fn arb_status() -> impl Strategy<Value = Status> {
+    prop_oneof![
+        Just(Status::Ok),
+        Just(Status::BadRequest),
+        Just(Status::Overloaded),
+        Just(Status::Internal),
+    ]
+}
+
+fn arb_run_response() -> impl Strategy<Value = RunResponse> {
+    (
+        (arb_status(), arb_ident(), arb_ident(), any::<bool>()),
+        (
+            arb_option(arb_text()),
+            arb_option(arb_text()),
+            proptest::collection::vec((arb_ident(), arb_text()), 0..4),
+            (0usize..50, 0usize..50),
+        ),
+    )
+        .prop_map(
+            |((status, experiment_id, digest, cached), (error, report, csv, (passed, extra)))| {
+                RunResponse {
+                    status,
+                    experiment_id,
+                    digest,
+                    cached,
+                    error,
+                    report,
+                    csv,
+                    checks_passed: passed,
+                    checks_total: passed + extra,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// RunRequest → JSON line → parse → identical, including full-range
+    /// u64 seeds (carried as decimal strings on the wire) and
+    /// escaping-heavy calibration names.
+    #[test]
+    fn run_request_round_trips(req in arb_run_request()) {
+        let line = serde_json::to_string(&req.to_json());
+        prop_assert!(!line.contains('\n'), "one request = one line");
+        let request = parse_request(&line).unwrap();
+        prop_assert_eq!(Request::Run(req), request);
+    }
+
+    /// RunResponse → JSON line → parse → identical, covering every
+    /// status and text with quotes/backslashes/newlines.
+    #[test]
+    fn run_response_round_trips(resp in arb_run_response()) {
+        let line = serde_json::to_string(&resp.to_json());
+        prop_assert!(!line.contains('\n'), "one response = one line");
+        let back = RunResponse::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        prop_assert_eq!(resp, back);
+    }
+
+    /// Encoding is deterministic: the same request always serializes to
+    /// the same bytes (the cache-determinism guarantee rests on this).
+    #[test]
+    fn encoding_is_deterministic(req in arb_run_request()) {
+        let a = serde_json::to_string(&req.to_json());
+        let b = serde_json::to_string(&req.clone().to_json());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Transport-independent server tests: caching determinism, admission
+//! control, and error mapping through `ServerCore::handle_line`.
+
+use ifsim_serve::proto::{RunRequest, RunResponse, Status};
+use ifsim_serve::{ServeOptions, ServerCore};
+use serde_json::Value;
+
+fn small_core() -> ServerCore {
+    ServerCore::new(ServeOptions {
+        workers: 2,
+        queue_depth: 4,
+        cache_cap: 32,
+    })
+}
+
+fn run_line(id: &str) -> String {
+    let mut req = RunRequest::new(id);
+    req.overrides.quick = true;
+    serde_json::to_string(&req.to_json())
+}
+
+fn parse_run(line: &str) -> RunResponse {
+    RunResponse::from_json(&serde_json::from_str(line).unwrap()).unwrap()
+}
+
+/// The serving pipeline is deterministic: a cache hit re-serializes to
+/// exactly the bytes the fresh compute produced (only `cached` flips),
+/// and both match a direct in-process run of the same experiment.
+#[test]
+fn cached_response_is_byte_identical_to_fresh_compute() {
+    let core = small_core();
+    let line = run_line("fig1");
+
+    let fresh = core.handle_line(&line);
+    let replay = core.handle_line(&line);
+
+    let fresh_resp = parse_run(&fresh);
+    let replay_resp = parse_run(&replay);
+    assert_eq!(fresh_resp.status, Status::Ok);
+    assert!(!fresh_resp.cached);
+    assert!(
+        replay_resp.cached,
+        "second identical request hits the cache"
+    );
+
+    // Normalize the one legitimate difference, then demand byte equality.
+    let mut normalized = replay_resp.clone();
+    normalized.cached = false;
+    assert_eq!(
+        serde_json::to_string(&fresh_resp.to_json()),
+        serde_json::to_string(&normalized.to_json()),
+        "cache replay must be byte-identical modulo the cached flag"
+    );
+
+    // And both match a direct run of the registry experiment.
+    let exp = ifsim_core::registry::by_id("fig1").unwrap();
+    let direct = exp.run(&ifsim_core::BenchConfig::quick());
+    assert_eq!(fresh_resp.report.as_deref(), Some(direct.report().as_str()));
+    assert_eq!(fresh_resp.csv, direct.csv);
+    assert_eq!(fresh_resp.digest.len(), 32);
+
+    assert_eq!(core.cache().hits(), 1);
+    assert_eq!(core.cache().misses(), 1);
+}
+
+/// Different seeds are different cache entries.
+#[test]
+fn seed_changes_miss_the_cache() {
+    let core = small_core();
+    let mut req = RunRequest::new("fig1");
+    req.overrides.quick = true;
+    req.overrides.seed = Some(1);
+    let a = parse_run(&core.handle_line(&serde_json::to_string(&req.to_json())));
+    req.overrides.seed = Some(2);
+    let b = parse_run(&core.handle_line(&serde_json::to_string(&req.to_json())));
+    assert_ne!(a.digest, b.digest);
+    assert!(!b.cached);
+    assert_eq!(core.cache().entries(), 2);
+}
+
+/// At capacity the server answers an explicit Overloaded (429) instead
+/// of queueing without bound. Slots are claimed through the same
+/// `try_admit` the run path uses, so the test is deterministic.
+#[test]
+fn overload_returns_explicit_429() {
+    let core = ServerCore::new(ServeOptions {
+        workers: 1,
+        queue_depth: 1,
+        cache_cap: 8,
+    });
+    assert_eq!(core.capacity(), 2);
+    assert!(core.try_admit());
+    assert!(core.try_admit());
+    assert!(!core.try_admit(), "third admit exceeds workers + queue");
+
+    let resp = parse_run(&core.handle_line(&run_line("fig1")));
+    assert_eq!(resp.status, Status::Overloaded);
+    assert_eq!(resp.status.code(), 429);
+    assert!(!resp.digest.is_empty(), "429 still names the cache key");
+
+    // Releasing a slot makes the same request computable again.
+    core.finish_admitted();
+    let resp = parse_run(&core.handle_line(&run_line("fig1")));
+    assert_eq!(resp.status, Status::Ok);
+    core.finish_admitted();
+    assert_eq!(core.in_flight(), 0);
+}
+
+/// Cache hits bypass admission control entirely: a saturated server
+/// still answers already-computed requests.
+#[test]
+fn cache_hits_bypass_admission() {
+    let core = ServerCore::new(ServeOptions {
+        workers: 1,
+        queue_depth: 0,
+        cache_cap: 8,
+    });
+    let line = run_line("fig1");
+    assert_eq!(parse_run(&core.handle_line(&line)).status, Status::Ok);
+    while core.try_admit() {}
+    let resp = parse_run(&core.handle_line(&line));
+    assert_eq!(resp.status, Status::Ok);
+    assert!(resp.cached);
+}
+
+/// Bad requests map to 400 with a reason, not a hang or a panic.
+#[test]
+fn invalid_requests_map_to_400() {
+    let core = small_core();
+
+    let resp = parse_run(&core.handle_line(&run_line("fig99")));
+    assert_eq!(resp.status, Status::BadRequest);
+    assert!(resp.error.unwrap().contains("unknown experiment"));
+
+    let mut req = RunRequest::new("fig1");
+    req.overrides.calib.push(("not_a_knob".into(), 1.5));
+    let resp = parse_run(&core.handle_line(&serde_json::to_string(&req.to_json())));
+    assert_eq!(resp.status, Status::BadRequest);
+    assert!(resp.error.unwrap().contains("not_a_knob"));
+
+    let v: Value = serde_json::from_str(&core.handle_line("this is not json")).unwrap();
+    assert_eq!(v.get("code").and_then(Value::as_u64), Some(400));
+}
+
+/// The artifact filter trims the response without touching the cache.
+#[test]
+fn artifact_filter_selects_named_csvs() {
+    let core = small_core();
+    let full = parse_run(&core.handle_line(&run_line("fig6a")));
+    assert!(!full.csv.is_empty());
+    let (first_name, first_contents) = full.csv[0].clone();
+
+    let mut req = RunRequest::new("fig6a");
+    req.overrides.quick = true;
+    req.artifacts = vec![first_name.clone()];
+    let filtered = parse_run(&core.handle_line(&serde_json::to_string(&req.to_json())));
+    assert!(filtered.cached, "filter applies on top of the cached entry");
+    assert_eq!(filtered.csv, vec![(first_name, first_contents)]);
+}
+
+/// Stats carries the lint-checked schema tag plus cache/queue/pool and
+/// the metrics snapshot with latency histograms.
+#[test]
+fn stats_snapshot_matches_schema() {
+    let core = small_core();
+    let line = run_line("fig1");
+    core.handle_line(&line);
+    core.handle_line(&line);
+    let stats: Value = serde_json::from_str(&core.handle_line(r#"{"op":"stats"}"#)).unwrap();
+
+    assert_eq!(
+        stats.get("schema").and_then(Value::as_str),
+        Some(ifsim_serve::STATS_SCHEMA)
+    );
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+    let queue = stats.get("queue").unwrap();
+    assert_eq!(queue.get("in_flight").and_then(Value::as_u64), Some(0));
+    assert_eq!(queue.get("capacity").and_then(Value::as_u64), Some(6));
+    assert_eq!(
+        stats
+            .get("pool")
+            .and_then(|p| p.get("panicked_jobs"))
+            .and_then(Value::as_u64),
+        Some(0)
+    );
+    let hists = stats
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(Value::as_array)
+        .unwrap();
+    let latency = hists
+        .iter()
+        .find(|h| h.get("name").and_then(Value::as_str) == Some("serve_request_latency_ns"))
+        .expect("run latency histogram present");
+    for field in ["p50", "p95", "p99"] {
+        assert!(latency.get(field).is_some(), "missing {field}");
+    }
+}
+
+/// Shutdown flips the draining flag the socket host polls.
+#[test]
+fn shutdown_request_starts_drain() {
+    let core = small_core();
+    assert!(!core.draining());
+    let v: Value = serde_json::from_str(&core.handle_line(r#"{"op":"shutdown"}"#)).unwrap();
+    assert_eq!(v.get("draining").and_then(Value::as_bool), Some(true));
+    assert!(core.draining());
+}
