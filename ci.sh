@@ -74,6 +74,16 @@ fi
 ./target/release/ifsim-client --socket "$SERVE_SOCK" shutdown > /dev/null
 wait "$SERVE_PID"
 
+echo "==> chaos soak: SIGKILL mid-write, cache corruption, coalescing, deadlines, signals"
+# Seeded fault scripts against a scratch daemon: after a kill + restart
+# every previously cached digest must be served byte-identical to the
+# one-shot CLI or quarantined — never corrupt — 8 concurrent identical
+# requests must coalesce onto exactly one computation, deadline storms
+# answer 504 (never 500), and a double SIGINT force-exits with 130.
+./target/release/ifsim-chaos --script all --seed 0xC4A05 \
+    --serve-bin ./target/release/ifsim-serve \
+    --workdir "$TELEMETRY_TMP/chaos"
+
 echo "==> engine bench smoke: fabric_engine summary + lint"
 # Release-mode criterion run of the engine-vs-reference benches; the summary
 # is written to a temp file (the committed BENCH_fabric.json snapshot is

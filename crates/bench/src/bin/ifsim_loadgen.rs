@@ -9,7 +9,7 @@
 //!                      replays byte-for-byte the same request sequence,
 //!                      so a second run exercises the server's cache
 //!   --retries N        max retries per request on Overloaded, with
-//!                      linear backoff (default 50)
+//!                      seeded decorrelated-jitter backoff (default 50)
 //! ```
 //!
 //! The mix draws uniformly (seeded SplitMix64) from a pool of cheap
@@ -113,6 +113,23 @@ fn parse_args() -> Args {
     args
 }
 
+/// Backoff bounds for Overloaded retries (decorrelated jitter).
+const BACKOFF_BASE_MS: u64 = 2;
+const BACKOFF_CAP_MS: u64 = 250;
+
+/// Decorrelated-jitter backoff (the AWS recipe): the next sleep is drawn
+/// uniformly from `[base, min(cap, prev * 3))`. Seeded through the
+/// worker's own SplitMix64 stream, so a fixed `--seed` replays the exact
+/// same backoff schedule — load tests stay reproducible — while
+/// concurrent workers still decorrelate instead of thundering back in
+/// lockstep the way the old `5ms * attempt` linear ramp did.
+fn next_backoff_ms(rng: &mut u64, prev_ms: u64) -> u64 {
+    let hi = prev_ms
+        .saturating_mul(3)
+        .clamp(BACKOFF_BASE_MS + 1, BACKOFF_CAP_MS);
+    BACKOFF_BASE_MS + splitmix64(rng) % (hi - BACKOFF_BASE_MS)
+}
+
 /// SplitMix64 — the same tiny deterministic generator the simulator's
 /// jitter model uses, so the mix is reproducible everywhere.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -164,12 +181,16 @@ fn main() -> ExitCode {
     let (tx, rx) = mpsc::channel::<Outcome>();
     let t0 = Instant::now();
     let mut workers = Vec::new();
-    for _ in 0..args.concurrency {
+    for worker in 0..args.concurrency {
         let mix = Arc::clone(&mix);
         let cursor = Arc::clone(&cursor);
         let tx = tx.clone();
         let addr = args.addr.clone();
         let retries = args.retries;
+        // Per-worker jitter stream: derived from the mix seed so runs
+        // replay deterministically, distinct per worker so they don't
+        // share a backoff schedule.
+        let mut rng = args.seed ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15);
         workers.push(std::thread::spawn(move || {
             let mut conn = match Connection::connect(&addr) {
                 Ok(c) => c,
@@ -188,7 +209,7 @@ fn main() -> ExitCode {
                 let Some(req) = mix.get(i) else {
                     return;
                 };
-                let _ = tx.send(drive_one(&mut conn, req, retries));
+                let _ = tx.send(drive_one(&mut conn, req, retries, &mut rng));
             }
         }));
     }
@@ -251,9 +272,11 @@ fn main() -> ExitCode {
     }
 }
 
-/// Issue one request, retrying Overloaded answers with linear backoff.
-fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize) -> Outcome {
+/// Issue one request, retrying Overloaded answers with seeded
+/// decorrelated-jitter backoff.
+fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize, rng: &mut u64) -> Outcome {
     let mut overloaded_retries = 0usize;
+    let mut backoff_ms = BACKOFF_BASE_MS;
     let t0 = Instant::now();
     loop {
         match conn.run(req) {
@@ -278,7 +301,8 @@ fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize) -> Outcome
                     };
                 }
                 overloaded_retries += 1;
-                std::thread::sleep(Duration::from_millis(5 * overloaded_retries as u64));
+                backoff_ms = next_backoff_ms(rng, backoff_ms);
+                std::thread::sleep(Duration::from_millis(backoff_ms));
             }
             Ok(resp) => {
                 return Outcome {
@@ -303,5 +327,51 @@ fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize) -> Outcome
                 };
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_seed_deterministic() {
+        let mut a = 0xC0FFEEu64;
+        let mut b = 0xC0FFEEu64;
+        let mut prev_a = BACKOFF_BASE_MS;
+        let mut prev_b = BACKOFF_BASE_MS;
+        for _ in 0..1000 {
+            prev_a = next_backoff_ms(&mut a, prev_a);
+            prev_b = next_backoff_ms(&mut b, prev_b);
+            assert_eq!(prev_a, prev_b, "same seed, same schedule");
+            assert!((BACKOFF_BASE_MS..BACKOFF_CAP_MS).contains(&prev_a));
+        }
+        let mut c = 0xDEADBEEFu64;
+        let schedule_c: Vec<u64> = (0..8)
+            .scan(BACKOFF_BASE_MS, |p, _| {
+                *p = next_backoff_ms(&mut c, *p);
+                Some(*p)
+            })
+            .collect();
+        let mut a = 0xC0FFEEu64;
+        let schedule_a: Vec<u64> = (0..8)
+            .scan(BACKOFF_BASE_MS, |p, _| {
+                *p = next_backoff_ms(&mut a, *p);
+                Some(*p)
+            })
+            .collect();
+        assert_ne!(schedule_a, schedule_c, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn mix_is_seed_deterministic() {
+        let a = build_mix(7, 32);
+        let b = build_mix(7, 32);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        let c = build_mix(8, 32);
+        assert!(a.iter().zip(&c).any(|(x, y)| x != y));
     }
 }

@@ -21,7 +21,7 @@
 //! `ifsim-bench-fabric-v1`: non-empty `results` rows with an id, positive
 //! timings, and at least one iteration, plus a `speedup` object of
 //! positive ratios; and the serve stats snapshot must be
-//! `ifsim-serve-stats-v1` with numeric cache/queue/pool accounting and an
+//! `ifsim-serve-stats-v2` with numeric cache/queue/pool/singleflight/deadline accounting and an
 //! embedded metrics registry carrying the serve request counters and
 //! latency histograms. Exit code 0 when every given file passes, 1
 //! otherwise.
@@ -253,13 +253,18 @@ fn lint_bench(v: &Value) -> Result<usize, String> {
     Ok(rows.len())
 }
 
-/// Validate an `ifsim-serve` stats snapshot (`ifsim-serve-stats-v1`): the
+/// Validate an `ifsim-serve` stats snapshot (`ifsim-serve-stats-v2`): the
 /// cache/queue/pool accounting blocks plus an embedded metrics registry
 /// that must itself lint clean and carry the serve request counters and
 /// latency histograms (p50/p95/p99 come with the histogram schema).
 fn lint_serve(v: &Value) -> Result<usize, String> {
     match v.get("schema").and_then(|s| s.as_str()) {
-        Some("ifsim-serve-stats-v1") => {}
+        Some("ifsim-serve-stats-v2") => {}
+        Some("ifsim-serve-stats-v1") => {
+            return Err("schema ifsim-serve-stats-v1 is superseded; expected v2 \
+                 (singleflight/deadline/quarantine accounting)"
+                .into())
+        }
         other => return Err(format!("unexpected schema {other:?}")),
     }
     let section = |name: &str, fields: &[&str]| -> Result<(), String> {
@@ -277,13 +282,34 @@ fn lint_serve(v: &Value) -> Result<usize, String> {
     };
     section(
         "cache",
-        &["entries", "capacity", "hits", "misses", "hit_rate"],
+        &[
+            "entries",
+            "capacity",
+            "bytes",
+            "bytes_capacity",
+            "hits",
+            "disk_hits",
+            "misses",
+            "hit_rate",
+            "disk_entries",
+            "disk_bytes",
+            "quarantined",
+        ],
     )?;
     section(
         "queue",
         &["in_flight", "capacity", "workers", "queue_depth"],
     )?;
     section("pool", &["panicked_jobs"])?;
+    section("singleflight", &["leaders", "followers"])?;
+    section("deadline", &["exceeded", "shed", "cancelled"])?;
+    if v.get("cache")
+        .and_then(|c| c.get("persistent"))
+        .and_then(|x| x.as_bool())
+        .is_none()
+    {
+        return Err("cache.persistent is not a bool".into());
+    }
     let in_flight = v
         .get("queue")
         .and_then(|q| q.get("in_flight"))
@@ -316,6 +342,18 @@ fn lint_serve(v: &Value) -> Result<usize, String> {
     }
     if !has("histograms", "serve_request_latency_ns") {
         return Err("metrics missing serve_request_latency_ns histogram".into());
+    }
+    for counter in [
+        "serve_singleflight_leaders",
+        "serve_singleflight_followers",
+        "serve_deadline_exceeded_total",
+        "serve_deadline_shed_total",
+        "serve_cancelled_jobs_total",
+        "serve_cache_quarantined_total",
+    ] {
+        if !has("counters", counter) {
+            return Err(format!("metrics missing {counter} counter"));
+        }
     }
     Ok(entries)
 }

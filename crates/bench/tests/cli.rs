@@ -475,6 +475,7 @@ mod serve_cli {
                 workers: 4,
                 queue_depth: 16,
                 cache_cap: 64,
+                ..ServeOptions::default()
             },
         )
         .expect("bind temp socket");

@@ -126,6 +126,44 @@ impl Experiment {
         let result = (self.runner)(cfg);
         (result, collector.take())
     }
+
+    /// Run it under a [`CancelToken`]: the token is installed for the
+    /// calling thread, the microbench repetition loops checkpoint it
+    /// between reps, and a fired token surfaces as `Err(Cancelled)`
+    /// instead of a completed (and possibly hours-late) result. A genuine
+    /// panic inside the experiment is re-raised untouched.
+    ///
+    /// [`CancelToken`]: ifsim_des::cancel::CancelToken
+    pub fn run_cancellable(
+        &self,
+        cfg: &BenchConfig,
+        token: &ifsim_des::cancel::CancelToken,
+    ) -> Result<ExperimentResult, ifsim_des::cancel::Cancelled> {
+        let _guard = token.install();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.runner)(cfg))) {
+            Ok(result) => Ok(result),
+            Err(payload) if payload.is::<ifsim_des::cancel::Cancelled>() => {
+                Err(ifsim_des::cancel::Cancelled)
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// [`Experiment::run_instrumented`] with a [`CancelToken`]: telemetry
+    /// collected up to the cancellation point is discarded along with the
+    /// partial result.
+    ///
+    /// [`CancelToken`]: ifsim_des::cancel::CancelToken
+    pub fn run_instrumented_cancellable(
+        &self,
+        cfg: &BenchConfig,
+        token: &ifsim_des::cancel::CancelToken,
+    ) -> Result<(ExperimentResult, ifsim_telemetry::CollectedTelemetry), ifsim_des::cancel::Cancelled>
+    {
+        let collector = ifsim_telemetry::Collector::install();
+        self.run_cancellable(cfg, token)
+            .map(|result| (result, collector.take()))
+    }
 }
 
 /// Digest a key/value set into 32 hex characters, independent of the order
@@ -232,6 +270,42 @@ mod tests {
         let mut reps = cfg.clone();
         reps.reps += 1;
         assert_ne!(a.config_digest(&cfg), a.config_digest(&reps));
+    }
+
+    #[test]
+    fn cancellable_run_maps_fired_token_to_err() {
+        fn runner(cfg: &BenchConfig) -> ExperimentResult {
+            // Mirror the microbench harness shape: checkpoint between reps.
+            for _ in 0..cfg.reps {
+                ifsim_des::cancel::checkpoint();
+            }
+            dummy(cfg)
+        }
+        let e = Experiment::new("c", "t", "d", runner);
+        let live = ifsim_des::cancel::CancelToken::new();
+        assert!(e.run_cancellable(&BenchConfig::quick(), &live).is_ok());
+        let fired = ifsim_des::cancel::CancelToken::new();
+        fired.cancel();
+        assert!(matches!(
+            e.run_cancellable(&BenchConfig::quick(), &fired),
+            Err(ifsim_des::cancel::Cancelled)
+        ));
+        assert!(e
+            .run_instrumented_cancellable(&BenchConfig::quick(), &fired)
+            .is_err());
+    }
+
+    #[test]
+    fn cancellable_run_propagates_real_panics() {
+        fn runner(_: &BenchConfig) -> ExperimentResult {
+            panic!("genuine failure");
+        }
+        let e = Experiment::new("p", "t", "d", runner);
+        let token = ifsim_des::cancel::CancelToken::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.run_cancellable(&BenchConfig::quick(), &token)
+        }));
+        assert!(caught.is_err(), "non-cancellation panics unwind outward");
     }
 
     #[test]

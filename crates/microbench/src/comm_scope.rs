@@ -56,6 +56,7 @@ pub fn h2d_bandwidth(cfg: &BenchConfig, iface: H2dInterface, bytes: u64) -> f64 
     let dev = hip.malloc(bytes).expect("device buffer");
     let mut samples = Vec::with_capacity(cfg.reps);
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let bw = match iface {
             H2dInterface::MemcpyPinned => {
                 let host = hip
@@ -136,6 +137,7 @@ pub fn d2h_bandwidth(cfg: &BenchConfig, pinned: bool, bytes: u64) -> f64 {
     let dev = hip.malloc(bytes).expect("device buffer");
     let mut samples = Vec::with_capacity(cfg.reps);
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let host = if pinned {
             hip.host_malloc(bytes, HostAllocFlags::non_coherent())
                 .expect("pinned")
@@ -212,6 +214,7 @@ pub fn p2p_sweep(cfg: &BenchConfig, dsts: &[u8], sizes: &[u64]) -> Vec<Series> {
             hip.set_device(0).expect("device 0");
             let mut samples = Vec::new();
             for rep in 0..cfg.warmup + cfg.reps {
+                ifsim_des::cancel::checkpoint();
                 let t0 = hip.now();
                 hip.memcpy_peer(dbuf, dst as usize, src, 0, bytes)
                     .expect("peer copy");

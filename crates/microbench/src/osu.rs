@@ -26,6 +26,7 @@ pub fn osu_p2p_bw(cfg: &BenchConfig, dst_dev: usize, bytes: u64, sdma: bool) -> 
     let dst = hip.malloc(bytes).expect("dst");
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let d = comm
             .send_recv(&mut hip, 0, 1, src, dst, bytes)
             .expect("send");
@@ -62,6 +63,7 @@ pub fn osu_p2p_latency(cfg: &BenchConfig, dst_dev: usize, bytes: u64) -> f64 {
     let b = hip.malloc(bytes.max(4)).expect("pong");
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         // One ping + one pong; OSU reports half the round trip.
         let ping = comm
             .send_recv(&mut hip, 0, 1, a, b, bytes.max(4))
@@ -102,6 +104,7 @@ pub fn mpi_collective_latency(
     let bufs = collective_buffers(&mut hip, n, elems);
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let d = comm
             .collective(&mut hip, coll, &bufs, elems, 0)
             .expect("collective");

@@ -87,6 +87,7 @@ pub fn bandwidth_matrix(cfg: &BenchConfig, bytes: u64) -> Matrix {
             hip.set_device(i).expect("src device");
             let mut samples = Vec::new();
             for rep in 0..cfg.warmup + cfg.reps {
+                ifsim_des::cancel::checkpoint();
                 let t0 = hip.now();
                 hip.memcpy_peer(dst, j, src, i, bytes).expect("peer copy");
                 if rep >= cfg.warmup {
@@ -123,6 +124,7 @@ pub fn bandwidth_matrix_bidir(cfg: &BenchConfig, bytes: u64) -> Matrix {
             let sj = hip.default_stream(j).expect("stream j");
             let mut samples = Vec::new();
             for rep in 0..cfg.warmup + cfg.reps {
+                ifsim_des::cancel::checkpoint();
                 let t0 = hip.now();
                 hip.memcpy_peer_async(buf_j_dst, j, buf_i_src, i, bytes, si)
                     .expect("i->j");

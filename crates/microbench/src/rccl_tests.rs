@@ -22,6 +22,7 @@ pub fn rccl_collective_latency_dist(
     let bufs = collective_buffers(&mut hip, n, elems);
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let d = comm
             .collective(&mut hip, coll, &bufs, elems, 0)
             .expect("collective");
@@ -84,6 +85,7 @@ pub fn rccl_alltoall_latency(cfg: &BenchConfig, n: usize, msg_bytes: u64) -> f64
     let bufs = collective_buffers(&mut hip, n, elems.max(n));
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let d = comm
             .all_to_all(&mut hip, &bufs, elems.max(n))
             .expect("alltoall");

@@ -16,6 +16,7 @@ pub fn local_stream(cfg: &BenchConfig, bytes: u64) -> f64 {
     let b = hip.malloc(bytes).expect("b");
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let t0 = hip.now();
         hip.launch_kernel(KernelSpec::StreamCopy {
             src: a,
@@ -54,6 +55,7 @@ pub fn peer_stream_sweep(cfg: &BenchConfig, dsts: &[u8], sizes: &[u64]) -> Vec<S
             hip.set_device(0).expect("device 0");
             let mut samples = Vec::new();
             for rep in 0..cfg.warmup + cfg.reps {
+                ifsim_des::cancel::checkpoint();
                 let t0 = hip.now();
                 hip.launch_kernel(KernelSpec::StreamCopy {
                     src: a,
@@ -115,6 +117,7 @@ pub fn multi_gpu_host_stream(cfg: &BenchConfig, devices: &[usize], bytes: u64) -
     }
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let t0 = hip.now();
         for (i, &d) in devices.iter().enumerate() {
             hip.set_device(d).expect("device exists");
@@ -149,6 +152,7 @@ pub fn direct_p2p_unidirectional(cfg: &BenchConfig, dst: usize, bytes: u64) -> f
     let local = hip.malloc(bytes).expect("local");
     let mut samples = Vec::new();
     for rep in 0..cfg.warmup + cfg.reps {
+        ifsim_des::cancel::checkpoint();
         let t0 = hip.now();
         hip.launch_kernel(KernelSpec::StreamCopy {
             src,

@@ -9,13 +9,20 @@
 //!   --queue-depth M    admitted requests beyond the busy workers
 //!                      (default 16); past workers+M the server answers
 //!                      Overloaded (429) instead of queueing
-//!   --cache-cap N      result-cache entries (default 256)
+//!   --cache-cap N      in-memory result-cache entries (default 256)
+//!   --cache-dir DIR    persist results to a crash-safe on-disk cache;
+//!                      recovered (and torn entries quarantined) at start
+//!   --cache-bytes B    byte cap for the cache tiers (default 268435456)
+//!   --request-timeout-ms T
+//!                      hard per-request budget even without a client
+//!                      deadline_ms; 0 disables (default 0)
 //!   --trace-out FILE   write a Chrome trace of request lifecycles on exit
 //!   --metrics-out FILE write the stats snapshot (JSON) on exit
 //! ```
 //!
-//! The daemon exits on a `shutdown` request or SIGTERM, draining
-//! in-flight work first. Protocol details: `docs/SERVING.md`.
+//! The daemon exits on a `shutdown` request, SIGTERM, or SIGINT, draining
+//! in-flight work first; a second signal skips the drain and exits with
+//! code 130. Protocol details: `docs/SERVING.md`.
 
 use ifsim_serve::{ServeAddr, ServeOptions, Server};
 use std::path::PathBuf;
@@ -32,7 +39,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: ifsim-serve (--socket PATH | --tcp HOST:PORT) [--workers N] \
-         [--queue-depth M] [--cache-cap N] [--trace-out FILE] [--metrics-out FILE]"
+         [--queue-depth M] [--cache-cap N] [--cache-dir DIR] [--cache-bytes B] \
+         [--request-timeout-ms T] [--trace-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2)
 }
@@ -66,6 +74,17 @@ fn parse_args() -> Args {
             }
             "--queue-depth" => opts.queue_depth = parse_num("--queue-depth", next("--queue-depth")),
             "--cache-cap" => opts.cache_cap = parse_num("--cache-cap", next("--cache-cap")),
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(next("--cache-dir"))),
+            "--cache-bytes" => {
+                opts.cache_bytes = parse_num("--cache-bytes", next("--cache-bytes")) as u64;
+                if opts.cache_bytes == 0 {
+                    usage("--cache-bytes must be at least 1");
+                }
+            }
+            "--request-timeout-ms" => {
+                opts.request_timeout_ms =
+                    parse_num("--request-timeout-ms", next("--request-timeout-ms")) as u64;
+            }
             "--trace-out" => trace_out = Some(PathBuf::from(next("--trace-out"))),
             "--metrics-out" => metrics_out = Some(PathBuf::from(next("--metrics-out"))),
             "--help" | "-h" => usage("help requested"),
@@ -109,6 +128,13 @@ fn main() -> ExitCode {
         "workers {} · queue depth {} · cache capacity {}",
         args.opts.workers, args.opts.queue_depth, args.opts.cache_cap
     );
+    if let Some(report) = &server.scan_report {
+        println!(
+            "cache recovered: {} entries ({} bytes), {} quarantined, \
+             {} torn tmp files removed, {} evicted over cap",
+            report.recovered, report.bytes, report.quarantined, report.removed_tmp, report.evicted
+        );
+    }
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");
         return ExitCode::FAILURE;

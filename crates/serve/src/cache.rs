@@ -4,13 +4,22 @@
 //! experiment id plus every configuration constant — so two requests with
 //! the same key are behaviourally identical (all simulator jitter derives
 //! from the seed) and the cached artifacts are byte-for-byte the ones a
-//! fresh compute would produce. Eviction is FIFO at a fixed capacity:
-//! sweep replays touch each key a handful of times in submission order,
-//! so recency tracking buys nothing over insertion order here.
+//! fresh compute would produce.
+//!
+//! The cache is two-level: an in-memory LRU map (entry- and byte-capped)
+//! in front of an optional crash-safe [`DiskStore`]. A memory miss that
+//! hits disk re-validates the entry's checksum, promotes it back into
+//! memory, and counts as a (disk) hit, so a restarted daemon replays
+//! byte-identical responses from its previous life. Eviction is LRU by
+//! resident byte size, replacing the FIFO entry count of the first
+//! serving iteration: sweep replays and chaos soaks hammer a small hot
+//! set while cold digests churn, which is exactly the recency shape FIFO
+//! throws away.
 //!
 //! [`Experiment::config_digest`]: ifsim_core::Experiment::config_digest
 
-use std::collections::{HashMap, VecDeque};
+use crate::store::DiskStore;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -29,71 +38,150 @@ pub struct CachedRun {
     pub checks_total: usize,
 }
 
-struct Inner {
-    map: HashMap<String, Arc<CachedRun>>,
-    /// Insertion order, oldest first.
-    order: VecDeque<String>,
+impl CachedRun {
+    /// Approximate resident size: the strings dominate, the fixed fields
+    /// are noise. Used for the in-memory byte cap.
+    pub fn approx_bytes(&self) -> u64 {
+        let csv: usize = self
+            .csv
+            .iter()
+            .map(|(name, contents)| name.len() + contents.len())
+            .sum();
+        (self.digest.len() + self.report.len() + csv + 16) as u64
+    }
 }
 
-/// A bounded, thread-safe digest → result map with hit/miss accounting.
+struct Inner {
+    map: HashMap<String, Arc<CachedRun>>,
+    /// Recency order, least recently used first.
+    lru: Vec<String>,
+    bytes: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, digest: &str) {
+        if let Some(pos) = self.lru.iter().position(|d| d == digest) {
+            let d = self.lru.remove(pos);
+            self.lru.push(d);
+        }
+    }
+}
+
+/// A bounded, thread-safe digest → result map with hit/miss accounting
+/// and optional persistent backing.
 pub struct ResultCache {
     inner: Mutex<Inner>,
+    store: Option<DiskStore>,
     capacity: usize,
+    bytes_cap: u64,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results (clamped to ≥ 1).
+    /// A memory-only cache holding at most `capacity` results (clamped to
+    /// ≥ 1) with an effectively unbounded byte cap.
     pub fn new(capacity: usize) -> ResultCache {
+        ResultCache::with_limits(capacity, u64::MAX, None)
+    }
+
+    /// A cache bounded by `capacity` entries *and* `bytes_cap` resident
+    /// bytes in memory, optionally backed by a persistent `store` (whose
+    /// own byte cap was fixed at [`DiskStore::open`] time).
+    pub fn with_limits(capacity: usize, bytes_cap: u64, store: Option<DiskStore>) -> ResultCache {
         ResultCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
-                order: VecDeque::new(),
+                lru: Vec::new(),
+                bytes: 0,
             }),
+            store,
             capacity: capacity.max(1),
+            bytes_cap: bytes_cap.max(1),
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// Look up a digest, counting the hit or miss.
+    /// Look up a digest, counting the hit or miss. Falls through to the
+    /// persistent store on a memory miss, promoting disk hits back into
+    /// the memory tier.
     pub fn get(&self, digest: &str) -> Option<Arc<CachedRun>> {
-        let found = self.inner.lock().unwrap().map.get(digest).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(run) = inner.map.get(digest).cloned() {
+                inner.touch(digest);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(run);
+            }
+        }
+        if let Some(run) = self.store.as_ref().and_then(|s| s.get(digest)) {
+            let run = Arc::new(run);
+            self.insert_mem(Arc::clone(&run));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(run);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
-    /// Insert a computed run, evicting the oldest entry past capacity.
-    /// A concurrent duplicate (two misses racing on one digest) keeps the
-    /// first insertion so outstanding `Arc`s stay coherent.
-    pub fn insert(&self, run: Arc<CachedRun>) {
+    /// Insert into the memory tier only, evicting LRU entries past either
+    /// cap. A concurrent duplicate (two misses racing on one digest)
+    /// keeps the first insertion so outstanding `Arc`s stay coherent.
+    fn insert_mem(&self, run: Arc<CachedRun>) {
         let mut inner = self.inner.lock().unwrap();
         if inner.map.contains_key(&run.digest) {
             return;
         }
-        inner.order.push_back(run.digest.clone());
+        inner.bytes += run.approx_bytes();
+        inner.lru.push(run.digest.clone());
         inner.map.insert(run.digest.clone(), run);
-        while inner.map.len() > self.capacity {
-            let oldest = inner
-                .order
-                .pop_front()
-                .expect("order tracks every map entry");
-            inner.map.remove(&oldest);
+        while (inner.map.len() > self.capacity || inner.bytes > self.bytes_cap)
+            && inner.lru.len() > 1
+        {
+            let oldest = inner.lru.remove(0);
+            if let Some(run) = inner.map.remove(&oldest) {
+                inner.bytes -= run.approx_bytes();
+            }
         }
     }
 
-    /// Number of resident entries.
+    /// Insert a computed run into memory and (when configured) the
+    /// persistent store. Disk write failures are reported, not fatal: the
+    /// daemon keeps serving from memory.
+    pub fn insert(&self, run: Arc<CachedRun>) {
+        self.insert_mem(Arc::clone(&run));
+        if let Some(store) = &self.store {
+            if let Err(e) = store.put(&run) {
+                eprintln!(
+                    "ifsim-serve: cache write for {} failed: {e} (serving from memory)",
+                    run.digest
+                );
+            }
+        }
+    }
+
+    /// Number of entries resident in memory.
     pub fn entries(&self) -> usize {
         self.inner.lock().unwrap().map.len()
     }
 
-    /// Lookups served from cache since startup.
+    /// Approximate bytes resident in memory.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Lookups served from cache since startup (memory + disk).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The subset of [`ResultCache::hits`] served from the disk tier.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that required a fresh compute.
@@ -112,9 +200,19 @@ impl ResultCache {
         }
     }
 
-    /// Maximum resident entries.
+    /// Maximum entries resident in memory.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Maximum bytes resident in memory.
+    pub fn bytes_cap(&self) -> u64 {
+        self.bytes_cap
+    }
+
+    /// The persistent tier, when configured.
+    pub fn store(&self) -> Option<&DiskStore> {
+        self.store.as_ref()
     }
 }
 
@@ -140,20 +238,35 @@ mod tests {
         assert_eq!(c.get("a").unwrap().report, "report a");
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
+        assert_eq!(c.disk_hits(), 0);
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(c.entries(), 1);
+        assert!(c.bytes() > 0);
     }
 
     #[test]
-    fn fifo_eviction_at_capacity() {
+    fn lru_eviction_at_entry_capacity() {
         let c = ResultCache::new(2);
         c.insert(run("a"));
         c.insert(run("b"));
+        assert!(c.get("a").is_some(), "refresh a's recency");
         c.insert(run("c"));
         assert_eq!(c.entries(), 2);
-        assert!(c.get("a").is_none(), "oldest evicted");
-        assert!(c.get("b").is_some());
+        assert!(c.get("b").is_none(), "least recently used evicted");
+        assert!(c.get("a").is_some(), "recently touched survives");
         assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn byte_cap_evicts_before_entry_cap() {
+        let per_entry = run("a").approx_bytes();
+        let c = ResultCache::with_limits(100, per_entry * 2 + 1, None);
+        c.insert(run("a"));
+        c.insert(run("b"));
+        c.insert(run("c"));
+        assert_eq!(c.entries(), 2, "byte cap holds two entries");
+        assert!(c.bytes() <= c.bytes_cap());
+        assert!(c.get("a").is_none(), "oldest evicted");
     }
 
     #[test]
@@ -178,5 +291,26 @@ mod tests {
         assert_eq!(c.capacity(), 1);
         c.insert(run("a"));
         assert_eq!(c.entries(), 1);
+    }
+
+    #[test]
+    fn disk_backing_promotes_and_survives_memory_eviction() {
+        let dir = std::env::temp_dir().join(format!(
+            "ifsim-cache-promote-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, _) = DiskStore::open(&dir, 1 << 20).unwrap();
+        let c = ResultCache::with_limits(1, u64::MAX, Some(store));
+        c.insert(run("a"));
+        c.insert(run("b")); // memory holds only "b" now; disk holds both
+        assert_eq!(c.entries(), 1);
+        let got = c.get("a").expect("served from the disk tier");
+        assert_eq!(got.report, "report a");
+        assert_eq!(c.disk_hits(), 1);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.store().unwrap().entries(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -117,7 +117,7 @@ impl Connection {
         }
     }
 
-    /// Fetch the stats snapshot (`ifsim-serve-stats-v1`).
+    /// Fetch the stats snapshot (`ifsim-serve-stats-v2`).
     pub fn stats(&mut self) -> Result<Value, String> {
         self.request_value(&proto::request_to_json(&Request::Stats))
     }

@@ -13,24 +13,33 @@
 //!
 //! - [`proto`] — the wire protocol: [`RunRequest`] → [`RunResponse`]
 //!   plus `ping` / `stats` / `shutdown` ops;
-//! - [`cache`] — a content-addressed [`ResultCache`] keyed by
-//!   `Experiment::config_digest`, with hit/miss counters;
+//! - [`cache`] — a content-addressed, two-tier [`ResultCache`] keyed by
+//!   `Experiment::config_digest`: an in-memory LRU in front of the
+//!   optional persistent tier;
+//! - [`store`] — the crash-safe [`DiskStore`]: checksummed entry files
+//!   written tmp-file → fsync → atomic rename, with a startup recovery
+//!   scan that quarantines anything torn or corrupt;
 //! - [`server`] — [`ServerCore`] (transport-independent request
-//!   handling, admission control with an explicit `Overloaded` answer at
-//!   capacity, self-observation via `ifsim-telemetry`) and [`Server`]
-//!   (the socket host with graceful SIGTERM drain);
+//!   handling, single-flight coalescing, per-request deadlines with
+//!   cooperative cancellation, admission control with an explicit
+//!   `Overloaded` answer at capacity, self-observation via
+//!   `ifsim-telemetry`) and [`Server`] (the socket host with graceful
+//!   SIGTERM/SIGINT drain — a second signal forces exit);
 //! - [`client`] — a blocking [`Connection`] used by `ifsim-client`,
-//!   `ifsim-loadgen`, and the tests.
+//!   `ifsim-loadgen`, `ifsim-chaos`, and the tests.
 //!
-//! Protocol, cache semantics, and overload behaviour are documented in
-//! `docs/SERVING.md` at the repository root.
+//! Protocol, cache semantics, overload behaviour, crash recovery, and
+//! deadline semantics are documented in `docs/SERVING.md` at the
+//! repository root.
 
 pub mod cache;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod store;
 
 pub use cache::{CachedRun, ResultCache};
 pub use client::{ClientAddr, Connection};
 pub use proto::{ConfigOverrides, Request, RunRequest, RunResponse, Status};
 pub use server::{ServeAddr, ServeOptions, Server, ServerCore, STATS_SCHEMA};
+pub use store::{DiskStore, ScanReport};

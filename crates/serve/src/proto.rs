@@ -24,7 +24,7 @@ use serde_json::{Map, Value};
 pub enum Request {
     /// Liveness probe.
     Ping,
-    /// Server statistics snapshot (`ifsim-serve-stats-v1`).
+    /// Server statistics snapshot (`ifsim-serve-stats-v2`).
     Stats,
     /// Ask the server to drain and exit.
     Shutdown,
@@ -93,6 +93,12 @@ pub struct RunRequest {
     pub overrides: ConfigOverrides,
     /// CSV artifact names to return; empty returns all of them.
     pub artifacts: Vec<String>,
+    /// Optional deadline, measured from request arrival. Work that is
+    /// already expired at dequeue is shed, and a computation that
+    /// overruns it is cooperatively cancelled; either way the client
+    /// gets an explicit `DeadlineExceeded` (504) instead of a late
+    /// answer. `None` means the request may take as long as it takes.
+    pub deadline_ms: Option<u64>,
 }
 
 impl RunRequest {
@@ -102,6 +108,7 @@ impl RunRequest {
             experiment_id: experiment_id.into(),
             overrides: ConfigOverrides::default(),
             artifacts: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -131,6 +138,9 @@ impl RunRequest {
             o.insert("calib", Value::Object(c));
         }
         m.insert("overrides", Value::Object(o));
+        if let Some(d) = self.deadline_ms {
+            m.insert("deadline_ms", Value::from(d));
+        }
         if !self.artifacts.is_empty() {
             m.insert(
                 "artifacts",
@@ -182,6 +192,13 @@ impl RunRequest {
                 }
             }
         }
+        let mut deadline_ms = None;
+        if let Some(d) = obj.get("deadline_ms") {
+            deadline_ms = Some(
+                d.as_u64()
+                    .ok_or("'deadline_ms' must be a non-negative integer")?,
+            );
+        }
         let mut artifacts = Vec::new();
         if let Some(a) = obj.get("artifacts") {
             for name in a.as_array().ok_or("'artifacts' must be an array")? {
@@ -196,6 +213,7 @@ impl RunRequest {
             experiment_id,
             overrides,
             artifacts,
+            deadline_ms,
         })
     }
 }
@@ -219,6 +237,10 @@ pub enum Status {
     Overloaded,
     /// The experiment panicked or the server failed internally (`500`).
     Internal,
+    /// The request's `deadline_ms` expired before a result was ready —
+    /// shed at dequeue, cancelled mid-compute, or timed out while
+    /// coalesced behind another computation (`504`).
+    DeadlineExceeded,
 }
 
 impl Status {
@@ -229,6 +251,7 @@ impl Status {
             Status::BadRequest => 400,
             Status::Overloaded => 429,
             Status::Internal => 500,
+            Status::DeadlineExceeded => 504,
         }
     }
 
@@ -239,6 +262,7 @@ impl Status {
             Status::BadRequest => "bad-request",
             Status::Overloaded => "overloaded",
             Status::Internal => "internal-error",
+            Status::DeadlineExceeded => "deadline-exceeded",
         }
     }
 
@@ -249,6 +273,7 @@ impl Status {
             "bad-request" => Ok(Status::BadRequest),
             "overloaded" => Ok(Status::Overloaded),
             "internal-error" => Ok(Status::Internal),
+            "deadline-exceeded" => Ok(Status::DeadlineExceeded),
             other => Err(format!("unknown status '{other}'")),
         }
     }
@@ -428,10 +453,24 @@ mod tests {
                 calib: vec![("eff_sdma_xgmi".into(), 1.1)],
             },
             artifacts: vec!["fig6a_hops.csv".into()],
+            deadline_ms: Some(2500),
         };
         let line = serde_json::to_string(&req.to_json());
         let back = RunRequest::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn deadline_status_round_trips() {
+        let resp = RunResponse::error(Status::DeadlineExceeded, "fig1", "too slow".into());
+        let line = serde_json::to_string(&resp.to_json());
+        let back = RunResponse::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(back.status, Status::DeadlineExceeded);
+        assert_eq!(back.status.code(), 504);
+        assert_eq!(
+            Status::parse("deadline-exceeded"),
+            Ok(Status::DeadlineExceeded)
+        );
     }
 
     #[test]

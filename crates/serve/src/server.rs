@@ -2,30 +2,52 @@
 //! socket host.
 //!
 //! [`ServerCore`] is the transport-independent heart — one JSON line in,
-//! one JSON line out — so unit tests exercise caching, admission, and
-//! error paths without sockets. [`Server`] wraps a core with a Unix or
-//! TCP listener, one handler thread per connection, SIGTERM-triggered
-//! graceful drain, and optional telemetry artifacts written at exit.
+//! one JSON line out — so unit tests exercise caching, coalescing,
+//! deadlines, admission, and error paths without sockets. [`Server`]
+//! wraps a core with a Unix or TCP listener, one handler thread per
+//! connection, signal-triggered graceful drain (SIGTERM or SIGINT; a
+//! second signal forces immediate exit), and optional telemetry
+//! artifacts written at exit.
+//!
+//! Robustness machinery layered onto the PR 5 core:
+//!
+//! - **persistent cache** — with `cache_dir` set, results survive
+//!   restarts via the crash-safe [`DiskStore`](crate::store::DiskStore);
+//! - **single-flight coalescing** — N concurrent requests for one digest
+//!   attach to a single computation; one leader computes, every follower
+//!   receives the same result (or the same error);
+//! - **deadlines** — a request's `deadline_ms` is checked before
+//!   admission, again at dequeue inside the worker (already-expired work
+//!   is shed), and cooperatively at the microbench repetition
+//!   checkpoints via a [`CancelToken`] threaded through
+//!   `Experiment::run_cancellable`; an overrun answers `504` and the
+//!   wedged computation unwinds at its next checkpoint instead of
+//!   holding a worker forever.
 
 use crate::cache::{CachedRun, ResultCache};
 use crate::proto::{self, Request, RunRequest, RunResponse, Status};
+use crate::store::{DiskStore, ScanReport};
+use ifsim_core::des::cancel::{CancelToken, Cancelled};
 use ifsim_core::registry;
 use ifsim_core::telemetry::{
     CollectedTelemetry, MetricKey, MetricsRegistry, SimTelemetry, TimelineEvent,
 };
+use ifsim_core::{BenchConfig, Experiment};
 use serde_json::{Map, Value};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use threadpool::ThreadPool;
 
 /// Stats/metrics schema tag, validated by `telemetry-lint --serve`.
-pub const STATS_SCHEMA: &str = "ifsim-serve-stats-v1";
+/// v2 adds the persistent-cache, single-flight, and deadline accounting.
+pub const STATS_SCHEMA: &str = "ifsim-serve-stats-v2";
 
 /// Server sizing knobs.
 #[derive(Clone, Debug)]
@@ -36,8 +58,16 @@ pub struct ServeOptions {
     /// capacity is `workers + queue_depth`, and anything past it is
     /// answered `Overloaded` instead of queued.
     pub queue_depth: usize,
-    /// Result-cache capacity (entries).
+    /// In-memory result-cache capacity (entries).
     pub cache_cap: usize,
+    /// Byte cap shared by the in-memory tier and the disk store.
+    pub cache_bytes: u64,
+    /// Directory for the crash-safe persistent cache; `None` keeps the
+    /// PR 5 behaviour (memory only, cold after restart).
+    pub cache_dir: Option<PathBuf>,
+    /// Hard per-request wall-clock budget in milliseconds applied even
+    /// to requests without a `deadline_ms`; `0` disables it.
+    pub request_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -46,38 +76,167 @@ impl Default for ServeOptions {
             workers: 4,
             queue_depth: 16,
             cache_cap: 256,
+            cache_bytes: 256 << 20,
+            cache_dir: None,
+            request_timeout_ms: 0,
         }
     }
 }
 
-/// The transport-independent server: resident registry + cache +
-/// bounded compute pool + self-observation.
+/// What a computation resolves to: the cached run, or the error status
+/// and message every attached request should relay.
+type FlightOutcome = Result<Arc<CachedRun>, (Status, String)>;
+
+/// One in-flight computation that concurrent requests for the same
+/// digest attach to. The leader publishes exactly once; followers wait,
+/// optionally bounded by their own deadline.
+struct Flight {
+    result: Mutex<Option<FlightOutcome>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, outcome: FlightOutcome) {
+        *self.result.lock().unwrap() = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Wait for the leader; `None` means the follower's deadline expired
+    /// first.
+    fn wait(&self, deadline: Option<Instant>) -> Option<FlightOutcome> {
+        let mut guard = self.result.lock().unwrap();
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return Some(outcome.clone());
+            }
+            match deadline {
+                None => guard = self.done.wait(guard).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    guard = self.done.wait_timeout(guard, d - now).unwrap().0;
+                }
+            }
+        }
+    }
+}
+
+/// What a worker sends back to the request thread that queued it.
+enum JobOutcome {
+    /// The experiment completed.
+    Done(CachedRun),
+    /// The deadline had already expired at dequeue; never started.
+    Shed,
+    /// The cancellation token fired mid-computation.
+    Cancelled,
+}
+
+/// The transport-independent server: resident registry + two-tier cache +
+/// single-flight table + bounded compute pool + self-observation.
 pub struct ServerCore {
     opts: ServeOptions,
     cache: ResultCache,
     pool: ThreadPool,
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
     /// Requests admitted (queued or running) right now.
     in_flight: AtomicUsize,
-    draining: AtomicBool,
+    draining: std::sync::atomic::AtomicBool,
     started: Instant,
     metrics: Mutex<MetricsRegistry>,
     events: Mutex<Vec<TimelineEvent>>,
+    // Robustness accounting, mirrored into the metrics registry.
+    sf_leaders: AtomicU64,
+    sf_followers: AtomicU64,
+    dl_exceeded: AtomicU64,
+    dl_shed: AtomicU64,
+    dl_cancelled: AtomicU64,
+    quarantine_seen: AtomicU64,
+}
+
+/// Suppress the default panic hook's report for cooperative-cancellation
+/// unwinds ([`Cancelled`] payloads); real panics keep the full report.
+fn silence_cancelled_unwinds() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Cancelled>() {
+                return;
+            }
+            default_hook(info);
+        }));
+    });
 }
 
 impl ServerCore {
-    /// Build a core with `opts` (worker count clamped to ≥ 1).
-    pub fn new(opts: ServeOptions) -> ServerCore {
+    /// Build a core with `opts` (worker count clamped to ≥ 1), opening —
+    /// and crash-recovering — the persistent cache when `cache_dir` is
+    /// set. The [`ScanReport`] says what the recovery scan found.
+    pub fn build(opts: ServeOptions) -> std::io::Result<(ServerCore, Option<ScanReport>)> {
+        silence_cancelled_unwinds();
         let workers = opts.workers.max(1);
-        ServerCore {
-            cache: ResultCache::new(opts.cache_cap),
+        let (store, scan) = match &opts.cache_dir {
+            Some(dir) => {
+                let (store, report) = DiskStore::open(dir, opts.cache_bytes)?;
+                (Some(store), Some(report))
+            }
+            None => (None, None),
+        };
+        let cache = ResultCache::with_limits(opts.cache_cap, opts.cache_bytes, store);
+        let core = ServerCore {
+            cache,
             pool: ThreadPool::new(workers),
+            flights: Mutex::new(HashMap::new()),
             in_flight: AtomicUsize::new(0),
-            draining: AtomicBool::new(false),
+            draining: std::sync::atomic::AtomicBool::new(false),
             started: Instant::now(),
             metrics: Mutex::new(MetricsRegistry::new()),
             events: Mutex::new(Vec::new()),
+            sf_leaders: AtomicU64::new(0),
+            sf_followers: AtomicU64::new(0),
+            dl_exceeded: AtomicU64::new(0),
+            dl_shed: AtomicU64::new(0),
+            dl_cancelled: AtomicU64::new(0),
+            quarantine_seen: AtomicU64::new(0),
             opts: ServeOptions { workers, ..opts },
+        };
+        // Pre-seed the robustness counters so a stats snapshot carries
+        // them (and lints clean) before the first interesting request.
+        {
+            let mut metrics = core.metrics.lock().unwrap();
+            for name in [
+                "serve_singleflight_leaders",
+                "serve_singleflight_followers",
+                "serve_deadline_exceeded_total",
+                "serve_deadline_shed_total",
+                "serve_cancelled_jobs_total",
+                "serve_cache_quarantined_total",
+                "serve_cache_hits",
+                "serve_cache_misses",
+                "serve_overloaded_total",
+                "serve_panicked_jobs",
+            ] {
+                metrics.counter_add(MetricKey::new(name), 0.0);
+            }
         }
+        core.sync_quarantine_counter();
+        Ok((core, scan))
+    }
+
+    /// [`ServerCore::build`] for memory-only options; panics if `opts`
+    /// names a `cache_dir` that cannot be opened.
+    pub fn new(opts: ServeOptions) -> ServerCore {
+        ServerCore::build(opts).expect("open cache dir").0
     }
 
     /// Admission capacity: busy workers plus the bounded queue.
@@ -127,6 +286,16 @@ impl ServerCore {
         &self.cache
     }
 
+    /// Single-flight leader count (requests that computed).
+    pub fn singleflight_leaders(&self) -> u64 {
+        self.sf_leaders.load(Ordering::SeqCst)
+    }
+
+    /// Single-flight follower count (requests that coalesced).
+    pub fn singleflight_followers(&self) -> u64 {
+        self.sf_followers.load(Ordering::SeqCst)
+    }
+
     /// Handle one request line, returning the response line (no trailing
     /// newline). Never panics outward: every failure maps to a status.
     pub fn handle_line(&self, line: &str) -> String {
@@ -157,14 +326,15 @@ impl ServerCore {
                 m.insert("draining", Value::from(true));
                 ("shutdown", Value::Object(m))
             }
-            Ok(Request::Run(req)) => ("run", self.handle_run(&req).to_json()),
+            Ok(Request::Run(req)) => ("run", self.handle_run(&req, t0).to_json()),
         };
         self.observe_request(op, &value, t0);
         serde_json::to_string(&value)
     }
 
-    /// Serve one run request: validate → digest → cache → admit → compute.
-    fn handle_run(&self, req: &RunRequest) -> RunResponse {
+    /// Serve one run request: validate → digest → cache → coalesce →
+    /// admit → compute under deadline.
+    fn handle_run(&self, req: &RunRequest, arrival: Instant) -> RunResponse {
         let Some(exp) = registry::by_id(&req.experiment_id) else {
             return RunResponse::error(
                 Status::BadRequest,
@@ -183,60 +353,214 @@ impl ServerCore {
             return self.respond_from(req, &hit, true);
         }
         self.bump_counter("serve_cache_misses");
+        self.sync_quarantine_counter();
 
+        let deadline = req
+            .deadline_ms
+            .map(|ms| arrival + Duration::from_millis(ms));
+
+        // Shed requests that are already dead before touching the pool.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.count_deadline(&self.dl_shed, "serve_deadline_shed_total");
+            return self.deadline_error(req, &digest, "deadline expired before compute started");
+        }
+
+        // Single-flight: the first request for a digest leads, everyone
+        // else attaches to its computation.
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().unwrap();
+            match flights.get(&digest) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    flights.insert(digest.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !leader {
+            self.sf_followers.fetch_add(1, Ordering::SeqCst);
+            self.bump_counter("serve_singleflight_followers");
+            return match flight.wait(deadline) {
+                Some(Ok(run)) => self.respond_from(req, &run, false),
+                Some(Err((status, msg))) => self.error_with_digest(status, req, &digest, msg),
+                None => self.deadline_error(
+                    req,
+                    &digest,
+                    "deadline expired while coalesced behind an identical in-flight request",
+                ),
+            };
+        }
+
+        self.sf_leaders.fetch_add(1, Ordering::SeqCst);
+        self.bump_counter("serve_singleflight_leaders");
+        let outcome = self.compute(exp, cfg, &digest, deadline);
+        // Publish to followers *after* unregistering, so a request that
+        // arrives later starts a fresh computation instead of attaching
+        // to a completed flight.
+        self.flights.lock().unwrap().remove(&digest);
+        flight.complete(outcome.clone());
+        match outcome {
+            Ok(run) => self.respond_from(req, &run, false),
+            Err((status, msg)) => self.error_with_digest(status, req, &digest, msg),
+        }
+    }
+
+    /// Leader-side compute: admission, dispatch with a cancel token,
+    /// bounded wait, cache insertion.
+    fn compute(
+        &self,
+        exp: Experiment,
+        cfg: BenchConfig,
+        digest: &str,
+        deadline: Option<Instant>,
+    ) -> FlightOutcome {
         if !self.try_admit() {
             self.bump_counter("serve_overloaded_total");
-            let mut resp = RunResponse::error(
+            return Err((
                 Status::Overloaded,
-                req.experiment_id.clone(),
                 format!(
                     "server at capacity ({} in flight); retry later",
                     self.capacity()
                 ),
-            );
-            resp.digest = digest;
-            return resp;
+            ));
         }
         self.set_gauge("serve_queue_depth", self.in_flight() as f64);
 
-        // The worker sends the computed run back over a channel; if the
+        let token = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        // The worker sends its outcome back over a channel; if the
         // experiment panics, the sender drops without sending, the pool
         // respawns the worker, and the client gets a 500 instead of a
         // wedged connection.
-        let (tx, rx) = mpsc::channel::<CachedRun>();
+        let (tx, rx) = mpsc::channel::<JobOutcome>();
         {
-            let cfg = cfg.clone();
-            let digest = digest.clone();
+            let digest = digest.to_string();
+            let token = token.clone();
             self.pool.execute(move || {
-                let result = exp.run(&cfg);
-                let _ = tx.send(CachedRun {
-                    digest,
-                    report: result.report(),
-                    checks_passed: result.checks.iter().filter(|c| c.passed).count(),
-                    checks_total: result.checks.len(),
-                    csv: result.csv,
-                });
+                // Dequeue-time deadline check: work that expired while
+                // queued is shed without computing anything.
+                if token.is_cancelled() {
+                    let _ = tx.send(JobOutcome::Shed);
+                    return;
+                }
+                match exp.run_cancellable(&cfg, &token) {
+                    Ok(result) => {
+                        let _ = tx.send(JobOutcome::Done(CachedRun {
+                            digest,
+                            report: result.report(),
+                            checks_passed: result.checks.iter().filter(|c| c.passed).count(),
+                            checks_total: result.checks.len(),
+                            csv: result.csv,
+                        }));
+                    }
+                    Err(Cancelled) => {
+                        let _ = tx.send(JobOutcome::Cancelled);
+                    }
+                }
             });
         }
-        let outcome = rx.recv();
+
+        let hard = (self.opts.request_timeout_ms > 0)
+            .then(|| Duration::from_millis(self.opts.request_timeout_ms));
+        let wait = match (deadline, hard) {
+            (Some(d), Some(h)) => Some(h.min(d.saturating_duration_since(Instant::now()))),
+            (Some(d), None) => Some(d.saturating_duration_since(Instant::now())),
+            (None, Some(h)) => Some(h),
+            (None, None) => None,
+        };
+        // Err(true) = timed out; Err(false) = worker died (panic).
+        let outcome = match wait {
+            None => rx.recv().map_err(|_| false),
+            Some(d) => rx
+                .recv_timeout(d)
+                .map_err(|e| matches!(e, mpsc::RecvTimeoutError::Timeout)),
+        };
         self.finish_admitted();
         self.set_gauge("serve_queue_depth", self.in_flight() as f64);
         match outcome {
-            Ok(run) => {
+            Ok(JobOutcome::Done(run)) => {
                 let run = Arc::new(run);
                 self.cache.insert(Arc::clone(&run));
-                self.respond_from(req, &run, false)
+                Ok(run)
             }
-            Err(_) => {
+            Ok(JobOutcome::Shed) => {
+                self.count_deadline(&self.dl_shed, "serve_deadline_shed_total");
+                Err((
+                    Status::DeadlineExceeded,
+                    "deadline expired while queued; work shed at dequeue".into(),
+                ))
+            }
+            Ok(JobOutcome::Cancelled) => {
+                self.count_deadline(&self.dl_cancelled, "serve_cancelled_jobs_total");
+                Err((
+                    Status::DeadlineExceeded,
+                    "deadline expired mid-computation; experiment cancelled".into(),
+                ))
+            }
+            Err(true) => {
+                // Ask the computation to die at its next checkpoint; the
+                // worker survives the cooperative unwind and is reused.
+                token.cancel();
+                self.count_deadline(&self.dl_cancelled, "serve_cancelled_jobs_total");
+                let what = if deadline.is_some() {
+                    "request deadline exceeded; computation cancelled"
+                } else {
+                    "request hard timeout exceeded; computation cancelled"
+                };
+                Err((Status::DeadlineExceeded, what.into()))
+            }
+            Err(false) => {
                 self.bump_counter("serve_panicked_jobs");
-                let mut resp = RunResponse::error(
+                Err((
                     Status::Internal,
-                    req.experiment_id.clone(),
                     "experiment panicked; see server log".into(),
-                );
-                resp.digest = digest;
-                resp
+                ))
             }
+        }
+    }
+
+    /// An error response that still names the cache key.
+    fn error_with_digest(
+        &self,
+        status: Status,
+        req: &RunRequest,
+        digest: &str,
+        msg: String,
+    ) -> RunResponse {
+        if status == Status::DeadlineExceeded {
+            self.count_deadline(&self.dl_exceeded, "serve_deadline_exceeded_total");
+        }
+        let mut resp = RunResponse::error(status, req.experiment_id.clone(), msg);
+        resp.digest = digest.to_string();
+        resp
+    }
+
+    /// A `504 DeadlineExceeded` response.
+    fn deadline_error(&self, req: &RunRequest, digest: &str, msg: &str) -> RunResponse {
+        self.error_with_digest(Status::DeadlineExceeded, req, digest, msg.to_string())
+    }
+
+    fn count_deadline(&self, field: &AtomicU64, counter: &str) {
+        field.fetch_add(1, Ordering::SeqCst);
+        self.bump_counter(counter);
+    }
+
+    /// Fold newly quarantined disk entries into the metrics counter.
+    fn sync_quarantine_counter(&self) {
+        let Some(store) = self.cache.store() else {
+            return;
+        };
+        let total = store.quarantined_total();
+        let prev = self.quarantine_seen.swap(total, Ordering::SeqCst);
+        if total > prev {
+            self.metrics.lock().unwrap().counter_add(
+                MetricKey::new("serve_cache_quarantined_total"),
+                (total - prev) as f64,
+            );
         }
     }
 
@@ -264,14 +588,26 @@ impl ServerCore {
         }
     }
 
-    /// The `stats` response (`ifsim-serve-stats-v1`).
+    /// The `stats` response (`ifsim-serve-stats-v2`).
     pub fn stats_json(&self) -> Value {
+        self.sync_quarantine_counter();
         let mut cache = Map::new();
         cache.insert("entries", Value::from(self.cache.entries()));
         cache.insert("capacity", Value::from(self.cache.capacity()));
+        cache.insert("bytes", Value::from(self.cache.bytes() as f64));
+        cache.insert("bytes_capacity", Value::from(self.cache.bytes_cap() as f64));
         cache.insert("hits", Value::from(self.cache.hits()));
+        cache.insert("disk_hits", Value::from(self.cache.disk_hits()));
         cache.insert("misses", Value::from(self.cache.misses()));
         cache.insert("hit_rate", Value::from(self.cache.hit_rate()));
+        cache.insert("persistent", Value::from(self.cache.store().is_some()));
+        let (disk_entries, disk_bytes, quarantined) = match self.cache.store() {
+            Some(s) => (s.entries(), s.total_bytes(), s.quarantined_total()),
+            None => (0, 0, 0),
+        };
+        cache.insert("disk_entries", Value::from(disk_entries));
+        cache.insert("disk_bytes", Value::from(disk_bytes as f64));
+        cache.insert("quarantined", Value::from(quarantined));
         let mut queue = Map::new();
         queue.insert("in_flight", Value::from(self.in_flight()));
         queue.insert("capacity", Value::from(self.capacity()));
@@ -279,6 +615,25 @@ impl ServerCore {
         queue.insert("queue_depth", Value::from(self.opts.queue_depth));
         let mut pool = Map::new();
         pool.insert("panicked_jobs", Value::from(self.pool.panicked_jobs()));
+        let mut singleflight = Map::new();
+        singleflight.insert(
+            "leaders",
+            Value::from(self.sf_leaders.load(Ordering::SeqCst)),
+        );
+        singleflight.insert(
+            "followers",
+            Value::from(self.sf_followers.load(Ordering::SeqCst)),
+        );
+        let mut deadline = Map::new();
+        deadline.insert(
+            "exceeded",
+            Value::from(self.dl_exceeded.load(Ordering::SeqCst)),
+        );
+        deadline.insert("shed", Value::from(self.dl_shed.load(Ordering::SeqCst)));
+        deadline.insert(
+            "cancelled",
+            Value::from(self.dl_cancelled.load(Ordering::SeqCst)),
+        );
         let mut m = Map::new();
         m.insert("op", Value::from("stats-response"));
         m.insert("status", Value::from(Status::Ok.as_str()));
@@ -292,6 +647,8 @@ impl ServerCore {
         m.insert("cache", Value::Object(cache));
         m.insert("queue", Value::Object(queue));
         m.insert("pool", Value::Object(pool));
+        m.insert("singleflight", Value::Object(singleflight));
+        m.insert("deadline", Value::Object(deadline));
         m.insert("metrics", self.metrics.lock().unwrap().to_json());
         Value::Object(m)
     }
@@ -379,32 +736,50 @@ enum ListenerKind {
 trait Stream: Read + Write + Send {}
 impl<T: Read + Write + Send> Stream for T {}
 
-/// SIGTERM flag, set from the signal handler and polled by the accept
-/// loop (async-signal-safe: a relaxed atomic store only).
-static SIGTERM: AtomicBool = AtomicBool::new(false);
+/// Count of drain signals (SIGTERM or SIGINT) received, incremented from
+/// the handler (async-signal-safe: an atomic add; the forced `_exit` on
+/// the second signal is on the async-signal-safe list too). The accept
+/// loop polls it; a second signal never waits for the drain.
+static SIGNALS: AtomicUsize = AtomicUsize::new(0);
+
+/// Exit code for a forced (double-signal) shutdown: 128 + SIGINT.
+const FORCED_EXIT_CODE: i32 = 130;
 
 #[cfg(unix)]
-fn install_sigterm_handler() {
-    extern "C" fn on_term(_sig: i32) {
-        SIGTERM.store(true, Ordering::Relaxed);
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        let prev = SIGNALS.fetch_add(1, Ordering::SeqCst);
+        if prev >= 1 {
+            // Second signal: the operator wants out *now*. Skip drain,
+            // skip artifact writes, exit non-zero immediately.
+            extern "C" {
+                fn _exit(code: i32) -> !;
+            }
+            unsafe { _exit(FORCED_EXIT_CODE) }
+        }
     }
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
+    const SIGINT_NO: i32 = 2;
     const SIGTERM_NO: i32 = 15;
     unsafe {
-        signal(SIGTERM_NO, on_term);
+        signal(SIGINT_NO, on_signal);
+        signal(SIGTERM_NO, on_signal);
     }
 }
 
 #[cfg(not(unix))]
-fn install_sigterm_handler() {}
+fn install_signal_handlers() {}
 
 /// A [`ServerCore`] bound to a socket, serving until drained.
 pub struct Server {
     core: Arc<ServerCore>,
     listener: ListenerKind,
     addr: ServeAddr,
+    /// What the persistent-cache recovery scan found at bind time
+    /// (`None` without a `cache_dir`).
+    pub scan_report: Option<ScanReport>,
     /// Chrome trace of request lifecycles, written at exit.
     pub trace_out: Option<PathBuf>,
     /// Metrics snapshot (stats schema), written at exit.
@@ -412,8 +787,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind `addr` and build the resident core.
+    /// Bind `addr` and build the resident core (recovering the
+    /// persistent cache first when one is configured).
     pub fn bind(addr: ServeAddr, opts: ServeOptions) -> std::io::Result<Server> {
+        let (core, scan_report) = ServerCore::build(opts)?;
         let listener = match &addr {
             #[cfg(unix)]
             ServeAddr::Unix(path) => {
@@ -431,9 +808,10 @@ impl Server {
             }
         };
         Ok(Server {
-            core: Arc::new(ServerCore::new(opts)),
+            core: Arc::new(core),
             listener,
             addr,
+            scan_report,
             trace_out: None,
             metrics_out: None,
         })
@@ -475,15 +853,16 @@ impl Server {
         }
     }
 
-    /// Serve until a shutdown request or SIGTERM, then drain in-flight
-    /// work, write any configured telemetry artifacts, and clean up the
-    /// socket. Each connection gets one handler thread reading request
-    /// lines until the client disconnects.
+    /// Serve until a shutdown request, SIGTERM, or SIGINT, then drain
+    /// in-flight work, write any configured telemetry artifacts, and
+    /// clean up the socket. A second signal during (or before) the drain
+    /// forces an immediate exit with code 130. Each connection gets one
+    /// handler thread reading request lines until the client disconnects.
     pub fn run(self) -> std::io::Result<()> {
-        install_sigterm_handler();
+        install_signal_handlers();
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
-            if SIGTERM.load(Ordering::Relaxed) {
+            if SIGNALS.load(Ordering::Relaxed) > 0 {
                 self.core.start_drain();
             }
             if self.core.draining() {

@@ -58,12 +58,16 @@ fn arb_run_request() -> impl Strategy<Value = RunRequest> {
         arb_ident(),
         arb_overrides(),
         proptest::collection::vec(arb_ident(), 0..4),
+        arb_option(0u64..10_000_000),
     )
-        .prop_map(|(experiment_id, overrides, artifacts)| RunRequest {
-            experiment_id,
-            overrides,
-            artifacts,
-        })
+        .prop_map(
+            |(experiment_id, overrides, artifacts, deadline_ms)| RunRequest {
+                experiment_id,
+                overrides,
+                artifacts,
+                deadline_ms,
+            },
+        )
 }
 
 fn arb_status() -> impl Strategy<Value = Status> {
@@ -72,6 +76,7 @@ fn arb_status() -> impl Strategy<Value = Status> {
         Just(Status::BadRequest),
         Just(Status::Overloaded),
         Just(Status::Internal),
+        Just(Status::DeadlineExceeded),
     ]
 }
 

@@ -10,6 +10,7 @@ fn small_core() -> ServerCore {
         workers: 2,
         queue_depth: 4,
         cache_cap: 32,
+        ..ServeOptions::default()
     })
 }
 
@@ -87,6 +88,7 @@ fn overload_returns_explicit_429() {
         workers: 1,
         queue_depth: 1,
         cache_cap: 8,
+        ..ServeOptions::default()
     });
     assert_eq!(core.capacity(), 2);
     assert!(core.try_admit());
@@ -114,6 +116,7 @@ fn cache_hits_bypass_admission() {
         workers: 1,
         queue_depth: 0,
         cache_cap: 8,
+        ..ServeOptions::default()
     });
     let line = run_line("fig1");
     assert_eq!(parse_run(&core.handle_line(&line)).status, Status::Ok);
@@ -207,4 +210,126 @@ fn shutdown_request_starts_drain() {
     let v: Value = serde_json::from_str(&core.handle_line(r#"{"op":"shutdown"}"#)).unwrap();
     assert_eq!(v.get("draining").and_then(Value::as_bool), Some(true));
     assert!(core.draining());
+}
+
+/// Eight concurrent requests for one cold digest coalesce onto a single
+/// computation: exactly one leader, seven followers, and every response
+/// is byte-identical.
+#[test]
+fn concurrent_identical_requests_single_flight() {
+    let core = std::sync::Arc::new(ServerCore::new(ServeOptions {
+        workers: 4,
+        queue_depth: 8,
+        cache_cap: 32,
+        ..ServeOptions::default()
+    }));
+    let line = run_line("fig1");
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let core = std::sync::Arc::clone(&core);
+            let line = line.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                core.handle_line(&line)
+            })
+        })
+        .collect();
+    let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // The load-bearing invariant: one computation, no matter how the
+    // other seven interleave (coalesced behind the leader, or — if the
+    // scheduler parked them past its completion — served from cache).
+    assert_eq!(core.singleflight_leaders(), 1, "exactly one computation");
+    assert_eq!(
+        core.singleflight_followers() + core.cache().hits(),
+        7,
+        "everyone else coalesced or replayed; nobody recomputed"
+    );
+    let baseline = {
+        let mut resp = parse_run(&responses[0]);
+        resp.cached = false;
+        serde_json::to_string(&resp.to_json())
+    };
+    for r in &responses {
+        let mut resp = parse_run(r);
+        assert_eq!(resp.status, Status::Ok);
+        resp.cached = false;
+        assert_eq!(
+            serde_json::to_string(&resp.to_json()),
+            baseline,
+            "followers see the leader's bytes"
+        );
+    }
+
+    let stats: Value = serde_json::from_str(&core.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    let sf = stats.get("singleflight").expect("singleflight section");
+    assert_eq!(sf.get("leaders").and_then(Value::as_u64), Some(1));
+}
+
+/// An already-expired deadline is shed before any compute and answers an
+/// explicit 504, which the deadline accounting in stats reflects.
+#[test]
+fn expired_deadline_sheds_with_504() {
+    let core = small_core();
+    let mut req = RunRequest::new("fig1");
+    req.overrides.quick = true;
+    req.deadline_ms = Some(0);
+    let resp = parse_run(&core.handle_line(&serde_json::to_string(&req.to_json())));
+    assert_eq!(resp.status, Status::DeadlineExceeded);
+    assert_eq!(resp.status.code(), 504);
+    assert!(!resp.digest.is_empty(), "504 still names the cache key");
+    assert!(resp.error.unwrap().contains("deadline"));
+
+    let stats: Value = serde_json::from_str(&core.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    let deadline = stats.get("deadline").expect("deadline section");
+    assert_eq!(deadline.get("shed").and_then(Value::as_u64), Some(1));
+    assert_eq!(deadline.get("exceeded").and_then(Value::as_u64), Some(1));
+
+    // A sane deadline computes normally.
+    req.deadline_ms = Some(120_000);
+    let resp = parse_run(&core.handle_line(&serde_json::to_string(&req.to_json())));
+    assert_eq!(resp.status, Status::Ok);
+}
+
+/// Warm-start regression: a daemon restarted onto the same `--cache-dir`
+/// replays byte-identical responses from its previous life without
+/// recomputing.
+#[test]
+fn warm_restarted_core_replays_byte_identical_responses() {
+    let dir = std::env::temp_dir().join(format!("ifsim-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions {
+        workers: 2,
+        queue_depth: 4,
+        cache_cap: 32,
+        cache_dir: Some(dir.clone()),
+        ..ServeOptions::default()
+    };
+    let line = run_line("fig1");
+
+    let (cold, scan) = ServerCore::build(opts.clone()).unwrap();
+    assert_eq!(scan.unwrap().recovered, 0, "first life starts empty");
+    let fresh = parse_run(&cold.handle_line(&line));
+    assert_eq!(fresh.status, Status::Ok);
+    assert!(!fresh.cached);
+    drop(cold);
+
+    let (warm, scan) = ServerCore::build(opts).unwrap();
+    assert_eq!(scan.unwrap().recovered, 1, "restart recovers the entry");
+    let replay = parse_run(&warm.handle_line(&line));
+    assert!(replay.cached, "warm start serves from the recovered cache");
+    assert_eq!(warm.cache().disk_hits(), 1);
+    assert_eq!(warm.cache().misses(), 0, "no recompute after restart");
+    assert_eq!(warm.singleflight_leaders(), 0);
+
+    let mut normalized = replay.clone();
+    normalized.cached = false;
+    assert_eq!(
+        serde_json::to_string(&fresh.to_json()),
+        serde_json::to_string(&normalized.to_json()),
+        "warm replay must be byte-identical modulo the cached flag"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

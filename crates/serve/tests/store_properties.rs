@@ -1,0 +1,228 @@
+//! Model-based property tests for the crash-safe [`DiskStore`]: random
+//! interleavings of puts, gets, torn writes (crash mid-`put` at either
+//! write step), bit flips, truncations, and daemon restarts must never
+//! surface a corrupt entry — every `get` returns the exact original
+//! content or nothing — while the LRU byte cap holds.
+
+use ifsim_serve::cache::CachedRun;
+use ifsim_serve::store::{encode_entry, DiskStore, QUARANTINE_DIR};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The digest pool ops index into (small, so interleavings collide).
+const DIGESTS: usize = 6;
+
+fn digest(i: usize) -> String {
+    format!("digest{i:04}")
+}
+
+/// The canonical content for one digest: `put` always stores this, so a
+/// successful `get` can be checked for exactness against it.
+fn run_for(i: usize) -> CachedRun {
+    let d = digest(i);
+    CachedRun {
+        digest: d.clone(),
+        report: format!("report for {d} with \"quotes\" and π\nline two\n"),
+        csv: vec![(format!("{d}.csv"), format!("size,ts\n{i},{}\n", i * 7))],
+        checks_passed: i % 3,
+        checks_total: 3,
+    }
+}
+
+fn assert_exact(got: &CachedRun, i: usize) {
+    let want = run_for(i);
+    assert_eq!(got.digest, want.digest);
+    assert_eq!(got.report, want.report, "report bytes must be exact");
+    assert_eq!(got.csv, want.csv, "csv artifacts must be exact");
+    assert_eq!(got.checks_passed, want.checks_passed);
+    assert_eq!(got.checks_total, want.checks_total);
+}
+
+/// One step of the interleaving. Damage ops model a crash or media
+/// fault at a specific write step: a stray tmp file is `put` killed
+/// before its rename; truncation/bit-flip are torn or rotted bytes
+/// under a live digest name.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(usize),
+    Get(usize),
+    /// Crash between the tmp-file write and the rename.
+    CrashBeforeRename(usize, usize),
+    /// Truncate a resident entry file (torn write reaching the name).
+    Truncate(usize, usize),
+    /// Flip one byte of a resident entry file.
+    BitFlip(usize, usize),
+    /// Drop the store and recover the directory from scratch.
+    Reopen,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..DIGESTS).prop_map(Op::Put),
+        (0usize..DIGESTS).prop_map(Op::Get),
+        (0usize..DIGESTS, 0usize..64).prop_map(|(i, k)| Op::CrashBeforeRename(i, k)),
+        (0usize..DIGESTS, 0usize..10_000).prop_map(|(i, k)| Op::Truncate(i, k)),
+        (0usize..DIGESTS, 0usize..10_000).prop_map(|(i, k)| Op::BitFlip(i, k)),
+        Just(Op::Reopen),
+    ]
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ifsim-store-prop-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The store-wide safety invariants that must hold after every step.
+fn check_invariants(store: &DiskStore, damaged: &HashSet<usize>) {
+    assert!(
+        store.total_bytes() <= store.bytes_cap() || store.entries() <= 1,
+        "byte cap violated: {} > {} with {} entries",
+        store.total_bytes(),
+        store.bytes_cap(),
+        store.entries()
+    );
+    // Nothing we damaged may be served; what is served is exact.
+    for &i in damaged {
+        if let Some(got) = store.get(&digest(i)) {
+            panic!("damaged entry {} served: {:?}", digest(i), got.report);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random op interleavings: every successful `get` is byte-exact,
+    /// damaged entries are never served (before or after restart), the
+    /// byte cap holds, and quarantined evidence is kept on disk.
+    #[test]
+    fn interleavings_never_serve_corrupt_entries(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let dir = unique_dir("ops");
+        // Cap sized for roughly three entries so eviction participates.
+        let cap = encode_entry(&run_for(0)).len() as u64 * 3 + 10;
+        let (mut store, _) = DiskStore::open(&dir, cap).unwrap();
+        // Digests whose on-disk bytes we corrupted and have not rewritten.
+        let mut damaged: HashSet<usize> = HashSet::new();
+        let mut quarantined_ever = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Put(i) => {
+                    // Keep-first: a resident (even damaged-undetected)
+                    // digest is left alone; otherwise this writes the
+                    // canonical content and heals the digest.
+                    let resident = store.contains(&digest(i));
+                    store.put(&run_for(i)).unwrap();
+                    if !resident {
+                        damaged.remove(&i);
+                    }
+                }
+                Op::Get(i) => {
+                    if let Some(got) = store.get(&digest(i)) {
+                        prop_assert!(!damaged.contains(&i), "served a damaged entry");
+                        assert_exact(&got, i);
+                    }
+                }
+                Op::CrashBeforeRename(i, k) => {
+                    // The tmp file exists, the rename never happened: the
+                    // digest's previous state (if any) must be untouched.
+                    let bytes = encode_entry(&run_for(i));
+                    let cut = k % bytes.len();
+                    std::fs::write(dir.join(format!("tmp-prop-{i}-{k}")), &bytes[..cut]).unwrap();
+                }
+                Op::Truncate(i, k) => {
+                    let path = dir.join(digest(i));
+                    if let Ok(bytes) = std::fs::read(&path) {
+                        let cut = k % bytes.len(); // strictly shorter
+                        std::fs::write(&path, &bytes[..cut]).unwrap();
+                        damaged.insert(i);
+                    }
+                }
+                Op::BitFlip(i, k) => {
+                    let path = dir.join(digest(i));
+                    if let Ok(mut bytes) = std::fs::read(&path) {
+                        let pos = k % bytes.len();
+                        bytes[pos] ^= 0x01;
+                        std::fs::write(&path, &bytes).unwrap();
+                        damaged.insert(i);
+                    }
+                }
+                Op::Reopen => {
+                    quarantined_ever += store.quarantined_total();
+                    drop(store);
+                    let (reopened, report) = DiskStore::open(&dir, cap).unwrap();
+                    store = reopened;
+                    // The recovery scan detects (and quarantines) every
+                    // damaged entry still on disk; recovered ones are
+                    // only ever valid.
+                    prop_assert!(report.bytes <= cap || report.recovered <= 1);
+                    for &i in &damaged {
+                        prop_assert!(
+                            !store.contains(&digest(i)),
+                            "scan recovered a damaged entry"
+                        );
+                    }
+                }
+            }
+            check_invariants(&store, &damaged);
+        }
+
+        // Post-mortem evidence: every quarantine event left a file.
+        quarantined_ever += store.quarantined_total();
+        let evidence = std::fs::read_dir(dir.join(QUARANTINE_DIR))
+            .map(|d| d.count() as u64)
+            .unwrap_or(0);
+        prop_assert!(
+            evidence >= quarantined_ever.min(1),
+            "quarantine events with no evidence on disk"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pure crash-at-write-step sequences: any number of interrupted
+    /// `put`s (tmp files at arbitrary cut points) never disturbs the
+    /// committed state, and restart recovers every committed entry
+    /// byte-exactly while sweeping the debris.
+    #[test]
+    fn interrupted_puts_preserve_committed_state(
+        committed in proptest::collection::vec(0usize..DIGESTS, 0..5),
+        torn in proptest::collection::vec((0usize..DIGESTS, 1usize..200), 0..6),
+    ) {
+        let dir = unique_dir("torn");
+        let cap = 1 << 20; // no eviction: isolate the crash behaviour
+        let (store, _) = DiskStore::open(&dir, cap).unwrap();
+        for &i in &committed {
+            store.put(&run_for(i)).unwrap();
+        }
+        let resident: HashSet<usize> = committed.iter().copied().collect();
+        for (n, &(i, k)) in torn.iter().enumerate() {
+            let bytes = encode_entry(&run_for(i));
+            let cut = k % bytes.len();
+            std::fs::write(dir.join(format!("tmp-torn-{n}")), &bytes[..cut]).unwrap();
+        }
+        drop(store);
+
+        let (store, report) = DiskStore::open(&dir, cap).unwrap();
+        prop_assert_eq!(report.recovered, resident.len());
+        prop_assert_eq!(report.quarantined, 0, "tmp debris is not corruption");
+        prop_assert_eq!(report.removed_tmp, torn.len());
+        for i in 0..DIGESTS {
+            match store.get(&digest(i)) {
+                Some(got) => {
+                    prop_assert!(resident.contains(&i));
+                    assert_exact(&got, i);
+                }
+                None => prop_assert!(!resident.contains(&i)),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] carries an explicit cancel flag plus an optional
+//! wall-clock deadline. Callers that own a computation install the token
+//! for the current thread ([`CancelToken::install`]) and the simulation
+//! layers call [`checkpoint`] at natural yield points (the microbench
+//! repetition loops). When the token is cancelled or its deadline has
+//! passed, the checkpoint unwinds the thread with a [`Cancelled`] panic
+//! payload; the installer catches the unwind (`catch_unwind`), recognises
+//! the payload, and maps it to a structured error instead of a crash.
+//!
+//! With no token installed — every path except `ifsim-serve`'s deadline
+//! machinery — [`checkpoint`] is a single thread-local read and never
+//! unwinds, so one-shot CLI runs pay nothing.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Panic payload used by [`checkpoint`] when the installed token fires.
+/// Catch with `catch_unwind` and test `payload.is::<Cancelled>()` to tell
+/// a cooperative cancellation apart from a genuine panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle: an explicit flag plus an optional
+/// hard deadline. All clones share one underlying state.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally fires once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Fire the token: every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has fired (explicitly or via its deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Install this token for the current thread for the guard's
+    /// lifetime; [`checkpoint`] calls made on this thread observe it.
+    /// Installation nests: dropping the guard restores the previous token.
+    pub fn install(&self) -> InstallGuard {
+        CURRENT.with(|cur| {
+            let prev = cur.borrow_mut().replace(self.clone());
+            InstallGuard { prev }
+        })
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed token (if any) on drop.
+pub struct InstallGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|cur| {
+            *cur.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// Cooperative yield point. A no-op unless the current thread has a fired
+/// [`CancelToken`] installed, in which case the thread unwinds with a
+/// [`Cancelled`] payload for the installer's `catch_unwind` to absorb.
+pub fn checkpoint() {
+    let fired = CURRENT.with(|cur| cur.borrow().as_ref().is_some_and(CancelToken::is_cancelled));
+    if fired {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    #[test]
+    fn checkpoint_is_a_no_op_without_a_token() {
+        checkpoint();
+    }
+
+    #[test]
+    fn armed_token_is_quiet_until_cancelled() {
+        let token = CancelToken::new();
+        let _guard = token.install();
+        checkpoint();
+        token.cancel();
+        let err = catch_unwind(AssertUnwindSafe(checkpoint)).unwrap_err();
+        assert!(err.is::<Cancelled>(), "payload identifies cancellation");
+    }
+
+    #[test]
+    fn deadline_fires_without_an_explicit_cancel() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        let _guard = token.install();
+        let err = catch_unwind(AssertUnwindSafe(checkpoint)).unwrap_err();
+        assert!(err.is::<Cancelled>());
+    }
+
+    #[test]
+    fn clones_share_state_and_guard_restores_previous() {
+        let outer = CancelToken::new();
+        let outer_guard = outer.install();
+        {
+            let inner = CancelToken::new();
+            let _inner_guard = inner.install();
+            inner.clone().cancel();
+            assert!(inner.is_cancelled());
+            assert!(catch_unwind(AssertUnwindSafe(checkpoint)).is_err());
+        }
+        // Back to the (uncancelled) outer token.
+        checkpoint();
+        drop(outer_guard);
+        outer.cancel();
+        checkpoint(); // uninstalled: still a no-op
+    }
+}

@@ -19,6 +19,7 @@
 //! recomputed on every arrival/departure), so the queue only ever holds
 //! discrete happenings — op starts, fixed-duration timers, host wake-ups.
 
+pub mod cancel;
 pub mod engine;
 pub mod queue;
 pub mod rng;
@@ -26,6 +27,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use cancel::CancelToken;
 pub use engine::Engine;
 pub use queue::EventQueue;
 pub use rng::Rng;
