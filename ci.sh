@@ -38,15 +38,27 @@ if ./target/release/ifsim-drift --perturb eff_sdma_xgmi=1.1 > /dev/null 2>&1; th
     exit 1
 fi
 
-echo "==> serve smoke: cache replay byte-identical to repro, stats lint, clean drain"
+echo "==> serve smoke: cache replay byte-identical to repro, stats lint, http plane, clean drain"
 cargo build --release -p ifsim-serve
 SERVE_SOCK="$TELEMETRY_TMP/serve.sock"
-./target/release/ifsim-serve --socket "$SERVE_SOCK" --workers 4 --queue-depth 16 &
+./target/release/ifsim-serve --socket "$SERVE_SOCK" --workers 4 --queue-depth 16 \
+    --http 127.0.0.1:0 > "$TELEMETRY_TMP/serve-stdout.log" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     [ -S "$SERVE_SOCK" ] && break
     sleep 0.1
 done
+# The observability plane resolves port 0 and prints the bound address.
+HTTP_ADDR=""
+for _ in $(seq 1 100); do
+    HTTP_ADDR="$(sed -n 's/^http listening on //p' "$TELEMETRY_TMP/serve-stdout.log")"
+    [ -n "$HTTP_ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$HTTP_ADDR" ]; then
+    echo "ifsim-serve never reported its http address" >&2
+    exit 1
+fi
 ./target/release/ifsim-client --socket "$SERVE_SOCK" ping > /dev/null
 # The same config twice: the replay must come from the cache and the served
 # CSV must match the repro CLI byte for byte.
@@ -61,9 +73,21 @@ esac
 ./target/release/repro --quick --reps 1 --csv "$TELEMETRY_TMP/serve-repro" fig6a > /dev/null
 cmp "$TELEMETRY_TMP/serve-first/fig6a.csv" "$TELEMETRY_TMP/serve-repro/fig6a.csv"
 cmp "$TELEMETRY_TMP/serve-second/fig6a.csv" "$TELEMETRY_TMP/serve-repro/fig6a.csv"
-# Seeded 100-request mix at concurrency 8; the stats snapshot must show
-# cache hits and pass the serve lint.
-./target/release/ifsim-loadgen --socket "$SERVE_SOCK" --concurrency 8 --requests 100 > /dev/null
+# Seeded 100-request mix at concurrency 8; while it runs, the http plane
+# must answer health and serve a lint-clean Prometheus exposition (curl -f
+# fails the gate on any 4xx/5xx answer), and the SSE stream must tick.
+./target/release/ifsim-loadgen --socket "$SERVE_SOCK" --concurrency 8 --requests 100 \
+    --stats-interval 1 --out "$TELEMETRY_TMP/loadgen.json" > /dev/null &
+LOADGEN_PID=$!
+curl -fsS "http://$HTTP_ADDR/healthz" > /dev/null
+curl -fsS "http://$HTTP_ADDR/readyz" > /dev/null
+curl -fsS "http://$HTTP_ADDR/metrics" | ./target/release/telemetry-lint --prom -
+(curl -sN --max-time 3 "http://$HTTP_ADDR/events" || true) | grep -q "^data:"
+wait "$LOADGEN_PID"
+grep -q '"schema": "ifsim-loadgen-v1"' "$TELEMETRY_TMP/loadgen.json"
+# A second exposition after the load: still lint-clean, and the stats
+# snapshot must show cache hits and pass the serve lint.
+curl -fsS "http://$HTTP_ADDR/metrics" | ./target/release/telemetry-lint --prom -
 ./target/release/ifsim-client --socket "$SERVE_SOCK" stats --raw > "$TELEMETRY_TMP/serve-stats.json"
 ./target/release/telemetry-lint --serve "$TELEMETRY_TMP/serve-stats.json"
 HITS="$(./target/release/ifsim-client --socket "$SERVE_SOCK" stats | sed -n 's/.* \([0-9]*\) hits.*/\1/p')"

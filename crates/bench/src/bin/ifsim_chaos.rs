@@ -500,6 +500,7 @@ fn script_singleflight(args: &Args, dir: &Path, rng: &mut u64) -> Result<(), Str
                 return Err(format!("status {}", resp.status.as_str()));
             }
             resp.cached = false; // stragglers may legitimately hit cache
+            resp.trace_id.clear(); // per-request, unique by design
             Ok(serde_json::to_string(&resp.to_json()))
         }));
     }

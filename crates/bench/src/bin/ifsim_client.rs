@@ -5,8 +5,11 @@
 //!
 //! commands:
 //!   ping                        liveness probe
-//!   stats [--raw]               server statistics (--raw prints the JSON
-//!                               snapshot, lintable via telemetry-lint --serve)
+//!   stats [--raw] [--watch SECS]
+//!                               server statistics (--raw prints the JSON
+//!                               snapshot, lintable via telemetry-lint --serve;
+//!                               --watch polls every SECS seconds and redraws
+//!                               in place until interrupted)
 //!   shutdown                    ask the server to drain and exit
 //!   exp <id> [RUN OPTIONS]      run (or replay from cache) one experiment
 //!
@@ -34,7 +37,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: ifsim-client (--socket PATH | --tcp HOST:PORT) \
-         (ping | stats [--raw] | shutdown | exp ID [RUN OPTIONS])"
+         (ping | stats [--raw] [--watch SECS] | shutdown | exp ID [RUN OPTIONS])"
     );
     std::process::exit(2)
 }
@@ -46,7 +49,7 @@ struct Args {
 
 enum Command {
     Ping,
-    Stats { raw: bool },
+    Stats { raw: bool, watch: Option<f64> },
     Shutdown,
     Exp(Box<ExpArgs>),
 }
@@ -92,13 +95,25 @@ fn parse_args() -> Args {
         Some("ping") => Command::Ping,
         Some("stats") => {
             let mut raw = false;
-            for w in words.by_ref() {
+            let mut watch = None;
+            while let Some(w) = words.next() {
                 match w.as_str() {
                     "--raw" => raw = true,
+                    "--watch" => {
+                        let secs: f64 = words
+                            .next()
+                            .unwrap_or_else(|| usage("--watch needs SECS"))
+                            .parse()
+                            .unwrap_or_else(|_| usage("bad --watch value"));
+                        if !(secs > 0.0 && secs.is_finite()) {
+                            usage("--watch must be a positive number of seconds");
+                        }
+                        watch = Some(secs);
+                    }
                     other => usage(&format!("unknown stats option {other}")),
                 }
             }
-            Command::Stats { raw }
+            Command::Stats { raw, watch }
         }
         Some("shutdown") => Command::Shutdown,
         Some("exp") => {
@@ -184,18 +199,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Command::Stats { raw } => match conn.stats() {
-            Ok(stats) => {
-                if raw {
-                    println!("{}", serde_json::to_string_pretty(&stats));
-                } else {
-                    print_stats(&stats);
+        Command::Stats { raw, watch } => loop {
+            match conn.stats() {
+                Ok(stats) => {
+                    if watch.is_some() {
+                        // Clear and home, like a tiny `watch(1)`.
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    if raw {
+                        println!("{}", serde_json::to_string_pretty(&stats));
+                    } else {
+                        print_stats(&stats);
+                    }
                 }
-                ExitCode::SUCCESS
+                Err(e) => {
+                    eprintln!("stats failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("stats failed: {e}");
-                ExitCode::FAILURE
+            match watch {
+                Some(secs) => std::thread::sleep(std::time::Duration::from_secs_f64(secs)),
+                None => return ExitCode::SUCCESS,
             }
         },
         Command::Shutdown => match conn.shutdown() {

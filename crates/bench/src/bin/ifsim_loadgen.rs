@@ -10,6 +10,11 @@
 //!                      so a second run exercises the server's cache
 //!   --retries N        max retries per request on Overloaded, with
 //!                      seeded decorrelated-jitter backoff (default 50)
+//!   --stats-interval SECS
+//!                      print a live progress line every SECS seconds
+//!                      while the run is in flight (fractional ok)
+//!   --out FILE         write a machine-readable JSON summary
+//!                      (schema ifsim-loadgen-v1) at the end of the run
 //! ```
 //!
 //! The mix draws uniformly (seeded SplitMix64) from a pool of cheap
@@ -20,8 +25,10 @@
 //! eventually succeeded.
 
 use ifsim_core::des::Summary;
+use ifsim_core::telemetry::json::{self, Value};
 use ifsim_serve::proto::RunRequest;
 use ifsim_serve::{ClientAddr, Connection, Status};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,7 +44,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: ifsim-loadgen (--socket PATH | --tcp HOST:PORT) \
-         [--concurrency K] [--requests N] [--seed U64] [--retries N]"
+         [--concurrency K] [--requests N] [--seed U64] [--retries N] \
+         [--stats-interval SECS] [--out FILE]"
     );
     std::process::exit(2)
 }
@@ -48,6 +56,8 @@ struct Args {
     requests: usize,
     seed: u64,
     retries: usize,
+    stats_interval: Option<Duration>,
+    out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +68,8 @@ fn parse_args() -> Args {
         requests: 100,
         seed: 0xC0FFEE,
         retries: 50,
+        stats_interval: None,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -102,6 +114,16 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --retries value"));
             }
+            "--stats-interval" => {
+                let secs: f64 = next("--stats-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --stats-interval value"));
+                if !(secs > 0.0 && secs.is_finite()) {
+                    usage("--stats-interval must be a positive number of seconds");
+                }
+                args.stats_interval = Some(Duration::from_secs_f64(secs));
+            }
+            "--out" => args.out = Some(PathBuf::from(next("--out"))),
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown option {other}")),
         }
@@ -163,6 +185,8 @@ struct Outcome {
     latency_ns: f64,
     cached: bool,
     overloaded_retries: usize,
+    /// Final wire response code (0 for transport errors).
+    code: u64,
     error: Option<String>,
 }
 
@@ -199,6 +223,7 @@ fn main() -> ExitCode {
                         latency_ns: 0.0,
                         cached: false,
                         overloaded_retries: 0,
+                        code: 0,
                         error: Some(format!("cannot connect: {e}")),
                     });
                     return;
@@ -219,15 +244,48 @@ fn main() -> ExitCode {
     let mut cached = 0usize;
     let mut overloaded_retries = 0usize;
     let mut errors = Vec::new();
-    for outcome in rx {
-        overloaded_retries += outcome.overloaded_retries;
-        match outcome.error {
-            Some(e) => errors.push(e),
-            None => {
-                latencies.push(outcome.latency_ns);
-                if outcome.cached {
-                    cached += 1;
+    let mut codes: BTreeMap<u64, usize> = BTreeMap::new();
+    // Live progress: tick every --stats-interval while outcomes stream
+    // in; without the flag the timeout is effectively "wait for work".
+    let mut finished = 0usize;
+    let mut tick_done = 0usize;
+    let mut tick_at = Instant::now();
+    loop {
+        let timeout = args
+            .stats_interval
+            .map(|iv| iv.saturating_sub(tick_at.elapsed()))
+            .unwrap_or(Duration::from_secs(3600));
+        let outcome = match rx.recv_timeout(timeout) {
+            Ok(o) => Some(o),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        if let Some(outcome) = outcome {
+            finished += 1;
+            overloaded_retries += outcome.overloaded_retries;
+            *codes.entry(outcome.code).or_insert(0) += 1;
+            match outcome.error {
+                Some(e) => errors.push(e),
+                None => {
+                    latencies.push(outcome.latency_ns);
+                    if outcome.cached {
+                        cached += 1;
+                    }
                 }
+            }
+        }
+        if let Some(iv) = args.stats_interval {
+            if tick_at.elapsed() >= iv {
+                let rate = (finished - tick_done) as f64 / tick_at.elapsed().as_secs_f64();
+                println!(
+                    "[{:6.1}s] {finished}/{} done · {rate:.1} req/s · \
+                     {cached} cached · {overloaded_retries} overload retries · {} errors",
+                    t0.elapsed().as_secs_f64(),
+                    mix.len(),
+                    errors.len()
+                );
+                tick_done = finished;
+                tick_at = Instant::now();
             }
         }
     }
@@ -265,11 +323,78 @@ fn main() -> ExitCode {
     for e in errors.iter().take(3) {
         eprintln!("error: {e}");
     }
+    if let Some(path) = &args.out {
+        let doc = summary_json(
+            &args,
+            &summary,
+            done,
+            cached,
+            overloaded_retries,
+            &codes,
+            &errors,
+            wall,
+        );
+        if let Err(e) = std::fs::write(path, json::to_string_pretty(&doc)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("summary written to {}", path.display());
+    }
     if errors.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The `--out` document (schema `ifsim-loadgen-v1`): run parameters,
+/// totals, a per-code breakdown, and latency percentiles in nanoseconds.
+#[allow(clippy::too_many_arguments)]
+fn summary_json(
+    args: &Args,
+    summary: &Summary,
+    done: usize,
+    cached: usize,
+    overloaded_retries: usize,
+    codes: &BTreeMap<u64, usize>,
+    errors: &[String],
+    wall: Duration,
+) -> Value {
+    let mut params = json::Map::new();
+    params.insert("concurrency", Value::from(args.concurrency));
+    params.insert("requests", Value::from(args.requests));
+    // Full-range u64 travels as a decimal string, like the wire protocol.
+    params.insert("seed", Value::from(args.seed.to_string()));
+    params.insert("retries", Value::from(args.retries));
+    let mut latency = json::Map::new();
+    latency.insert("p50_ns", Value::from(summary.median));
+    latency.insert("p95_ns", Value::from(summary.p95));
+    latency.insert("p99_ns", Value::from(summary.p99));
+    latency.insert("max_ns", Value::from(summary.max));
+    latency.insert("mean_ns", Value::from(summary.mean));
+    let mut by_code = json::Map::new();
+    for (code, n) in codes {
+        by_code.insert(code.to_string(), Value::from(*n));
+    }
+    let mut m = json::Map::new();
+    m.insert("schema", Value::from("ifsim-loadgen-v1"));
+    m.insert("params", Value::Object(params));
+    m.insert("completed", Value::from(done));
+    m.insert("cached", Value::from(cached));
+    m.insert(
+        "cache_hit_rate",
+        Value::from(cached as f64 / done.max(1) as f64),
+    );
+    m.insert("overloaded_retries", Value::from(overloaded_retries));
+    m.insert("errors", Value::from(errors.len()));
+    m.insert("codes", Value::Object(by_code));
+    m.insert("wall_seconds", Value::from(wall.as_secs_f64()));
+    m.insert(
+        "throughput_rps",
+        Value::from(done as f64 / wall.as_secs_f64().max(1e-9)),
+    );
+    m.insert("latency", Value::Object(latency));
+    Value::Object(m)
 }
 
 /// Issue one request, retrying Overloaded answers with seeded
@@ -285,6 +410,7 @@ fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize, rng: &mut 
                     latency_ns: t0.elapsed().as_nanos() as f64,
                     cached: resp.cached,
                     overloaded_retries,
+                    code: resp.status.code(),
                     error: None,
                 };
             }
@@ -294,6 +420,7 @@ fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize, rng: &mut 
                         latency_ns: 0.0,
                         cached: false,
                         overloaded_retries,
+                        code: resp.status.code(),
                         error: Some(format!(
                             "{}: still overloaded after {retries} retries",
                             req.experiment_id
@@ -309,6 +436,7 @@ fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize, rng: &mut 
                     latency_ns: 0.0,
                     cached: false,
                     overloaded_retries,
+                    code: resp.status.code(),
                     error: Some(format!(
                         "{}: {} ({}): {}",
                         req.experiment_id,
@@ -323,6 +451,7 @@ fn drive_one(conn: &mut Connection, req: &RunRequest, retries: usize, rng: &mut 
                     latency_ns: 0.0,
                     cached: false,
                     overloaded_retries,
+                    code: 0,
                     error: Some(format!("{}: transport: {e}", req.experiment_id)),
                 };
             }

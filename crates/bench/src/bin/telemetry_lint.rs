@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE] [--attr FILE]
-//!                [--serve FILE]
+//!                [--serve FILE] [--prom FILE]
 //! ```
 //!
 //! Validates structure only, no golden values: the trace must be Chrome
@@ -23,8 +23,15 @@
 //! positive ratios; and the serve stats snapshot must be
 //! `ifsim-serve-stats-v2` with numeric cache/queue/pool/singleflight/deadline accounting and an
 //! embedded metrics registry carrying the serve request counters and
-//! latency histograms. Exit code 0 when every given file passes, 1
-//! otherwise.
+//! latency histograms; and `--prom` validates a Prometheus text
+//! exposition (such as `curl /metrics` from `ifsim-serve --http`, `-`
+//! reads stdin so it can sit at the end of a pipe): every line must
+//! parse, every sampled family needs `# HELP` and `# TYPE` headers
+//! declared before its first sample, counters must be finite and
+//! non-negative, histogram `le` buckets must be strictly increasing with
+//! non-decreasing cumulative counts closed by `le="+Inf"` whose count
+//! equals the family's `_count`, and no series (name + label set) may
+//! appear twice. Exit code 0 when every given file passes, 1 otherwise.
 
 use ifsim_core::fabric::SegmentMap;
 use ifsim_core::telemetry::json::{self, Value};
@@ -358,12 +365,278 @@ fn lint_serve(v: &Value) -> Result<usize, String> {
     Ok(entries)
 }
 
+/// One parsed exposition sample: `name{labels} value`, exemplar suffix
+/// (if any) already validated and stripped.
+struct PromSample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parse the inside of a `{...}` label block, honouring `\\`, `\"`, and
+/// `\n` escapes in values.
+fn parse_prom_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        // Label name up to '='.
+        let mut name = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            if !(c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+                return Err(format!("bad character '{c}' in label name"));
+            }
+            name.push(c);
+            chars.next();
+        }
+        if name.is_empty() {
+            return Err("empty label name".into());
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("label {name} is not =\"...\" shaped"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape \\{other:?} in label {name}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated value for label {name}")),
+            }
+        }
+        labels.push((name, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(other) => return Err(format!("expected ',' between labels, got '{other}'")),
+        }
+    }
+    Ok(labels)
+}
+
+/// Parse a Prometheus sample value: decimal, `+Inf`, `-Inf`, or `NaN`.
+fn parse_prom_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value '{other}'")),
+    }
+}
+
+/// Parse one non-comment exposition line; validates and strips an
+/// OpenMetrics exemplar suffix (` # {trace_id="..."} value`) if present.
+fn parse_prom_sample(line: &str) -> Result<PromSample, String> {
+    let (base, exemplar) = match line.find(" # ") {
+        Some(pos) => (&line[..pos], Some(&line[pos + 3..])),
+        None => (line, None),
+    };
+    if let Some(ex) = exemplar {
+        let inner = ex
+            .strip_prefix('{')
+            .and_then(|r| r.split_once('}'))
+            .ok_or("exemplar suffix is not '{...} value' shaped")?;
+        let labels = parse_prom_labels(inner.0)?;
+        if !labels.iter().any(|(k, _)| k == "trace_id") {
+            return Err("exemplar carries no trace_id label".into());
+        }
+        parse_prom_value(inner.1.trim())?;
+    }
+    let (series, value_text) = if let Some(open) = base.find('{') {
+        let rest = &base[open + 1..];
+        let close = rest.rfind('}').ok_or("unterminated label block")?;
+        let labels = parse_prom_labels(&rest[..close])?;
+        ((base[..open].to_string(), labels), rest[close + 1..].trim())
+    } else {
+        let mut parts = base.splitn(2, ' ');
+        let name = parts.next().unwrap_or("").to_string();
+        ((name, Vec::new()), parts.next().unwrap_or("").trim())
+    };
+    let (name, labels) = series;
+    if name.is_empty()
+        || name.chars().enumerate().any(|(i, c)| {
+            !(c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit()))
+        })
+    {
+        return Err(format!("bad metric name '{name}'"));
+    }
+    // A trailing timestamp is allowed by the format; take the first token.
+    let value_token = value_text.split_whitespace().next().unwrap_or("");
+    let value = parse_prom_value(value_token)?;
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Validate a Prometheus text exposition. Returns the sample count.
+fn lint_prom(text: &str) -> Result<usize, String> {
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut samples: Vec<PromSample> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |e: String| format!("line {}: {e}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if name.is_empty() {
+                return Err(at("HELP names no metric".into()));
+            }
+            if !helped.insert(name.to_string()) {
+                return Err(at(format!("duplicate HELP for {name}")));
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(at(format!("TYPE {name} has unknown kind '{kind}'")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(at(format!("duplicate TYPE for {name}")));
+            }
+        } else if line.starts_with('#') {
+            // Free comment: legal, carries nothing to check.
+        } else {
+            let sample = parse_prom_sample(line).map_err(at)?;
+            // The declared family: histograms sample via _bucket/_sum/_count.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .filter_map(|suf| sample.name.strip_suffix(suf))
+                .find(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                .unwrap_or(&sample.name)
+                .to_string();
+            if !types.contains_key(&family) {
+                return Err(at(format!(
+                    "sample {} precedes any TYPE for {family}",
+                    sample.name
+                )));
+            }
+            if !helped.contains(&family) {
+                return Err(at(format!("family {family} has no HELP")));
+            }
+            let mut key: Vec<String> = sample
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v:?}"))
+                .collect();
+            key.sort();
+            let series_id = format!("{} {}", sample.name, key.join(","));
+            if !seen_series.insert(series_id.clone()) {
+                return Err(at(format!("duplicate series {series_id}")));
+            }
+            if types.get(&family).map(String::as_str) == Some("counter")
+                && !(sample.value.is_finite() && sample.value >= 0.0)
+            {
+                return Err(at(format!(
+                    "counter {} has non-monotone-capable value {}",
+                    sample.name, sample.value
+                )));
+            }
+            samples.push(sample);
+        }
+    }
+    // Histogram coherence: per (family, labels-minus-le) group the le
+    // buckets must increase, counts must be cumulative, the family must
+    // close at +Inf, and +Inf must equal _count.
+    type Group = (Vec<(f64, f64)>, Option<f64>, Option<f64>); // buckets, sum, count
+    let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+    for s in &samples {
+        let Some((base, part)) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| s.name.strip_suffix(suf).map(|b| (b.to_string(), *suf)))
+        else {
+            continue;
+        };
+        if types.get(&base).map(String::as_str) != Some("histogram") {
+            continue;
+        }
+        let mut key_labels: Vec<String> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect();
+        key_labels.sort();
+        let group = groups
+            .entry(format!("{base}{{{}}}", key_labels.join(",")))
+            .or_insert((Vec::new(), None, None));
+        match part {
+            "_bucket" => {
+                let le_text = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or_else(|| format!("{} bucket has no le label", s.name))?;
+                group.0.push((parse_prom_value(le_text)?, s.value));
+            }
+            "_sum" => group.1 = Some(s.value),
+            _ => group.2 = Some(s.value),
+        }
+    }
+    for (gname, (buckets, sum, count)) in &groups {
+        if buckets.is_empty() {
+            return Err(format!("histogram {gname} has no buckets"));
+        }
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = -1.0;
+        for &(le, c) in buckets {
+            if le <= prev_le {
+                return Err(format!(
+                    "histogram {gname}: le buckets not increasing ({le} after {prev_le})"
+                ));
+            }
+            if c < prev_count {
+                return Err(format!(
+                    "histogram {gname}: cumulative count decreases ({c} after {prev_count})"
+                ));
+            }
+            prev_le = le;
+            prev_count = c;
+        }
+        let (last_le, last_count) = *buckets.last().unwrap();
+        if last_le.is_finite() {
+            return Err(format!("histogram {gname} is not closed by le=\"+Inf\""));
+        }
+        let count = count.ok_or_else(|| format!("histogram {gname} has no _count"))?;
+        sum.ok_or_else(|| format!("histogram {gname} has no _sum"))?;
+        if last_count != count {
+            return Err(format!(
+                "histogram {gname}: +Inf bucket ({last_count}) != _count ({count})"
+            ));
+        }
+    }
+    if samples.is_empty() {
+        return Err("exposition carries no samples".into());
+    }
+    Ok(samples.len())
+}
+
 fn main() -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
     let mut bench: Option<PathBuf> = None;
     let mut attr: Option<PathBuf> = None;
     let mut serve: Option<PathBuf> = None;
+    let mut prom: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -372,10 +645,12 @@ fn main() -> ExitCode {
             "--bench" => bench = it.next().map(PathBuf::from),
             "--attr" => attr = it.next().map(PathBuf::from),
             "--serve" => serve = it.next().map(PathBuf::from),
+            "--prom" => prom = it.next(),
             "--help" | "-h" => {
                 println!(
                     "usage: telemetry-lint [--trace FILE] [--metrics FILE] \
-                     [--bench FILE] [--attr FILE] [--serve FILE]"
+                     [--bench FILE] [--attr FILE] [--serve FILE] \
+                     [--prom FILE|-]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -385,9 +660,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    if trace.is_none() && metrics.is_none() && bench.is_none() && attr.is_none() && serve.is_none()
+    if trace.is_none()
+        && metrics.is_none()
+        && bench.is_none()
+        && attr.is_none()
+        && serve.is_none()
+        && prom.is_none()
     {
-        eprintln!("nothing to lint: pass --trace, --metrics, --bench, --attr, and/or --serve");
+        eprintln!(
+            "nothing to lint: pass --trace, --metrics, --bench, --attr, \
+             --serve, and/or --prom"
+        );
         return ExitCode::from(2);
     }
     let mut ok = true;
@@ -432,6 +715,23 @@ fn main() -> ExitCode {
             Ok(n) => println!("serve   OK: {} — {n} metric entries", path.display()),
             Err(e) => {
                 eprintln!("serve   FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if let Some(src) = prom {
+        let text = if src == "-" {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                .map(|_| buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))
+        } else {
+            std::fs::read_to_string(&src).map_err(|e| format!("cannot read {src}: {e}"))
+        };
+        match text.and_then(|t| lint_prom(&t)) {
+            Ok(n) => println!("prom    OK: {src} — {n} samples"),
+            Err(e) => {
+                eprintln!("prom    FAIL: {src} — {e}");
                 ok = false;
             }
         }

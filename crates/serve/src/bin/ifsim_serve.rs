@@ -18,13 +18,16 @@
 //!                      deadline_ms; 0 disables (default 0)
 //!   --trace-out FILE   write a Chrome trace of request lifecycles on exit
 //!   --metrics-out FILE write the stats snapshot (JSON) on exit
+//!   --http ADDR        serve the live observability plane on ADDR
+//!                      (/metrics, /healthz, /readyz, /stats, /dashboard,
+//!                      /events); port 0 picks a free port
 //! ```
 //!
 //! The daemon exits on a `shutdown` request, SIGTERM, or SIGINT, draining
 //! in-flight work first; a second signal skips the drain and exits with
 //! code 130. Protocol details: `docs/SERVING.md`.
 
-use ifsim_serve::{ServeAddr, ServeOptions, Server};
+use ifsim_serve::{HttpPlane, ServeAddr, ServeOptions, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,6 +36,7 @@ struct Args {
     opts: ServeOptions,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    http: Option<String>,
 }
 
 fn usage(msg: &str) -> ! {
@@ -40,7 +44,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: ifsim-serve (--socket PATH | --tcp HOST:PORT) [--workers N] \
          [--queue-depth M] [--cache-cap N] [--cache-dir DIR] [--cache-bytes B] \
-         [--request-timeout-ms T] [--trace-out FILE] [--metrics-out FILE]"
+         [--request-timeout-ms T] [--trace-out FILE] [--metrics-out FILE] \
+         [--http ADDR]"
     );
     std::process::exit(2)
 }
@@ -50,6 +55,7 @@ fn parse_args() -> Args {
     let mut opts = ServeOptions::default();
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut http = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = |name: &str| {
@@ -87,6 +93,7 @@ fn parse_args() -> Args {
             }
             "--trace-out" => trace_out = Some(PathBuf::from(next("--trace-out"))),
             "--metrics-out" => metrics_out = Some(PathBuf::from(next("--metrics-out"))),
+            "--http" => http = Some(next("--http")),
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown option {other}")),
         }
@@ -99,6 +106,7 @@ fn parse_args() -> Args {
         opts,
         trace_out,
         metrics_out,
+        http,
     }
 }
 
@@ -113,6 +121,18 @@ fn main() -> ExitCode {
     };
     server.trace_out = args.trace_out;
     server.metrics_out = args.metrics_out;
+    if let Some(http_addr) = &args.http {
+        match HttpPlane::bind(server.core(), http_addr) {
+            Ok(plane) => {
+                println!("http listening on {}", plane.local_addr());
+                server.http = Some(plane);
+            }
+            Err(e) => {
+                eprintln!("cannot bind http {http_addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match &args.addr {
         #[cfg(unix)]
         ServeAddr::Unix(path) => println!("ifsim-serve listening on {}", path.display()),

@@ -51,6 +51,29 @@ impl CachedRun {
     }
 }
 
+/// Which tier answered a cache lookup — recorded on request spans so a
+/// trace explains whether a hit was free (memory) or paid a disk read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Served from the in-memory LRU tier.
+    Memory,
+    /// Served from the persistent store (and promoted into memory).
+    Disk,
+    /// Not cached anywhere; the caller computes.
+    Miss,
+}
+
+impl CacheTier {
+    /// Short label used in span args and phase breakdowns.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheTier::Memory => "mem",
+            CacheTier::Disk => "disk",
+            CacheTier::Miss => "miss",
+        }
+    }
+}
+
 struct Inner {
     map: HashMap<String, Arc<CachedRun>>,
     /// Recency order, least recently used first.
@@ -109,12 +132,18 @@ impl ResultCache {
     /// persistent store on a memory miss, promoting disk hits back into
     /// the memory tier.
     pub fn get(&self, digest: &str) -> Option<Arc<CachedRun>> {
+        self.get_traced(digest).0
+    }
+
+    /// [`ResultCache::get`], also reporting which tier answered — for
+    /// request-scoped tracing.
+    pub fn get_traced(&self, digest: &str) -> (Option<Arc<CachedRun>>, CacheTier) {
         {
             let mut inner = self.inner.lock().unwrap();
             if let Some(run) = inner.map.get(digest).cloned() {
                 inner.touch(digest);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(run);
+                return (Some(run), CacheTier::Memory);
             }
         }
         if let Some(run) = self.store.as_ref().and_then(|s| s.get(digest)) {
@@ -122,10 +151,10 @@ impl ResultCache {
             self.insert_mem(Arc::clone(&run));
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(run);
+            return (Some(run), CacheTier::Disk);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        None
+        (None, CacheTier::Miss)
     }
 
     /// Insert into the memory tier only, evicting LRU entries past either
@@ -231,6 +260,17 @@ mod tests {
     }
 
     #[test]
+    fn traced_lookup_reports_the_answering_tier() {
+        let c = ResultCache::new(8);
+        assert_eq!(c.get_traced("a").1, CacheTier::Miss);
+        c.insert(run("a"));
+        assert_eq!(c.get_traced("a").1, CacheTier::Memory);
+        assert_eq!(CacheTier::Memory.as_str(), "mem");
+        assert_eq!(CacheTier::Disk.as_str(), "disk");
+        assert_eq!(CacheTier::Miss.as_str(), "miss");
+    }
+
+    #[test]
     fn hit_and_miss_accounting() {
         let c = ResultCache::new(8);
         assert!(c.get("a").is_none());
@@ -306,10 +346,15 @@ mod tests {
         c.insert(run("a"));
         c.insert(run("b")); // memory holds only "b" now; disk holds both
         assert_eq!(c.entries(), 1);
-        let got = c.get("a").expect("served from the disk tier");
-        assert_eq!(got.report, "report a");
+        let (got, tier) = c.get_traced("a");
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(got.expect("served from the disk tier").report, "report a");
         assert_eq!(c.disk_hits(), 1);
         assert_eq!(c.hits(), 1);
+        // The promotion makes the next lookup a memory hit.
+        assert_eq!(c.get_traced("a").1, CacheTier::Memory);
+        assert_eq!(c.disk_hits(), 1);
+        assert_eq!(c.hits(), 2);
         assert_eq!(c.store().unwrap().entries(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }

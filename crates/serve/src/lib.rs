@@ -26,7 +26,12 @@
 //!   `ifsim-telemetry`) and [`Server`] (the socket host with graceful
 //!   SIGTERM/SIGINT drain — a second signal forces exit);
 //! - [`client`] — a blocking [`Connection`] used by `ifsim-client`,
-//!   `ifsim-loadgen`, `ifsim-chaos`, and the tests.
+//!   `ifsim-loadgen`, `ifsim-chaos`, and the tests;
+//! - [`http`] — the live observability plane ([`HttpPlane`]): a
+//!   dependency-free HTTP/1.1 listener serving `/metrics` (Prometheus
+//!   text with trace-id exemplars), `/healthz`, `/readyz` (flips during
+//!   drain), `/stats`, `/dashboard` (single-file HTML), and `/events`
+//!   (1 Hz SSE snapshot stream with ~5 min backfill).
 //!
 //! Protocol, cache semantics, overload behaviour, crash recovery, and
 //! deadline semantics are documented in `docs/SERVING.md` at the
@@ -34,12 +39,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod http;
 pub mod proto;
 pub mod server;
 pub mod store;
 
-pub use cache::{CachedRun, ResultCache};
+pub use cache::{CacheTier, CachedRun, ResultCache};
 pub use client::{ClientAddr, Connection};
+pub use http::HttpPlane;
 pub use proto::{ConfigOverrides, Request, RunRequest, RunResponse, Status};
 pub use server::{ServeAddr, ServeOptions, Server, ServerCore, STATS_SCHEMA};
 pub use store::{DiskStore, ScanReport};

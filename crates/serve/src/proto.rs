@@ -14,7 +14,12 @@
 //!   full `u64` range survives the round-trip;
 //! - responses contain no timestamps or timing fields, so a cached
 //!   response is byte-identical to the fresh compute it replays (only the
-//!   `cached` flag differs).
+//!   `cached` flag and the per-request `trace_id` differ).
+//!
+//! **Tracing:** any request may carry a top-level `trace_id` string; the
+//! server echoes it (or a generated one) on every non-ping response, so a
+//! client can correlate a slow answer with the server's request span and
+//! the latency-histogram exemplars in `/metrics`.
 
 use ifsim_core::BenchConfig;
 use serde_json::{Map, Value};
@@ -99,6 +104,9 @@ pub struct RunRequest {
     /// gets an explicit `DeadlineExceeded` (504) instead of a late
     /// answer. `None` means the request may take as long as it takes.
     pub deadline_ms: Option<u64>,
+    /// Client-chosen trace id echoed on the response; `None` lets the
+    /// server generate one. Not part of the cache key.
+    pub trace_id: Option<String>,
 }
 
 impl RunRequest {
@@ -109,6 +117,7 @@ impl RunRequest {
             overrides: ConfigOverrides::default(),
             artifacts: Vec::new(),
             deadline_ms: None,
+            trace_id: None,
         }
     }
 
@@ -140,6 +149,9 @@ impl RunRequest {
         m.insert("overrides", Value::Object(o));
         if let Some(d) = self.deadline_ms {
             m.insert("deadline_ms", Value::from(d));
+        }
+        if let Some(t) = &self.trace_id {
+            m.insert("trace_id", Value::from(t.clone()));
         }
         if !self.artifacts.is_empty() {
             m.insert(
@@ -214,6 +226,7 @@ impl RunRequest {
             overrides,
             artifacts,
             deadline_ms,
+            trace_id: envelope_trace_id(v).map(str::to_string),
         })
     }
 }
@@ -281,9 +294,12 @@ impl Status {
 
 /// The response to a [`RunRequest`]. Carries no timestamps: a cache hit
 /// re-serializes to exactly the bytes the original compute produced,
-/// `cached` flag aside.
+/// `cached` flag and per-request `trace_id` aside.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunResponse {
+    /// Trace id echoed from (or generated for) the request; empty means
+    /// "not yet assigned" and is omitted on the wire.
+    pub trace_id: String,
     /// Outcome class.
     pub status: Status,
     /// Echo of the requested experiment id.
@@ -309,6 +325,7 @@ impl RunResponse {
     /// An error response (no payload).
     pub fn error(status: Status, experiment_id: impl Into<String>, msg: String) -> RunResponse {
         RunResponse {
+            trace_id: String::new(),
             status,
             experiment_id: experiment_id.into(),
             digest: String::new(),
@@ -325,6 +342,9 @@ impl RunResponse {
     pub fn to_json(&self) -> Value {
         let mut m = Map::new();
         m.insert("op", Value::from("run-response"));
+        if !self.trace_id.is_empty() {
+            m.insert("trace_id", Value::from(self.trace_id.clone()));
+        }
         m.insert("status", Value::from(self.status.as_str()));
         m.insert("code", Value::from(self.status.code()));
         m.insert("experiment_id", Value::from(self.experiment_id.clone()));
@@ -378,6 +398,11 @@ impl RunResponse {
             }
         }
         Ok(RunResponse {
+            trace_id: obj
+                .get("trace_id")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
             status,
             experiment_id: obj
                 .get("experiment_id")
@@ -408,6 +433,12 @@ impl RunResponse {
 /// Parse one request line. `Err` maps to a `400` response.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = serde_json::from_str(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+    parse_request_value(&v)
+}
+
+/// Parse an already-decoded request value — the server decodes each line
+/// once, peels the [`envelope_trace_id`], then dispatches here.
+pub fn parse_request_value(v: &Value) -> Result<Request, String> {
     let op = v
         .get("op")
         .and_then(Value::as_str)
@@ -416,11 +447,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
-        "run" => Ok(Request::Run(RunRequest::from_json(&v)?)),
+        "run" => Ok(Request::Run(RunRequest::from_json(v)?)),
         other => Err(format!(
             "unknown op '{other}' (expected ping|stats|shutdown|run)"
         )),
     }
+}
+
+/// The top-level `trace_id` of any request envelope, when present.
+pub fn envelope_trace_id(v: &Value) -> Option<&str> {
+    v.get("trace_id").and_then(Value::as_str)
 }
 
 /// Encode a request as its wire JSON value.
@@ -454,10 +490,29 @@ mod tests {
             },
             artifacts: vec!["fig6a_hops.csv".into()],
             deadline_ms: Some(2500),
+            trace_id: Some("cafe0123deadbeef".into()),
         };
         let line = serde_json::to_string(&req.to_json());
         let back = RunRequest::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn trace_id_rides_the_envelope_both_ways() {
+        // Absent on request and response alike: omitted, not null.
+        let req = RunRequest::new("fig1");
+        assert!(req.to_json().get("trace_id").is_none());
+        let mut resp = RunResponse::error(Status::Ok, "fig1", String::new());
+        resp.error = None;
+        assert!(resp.to_json().get("trace_id").is_none());
+        // Present: round-trips verbatim and is visible to the envelope
+        // helper regardless of op.
+        resp.trace_id = "t-123".into();
+        let back = RunResponse::from_json(&resp.to_json()).unwrap();
+        assert_eq!(back.trace_id, "t-123");
+        let v = serde_json::from_str(r#"{"op":"stats","trace_id":"abc"}"#).unwrap();
+        assert_eq!(envelope_trace_id(&v), Some("abc"));
+        assert_eq!(parse_request_value(&v).unwrap(), Request::Stats);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::store::{DiskStore, ScanReport};
 use ifsim_core::des::cancel::{CancelToken, Cancelled};
 use ifsim_core::registry;
 use ifsim_core::telemetry::{
-    CollectedTelemetry, MetricKey, MetricsRegistry, SimTelemetry, TimelineEvent,
+    CollectedTelemetry, EventKind, MetricKey, MetricsRegistry, SimTelemetry, TimelineEvent,
 };
 use ifsim_core::{BenchConfig, Experiment};
 use serde_json::{Map, Value};
@@ -40,9 +40,10 @@ use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use std::time::{SystemTime, UNIX_EPOCH};
 use threadpool::ThreadPool;
 
 /// Stats/metrics schema tag, validated by `telemetry-lint --serve`.
@@ -133,11 +134,39 @@ impl Flight {
 /// What a worker sends back to the request thread that queued it.
 enum JobOutcome {
     /// The experiment completed.
-    Done(CachedRun),
+    Done {
+        /// The computed result.
+        run: CachedRun,
+        /// Time the job sat queued before a worker picked it up.
+        queue_wait_ns: u64,
+        /// Time the experiment itself ran.
+        compute_ns: u64,
+        /// `(link, mean_util, peak_util)` extracted from an instrumented
+        /// run's fabric-utilization counter track; empty when the job ran
+        /// uninstrumented (the common case).
+        fabric: Vec<(String, f64, f64)>,
+    },
     /// The deadline had already expired at dequeue; never started.
     Shed,
     /// The cancellation token fired mid-computation.
     Cancelled,
+}
+
+/// Per-request phase breakdown collected while serving a `run` request,
+/// attached to the request span so one slow answer explains itself:
+/// which cache tier probed, which single-flight role, how long queued,
+/// how long computing.
+#[derive(Clone, Debug, Default)]
+pub struct RunTrace {
+    /// Cache probe answer: `mem`, `disk`, or `miss`.
+    pub cache_tier: &'static str,
+    /// Single-flight role: `leader`, `follower`, or empty (cache hit /
+    /// early error — the request never reached the flight table).
+    pub sf_role: &'static str,
+    /// Nanoseconds queued behind busy workers (leader only).
+    pub queue_wait_ns: u64,
+    /// Nanoseconds of experiment compute (leader only).
+    pub compute_ns: u64,
 }
 
 /// The transport-independent server: resident registry + two-tier cache +
@@ -160,6 +189,49 @@ pub struct ServerCore {
     dl_shed: AtomicU64,
     dl_cancelled: AtomicU64,
     quarantine_seen: AtomicU64,
+    /// Uniquifier folded into generated trace ids.
+    trace_counter: AtomicU64,
+    /// When set (HTTP plane up), at most one compute per second runs
+    /// instrumented to refresh the per-link fabric-utilization gauges.
+    fabric_sampling: AtomicBool,
+    /// Milliseconds-since-start of the last instrumented compute; the
+    /// sampling gate CASes this to claim a slot.
+    last_fabric_sample_ms: AtomicU64,
+}
+
+/// `(link, mean_util, peak_util)` per directed fabric link, extracted
+/// from the `fabric_util` counter track of an instrumented run. The
+/// flight recorder emits `fabric util <link>` counters; this folds them
+/// into one mean/peak pair per link for the live gauges.
+fn fabric_link_utils(telemetry: &CollectedTelemetry) -> Vec<(String, f64, f64)> {
+    let mut acc: std::collections::BTreeMap<String, (f64, f64, u64)> = Default::default();
+    for ev in telemetry.events() {
+        let EventKind::Counter { value } = ev.kind else {
+            continue;
+        };
+        if ev.cat != "fabric_util" {
+            continue;
+        }
+        let Some(link) = ev.name.strip_prefix("fabric util ") else {
+            continue;
+        };
+        let slot = acc.entry(link.to_string()).or_insert((0.0, 0.0, 0));
+        slot.0 += value;
+        slot.1 = slot.1.max(value);
+        slot.2 += 1;
+    }
+    acc.into_iter()
+        .map(|(link, (sum, peak, n))| (link, sum / n as f64, peak))
+        .collect()
+}
+
+/// SplitMix64 finalizer: mixes a seed into a well-distributed 64-bit
+/// value (trace-id generation).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
 }
 
 /// Suppress the default panic hook's report for cooperative-cancellation
@@ -208,6 +280,9 @@ impl ServerCore {
             dl_shed: AtomicU64::new(0),
             dl_cancelled: AtomicU64::new(0),
             quarantine_seen: AtomicU64::new(0),
+            trace_counter: AtomicU64::new(0),
+            fabric_sampling: AtomicBool::new(false),
+            last_fabric_sample_ms: AtomicU64::new(0),
             opts: ServeOptions { workers, ..opts },
         };
         // Pre-seed the robustness counters so a stats snapshot carries
@@ -296,11 +371,62 @@ impl ServerCore {
         self.sf_followers.load(Ordering::SeqCst)
     }
 
+    /// Generate a fresh 16-hex-digit trace id. Wall clock, pid, and a
+    /// process-local counter feed a SplitMix64 finalizer, so ids are
+    /// unique within a daemon and collide across daemons only by chance.
+    pub fn gen_trace_id(&self) -> String {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
+        let mixed = splitmix64(nanos ^ (u64::from(std::process::id()) << 32) ^ n);
+        format!("{mixed:016x}")
+    }
+
+    /// Turn on the once-per-second instrumented-compute sampling that
+    /// feeds the per-link fabric-utilization gauges. Off by default: the
+    /// collector adds measurable overhead, so only a daemon with a live
+    /// observability plane pays for it.
+    pub fn enable_fabric_sampling(&self) {
+        self.fabric_sampling.store(true, Ordering::SeqCst);
+    }
+
+    /// Claim the fabric-sampling slot if sampling is on and at least a
+    /// second has passed since the last instrumented compute.
+    fn claim_fabric_sample(&self) -> bool {
+        if !self.fabric_sampling.load(Ordering::SeqCst) {
+            return false;
+        }
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_fabric_sample_ms.load(Ordering::SeqCst);
+        // 0 means "never sampled"; sample immediately on the first claim.
+        if last != 0 && now_ms.saturating_sub(last) < 1000 {
+            return false;
+        }
+        self.last_fabric_sample_ms
+            .compare_exchange(last, now_ms.max(1), Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
     /// Handle one request line, returning the response line (no trailing
     /// newline). Never panics outward: every failure maps to a status.
+    ///
+    /// Every line is decoded once; its top-level `trace_id` (or a
+    /// generated one) is echoed on every response except `pong`, and the
+    /// request span plus latency exemplar carry the same id.
     pub fn handle_line(&self, line: &str) -> String {
         let t0 = Instant::now();
-        let (op, value) = match proto::parse_request(line) {
+        let decoded = serde_json::from_str(line.trim()).map_err(|e| format!("bad JSON: {e}"));
+        let trace_id = decoded
+            .as_ref()
+            .ok()
+            .and_then(|v| proto::envelope_trace_id(v))
+            .map(str::to_string)
+            .unwrap_or_else(|| self.gen_trace_id());
+        let parsed = decoded.and_then(|v| proto::parse_request_value(&v));
+        let mut run_trace = None;
+        let (op, mut value) = match parsed {
             Err(e) => {
                 let mut m = Map::new();
                 m.insert("op", Value::from("error"));
@@ -326,15 +452,32 @@ impl ServerCore {
                 m.insert("draining", Value::from(true));
                 ("shutdown", Value::Object(m))
             }
-            Ok(Request::Run(req)) => ("run", self.handle_run(&req, t0).to_json()),
+            Ok(Request::Run(req)) => {
+                let mut trace = RunTrace::default();
+                let mut resp = self.handle_run(&req, t0, &mut trace);
+                resp.trace_id = trace_id.clone();
+                run_trace = Some(trace);
+                ("run", resp.to_json())
+            }
         };
-        self.observe_request(op, &value, t0);
-        serde_json::to_string(&value)
+        // Every non-ping response names its trace (pong stays minimal:
+        // it is the hot liveness path).
+        if op != "ping" {
+            if let Value::Object(ref mut m) = value {
+                m.insert("trace_id", Value::from(trace_id.clone()));
+            }
+        }
+        let t_ser = Instant::now();
+        let text = serde_json::to_string(&value);
+        let serialize_ns = t_ser.elapsed().as_nanos() as u64;
+        self.observe_request(op, &value, t0, &trace_id, run_trace.as_ref(), serialize_ns);
+        text
     }
 
     /// Serve one run request: validate → digest → cache → coalesce →
-    /// admit → compute under deadline.
-    fn handle_run(&self, req: &RunRequest, arrival: Instant) -> RunResponse {
+    /// admit → compute under deadline. Phase timings and tier/role labels
+    /// land in `trace`.
+    fn handle_run(&self, req: &RunRequest, arrival: Instant, trace: &mut RunTrace) -> RunResponse {
         let Some(exp) = registry::by_id(&req.experiment_id) else {
             return RunResponse::error(
                 Status::BadRequest,
@@ -348,7 +491,9 @@ impl ServerCore {
         };
         let digest = exp.config_digest(&cfg);
 
-        if let Some(hit) = self.cache.get(&digest) {
+        let (hit, tier) = self.cache.get_traced(&digest);
+        trace.cache_tier = tier.as_str();
+        if let Some(hit) = hit {
             self.bump_counter("serve_cache_hits");
             return self.respond_from(req, &hit, true);
         }
@@ -379,6 +524,7 @@ impl ServerCore {
             }
         };
 
+        trace.sf_role = if leader { "leader" } else { "follower" };
         if !leader {
             self.sf_followers.fetch_add(1, Ordering::SeqCst);
             self.bump_counter("serve_singleflight_followers");
@@ -395,7 +541,7 @@ impl ServerCore {
 
         self.sf_leaders.fetch_add(1, Ordering::SeqCst);
         self.bump_counter("serve_singleflight_leaders");
-        let outcome = self.compute(exp, cfg, &digest, deadline);
+        let outcome = self.compute(exp, cfg, &digest, deadline, trace);
         // Publish to followers *after* unregistering, so a request that
         // arrives later starts a fresh computation instead of attaching
         // to a completed flight.
@@ -415,6 +561,7 @@ impl ServerCore {
         cfg: BenchConfig,
         digest: &str,
         deadline: Option<Instant>,
+        trace: &mut RunTrace,
     ) -> FlightOutcome {
         if !self.try_admit() {
             self.bump_counter("serve_overloaded_total");
@@ -440,22 +587,40 @@ impl ServerCore {
         {
             let digest = digest.to_string();
             let token = token.clone();
+            let instrument = self.claim_fabric_sample();
+            let submitted = Instant::now();
             self.pool.execute(move || {
                 // Dequeue-time deadline check: work that expired while
                 // queued is shed without computing anything.
+                let queue_wait_ns = submitted.elapsed().as_nanos() as u64;
                 if token.is_cancelled() {
                     let _ = tx.send(JobOutcome::Shed);
                     return;
                 }
-                match exp.run_cancellable(&cfg, &token) {
-                    Ok(result) => {
-                        let _ = tx.send(JobOutcome::Done(CachedRun {
-                            digest,
-                            report: result.report(),
-                            checks_passed: result.checks.iter().filter(|c| c.passed).count(),
-                            checks_total: result.checks.len(),
-                            csv: result.csv,
-                        }));
+                let t_compute = Instant::now();
+                // Instrumented runs (rate-limited, only with the HTTP
+                // plane up) additionally harvest the per-link fabric
+                // utilization counter track for the live gauges.
+                let outcome = if instrument {
+                    exp.run_instrumented_cancellable(&cfg, &token)
+                        .map(|(result, telemetry)| (result, fabric_link_utils(&telemetry)))
+                } else {
+                    exp.run_cancellable(&cfg, &token).map(|r| (r, Vec::new()))
+                };
+                match outcome {
+                    Ok((result, fabric)) => {
+                        let _ = tx.send(JobOutcome::Done {
+                            run: CachedRun {
+                                digest,
+                                report: result.report(),
+                                checks_passed: result.checks.iter().filter(|c| c.passed).count(),
+                                checks_total: result.checks.len(),
+                                csv: result.csv,
+                            },
+                            queue_wait_ns,
+                            compute_ns: t_compute.elapsed().as_nanos() as u64,
+                            fabric,
+                        });
                     }
                     Err(Cancelled) => {
                         let _ = tx.send(JobOutcome::Cancelled);
@@ -482,7 +647,28 @@ impl ServerCore {
         self.finish_admitted();
         self.set_gauge("serve_queue_depth", self.in_flight() as f64);
         match outcome {
-            Ok(JobOutcome::Done(run)) => {
+            Ok(JobOutcome::Done {
+                run,
+                queue_wait_ns,
+                compute_ns,
+                fabric,
+            }) => {
+                trace.queue_wait_ns = queue_wait_ns;
+                trace.compute_ns = compute_ns;
+                if !fabric.is_empty() {
+                    let mut metrics = self.metrics.lock().unwrap();
+                    for (link, mean, peak) in fabric {
+                        metrics.gauge_set(
+                            MetricKey::new("serve_fabric_link_utilization")
+                                .with("link", link.clone()),
+                            mean,
+                        );
+                        metrics.gauge_set(
+                            MetricKey::new("serve_fabric_link_peak_utilization").with("link", link),
+                            peak,
+                        );
+                    }
+                }
                 let run = Arc::new(run);
                 self.cache.insert(Arc::clone(&run));
                 Ok(run)
@@ -576,6 +762,7 @@ impl ServerCore {
                 .collect()
         };
         RunResponse {
+            trace_id: String::new(), // filled by handle_line
             status: Status::Ok,
             experiment_id: req.experiment_id.clone(),
             digest: run.digest.clone(),
@@ -653,8 +840,36 @@ impl ServerCore {
         Value::Object(m)
     }
 
-    /// Account one handled request into metrics and the trace timeline.
-    fn observe_request(&self, op: &str, response: &Value, t0: Instant) {
+    /// The `/metrics` exposition: the live registry plus derived gauges
+    /// (uptime, in-flight, draining), rendered as Prometheus text.
+    pub fn prometheus_text(&self) -> String {
+        self.sync_quarantine_counter();
+        let mut reg = self.metrics.lock().unwrap().clone();
+        reg.gauge_set(
+            MetricKey::new("serve_uptime_seconds"),
+            self.started.elapsed().as_secs_f64(),
+        );
+        reg.gauge_set(MetricKey::new("serve_in_flight"), self.in_flight() as f64);
+        reg.gauge_set(
+            MetricKey::new("serve_draining"),
+            if self.draining() { 1.0 } else { 0.0 },
+        );
+        ifsim_core::telemetry::render_prometheus(&reg)
+    }
+
+    /// Account one handled request into metrics and the trace timeline:
+    /// the request counter, the latency histogram (with a trace-id
+    /// exemplar), and a span carrying the trace id plus the per-phase
+    /// breakdown for run requests.
+    fn observe_request(
+        &self,
+        op: &str,
+        response: &Value,
+        t0: Instant,
+        trace_id: &str,
+        run_trace: Option<&RunTrace>,
+        serialize_ns: u64,
+    ) {
         let latency_ns = t0.elapsed().as_nanos() as f64;
         let start_ns = (t0 - self.started).as_nanos() as f64;
         let code = response.get("code").and_then(Value::as_u64).unwrap_or(0);
@@ -666,20 +881,36 @@ impl ServerCore {
                     .with("code", code.to_string()),
                 1.0,
             );
-            metrics.observe(
+            metrics.observe_with_exemplar(
                 MetricKey::new("serve_request_latency_ns").with("op", op),
                 latency_ns,
+                trace_id,
             );
         }
         let start = ifsim_core::des::Time::from_ns(start_ns);
         let end = ifsim_core::des::Time::from_ns(start_ns + latency_ns);
         let mut ev = TimelineEvent::span(start, end, format!("req {op}"), "serve_request")
-            .with_arg("code", code.to_string());
+            .with_arg("code", code.to_string())
+            .with_arg("trace_id", trace_id)
+            .with_arg("serialize_ns", serialize_ns.to_string());
         if let Some(cached) = response.get("cached").and_then(Value::as_bool) {
             ev = ev.with_arg("cached", cached.to_string());
         }
         if let Some(id) = response.get("experiment_id").and_then(Value::as_str) {
             ev = ev.with_arg("experiment_id", id);
+        }
+        if let Some(t) = run_trace {
+            if !t.cache_tier.is_empty() {
+                ev = ev.with_arg("cache", t.cache_tier);
+            }
+            if !t.sf_role.is_empty() {
+                ev = ev.with_arg("singleflight", t.sf_role);
+            }
+            if t.sf_role == "leader" {
+                ev = ev
+                    .with_arg("queue_wait_ns", t.queue_wait_ns.to_string())
+                    .with_arg("compute_ns", t.compute_ns.to_string());
+            }
         }
         self.events.lock().unwrap().push(ev);
     }
@@ -784,6 +1015,10 @@ pub struct Server {
     pub trace_out: Option<PathBuf>,
     /// Metrics snapshot (stats schema), written at exit.
     pub metrics_out: Option<PathBuf>,
+    /// The bound observability plane (`--http`), spawned when `run`
+    /// starts and stopped after the drain completes — so `/readyz` can
+    /// report `503 draining` for the whole drain window.
+    pub http: Option<crate::http::HttpPlane>,
 }
 
 impl Server {
@@ -814,6 +1049,7 @@ impl Server {
             scan_report,
             trace_out: None,
             metrics_out: None,
+            http: None,
         })
     }
 
@@ -858,8 +1094,9 @@ impl Server {
     /// clean up the socket. A second signal during (or before) the drain
     /// forces an immediate exit with code 130. Each connection gets one
     /// handler thread reading request lines until the client disconnects.
-    pub fn run(self) -> std::io::Result<()> {
+    pub fn run(mut self) -> std::io::Result<()> {
         install_signal_handlers();
+        let http = self.http.take().map(crate::http::HttpPlane::spawn);
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if SIGNALS.load(Ordering::Relaxed) > 0 {
@@ -882,6 +1119,11 @@ impl Server {
         self.core.drain();
         for h in handlers {
             let _ = h.join();
+        }
+        // The observability plane outlives the drain so `/readyz` could
+        // answer `503 draining`; now the work is done, take it down.
+        if let Some(h) = http {
+            h.shutdown();
         }
         if let Some(path) = &self.trace_out {
             std::fs::write(path, self.core.collected_telemetry().chrome_trace_string())?;

@@ -59,13 +59,15 @@ fn arb_run_request() -> impl Strategy<Value = RunRequest> {
         arb_overrides(),
         proptest::collection::vec(arb_ident(), 0..4),
         arb_option(0u64..10_000_000),
+        arb_option(arb_ident()),
     )
         .prop_map(
-            |(experiment_id, overrides, artifacts, deadline_ms)| RunRequest {
+            |(experiment_id, overrides, artifacts, deadline_ms, trace_id)| RunRequest {
                 experiment_id,
                 overrides,
                 artifacts,
                 deadline_ms,
+                trace_id,
             },
         )
 }
@@ -89,10 +91,17 @@ fn arb_run_response() -> impl Strategy<Value = RunResponse> {
             proptest::collection::vec((arb_ident(), arb_text()), 0..4),
             (0usize..50, 0usize..50),
         ),
+        // Empty = unassigned (omitted on the wire); both must round-trip.
+        arb_option(arb_ident()).prop_map(Option::unwrap_or_default),
     )
         .prop_map(
-            |((status, experiment_id, digest, cached), (error, report, csv, (passed, extra)))| {
+            |(
+                (status, experiment_id, digest, cached),
+                (error, report, csv, (passed, extra)),
+                trace_id,
+            )| {
                 RunResponse {
+                    trace_id,
                     status,
                     experiment_id,
                     digest,

@@ -44,13 +44,20 @@ fn cached_response_is_byte_identical_to_fresh_compute() {
         "second identical request hits the cache"
     );
 
-    // Normalize the one legitimate difference, then demand byte equality.
+    // Every response names its own trace; ids are unique per request.
+    assert!(!fresh_resp.trace_id.is_empty());
+    assert!(!replay_resp.trace_id.is_empty());
+    assert_ne!(fresh_resp.trace_id, replay_resp.trace_id);
+
+    // Normalize the two legitimate differences (cached flag, per-request
+    // trace id), then demand byte equality.
     let mut normalized = replay_resp.clone();
     normalized.cached = false;
+    normalized.trace_id = fresh_resp.trace_id.clone();
     assert_eq!(
         serde_json::to_string(&fresh_resp.to_json()),
         serde_json::to_string(&normalized.to_json()),
-        "cache replay must be byte-identical modulo the cached flag"
+        "cache replay must be byte-identical modulo cached flag and trace id"
     );
 
     // And both match a direct run of the registry experiment.
@@ -250,12 +257,14 @@ fn concurrent_identical_requests_single_flight() {
     let baseline = {
         let mut resp = parse_run(&responses[0]);
         resp.cached = false;
+        resp.trace_id = String::new();
         serde_json::to_string(&resp.to_json())
     };
     for r in &responses {
         let mut resp = parse_run(r);
         assert_eq!(resp.status, Status::Ok);
         resp.cached = false;
+        resp.trace_id = String::new();
         assert_eq!(
             serde_json::to_string(&resp.to_json()),
             baseline,
@@ -326,10 +335,11 @@ fn warm_restarted_core_replays_byte_identical_responses() {
 
     let mut normalized = replay.clone();
     normalized.cached = false;
+    normalized.trace_id = fresh.trace_id.clone();
     assert_eq!(
         serde_json::to_string(&fresh.to_json()),
         serde_json::to_string(&normalized.to_json()),
-        "warm replay must be byte-identical modulo the cached flag"
+        "warm replay must be byte-identical modulo cached flag and trace id"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

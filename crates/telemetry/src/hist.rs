@@ -141,6 +141,16 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Per-bucket `(upper_bound, count)` pairs in increasing bound order.
+    /// The non-positive bucket reports an upper bound of `0.0`; counts are
+    /// per-bucket (not cumulative), so renderers needing Prometheus-style
+    /// cumulative `le` buckets accumulate as they iterate.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .map(|(&idx, &c)| (bucket_upper_bound_of(idx), c))
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -177,6 +187,21 @@ fn bucket_of(v: f64) -> i32 {
     } else {
         (v.log2() * BUCKETS_PER_OCTAVE).floor() as i32
     }
+}
+
+fn bucket_upper_bound_of(idx: i32) -> f64 {
+    if idx == NONPOS_BUCKET {
+        0.0
+    } else {
+        2f64.powf((idx + 1) as f64 / BUCKETS_PER_OCTAVE)
+    }
+}
+
+/// The upper bound of the bucket a sample falls into — the `le` value a
+/// Prometheus rendering files it under. Exposed so exemplars recorded
+/// alongside a histogram can be matched back to their bucket.
+pub fn bucket_upper_bound(v: f64) -> f64 {
+    bucket_upper_bound_of(bucket_of(v))
 }
 
 #[cfg(test)]
@@ -303,5 +328,27 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn non_finite_samples_panic() {
         Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn bucket_iteration_is_increasing_and_complete() {
+        let mut h = Histogram::new();
+        for v in [-1.0, 0.5, 1.0, 3.0, 3.1, 1000.0] {
+            h.record(v);
+        }
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "bounds increase: {buckets:?}");
+        }
+        // Every sample is ≤ its bucket's upper bound, and the nonpositive
+        // bucket reports le = 0.
+        assert_eq!(buckets[0].0, 0.0);
+        assert_eq!(buckets[0].1, 1, "only -1.0 is non-positive");
+        assert!(bucket_upper_bound(3.0) >= 3.0);
+        assert!(bucket_upper_bound(-7.0) == 0.0);
+        assert!(bucket_upper_bound(1000.0) >= 1000.0);
+        // The bound is the tightest bucket edge: within one bucket ratio.
+        assert!(bucket_upper_bound(1000.0) < 1000.0 * 2f64.powf(0.25) * 1.0001);
     }
 }

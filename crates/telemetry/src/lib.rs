@@ -18,7 +18,11 @@
 //!   the flight recorder's counter tracks;
 //! - a thread-local **collector stack** ([`collector`]) so simulator
 //!   instances created deep inside experiment code can contribute their
-//!   telemetry without any configuration threading.
+//!   telemetry without any configuration threading;
+//! - a **Prometheus text exposition** renderer ([`prom`]) backing the
+//!   serve daemon's `/metrics` endpoint, with trace-id exemplars;
+//! - a bounded **snapshot time-series ring** ([`timeseries`]) backing the
+//!   live dashboard's backfill-and-stream event feed.
 //!
 //! Metric names and label conventions are documented in
 //! `docs/OBSERVABILITY.md` at the repository root.
@@ -30,13 +34,17 @@ pub mod event;
 pub mod heatmap;
 pub mod hist;
 pub mod metrics;
+pub mod prom;
+pub mod timeseries;
 
 pub use attribution::{attribution_json, render_attribution, timeseries_csv};
 pub use collector::{CollectedTelemetry, Collector, SimTelemetry};
 pub use event::{EventKind, EventSink, TimelineEvent};
 pub use heatmap::{render_heatmap, UtilRow};
 pub use hist::Histogram;
-pub use metrics::{MetricKey, MetricsRegistry};
+pub use metrics::{Exemplar, MetricKey, MetricsRegistry};
+pub use prom::render_prometheus;
+pub use timeseries::SnapshotRing;
 
 // The vendored JSON shim, re-exported so downstream crates can parse the
 // exported artifacts without declaring their own dependency.

@@ -65,12 +65,30 @@ impl fmt::Display for MetricKey {
     }
 }
 
+/// One exemplar: a recorded histogram sample annotated with the trace id
+/// of the request that produced it, so a latency bucket in a Prometheus
+/// exposition links back to a concrete, traceable request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the histogram's samples).
+    pub value: f64,
+    /// The request-scoped trace id that produced it.
+    pub trace_id: String,
+}
+
+/// Recent exemplars kept per histogram key. Small on purpose: one per
+/// scrape-visible bucket is plenty, and stale ones age out by ring
+/// replacement.
+const EXEMPLARS_PER_KEY: usize = 16;
+
 /// A set of counters, gauges, and histograms.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<MetricKey, f64>,
     gauges: BTreeMap<MetricKey, f64>,
     hists: BTreeMap<MetricKey, Histogram>,
+    /// Recent exemplars per histogram key, oldest first.
+    exemplars: BTreeMap<MetricKey, Vec<Exemplar>>,
 }
 
 impl MetricsRegistry {
@@ -92,6 +110,28 @@ impl MetricsRegistry {
     /// Record one histogram sample.
     pub fn observe(&mut self, key: MetricKey, v: f64) {
         self.hists.entry(key).or_default().record(v);
+    }
+
+    /// Record one histogram sample carrying a trace-id exemplar. The
+    /// sample lands in the histogram exactly as [`MetricsRegistry::observe`]
+    /// would place it; the exemplar rides alongside in a small per-key
+    /// ring and surfaces in the Prometheus exposition
+    /// ([`crate::prom::render_prometheus`]).
+    pub fn observe_with_exemplar(&mut self, key: MetricKey, v: f64, trace_id: impl Into<String>) {
+        self.hists.entry(key.clone()).or_default().record(v);
+        let ring = self.exemplars.entry(key).or_default();
+        if ring.len() == EXEMPLARS_PER_KEY {
+            ring.remove(0);
+        }
+        ring.push(Exemplar {
+            value: v,
+            trace_id: trace_id.into(),
+        });
+    }
+
+    /// Recent exemplars recorded for a histogram key, oldest first.
+    pub fn exemplars(&self, key: &MetricKey) -> &[Exemplar] {
+        self.exemplars.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Current counter value (0 if never incremented).
@@ -140,6 +180,13 @@ impl MetricsRegistry {
         }
         for (k, h) in &other.hists {
             self.hists.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, incoming) in &other.exemplars {
+            let ring = self.exemplars.entry(k.clone()).or_default();
+            ring.extend(incoming.iter().cloned());
+            if ring.len() > EXEMPLARS_PER_KEY {
+                ring.drain(..ring.len() - EXEMPLARS_PER_KEY);
+            }
         }
     }
 
@@ -287,6 +334,26 @@ mod tests {
             counter.get("labels").unwrap().get("op").unwrap().as_str(),
             Some("memcpy")
         );
+    }
+
+    #[test]
+    fn exemplars_ride_alongside_histograms_and_stay_bounded() {
+        let mut r = MetricsRegistry::new();
+        let k = MetricKey::new("lat").with("op", "run");
+        for i in 0..40 {
+            r.observe_with_exemplar(k.clone(), (i + 1) as f64, format!("t-{i:04x}"));
+        }
+        assert_eq!(r.histogram(&k).unwrap().count(), 40);
+        let ex = r.exemplars(&k);
+        assert_eq!(ex.len(), EXEMPLARS_PER_KEY, "ring stays bounded");
+        assert_eq!(ex.last().unwrap().trace_id, "t-0027", "latest kept");
+        assert!(r.exemplars(&MetricKey::new("missing")).is_empty());
+        // Merge folds exemplar rings, newest retained.
+        let mut other = MetricsRegistry::new();
+        other.observe_with_exemplar(k.clone(), 99.0, "t-merged");
+        r.merge(&other);
+        assert_eq!(r.exemplars(&k).last().unwrap().trace_id, "t-merged");
+        assert!(r.exemplars(&k).len() <= EXEMPLARS_PER_KEY);
     }
 
     #[test]

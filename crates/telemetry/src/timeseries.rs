@@ -1,0 +1,128 @@
+//! A bounded, sequence-numbered snapshot ring.
+//!
+//! The serve dashboard samples stats once a second and needs to backfill
+//! the last few minutes when a browser connects, then deliver only the
+//! samples the client has not yet seen. [`SnapshotRing`] supports exactly
+//! that: every pushed sample gets a monotonically increasing sequence
+//! number, the ring keeps the newest `capacity` samples, and
+//! [`SnapshotRing::after`] returns everything newer than a given
+//! sequence number — so an SSE handler can poll with "give me what is
+//! new since seq N" and never re-send or miss a sample (samples that age
+//! out before a slow client catches up are counted in
+//! [`SnapshotRing::dropped`]).
+
+use std::collections::VecDeque;
+
+/// A bounded ring of `(seq, sample)` pairs, oldest first.
+#[derive(Clone, Debug)]
+pub struct SnapshotRing<T> {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    items: VecDeque<(u64, T)>,
+}
+
+impl<T: Clone> SnapshotRing<T> {
+    /// An empty ring holding at most `capacity` samples (at least 1).
+    pub fn new(capacity: usize) -> SnapshotRing<T> {
+        SnapshotRing {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Append a sample, evicting the oldest when full. Returns the
+    /// sequence number assigned to the sample.
+    pub fn push(&mut self, sample: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+            self.dropped += 1;
+        }
+        self.items.push_back((seq, sample));
+        seq
+    }
+
+    /// All retained samples newer than `seq`, oldest first. Pass
+    /// `None` for the full backfill.
+    pub fn after(&self, seq: Option<u64>) -> Vec<(u64, T)> {
+        match seq {
+            None => self.items.iter().cloned().collect(),
+            Some(s) => self.items.iter().filter(|(q, _)| *q > s).cloned().collect(),
+        }
+    }
+
+    /// Sequence number of the newest retained sample, if any.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.items.back().map(|(q, _)| *q)
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Samples evicted before being superseded — a nonzero value means a
+    /// client that fell more than `capacity` samples behind lost data.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_monotone_and_after_filters() {
+        let mut r = SnapshotRing::new(8);
+        for i in 0..5 {
+            assert_eq!(r.push(i * 10), i as u64);
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.latest_seq(), Some(4));
+        let all = r.after(None);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], (0, 0));
+        let tail = r.after(Some(2));
+        assert_eq!(tail, vec![(3, 30), (4, 40)]);
+        assert!(r.after(Some(4)).is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = SnapshotRing::new(3);
+        for i in 0..10u64 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        let all = r.after(None);
+        assert_eq!(all, vec![(7, 7), (8, 8), (9, 9)]);
+        // A client resuming from an evicted seq just gets what remains.
+        assert_eq!(r.after(Some(1)).len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = SnapshotRing::new(0);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.after(None), vec![(1, "b")]);
+        assert!(!r.is_empty());
+    }
+}
