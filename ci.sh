@@ -108,13 +108,28 @@ echo "==> chaos soak: SIGKILL mid-write, cache corruption, coalescing, deadlines
     --serve-bin ./target/release/ifsim-serve \
     --workdir "$TELEMETRY_TMP/chaos"
 
-echo "==> engine bench smoke: fabric_engine summary + lint"
+echo "==> engine bench smoke: fabric_engine summary + lint + 10k scaling sanity"
 # Release-mode criterion run of the engine-vs-reference benches; the summary
 # is written to a temp file (the committed BENCH_fabric.json snapshot is
-# regenerated manually) and schema-checked. Speedup *values* are not gated
-# here: CI machines are shared and noisy.
-BENCH_FABRIC_OUT="$TELEMETRY_TMP/bench-fabric.json" \
-    cargo bench -p ifsim-bench --bench fabric_engine > /dev/null
+# regenerated manually) and schema-checked. The scaling sweep is capped at
+# 10k flows and the whole run gets a wall-clock budget so a pathological
+# solver regression fails loudly instead of hanging the gate. Absolute
+# speedup *values* are not gated (CI machines are shared and noisy), but the
+# incremental 10k add/drain path must at minimum not be slower than the
+# full-recompute-per-change baseline — the committed snapshot records ~39x.
+BENCH_FABRIC_MAX_FLOWS=10000 BENCH_FABRIC_OUT="$TELEMETRY_TMP/bench-fabric.json" \
+    timeout 900 cargo bench -p ifsim-bench --bench fabric_engine > /dev/null
 ./target/release/telemetry-lint --bench "$TELEMETRY_TMP/bench-fabric.json"
+RATIO="$(sed -n 's/.*"incremental_vs_full_add_drain_10k": \([0-9.eE+-]*\).*/\1/p' \
+    "$TELEMETRY_TMP/bench-fabric.json")"
+if [ -z "$RATIO" ]; then
+    echo "bench summary is missing the 10k add/drain scaling ratio" >&2
+    exit 1
+fi
+if ! awk -v r="$RATIO" 'BEGIN { exit !(r >= 1.0) }'; then
+    echo "incremental 10k add/drain slower than full baseline (ratio $RATIO)" >&2
+    exit 1
+fi
+echo "    incremental_vs_full_add_drain_10k = $RATIO"
 
 echo "CI green."

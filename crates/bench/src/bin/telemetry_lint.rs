@@ -18,9 +18,11 @@
 //! arrays plus histograms carrying count/sum/min/max/mean/p50/p95/p99;
 //! the attribution document must be schema `ifsim-attr-v1` with a
 //! consistent cap/link split; and the bench summary must be
-//! `ifsim-bench-fabric-v1`: non-empty `results` rows with an id, positive
-//! timings, and at least one iteration, plus a `speedup` object of
-//! positive ratios; and the serve stats snapshot must be
+//! `ifsim-bench-fabric-v2` (v1, which lacked the per-result `flows`
+//! column, is rejected as superseded): non-empty `results` rows with an
+//! id, a positive flow count, positive timings, and at least one
+//! iteration, plus a `speedup` object of positive ratios; and the serve
+//! stats snapshot must be
 //! `ifsim-serve-stats-v2` with numeric cache/queue/pool/singleflight/deadline accounting and an
 //! embedded metrics registry carrying the serve request counters and
 //! latency histograms; and `--prom` validates a Prometheus text
@@ -216,11 +218,13 @@ fn lint_metrics(v: &Value) -> Result<usize, String> {
 /// target writes. Returns the number of result rows.
 fn lint_bench(v: &Value) -> Result<usize, String> {
     match v.get("schema").and_then(|s| s.as_str()) {
-        Some("ifsim-bench-fabric-v1") => {}
+        Some("ifsim-bench-fabric-v2") => {}
+        Some("ifsim-bench-fabric-v1") => {
+            return Err("schema ifsim-bench-fabric-v1 is superseded; expected v2 \
+                 (per-result flows column from the scaling sweep)"
+                .into())
+        }
         other => return Err(format!("unexpected schema {other:?}")),
-    }
-    if v.get("flows").and_then(|f| f.as_u64()).is_none() {
-        return Err("missing flows count".into());
     }
     let rows = v
         .get("results")
@@ -232,6 +236,10 @@ fn lint_bench(v: &Value) -> Result<usize, String> {
     for (i, row) in rows.iter().enumerate() {
         if row.get("id").and_then(|s| s.as_str()).is_none() {
             return Err(format!("result #{i} missing id"));
+        }
+        match row.get("flows").and_then(|n| n.as_u64()) {
+            Some(n) if n >= 1 => {}
+            other => return Err(format!("result #{i} has bad flows {other:?}")),
         }
         for field in ["mean_ns", "min_ns"] {
             match row.get(field).and_then(|m| m.as_f64()) {

@@ -633,13 +633,12 @@ fn telemetry_lint_validates_bench_summary() {
     std::fs::write(
         &good,
         r#"{
-  "schema": "ifsim-bench-fabric-v1",
-  "flows": 64,
+  "schema": "ifsim-bench-fabric-v2",
   "results": [
-    {"id": "engine/add_drain_cycle_64", "mean_ns": 150000.0, "min_ns": 120000.0, "iters": 40},
-    {"id": "reference/add_drain_cycle_64", "mean_ns": 700000.0, "min_ns": 650000.0, "iters": 40}
+    {"id": "engine/add_drain_cycle_64", "flows": 64, "mean_ns": 150000.0, "min_ns": 120000.0, "iters": 40},
+    {"id": "engine/add_drain_cycle_10k", "flows": 10000, "mean_ns": 40000000.0, "min_ns": 39000000.0, "iters": 10}
   ],
-  "speedup": {"add_drain_cycle_64": 5.4}
+  "speedup": {"add_drain_cycle_64": 5.4, "incremental_vs_full_add_drain_10k": 38.0}
 }"#,
     )
     .unwrap();
@@ -650,20 +649,27 @@ fn telemetry_lint_validates_bench_summary() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("2 results"));
-    // Wrong schema tag, empty results, and a zero timing must all fail.
+    // Wrong schema tag, empty results, a missing flows column, and a zero
+    // timing must all fail.
     for (name, body) in [
         (
             "schema",
-            r#"{"schema": "other", "flows": 1, "results": [], "speedup": {}}"#,
+            r#"{"schema": "other", "results": [], "speedup": {}}"#,
         ),
         (
             "empty",
-            r#"{"schema": "ifsim-bench-fabric-v1", "flows": 1, "results": [], "speedup": {"x": 1.0}}"#,
+            r#"{"schema": "ifsim-bench-fabric-v2", "results": [], "speedup": {"x": 1.0}}"#,
+        ),
+        (
+            "flows",
+            r#"{"schema": "ifsim-bench-fabric-v2",
+               "results": [{"id": "a", "mean_ns": 1.0, "min_ns": 1.0, "iters": 1}],
+               "speedup": {"x": 1.0}}"#,
         ),
         (
             "timing",
-            r#"{"schema": "ifsim-bench-fabric-v1", "flows": 1,
-               "results": [{"id": "a", "mean_ns": 0.0, "min_ns": 0.0, "iters": 1}],
+            r#"{"schema": "ifsim-bench-fabric-v2",
+               "results": [{"id": "a", "flows": 1, "mean_ns": 0.0, "min_ns": 0.0, "iters": 1}],
                "speedup": {"x": 1.0}}"#,
         ),
     ] {
@@ -672,5 +678,22 @@ fn telemetry_lint_validates_bench_summary() {
         let out = lint().arg("--bench").arg(&bad).output().expect("lint");
         assert!(!out.status.success(), "{name} summary accepted");
     }
+    // The v1 shape (top-level flows, no per-result column) is explicitly
+    // superseded, with an error naming the replacement schema.
+    let v1 = dir.join("bench-v1.json");
+    std::fs::write(
+        &v1,
+        r#"{"schema": "ifsim-bench-fabric-v1", "flows": 64,
+           "results": [{"id": "a", "mean_ns": 1.0, "min_ns": 1.0, "iters": 1}],
+           "speedup": {"x": 1.0}}"#,
+    )
+    .unwrap();
+    let out = lint().arg("--bench").arg(&v1).output().expect("lint");
+    assert!(!out.status.success(), "superseded v1 summary accepted");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("superseded") && err.contains("v2"),
+        "v1 rejection must point at v2: {err}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -8,6 +8,15 @@
 //! the flow's current binding constraint — and folds the result into a
 //! [`BottleneckAttribution`] attached to the flow's completion event.
 //!
+//! Bindings survive incremental re-solves: [`crate::FlowNet`] keeps a
+//! persistent per-flow binding vector in lockstep with its entry table, and
+//! a subgraph pass ([`crate::fairshare::max_min_rates_incremental`])
+//! rewrites only the affected flows' slots. A flow outside the dirty
+//! closure keeps both its rate *and* its binding constraint — which is
+//! exactly right, since nothing about its component changed — so accrual
+//! intervals keep partitioning lifetimes at 1e-6 no matter how the solves
+//! were scoped.
+//!
 //! This is the simulator-side analogue of the paper's explanatory method:
 //! the ~75 % unidirectional ceiling is an *SDMA cap* story, the duplex
 //! bidirectional collapse is a *link contention* story, and the NUMA H2D

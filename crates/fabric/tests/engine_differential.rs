@@ -85,11 +85,111 @@ fn complete_lockstep(net: &mut FlowNet, refnet: &mut ReferenceNet) -> bool {
     true
 }
 
+/// Replay one randomized op tape on a production engine (at the given
+/// incremental-fallback threshold; `None` keeps the default) against a fresh
+/// reference engine, checking rates three ways after every step and draining
+/// both engines dry in lockstep. Two replays of the same tape are comparable
+/// because the reference computation is deterministic: if each production
+/// configuration matches its own `ReferenceNet`, they match each other.
+/// Returns the engine's `(full, incremental)` recompute counters.
+fn run_tape(ops: &[(u8, u8, u8, u32, u8)], threshold: Option<f64>) -> (u64, u64) {
+    let topo = NodeTopology::frontier();
+    let router = Router::new(&topo);
+    let mut net = FlowNet::new(SegmentMap::new(&topo));
+    if let Some(t) = threshold {
+        net.set_incremental_threshold(t);
+    }
+    let mut refnet = ReferenceNet::new(SegmentMap::new(&topo));
+    let n_links = topo.links().len() as u8;
+
+    for &(op, a, b, kb, x) in ops {
+        match op {
+            // Batch admission: up to three flows at one timestamp.
+            // (FlowIds stay aligned because both engines assign them
+            // sequentially from zero.)
+            0 | 1 => {
+                let mut specs = Vec::new();
+                for k in 0..=(x % 3) {
+                    let (src, dst) = ((a + k) % 8, (b + 2 * k) % 8);
+                    if src == dst {
+                        continue;
+                    }
+                    let p = router.gcd_route(GcdId(src), GcdId(dst), RoutePolicy::MaxBandwidth);
+                    let segs = net.segmap().path_segments(&topo, p, op == 1);
+                    // A failed link earlier in the tape may have killed
+                    // this route; admission over dead segments panics by
+                    // contract, so skip like a re-planning runtime would.
+                    if segs.iter().any(|&s| net.segmap().capacity(s) <= 0.0) {
+                        continue;
+                    }
+                    specs.push(FlowSpec::new(segs, kb as f64 * 1024.0, 0.9));
+                }
+                let ids = net.add_flows(net.now(), specs.clone());
+                assert_eq!(ids.len(), specs.len());
+                for spec in specs {
+                    refnet.add_flow(refnet.now(), spec);
+                }
+            }
+            // Drain one completion from each engine.
+            2 => {
+                complete_lockstep(&mut net, &mut refnet);
+            }
+            // Cancel a pseudo-random live flow on both sides.
+            3 => {
+                let ids = net.active_ids();
+                if !ids.is_empty() {
+                    let id = ids[x as usize % ids.len()];
+                    let dp = net.cancel(id).unwrap();
+                    let dr = refnet.cancel(id).unwrap();
+                    assert!(close(dp, dr), "{id:?} delivered {dp} vs {dr}");
+                }
+            }
+            // Mid-flight degradation to 1/4..3/4 of healthy capacity.
+            4 => {
+                let link = LinkId((x % n_links) as u32);
+                if net
+                    .segmap()
+                    .link_segments(link)
+                    .iter()
+                    .all(|&s| net.segmap().capacity(s) > 0.0)
+                {
+                    let factor = (kb % 3 + 1) as f64 / 4.0;
+                    net.set_link_factor(link, factor);
+                    refnet.set_link_factor(link, factor);
+                }
+            }
+            // Hard link failure: both engines abort the same victims
+            // with the same progress.
+            _ => {
+                let link = LinkId((x % n_links) as u32);
+                let ap = net.fail_link(link);
+                let ar = refnet.fail_link(link);
+                assert_eq!(ap.len(), ar.len());
+                for (&(idp, dp), &(idr, dr)) in ap.iter().zip(&ar) {
+                    assert_eq!(idp, idr);
+                    assert!(close(dp, dr), "{idp:?} delivered {dp} vs {dr}");
+                }
+            }
+        }
+        assert_rates_agree(&net, &refnet);
+    }
+
+    // Drain both engines dry; completion streams must stay in lockstep
+    // to the end.
+    while complete_lockstep(&mut net, &mut refnet) {
+        assert_rates_agree(&net, &refnet);
+    }
+    assert_eq!(net.active(), 0);
+    assert_eq!(refnet.active(), 0);
+    (net.recomputes_full(), net.recomputes_incremental())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random op tapes: batch adds, completions, cancels, degradations, and
-    /// link failures keep both engines and the oracle in exact agreement.
+    /// link failures keep both engines and the oracle in exact agreement at
+    /// the production default threshold (mixed incremental/full passes).
     #[test]
     fn engine_matches_reference_and_oracle_under_churn(
         ops in proptest::collection::vec(
@@ -97,92 +197,27 @@ proptest! {
             1..36
         ),
     ) {
-        let topo = NodeTopology::frontier();
-        let router = Router::new(&topo);
-        let mut net = FlowNet::new(SegmentMap::new(&topo));
-        let mut refnet = ReferenceNet::new(SegmentMap::new(&topo));
-        let n_links = topo.links().len() as u8;
+        run_tape(&ops, None);
+    }
 
-        for (op, a, b, kb, x) in ops {
-            match op {
-                // Batch admission: up to three flows at one timestamp.
-                // (FlowIds stay aligned because both engines assign them
-                // sequentially from zero.)
-                0 | 1 => {
-                    let mut specs = Vec::new();
-                    for k in 0..=(x % 3) {
-                        let (src, dst) = ((a + k) % 8, (b + 2 * k) % 8);
-                        if src == dst {
-                            continue;
-                        }
-                        let p = router.gcd_route(
-                            GcdId(src),
-                            GcdId(dst),
-                            RoutePolicy::MaxBandwidth,
-                        );
-                        let segs = net.segmap().path_segments(&topo, p, op == 1);
-                        // A failed link earlier in the tape may have killed
-                        // this route; admission over dead segments panics by
-                        // contract, so skip like a re-planning runtime would.
-                        if segs.iter().any(|&s| net.segmap().capacity(s) <= 0.0) {
-                            continue;
-                        }
-                        specs.push(FlowSpec::new(segs, kb as f64 * 1024.0, 0.9));
-                    }
-                    let ids = net.add_flows(net.now(), specs.clone());
-                    prop_assert_eq!(ids.len(), specs.len());
-                    for spec in specs {
-                        refnet.add_flow(refnet.now(), spec);
-                    }
-                }
-                // Drain one completion from each engine.
-                2 => {
-                    complete_lockstep(&mut net, &mut refnet);
-                }
-                // Cancel a pseudo-random live flow on both sides.
-                3 => {
-                    let ids = net.active_ids();
-                    if !ids.is_empty() {
-                        let id = ids[x as usize % ids.len()];
-                        let dp = net.cancel(id).unwrap();
-                        let dr = refnet.cancel(id).unwrap();
-                        prop_assert!(close(dp, dr), "{id:?} delivered {dp} vs {dr}");
-                    }
-                }
-                // Mid-flight degradation to 1/4..3/4 of healthy capacity.
-                4 => {
-                    let link = LinkId((x % n_links) as u32);
-                    if net.segmap().link_segments(link).iter()
-                        .all(|&s| net.segmap().capacity(s) > 0.0)
-                    {
-                        let factor = (kb % 3 + 1) as f64 / 4.0;
-                        net.set_link_factor(link, factor);
-                        refnet.set_link_factor(link, factor);
-                    }
-                }
-                // Hard link failure: both engines abort the same victims
-                // with the same progress.
-                _ => {
-                    let link = LinkId((x % n_links) as u32);
-                    let ap = net.fail_link(link);
-                    let ar = refnet.fail_link(link);
-                    prop_assert_eq!(ap.len(), ar.len());
-                    for (&(idp, dp), &(idr, dr)) in ap.iter().zip(&ar) {
-                        prop_assert_eq!(idp, idr);
-                        prop_assert!(close(dp, dr), "{idp:?} delivered {dp} vs {dr}");
-                    }
-                }
-            }
-            assert_rates_agree(&net, &refnet);
-        }
-
-        // Drain both engines dry; completion streams must stay in lockstep
-        // to the end.
-        while complete_lockstep(&mut net, &mut refnet) {
-            assert_rates_agree(&net, &refnet);
-        }
-        prop_assert_eq!(net.active(), 0);
-        prop_assert_eq!(refnet.active(), 0);
+    /// The same tape replayed at the incremental extremes: threshold 1.0
+    /// (subgraph re-solve always attempted — and with the frontier bounded
+    /// by the active-segment count it can never trip the fallback), 0.0
+    /// (incremental disabled outright), and 0.1 (a tight frontier, so
+    /// route-coupled changes randomly force the fallback mid-tape). Each
+    /// matches the reference engine step-for-step, hence each other.
+    #[test]
+    fn incremental_thresholds_agree_with_reference_under_churn(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u8..8, 0u8..8, 1u32..5_000, 0u8..32),
+            1..24
+        ),
+    ) {
+        let (full_hi, _) = run_tape(&ops, Some(1.0));
+        prop_assert_eq!(full_hi, 0, "threshold 1.0 must never fall back");
+        let (_, incr_lo) = run_tape(&ops, Some(0.0));
+        prop_assert_eq!(incr_lo, 0, "threshold 0.0 must never go incremental");
+        run_tape(&ops, Some(0.1));
     }
 
     /// Pure add/drain cycles (the benchmarked hot path) agree flow-by-flow
@@ -213,5 +248,66 @@ proptest! {
         assert_rates_agree(&net, &refnet);
         while complete_lockstep(&mut net, &mut refnet) {}
         prop_assert_eq!(net.active(), 0);
+    }
+}
+
+/// Deterministic forced-fallback scenario: with four disjoint single-segment
+/// flows active (four active segments) and the threshold at 0.25, the dirty
+/// frontier budget is exactly one segment. A single-segment change then
+/// re-solves incrementally, while a duplex admission — whose route couples a
+/// directional segment *and* the shared duplex pool — blows the budget and
+/// falls back to the full water-fill. Rates agree with the reference engine
+/// throughout either way.
+#[test]
+fn duplex_admission_trips_the_fallback_threshold() {
+    let topo = NodeTopology::frontier();
+    let router = Router::new(&topo);
+    let mut net = FlowNet::new(SegmentMap::new(&topo));
+    net.set_incremental_threshold(0.25);
+    let mut refnet = ReferenceNet::new(SegmentMap::new(&topo));
+    let segmap = SegmentMap::new(&topo);
+    let route = |src: u8, dst: u8, duplex: bool| {
+        let p = router.gcd_route(GcdId(src), GcdId(dst), RoutePolicy::MaxBandwidth);
+        segmap.path_segments(&topo, p, duplex)
+    };
+    let admit = |net: &mut FlowNet, refnet: &mut ReferenceNet, segs: Vec<SegId>, bytes: f64| {
+        let spec = FlowSpec::new(segs, bytes, 1.0);
+        refnet.add_flow(refnet.now(), spec.clone());
+        net.add_flow(net.now(), spec)
+    };
+    // Four disjoint single-hop flows: the first batch solves however it
+    // likes; what matters is that afterwards four segments are active.
+    for (src, dst) in [(0, 2), (4, 6), (1, 3), (5, 7)] {
+        let segs = route(src, dst, false);
+        assert_eq!(segs.len(), 1, "expected single-hop route {src}->{dst}");
+        admit(&mut net, &mut refnet, segs, 1e9);
+    }
+    assert_rates_agree(&net, &refnet);
+    let full_before = net.recomputes_full();
+    let incr_before = net.recomputes_incremental();
+
+    // One more flow on an already-active segment dirties exactly one
+    // segment: closure size 1 ≤ budget ⌊4 × 0.25⌋ = 1, so this pass must be
+    // incremental.
+    admit(&mut net, &mut refnet, route(1, 3, false), 0.5e9);
+    assert_rates_agree(&net, &refnet);
+    assert_eq!(net.recomputes_full(), full_before);
+    assert_eq!(net.recomputes_incremental(), incr_before + 1);
+
+    // A duplex admission couples its directional segment with the duplex
+    // pool (closure ≥ 2 > budget): the walk aborts and the full water-fill
+    // runs — still exact.
+    let duplex_segs = route(0, 2, true);
+    assert!(
+        duplex_segs.len() >= 2,
+        "duplex route must span ≥ 2 segments"
+    );
+    admit(&mut net, &mut refnet, duplex_segs, 2e9);
+    assert_rates_agree(&net, &refnet);
+    assert_eq!(net.recomputes_full(), full_before + 1);
+    assert_eq!(net.recomputes_incremental(), incr_before + 1);
+
+    while complete_lockstep(&mut net, &mut refnet) {
+        assert_rates_agree(&net, &refnet);
     }
 }

@@ -58,7 +58,7 @@ pub use kernel::KernelSpec;
 pub use op::{MemcpyKind, OpLabel};
 pub use runtime::{HipSim, MemAdvise};
 pub use stream::StreamId;
-pub use telemetry::build_sim_telemetry;
+pub use telemetry::{build_sim_telemetry, RecomputeCounts};
 pub use trace::{Trace, TraceEvent};
 
 // Re-exports the benchmarks lean on.

@@ -39,6 +39,18 @@ fn flow_lane(flow: u64) -> u32 {
     FLOW_LANE_BASE + (flow % FLOW_LANE_COUNT) as u32
 }
 
+/// Fair-share solver pass counts, split by scope. The summed
+/// `fabric_rate_recomputes` counter keeps its historical meaning; the
+/// `_full`/`_incremental` counters expose how often the dirty-set path
+/// avoided a whole-network water-fill.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecomputeCounts {
+    /// Whole-arena water-fills (first solves, threshold fallbacks).
+    pub full: u64,
+    /// Dirty-set subgraph re-solves.
+    pub incremental: u64,
+}
+
 /// Assemble the unified snapshot from the runtime's raw sources.
 #[allow(clippy::too_many_arguments)]
 pub fn build_sim_telemetry(
@@ -46,7 +58,7 @@ pub fn build_sim_telemetry(
     flow_log: &FlowLog,
     link_loads: &[LinkLoad],
     peak_active_flows: usize,
-    recomputes: u64,
+    recomputes: RecomputeCounts,
     fault_stats: &FaultStats,
     op_metrics: &MetricsRegistry,
     util_series: Option<&UtilSeries>,
@@ -251,7 +263,18 @@ pub fn build_sim_telemetry(
         MetricKey::new("fabric_peak_concurrent_flows"),
         peak_active_flows as f64,
     );
-    metrics.counter_add(MetricKey::new("fabric_rate_recomputes"), recomputes as f64);
+    metrics.counter_add(
+        MetricKey::new("fabric_rate_recomputes"),
+        (recomputes.full + recomputes.incremental) as f64,
+    );
+    metrics.counter_add(
+        MetricKey::new("fabric_rate_recomputes_full"),
+        recomputes.full as f64,
+    );
+    metrics.counter_add(
+        MetricKey::new("fabric_rate_recomputes_incremental"),
+        recomputes.incremental as f64,
+    );
     if fault_stats.faults_applied > 0 {
         metrics.counter_add(
             MetricKey::new("fault_events_applied"),
@@ -305,7 +328,7 @@ mod tests {
             &FlowLog::default(),
             &[],
             0,
-            0,
+            RecomputeCounts::default(),
             &FaultStats::default(),
             &MetricsRegistry::new(),
             None,
@@ -353,7 +376,10 @@ mod tests {
             &log,
             &[],
             1,
-            2,
+            RecomputeCounts {
+                full: 2,
+                incremental: 0,
+            },
             &FaultStats::default(),
             &MetricsRegistry::new(),
             None,
@@ -421,7 +447,10 @@ mod tests {
             &FlowLog::default(),
             &loads,
             7,
-            42,
+            RecomputeCounts {
+                full: 40,
+                incremental: 2,
+            },
             &stats,
             &MetricsRegistry::new(),
             None,
@@ -478,7 +507,10 @@ mod tests {
             &log,
             &[],
             1,
-            1,
+            RecomputeCounts {
+                full: 1,
+                incremental: 0,
+            },
             &FaultStats::default(),
             &MetricsRegistry::new(),
             None,
@@ -536,7 +568,7 @@ mod tests {
             &FlowLog::default(),
             &[],
             0,
-            0,
+            RecomputeCounts::default(),
             &FaultStats::default(),
             &MetricsRegistry::new(),
             Some(&series),
