@@ -29,6 +29,22 @@ trap 'rm -rf "$TELEMETRY_TMP"' EXIT
     --metrics "$TELEMETRY_TMP/metrics.json" \
     --attr "$TELEMETRY_TMP/attr.json"
 
+echo "==> analyze smoke: critical path + what-if sweep, schema-linted"
+# The causal profiler must produce a report whose total equals the run
+# makespan (ifsim-analyze exits 1 on an invariant violation) with a full
+# 2-field x 3-factor what-if grid; the factors stay below the efficiency
+# ceiling so no rows clamp away.
+./target/release/ifsim-analyze ext-coll-sweep --quick --reps 1 \
+    --factors 0.5,0.8,1.1 \
+    --out "$TELEMETRY_TMP/critpath.json" \
+    --report "$TELEMETRY_TMP/critpath.md" > /dev/null
+./target/release/telemetry-lint --critpath "$TELEMETRY_TMP/critpath.json"
+WHATIF_ROWS="$(grep -c '"field":' "$TELEMETRY_TMP/critpath.json" || true)"
+if [ "${WHATIF_ROWS:-0}" -lt 6 ]; then
+    echo "what-if sweep too small: expected 2 fields x 3 factors, got $WHATIF_ROWS rows" >&2
+    exit 1
+fi
+
 echo "==> drift watchdog: golden figures within tolerance, and trips on perturbation"
 ./target/release/ifsim-drift
 # The watchdog must actually catch a miscalibration: a 10 % shift in the

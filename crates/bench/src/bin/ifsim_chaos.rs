@@ -358,6 +358,7 @@ fn script_kill_mid_write(args: &Args, dir: &Path, rng: &mut u64) -> Result<(), S
         csv: vec![],
         checks_passed: 0,
         checks_total: 0,
+        critpath: None,
     });
     let cut = 1 + (splitmix64(rng) as usize % (torn.len() - 1));
     std::fs::write(cache_dir.join("tmp-chaos-1"), &torn[..cut]).map_err(|e| e.to_string())?;

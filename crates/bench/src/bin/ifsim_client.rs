@@ -23,6 +23,9 @@
 //!   --artifact NAME    only return the named CSV artifact (repeatable)
 //!   --csv DIR          save returned CSV artifacts into DIR
 //!   --no-report        don't print the rendered report
+//!   --analyze          run with causal DAG capture and print the top-5
+//!                      critical-path entries from the server's
+//!                      ifsim-critpath-v1 report
 //! ```
 //!
 //! Exit codes: 0 ok, 1 server-side error (including Overloaded), 2 usage.
@@ -168,6 +171,7 @@ fn parse_args() -> Args {
                     "--artifact" => exp.request.artifacts.push(next("--artifact")),
                     "--csv" => exp.csv_dir = Some(PathBuf::from(next("--csv"))),
                     "--no-report" => exp.print_report = false,
+                    "--analyze" => exp.request.analyze = true,
                     other => usage(&format!("unknown exp option {other}")),
                 }
             }
@@ -266,6 +270,15 @@ fn run_exp(conn: &mut Connection, exp: &ExpArgs) -> ExitCode {
             println!("{report}");
         }
     }
+    if exp.request.analyze {
+        match &resp.critpath {
+            Some(critpath) => print_critpath(critpath),
+            None => {
+                eprintln!("server returned no critical-path report");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(dir) = &exp.csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -284,6 +297,40 @@ fn run_exp(conn: &mut Connection, exp: &ExpArgs) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Print the headline of an `ifsim-critpath-v1` report: where the time
+/// went by category, then the top-5 binding intervals.
+fn print_critpath(v: &Value) {
+    let total = v.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0);
+    println!(
+        "critical path: {:.3} ms across {} run(s)",
+        total / 1e6,
+        v.get("runs").and_then(Value::as_u64).unwrap_or(0)
+    );
+    if let Some(cats) = v.get("categories").and_then(Value::as_object) {
+        let line: Vec<String> = cats
+            .iter()
+            .map(|(name, ns)| {
+                let ns = ns.as_f64().unwrap_or(0.0);
+                format!("{name} {:.1}%", 100.0 * ns / total.max(1e-9))
+            })
+            .collect();
+        println!("  {}", line.join(" · "));
+    }
+    let Some(top) = v.get("top").and_then(Value::as_array) else {
+        return;
+    };
+    for (i, entry) in top.iter().take(5).enumerate() {
+        println!(
+            "  #{} {} [{}] {:.3} ms ({:.1}%)",
+            i + 1,
+            entry.get("label").and_then(Value::as_str).unwrap_or("?"),
+            entry.get("category").and_then(Value::as_str).unwrap_or("?"),
+            entry.get("ns").and_then(Value::as_f64).unwrap_or(0.0) / 1e6,
+            100.0 * entry.get("share").and_then(Value::as_f64).unwrap_or(0.0)
+        );
     }
 }
 

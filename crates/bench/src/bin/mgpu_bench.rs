@@ -17,13 +17,15 @@
 //!
 //! Global options: `--seed <u64>`, `--reps <n>`, and the telemetry flags
 //! `--trace-out <file>` / `--metrics-out <file>` / `--attr-out <file>` /
-//! `--attr-json <file>` / `--timeseries-out <file>`, which observe whatever
-//! command runs and write the merged Chrome trace-event timeline, the
-//! metrics snapshot, the bottleneck-attribution report (markdown / JSON),
-//! and the flight recorder's link-utilization series as long-format CSV
-//! (see docs/OBSERVABILITY.md). `exp` accepts several ids and `--jobs N`
-//! to run them concurrently; reports and telemetry still come out in the
-//! order the ids were given.
+//! `--attr-json <file>` / `--timeseries-out <file>` / `--critpath-out
+//! <file>`, which observe whatever command runs and write the merged
+//! Chrome trace-event timeline, the metrics snapshot, the
+//! bottleneck-attribution report (markdown / JSON), the flight recorder's
+//! link-utilization series as long-format CSV, and the critical-path
+//! report reconstructed from captured dependency DAGs (JSON, schema
+//! `ifsim-critpath-v1`; see docs/OBSERVABILITY.md). `exp` accepts several
+//! ids and `--jobs N` to run them concurrently; reports and telemetry
+//! still come out in the order the ids were given.
 
 use ifsim_core::coll::Collective;
 use ifsim_core::des::units::{fmt_bytes, pow2_sweep, GIB, KIB, MIB};
@@ -54,6 +56,7 @@ struct Cli {
     attr_out: Option<PathBuf>,
     attr_json: Option<PathBuf>,
     timeseries_out: Option<PathBuf>,
+    critpath_out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -64,6 +67,7 @@ impl Cli {
             || self.attr_out.is_some()
             || self.attr_json.is_some()
             || self.timeseries_out.is_some()
+            || self.critpath_out.is_some()
     }
 }
 
@@ -73,7 +77,7 @@ fn usage() -> ! {
          run `mgpu-bench <cmd> --help` conventions: --size BYTES --devices LIST --dst N\n\
          --ranks N --coll NAME --no-sdma --latency/--bandwidth/--bidir --derate A,B,F\n\
          --seed U64 --reps N --jobs N --trace-out FILE --metrics-out FILE\n\
-         --attr-out FILE --attr-json FILE --timeseries-out FILE"
+         --attr-out FILE --attr-json FILE --timeseries-out FILE --critpath-out FILE"
     );
     std::process::exit(2)
 }
@@ -113,6 +117,7 @@ fn parse() -> Cli {
         attr_out: None,
         attr_json: None,
         timeseries_out: None,
+        critpath_out: None,
     };
     while let Some(a) = args.next() {
         let mut next = |name: &str| {
@@ -164,6 +169,7 @@ fn parse() -> Cli {
             "--timeseries-out" => {
                 cli.timeseries_out = Some(PathBuf::from(next("--timeseries-out")))
             }
+            "--critpath-out" => cli.critpath_out = Some(PathBuf::from(next("--critpath-out"))),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => cli.ids.push(other.to_string()),
             other => {
@@ -178,12 +184,20 @@ fn parse() -> Cli {
 fn main() -> ExitCode {
     let cli = parse();
     // With a telemetry artifact requested, every runtime the dispatched
-    // command constructs self-observes and feeds this collector.
-    let collector = cli.wants_telemetry().then(Collector::install);
+    // command constructs self-observes and feeds this collector; the
+    // critical-path report additionally needs causal DAG capture on.
+    let collector = cli.wants_telemetry().then(|| {
+        if cli.critpath_out.is_some() {
+            Collector::install_with_dag()
+        } else {
+            Collector::install()
+        }
+    });
     let code = dispatch(&cli);
     if let Some(collector) = collector {
         let t = collector.take();
-        let artifacts: [(&Option<PathBuf>, String); 5] = [
+        let critpath = telemetry::critpath::report(t.dags(), 10);
+        let artifacts: [(&Option<PathBuf>, String); 6] = [
             (&cli.trace_out, t.chrome_trace_string()),
             (&cli.metrics_out, t.metrics_json_string()),
             (&cli.attr_out, telemetry::render_attribution(&t)),
@@ -192,6 +206,10 @@ fn main() -> ExitCode {
                 telemetry::json::to_string_pretty(&telemetry::attribution_json(&t)),
             ),
             (&cli.timeseries_out, telemetry::timeseries_csv(&t)),
+            (
+                &cli.critpath_out,
+                telemetry::json::to_string_pretty(&telemetry::critpath_json(&critpath)),
+            ),
         ];
         for (path, contents) in artifacts {
             if let Some(path) = path {
@@ -319,10 +337,15 @@ fn dispatch(cli: &Cli) -> ExitCode {
                 // Workers run off-thread, out of reach of the main-thread
                 // collector installed above; gather per-experiment bundles
                 // and forward them so --trace-out/--metrics-out still see
-                // everything, in id order.
-                for (r, t) in
+                // everything, in id order. The DAG driver captures graphs
+                // on the workers too, so --critpath-out composes with
+                // --jobs.
+                let pairs = if cli.critpath_out.is_some() {
+                    ifsim_bench::run_experiments_dag_jobs(&cli.ids, &cli.cfg, cli.jobs)
+                } else {
                     ifsim_bench::run_experiments_instrumented_jobs(&cli.ids, &cli.cfg, cli.jobs)
-                {
+                };
+                for (r, t) in pairs {
                     print!("{}", r.report());
                     all_passed &= r.all_passed();
                     ifsim_core::telemetry::collector::contribute_collected(t);

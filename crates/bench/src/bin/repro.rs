@@ -16,6 +16,8 @@
 //!   --attr-json <f>  write the attribution as JSON (schema ifsim-attr-v1)
 //!   --timeseries-out <f> write the flight recorder's link-utilization
 //!                    counter series as long-format CSV
+//!   --critpath-out <f> capture causal dependency DAGs and write the
+//!                    critical-path report as JSON (schema ifsim-critpath-v1)
 //!   --jobs <n>       run up to <n> experiments concurrently; every
 //!                    artifact is byte-identical to a serial run
 //!   --list           list experiments and exit
@@ -24,7 +26,9 @@
 use ifsim_bench::telemetry::{
     attribution_json, json, render_attribution, timeseries_csv, CollectedTelemetry,
 };
-use ifsim_bench::{run_experiments_instrumented_jobs, run_experiments_jobs, BenchConfig};
+use ifsim_bench::{
+    run_experiments_dag_jobs, run_experiments_instrumented_jobs, run_experiments_jobs, BenchConfig,
+};
 use ifsim_core::registry;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,6 +42,7 @@ struct Args {
     attr_out: Option<PathBuf>,
     attr_json: Option<PathBuf>,
     timeseries_out: Option<PathBuf>,
+    critpath_out: Option<PathBuf>,
     jobs: usize,
     list: bool,
 }
@@ -52,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         attr_out: None,
         attr_json: None,
         timeseries_out: None,
+        critpath_out: None,
         jobs: 1,
         list: false,
     };
@@ -92,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--timeseries-out needs a file")?;
                 args.timeseries_out = Some(PathBuf::from(v));
             }
+            "--critpath-out" => {
+                let v = it.next().ok_or("--critpath-out needs a file")?;
+                args.critpath_out = Some(PathBuf::from(v));
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 args.jobs = v.parse().map_err(|e| format!("bad jobs: {e}"))?;
@@ -103,7 +113,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] \
                      [--trace-out FILE] [--metrics-out FILE] [--attr-out FILE] \
-                     [--attr-json FILE] [--timeseries-out FILE] [--jobs N] [--list] [IDS...]"
+                     [--attr-json FILE] [--timeseries-out FILE] [--critpath-out FILE] \
+                     [--jobs N] [--list] [IDS...]"
                 );
                 println!("experiments: {}", registry::ids().join(", "));
                 std::process::exit(0);
@@ -149,17 +160,25 @@ fn main() -> ExitCode {
     // experiment seeds its simulators from the config alone, so the loop
     // below emits byte-identical artifacts whether the run was parallel
     // or serial.
-    let results: Vec<(ifsim_bench::ExperimentResult, Option<CollectedTelemetry>)> = if instrument {
-        run_experiments_instrumented_jobs(&args.ids, &args.cfg, args.jobs)
-            .into_iter()
-            .map(|(r, t)| (r, Some(t)))
-            .collect()
-    } else {
-        run_experiments_jobs(&args.ids, &args.cfg, args.jobs)
-            .into_iter()
-            .map(|r| (r, None))
-            .collect()
-    };
+    let results: Vec<(ifsim_bench::ExperimentResult, Option<CollectedTelemetry>)> =
+        if args.critpath_out.is_some() {
+            // DAG capture subsumes plain instrumentation, so one driver serves
+            // every artifact when the critical-path report is requested.
+            run_experiments_dag_jobs(&args.ids, &args.cfg, args.jobs)
+                .into_iter()
+                .map(|(r, t)| (r, Some(t)))
+                .collect()
+        } else if instrument {
+            run_experiments_instrumented_jobs(&args.ids, &args.cfg, args.jobs)
+                .into_iter()
+                .map(|(r, t)| (r, Some(t)))
+                .collect()
+        } else {
+            run_experiments_jobs(&args.ids, &args.cfg, args.jobs)
+                .into_iter()
+                .map(|r| (r, None))
+                .collect()
+        };
 
     let mut failed = 0usize;
     let mut total_checks = 0usize;
@@ -219,6 +238,14 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.timeseries_out {
         if let Err(e) = std::fs::write(path, timeseries_csv(&merged)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.critpath_out {
+        let report = ifsim_bench::telemetry::critpath::report(merged.dags(), 10);
+        let text = json::to_string_pretty(&ifsim_bench::telemetry::critpath_json(&report));
+        if let Err(e) = std::fs::write(path, text) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE] [--attr FILE]
-//!                [--serve FILE] [--prom FILE]
+//!                [--serve FILE] [--prom FILE] [--critpath FILE]
 //! ```
 //!
 //! Validates structure only, no golden values: the trace must be Chrome
@@ -33,7 +33,14 @@
 //! non-negative, histogram `le` buckets must be strictly increasing with
 //! non-decreasing cumulative counts closed by `le="+Inf"` whose count
 //! equals the family's `_count`, and no series (name + label set) may
-//! appear twice. Exit code 0 when every given file passes, 1 otherwise.
+//! appear twice; and `--critpath` validates an `ifsim-critpath-v1`
+//! report (from `ifsim-analyze --out` or `--critpath-out`): the four
+//! category slacks must partition `total_ns` at 1e-6, the per-run
+//! makespans must sum back to `total_ns`, top entries need
+//! label/category/ns/count/share with shares in [0, 1], and what-if rows
+//! (when present) need field/factor/makespan_ns/delta_ns/speedup with
+//! positive factors and speedups. Exit code 0 when every given file
+//! passes, 1 otherwise.
 
 use ifsim_core::fabric::SegmentMap;
 use ifsim_core::telemetry::json::{self, Value};
@@ -373,6 +380,124 @@ fn lint_serve(v: &Value) -> Result<usize, String> {
     Ok(entries)
 }
 
+/// Validate an `ifsim-critpath-v1` critical-path report. Returns the
+/// number of top binding entries.
+fn lint_critpath(v: &Value) -> Result<usize, String> {
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some("ifsim-critpath-v1") => {}
+        other => return Err(format!("unexpected schema {other:?}")),
+    }
+    let runs = match v.get("runs").and_then(|x| x.as_u64()) {
+        Some(n) if n >= 1 => n,
+        other => return Err(format!("bad runs {other:?}")),
+    };
+    let total = match v.get("total_ns").and_then(|x| x.as_f64()) {
+        Some(t) if t >= 0.0 && t.is_finite() => t,
+        other => return Err(format!("bad total_ns {other:?}")),
+    };
+    let tol = 1e-6 * total.max(1.0);
+    let cats = v
+        .get("categories")
+        .and_then(|c| c.as_object())
+        .ok_or("missing categories object")?;
+    let expected = ["compute", "transfer", "sync", "queue"];
+    let mut cat_sum = 0.0;
+    for name in expected {
+        match cats.get(name).and_then(|x| x.as_f64()) {
+            Some(ns) if ns >= 0.0 && ns.is_finite() => cat_sum += ns,
+            other => return Err(format!("category {name} has bad value {other:?}")),
+        }
+    }
+    if cats.len() != expected.len() {
+        return Err(format!(
+            "categories carries {} entries, expected exactly {:?}",
+            cats.len(),
+            expected
+        ));
+    }
+    if (cat_sum - total).abs() > tol {
+        return Err(format!(
+            "category slacks sum to {cat_sum}, but total_ns is {total} \
+             (the path must partition the makespan)"
+        ));
+    }
+    let top = v
+        .get("top")
+        .and_then(|t| t.as_array())
+        .ok_or("missing top array")?;
+    for (i, entry) in top.iter().enumerate() {
+        if entry.get("label").and_then(|x| x.as_str()).is_none() {
+            return Err(format!("top #{i} missing label"));
+        }
+        match entry.get("category").and_then(|x| x.as_str()) {
+            Some(c) if expected.contains(&c) => {}
+            other => return Err(format!("top #{i} has bad category {other:?}")),
+        }
+        match entry.get("ns").and_then(|x| x.as_f64()) {
+            Some(ns) if ns >= 0.0 && ns.is_finite() => {}
+            other => return Err(format!("top #{i} has bad ns {other:?}")),
+        }
+        match entry.get("count").and_then(|x| x.as_u64()) {
+            Some(n) if n >= 1 => {}
+            other => return Err(format!("top #{i} has bad count {other:?}")),
+        }
+        match entry.get("share").and_then(|x| x.as_f64()) {
+            Some(s) if (0.0..=1.0 + 1e-9).contains(&s) => {}
+            other => return Err(format!("top #{i} has bad share {other:?}")),
+        }
+    }
+    let per_run = v
+        .get("per_run")
+        .and_then(|p| p.as_array())
+        .ok_or("missing per_run array")?;
+    if per_run.len() != runs as usize {
+        return Err(format!(
+            "per_run has {} entries but runs is {runs}",
+            per_run.len()
+        ));
+    }
+    let mut run_sum = 0.0;
+    for (i, run) in per_run.iter().enumerate() {
+        match run.get("makespan_ns").and_then(|x| x.as_f64()) {
+            Some(ns) if ns >= 0.0 && ns.is_finite() => run_sum += ns,
+            other => return Err(format!("per_run #{i} has bad makespan_ns {other:?}")),
+        }
+        if run.get("steps").and_then(|x| x.as_u64()).is_none() {
+            return Err(format!("per_run #{i} missing steps"));
+        }
+    }
+    if (run_sum - total).abs() > tol {
+        return Err(format!(
+            "per-run makespans sum to {run_sum}, but total_ns is {total}"
+        ));
+    }
+    if let Some(whatif) = v.get("whatif") {
+        let rows = whatif.as_array().ok_or("whatif is not an array")?;
+        for (i, w) in rows.iter().enumerate() {
+            if w.get("field").and_then(|x| x.as_str()).is_none() {
+                return Err(format!("whatif #{i} missing field"));
+            }
+            match w.get("factor").and_then(|x| x.as_f64()) {
+                Some(f) if f > 0.0 && f.is_finite() => {}
+                other => return Err(format!("whatif #{i} has bad factor {other:?}")),
+            }
+            match w.get("makespan_ns").and_then(|x| x.as_f64()) {
+                Some(ns) if ns >= 0.0 && ns.is_finite() => {}
+                other => return Err(format!("whatif #{i} has bad makespan_ns {other:?}")),
+            }
+            match w.get("delta_ns").and_then(|x| x.as_f64()) {
+                Some(d) if d.is_finite() => {}
+                other => return Err(format!("whatif #{i} has bad delta_ns {other:?}")),
+            }
+            match w.get("speedup").and_then(|x| x.as_f64()) {
+                Some(s) if s > 0.0 && s.is_finite() => {}
+                other => return Err(format!("whatif #{i} has bad speedup {other:?}")),
+            }
+        }
+    }
+    Ok(top.len())
+}
+
 /// One parsed exposition sample: `name{labels} value`, exemplar suffix
 /// (if any) already validated and stripped.
 struct PromSample {
@@ -645,6 +770,7 @@ fn main() -> ExitCode {
     let mut attr: Option<PathBuf> = None;
     let mut serve: Option<PathBuf> = None;
     let mut prom: Option<String> = None;
+    let mut critpath: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -654,11 +780,12 @@ fn main() -> ExitCode {
             "--attr" => attr = it.next().map(PathBuf::from),
             "--serve" => serve = it.next().map(PathBuf::from),
             "--prom" => prom = it.next(),
+            "--critpath" => critpath = it.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
                     "usage: telemetry-lint [--trace FILE] [--metrics FILE] \
                      [--bench FILE] [--attr FILE] [--serve FILE] \
-                     [--prom FILE|-]"
+                     [--prom FILE|-] [--critpath FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -674,10 +801,11 @@ fn main() -> ExitCode {
         && attr.is_none()
         && serve.is_none()
         && prom.is_none()
+        && critpath.is_none()
     {
         eprintln!(
             "nothing to lint: pass --trace, --metrics, --bench, --attr, \
-             --serve, and/or --prom"
+             --serve, --prom, and/or --critpath"
         );
         return ExitCode::from(2);
     }
@@ -723,6 +851,15 @@ fn main() -> ExitCode {
             Ok(n) => println!("serve   OK: {} — {n} metric entries", path.display()),
             Err(e) => {
                 eprintln!("serve   FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = critpath {
+        match load(&path).and_then(|v| lint_critpath(&v)) {
+            Ok(n) => println!("critpath OK: {} — {n} top entries", path.display()),
+            Err(e) => {
+                eprintln!("critpath FAIL: {} — {e}", path.display());
                 ok = false;
             }
         }

@@ -110,6 +110,19 @@ pub fn run_experiments_instrumented_jobs(
     run_pooled(select(ids), cfg, jobs, |e, cfg| e.run_instrumented(cfg))
 }
 
+/// As [`run_experiments_instrumented_jobs`], additionally capturing each
+/// run's causal dependency DAG (`Experiment::run_instrumented_dag`). The
+/// graphs ride each experiment's `CollectedTelemetry` — workers gather
+/// them under thread-local collectors and they survive the forwarding
+/// absorb — so `--critpath-out` behaves identically under `--jobs N`.
+pub fn run_experiments_dag_jobs(
+    ids: &[String],
+    cfg: &BenchConfig,
+    jobs: usize,
+) -> Vec<(ExperimentResult, telemetry::CollectedTelemetry)> {
+    run_pooled(select(ids), cfg, jobs, |e, cfg| e.run_instrumented_dag(cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +175,34 @@ mod tests {
         // serial test above relies on the same fact): its telemetry must
         // arrive even though the collector lived on a worker thread.
         assert!(pairs[1].1.sims() > 0, "fig6b telemetry observed off-thread");
+    }
+
+    #[test]
+    fn dag_jobs_driver_forwards_graphs_from_workers() {
+        let mut cfg = BenchConfig::quick();
+        cfg.reps = 1;
+        let ids: Vec<String> = ["fig6a", "fig6b"].iter().map(|s| s.to_string()).collect();
+        let serial = run_experiments_dag_jobs(&ids, &cfg, 1);
+        let parallel = run_experiments_dag_jobs(&ids, &cfg, 2);
+        assert_eq!(serial.len(), parallel.len());
+        for ((rs, ts), (rp, tp)) in serial.iter().zip(&parallel) {
+            assert_eq!(rs.report(), rp.report(), "{} diverged under --jobs", rs.id);
+            assert_eq!(
+                ts.dags().len(),
+                tp.dags().len(),
+                "{} graph count diverged under --jobs",
+                rs.id
+            );
+        }
+        // fig6b constructs observed runtimes, so graphs must be present —
+        // and each analyzes to a path partitioning its makespan.
+        let (_, t) = &parallel[1];
+        assert!(!t.dags().is_empty(), "fig6b produced dependency graphs");
+        for g in t.dags() {
+            let p = telemetry::critpath::analyze(g);
+            let sum: f64 = p.steps.iter().map(|s| s.end_ns - s.start_ns).sum();
+            assert!((sum - p.makespan_ns).abs() <= 1e-6 * p.makespan_ns.max(1.0));
+        }
     }
 
     #[test]

@@ -127,6 +127,24 @@ impl Experiment {
         (result, collector.take())
     }
 
+    /// As [`Experiment::run_instrumented`], additionally requesting causal
+    /// dependency-DAG capture: every runtime the experiment constructs
+    /// records its dependency graph, and the graphs come back via
+    /// [`CollectedTelemetry::dags`] — the input to
+    /// `ifsim_telemetry::critpath` analysis and the what-if engine.
+    /// Capture is observation-only; the simulated schedule is
+    /// bitwise-identical to an uninstrumented run.
+    ///
+    /// [`CollectedTelemetry::dags`]: ifsim_telemetry::CollectedTelemetry::dags
+    pub fn run_instrumented_dag(
+        &self,
+        cfg: &BenchConfig,
+    ) -> (ExperimentResult, ifsim_telemetry::CollectedTelemetry) {
+        let collector = ifsim_telemetry::Collector::install_with_dag();
+        let result = (self.runner)(cfg);
+        (result, collector.take())
+    }
+
     /// Run it under a [`CancelToken`]: the token is installed for the
     /// calling thread, the microbench repetition loops checkpoint it
     /// between reps, and a fired token surfaces as `Err(Cancelled)`
@@ -161,6 +179,22 @@ impl Experiment {
     ) -> Result<(ExperimentResult, ifsim_telemetry::CollectedTelemetry), ifsim_des::cancel::Cancelled>
     {
         let collector = ifsim_telemetry::Collector::install();
+        self.run_cancellable(cfg, token)
+            .map(|result| (result, collector.take()))
+    }
+
+    /// [`Experiment::run_instrumented_dag`] with a [`CancelToken`] — the
+    /// serve daemon's analyze path uses this so critical-path requests
+    /// still honor deadlines.
+    ///
+    /// [`CancelToken`]: ifsim_des::cancel::CancelToken
+    pub fn run_instrumented_dag_cancellable(
+        &self,
+        cfg: &BenchConfig,
+        token: &ifsim_des::cancel::CancelToken,
+    ) -> Result<(ExperimentResult, ifsim_telemetry::CollectedTelemetry), ifsim_des::cancel::Cancelled>
+    {
+        let collector = ifsim_telemetry::Collector::install_with_dag();
         self.run_cancellable(cfg, token)
             .map(|result| (result, collector.take()))
     }
@@ -234,6 +268,36 @@ mod tests {
                     .with("dev", "0")
             )
             .is_some());
+    }
+
+    #[test]
+    fn run_instrumented_dag_captures_a_dependency_graph() {
+        fn runner(cfg: &BenchConfig) -> ExperimentResult {
+            let mut hip = cfg.runtime(ifsim_hip::EnvConfig::default());
+            let a = hip.malloc(1 << 20).unwrap();
+            let b = hip.malloc(1 << 20).unwrap();
+            hip.memcpy(b, 0, a, 0, 1 << 20, ifsim_hip::MemcpyKind::DeviceToDevice)
+                .unwrap();
+            ExperimentResult {
+                id: "probe",
+                title: "probe",
+                rendered: String::new(),
+                csv: vec![],
+                checks: vec![],
+            }
+        }
+        let e = Experiment::new("probe", "probe", "d", runner);
+        let (_, t) = e.run_instrumented_dag(&BenchConfig::quick());
+        assert_eq!(t.dags().len(), 1, "one runtime, one graph");
+        let g = &t.dags()[0];
+        assert!(!g.is_empty());
+        // The graph analyzes to a path whose total is the makespan.
+        let p = ifsim_telemetry::critpath::analyze(g);
+        let sum: f64 = p.steps.iter().map(|s| s.end_ns - s.start_ns).sum();
+        assert!((sum - p.makespan_ns).abs() <= 1e-6 * p.makespan_ns.max(1.0));
+        // The plain instrumented path stays dag-free.
+        let (_, t2) = e.run_instrumented(&BenchConfig::quick());
+        assert!(t2.dags().is_empty());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert_eq!(hip.mem().read_f32s(dev, 0, 256).unwrap().unwrap(), vec![1.0; 256]);
 //! ```
 
+pub mod dag;
 pub mod device;
 pub mod env;
 pub mod error;
@@ -49,6 +50,7 @@ pub mod stream;
 pub mod telemetry;
 pub mod trace;
 
+pub use dag::DagBuilder;
 pub use device::{DeviceId, DeviceProps};
 pub use env::EnvConfig;
 pub use error::{HipError, HipResult};

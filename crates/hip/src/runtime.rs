@@ -45,6 +45,9 @@ pub struct Inner {
     telemetry: bool,
     /// Whether this runtime already contributed its snapshot to a collector.
     telemetry_flushed: bool,
+    /// Causal dependency-DAG capture (critical-path profiling). `None`
+    /// unless requested; strictly observation-only either way.
+    dag: Option<crate::dag::DagBuilder>,
 }
 
 /// Why a fault tore down an op's in-flight flows (selects the error code
@@ -139,6 +142,7 @@ impl HipSim {
                 metrics: ifsim_telemetry::MetricsRegistry::new(),
                 telemetry: false,
                 telemetry_flushed: false,
+                dag: None,
             },
         };
         // Under an installed telemetry collector the runtime observes
@@ -146,6 +150,9 @@ impl HipSim {
         // and metrics all go live, and `Drop` contributes the snapshot.
         if ifsim_telemetry::collector::active() {
             sim.telemetry_enable();
+        }
+        if ifsim_telemetry::collector::dag_requested() {
+            sim.dag_enable();
         }
         sim
     }
@@ -484,6 +491,12 @@ impl HipSim {
     /// fault error across the node, clearing all of them.
     pub fn synchronize_all(&mut self) -> HipResult<()> {
         self.pump_until(|inner| inner.streams.values().all(|s| s.idle()))?;
+        // A full host barrier: everything submitted after this point
+        // causally depends on everything that just drained (this is how
+        // collective round boundaries enter the dependency DAG).
+        if let Some(dag) = self.inner.dag.as_mut() {
+            dag.host_barrier();
+        }
         let mut first = None;
         for s in self.inner.streams.values_mut() {
             if let Some(e) = s.failed.take() {
@@ -795,6 +808,24 @@ impl HipSim {
         self.inner.telemetry
     }
 
+    /// Turn on causal dependency-DAG capture. The event loop then records
+    /// stream program order, event waits, host barriers, and flow
+    /// start→completion into a per-run `DepGraph` that rides the telemetry
+    /// snapshot (see `ifsim_telemetry::critpath`). Enabled automatically
+    /// when the runtime is constructed while a DAG-requesting collector
+    /// (`Collector::install_with_dag`) is installed. Capture never
+    /// influences scheduling: runs are bitwise-identical with it on or off.
+    pub fn dag_enable(&mut self) {
+        if self.inner.dag.is_none() {
+            self.inner.dag = Some(crate::dag::DagBuilder::new());
+        }
+    }
+
+    /// The causal dependency graph captured so far, when enabled.
+    pub fn dag(&self) -> Option<&ifsim_telemetry::critpath::DepGraph> {
+        self.inner.dag.as_ref().map(|d| d.graph())
+    }
+
     /// Per-op metrics recorded so far (empty unless telemetry is enabled).
     pub fn metrics(&self) -> &ifsim_telemetry::MetricsRegistry {
         &self.inner.metrics
@@ -828,11 +859,15 @@ impl HipSim {
     /// runtime. Called automatically on drop; call it earlier to snapshot
     /// before further work.
     pub fn flush_telemetry(&mut self) {
-        if !self.inner.telemetry || self.inner.telemetry_flushed {
+        if self.inner.telemetry_flushed || (!self.inner.telemetry && self.inner.dag.is_none()) {
             return;
         }
         self.inner.telemetry_flushed = true;
-        ifsim_telemetry::collector::contribute(self.telemetry_snapshot());
+        let mut snap = self.telemetry_snapshot();
+        if let Some(dag) = self.inner.dag.as_ref() {
+            snap.dag = Some(dag.snapshot());
+        }
+        ifsim_telemetry::collector::contribute(snap);
     }
 
     /// Fault injection: derate the xGMI link between two GCDs to `factor`
@@ -1225,7 +1260,11 @@ impl Inner {
         if let Work::Request(OpRequest::WaitEvent(ev)) = &op.work {
             match inner.events.timestamp(*ev) {
                 Ok(Some(_)) => {
-                    // Already recorded: the wait is a no-op; move on.
+                    // Already recorded: the wait is a no-op; move on. The
+                    // DAG still notes the dependency for the next real op.
+                    if let Some(dag) = inner.dag.as_mut() {
+                        dag.wait_satisfied(sid, ev.0);
+                    }
                     Inner::start_next(inner, engine, sid);
                     return;
                 }
@@ -1328,7 +1367,31 @@ impl Inner {
                 // same-timestamp admissions) share one deferred fair-share
                 // recompute instead of paying one per flow.
                 let now = engine.now();
-                for fid in inner.net.add_flows(now, flows) {
+                // Observation-only: render the flows' routes for the
+                // dependency DAG before the specs move into the fabric.
+                let routes: Option<Vec<String>> = inner.dag.is_some().then(|| {
+                    flows
+                        .iter()
+                        .map(|f| {
+                            f.segs
+                                .iter()
+                                .map(|&s| inner.net.segmap().label(s))
+                                .collect::<Vec<&str>>()
+                                .join(" + ")
+                        })
+                        .collect()
+                });
+                let fids = inner.net.add_flows(now, flows);
+                if let (Some(dag), Some(routes)) = (inner.dag.as_mut(), routes) {
+                    let label = inner
+                        .streams
+                        .get(&sid)
+                        .and_then(|s| s.running.as_ref())
+                        .map(|r| &r.label)
+                        .expect("op in flight");
+                    dag.op_flows_admitted(sid, started, now, label, &fids, routes);
+                }
+                for fid in fids {
                     inner.flow_owner.insert(fid, sid);
                 }
             }
@@ -1341,6 +1404,9 @@ impl Inner {
             .flow_owner
             .remove(&fid)
             .expect("completed flow has an owner");
+        if let Some(dag) = inner.dag.as_mut() {
+            dag.flow_done(fid, engine.now());
+        }
         let st = inner.streams.get_mut(&sid).expect("stream exists");
         let run = st.running.as_mut().expect("op in flight");
         run.pending_flows -= 1;
@@ -1385,6 +1451,15 @@ impl Inner {
             end,
             label: run.label.to_string(),
         });
+        if let Some(dag) = inner.dag.as_mut() {
+            dag.op_finished(
+                sid,
+                run.started,
+                end,
+                &run.label,
+                recorded_event.map(|e| e.0),
+            );
+        }
         Inner::start_next(inner, engine, sid);
         // Wake any streams parked on the event that just recorded.
         if let Some(ev) = recorded_event {
@@ -1396,6 +1471,9 @@ impl Inner {
                 .collect();
             for w in waiters {
                 inner.streams.get_mut(&w).expect("stream exists").parked_on = None;
+                if let Some(dag) = inner.dag.as_mut() {
+                    dag.wait_satisfied(w, ev.0);
+                }
                 Inner::start_next(inner, engine, w);
             }
         }

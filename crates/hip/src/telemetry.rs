@@ -238,12 +238,13 @@ pub fn build_sim_telemetry(
             MetricKey::new("fabric_recorder_samples"),
             series.samples.len() as f64,
         );
-        if series.dropped > 0 {
-            metrics.counter_add(
-                MetricKey::new("fabric_recorder_dropped_samples"),
-                series.dropped as f64,
-            );
-        }
+        // Always emitted, even at zero, so scrapes can tell "no drops"
+        // from "recorder telemetry missing" (the serve /metrics plane
+        // folds this into serve_fabric_recorder_dropped_samples_total).
+        metrics.counter_add(
+            MetricKey::new("fabric_recorder_dropped_samples"),
+            series.dropped as f64,
+        );
     }
     for l in link_loads {
         if l.wire_bytes <= 0.0 {
@@ -296,6 +297,9 @@ pub fn build_sim_telemetry(
         events,
         threads,
         metrics,
+        // The causal DAG is attached by the runtime's flush path, which
+        // owns the `DagBuilder`; this builder only sees derived data.
+        dag: None,
     }
 }
 

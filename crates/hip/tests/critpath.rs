@@ -1,0 +1,257 @@
+//! Properties of causal dependency-DAG capture and critical-path
+//! analysis, checked over randomly generated multi-stream workloads:
+//!
+//! - the reconstructed path's total always equals the run makespan, and
+//!   its per-category slacks partition that total;
+//! - every captured edge is causally ordered (`src.end <= dst.start`);
+//! - capture is observation-only: the schedule is bitwise-identical with
+//!   the DAG enabled or disabled.
+
+use ifsim_hip::{EnvConfig, HipSim, KernelSpec, MemcpyKind};
+use ifsim_telemetry::critpath::{self, NodeCategory};
+use ifsim_telemetry::{CollectedTelemetry, Collector};
+use proptest::prelude::*;
+
+const MIB: u64 = 1 << 20;
+const DEVICES: usize = 4;
+const BUF: u64 = 8 * MIB;
+
+/// One step of a generated workload program. Sizes are in MiB (1..=8 so
+/// every op fits the preallocated buffers).
+#[derive(Clone, Debug)]
+enum Step {
+    /// StreamCopy kernel on `dev`'s null stream.
+    Kernel { dev: usize, mib: u64 },
+    /// Async peer copy `src -> dst` (distinct devices), issued on the
+    /// destination device's null stream.
+    PeerCopy { src: usize, dst: usize, mib: u64 },
+    /// Cross-stream dependency: record an event behind `from`'s work,
+    /// make `to`'s stream wait on it, then run a kernel on `to`.
+    HandOff { from: usize, to: usize, mib: u64 },
+    /// Host-side full barrier (`synchronize_all`), as collectives use
+    /// between rounds.
+    Barrier,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..DEVICES, 1u64..9).prop_map(|(dev, mib)| Step::Kernel { dev, mib }),
+        (0usize..DEVICES, 1usize..DEVICES, 1u64..9).prop_map(|(src, hop, mib)| Step::PeerCopy {
+            src,
+            dst: (src + hop) % DEVICES,
+            mib,
+        }),
+        (0usize..DEVICES, 1usize..DEVICES, 1u64..9).prop_map(|(from, hop, mib)| Step::HandOff {
+            from,
+            to: (from + hop) % DEVICES,
+            mib,
+        }),
+        Just(Step::Barrier),
+    ]
+}
+
+/// Drive the generated program on a fresh runtime. Returns the final
+/// simulated clock; captured telemetry lands in the installed collector.
+fn run_workload(steps: &[Step]) -> f64 {
+    let mut hip = HipSim::new(EnvConfig::default());
+    hip.enable_all_peer_access().unwrap();
+    let mut bufs = Vec::new();
+    for dev in 0..DEVICES {
+        hip.set_device(dev).unwrap();
+        bufs.push((hip.malloc(BUF).unwrap(), hip.malloc(BUF).unwrap()));
+    }
+    for step in steps {
+        match *step {
+            Step::Kernel { dev, mib } => {
+                let s = hip.default_stream(dev).unwrap();
+                let (src, dst) = bufs[dev];
+                hip.launch_kernel_on(
+                    KernelSpec::StreamCopy {
+                        src,
+                        dst,
+                        elems: (mib * MIB / 4) as usize,
+                    },
+                    s,
+                )
+                .unwrap();
+            }
+            Step::PeerCopy { src, dst, mib } => {
+                let s = hip.default_stream(dst).unwrap();
+                hip.memcpy_peer_async(bufs[dst].1, dst, bufs[src].0, src, mib * MIB, s)
+                    .unwrap();
+            }
+            Step::HandOff { from, to, mib } => {
+                let producer = hip.default_stream(from).unwrap();
+                let consumer = hip.default_stream(to).unwrap();
+                let ev = hip.event_create();
+                hip.event_record(ev, producer).unwrap();
+                hip.stream_wait_event(consumer, ev).unwrap();
+                let (src, dst) = bufs[to];
+                hip.launch_kernel_on(
+                    KernelSpec::StreamCopy {
+                        src,
+                        dst,
+                        elems: (mib * MIB / 4) as usize,
+                    },
+                    consumer,
+                )
+                .unwrap();
+            }
+            Step::Barrier => hip.synchronize_all().unwrap(),
+        }
+    }
+    hip.synchronize_all().unwrap();
+    hip.now().as_ns()
+    // Drop flushes the snapshot (and the DAG, when enabled).
+}
+
+/// A deterministic fingerprint of everything schedule-dependent in a
+/// collected run: the merged timeline plus every metric sample.
+fn schedule_fingerprint(t: &CollectedTelemetry) -> Vec<String> {
+    let mut out: Vec<String> = t
+        .events()
+        .iter()
+        .map(|e| format!("{}|{}|{}|{}|{:.0}", e.name, e.cat, e.pid, e.tid, e.ts_ns))
+        .collect();
+    out.extend(t.metrics().counters().map(|(k, v)| format!("{k:?}={v}")));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariants, over arbitrary programs: path total ==
+    /// makespan (1e-6 relative), category slacks partition the total, and
+    /// every captured edge is causally ordered.
+    #[test]
+    fn critpath_invariants_hold_for_arbitrary_workloads(
+        steps in proptest::collection::vec(arb_step(), 1..12)
+    ) {
+        let collector = Collector::install_with_dag();
+        run_workload(&steps);
+        let t = collector.take();
+        let dags = t.dags();
+        prop_assert_eq!(dags.len(), 1, "one runtime, one graph");
+        let mut total = 0.0;
+        for g in dags {
+            // Capture-layer guarantee: edges assert causal order.
+            for &(src, dst) in &g.edges {
+                let (s, d) = (&g.nodes[src as usize], &g.nodes[dst as usize]);
+                prop_assert!(
+                    s.end_ns <= d.start_ns + 1e-6,
+                    "edge {} -> {} violates causal order: {} > {}",
+                    src, dst, s.end_ns, d.start_ns
+                );
+            }
+            let path = critpath::analyze(g);
+            let makespan = g.makespan_ns();
+            let tol = 1e-6 * makespan.max(1.0);
+            prop_assert!((path.makespan_ns - makespan).abs() <= tol);
+            // Steps partition [0, makespan]: contiguous, forward order.
+            let sum: f64 = path.steps.iter().map(|s| s.dur_ns()).sum();
+            prop_assert!(
+                (sum - makespan).abs() <= tol,
+                "path total {} != makespan {}", sum, makespan
+            );
+            for w in path.steps.windows(2) {
+                prop_assert!((w[0].end_ns - w[1].start_ns).abs() <= tol);
+            }
+            // Category slacks partition the total, all categories present.
+            let cats = path.by_category();
+            prop_assert_eq!(cats.len(), NodeCategory::ALL.len());
+            let cat_sum: f64 = cats.values().sum();
+            prop_assert!((cat_sum - makespan).abs() <= tol);
+            total += makespan;
+        }
+        // The aggregate report preserves the invariant across runs.
+        let report = critpath::report(dags, 10);
+        let tol = 1e-6 * total.max(1.0);
+        prop_assert!((report.total_ns - total).abs() <= tol);
+        let cat_sum: f64 = report.by_category.values().sum();
+        prop_assert!((cat_sum - report.total_ns).abs() <= tol);
+        for entry in &report.top {
+            prop_assert!(entry.ns >= 0.0 && entry.count >= 1);
+        }
+    }
+
+    /// Regression: DAG capture is observation-only. The same program runs
+    /// to the identical final clock with the identical timeline and
+    /// metrics whether capture is enabled or not.
+    #[test]
+    fn dag_capture_never_perturbs_the_schedule(
+        steps in proptest::collection::vec(arb_step(), 1..10)
+    ) {
+        let (plain_now, plain) = {
+            let c = Collector::install();
+            let now = run_workload(&steps);
+            (now, c.take())
+        };
+        let (dag_now, dagged) = {
+            let c = Collector::install_with_dag();
+            let now = run_workload(&steps);
+            (now, c.take())
+        };
+        prop_assert_eq!(plain_now.to_bits(), dag_now.to_bits(), "final clock");
+        prop_assert!(plain.dags().is_empty(), "no graph without the request");
+        prop_assert_eq!(dagged.dags().len(), 1);
+        prop_assert_eq!(
+            schedule_fingerprint(&plain),
+            schedule_fingerprint(&dagged),
+            "timeline and metrics must be bitwise-identical"
+        );
+    }
+}
+
+/// Cross-check against PR 4's bottleneck attribution: a single large
+/// peer copy is link-bound, its route is the top transfer interval, and
+/// the crosscheck marks the attributed segment as on-path.
+#[test]
+fn attribution_crosscheck_marks_the_binding_route() {
+    let collector = Collector::install_with_dag();
+    {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.enable_all_peer_access().unwrap();
+        hip.set_device(0).unwrap();
+        let src = hip.malloc(256 * MIB).unwrap();
+        hip.set_device(2).unwrap();
+        let dst = hip.malloc(256 * MIB).unwrap();
+        hip.memcpy_peer(dst, 2, src, 0, 256 * MIB).unwrap();
+    }
+    let t = collector.take();
+    let report = critpath::report(t.dags(), 5);
+    assert!(report.total_ns > 0.0);
+    let top_transfer = report
+        .top
+        .iter()
+        .find(|e| e.category == NodeCategory::Transfer)
+        .expect("a big copy puts its route on the path");
+    assert!(top_transfer.label.contains("GCD"), "{}", top_transfer.label);
+    let rows = critpath::attribution_crosscheck(t.metrics(), &report);
+    assert!(!rows.is_empty(), "attribution blamed at least one link");
+    assert!(
+        rows[0].2,
+        "heaviest attributed segment {} sits on the critical path",
+        rows[0].0
+    );
+}
+
+/// A copy whose flows never enter the DAG (telemetry off mid-run isn't
+/// possible, but a dag-less collector is) still renders a valid, empty
+/// report — the analyze surface degrades gracefully.
+#[test]
+fn plain_collector_produces_no_graphs_and_an_empty_report() {
+    let collector = Collector::install();
+    {
+        let mut hip = HipSim::new(EnvConfig::default());
+        hip.set_device(0).unwrap();
+        let a = hip.malloc(MIB).unwrap();
+        let b = hip.malloc(MIB).unwrap();
+        hip.memcpy(b, 0, a, 0, MIB, MemcpyKind::DeviceToDevice)
+            .unwrap();
+    }
+    let t = collector.take();
+    assert!(t.dags().is_empty());
+    let report = critpath::report(t.dags(), 5);
+    assert_eq!(report.runs, 0);
+    assert_eq!(report.total_ns, 0.0);
+}

@@ -36,6 +36,10 @@ pub struct CachedRun {
     pub checks_passed: usize,
     /// Paper-shape checks total.
     pub checks_total: usize,
+    /// Serialized critical-path report (`ifsim-critpath-v1` JSON), only
+    /// on entries computed for analyze requests — those cache under a
+    /// derived digest, so plain entries never carry it.
+    pub critpath: Option<String>,
 }
 
 impl CachedRun {
@@ -47,7 +51,8 @@ impl CachedRun {
             .iter()
             .map(|(name, contents)| name.len() + contents.len())
             .sum();
-        (self.digest.len() + self.report.len() + csv + 16) as u64
+        let critpath = self.critpath.as_ref().map_or(0, String::len);
+        (self.digest.len() + self.report.len() + csv + critpath + 16) as u64
     }
 }
 
@@ -256,6 +261,7 @@ mod tests {
             csv: vec![],
             checks_passed: 1,
             checks_total: 1,
+            critpath: None,
         })
     }
 
@@ -320,6 +326,7 @@ mod tests {
             csv: vec![],
             checks_passed: 0,
             checks_total: 0,
+            critpath: None,
         }));
         assert!(Arc::ptr_eq(&first, &c.get("a").unwrap()));
         assert_eq!(c.entries(), 1);

@@ -107,6 +107,11 @@ pub struct RunRequest {
     /// Client-chosen trace id echoed on the response; `None` lets the
     /// server generate one. Not part of the cache key.
     pub trace_id: Option<String>,
+    /// Run with causal DAG capture and return the critical-path report
+    /// (`ifsim-critpath-v1`) alongside the ordinary payload. Analyzed
+    /// results cache under a derived key, so plain requests for the same
+    /// configuration still replay their original bytes.
+    pub analyze: bool,
 }
 
 impl RunRequest {
@@ -118,6 +123,7 @@ impl RunRequest {
             artifacts: Vec::new(),
             deadline_ms: None,
             trace_id: None,
+            analyze: false,
         }
     }
 
@@ -152,6 +158,9 @@ impl RunRequest {
         }
         if let Some(t) = &self.trace_id {
             m.insert("trace_id", Value::from(t.clone()));
+        }
+        if self.analyze {
+            m.insert("analyze", Value::from(true));
         }
         if !self.artifacts.is_empty() {
             m.insert(
@@ -227,6 +236,7 @@ impl RunRequest {
             artifacts,
             deadline_ms,
             trace_id: envelope_trace_id(v).map(str::to_string),
+            analyze: obj.get("analyze").and_then(Value::as_bool).unwrap_or(false),
         })
     }
 }
@@ -319,6 +329,9 @@ pub struct RunResponse {
     pub checks_passed: usize,
     /// Paper-shape checks total.
     pub checks_total: usize,
+    /// Critical-path report (`ifsim-critpath-v1`) when the request asked
+    /// for analysis; omitted from the wire otherwise.
+    pub critpath: Option<Value>,
 }
 
 impl RunResponse {
@@ -335,6 +348,7 @@ impl RunResponse {
             csv: Vec::new(),
             checks_passed: 0,
             checks_total: 0,
+            critpath: None,
         }
     }
 
@@ -372,6 +386,9 @@ impl RunResponse {
         );
         m.insert("checks_passed", Value::from(self.checks_passed));
         m.insert("checks_total", Value::from(self.checks_total));
+        if let Some(c) = &self.critpath {
+            m.insert("critpath", c.clone());
+        }
         Value::Object(m)
     }
 
@@ -426,6 +443,7 @@ impl RunResponse {
                 .and_then(Value::as_u64)
                 .unwrap_or(0) as usize,
             checks_total: obj.get("checks_total").and_then(Value::as_u64).unwrap_or(0) as usize,
+            critpath: obj.get("critpath").cloned(),
         })
     }
 }
@@ -491,6 +509,7 @@ mod tests {
             artifacts: vec!["fig6a_hops.csv".into()],
             deadline_ms: Some(2500),
             trace_id: Some("cafe0123deadbeef".into()),
+            analyze: true,
         };
         let line = serde_json::to_string(&req.to_json());
         let back = RunRequest::from_json(&serde_json::from_str(&line).unwrap()).unwrap();

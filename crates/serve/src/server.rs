@@ -30,7 +30,8 @@ use crate::store::{DiskStore, ScanReport};
 use ifsim_core::des::cancel::{CancelToken, Cancelled};
 use ifsim_core::registry;
 use ifsim_core::telemetry::{
-    CollectedTelemetry, EventKind, MetricKey, MetricsRegistry, SimTelemetry, TimelineEvent,
+    critpath, CollectedTelemetry, EventKind, MetricKey, MetricsRegistry, SimTelemetry,
+    TimelineEvent,
 };
 use ifsim_core::{BenchConfig, Experiment};
 use serde_json::{Map, Value};
@@ -145,6 +146,11 @@ enum JobOutcome {
         /// run's fabric-utilization counter track; empty when the job ran
         /// uninstrumented (the common case).
         fabric: Vec<(String, f64, f64)>,
+        /// Flight-recorder samples dropped to ring overflow during an
+        /// instrumented run, folded into
+        /// `serve_fabric_recorder_dropped_samples_total`. Zero for
+        /// uninstrumented jobs.
+        recorder_dropped: f64,
     },
     /// The deadline had already expired at dequeue; never started.
     Shed,
@@ -203,6 +209,18 @@ pub struct ServerCore {
 /// from the `fabric_util` counter track of an instrumented run. The
 /// flight recorder emits `fabric util <link>` counters; this folds them
 /// into one mean/peak pair per link for the live gauges.
+/// Total `fabric_recorder_dropped_samples` across an instrumented run's
+/// simulators — the ring-drop counter the flight recorder always emits
+/// (0.0 when nothing overflowed).
+fn recorder_dropped_samples(telemetry: &CollectedTelemetry) -> f64 {
+    telemetry
+        .metrics()
+        .counters()
+        .filter(|(k, _)| k.name() == "fabric_recorder_dropped_samples")
+        .map(|(_, v)| v)
+        .sum()
+}
+
 fn fabric_link_utils(telemetry: &CollectedTelemetry) -> Vec<(String, f64, f64)> {
     let mut acc: std::collections::BTreeMap<String, (f64, f64, u64)> = Default::default();
     for ev in telemetry.events() {
@@ -300,6 +318,7 @@ impl ServerCore {
                 "serve_cache_misses",
                 "serve_overloaded_total",
                 "serve_panicked_jobs",
+                "serve_fabric_recorder_dropped_samples_total",
             ] {
                 metrics.counter_add(MetricKey::new(name), 0.0);
             }
@@ -490,6 +509,17 @@ impl ServerCore {
             Err(e) => return RunResponse::error(Status::BadRequest, req.experiment_id.clone(), e),
         };
         let digest = exp.config_digest(&cfg);
+        // Analyzed runs answer with extra payload (the critical-path
+        // report), so they cache under a derived key: a plain request for
+        // the same configuration must keep replaying its original bytes.
+        let digest = if req.analyze {
+            ifsim_core::experiment::digest_kv(&[
+                ("base".to_string(), digest),
+                ("analyze".to_string(), "critpath-v1".to_string()),
+            ])
+        } else {
+            digest
+        };
 
         let (hit, tier) = self.cache.get_traced(&digest);
         trace.cache_tier = tier.as_str();
@@ -541,7 +571,7 @@ impl ServerCore {
 
         self.sf_leaders.fetch_add(1, Ordering::SeqCst);
         self.bump_counter("serve_singleflight_leaders");
-        let outcome = self.compute(exp, cfg, &digest, deadline, trace);
+        let outcome = self.compute(exp, cfg, &digest, req.analyze, deadline, trace);
         // Publish to followers *after* unregistering, so a request that
         // arrives later starts a fresh computation instead of attaching
         // to a completed flight.
@@ -560,6 +590,7 @@ impl ServerCore {
         exp: Experiment,
         cfg: BenchConfig,
         digest: &str,
+        analyze: bool,
         deadline: Option<Instant>,
         trace: &mut RunTrace,
     ) -> FlightOutcome {
@@ -598,17 +629,40 @@ impl ServerCore {
                     return;
                 }
                 let t_compute = Instant::now();
-                // Instrumented runs (rate-limited, only with the HTTP
-                // plane up) additionally harvest the per-link fabric
-                // utilization counter track for the live gauges.
-                let outcome = if instrument {
+                // Analyzed runs capture the causal DAG and render the
+                // critical-path report; plain instrumented runs
+                // (rate-limited, only with the HTTP plane up) harvest the
+                // per-link fabric utilization counter track for the live
+                // gauges. Either way the telemetry also carries the
+                // flight recorder's ring-drop counter.
+                let outcome = if analyze {
+                    exp.run_instrumented_dag_cancellable(&cfg, &token)
+                        .map(|(result, telemetry)| {
+                            let report = critpath::report(telemetry.dags(), 10);
+                            let critpath = serde_json::to_string(&critpath::critpath_json(&report));
+                            (
+                                result,
+                                fabric_link_utils(&telemetry),
+                                recorder_dropped_samples(&telemetry),
+                                Some(critpath),
+                            )
+                        })
+                } else if instrument {
                     exp.run_instrumented_cancellable(&cfg, &token)
-                        .map(|(result, telemetry)| (result, fabric_link_utils(&telemetry)))
+                        .map(|(result, telemetry)| {
+                            (
+                                result,
+                                fabric_link_utils(&telemetry),
+                                recorder_dropped_samples(&telemetry),
+                                None,
+                            )
+                        })
                 } else {
-                    exp.run_cancellable(&cfg, &token).map(|r| (r, Vec::new()))
+                    exp.run_cancellable(&cfg, &token)
+                        .map(|r| (r, Vec::new(), 0.0, None))
                 };
                 match outcome {
-                    Ok((result, fabric)) => {
+                    Ok((result, fabric, recorder_dropped, critpath)) => {
                         let _ = tx.send(JobOutcome::Done {
                             run: CachedRun {
                                 digest,
@@ -616,10 +670,12 @@ impl ServerCore {
                                 checks_passed: result.checks.iter().filter(|c| c.passed).count(),
                                 checks_total: result.checks.len(),
                                 csv: result.csv,
+                                critpath,
                             },
                             queue_wait_ns,
                             compute_ns: t_compute.elapsed().as_nanos() as u64,
                             fabric,
+                            recorder_dropped,
                         });
                     }
                     Err(Cancelled) => {
@@ -652,9 +708,16 @@ impl ServerCore {
                 queue_wait_ns,
                 compute_ns,
                 fabric,
+                recorder_dropped,
             }) => {
                 trace.queue_wait_ns = queue_wait_ns;
                 trace.compute_ns = compute_ns;
+                if recorder_dropped > 0.0 {
+                    self.metrics.lock().unwrap().counter_add(
+                        MetricKey::new("serve_fabric_recorder_dropped_samples_total"),
+                        recorder_dropped,
+                    );
+                }
                 if !fabric.is_empty() {
                     let mut metrics = self.metrics.lock().unwrap();
                     for (link, mean, peak) in fabric {
@@ -772,6 +835,12 @@ impl ServerCore {
             csv,
             checks_passed: run.checks_passed,
             checks_total: run.checks_total,
+            // Stored as the exact serialized text; re-parse so the
+            // response embeds it as structured JSON, not a string blob.
+            critpath: run
+                .critpath
+                .as_deref()
+                .and_then(|text| serde_json::from_str(text).ok()),
         }
     }
 
@@ -943,6 +1012,7 @@ impl ServerCore {
             events: self.events.lock().unwrap().clone(),
             threads: vec![(0, "requests".into())],
             metrics: self.metrics.lock().unwrap().clone(),
+            dag: None,
         });
         collected
     }

@@ -350,6 +350,9 @@ pub fn encode_entry(run: &CachedRun) -> Vec<u8> {
     );
     payload.insert("checks_passed", Value::from(run.checks_passed));
     payload.insert("checks_total", Value::from(run.checks_total));
+    if let Some(critpath) = &run.critpath {
+        payload.insert("critpath", Value::from(critpath.clone()));
+    }
     let payload = serde_json::to_string(&Value::Object(payload));
     let header = format!(
         "{ENTRY_MAGIC} {} {} {}\n",
@@ -442,6 +445,10 @@ pub fn decode_entry(bytes: &[u8], expected_digest: &str) -> Result<CachedRun, St
         csv,
         checks_passed: count_field("checks_passed")?,
         checks_total: count_field("checks_total")?,
+        critpath: v
+            .get("critpath")
+            .and_then(Value::as_str)
+            .map(str::to_string),
     })
 }
 
@@ -456,6 +463,9 @@ mod tests {
             csv: vec![(format!("{payload}.csv"), format!("a,b\n1,{payload}\n"))],
             checks_passed: 3,
             checks_total: 4,
+            critpath: Some(format!(
+                "{{\"schema\":\"ifsim-critpath-v1\",\"tag\":\"{payload}\"}}"
+            )),
         }
     }
 

@@ -100,6 +100,13 @@ fn metrics_are_monotone_across_a_burst_and_match_stats() {
     assert!(after.contains("# TYPE serve_requests_total counter"));
     assert!(after.contains("# TYPE serve_request_latency_ns histogram"));
     assert!(after.contains("le=\"+Inf\""));
+    // The flight recorder's ring-drop counter is pre-seeded, so the
+    // exposition always carries it — a dashboard can alert on it going
+    // nonzero without waiting for the first instrumented run.
+    assert!(
+        after.contains("serve_fabric_recorder_dropped_samples_total"),
+        "recorder ring-drop counter exposed: {after}"
+    );
     handle.shutdown();
 }
 

@@ -60,14 +60,16 @@ fn arb_run_request() -> impl Strategy<Value = RunRequest> {
         proptest::collection::vec(arb_ident(), 0..4),
         arb_option(0u64..10_000_000),
         arb_option(arb_ident()),
+        any::<bool>(),
     )
         .prop_map(
-            |(experiment_id, overrides, artifacts, deadline_ms, trace_id)| RunRequest {
+            |(experiment_id, overrides, artifacts, deadline_ms, trace_id, analyze)| RunRequest {
                 experiment_id,
                 overrides,
                 artifacts,
                 deadline_ms,
                 trace_id,
+                analyze,
             },
         )
 }
@@ -93,12 +95,23 @@ fn arb_run_response() -> impl Strategy<Value = RunResponse> {
         ),
         // Empty = unassigned (omitted on the wire); both must round-trip.
         arb_option(arb_ident()).prop_map(Option::unwrap_or_default),
+        // Critpath reports travel as opaque JSON; an object is enough to
+        // prove presence/absence both survive the wire.
+        arb_option(arb_ident()).prop_map(|tag| {
+            tag.map(|tag| {
+                let mut obj = serde_json::Map::new();
+                obj.insert("schema", serde_json::Value::from("ifsim-critpath-v1"));
+                obj.insert("tag", serde_json::Value::from(tag));
+                serde_json::Value::from(obj)
+            })
+        }),
     )
         .prop_map(
             |(
                 (status, experiment_id, digest, cached),
                 (error, report, csv, (passed, extra)),
                 trace_id,
+                critpath,
             )| {
                 RunResponse {
                     trace_id,
@@ -111,6 +124,7 @@ fn arb_run_response() -> impl Strategy<Value = RunResponse> {
                     csv,
                     checks_passed: passed,
                     checks_total: passed + extra,
+                    critpath,
                 }
             },
         )

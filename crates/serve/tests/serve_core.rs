@@ -209,6 +209,52 @@ fn stats_snapshot_matches_schema() {
     }
 }
 
+/// Analyzed runs cache under their own derived digest, carry a
+/// critical-path report on the wire, and leave plain requests for the
+/// same configuration untouched.
+#[test]
+fn analyze_requests_carry_critpath_under_a_derived_digest() {
+    let core = small_core();
+    // ext-coll-sweep runs through the HipSim runtime, so DAG capture has
+    // causal edges to record (fig1 is fabric-level and has none).
+    let mut req = RunRequest::new("ext-coll-sweep");
+    req.overrides.quick = true;
+    req.overrides.reps = Some(1);
+    let plain_line = serde_json::to_string(&req.to_json());
+    let plain = parse_run(&core.handle_line(&plain_line));
+    assert_eq!(plain.status, Status::Ok);
+    assert!(plain.critpath.is_none(), "plain runs stay lean");
+
+    req.analyze = true;
+    let line = serde_json::to_string(&req.to_json());
+    let analyzed = parse_run(&core.handle_line(&line));
+    assert_eq!(analyzed.status, Status::Ok);
+    assert!(!analyzed.cached, "analyze is a distinct cache entry");
+    assert_ne!(analyzed.digest, plain.digest, "derived digest");
+
+    let critpath = analyzed.critpath.expect("analyze returns a report");
+    assert_eq!(
+        critpath.get("schema").and_then(Value::as_str),
+        Some("ifsim-critpath-v1")
+    );
+    let total = critpath
+        .get("total_ns")
+        .and_then(Value::as_f64)
+        .expect("total_ns");
+    assert!(total > 0.0, "instrumented run has a nonempty critical path");
+    // The report rides the cache: a replay carries the same bytes.
+    let replay = parse_run(&core.handle_line(&line));
+    assert!(replay.cached);
+    assert_eq!(
+        serde_json::to_string(&replay.critpath.unwrap()),
+        serde_json::to_string(&critpath)
+    );
+    // And the plain entry still replays without a report.
+    let plain_replay = parse_run(&core.handle_line(&plain_line));
+    assert!(plain_replay.cached);
+    assert!(plain_replay.critpath.is_none());
+}
+
 /// Shutdown flips the draining flag the socket host polls.
 #[test]
 fn shutdown_request_starts_drain() {

@@ -28,6 +28,9 @@ fn run_for(i: usize) -> CachedRun {
         csv: vec![(format!("{d}.csv"), format!("size,ts\n{i},{}\n", i * 7))],
         checks_passed: i % 3,
         checks_total: 3,
+        critpath: i
+            .is_multiple_of(2)
+            .then(|| format!("{{\"schema\":\"ifsim-critpath-v1\",\"i\":{i}}}")),
     }
 }
 

@@ -220,6 +220,7 @@ mod tests {
             )],
             threads: vec![],
             metrics: m,
+            dag: None,
         });
         c
     }
@@ -260,6 +261,7 @@ mod tests {
             events: vec![TimelineEvent::instant(Time::from_ns(1.0), "e", "t")],
             threads: vec![],
             metrics: m,
+            dag: None,
         });
         let text = render_attribution(&c);
         assert!(text.contains("No link ever bound a flow"), "{text}");

@@ -97,6 +97,7 @@ mod tests {
             ],
             threads: vec![(1, "dev0/stream#1".into())],
             metrics: MetricsRegistry::new(),
+            dag: None,
         });
         c
     }
@@ -151,6 +152,7 @@ mod tests {
             ],
             threads: vec![],
             metrics: MetricsRegistry::new(),
+            dag: None,
         });
         let v = chrome_trace(&c);
         let events = v.get("traceEvents").unwrap().as_array().unwrap();

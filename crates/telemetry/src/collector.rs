@@ -8,6 +8,7 @@
 //! every collector on the stack. Collectors nest: an outer CLI-level
 //! collector and an inner per-experiment one both receive the data.
 
+use crate::critpath::DepGraph;
 use crate::event::{EventSink, TimelineEvent};
 use crate::metrics::{MetricKey, MetricsRegistry};
 use serde_json::{Map, Value};
@@ -26,12 +27,15 @@ pub struct SimTelemetry {
     pub threads: Vec<(u32, String)>,
     /// The simulator's metrics.
     pub metrics: MetricsRegistry,
+    /// The causal dependency graph, when DAG capture was requested
+    /// ([`Collector::install_with_dag`]).
+    pub dag: Option<DepGraph>,
 }
 
 impl SimTelemetry {
     /// Whether the snapshot carries nothing.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.metrics.is_empty()
+        self.events.is_empty() && self.metrics.is_empty() && self.dag.is_none()
     }
 }
 
@@ -44,6 +48,7 @@ pub struct CollectedTelemetry {
     processes: Vec<(u32, String)>,
     threads: Vec<((u32, u32), String)>,
     metrics: MetricsRegistry,
+    dags: Vec<DepGraph>,
     next_pid: u32,
 }
 
@@ -54,9 +59,12 @@ impl CollectedTelemetry {
     }
 
     /// Fold one simulator's snapshot in, assigning it the next pid.
-    pub fn ingest(&mut self, sim: SimTelemetry) {
+    pub fn ingest(&mut self, mut sim: SimTelemetry) {
         if sim.is_empty() {
             return;
+        }
+        if let Some(dag) = sim.dag.take() {
+            self.dags.push(dag);
         }
         let pid = self.next_pid;
         self.next_pid += 1;
@@ -88,6 +96,7 @@ impl CollectedTelemetry {
             self.sink.push(ev);
         }
         self.metrics.merge(&other.metrics);
+        self.dags.extend(other.dags);
         self.next_pid = base + other.next_pid;
     }
 
@@ -116,9 +125,15 @@ impl CollectedTelemetry {
         self.next_pid
     }
 
+    /// The causal dependency graphs captured by DAG-instrumented
+    /// simulators, in ingestion order (one per captured run).
+    pub fn dags(&self) -> &[DepGraph] {
+        &self.dags
+    }
+
     /// Whether nothing was collected.
     pub fn is_empty(&self) -> bool {
-        self.sink.is_empty() && self.metrics.is_empty()
+        self.sink.is_empty() && self.metrics.is_empty() && self.dags.is_empty()
     }
 
     /// The timeline as a Chrome trace-event JSON value.
@@ -148,7 +163,7 @@ impl CollectedTelemetry {
 }
 
 thread_local! {
-    static STACK: RefCell<Vec<Rc<RefCell<CollectedTelemetry>>>> =
+    static STACK: RefCell<Vec<(Rc<RefCell<CollectedTelemetry>>, bool)>> =
         const { RefCell::new(Vec::new()) };
 }
 
@@ -162,8 +177,22 @@ pub struct Collector {
 impl Collector {
     /// Push a fresh collector onto this thread's stack.
     pub fn install() -> Collector {
+        Collector::install_opts(false)
+    }
+
+    /// Push a fresh collector that additionally requests causal DAG
+    /// capture: simulators constructed while it is active record their
+    /// dependency graph ([`crate::critpath::DepGraph`]) alongside the
+    /// usual telemetry. The capture is observation-only — schedules stay
+    /// bitwise-identical — but costs memory proportional to op count, so
+    /// it stays opt-in.
+    pub fn install_with_dag() -> Collector {
+        Collector::install_opts(true)
+    }
+
+    fn install_opts(want_dag: bool) -> Collector {
         let inner = Rc::new(RefCell::new(CollectedTelemetry::new()));
-        STACK.with(|s| s.borrow_mut().push(Rc::clone(&inner)));
+        STACK.with(|s| s.borrow_mut().push((Rc::clone(&inner), want_dag)));
         Collector { inner }
     }
 
@@ -176,7 +205,7 @@ impl Collector {
 
     fn detach(&self) {
         STACK.with(|s| {
-            s.borrow_mut().retain(|c| !Rc::ptr_eq(c, &self.inner));
+            s.borrow_mut().retain(|(c, _)| !Rc::ptr_eq(c, &self.inner));
         });
     }
 }
@@ -193,11 +222,17 @@ pub fn active() -> bool {
     STACK.with(|s| !s.borrow().is_empty())
 }
 
+/// Whether any active collector on this thread asked for causal DAG
+/// capture ([`Collector::install_with_dag`]).
+pub fn dag_requested() -> bool {
+    STACK.with(|s| s.borrow().iter().any(|(_, want_dag)| *want_dag))
+}
+
 /// Deliver one simulator snapshot to every active collector.
 pub fn contribute(sim: SimTelemetry) {
     STACK.with(|s| {
         let stack = s.borrow();
-        for (i, c) in stack.iter().enumerate() {
+        for (i, (c, _)) in stack.iter().enumerate() {
             if i + 1 == stack.len() {
                 // Last receiver takes the snapshot by value.
                 c.borrow_mut().ingest(sim);
@@ -215,7 +250,7 @@ pub fn contribute(sim: SimTelemetry) {
 pub fn contribute_collected(t: CollectedTelemetry) {
     STACK.with(|s| {
         let stack = s.borrow();
-        for (i, c) in stack.iter().enumerate() {
+        for (i, (c, _)) in stack.iter().enumerate() {
             if i + 1 == stack.len() {
                 c.borrow_mut().absorb(t);
                 return;
@@ -238,6 +273,7 @@ mod tests {
             events: vec![TimelineEvent::instant(Time::from_ns(1.0), "e", "test")],
             threads: vec![(0, "lane".into())],
             metrics,
+            dag: None,
         }
     }
 
@@ -301,6 +337,35 @@ mod tests {
         let mut stray = CollectedTelemetry::new();
         stray.ingest(sample_sim("stray"));
         contribute_collected(stray);
+    }
+
+    #[test]
+    fn dag_request_flag_and_graph_forwarding() {
+        use crate::critpath::NodeCategory;
+        assert!(!dag_requested());
+        let plain = Collector::install();
+        assert!(active() && !dag_requested());
+        let dagged = Collector::install_with_dag();
+        assert!(dag_requested(), "any collector wanting a DAG is enough");
+        let mut g = DepGraph::default();
+        g.add_node(0.0, 5.0, NodeCategory::Compute, "k");
+        let mut sim = sample_sim("dagged");
+        sim.dag = Some(g);
+        contribute(sim);
+        let got = dagged.take();
+        assert_eq!(got.dags().len(), 1);
+        assert_eq!(got.dags()[0].nodes.len(), 1);
+        assert!(!dag_requested(), "flag cleared once the dag scope ends");
+        // The outer (plain) collector still received the graph data, and
+        // absorb concatenates graphs — this is what forwards DAGs from
+        // `--jobs N` workers to the driver's collector.
+        let outer = plain.take();
+        assert_eq!(outer.dags().len(), 1);
+        let mut sink = CollectedTelemetry::new();
+        sink.absorb(got);
+        sink.absorb(outer);
+        assert_eq!(sink.dags().len(), 2);
+        assert!(!sink.is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod attribution;
 pub mod chrome;
 pub mod collector;
+pub mod critpath;
 pub mod event;
 pub mod heatmap;
 pub mod hist;
@@ -39,6 +40,7 @@ pub mod timeseries;
 
 pub use attribution::{attribution_json, render_attribution, timeseries_csv};
 pub use collector::{CollectedTelemetry, Collector, SimTelemetry};
+pub use critpath::{critpath_json, render_critpath, CritPathReport, DepGraph};
 pub use event::{EventKind, EventSink, TimelineEvent};
 pub use heatmap::{render_heatmap, UtilRow};
 pub use hist::Histogram;

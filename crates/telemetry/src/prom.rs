@@ -108,6 +108,9 @@ fn help_text(name: &str) -> &'static str {
         "serve_fabric_link_peak_utilization" => {
             "Peak per-directed-link fabric utilization over the last sampled compute."
         }
+        "serve_fabric_recorder_dropped_samples_total" => {
+            "Flight-recorder samples dropped to ring overflow across instrumented runs."
+        }
         "serve_uptime_seconds" => "Seconds since the daemon started.",
         "serve_in_flight" => "Admission slots currently held.",
         "serve_draining" => "1 while the daemon is draining, else 0.",
