@@ -54,6 +54,20 @@ if ./target/release/ifsim-drift --perturb eff_sdma_xgmi=1.1 > /dev/null 2>&1; th
     exit 1
 fi
 
+echo "==> scenario smoke: golden files lint + repro --scenario replay"
+# Every golden scenario must validate (the lint errors name the offending
+# field path), and the MoE acceptance scenario must replay end-to-end
+# through the repro driver, producing its CSV artifact.
+for f in golden/scenarios/*.json; do
+    ./target/release/telemetry-lint --scenario "$f"
+done
+./target/release/repro --quick --reps 1 --csv "$TELEMETRY_TMP/scenario-repro" \
+    --scenario golden/scenarios/moe-alltoall.json > /dev/null
+if [ ! -s "$TELEMETRY_TMP/scenario-repro/scenario_moe-alltoall.csv" ]; then
+    echo "repro --scenario produced no CSV artifact" >&2
+    exit 1
+fi
+
 echo "==> serve smoke: cache replay byte-identical to repro, stats lint, http plane, clean drain"
 cargo build --release -p ifsim-serve
 SERVE_SOCK="$TELEMETRY_TMP/serve.sock"
@@ -89,6 +103,23 @@ esac
 ./target/release/repro --quick --reps 1 --csv "$TELEMETRY_TMP/serve-repro" fig6a > /dev/null
 cmp "$TELEMETRY_TMP/serve-first/fig6a.csv" "$TELEMETRY_TMP/serve-repro/fig6a.csv"
 cmp "$TELEMETRY_TMP/serve-second/fig6a.csv" "$TELEMETRY_TMP/serve-repro/fig6a.csv"
+# Inline scenario upload: the request carries the scenario JSON itself, the
+# second identical request must hit the cache (keyed on the scenario's
+# content digest), and the served CSV must byte-match the repro CLI's.
+./target/release/ifsim-client --socket "$SERVE_SOCK" \
+    exp --scenario golden/scenarios/moe-alltoall.json --quick --reps 1 \
+    --no-report --csv "$TELEMETRY_TMP/scenario-first" > /dev/null
+SCEN_SECOND="$(./target/release/ifsim-client --socket "$SERVE_SOCK" \
+    exp --scenario golden/scenarios/moe-alltoall.json --quick --reps 1 \
+    --no-report --csv "$TELEMETRY_TMP/scenario-second")"
+case "$SCEN_SECOND" in
+    *"cache hit"*) ;;
+    *) echo "second scenario serve run was not a cache hit: $SCEN_SECOND" >&2; exit 1 ;;
+esac
+cmp "$TELEMETRY_TMP/scenario-first/scenario_moe-alltoall.csv" \
+    "$TELEMETRY_TMP/scenario-repro/scenario_moe-alltoall.csv"
+cmp "$TELEMETRY_TMP/scenario-second/scenario_moe-alltoall.csv" \
+    "$TELEMETRY_TMP/scenario-repro/scenario_moe-alltoall.csv"
 # Seeded 100-request mix at concurrency 8; while it runs, the http plane
 # must answer health and serve a lint-clean Prometheus exposition (curl -f
 # fails the gate on any 4xx/5xx answer), and the SSE stream must tick.

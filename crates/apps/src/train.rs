@@ -59,6 +59,90 @@ pub struct TrainReport {
     pub grad0: f32,
 }
 
+/// One abstract op of a training step, expressed in *rank* indices (the
+/// caller maps ranks to devices). This is the communication/compute shape
+/// [`run`] executes, exported as data so trace frontends (the
+/// `ifsim-scenario` `train-step` generator) can replay the same pattern
+/// record-by-record with explicit dependency edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StepOp {
+    /// Host-to-device ingestion of the input batch.
+    Ingest {
+        /// Destination rank.
+        rank: usize,
+        /// Batch bytes copied.
+        bytes: u64,
+    },
+    /// Forward+backward compute, modeled as memory traffic on the rank.
+    Compute {
+        /// Executing rank.
+        rank: usize,
+        /// Total kernel memory traffic.
+        bytes: u64,
+    },
+    /// One ring-AllReduce hop: a gradient chunk moves to the next rank.
+    RingCopy {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank (ring successor).
+        dst: usize,
+        /// Chunk bytes on the wire.
+        bytes: u64,
+        /// AllReduce round index, `0..2*(n-1)`; hops of round `r+1`
+        /// depend on the hops of round `r`.
+        round: usize,
+    },
+    /// Optimizer application after the reduced gradients arrive.
+    Optimizer {
+        /// Executing rank.
+        rank: usize,
+        /// Kernel memory traffic.
+        bytes: u64,
+    },
+}
+
+/// The per-step op pattern of [`run`] as plain data, in a
+/// dependency-friendly order: ingestion, compute, the `2*(n-1)` ring
+/// rounds of the gradient AllReduce (ranks chained `r -> r+1 mod n`), and
+/// the optimizer pass. Byte counts follow the kernel models `run` issues:
+/// a STREAM-copy plus STREAM-triad per compute pass (5 f32 accesses per
+/// element) and a triad for the optimizer.
+pub fn step_pattern(cfg: &TrainConfig) -> Vec<StepOp> {
+    let n = cfg.devices.len();
+    let param_bytes = cfg.params as u64 * 4;
+    let chunk = (param_bytes / n.max(1) as u64).max(1);
+    let mut ops = Vec::new();
+    for rank in 0..n {
+        ops.push(StepOp::Ingest {
+            rank,
+            bytes: cfg.batch_bytes,
+        });
+    }
+    for rank in 0..n {
+        ops.push(StepOp::Compute {
+            rank,
+            bytes: 5 * param_bytes * cfg.compute_passes as u64,
+        });
+    }
+    for round in 0..2 * n.saturating_sub(1) {
+        for src in 0..n {
+            ops.push(StepOp::RingCopy {
+                src,
+                dst: (src + 1) % n,
+                bytes: chunk,
+                round,
+            });
+        }
+    }
+    for rank in 0..n {
+        ops.push(StepOp::Optimizer {
+            rank,
+            bytes: 3 * param_bytes,
+        });
+    }
+    ops
+}
+
 struct Rank {
     dev: usize,
     weights: BufferId,
@@ -211,6 +295,30 @@ mod tests {
             compute_passes: 20,
             overlap_ingestion: overlap,
         }
+    }
+
+    #[test]
+    fn step_pattern_mirrors_the_executed_shape() {
+        let cfg = small(false);
+        let n = cfg.devices.len();
+        let ops = step_pattern(&cfg);
+        // n ingests + n computes + 2(n-1) ring rounds of n hops + n opts.
+        assert_eq!(ops.len(), 3 * n + 2 * (n - 1) * n);
+        // Ring hops chain successor ranks and move equal chunks summing to
+        // one full gradient buffer per reduce+broadcast half.
+        let hop_bytes: u64 = ops
+            .iter()
+            .filter_map(|op| match op {
+                StepOp::RingCopy {
+                    src, dst, bytes, ..
+                } => {
+                    assert_eq!(*dst, (src + 1) % n);
+                    Some(*bytes)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(hop_bytes, 2 * (n as u64 - 1) * (cfg.params as u64 * 4));
     }
 
     #[test]

@@ -233,7 +233,7 @@ fn quick_req(exp: &str, seed: u64) -> RunRequest {
 fn ground_truth(req: &RunRequest) -> Result<(String, Vec<(String, String)>), String> {
     let exp = ifsim_core::registry::by_id(&req.experiment_id)
         .ok_or_else(|| format!("unknown experiment {}", req.experiment_id))?;
-    let cfg = req.overrides.resolve()?;
+    let cfg = req.overrides.resolve().map_err(|e| e.to_string())?;
     let result = exp.run(&cfg);
     Ok((result.report(), result.csv))
 }

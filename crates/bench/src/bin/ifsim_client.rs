@@ -12,6 +12,10 @@
 //!                               in place until interrupted)
 //!   shutdown                    ask the server to drain and exit
 //!   exp <id> [RUN OPTIONS]      run (or replay from cache) one experiment
+//!   exp --scenario FILE [RUN OPTIONS]
+//!                               upload a scenario file (ifsim-scenario-v1)
+//!                               and run it server-side; the id is optional
+//!                               and defaults to scenario:<name>
 //!
 //! run options:
 //!   --quick            start from the quick configuration (2 reps, no warmup)
@@ -26,6 +30,8 @@
 //!   --analyze          run with causal DAG capture and print the top-5
 //!                      critical-path entries from the server's
 //!                      ifsim-critpath-v1 report
+//!   --scenario FILE    parse FILE locally (early errors) and upload its
+//!                      canonical form as the request's inline scenario
 //! ```
 //!
 //! Exit codes: 0 ok, 1 server-side error (including Overloaded), 2 usage.
@@ -120,13 +126,19 @@ fn parse_args() -> Args {
         }
         Some("shutdown") => Command::Shutdown,
         Some("exp") => {
-            let id = words.next().unwrap_or_else(|| usage("exp needs an id"));
+            // The id may be omitted when a --scenario file names itself.
+            let mut rest: Vec<String> = words.collect();
+            let id = if rest.first().is_some_and(|w| !w.starts_with('-')) {
+                rest.remove(0)
+            } else {
+                String::new()
+            };
             let mut exp = ExpArgs {
                 request: RunRequest::new(id),
                 csv_dir: None,
                 print_report: true,
             };
-            let mut rest = words.collect::<Vec<_>>().into_iter();
+            let mut rest = rest.into_iter();
             while let Some(w) = rest.next() {
                 let mut next = |name: &str| {
                     rest.next()
@@ -172,8 +184,26 @@ fn parse_args() -> Args {
                     "--csv" => exp.csv_dir = Some(PathBuf::from(next("--csv"))),
                     "--no-report" => exp.print_report = false,
                     "--analyze" => exp.request.analyze = true,
+                    "--scenario" => {
+                        let path = PathBuf::from(next("--scenario"));
+                        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                            usage(&format!("cannot read {}: {e}", path.display()))
+                        });
+                        // Parse locally so a malformed file fails before
+                        // any bytes hit the server, then upload the
+                        // canonical form.
+                        let s = ifsim_bench::scenario::Scenario::from_str(&text)
+                            .unwrap_or_else(|e| usage(&format!("{}: {e}", path.display())));
+                        if exp.request.experiment_id.is_empty() {
+                            exp.request.experiment_id = format!("scenario:{}", s.name);
+                        }
+                        exp.request.scenario = Some(s.to_json());
+                    }
                     other => usage(&format!("unknown exp option {other}")),
                 }
+            }
+            if exp.request.experiment_id.is_empty() && exp.request.scenario.is_none() {
+                usage("exp needs an id or --scenario FILE");
             }
             Command::Exp(Box::new(exp))
         }

@@ -13,6 +13,8 @@
 //! mgpu-bench rccl --coll allreduce --ranks N [--size BYTES]
 //! mgpu-bench doctor [--derate A,B,F]     link health probe
 //! mgpu-bench exp <id>... [--jobs N]      run registry experiments
+//! mgpu-bench exp --list                  list registry experiments
+//! mgpu-bench exp --scenario FILE         run a compiled scenario file
 //! ```
 //!
 //! Global options: `--seed <u64>`, `--reps <n>`, and the telemetry flags
@@ -41,6 +43,8 @@ use std::process::ExitCode;
 struct Cli {
     cmd: String,
     ids: Vec<String>,
+    scenarios: Vec<PathBuf>,
+    list: bool,
     cfg: BenchConfig,
     jobs: usize,
     size: Option<u64>,
@@ -102,6 +106,8 @@ fn parse() -> Cli {
     let mut cli = Cli {
         cmd,
         ids: Vec::new(),
+        scenarios: Vec::new(),
+        list: false,
         cfg: BenchConfig::quick(),
         jobs: 1,
         size: None,
@@ -162,6 +168,8 @@ fn parse() -> Cli {
                     parts[2].parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--scenario" => cli.scenarios.push(PathBuf::from(next("--scenario"))),
+            "--list" => cli.list = true,
             "--trace-out" => cli.trace_out = Some(PathBuf::from(next("--trace-out"))),
             "--metrics-out" => cli.metrics_out = Some(PathBuf::from(next("--metrics-out"))),
             "--attr-out" => cli.attr_out = Some(PathBuf::from(next("--attr-out"))),
@@ -319,21 +327,43 @@ fn dispatch(cli: &Cli) -> ExitCode {
             }
         }
         "exp" => {
-            if cli.ids.is_empty() {
-                eprintln!("exp needs at least one experiment id; see `repro --list`");
+            if cli.list {
+                for e in registry::all() {
+                    println!("{:<8} {} — {}", e.id, e.title, e.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            if cli.ids.is_empty() && cli.scenarios.is_empty() {
+                eprintln!(
+                    "exp needs at least one experiment id or --scenario FILE; \
+                     see `mgpu-bench exp --list`"
+                );
                 return ExitCode::from(2);
             }
+            let mut exps: Vec<ifsim_bench::Experiment> = Vec::new();
             for id in &cli.ids {
-                if registry::by_id(id).is_none() {
-                    eprintln!(
-                        "unknown experiment '{id}'; available: {}",
-                        registry::ids().join(", ")
-                    );
-                    return ExitCode::from(2);
+                match registry::by_id(id) {
+                    Some(e) => exps.push(e),
+                    None => {
+                        eprintln!(
+                            "unknown experiment '{id}'; available: {}",
+                            registry::ids().join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            for path in &cli.scenarios {
+                match ifsim_bench::load_scenario(path) {
+                    Ok(e) => exps.push(e),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
                 }
             }
             let mut all_passed = true;
-            if cli.jobs > 1 && cli.ids.len() > 1 {
+            if cli.jobs > 1 && exps.len() > 1 {
                 // Workers run off-thread, out of reach of the main-thread
                 // collector installed above; gather per-experiment bundles
                 // and forward them so --trace-out/--metrics-out still see
@@ -341,9 +371,9 @@ fn dispatch(cli: &Cli) -> ExitCode {
                 // on the workers too, so --critpath-out composes with
                 // --jobs.
                 let pairs = if cli.critpath_out.is_some() {
-                    ifsim_bench::run_experiments_dag_jobs(&cli.ids, &cli.cfg, cli.jobs)
+                    ifsim_bench::run_set_dag_jobs(exps, &cli.cfg, cli.jobs)
                 } else {
-                    ifsim_bench::run_experiments_instrumented_jobs(&cli.ids, &cli.cfg, cli.jobs)
+                    ifsim_bench::run_set_instrumented_jobs(exps, &cli.cfg, cli.jobs)
                 };
                 for (r, t) in pairs {
                     print!("{}", r.report());
@@ -351,8 +381,8 @@ fn dispatch(cli: &Cli) -> ExitCode {
                     ifsim_core::telemetry::collector::contribute_collected(t);
                 }
             } else {
-                for id in &cli.ids {
-                    let r = registry::by_id(id).expect("validated above").run(&cli.cfg);
+                for e in &exps {
+                    let r = e.run(&cli.cfg);
                     print!("{}", r.report());
                     all_passed &= r.all_passed();
                 }

@@ -20,6 +20,8 @@
 //!                    critical-path report as JSON (schema ifsim-critpath-v1)
 //!   --jobs <n>       run up to <n> experiments concurrently; every
 //!                    artifact is byte-identical to a serial run
+//!   --scenario <f>   compile a scenario file (schema ifsim-scenario-v1)
+//!                    and run it alongside any ids; repeatable
 //!   --list           list experiments and exit
 //! ```
 
@@ -27,7 +29,8 @@ use ifsim_bench::telemetry::{
     attribution_json, json, render_attribution, timeseries_csv, CollectedTelemetry,
 };
 use ifsim_bench::{
-    run_experiments_dag_jobs, run_experiments_instrumented_jobs, run_experiments_jobs, BenchConfig,
+    load_scenario, run_set_dag_jobs, run_set_instrumented_jobs, run_set_jobs, select_experiments,
+    BenchConfig, Experiment,
 };
 use ifsim_core::registry;
 use std::path::PathBuf;
@@ -35,6 +38,8 @@ use std::process::ExitCode;
 
 struct Args {
     ids: Vec<String>,
+    all: bool,
+    scenarios: Vec<PathBuf>,
     cfg: BenchConfig,
     csv_dir: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -50,6 +55,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         ids: Vec::new(),
+        all: false,
+        scenarios: Vec::new(),
         cfg: BenchConfig::default(),
         csv_dir: None,
         trace_out: None,
@@ -109,17 +116,24 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--scenario" => {
+                let v = it.next().ok_or("--scenario needs a file")?;
+                args.scenarios.push(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--seed N] [--reps N] [--csv DIR] \
                      [--trace-out FILE] [--metrics-out FILE] [--attr-out FILE] \
                      [--attr-json FILE] [--timeseries-out FILE] [--critpath-out FILE] \
-                     [--jobs N] [--list] [IDS...]"
+                     [--jobs N] [--scenario FILE]... [--list] [IDS...]"
                 );
                 println!("experiments: {}", registry::ids().join(", "));
                 std::process::exit(0);
             }
-            "all" => args.ids.clear(),
+            "all" => {
+                args.all = true;
+                args.ids.clear();
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other}"));
             }
@@ -156,6 +170,25 @@ fn main() -> ExitCode {
         || args.attr_json.is_some()
         || args.timeseries_out.is_some()
         || args.csv_dir.is_some();
+    // Scenario files alone narrow the run to just them; ids or an explicit
+    // 'all' bring registry experiments into the same set. Compiled
+    // scenarios run under every driver below exactly like registry
+    // entries.
+    let mut exps: Vec<Experiment> =
+        if !args.all && args.ids.is_empty() && !args.scenarios.is_empty() {
+            Vec::new()
+        } else {
+            select_experiments(&args.ids)
+        };
+    for path in &args.scenarios {
+        match load_scenario(path) {
+            Ok(e) => exps.push(e),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // Results come back in registry order regardless of --jobs, and each
     // experiment seeds its simulators from the config alone, so the loop
     // below emits byte-identical artifacts whether the run was parallel
@@ -164,17 +197,17 @@ fn main() -> ExitCode {
         if args.critpath_out.is_some() {
             // DAG capture subsumes plain instrumentation, so one driver serves
             // every artifact when the critical-path report is requested.
-            run_experiments_dag_jobs(&args.ids, &args.cfg, args.jobs)
+            run_set_dag_jobs(exps, &args.cfg, args.jobs)
                 .into_iter()
                 .map(|(r, t)| (r, Some(t)))
                 .collect()
         } else if instrument {
-            run_experiments_instrumented_jobs(&args.ids, &args.cfg, args.jobs)
+            run_set_instrumented_jobs(exps, &args.cfg, args.jobs)
                 .into_iter()
                 .map(|(r, t)| (r, Some(t)))
                 .collect()
         } else {
-            run_experiments_jobs(&args.ids, &args.cfg, args.jobs)
+            run_set_jobs(exps, &args.cfg, args.jobs)
                 .into_iter()
                 .map(|r| (r, None))
                 .collect()

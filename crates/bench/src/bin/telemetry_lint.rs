@@ -6,6 +6,7 @@
 //! ```text
 //! telemetry-lint [--trace FILE] [--metrics FILE] [--bench FILE] [--attr FILE]
 //!                [--serve FILE] [--prom FILE] [--critpath FILE]
+//!                [--scenario FILE]
 //! ```
 //!
 //! Validates structure only, no golden values: the trace must be Chrome
@@ -39,8 +40,12 @@
 //! makespans must sum back to `total_ns`, top entries need
 //! label/category/ns/count/share with shares in [0, 1], and what-if rows
 //! (when present) need field/factor/makespan_ns/delta_ns/speedup with
-//! positive factors and speedups. Exit code 0 when every given file
-//! passes, 1 otherwise.
+//! positive factors and speedups; and `--scenario` validates an
+//! `ifsim-scenario-v1` scenario file (strict parse: unknown fields are
+//! rejected with their field path, trace-record dependency graphs are
+//! checked for cycles, sweep axes for bounds and parameter validity, and
+//! faults/calibration against the frontier topology and calibration
+//! table). Exit code 0 when every given file passes, 1 otherwise.
 
 use ifsim_core::fabric::SegmentMap;
 use ifsim_core::telemetry::json::{self, Value};
@@ -763,6 +768,34 @@ fn lint_prom(text: &str) -> Result<usize, String> {
     Ok(samples.len())
 }
 
+/// Validate a scenario file against the `ifsim-scenario-v1` schema.
+/// Returns a one-line summary of what the scenario describes.
+fn lint_scenario(path: &PathBuf) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let s = ifsim_scenario::Scenario::from_str(&text).map_err(|e| e.to_string())?;
+    let workload = match &s.workload {
+        ifsim_scenario::Workload::Registry { id } => format!("registry '{id}'"),
+        ifsim_scenario::Workload::Trace { records } => {
+            format!("trace ({} records)", records.len())
+        }
+        ifsim_scenario::Workload::Generator(g) => g.kind_name().to_string(),
+    };
+    let mut extras = Vec::new();
+    if !s.sweep.is_empty() {
+        extras.push(format!("{} sweep axes", s.sweep.len()));
+    }
+    if !s.faults.is_empty() {
+        extras.push(format!("{} faults", s.faults.len()));
+    }
+    let suffix = if extras.is_empty() {
+        String::new()
+    } else {
+        format!(" with {}", extras.join(", "))
+    };
+    Ok(format!("'{}' runs {workload}{suffix}", s.name))
+}
+
 fn main() -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
@@ -771,6 +804,7 @@ fn main() -> ExitCode {
     let mut serve: Option<PathBuf> = None;
     let mut prom: Option<String> = None;
     let mut critpath: Option<PathBuf> = None;
+    let mut scenarios: Vec<PathBuf> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -781,11 +815,12 @@ fn main() -> ExitCode {
             "--serve" => serve = it.next().map(PathBuf::from),
             "--prom" => prom = it.next(),
             "--critpath" => critpath = it.next().map(PathBuf::from),
+            "--scenario" => scenarios.extend(it.next().map(PathBuf::from)),
             "--help" | "-h" => {
                 println!(
                     "usage: telemetry-lint [--trace FILE] [--metrics FILE] \
                      [--bench FILE] [--attr FILE] [--serve FILE] \
-                     [--prom FILE|-] [--critpath FILE]"
+                     [--prom FILE|-] [--critpath FILE] [--scenario FILE]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -802,10 +837,11 @@ fn main() -> ExitCode {
         && serve.is_none()
         && prom.is_none()
         && critpath.is_none()
+        && scenarios.is_empty()
     {
         eprintln!(
             "nothing to lint: pass --trace, --metrics, --bench, --attr, \
-             --serve, --prom, and/or --critpath"
+             --serve, --prom, --critpath, and/or --scenario"
         );
         return ExitCode::from(2);
     }
@@ -860,6 +896,15 @@ fn main() -> ExitCode {
             Ok(n) => println!("critpath OK: {} — {n} top entries", path.display()),
             Err(e) => {
                 eprintln!("critpath FAIL: {} — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    for path in &scenarios {
+        match lint_scenario(path) {
+            Ok(summary) => println!("scenario OK: {} — {summary}", path.display()),
+            Err(e) => {
+                eprintln!("scenario FAIL: {} — {e}", path.display());
                 ok = false;
             }
         }

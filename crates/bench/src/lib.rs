@@ -13,6 +13,24 @@
 
 pub use ifsim_core::telemetry;
 pub use ifsim_core::{registry, BenchConfig, Experiment, ExperimentResult};
+pub use ifsim_scenario as scenario;
+
+/// Resolve registry ids into experiments (empty selects everything),
+/// panicking on unknown ids with the available set listed — the CLI
+/// contract `repro` and `mgpu-bench exp` share.
+pub fn select_experiments(ids: &[String]) -> Vec<Experiment> {
+    select(ids)
+}
+
+/// Read, parse, and compile a scenario file into a runnable experiment.
+/// Errors carry the file path and the offending field.
+pub fn load_scenario(path: &std::path::Path) -> Result<Experiment, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let s = ifsim_scenario::Scenario::from_str(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    ifsim_scenario::compile(&s).map_err(|e| format!("{}: {e}", path.display()))
+}
 
 fn select(ids: &[String]) -> Vec<Experiment> {
     if ids.is_empty() {
@@ -96,6 +114,35 @@ pub fn run_experiments_jobs(
     jobs: usize,
 ) -> Vec<ExperimentResult> {
     run_pooled(select(ids), cfg, jobs, |e, cfg| e.run(cfg))
+}
+
+/// Run an explicit experiment set — registry selections, compiled
+/// scenarios, or a mix — over the worker pool, results in submission
+/// order. The set-based twin of [`run_experiments_jobs`].
+pub fn run_set_jobs(
+    exps: Vec<Experiment>,
+    cfg: &BenchConfig,
+    jobs: usize,
+) -> Vec<ExperimentResult> {
+    run_pooled(exps, cfg, jobs, |e, cfg| e.run(cfg))
+}
+
+/// Set-based twin of [`run_experiments_instrumented_jobs`].
+pub fn run_set_instrumented_jobs(
+    exps: Vec<Experiment>,
+    cfg: &BenchConfig,
+    jobs: usize,
+) -> Vec<(ExperimentResult, telemetry::CollectedTelemetry)> {
+    run_pooled(exps, cfg, jobs, |e, cfg| e.run_instrumented(cfg))
+}
+
+/// Set-based twin of [`run_experiments_dag_jobs`].
+pub fn run_set_dag_jobs(
+    exps: Vec<Experiment>,
+    cfg: &BenchConfig,
+    jobs: usize,
+) -> Vec<(ExperimentResult, telemetry::CollectedTelemetry)> {
+    run_pooled(exps, cfg, jobs, |e, cfg| e.run_instrumented_dag(cfg))
 }
 
 /// As [`run_experiments_instrumented`], with up to `jobs` experiments in

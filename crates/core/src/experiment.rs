@@ -2,6 +2,7 @@
 
 use ifsim_microbench::BenchConfig;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One shape/value check against the paper.
 #[derive(Clone, Debug)]
@@ -62,15 +63,55 @@ impl ExperimentResult {
     }
 }
 
+/// How an experiment produces its result: the registry's plain function
+/// pointers, or a closure compiled at runtime (scenario files). Both run
+/// identically under every driver — telemetry, `--jobs`, DAG capture,
+/// cancellation — because the drivers only ever see [`Experiment::run`].
+#[derive(Clone)]
+enum Runner {
+    /// A hand-coded registry experiment.
+    Static(fn(&BenchConfig) -> ExperimentResult),
+    /// A runtime-compiled experiment (e.g. `ifsim-scenario` workloads).
+    Dynamic(Arc<dyn Fn(&BenchConfig) -> ExperimentResult + Send + Sync>),
+}
+
+/// Intern a string into the `'static` lifetime the registry API speaks.
+/// Each distinct string leaks exactly once (a global pool deduplicates),
+/// so compiling the same scenario repeatedly — the serve daemon does —
+/// stays bounded by the number of *distinct* ids ever seen.
+pub fn intern(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap();
+    match pool.get(s) {
+        Some(&interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+            pool.insert(leaked);
+            leaked
+        }
+    }
+}
+
 /// A registered experiment.
+#[derive(Clone)]
 pub struct Experiment {
-    /// Registry id (`table1`, `fig2`, ... `fig12`).
+    /// Registry id (`table1`, `fig2`, ... `fig12`, or `scenario:<name>`).
     pub id: &'static str,
     /// Human title (the paper's caption, abbreviated).
     pub title: &'static str,
     /// What the paper artifact shows.
     pub description: &'static str,
-    runner: fn(&BenchConfig) -> ExperimentResult,
+    runner: Runner,
+    /// Extra identity folded into [`Experiment::config_digest`] — dynamic
+    /// experiments carry their compiled definition's digest here so two
+    /// scenarios sharing a name but differing in content never collide in
+    /// a result cache.
+    digest_extra: Vec<(String, String)>,
 }
 
 impl Experiment {
@@ -85,13 +126,38 @@ impl Experiment {
             id,
             title,
             description,
-            runner,
+            runner: Runner::Static(runner),
+            digest_extra: Vec::new(),
+        }
+    }
+
+    /// Define a runtime-compiled experiment. The id/title/description are
+    /// interned (deduplicated leak) into the `'static` lifetime the rest of
+    /// the stack speaks; `digest_extra` pairs join the configuration pairs
+    /// in [`Experiment::config_digest`] so content-addressed caches key on
+    /// the compiled definition, not just its name.
+    pub fn dynamic(
+        id: &str,
+        title: &str,
+        description: &str,
+        digest_extra: Vec<(String, String)>,
+        runner: Arc<dyn Fn(&BenchConfig) -> ExperimentResult + Send + Sync>,
+    ) -> Experiment {
+        Experiment {
+            id: intern(id),
+            title: intern(title),
+            description: intern(description),
+            runner: Runner::Dynamic(runner),
+            digest_extra,
         }
     }
 
     /// Run it.
     pub fn run(&self, cfg: &BenchConfig) -> ExperimentResult {
-        (self.runner)(cfg)
+        match &self.runner {
+            Runner::Static(f) => f(cfg),
+            Runner::Dynamic(f) => f(cfg),
+        }
     }
 
     /// Content-address this experiment under `cfg`: a hex digest over the
@@ -112,6 +178,7 @@ impl Experiment {
         for (name, value) in cfg.calib.kv() {
             pairs.push((format!("calib.{name}"), value.to_string()));
         }
+        pairs.extend(self.digest_extra.iter().cloned());
         digest_kv(&pairs)
     }
 
@@ -123,7 +190,7 @@ impl Experiment {
         cfg: &BenchConfig,
     ) -> (ExperimentResult, ifsim_telemetry::CollectedTelemetry) {
         let collector = ifsim_telemetry::Collector::install();
-        let result = (self.runner)(cfg);
+        let result = self.run(cfg);
         (result, collector.take())
     }
 
@@ -141,7 +208,7 @@ impl Experiment {
         cfg: &BenchConfig,
     ) -> (ExperimentResult, ifsim_telemetry::CollectedTelemetry) {
         let collector = ifsim_telemetry::Collector::install_with_dag();
-        let result = (self.runner)(cfg);
+        let result = self.run(cfg);
         (result, collector.take())
     }
 
@@ -158,7 +225,7 @@ impl Experiment {
         token: &ifsim_des::cancel::CancelToken,
     ) -> Result<ExperimentResult, ifsim_des::cancel::Cancelled> {
         let _guard = token.install();
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.runner)(cfg))) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(cfg))) {
             Ok(result) => Ok(result),
             Err(payload) if payload.is::<ifsim_des::cancel::Cancelled>() => {
                 Err(ifsim_des::cancel::Cancelled)
@@ -370,6 +437,39 @@ mod tests {
             e.run_cancellable(&BenchConfig::quick(), &token)
         }));
         assert!(caught.is_err(), "non-cancellation panics unwind outward");
+    }
+
+    #[test]
+    fn dynamic_experiments_run_and_digest_their_definition() {
+        let mk = |extra: &str| {
+            let rendered = format!("payload {extra}\n");
+            Experiment::dynamic(
+                "scenario:probe",
+                "probe scenario",
+                "dynamic runner probe",
+                vec![("scenario".into(), extra.into())],
+                Arc::new(move |_cfg: &BenchConfig| ExperimentResult {
+                    id: "scenario:probe",
+                    title: "probe scenario",
+                    rendered: rendered.clone(),
+                    csv: vec![],
+                    checks: vec![],
+                }),
+            )
+        };
+        let a = mk("aaaa");
+        let b = mk("bbbb");
+        let cfg = BenchConfig::quick();
+        assert_eq!(a.run(&cfg).rendered, "payload aaaa\n");
+        // Same name, different compiled content: the digests must differ,
+        // and re-interning the same strings must not grow the pool's view.
+        assert_ne!(a.config_digest(&cfg), b.config_digest(&cfg));
+        assert_eq!(a.config_digest(&cfg), mk("aaaa").config_digest(&cfg));
+        assert!(std::ptr::eq(a.id, mk("aaaa").id), "ids interned once");
+        // Dynamic experiments ride the instrumented drivers unchanged.
+        let (r, t) = a.run_instrumented(&cfg);
+        assert_eq!(r.id, "scenario:probe");
+        assert_eq!(t.sims(), 0, "probe constructs no runtimes");
     }
 
     #[test]

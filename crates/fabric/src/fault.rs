@@ -78,7 +78,134 @@ pub enum FaultKind {
     },
 }
 
+/// The parameters a wire-format fault event may carry, decoded from
+/// whatever envelope (JSON scenario file, CLI flag) named them. All
+/// fields are optional here; [`FaultKind::from_wire`] checks that exactly
+/// the ones its kind needs are present.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultParams {
+    /// One endpoint of a link fault (`a`).
+    pub a: Option<u8>,
+    /// The other endpoint of a link fault (`b`).
+    pub b: Option<u8>,
+    /// The GCD of an SDMA fault (`gcd`).
+    pub gcd: Option<u8>,
+    /// Lanes lost by a `lane-loss` event.
+    pub lanes: Option<u32>,
+    /// Retransmission tax of a `bit-error-rate` event, in `[0, 1)`.
+    pub tax: Option<f64>,
+    /// Added per-hop latency of a `bit-error-rate` event, in microseconds.
+    pub added_latency_us: Option<f64>,
+}
+
 impl FaultKind {
+    /// The stable wire name of this kind — the `kind` strings scenario
+    /// files (`ifsim-scenario-v1`) use. [`FaultKind::from_wire`] parses
+    /// them back.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            FaultKind::LaneLoss { .. } => "lane-loss",
+            FaultKind::LinkDown { .. } => "link-down",
+            FaultKind::LinkRestore { .. } => "link-restore",
+            FaultKind::SdmaFail { .. } => "sdma-fail",
+            FaultKind::SdmaRestore { .. } => "sdma-restore",
+            FaultKind::BitErrorRate { .. } => "bit-error-rate",
+            FaultKind::EccBurst { .. } => "ecc-burst",
+        }
+    }
+
+    /// Build a fault kind from its wire name plus decoded parameters,
+    /// rejecting missing or out-of-range ones. Errors name the offending
+    /// parameter so envelope parsers can prefix a field path.
+    pub fn from_wire(kind: &str, p: &FaultParams) -> Result<FaultKind, String> {
+        let link = || -> Result<(GcdId, GcdId), String> {
+            let a = p.a.ok_or("missing 'a' (link endpoint GCD)")?;
+            let b = p.b.ok_or("missing 'b' (link endpoint GCD)")?;
+            if a == b {
+                return Err(format!("'a' and 'b' must differ (both {a})"));
+            }
+            Ok((GcdId(a), GcdId(b)))
+        };
+        match kind {
+            "lane-loss" => {
+                let (a, b) = link()?;
+                let lanes = p.lanes.ok_or("missing 'lanes'")?;
+                if lanes == 0 {
+                    return Err("'lanes' must be at least 1".into());
+                }
+                Ok(FaultKind::LaneLoss { a, b, lanes })
+            }
+            "link-down" => link().map(|(a, b)| FaultKind::LinkDown { a, b }),
+            "link-restore" => link().map(|(a, b)| FaultKind::LinkRestore { a, b }),
+            "sdma-fail" => Ok(FaultKind::SdmaFail {
+                gcd: GcdId(p.gcd.ok_or("missing 'gcd'")?),
+            }),
+            "sdma-restore" => Ok(FaultKind::SdmaRestore {
+                gcd: GcdId(p.gcd.ok_or("missing 'gcd'")?),
+            }),
+            "bit-error-rate" => {
+                let (a, b) = link()?;
+                let tax = p.tax.ok_or("missing 'tax'")?;
+                if !(0.0..1.0).contains(&tax) {
+                    return Err(format!("'tax' must be in [0, 1), got {tax}"));
+                }
+                let us = p.added_latency_us.unwrap_or(0.0);
+                if !us.is_finite() || us < 0.0 {
+                    return Err(format!(
+                        "'added_latency_us' must be finite and non-negative, got {us}"
+                    ));
+                }
+                Ok(FaultKind::BitErrorRate {
+                    a,
+                    b,
+                    tax,
+                    added_latency: Dur::from_us(us),
+                })
+            }
+            "ecc-burst" => link().map(|(a, b)| FaultKind::EccBurst { a, b }),
+            other => Err(format!(
+                "unknown fault kind '{other}' (expected lane-loss|link-down|link-restore|\
+                 sdma-fail|sdma-restore|bit-error-rate|ecc-burst)"
+            )),
+        }
+    }
+
+    /// The wire parameters of this kind — the inverse of
+    /// [`FaultKind::from_wire`], used by canonical serializers.
+    pub fn wire_params(&self) -> FaultParams {
+        match *self {
+            FaultKind::LaneLoss { a, b, lanes } => FaultParams {
+                a: Some(a.0),
+                b: Some(b.0),
+                lanes: Some(lanes),
+                ..Default::default()
+            },
+            FaultKind::LinkDown { a, b }
+            | FaultKind::LinkRestore { a, b }
+            | FaultKind::EccBurst { a, b } => FaultParams {
+                a: Some(a.0),
+                b: Some(b.0),
+                ..Default::default()
+            },
+            FaultKind::SdmaFail { gcd } | FaultKind::SdmaRestore { gcd } => FaultParams {
+                gcd: Some(gcd.0),
+                ..Default::default()
+            },
+            FaultKind::BitErrorRate {
+                a,
+                b,
+                tax,
+                added_latency,
+            } => FaultParams {
+                a: Some(a.0),
+                b: Some(b.0),
+                tax: Some(tax),
+                added_latency_us: Some(added_latency.as_us()),
+                ..Default::default()
+            },
+        }
+    }
+
     /// The GCD endpoints of the affected link, if the fault targets a link.
     pub fn endpoints(&self) -> Option<(GcdId, GcdId)> {
         match *self {
@@ -318,5 +445,67 @@ mod tests {
             .to_string(),
             "lane loss GCD0<->GCD1 (-2)"
         );
+    }
+
+    #[test]
+    fn wire_names_round_trip_through_from_wire() {
+        let kinds = [
+            FaultKind::LaneLoss {
+                a: g(0),
+                b: g(1),
+                lanes: 2,
+            },
+            FaultKind::LinkDown { a: g(1), b: g(7) },
+            FaultKind::LinkRestore { a: g(1), b: g(7) },
+            FaultKind::SdmaFail { gcd: g(3) },
+            FaultKind::SdmaRestore { gcd: g(3) },
+            FaultKind::BitErrorRate {
+                a: g(2),
+                b: g(3),
+                tax: 0.25,
+                added_latency: Dur::from_us(1.5),
+            },
+            FaultKind::EccBurst { a: g(4), b: g(5) },
+        ];
+        for k in kinds {
+            let back = FaultKind::from_wire(k.wire_name(), &k.wire_params()).unwrap();
+            assert_eq!(back, k, "{} did not round-trip", k.wire_name());
+        }
+    }
+
+    #[test]
+    fn from_wire_rejects_bad_parameters() {
+        let link = FaultParams {
+            a: Some(0),
+            b: Some(1),
+            ..Default::default()
+        };
+        assert!(FaultKind::from_wire("melted", &link)
+            .unwrap_err()
+            .contains("unknown fault kind"));
+        assert!(FaultKind::from_wire("link-down", &FaultParams::default())
+            .unwrap_err()
+            .contains("missing 'a'"));
+        let same = FaultParams {
+            a: Some(2),
+            b: Some(2),
+            ..Default::default()
+        };
+        assert!(FaultKind::from_wire("link-down", &same)
+            .unwrap_err()
+            .contains("must differ"));
+        assert!(FaultKind::from_wire("lane-loss", &link)
+            .unwrap_err()
+            .contains("missing 'lanes'"));
+        let bad_tax = FaultParams {
+            tax: Some(1.5),
+            ..link
+        };
+        assert!(FaultKind::from_wire("bit-error-rate", &bad_tax)
+            .unwrap_err()
+            .contains("'tax'"));
+        assert!(FaultKind::from_wire("sdma-fail", &link)
+            .unwrap_err()
+            .contains("missing 'gcd'"));
     }
 }

@@ -54,7 +54,7 @@ pub mod seg;
 
 pub use attr::BottleneckAttribution;
 pub use calib::Calibration;
-pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fault::{FaultEvent, FaultKind, FaultParams, FaultPlan};
 pub use flow::{FlowId, FlowSpec};
 pub use flowlog::{FlowEvent, FlowEventKind, FlowLog};
 pub use net::{FlowNet, LinkLoad};

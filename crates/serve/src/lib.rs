@@ -47,6 +47,6 @@ pub mod store;
 pub use cache::{CacheTier, CachedRun, ResultCache};
 pub use client::{ClientAddr, Connection};
 pub use http::HttpPlane;
-pub use proto::{ConfigOverrides, Request, RunRequest, RunResponse, Status};
+pub use proto::{ConfigOverrides, FieldError, Request, RunRequest, RunResponse, Status};
 pub use server::{ServeAddr, ServeOptions, Server, ServerCore, STATS_SCHEMA};
 pub use store::{DiskStore, ScanReport};

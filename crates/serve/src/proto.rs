@@ -20,11 +20,31 @@
 //! server echoes it (or a generated one) on every non-ping response, so a
 //! client can correlate a slow answer with the server's request span and
 //! the latency-histogram exemplars in `/metrics`.
+//!
+//! **Structured errors:** every malformed-payload rejection is a
+//! [`FieldError`] naming the offending field as a dotted path
+//! (`overrides.calib.eff_sdma_xgmi`, `scenario.workload.records[3].bytes`);
+//! error responses carry the path under the wire key `field` alongside
+//! the human-readable `error` text. Scenario-parse errors reuse the
+//! scenario crate's error type directly, so both planes speak one shape.
 
 use ifsim_core::BenchConfig;
+pub use ifsim_scenario::FieldError;
 use serde_json::{Map, Value};
 
+/// Shorthand for building a [`FieldError`].
+fn ferr(field: impl Into<String>, message: impl Into<String>) -> FieldError {
+    FieldError {
+        field: field.into(),
+        message: message.into(),
+    }
+}
+
 /// Any request a client can send.
+// One short-lived value per wire line, destructured immediately after
+// parsing — the Run variant's size (inline scenario payload) never
+// accumulates anywhere, so boxing would be pure indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Liveness probe.
@@ -57,8 +77,9 @@ pub struct ConfigOverrides {
 
 impl ConfigOverrides {
     /// Materialize the overrides into a runnable configuration.
-    /// Unknown calibration field names are a client error.
-    pub fn resolve(&self) -> Result<BenchConfig, String> {
+    /// Unknown calibration field names are a client error naming the
+    /// offending `overrides.calib.<field>` path.
+    pub fn resolve(&self) -> Result<BenchConfig, FieldError> {
         let mut cfg = if self.quick {
             BenchConfig::quick()
         } else {
@@ -74,10 +95,12 @@ impl ConfigOverrides {
             cfg.warmup = w;
         }
         for (field, factor) in &self.calib {
-            let slot = cfg
-                .calib
-                .f64_field_mut(field)
-                .ok_or_else(|| format!("unknown calibration field '{field}'"))?;
+            let slot = cfg.calib.f64_field_mut(field).ok_or_else(|| {
+                ferr(
+                    format!("overrides.calib.{field}"),
+                    format!("unknown calibration field '{field}'"),
+                )
+            })?;
             *slot *= factor;
         }
         Ok(cfg)
@@ -92,8 +115,16 @@ impl ConfigOverrides {
 /// One experiment request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRequest {
-    /// Registry id (`fig6a`, `table1`, ...).
+    /// Registry id (`fig6a`, `table1`, ...). May be empty when an inline
+    /// `scenario` is supplied; the server then echoes the compiled
+    /// scenario's id (`scenario:<name>`).
     pub experiment_id: String,
+    /// Inline scenario document (schema `ifsim-scenario-v1`), compiled
+    /// server-side instead of a registry lookup. The scenario's content
+    /// digest folds into the configuration digest, so caching and
+    /// single-flight key on scenario *content* — field order and the
+    /// client-chosen `experiment_id` label don't matter.
+    pub scenario: Option<Value>,
     /// Configuration overrides (empty = server defaults).
     pub overrides: ConfigOverrides,
     /// CSV artifact names to return; empty returns all of them.
@@ -119,6 +150,7 @@ impl RunRequest {
     pub fn new(experiment_id: impl Into<String>) -> RunRequest {
         RunRequest {
             experiment_id: experiment_id.into(),
+            scenario: None,
             overrides: ConfigOverrides::default(),
             artifacts: Vec::new(),
             deadline_ms: None,
@@ -132,6 +164,9 @@ impl RunRequest {
         let mut m = Map::new();
         m.insert("op", Value::from("run"));
         m.insert("experiment_id", Value::from(self.experiment_id.clone()));
+        if let Some(s) = &self.scenario {
+            m.insert("scenario", s.clone());
+        }
         let mut o = Map::new();
         if self.overrides.quick {
             o.insert("quick", Value::from(true));
@@ -176,39 +211,67 @@ impl RunRequest {
         Value::Object(m)
     }
 
-    /// Decode the wire value produced by [`RunRequest::to_json`].
-    pub fn from_json(v: &Value) -> Result<RunRequest, String> {
-        let obj = v.as_object().ok_or("run request must be a JSON object")?;
-        let experiment_id = obj
-            .get("experiment_id")
-            .and_then(Value::as_str)
-            .ok_or("run request needs a string 'experiment_id'")?
-            .to_string();
+    /// Decode the wire value produced by [`RunRequest::to_json`]. Every
+    /// rejection names the offending field as a dotted path.
+    pub fn from_json(v: &Value) -> Result<RunRequest, FieldError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| ferr("", "run request must be a JSON object"))?;
+        let scenario = match obj.get("scenario") {
+            Some(s) => {
+                if s.as_object().is_none() {
+                    return Err(ferr("scenario", "must be a JSON object"));
+                }
+                Some(s.clone())
+            }
+            None => None,
+        };
+        let experiment_id = match obj.get("experiment_id") {
+            Some(id) => id
+                .as_str()
+                .ok_or_else(|| ferr("experiment_id", "must be a string"))?
+                .to_string(),
+            // An inline scenario names itself; a registry run must say
+            // which experiment it wants.
+            None if scenario.is_some() => String::new(),
+            None => return Err(ferr("experiment_id", "run request needs a string id")),
+        };
         let mut overrides = ConfigOverrides::default();
         if let Some(o) = obj.get("overrides") {
-            let o = o.as_object().ok_or("'overrides' must be an object")?;
+            let o = o
+                .as_object()
+                .ok_or_else(|| ferr("overrides", "must be an object"))?;
             if let Some(q) = o.get("quick") {
-                overrides.quick = q.as_bool().ok_or("'quick' must be a boolean")?;
+                overrides.quick = q
+                    .as_bool()
+                    .ok_or_else(|| ferr("overrides.quick", "must be a boolean"))?;
             }
             if let Some(s) = o.get("seed") {
-                let text = s.as_str().ok_or("'seed' must be a decimal string")?;
+                let text = s
+                    .as_str()
+                    .ok_or_else(|| ferr("overrides.seed", "must be a decimal string"))?;
                 overrides.seed = Some(
                     text.parse()
-                        .map_err(|e| format!("bad seed '{text}': {e}"))?,
+                        .map_err(|e| ferr("overrides.seed", format!("bad seed '{text}': {e}")))?,
                 );
             }
             if let Some(r) = o.get("reps") {
-                overrides.reps = Some(parse_count(r, "reps")?);
+                overrides.reps = Some(parse_count(r, "overrides.reps")?);
             }
             if let Some(w) = o.get("warmup") {
-                overrides.warmup = Some(parse_count(w, "warmup")?);
+                overrides.warmup = Some(parse_count(w, "overrides.warmup")?);
             }
             if let Some(c) = o.get("calib") {
-                let c = c.as_object().ok_or("'calib' must be an object")?;
+                let c = c
+                    .as_object()
+                    .ok_or_else(|| ferr("overrides.calib", "must be an object"))?;
                 for (field, factor) in c.iter() {
-                    let factor = factor
-                        .as_f64()
-                        .ok_or_else(|| format!("calib factor for '{field}' must be a number"))?;
+                    let factor = factor.as_f64().ok_or_else(|| {
+                        ferr(
+                            format!("overrides.calib.{field}"),
+                            "factor must be a number",
+                        )
+                    })?;
                     overrides.calib.push((field.clone(), factor));
                 }
             }
@@ -217,21 +280,25 @@ impl RunRequest {
         if let Some(d) = obj.get("deadline_ms") {
             deadline_ms = Some(
                 d.as_u64()
-                    .ok_or("'deadline_ms' must be a non-negative integer")?,
+                    .ok_or_else(|| ferr("deadline_ms", "must be a non-negative integer"))?,
             );
         }
         let mut artifacts = Vec::new();
         if let Some(a) = obj.get("artifacts") {
-            for name in a.as_array().ok_or("'artifacts' must be an array")? {
+            let names = a
+                .as_array()
+                .ok_or_else(|| ferr("artifacts", "must be an array"))?;
+            for (i, name) in names.iter().enumerate() {
                 artifacts.push(
                     name.as_str()
-                        .ok_or("artifact names must be strings")?
+                        .ok_or_else(|| ferr(format!("artifacts[{i}]"), "must be a string"))?
                         .to_string(),
                 );
             }
         }
         Ok(RunRequest {
             experiment_id,
+            scenario,
             overrides,
             artifacts,
             deadline_ms,
@@ -241,10 +308,10 @@ impl RunRequest {
     }
 }
 
-fn parse_count(v: &Value, what: &str) -> Result<usize, String> {
+fn parse_count(v: &Value, field: &str) -> Result<usize, FieldError> {
     v.as_u64()
         .map(|n| n as usize)
-        .ok_or_else(|| format!("'{what}' must be a non-negative integer"))
+        .ok_or_else(|| ferr(field, "must be a non-negative integer"))
 }
 
 /// Response status taxonomy, with HTTP-flavoured numeric codes.
@@ -321,6 +388,9 @@ pub struct RunResponse {
     pub cached: bool,
     /// Error detail for non-`Ok` statuses.
     pub error: Option<String>,
+    /// Dotted path of the request field a `BadRequest` rejection is
+    /// about (wire key `field`); `None` when no single field applies.
+    pub error_field: Option<String>,
     /// The rendered report, for `Ok`.
     pub report: Option<String>,
     /// `(file name, contents)` CSV artifacts, filtered per the request.
@@ -344,12 +414,28 @@ impl RunResponse {
             digest: String::new(),
             cached: false,
             error: Some(msg),
+            error_field: None,
             report: None,
             csv: Vec::new(),
             checks_passed: 0,
             checks_total: 0,
             critpath: None,
         }
+    }
+
+    /// A field-annotated error response: `error` carries the full
+    /// human-readable rendering (`field 'x': ...`), `field` the bare
+    /// dotted path for machine consumption.
+    pub fn field_error(
+        status: Status,
+        experiment_id: impl Into<String>,
+        err: FieldError,
+    ) -> RunResponse {
+        let mut resp = RunResponse::error(status, experiment_id, err.to_string());
+        if !err.field.is_empty() {
+            resp.error_field = Some(err.field);
+        }
+        resp
     }
 
     /// Encode as a wire JSON value.
@@ -366,6 +452,9 @@ impl RunResponse {
         m.insert("cached", Value::from(self.cached));
         if let Some(e) = &self.error {
             m.insert("error", Value::from(e.clone()));
+        }
+        if let Some(f) = &self.error_field {
+            m.insert("field", Value::from(f.clone()));
         }
         if let Some(r) = &self.report {
             m.insert("report", Value::from(r.clone()));
@@ -433,6 +522,7 @@ impl RunResponse {
                 .to_string(),
             cached: obj.get("cached").and_then(Value::as_bool).unwrap_or(false),
             error: obj.get("error").and_then(Value::as_str).map(str::to_string),
+            error_field: obj.get("field").and_then(Value::as_str).map(str::to_string),
             report: obj
                 .get("report")
                 .and_then(Value::as_str)
@@ -448,26 +538,28 @@ impl RunResponse {
     }
 }
 
-/// Parse one request line. `Err` maps to a `400` response.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = serde_json::from_str(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+/// Parse one request line. `Err` maps to a `400` response naming the
+/// offending field when one applies.
+pub fn parse_request(line: &str) -> Result<Request, FieldError> {
+    let v = serde_json::from_str(line.trim()).map_err(|e| ferr("", format!("bad JSON: {e}")))?;
     parse_request_value(&v)
 }
 
 /// Parse an already-decoded request value — the server decodes each line
 /// once, peels the [`envelope_trace_id`], then dispatches here.
-pub fn parse_request_value(v: &Value) -> Result<Request, String> {
+pub fn parse_request_value(v: &Value) -> Result<Request, FieldError> {
     let op = v
         .get("op")
         .and_then(Value::as_str)
-        .ok_or("request needs a string 'op' field")?;
+        .ok_or_else(|| ferr("op", "request needs a string 'op' field"))?;
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "run" => Ok(Request::Run(RunRequest::from_json(v)?)),
-        other => Err(format!(
-            "unknown op '{other}' (expected ping|stats|shutdown|run)"
+        other => Err(ferr(
+            "op",
+            format!("unknown op '{other}' (expected ping|stats|shutdown|run)"),
         )),
     }
 }
@@ -496,8 +588,12 @@ mod tests {
 
     #[test]
     fn run_request_round_trips_with_full_seed_precision() {
+        let mut scenario = Map::new();
+        scenario.insert("schema", Value::from("ifsim-scenario-v1"));
+        scenario.insert("name", Value::from("wire-demo"));
         let req = RunRequest {
             experiment_id: "fig6a".into(),
+            scenario: Some(Value::Object(scenario)),
             overrides: ConfigOverrides {
                 quick: true,
                 // Deliberately above 2^53: a JSON number would lose it.
@@ -579,7 +675,69 @@ mod tests {
             calib: vec![("no_such_knob".into(), 1.0)],
             ..Default::default()
         };
-        assert!(bad.resolve().is_err());
+        let err = bad.resolve().unwrap_err();
+        assert_eq!(err.field, "overrides.calib.no_such_knob");
+    }
+
+    #[test]
+    fn malformed_payloads_name_the_offending_field() {
+        let cases = [
+            (r#"{"op":"run"}"#, "experiment_id"),
+            (r#"{"op":"run","experiment_id":7}"#, "experiment_id"),
+            (
+                r#"{"op":"run","experiment_id":"fig1","overrides":{"seed":12}}"#,
+                "overrides.seed",
+            ),
+            (
+                r#"{"op":"run","experiment_id":"fig1","overrides":{"reps":"x"}}"#,
+                "overrides.reps",
+            ),
+            (
+                r#"{"op":"run","experiment_id":"fig1","overrides":{"calib":{"k":"y"}}}"#,
+                "overrides.calib.k",
+            ),
+            (
+                r#"{"op":"run","experiment_id":"fig1","artifacts":[3]}"#,
+                "artifacts[0]",
+            ),
+            (
+                r#"{"op":"run","experiment_id":"fig1","scenario":[]}"#,
+                "scenario",
+            ),
+            (r#"{"op":"warp"}"#, "op"),
+        ];
+        for (line, field) in cases {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.field, field, "for {line}");
+        }
+        // An inline scenario may omit the experiment id entirely.
+        let req = parse_request(r#"{"op":"run","scenario":{"name":"x"}}"#).unwrap();
+        let Request::Run(req) = req else {
+            panic!("expected a run request")
+        };
+        assert!(req.experiment_id.is_empty());
+        assert!(req.scenario.is_some());
+    }
+
+    #[test]
+    fn field_error_response_round_trips() {
+        let resp = RunResponse::field_error(
+            Status::BadRequest,
+            "scenario:demo",
+            FieldError {
+                field: "scenario.workload.ranks".into(),
+                message: "must be between 2 and 8".into(),
+            },
+        );
+        assert_eq!(resp.error_field.as_deref(), Some("scenario.workload.ranks"));
+        assert!(resp
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("scenario.workload.ranks"));
+        let line = serde_json::to_string(&resp.to_json());
+        let back = RunResponse::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(resp, back);
     }
 
     #[test]

@@ -243,6 +243,22 @@ fn fabric_link_utils(telemetry: &CollectedTelemetry) -> Vec<(String, f64, f64)> 
         .collect()
 }
 
+/// Parse and compile an inline scenario document into a runnable
+/// experiment, prefixing error field paths with `scenario.` so they name
+/// the request field they live under.
+fn compile_scenario(doc: &Value) -> Result<Experiment, proto::FieldError> {
+    ifsim_scenario::Scenario::from_json(doc)
+        .and_then(|s| ifsim_scenario::compile(&s))
+        .map_err(|e| proto::FieldError {
+            field: if e.field.is_empty() {
+                "scenario".into()
+            } else {
+                format!("scenario.{}", e.field)
+            },
+            message: e.message,
+        })
+}
+
 /// SplitMix64 finalizer: mixes a seed into a well-distributed 64-bit
 /// value (trace-id generation).
 fn splitmix64(mut z: u64) -> u64 {
@@ -436,7 +452,10 @@ impl ServerCore {
     /// request span plus latency exemplar carry the same id.
     pub fn handle_line(&self, line: &str) -> String {
         let t0 = Instant::now();
-        let decoded = serde_json::from_str(line.trim()).map_err(|e| format!("bad JSON: {e}"));
+        let decoded = serde_json::from_str(line.trim()).map_err(|e| proto::FieldError {
+            field: String::new(),
+            message: format!("bad JSON: {e}"),
+        });
         let trace_id = decoded
             .as_ref()
             .ok()
@@ -451,7 +470,10 @@ impl ServerCore {
                 m.insert("op", Value::from("error"));
                 m.insert("status", Value::from(Status::BadRequest.as_str()));
                 m.insert("code", Value::from(Status::BadRequest.code()));
-                m.insert("error", Value::from(e));
+                m.insert("error", Value::from(e.to_string()));
+                if !e.field.is_empty() {
+                    m.insert("field", Value::from(e.field));
+                }
                 ("parse", Value::Object(m))
             }
             Ok(Request::Ping) => {
@@ -497,16 +519,50 @@ impl ServerCore {
     /// admit → compute under deadline. Phase timings and tier/role labels
     /// land in `trace`.
     fn handle_run(&self, req: &RunRequest, arrival: Instant, trace: &mut RunTrace) -> RunResponse {
-        let Some(exp) = registry::by_id(&req.experiment_id) else {
-            return RunResponse::error(
-                Status::BadRequest,
-                req.experiment_id.clone(),
-                format!("unknown experiment '{}'", req.experiment_id),
-            );
+        // Resolve the work unit: an inline scenario compiles server-side
+        // (its content digest rides the experiment's digest_extra, so the
+        // cache and single-flight key on scenario content); otherwise the
+        // id is a registry lookup. Either failure names the field.
+        let exp = if let Some(doc) = &req.scenario {
+            match compile_scenario(doc) {
+                Ok(exp) => exp,
+                Err(e) => {
+                    return RunResponse::field_error(
+                        Status::BadRequest,
+                        req.experiment_id.clone(),
+                        e,
+                    )
+                }
+            }
+        } else {
+            match registry::by_id(&req.experiment_id) {
+                Some(exp) => exp,
+                None => {
+                    return RunResponse::field_error(
+                        Status::BadRequest,
+                        req.experiment_id.clone(),
+                        proto::FieldError {
+                            field: "experiment_id".into(),
+                            message: format!("unknown experiment '{}'", req.experiment_id),
+                        },
+                    )
+                }
+            }
+        };
+        // A scenario request may omit the id; echo the compiled one.
+        let req = &RunRequest {
+            experiment_id: if req.experiment_id.is_empty() {
+                exp.id.to_string()
+            } else {
+                req.experiment_id.clone()
+            },
+            ..req.clone()
         };
         let cfg = match req.overrides.resolve() {
             Ok(cfg) => cfg,
-            Err(e) => return RunResponse::error(Status::BadRequest, req.experiment_id.clone(), e),
+            Err(e) => {
+                return RunResponse::field_error(Status::BadRequest, req.experiment_id.clone(), e)
+            }
         };
         let digest = exp.config_digest(&cfg);
         // Analyzed runs answer with extra payload (the critical-path
@@ -831,6 +887,7 @@ impl ServerCore {
             digest: run.digest.clone(),
             cached,
             error: None,
+            error_field: None,
             report: Some(run.report.clone()),
             csv,
             checks_passed: run.checks_passed,

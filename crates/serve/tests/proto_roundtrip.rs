@@ -55,21 +55,47 @@ fn arb_overrides() -> impl Strategy<Value = ConfigOverrides> {
 
 fn arb_run_request() -> impl Strategy<Value = RunRequest> {
     (
-        arb_ident(),
-        arb_overrides(),
-        proptest::collection::vec(arb_ident(), 0..4),
-        arb_option(0u64..10_000_000),
-        arb_option(arb_ident()),
-        any::<bool>(),
+        (
+            arb_ident(),
+            arb_overrides(),
+            proptest::collection::vec(arb_ident(), 0..4),
+            arb_option(0u64..10_000_000),
+        ),
+        (
+            arb_option(arb_ident()),
+            any::<bool>(),
+            // Inline scenario payloads travel as opaque JSON objects; an
+            // arbitrary flat object proves presence/absence both survive.
+            arb_option(proptest::collection::vec((arb_ident(), arb_text()), 0..3)).prop_map(
+                |fields| {
+                    fields.map(|fields| {
+                        let mut obj = serde_json::Map::new();
+                        let mut seen = std::collections::HashSet::new();
+                        for (k, v) in fields {
+                            if seen.insert(k.clone()) {
+                                obj.insert(k, serde_json::Value::from(v));
+                            }
+                        }
+                        serde_json::Value::from(obj)
+                    })
+                },
+            ),
+        ),
     )
         .prop_map(
-            |(experiment_id, overrides, artifacts, deadline_ms, trace_id, analyze)| RunRequest {
-                experiment_id,
-                overrides,
-                artifacts,
-                deadline_ms,
-                trace_id,
-                analyze,
+            |(
+                (experiment_id, overrides, artifacts, deadline_ms),
+                (trace_id, analyze, scenario),
+            )| {
+                RunRequest {
+                    experiment_id,
+                    scenario,
+                    overrides,
+                    artifacts,
+                    deadline_ms,
+                    trace_id,
+                    analyze,
+                }
             },
         )
 }
@@ -89,6 +115,7 @@ fn arb_run_response() -> impl Strategy<Value = RunResponse> {
         (arb_status(), arb_ident(), arb_ident(), any::<bool>()),
         (
             arb_option(arb_text()),
+            arb_option(arb_ident()),
             arb_option(arb_text()),
             proptest::collection::vec((arb_ident(), arb_text()), 0..4),
             (0usize..50, 0usize..50),
@@ -109,7 +136,7 @@ fn arb_run_response() -> impl Strategy<Value = RunResponse> {
         .prop_map(
             |(
                 (status, experiment_id, digest, cached),
-                (error, report, csv, (passed, extra)),
+                (error, error_field, report, csv, (passed, extra)),
                 trace_id,
                 critpath,
             )| {
@@ -120,6 +147,7 @@ fn arb_run_response() -> impl Strategy<Value = RunResponse> {
                     digest,
                     cached,
                     error,
+                    error_field,
                     report,
                     csv,
                     checks_passed: passed,

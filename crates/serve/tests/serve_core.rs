@@ -389,3 +389,90 @@ fn warm_restarted_core_replays_byte_identical_responses() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// An inline scenario compiles server-side and caches on *content*: the
+/// same scenario with shuffled field order and a different client-side
+/// id label keys to the same digest and replays from the cache.
+#[test]
+fn inline_scenario_caches_on_content_not_field_order() {
+    let core = small_core();
+    // The id is omitted entirely: the server echoes the compiled one.
+    let a = r#"{"op":"run","scenario":{
+        "schema":"ifsim-scenario-v1","name":"moe-serve",
+        "config":{"reps":1,"warmup":0},
+        "workload":{"type":"moe-alltoall","ranks":2,"bytes_per_pair":65536,
+                    "steps":1,"compute_bytes":65536}}}"#;
+    // Same scenario, every object's keys in a different order, plus a
+    // client-chosen label.
+    let b = r#"{"op":"run","experiment_id":"my-label","scenario":{
+        "workload":{"compute_bytes":65536,"steps":1,"bytes_per_pair":65536,
+                    "ranks":2,"type":"moe-alltoall"},
+        "config":{"warmup":0,"reps":1},
+        "name":"moe-serve","schema":"ifsim-scenario-v1"}}"#;
+
+    let fresh = parse_run(&core.handle_line(a));
+    assert_eq!(fresh.status, Status::Ok, "{:?}", fresh.error);
+    assert!(!fresh.cached);
+    assert_eq!(fresh.experiment_id, "scenario:moe-serve");
+    assert_eq!(fresh.checks_passed, fresh.checks_total);
+
+    let replay = parse_run(&core.handle_line(b));
+    assert_eq!(replay.status, Status::Ok);
+    assert!(replay.cached, "shuffled field order still hits the cache");
+    assert_eq!(replay.digest, fresh.digest, "digest keys on content");
+    assert_eq!(replay.experiment_id, "my-label", "label echoes the client");
+    assert_eq!(replay.report, fresh.report);
+    assert_eq!(core.cache().hits(), 1);
+
+    // Different scenario content under the same name: a different digest.
+    let c = a.replace("\"bytes_per_pair\":65536", "\"bytes_per_pair\":131072");
+    let other = parse_run(&core.handle_line(&c));
+    assert_eq!(other.status, Status::Ok);
+    assert!(!other.cached);
+    assert_ne!(other.digest, fresh.digest);
+}
+
+/// Malformed scenario payloads answer 400 with the offending field named
+/// under `scenario.`, the same structured shape every other bad-payload
+/// rejection uses.
+#[test]
+fn scenario_errors_name_the_offending_field() {
+    let core = small_core();
+    let cases = [
+        (
+            r#"{"op":"run","scenario":{"schema":"ifsim-scenario-v1","name":"x",
+                "workload":{"type":"moe-alltoall"},"bogus":1}}"#,
+            "scenario.bogus",
+        ),
+        (
+            r#"{"op":"run","scenario":{"schema":"ifsim-scenario-v1","name":"x",
+                "workload":{"type":"no-such-workload"}}}"#,
+            "scenario.workload.type",
+        ),
+        (
+            r#"{"op":"run","scenario":{"schema":"ifsim-scenario-v1","name":"x",
+                "workload":{"type":"moe-alltoall","ranks":99}}}"#,
+            "scenario.workload.ranks",
+        ),
+        (
+            r#"{"op":"run","experiment_id":"fig1","overrides":{"calib":{"nope":2.0}}}"#,
+            "overrides.calib.nope",
+        ),
+    ];
+    for (line, field) in cases {
+        let resp = parse_run(&core.handle_line(line));
+        assert_eq!(resp.status, Status::BadRequest, "for {line}");
+        assert_eq!(resp.error_field.as_deref(), Some(field), "for {line}");
+        assert!(
+            resp.error.as_deref().unwrap().contains(field),
+            "error text names the field for {line}"
+        );
+    }
+    // Parse-level rejections carry the field on the envelope too.
+    let v: serde_json::Value = serde_json::from_str(
+        &core.handle_line(r#"{"op":"run","artifacts":[3],"experiment_id":"fig1"}"#),
+    )
+    .unwrap();
+    assert_eq!(v.get("code").and_then(Value::as_u64), Some(400));
+    assert_eq!(v.get("field").and_then(Value::as_str), Some("artifacts[0]"));
+}
